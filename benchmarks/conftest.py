@@ -1,0 +1,35 @@
+"""Shared configuration for the benchmark suite.
+
+Campaign sizes are deliberately small so ``pytest benchmarks/
+--benchmark-only`` completes in minutes of pure-Python time; set
+``REPRO_BENCH_SCALE`` to scale the number of selections/errors up
+(``REPRO_BENCH_SCALE=paper`` runs the original 5 x 100 campaign — hours).
+"""
+
+import os
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+
+
+def table_config(**overrides):
+    """Benchmark-sized ExperimentConfig honouring REPRO_BENCH_SCALE."""
+    scale = os.environ.get("REPRO_BENCH_SCALE", "")
+    if scale == "paper":
+        return ExperimentConfig.paper_scale(**overrides)
+    if scale:
+        factor = int(scale)
+        params = dict(selections=min(5, factor), errors=3 * factor,
+                      patterns=500)
+        params.update(overrides)
+        return ExperimentConfig(**params)
+    params = dict(selections=1, errors=3, patterns=300)
+    params.update(overrides)
+    return ExperimentConfig(**params)
+
+
+@pytest.fixture(scope="session")
+def bench_rows_cache():
+    """Session-wide cache so printing and timing reuse campaign runs."""
+    return {}

@@ -1,0 +1,77 @@
+"""Micro-benchmarks of the BDD substrate itself."""
+
+import pytest
+
+from repro.bdd import Bdd
+from repro.generators import alu4_like, c880_like
+from repro.generators.comparator import magnitude_comparator
+from repro.sim import symbolic_simulate
+
+
+def test_bench_symbolic_simulation_alu4(benchmark):
+    spec = alu4_like()
+
+    def build():
+        bdd = Bdd()
+        return symbolic_simulate(spec, bdd)
+
+    benchmark(build)
+
+
+def test_bench_symbolic_simulation_c880(benchmark):
+    spec = c880_like()
+
+    def build():
+        bdd = Bdd()
+        return symbolic_simulate(spec, bdd)
+
+    benchmark(build)
+
+
+def test_bench_sifting_pass(benchmark):
+    """One full sifting pass over a deliberately bad variable order."""
+    spec = magnitude_comparator(10)
+    bad_order = [n for n in spec.inputs if n.startswith("a")] \
+        + [n for n in spec.inputs if n.startswith("b")]
+    shuffled = spec.with_input_order(bad_order)
+
+    def build_and_sift():
+        bdd = Bdd()
+        fns = symbolic_simulate(shuffled, bdd)
+        before = len(bdd)
+        bdd.reorder()
+        return before, len(bdd)
+
+    before, after = benchmark(build_and_sift)
+    assert after < before
+
+
+def test_bench_quantification(benchmark):
+    spec = alu4_like()
+    bdd = Bdd()
+    fns = symbolic_simulate(spec, bdd)
+    outs = [fns[n] for n in spec.outputs]
+    half = spec.inputs[:7]
+
+    def quantify():
+        acc = bdd.true
+        for f in outs:
+            acc = acc & f.exists(half)
+        return acc
+
+    benchmark(quantify)
+
+
+def test_bench_garbage_collection(benchmark):
+    spec = alu4_like()
+
+    def churn():
+        bdd = Bdd()
+        fns = symbolic_simulate(spec, bdd)
+        keep = fns[spec.outputs[0]]
+        del fns
+        freed = bdd.collect_garbage()
+        return freed
+
+    freed = benchmark(churn)
+    assert freed > 0

@@ -1,0 +1,75 @@
+"""Micro-benchmarks: one invocation of each check on a fixed case.
+
+These time the five rungs of the ladder individually, on the same
+mutated partial implementation — the per-check "run time" columns of the
+paper's tables in isolation.
+"""
+
+import random
+
+import pytest
+
+from repro.bdd import default_bdd
+from repro.core import (check_input_exact, check_local,
+                        check_output_exact, check_random_patterns,
+                        check_symbolic_01x, prepare_context)
+from repro.core.input_exact import input_exact_from_context
+from repro.core.local_check import local_check_from_context
+from repro.core.output_exact import output_exact_from_context
+from repro.generators import alu4_like
+from repro.partial import PartialImplementation, insert_random_error, \
+    make_partial
+
+
+@pytest.fixture(scope="module")
+def case():
+    spec = alu4_like()
+    partial = make_partial(spec, fraction=0.1, num_boxes=1, seed=12)
+    mutated, _ = insert_random_error(partial.circuit, random.Random(3))
+    return spec, PartialImplementation(mutated, partial.boxes)
+
+
+def test_bench_random_pattern(benchmark, case):
+    spec, partial = case
+    benchmark(lambda: check_random_patterns(spec, partial,
+                                            patterns=1000, seed=0))
+
+
+def test_bench_symbolic_01x(benchmark, case):
+    spec, partial = case
+    benchmark(lambda: check_symbolic_01x(spec, partial, default_bdd()))
+
+
+def test_bench_local(benchmark, case):
+    spec, partial = case
+    benchmark(lambda: check_local(spec, partial, default_bdd()))
+
+
+def test_bench_output_exact(benchmark, case):
+    spec, partial = case
+    benchmark(lambda: check_output_exact(spec, partial, default_bdd()))
+
+
+def test_bench_input_exact(benchmark, case):
+    spec, partial = case
+    benchmark(lambda: check_input_exact(spec, partial, default_bdd()))
+
+
+def test_bench_context_preparation(benchmark, case):
+    """The shared Z_i simulation cost (spec + impl BDD construction)."""
+    spec, partial = case
+    benchmark(lambda: prepare_context(spec, partial, default_bdd()))
+
+
+def test_bench_ladder_rungs_shared_context(benchmark, case):
+    """local + output exact + input exact on one shared context —
+    how the ladder driver actually runs them."""
+    spec, partial = case
+
+    def rungs():
+        ctx = prepare_context(spec, partial, default_bdd())
+        local_check_from_context(ctx)
+        output_exact_from_context(ctx)
+        return input_exact_from_context(ctx)
+
+    benchmark(rungs)

@@ -1,0 +1,26 @@
+"""Benchmarks for the paper's figure examples (Sections 2.1-2.2.3).
+
+One bench per figure: the full symbolic ladder on each worked example,
+asserting the figure's documented separation while timing it.
+"""
+
+import pytest
+
+from repro.core import run_ladder
+from repro.generators import ALL_FIGURES
+
+SYMBOLIC = ("symbolic_01x", "local", "output_exact", "input_exact")
+
+
+@pytest.mark.parametrize("name", list(ALL_FIGURES))
+def test_bench_figure(benchmark, name):
+    factory, expected_first = ALL_FIGURES[name]
+    spec, partial = factory()
+
+    def ladder():
+        return run_ladder(spec, partial, checks=SYMBOLIC,
+                          stop_at_first_error=False)
+
+    results = benchmark(ladder)
+    first = next((r.check for r in results if r.error_found), None)
+    assert first == expected_first

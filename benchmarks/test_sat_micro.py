@@ -1,0 +1,68 @@
+"""Micro-benchmarks of the SAT backend (the future-work comparison)."""
+
+import random
+
+import pytest
+
+from repro.generators import alu4_like
+from repro.generators.comparator import magnitude_comparator
+from repro.partial import PartialImplementation, insert_random_error, \
+    make_partial
+from repro.sat import (Solver, build_miter, check_equivalence_sat,
+                       check_output_exact_sat, check_symbolic_01x_sat)
+
+
+@pytest.fixture(scope="module")
+def case():
+    spec = alu4_like()
+    partial = make_partial(spec, fraction=0.1, num_boxes=1, seed=12)
+    mutated, _ = insert_random_error(partial.circuit, random.Random(3))
+    return spec, PartialImplementation(mutated, partial.boxes)
+
+
+def test_bench_miter_unsat(benchmark):
+    spec = magnitude_comparator(10)
+    clone = spec.copy()
+
+    def prove():
+        return check_equivalence_sat(spec, clone)
+
+    result = benchmark(prove)
+    assert result.equivalent
+
+
+def test_bench_miter_sat(benchmark):
+    spec = alu4_like()
+    mutant, _ = insert_random_error(spec, random.Random(5))
+
+    def refute():
+        return check_equivalence_sat(spec, mutant)
+
+    benchmark(refute)
+
+
+def test_bench_sat_01x_check(benchmark, case):
+    spec, partial = case
+    benchmark(lambda: check_symbolic_01x_sat(spec, partial))
+
+
+def test_bench_cegar_output_exact(benchmark, case):
+    spec, partial = case
+    result = benchmark(lambda: check_output_exact_sat(spec, partial))
+
+
+def test_bench_raw_solver_throughput(benchmark):
+    rng = random.Random(7)
+    n, m = 60, 240
+    clauses = [[v * rng.choice((1, -1))
+                for v in rng.sample(range(1, n + 1), 3)]
+               for _ in range(m)]
+
+    def solve():
+        solver = Solver()
+        solver.ensure_vars(n)
+        for clause in clauses:
+            solver.add_clause(clause)
+        return solver.solve()
+
+    benchmark(solve)

@@ -1,0 +1,69 @@
+"""Micro-benchmarks for the sequential (bounded) extension."""
+
+import pytest
+
+from repro.circuit import CircuitBuilder, GateType
+from repro.partial import BlackBox
+from repro.seq import (Latch, SequentialCircuit,
+                       check_bounded_equivalence,
+                       check_sequential_partial, unroll)
+
+
+def make_counter(width, name="cnt"):
+    builder = CircuitBuilder(name)
+    enable = builder.input("en")
+    states = [builder.input("q%d" % i) for i in range(width)]
+    carry = enable
+    for i in range(width):
+        builder.gate(GateType.XOR, [states[i], carry], out="nx%d" % i)
+        carry = builder.and_(states[i], carry)
+    for i in range(width):
+        builder.output(builder.buf(states[i]), "out%d" % i)
+    core = builder.circuit
+    core.validate()
+    return SequentialCircuit(
+        core, [Latch("q%d" % i, "nx%d" % i) for i in range(width)],
+        name=name)
+
+
+def test_bench_unroll(benchmark):
+    machine = make_counter(8)
+    flat = benchmark(lambda: unroll(machine, 12))
+    assert flat.num_gates > machine.core.num_gates
+
+
+def test_bench_bounded_equivalence(benchmark):
+    spec = make_counter(6)
+    impl = make_counter(6, "other")
+    result = benchmark(
+        lambda: check_bounded_equivalence(spec, impl, frames=8))
+    assert result.equivalent
+
+
+def test_bench_sequential_partial_ladder(benchmark):
+    spec = make_counter(5)
+    core = make_counter(5, "boxed").core.copy()
+    core.remove_gate("nx2")
+    partial = SequentialCircuit(
+        core, [Latch("q%d" % i, "nx%d" % i) for i in range(5)])
+    boxes = [BlackBox("INC2", ("q2", "q1", "q0", "en"), ("nx2",))]
+
+    def run():
+        return check_sequential_partial(
+            spec, partial, boxes, frames=5, patterns=100, seed=0,
+            stop_at_first_error=False)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert not any(r.error_found for r in results)
+
+
+def test_bench_unbounded_equivalence(benchmark):
+    from repro.seq import check_unbounded_equivalence
+
+    spec = make_counter(6)
+    impl = make_counter(6, "other")
+    result = benchmark.pedantic(
+        lambda: check_unbounded_equivalence(spec, impl),
+        rounds=1, iterations=1)
+    assert result.equivalent
+    assert result.reachable_count == 64

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Sequential circuits with Black Boxes (the paper's future work).
+
+"Another interesting question is how the methods can be extended to
+verify also sequential circuits containing Black Boxes."  This library
+answers it for bounded depth: unroll k time frames into a combinational
+circuit (Black Boxes duplicated per frame) and run the ladder on the
+expansion.
+
+The design under test is a serial accumulator whose adder slice is still
+unimplemented; we check it over several clock cycles, then inject a
+control bug and watch the bounded check refute the machine.
+
+Run:  python examples/sequential_blackbox.py
+"""
+
+from repro.circuit import CircuitBuilder, Gate, GateType
+from repro.partial import BlackBox
+from repro.seq import (Latch, SequentialCircuit,
+                       check_bounded_equivalence,
+                       check_sequential_partial)
+
+WIDTH = 4
+
+
+def build_accumulator(name, with_adder=True):
+    """acc <= clear ? 0 : acc + in; outputs the accumulator."""
+    builder = CircuitBuilder(name)
+    clear = builder.input("clear")
+    data = builder.inputs("in", WIDTH)
+    state = [builder.input("acc%d" % i) for i in range(WIDTH)]
+
+    if with_adder:
+        sums, _ = builder.ripple_adder(state, data)
+    else:
+        sums = ["sum%d" % i for i in range(WIDTH)]  # Black Box outputs
+    nclear = builder.not_(clear)
+    for i in range(WIDTH):
+        builder.gate(GateType.AND, [sums[i], nclear],
+                     out="next%d" % i)
+    for i in range(WIDTH):
+        builder.output(builder.buf(state[i]), "out%d" % i)
+    core = builder.circuit
+    core.validate(allow_free=not with_adder)
+    latches = [Latch("acc%d" % i, "next%d" % i) for i in range(WIDTH)]
+    return SequentialCircuit(core, latches, name=name)
+
+
+def main():
+    spec = build_accumulator("acc_spec", with_adder=True)
+    print("Specification machine: %s" % spec)
+    trace = spec.simulate([
+        {"clear": False, **{"in%d" % i: bool(3 >> i & 1)
+                            for i in range(WIDTH)}}] * 4)
+    values = [sum(t["out%d" % i] << i for i in range(WIDTH))
+              for t in trace]
+    print("accumulating 3 per cycle: %s\n" % values)
+
+    partial = build_accumulator("acc_impl", with_adder=False)
+    boxes = [BlackBox("ADDER",
+                      tuple(n for pair in zip(
+                          ("acc%d" % i for i in range(WIDTH)),
+                          ("in%d" % i for i in range(WIDTH)))
+                          for n in pair),
+                      tuple("sum%d" % i for i in range(WIDTH)))]
+    print("Partial machine: adder slice is a Black Box (%d->%d)\n"
+          % (len(boxes[0].inputs), len(boxes[0].outputs)))
+
+    frames = 4
+    results = check_sequential_partial(spec, partial, boxes,
+                                       frames=frames, patterns=300,
+                                       seed=0, stop_at_first_error=False)
+    print("clean partial machine over %d cycles:" % frames)
+    for result in results:
+        print("  %-15s %s" % (result.check,
+                              "ERROR" if result.error_found else "ok"))
+    assert not any(r.error_found for r in results)
+
+    # Bug: the clear gating is inverted on bit 0.
+    broken_core = partial.core.copy()
+    gate = broken_core.gate("next0")
+    broken_core.replace_gate(Gate("next0", GateType.NOR, gate.inputs))
+    broken = SequentialCircuit(broken_core, partial.latches,
+                               name="acc_broken")
+    results = check_sequential_partial(spec, broken, boxes,
+                                       frames=frames, patterns=300,
+                                       seed=0)
+    print("\nwith an inverted clear gate:")
+    for result in results:
+        print("  %-15s %s" % (result.check,
+                              "ERROR" if result.error_found else "ok"))
+    assert results[-1].error_found
+    print("\nThe bounded check refutes the machine: no adder "
+          "implementation — not even one\nthat changed every cycle — "
+          "makes the first %d cycles match the specification."
+          % frames)
+
+
+if __name__ == "__main__":
+    main()

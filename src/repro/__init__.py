@@ -1,0 +1,43 @@
+"""repro — Checking Equivalence for Partial Implementations (DAC 2001).
+
+A complete implementation of Scholl & Becker's Black Box Equivalence
+Checking, with every substrate built from scratch: a BDD package, a
+CDCL SAT solver, a netlist model with BLIF/ISCAS I/O, the benchmark
+generators, and the paper's full experimental harness.
+
+The most convenient entry point is the facade::
+
+    from repro import BlackBoxChecker
+
+    checker = BlackBoxChecker(spec_circuit)
+    results = checker.check(partial_implementation)
+
+Subpackages: :mod:`repro.bdd`, :mod:`repro.circuit`,
+:mod:`repro.generators`, :mod:`repro.sim`, :mod:`repro.partial`,
+:mod:`repro.core`, :mod:`repro.sat`, :mod:`repro.seq`,
+:mod:`repro.experiments`.
+"""
+
+from .api import BlackBoxChecker
+from .circuit.netlist import Circuit, CircuitError
+from .circuit.builder import CircuitBuilder
+from .core.ladder import CHECK_ORDER, check_partial_equivalence, \
+    run_ladder
+from .core.result import CheckResult
+from .partial.blackbox import BlackBox, PartialImplementation
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BlackBoxChecker",
+    "Circuit",
+    "CircuitBuilder",
+    "CircuitError",
+    "BlackBox",
+    "PartialImplementation",
+    "CheckResult",
+    "CHECK_ORDER",
+    "run_ladder",
+    "check_partial_equivalence",
+    "__version__",
+]

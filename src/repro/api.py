@@ -1,0 +1,117 @@
+"""High-level facade: one object for the whole BBEC workflow.
+
+:class:`BlackBoxChecker` binds a specification and offers the complete
+workflow of the paper as methods: run the ladder, run single checks,
+synthesize witness boxes, verify error-location hypotheses.  The
+functional APIs in :mod:`repro.core` remain the primitive layer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .circuit.netlist import Circuit, CircuitError
+from .core.diagnosis import DiagnosisResult, verify_error_location
+from .core.equivalence import EquivalenceResult, check_equivalence
+from .core.input_exact import check_input_exact
+from .core.ladder import CHECK_ORDER, run_ladder
+from .core.local_check import check_local
+from .core.output_exact import check_output_exact
+from .core.random_pattern import check_random_patterns
+from .core.result import CheckResult
+from .core.symbolic01x import check_symbolic_01x
+from .core.synthesis import synthesize_boxes
+from .partial.blackbox import PartialImplementation
+from .partial.extraction import make_partial
+
+__all__ = ["BlackBoxChecker"]
+
+_CHECKERS = {
+    "random_pattern": check_random_patterns,
+    "symbolic_01x": check_symbolic_01x,
+    "local": check_local,
+    "output_exact": check_output_exact,
+    "input_exact": check_input_exact,
+}
+
+
+class BlackBoxChecker:
+    """All Black Box Equivalence Checking workflows against one spec.
+
+    Example::
+
+        checker = BlackBoxChecker(spec)
+        partial = checker.carve(fraction=0.1, seed=1)
+        results = checker.check(partial)
+        if not results[-1].error_found:
+            boxes = checker.synthesize(partial)
+    """
+
+    def __init__(self, spec: Circuit) -> None:
+        if spec.free_nets():
+            raise CircuitError("the specification must be complete")
+        spec.validate()
+        self.spec = spec
+
+    # -- building partial implementations -------------------------------
+
+    def carve(self, fraction: float = 0.1, num_boxes: int = 1,
+              seed: Optional[int] = None) -> PartialImplementation:
+        """Randomly box a fraction of the spec's gates (experiments)."""
+        return make_partial(self.spec, fraction=fraction,
+                            num_boxes=num_boxes, seed=seed)
+
+    # -- checking ---------------------------------------------------------
+
+    def check(self, partial: PartialImplementation,
+              checks: Sequence[str] = CHECK_ORDER,
+              patterns: int = 1000, seed: Optional[int] = None,
+              stop_at_first_error: bool = True) -> List[CheckResult]:
+        """Run the paper's ladder against this specification."""
+        return run_ladder(self.spec, partial, checks=checks,
+                          patterns=patterns, seed=seed,
+                          stop_at_first_error=stop_at_first_error)
+
+    def check_one(self, partial: PartialImplementation,
+                  check: str = "input_exact", **kwargs) -> CheckResult:
+        """Run a single named check (see ``CHECK_ORDER`` for names)."""
+        try:
+            checker = _CHECKERS[check]
+        except KeyError:
+            raise ValueError("unknown check %r (choose from %s)"
+                             % (check, ", ".join(CHECK_ORDER))) from None
+        return checker(self.spec, partial, **kwargs)
+
+    def is_refuted(self, partial: PartialImplementation,
+                   **kwargs) -> bool:
+        """True when the design provably cannot be completed."""
+        results = self.check(partial, **kwargs)
+        return any(result.error_found for result in results)
+
+    # -- beyond checking ---------------------------------------------------
+
+    def synthesize(self, partial: PartialImplementation,
+                   verify: bool = True)\
+            -> Optional[Dict[str, Circuit]]:
+        """Construct witness implementations for every box (or None)."""
+        return synthesize_boxes(self.spec, partial, verify=verify)
+
+    def complete(self, partial: PartialImplementation)\
+            -> Optional[Circuit]:
+        """Synthesize boxes and return the full, verified circuit."""
+        implementations = self.synthesize(partial)
+        if implementations is None:
+            return None
+        return partial.substitute(implementations)
+
+    def diagnose(self, impl: Circuit,
+                 suspect_gates: Sequence[str]) -> DiagnosisResult:
+        """Verify an error-location hypothesis on a complete design."""
+        return verify_error_location(self.spec, impl, suspect_gates)
+
+    def equivalent(self, impl: Circuit) -> EquivalenceResult:
+        """Plain equivalence check for a complete implementation."""
+        return check_equivalence(self.spec, impl)
+
+    def __repr__(self) -> str:
+        return "<BlackBoxChecker spec=%s>" % self.spec.name

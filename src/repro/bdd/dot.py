@@ -1,0 +1,68 @@
+"""Graphviz DOT export for BDDs (debugging / documentation aid)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+from .function import Function
+from .manager import FALSE, TRUE
+
+__all__ = ["to_dot"]
+
+
+def to_dot(functions: Union[Function, Sequence[Function]],
+           labels: Optional[Sequence[str]] = None) -> str:
+    """Render one or more BDDs sharing a manager as a DOT digraph.
+
+    Solid edges are then-edges, dashed edges are else-edges; nodes are
+    ranked by variable level as is conventional for BDD figures.
+    """
+    if isinstance(functions, Function):
+        functions = [functions]
+    if not functions:
+        raise ValueError("nothing to render")
+    bdd = functions[0].bdd
+    mgr = bdd.manager
+    if labels is None:
+        labels = ["f%d" % i for i in range(len(functions))]
+    if len(labels) != len(functions):
+        raise ValueError("one label per function required")
+
+    nodes: List[int] = []
+    seen = set()
+    stack = [f.node for f in functions]
+    while stack:
+        u = stack.pop()
+        if u in seen:
+            continue
+        seen.add(u)
+        nodes.append(u)
+        if u > TRUE:
+            stack.append(mgr.node_low(u))
+            stack.append(mgr.node_high(u))
+
+    by_level: Dict[int, List[int]] = {}
+    for u in nodes:
+        if u > TRUE:
+            by_level.setdefault(mgr._node_level(u), []).append(u)
+
+    out = ["digraph bdd {"]
+    for i, (f, label) in enumerate(zip(functions, labels)):
+        out.append('  root%d [shape=plaintext, label="%s"];' % (i, label))
+        out.append("  root%d -> n%d;" % (i, f.node))
+    out.append('  n%d [shape=box, label="0"];' % FALSE)
+    out.append('  n%d [shape=box, label="1"];' % TRUE)
+    for level in sorted(by_level):
+        members = by_level[level]
+        name = mgr.var_name(mgr._level2var[level])
+        for u in members:
+            out.append('  n%d [shape=circle, label="%s"];' % (u, name))
+        out.append("  { rank=same; %s }"
+                   % " ".join("n%d;" % u for u in members))
+    for u in nodes:
+        if u > TRUE:
+            out.append("  n%d -> n%d [style=dashed];"
+                       % (u, mgr.node_low(u)))
+            out.append("  n%d -> n%d;" % (u, mgr.node_high(u)))
+    out.append("}")
+    return "\n".join(out)

@@ -1,0 +1,134 @@
+"""Serialization of BDDs to a simple text format.
+
+The format stores the variable order, the shared node list in
+topological order, and named roots.  Loading rebuilds the functions in
+*any* manager via ITE, so the stored order is a hint, not a contract —
+functions survive a round-trip into a manager with a different order.
+
+Format::
+
+    bdd 1
+    vars a b c
+    node 2 a 0 1        # id var low high   (0/1 are the terminals)
+    node 3 b 2 1
+    root f 3
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, List, TextIO, Union
+
+from .function import Bdd, Function
+from .manager import TRUE
+
+__all__ = ["dump_functions", "dumps_functions", "load_functions",
+           "loads_functions"]
+
+
+def dumps_functions(functions: Dict[str, Function]) -> str:
+    """Serialize a dict of named functions sharing one manager."""
+    if not functions:
+        raise ValueError("nothing to serialize")
+    managers = {f.bdd for f in functions.values()}
+    if len(managers) != 1:
+        raise ValueError("functions must share one manager")
+    bdd = next(iter(managers))
+    mgr = bdd.manager
+
+    for name in functions:
+        if any(ch.isspace() for ch in name):
+            raise ValueError("root name %r contains whitespace" % name)
+
+    order: List[int] = []
+    seen = set()
+    stack = [(f.node, False) for f in functions.values()]
+    while stack:
+        node, done = stack.pop()
+        if done:
+            order.append(node)
+            continue
+        if node in seen or node <= TRUE:
+            continue
+        seen.add(node)
+        stack.append((node, True))
+        stack.append((mgr.node_high(node), False))
+        stack.append((mgr.node_low(node), False))
+
+    lines = ["bdd 1", "vars " + " ".join(bdd.var_order)]
+    for node in order:
+        lines.append("node %d %s %d %d" % (
+            node, mgr.var_name(mgr.node_var(node)),
+            mgr.node_low(node), mgr.node_high(node)))
+    for name, function in functions.items():
+        lines.append("root %s %d" % (name, function.node))
+    return "\n".join(lines) + "\n"
+
+
+def dump_functions(functions: Dict[str, Function], path: str) -> None:
+    """Serialize to a file."""
+    with open(path, "w") as handle:
+        handle.write(dumps_functions(functions))
+
+
+def loads_functions(bdd: Bdd, text: str) -> Dict[str, Function]:
+    """Rebuild named functions from text into ``bdd``.
+
+    Missing variables are declared (appended to the current order); the
+    functions are semantically identical to the originals regardless of
+    the target manager's variable order.
+    """
+    return load_functions(bdd, io.StringIO(text))
+
+
+def load_functions(bdd: Bdd,
+                   source: Union[str, TextIO]) -> Dict[str, Function]:
+    """Load serialized functions from a path or open file."""
+    if isinstance(source, str):
+        with open(source) as handle:
+            return load_functions(bdd, handle)
+
+    built: Dict[int, Function] = {0: bdd.false, 1: bdd.true}
+    roots: Dict[str, Function] = {}
+    header_seen = False
+    for raw in source:
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        tokens = line.split()
+        keyword = tokens[0]
+        if keyword == "bdd":
+            if tokens[1] != "1":
+                raise ValueError("unsupported format version %s"
+                                 % tokens[1])
+            header_seen = True
+        elif keyword == "vars":
+            for name in tokens[1:]:
+                if not bdd.has_var(name):
+                    bdd.add_var(name)
+        elif keyword == "node":
+            if len(tokens) != 5:
+                raise ValueError("malformed node line: %r" % line)
+            node_id = int(tokens[1])
+            var_name = tokens[2]
+            low = int(tokens[3])
+            high = int(tokens[4])
+            if not bdd.has_var(var_name):
+                bdd.add_var(var_name)
+            try:
+                low_f, high_f = built[low], built[high]
+            except KeyError:
+                raise ValueError("node %d references unknown child"
+                                 % node_id) from None
+            built[node_id] = bdd.var(var_name).ite(high_f, low_f)
+        elif keyword == "root":
+            try:
+                roots[tokens[1]] = built[int(tokens[2])]
+            except KeyError:
+                raise ValueError("root %r references unknown node"
+                                 % tokens[1]) from None
+        else:
+            raise ValueError("unknown keyword %r" % keyword)
+    if not header_seen:
+        raise ValueError("missing 'bdd 1' header")
+    return roots

@@ -1,0 +1,838 @@
+"""Reduced Ordered Binary Decision Diagram (ROBDD) manager.
+
+This module provides a from-scratch BDD package playing the role CUDD
+[Somenzi 1998] plays in the original paper.  Nodes live in parallel arrays
+inside a :class:`BddManager`; user code handles opaque integer node ids
+wrapped by :class:`repro.bdd.function.Function`.
+
+Design notes
+------------
+* No complement edges: negation is a cached recursive operation.  This
+  keeps the unique table, quantification and the sifting swap simple and
+  easy to validate.
+* Reference counting is *external only*: :class:`Function` wrappers hold
+  references; garbage collection is a mark-and-sweep from externally
+  referenced nodes.  Intermediate results of a running operation are safe
+  because collection only happens between top-level operations.
+* Dynamic variable reordering (Rudell's sifting) is implemented in
+  :mod:`repro.bdd.reorder` and mutates nodes in place, so node ids held by
+  the user stay valid across reordering.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
+
+__all__ = ["BddManager", "FALSE", "TRUE"]
+
+#: Node id of the constant-false terminal.
+FALSE = 0
+#: Node id of the constant-true terminal.
+TRUE = 1
+
+#: Pseudo variable id used for the two terminal nodes.  Terminals compare
+#: *below* every real variable, so their level must be larger than any
+#: real level.
+_TERMINAL_VAR = -1
+_TERMINAL_LEVEL = 1 << 60
+
+# Opcodes for the computed table.
+_OP_AND = 0
+_OP_OR = 1
+_OP_XOR = 2
+_OP_NOT = 3
+_OP_ITE = 4
+_OP_EXISTS = 5
+_OP_FORALL = 6
+_OP_COMPOSE = 7
+_OP_RESTRICT = 8
+_OP_AND_EXISTS = 9
+
+
+class BddManager:
+    """Shared store for all BDD nodes of one variable order.
+
+    Parameters
+    ----------
+    auto_reorder:
+        Enable dynamic sifting when the live node count crosses the
+        reordering threshold (mirrors ``CUDD_REORDER_SIFT`` +
+        ``cudd_AutodynEnable`` used by the paper's experiments).
+    initial_reorder_threshold:
+        Live-node count at which the first automatic reordering fires.
+        The threshold doubles after every automatic reordering.
+    """
+
+    def __init__(self, auto_reorder: bool = False,
+                 initial_reorder_threshold: int = 50_000) -> None:
+        # Parallel node arrays; slots 0/1 are the terminals.
+        self._var: List[int] = [_TERMINAL_VAR, _TERMINAL_VAR]
+        self._low: List[int] = [FALSE, TRUE]
+        self._high: List[int] = [FALSE, TRUE]
+        self._ref: List[int] = [1, 1]      # external references
+        self._pref: List[int] = [0, 0]     # parent (node-to-node) references
+        self._free: List[int] = []
+        # Node ids per variable, needed for level swaps during sifting.
+        self._var_nodes: List[set] = []
+
+        # (var, low, high) -> node id
+        self._unique: Dict[Tuple[int, int, int], int] = {}
+        # (op, operands...) -> node id
+        self._cache: Dict[Tuple, int] = {}
+
+        self._var_names: List[str] = []
+        self._name_to_var: Dict[str, int] = {}
+        self._var2level: List[int] = []
+        self._level2var: List[int] = []
+
+        self.auto_reorder = auto_reorder
+        self.reorder_threshold = initial_reorder_threshold
+        #: 0 = sift every variable; N > 0 = only the N most populous
+        #: (CUDD's siftMaxVar); trades order quality for reorder speed.
+        self.sift_max_vars = 0
+        self._reorder_lock = 0
+
+        self._live_nodes = 2
+        self.peak_live_nodes = 2
+        self._gc_threshold = 100_000
+
+        # Counters, for experiment reporting.
+        self.n_gc_runs = 0
+        self.n_reorderings = 0
+
+    # ------------------------------------------------------------------
+    # Variables
+    # ------------------------------------------------------------------
+
+    def add_var(self, name: Optional[str] = None) -> int:
+        """Declare a new variable at the bottom of the order.
+
+        Returns the variable id (dense, starting at 0).  ``name`` defaults
+        to ``"v<i>"`` and must be unique.
+        """
+        var = len(self._var_names)
+        if name is None:
+            name = "v%d" % var
+        if name in self._name_to_var:
+            raise ValueError("duplicate variable name: %r" % name)
+        self._var_names.append(name)
+        self._name_to_var[name] = var
+        self._var2level.append(len(self._level2var))
+        self._level2var.append(var)
+        self._var_nodes.append(set())
+        return var
+
+    def var_id(self, name: Union[str, int]) -> int:
+        """Resolve a variable name (or pass through an id) to its id."""
+        if isinstance(name, int):
+            if not 0 <= name < len(self._var_names):
+                raise ValueError("unknown variable id: %d" % name)
+            return name
+        try:
+            return self._name_to_var[name]
+        except KeyError:
+            raise ValueError("unknown variable name: %r" % name) from None
+
+    def var_name(self, var: int) -> str:
+        """Name of variable ``var``."""
+        return self._var_names[var]
+
+    @property
+    def num_vars(self) -> int:
+        """Number of declared variables."""
+        return len(self._var_names)
+
+    @property
+    def var_order(self) -> List[str]:
+        """Variable names from top level to bottom level."""
+        return [self._var_names[v] for v in self._level2var]
+
+    def level_of(self, var: int) -> int:
+        """Current level (0 = top) of variable ``var``."""
+        return self._var2level[var]
+
+    def _node_level(self, u: int) -> int:
+        var = self._var[u]
+        if var == _TERMINAL_VAR:
+            return _TERMINAL_LEVEL
+        return self._var2level[var]
+
+    # ------------------------------------------------------------------
+    # Node construction
+    # ------------------------------------------------------------------
+
+    def mk(self, var: int, low: int, high: int) -> int:
+        """Find-or-create the reduced node ``(var, low, high)``.
+
+        Both children must be rooted strictly below ``var`` in the current
+        order; this is asserted in debug runs.
+        """
+        if low == high:
+            return low
+        key = (var, low, high)
+        node = self._unique.get(key)
+        if node is not None:
+            return node
+        if self._free:
+            node = self._free.pop()
+            self._var[node] = var
+            self._low[node] = low
+            self._high[node] = high
+            self._ref[node] = 0
+            self._pref[node] = 0
+        else:
+            node = len(self._var)
+            self._var.append(var)
+            self._low.append(low)
+            self._high.append(high)
+            self._ref.append(0)
+            self._pref.append(0)
+        self._unique[key] = node
+        self._var_nodes[var].add(node)
+        self._pref[low] += 1
+        self._pref[high] += 1
+        self._live_nodes += 1
+        if self._live_nodes > self.peak_live_nodes:
+            self.peak_live_nodes = self._live_nodes
+        return node
+
+    def _free_node(self, u: int) -> None:
+        """Free node ``u`` immediately; cascades into dead children.
+
+        Only safe while parent counts are exact relative to live roots,
+        i.e. right after garbage collection — used by level swaps.
+        """
+        stack = [u]
+        while stack:
+            n = stack.pop()
+            var = self._var[n]
+            del self._unique[(var, self._low[n], self._high[n])]
+            self._var_nodes[var].discard(n)
+            self._var[n] = _TERMINAL_VAR
+            for child in (self._low[n], self._high[n]):
+                self._pref[child] -= 1
+                if (child > TRUE and self._pref[child] == 0
+                        and self._ref[child] == 0):
+                    stack.append(child)
+            self._free.append(n)
+            self._live_nodes -= 1
+
+    def var_node(self, name: Union[str, int]) -> int:
+        """Node for the projection function of a variable."""
+        return self.mk(self.var_id(name), FALSE, TRUE)
+
+    def nvar_node(self, name: Union[str, int]) -> int:
+        """Node for the negated projection function of a variable."""
+        return self.mk(self.var_id(name), TRUE, FALSE)
+
+    # ------------------------------------------------------------------
+    # Reference counting & garbage collection
+    # ------------------------------------------------------------------
+
+    def incref(self, u: int) -> int:
+        """Protect node ``u`` (and its descendants) from collection."""
+        self._ref[u] += 1
+        return u
+
+    def decref(self, u: int) -> None:
+        """Release one external reference to node ``u``."""
+        if self._ref[u] <= 0:
+            raise RuntimeError("decref of unreferenced node %d" % u)
+        self._ref[u] -= 1
+
+    def collect_garbage(self) -> int:
+        """Mark-and-sweep from externally referenced nodes.
+
+        Returns the number of freed nodes.  All computed-table entries are
+        dropped (they may point at dead nodes).
+        """
+        marked = bytearray(len(self._var))
+        marked[FALSE] = marked[TRUE] = 1
+        stack = [u for u in range(2, len(self._var)) if self._ref[u] > 0]
+        while stack:
+            u = stack.pop()
+            if marked[u]:
+                continue
+            marked[u] = 1
+            lo, hi = self._low[u], self._high[u]
+            if not marked[lo]:
+                stack.append(lo)
+            if not marked[hi]:
+                stack.append(hi)
+        freed = 0
+        in_free = bytearray(len(self._var))
+        for u in self._free:
+            in_free[u] = 1
+        for u in range(2, len(self._var)):
+            if not marked[u] and not in_free[u]:
+                var = self._var[u]
+                del self._unique[(var, self._low[u], self._high[u])]
+                self._var_nodes[var].discard(u)
+                self._var[u] = _TERMINAL_VAR
+                self._free.append(u)
+                freed += 1
+        self._live_nodes -= freed
+        # Parent counts are recomputed from scratch: cheaper and simpler
+        # than decrementing along every freed edge.
+        self._pref = [0] * len(self._var)
+        for u in range(2, len(self._var)):
+            if self._var[u] != _TERMINAL_VAR:
+                self._pref[self._low[u]] += 1
+                self._pref[self._high[u]] += 1
+        self._cache.clear()
+        self.n_gc_runs += 1
+        return freed
+
+    def __len__(self) -> int:
+        """Number of live nodes, terminals included."""
+        return self._live_nodes
+
+    # ------------------------------------------------------------------
+    # Automatic maintenance hook, called at top-level op boundaries.
+    # ------------------------------------------------------------------
+
+    def _maybe_maintain(self) -> None:
+        if self._reorder_lock:
+            return
+        if self.auto_reorder and self._live_nodes >= self.reorder_threshold:
+            from .reorder import sift
+
+            self.collect_garbage()
+            if self._live_nodes >= self.reorder_threshold:
+                sift(self, max_vars=self.sift_max_vars)
+                self.n_reorderings += 1
+                self.reorder_threshold = max(self.reorder_threshold,
+                                             2 * self._live_nodes)
+        elif self._live_nodes >= self._gc_threshold:
+            before = self._live_nodes
+            self.collect_garbage()
+            if self._live_nodes > before // 2:
+                self._gc_threshold = 2 * self._live_nodes
+
+    # ------------------------------------------------------------------
+    # Structural accessors
+    # ------------------------------------------------------------------
+
+    def node_var(self, u: int) -> int:
+        """Variable id at node ``u`` (raises on terminals)."""
+        var = self._var[u]
+        if var == _TERMINAL_VAR:
+            raise ValueError("terminal node has no variable")
+        return var
+
+    def node_low(self, u: int) -> int:
+        """Else-child of node ``u``."""
+        return self._low[u]
+
+    def node_high(self, u: int) -> int:
+        """Then-child of node ``u``."""
+        return self._high[u]
+
+    def is_terminal(self, u: int) -> bool:
+        """True for the two constant nodes."""
+        return u <= TRUE
+
+    def size(self, roots: Union[int, Iterable[int]]) -> int:
+        """Number of distinct nodes reachable from ``roots``, terminals
+        included (matching how CUDD's ``Cudd_DagSize`` counts)."""
+        if isinstance(roots, int):
+            roots = (roots,)
+        seen = set()
+        stack = list(roots)
+        while stack:
+            u = stack.pop()
+            if u in seen:
+                continue
+            seen.add(u)
+            if u > TRUE:
+                stack.append(self._low[u])
+                stack.append(self._high[u])
+        return len(seen)
+
+    # ------------------------------------------------------------------
+    # Boolean operations
+    # ------------------------------------------------------------------
+
+    def apply_and(self, f: int, g: int) -> int:
+        """Conjunction of two nodes."""
+        self._maybe_maintain()
+        return self._and(f, g)
+
+    def apply_or(self, f: int, g: int) -> int:
+        """Disjunction of two nodes."""
+        self._maybe_maintain()
+        return self._or(f, g)
+
+    def apply_xor(self, f: int, g: int) -> int:
+        """Exclusive-or of two nodes."""
+        self._maybe_maintain()
+        return self._xor(f, g)
+
+    def apply_not(self, f: int) -> int:
+        """Negation of a node."""
+        self._maybe_maintain()
+        return self._not(f)
+
+    def apply_ite(self, f: int, g: int, h: int) -> int:
+        """If-then-else operator ``f·g + ¬f·h``."""
+        self._maybe_maintain()
+        return self._ite(f, g, h)
+
+    def apply_xnor(self, f: int, g: int) -> int:
+        """Equivalence ``f ↔ g``."""
+        self._maybe_maintain()
+        return self._not(self._xor(f, g))
+
+    def apply_implies(self, f: int, g: int) -> int:
+        """Implication ``f → g``."""
+        self._maybe_maintain()
+        return self._or(self._not(f), g)
+
+    def _top_split(self, f: int, g: int) -> Tuple[int, int, int, int, int]:
+        """Cofactor ``f`` and ``g`` against their topmost variable.
+
+        Returns ``(var, f0, f1, g0, g1)``.
+        """
+        lf, lg = self._node_level(f), self._node_level(g)
+        if lf <= lg:
+            var = self._var[f]
+            f0, f1 = self._low[f], self._high[f]
+        else:
+            var = self._var[g]
+            f0 = f1 = f
+        if lg <= lf:
+            g0, g1 = self._low[g], self._high[g]
+        else:
+            g0 = g1 = g
+        return var, f0, f1, g0, g1
+
+    def _and(self, f: int, g: int) -> int:
+        if f == FALSE or g == FALSE:
+            return FALSE
+        if f == TRUE:
+            return g
+        if g == TRUE or f == g:
+            return f
+        if f > g:
+            f, g = g, f
+        key = (_OP_AND, f, g)
+        res = self._cache.get(key)
+        if res is not None:
+            return res
+        var, f0, f1, g0, g1 = self._top_split(f, g)
+        res = self.mk(var, self._and(f0, g0), self._and(f1, g1))
+        self._cache[key] = res
+        return res
+
+    def _or(self, f: int, g: int) -> int:
+        if f == TRUE or g == TRUE:
+            return TRUE
+        if f == FALSE:
+            return g
+        if g == FALSE or f == g:
+            return f
+        if f > g:
+            f, g = g, f
+        key = (_OP_OR, f, g)
+        res = self._cache.get(key)
+        if res is not None:
+            return res
+        var, f0, f1, g0, g1 = self._top_split(f, g)
+        res = self.mk(var, self._or(f0, g0), self._or(f1, g1))
+        self._cache[key] = res
+        return res
+
+    def _xor(self, f: int, g: int) -> int:
+        if f == g:
+            return FALSE
+        if f == FALSE:
+            return g
+        if g == FALSE:
+            return f
+        if f == TRUE:
+            return self._not(g)
+        if g == TRUE:
+            return self._not(f)
+        if f > g:
+            f, g = g, f
+        key = (_OP_XOR, f, g)
+        res = self._cache.get(key)
+        if res is not None:
+            return res
+        var, f0, f1, g0, g1 = self._top_split(f, g)
+        res = self.mk(var, self._xor(f0, g0), self._xor(f1, g1))
+        self._cache[key] = res
+        return res
+
+    def _not(self, f: int) -> int:
+        if f == FALSE:
+            return TRUE
+        if f == TRUE:
+            return FALSE
+        key = (_OP_NOT, f)
+        res = self._cache.get(key)
+        if res is not None:
+            return res
+        res = self.mk(self._var[f], self._not(self._low[f]),
+                      self._not(self._high[f]))
+        self._cache[key] = res
+        return res
+
+    def _ite(self, f: int, g: int, h: int) -> int:
+        if f == TRUE:
+            return g
+        if f == FALSE:
+            return h
+        if g == h:
+            return g
+        if g == TRUE and h == FALSE:
+            return f
+        if g == FALSE and h == TRUE:
+            return self._not(f)
+        if g == TRUE:
+            return self._or(f, h)
+        if g == FALSE:
+            return self._and(self._not(f), h)
+        if h == FALSE:
+            return self._and(f, g)
+        if h == TRUE:
+            return self._or(self._not(f), g)
+        if f == g:
+            return self._or(f, h)
+        if f == h:
+            return self._and(f, g)
+        key = (_OP_ITE, f, g, h)
+        res = self._cache.get(key)
+        if res is not None:
+            return res
+        level = min(self._node_level(f), self._node_level(g),
+                    self._node_level(h))
+        var = self._level2var[level]
+        f0, f1 = self._cofactors_at(f, level)
+        g0, g1 = self._cofactors_at(g, level)
+        h0, h1 = self._cofactors_at(h, level)
+        res = self.mk(var, self._ite(f0, g0, h0), self._ite(f1, g1, h1))
+        self._cache[key] = res
+        return res
+
+    def _cofactors_at(self, f: int, level: int) -> Tuple[int, int]:
+        if self._node_level(f) == level:
+            return self._low[f], self._high[f]
+        return f, f
+
+    # ------------------------------------------------------------------
+    # Quantification
+    # ------------------------------------------------------------------
+
+    def _levels_key(self, variables: Iterable[Union[str, int]]) -> frozenset:
+        return frozenset(self.var_id(v) for v in variables)
+
+    def exists(self, variables: Iterable[Union[str, int]], f: int) -> int:
+        """Existential quantification ``∃ variables . f``."""
+        self._maybe_maintain()
+        vars_key = self._levels_key(variables)
+        if not vars_key:
+            return f
+        return self._quantify(f, vars_key, _OP_EXISTS)
+
+    def forall(self, variables: Iterable[Union[str, int]], f: int) -> int:
+        """Universal quantification ``∀ variables . f``."""
+        self._maybe_maintain()
+        vars_key = self._levels_key(variables)
+        if not vars_key:
+            return f
+        return self._quantify(f, vars_key, _OP_FORALL)
+
+    def _quantify(self, f: int, var_set: frozenset, op: int) -> int:
+        if f <= TRUE:
+            return f
+        max_level = max(self._var2level[v] for v in var_set)
+        if self._node_level(f) > max_level:
+            return f
+        key = (op, f, var_set)
+        res = self._cache.get(key)
+        if res is not None:
+            return res
+        var = self._var[f]
+        lo = self._quantify(self._low[f], var_set, op)
+        hi = self._quantify(self._high[f], var_set, op)
+        if var in var_set:
+            if op == _OP_EXISTS:
+                res = self._or(lo, hi)
+            else:
+                res = self._and(lo, hi)
+        else:
+            res = self.mk(var, lo, hi)
+        self._cache[key] = res
+        return res
+
+    def and_exists(self, variables: Iterable[Union[str, int]],
+                   f: int, g: int) -> int:
+        """Relational product ``∃ variables . f ∧ g`` in one pass.
+
+        Avoids building the full conjunction when most of it is
+        quantified away; the workhorse of the output- and input-exact
+        checks.
+        """
+        self._maybe_maintain()
+        vars_key = self._levels_key(variables)
+        if not vars_key:
+            return self._and(f, g)
+        return self._and_exists(f, g, vars_key)
+
+    def _and_exists(self, f: int, g: int, var_set: frozenset) -> int:
+        if f == FALSE or g == FALSE:
+            return FALSE
+        if f == TRUE and g == TRUE:
+            return TRUE
+        if f == TRUE:
+            return self._quantify(g, var_set, _OP_EXISTS)
+        if g == TRUE or f == g:
+            return self._quantify(f, var_set, _OP_EXISTS)
+        if f > g:
+            f, g = g, f
+        key = (_OP_AND_EXISTS, f, g, var_set)
+        res = self._cache.get(key)
+        if res is not None:
+            return res
+        var, f0, f1, g0, g1 = self._top_split(f, g)
+        if var in var_set:
+            lo = self._and_exists(f0, g0, var_set)
+            if lo == TRUE:
+                res = TRUE
+            else:
+                res = self._or(lo, self._and_exists(f1, g1, var_set))
+        else:
+            res = self.mk(var, self._and_exists(f0, g0, var_set),
+                          self._and_exists(f1, g1, var_set))
+        self._cache[key] = res
+        return res
+
+    # ------------------------------------------------------------------
+    # Cofactor / compose
+    # ------------------------------------------------------------------
+
+    def restrict(self, f: int,
+                 assignment: Dict[Union[str, int], bool]) -> int:
+        """Cofactor ``f`` with a partial variable assignment."""
+        self._maybe_maintain()
+        fixed = {self.var_id(v): bool(val) for v, val in assignment.items()}
+        if not fixed:
+            return f
+        key = (_OP_RESTRICT, f, tuple(sorted(fixed.items())))
+        res = self._cache.get(key)
+        if res is not None:
+            return res
+        res = self._restrict(f, fixed)
+        self._cache[key] = res
+        return res
+
+    def _restrict(self, f: int, fixed: Dict[int, bool]) -> int:
+        if f <= TRUE:
+            return f
+        key = (_OP_RESTRICT, f, tuple(sorted(fixed.items())))
+        res = self._cache.get(key)
+        if res is not None:
+            return res
+        var = self._var[f]
+        if var in fixed:
+            res = self._restrict(self._high[f] if fixed[var]
+                                 else self._low[f], fixed)
+        else:
+            res = self.mk(var, self._restrict(self._low[f], fixed),
+                          self._restrict(self._high[f], fixed))
+        self._cache[key] = res
+        return res
+
+    def compose(self, f: int,
+                substitution: Dict[Union[str, int], int]) -> int:
+        """Simultaneous functional composition ``f[var := g, ...]``."""
+        self._maybe_maintain()
+        subst = {self.var_id(v): g for v, g in substitution.items()}
+        if not subst:
+            return f
+        subst_key = tuple(sorted(subst.items()))
+        return self._compose(f, subst, subst_key)
+
+    def _compose(self, f: int, subst: Dict[int, int], subst_key: Tuple)\
+            -> int:
+        if f <= TRUE:
+            return f
+        key = (_OP_COMPOSE, f, subst_key)
+        res = self._cache.get(key)
+        if res is not None:
+            return res
+        var = self._var[f]
+        lo = self._compose(self._low[f], subst, subst_key)
+        hi = self._compose(self._high[f], subst, subst_key)
+        g = subst.get(var)
+        if g is None:
+            g = self.mk(var, FALSE, TRUE)
+        res = self._ite(g, hi, lo)
+        self._cache[key] = res
+        return res
+
+    # ------------------------------------------------------------------
+    # Satisfiability helpers
+    # ------------------------------------------------------------------
+
+    def evaluate(self, f: int,
+                 assignment: Dict[Union[str, int], bool]) -> bool:
+        """Evaluate ``f`` under a total assignment of its support."""
+        fixed = {self.var_id(v): bool(val) for v, val in assignment.items()}
+        u = f
+        while u > TRUE:
+            var = self._var[u]
+            try:
+                u = self._high[u] if fixed[var] else self._low[u]
+            except KeyError:
+                raise ValueError(
+                    "assignment misses variable %r" % self._var_names[var]
+                ) from None
+        return u == TRUE
+
+    def sat_one(self, f: int) -> Optional[Dict[str, bool]]:
+        """One satisfying assignment over the support of ``f``.
+
+        Returns ``None`` when ``f`` is unsatisfiable.  Variables absent
+        from the result are don't-cares.
+        """
+        if f == FALSE:
+            return None
+        out: Dict[str, bool] = {}
+        u = f
+        while u > TRUE:
+            name = self._var_names[self._var[u]]
+            if self._low[u] != FALSE:
+                out[name] = False
+                u = self._low[u]
+            else:
+                out[name] = True
+                u = self._high[u]
+        return out
+
+    def sat_count(self, f: int, nvars: Optional[int] = None) -> int:
+        """Number of satisfying assignments over ``nvars`` variables.
+
+        ``nvars`` defaults to the total number of declared variables.
+        """
+        if nvars is None:
+            nvars = self.num_vars
+        if nvars < self.num_vars:
+            raise ValueError("nvars smaller than the declared variable count")
+        memo: Dict[int, int] = {}
+
+        def count(u: int) -> int:
+            # Models over the variables at levels strictly below u's level,
+            # padded as if u sat at level -1 were the root; the caller
+            # rescales by the level gap.
+            if u == FALSE:
+                return 0
+            if u == TRUE:
+                return 1
+            base = memo.get(u)
+            if base is not None:
+                return base
+            ulvl = self._node_level(u)
+            lo, hi = self._low[u], self._high[u]
+            lo_gap = (min(self._node_level(lo), nvars)) - ulvl - 1
+            hi_gap = (min(self._node_level(hi), nvars)) - ulvl - 1
+            base = (count(lo) << lo_gap) + (count(hi) << hi_gap)
+            memo[u] = base
+            return base
+
+        top_gap = min(self._node_level(f), nvars)
+        return count(f) << top_gap
+
+    def sat_iter(self, f: int) -> Iterator[Dict[str, bool]]:
+        """Iterate over all satisfying *cubes* (partial assignments)."""
+        if f == FALSE:
+            return
+        stack: List[Tuple[int, Dict[str, bool]]] = [(f, {})]
+        while stack:
+            u, partial = stack.pop()
+            if u == TRUE:
+                yield dict(partial)
+                continue
+            if u == FALSE:
+                continue
+            name = self._var_names[self._var[u]]
+            hi = dict(partial)
+            hi[name] = True
+            lo = partial
+            lo[name] = False
+            stack.append((self._high[u], hi))
+            stack.append((self._low[u], lo))
+
+    def support(self, f: int) -> List[str]:
+        """Names of the variables ``f`` depends on, in order."""
+        vars_seen = set()
+        for u in self._topo_nodes(f):
+            if u > TRUE:
+                vars_seen.add(self._var[u])
+        return [self._var_names[v]
+                for v in sorted(vars_seen, key=lambda v: self._var2level[v])]
+
+    def _topo_nodes(self, f: int) -> List[int]:
+        seen = set()
+        order: List[int] = []
+        stack: List[Tuple[int, bool]] = [(f, False)]
+        while stack:
+            u, done = stack.pop()
+            if done:
+                order.append(u)
+                continue
+            if u in seen:
+                continue
+            seen.add(u)
+            stack.append((u, True))
+            if u > TRUE:
+                stack.append((self._low[u], False))
+                stack.append((self._high[u], False))
+        return order
+
+    # ------------------------------------------------------------------
+    # Debug helpers
+    # ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Raise ``AssertionError`` if internal structures are corrupt.
+
+        Used by the test suite after garbage collection and reordering.
+        """
+        live = 0
+        free = set(self._free)
+        pref = [0] * len(self._var)
+        for u in range(len(self._var)):
+            if u in free:
+                continue
+            live += 1
+            if u <= TRUE:
+                continue
+            var = self._var[u]
+            assert var != _TERMINAL_VAR, "free node leaked: %d" % u
+            lo, hi = self._low[u], self._high[u]
+            assert lo != hi, "redundant node %d" % u
+            assert lo not in free and hi not in free, \
+                "node %d points at freed child" % u
+            pref[lo] += 1
+            pref[hi] += 1
+            lvl = self._var2level[var]
+            assert self._node_level(lo) > lvl, "order violated at %d" % u
+            assert self._node_level(hi) > lvl, "order violated at %d" % u
+            assert self._unique.get((var, lo, hi)) == u, \
+                "unique table inconsistent at %d" % u
+            assert u in self._var_nodes[var], \
+                "node %d missing from its variable set" % u
+        assert live == self._live_nodes, (live, self._live_nodes)
+        assert len(self._unique) == live - 2
+        for u in range(2, len(self._var)):
+            if u not in free:
+                assert self._pref[u] == pref[u], \
+                    "parent count wrong at %d: %d != %d" % (
+                        u, self._pref[u], pref[u])
+        assert sum(len(s) for s in self._var_nodes) == live - 2
+        sorted_levels = sorted(self._var2level)
+        assert sorted_levels == list(range(self.num_vars))
+        for var, lvl in enumerate(self._var2level):
+            assert self._level2var[lvl] == var

@@ -1,0 +1,120 @@
+"""Don't-care minimization operators: constrain and restrict.
+
+The Coudert-Madre *constrain* (generalized cofactor) and Shiple-style
+*restrict* operators: given a function ``f`` and a care set ``c``,
+produce a function that agrees with ``f`` wherever ``c`` holds and is
+chosen freely elsewhere to shrink the BDD.  Used by witness synthesis
+to simplify the box functions against the set of box-input observations
+that can actually occur.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from .function import Function
+from .manager import FALSE, TRUE, BddManager
+
+__all__ = ["constrain", "minimize_restrict"]
+
+
+def _constrain(mgr: BddManager, f: int, c: int,
+               cache: Dict[Tuple[int, int], int]) -> int:
+    if c == FALSE:
+        # Degenerate by convention: caller guards against an empty care
+        # set; returning f keeps the identity f|c=1 -> f.
+        return f
+    if c == TRUE or f <= TRUE:
+        return f
+    if f == c:
+        return TRUE
+    key = (f, c)
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
+    level_f = mgr._node_level(f)
+    level_c = mgr._node_level(c)
+    level = min(level_f, level_c)
+    var = mgr._level2var[level]
+    f0, f1 = (mgr.node_low(f), mgr.node_high(f)) \
+        if level_f == level else (f, f)
+    c0, c1 = (mgr.node_low(c), mgr.node_high(c)) \
+        if level_c == level else (c, c)
+    if c0 == FALSE:
+        result = _constrain(mgr, f1, c1, cache)
+    elif c1 == FALSE:
+        result = _constrain(mgr, f0, c0, cache)
+    else:
+        result = mgr.mk(var, _constrain(mgr, f0, c0, cache),
+                        _constrain(mgr, f1, c1, cache))
+    cache[key] = result
+    return result
+
+
+def constrain(f: Function, care: Function) -> Function:
+    """Coudert-Madre generalized cofactor ``f ⇓ care``.
+
+    Agrees with ``f`` on the care set; off the care set the value is
+    whatever makes the result small (the image of the nearest care
+    point).  ``constrain(f, c) & c == f & c`` always holds.
+    """
+    if f.bdd is not care.bdd:
+        raise ValueError("mixing functions from different managers")
+    if care.is_false:
+        raise ValueError("empty care set")
+    mgr = f.bdd.manager
+    mgr._maybe_maintain()
+    node = _constrain(mgr, f.node, care.node, {})
+    return Function(f.bdd, node)
+
+
+def _minimize(mgr: BddManager, f: int, c: int,
+              cache: Dict[Tuple[int, int], int]) -> int:
+    """Shiple's *restrict*: like constrain but skips care-set variables
+    that ``f`` does not mention, avoiding support growth."""
+    if c == TRUE or f <= TRUE:
+        return f
+    if c == FALSE:
+        return f
+    key = (f, c)
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
+    level_f = mgr._node_level(f)
+    level_c = mgr._node_level(c)
+    if level_c < level_f:
+        # f does not depend on c's top variable: existentially smooth it
+        # out of the care set instead of introducing it into f.
+        merged = mgr._or(mgr.node_low(c), mgr.node_high(c))
+        result = _minimize(mgr, f, merged, cache)
+    else:
+        var = mgr._level2var[level_f]
+        f0, f1 = mgr.node_low(f), mgr.node_high(f)
+        c0, c1 = (mgr.node_low(c), mgr.node_high(c)) \
+            if level_c == level_f else (c, c)
+        if c0 == FALSE:
+            result = _minimize(mgr, f1, c1, cache)
+        elif c1 == FALSE:
+            result = _minimize(mgr, f0, c0, cache)
+        else:
+            result = mgr.mk(var, _minimize(mgr, f0, c0, cache),
+                            _minimize(mgr, f1, c1, cache))
+    cache[key] = result
+    return result
+
+
+def minimize_restrict(f: Function, care: Function) -> Function:
+    """Shiple restrict: don't-care minimization without support growth.
+
+    Same care-set contract as :func:`constrain`
+    (``result & care == f & care``) but never introduces variables that
+    ``f`` does not already depend on.
+    """
+    if f.bdd is not care.bdd:
+        raise ValueError("mixing functions from different managers")
+    if care.is_false:
+        raise ValueError("empty care set")
+    mgr = f.bdd.manager
+    mgr._maybe_maintain()
+    node = _minimize(mgr, f.node, care.node, {})
+    return Function(f.bdd, node)

@@ -1,0 +1,38 @@
+"""Combinational gate-level netlists: model, builder, BLIF/bench I/O."""
+
+from .gates import GateType, eval_gate
+from .netlist import Circuit, CircuitError, Gate
+from .builder import CircuitBuilder
+from .blif import dumps_blif, loads_blif, read_blif, write_blif
+from .iscas import dumps_bench, loads_bench, read_bench, write_bench
+from .transform import expand_to_two_input, strip_buffers
+from .optimize import (merge_duplicates, optimize, propagate_constants,
+                       sweep_dead)
+from .verilog import dumps_verilog, write_verilog
+from .cone_extraction import extract_cone
+
+__all__ = [
+    "GateType",
+    "eval_gate",
+    "Circuit",
+    "CircuitError",
+    "Gate",
+    "CircuitBuilder",
+    "read_blif",
+    "write_blif",
+    "loads_blif",
+    "dumps_blif",
+    "read_bench",
+    "write_bench",
+    "loads_bench",
+    "dumps_bench",
+    "expand_to_two_input",
+    "strip_buffers",
+    "propagate_constants",
+    "merge_duplicates",
+    "sweep_dead",
+    "optimize",
+    "dumps_verilog",
+    "write_verilog",
+    "extract_cone",
+]

@@ -1,0 +1,201 @@
+"""Reader/writer for a practical subset of Berkeley BLIF.
+
+Supported constructs: ``.model``, ``.inputs``, ``.outputs``, ``.names``
+(single-output PLA covers) and ``.end``.  Covers are translated into
+AND/OR/NOT netlist structure; sequential elements are out of scope (the
+paper is purely combinational).
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, Iterable, List, Optional, Sequence, TextIO, Tuple, Union
+
+from .builder import CircuitBuilder
+from .gates import GateType
+from .netlist import Circuit, CircuitError
+
+__all__ = ["read_blif", "write_blif", "loads_blif", "dumps_blif"]
+
+
+def _logical_lines(handle: Iterable[str]) -> Iterable[str]:
+    """Join backslash continuations, strip comments and blanks."""
+    pending = ""
+    for raw in handle:
+        line = raw.split("#", 1)[0].rstrip()
+        if line.endswith("\\"):
+            pending += line[:-1] + " "
+            continue
+        line = (pending + line).strip()
+        pending = ""
+        if line:
+            yield line
+    if pending.strip():
+        yield pending.strip()
+
+
+def _cover_to_gates(builder: CircuitBuilder, output: str,
+                    input_nets: Sequence[str],
+                    rows: Sequence[Tuple[str, str]]) -> None:
+    """Translate one ``.names`` PLA cover into gates driving ``output``."""
+    if not rows:
+        # Empty cover = constant 0 in BLIF semantics.
+        builder.const(False, output)
+        return
+    out_values = {out for _, out in rows}
+    if len(out_values) != 1:
+        raise CircuitError("mixed on/off cover for %r" % output)
+    on_set = out_values.pop() == "1"
+    if not input_nets:
+        # Constant: a single row with empty input plane.
+        builder.const(on_set, output)
+        return
+
+    inverters: Dict[str, str] = {}
+
+    def inv(net: str) -> str:
+        if net not in inverters:
+            inverters[net] = builder.not_(net)
+        return inverters[net]
+
+    products: List[str] = []
+    for pattern, _ in rows:
+        if len(pattern) != len(input_nets):
+            raise CircuitError("cover row %r has wrong width for %r"
+                               % (pattern, output))
+        literals = []
+        for bit, net in zip(pattern, input_nets):
+            if bit == "1":
+                literals.append(net)
+            elif bit == "0":
+                literals.append(inv(net))
+            elif bit != "-":
+                raise CircuitError("bad cover character %r" % bit)
+        if literals:
+            products.append(literals[0] if len(literals) == 1
+                            else builder.and_(*literals))
+        else:
+            # A row of all don't-cares makes the function constant.
+            products = []
+            builder.const(on_set, output)
+            return
+    if on_set:
+        if len(products) == 1:
+            builder.buf(products[0], output)
+        else:
+            builder.or_tree(products, output)
+    else:
+        if len(products) == 1:
+            builder.not_(products[0], output)
+        else:
+            builder.not_(builder.or_tree(products), output)
+
+
+def loads_blif(text: str, name: Optional[str] = None) -> Circuit:
+    """Parse BLIF from a string."""
+    return read_blif(io.StringIO(text), name=name)
+
+
+def read_blif(source: Union[str, TextIO],
+              name: Optional[str] = None) -> Circuit:
+    """Parse a combinational BLIF model from a path or open file."""
+    if isinstance(source, str):
+        with open(source) as handle:
+            return read_blif(handle, name=name)
+
+    builder = CircuitBuilder(name or "blif")
+    outputs: List[str] = []
+    covers: List[Tuple[str, List[str], List[Tuple[str, str]]]] = []
+    current: Optional[Tuple[str, List[str], List[Tuple[str, str]]]] = None
+
+    for line in _logical_lines(source):
+        tokens = line.split()
+        head = tokens[0]
+        if head == ".model":
+            if name is None and len(tokens) > 1:
+                builder.circuit.name = tokens[1]
+        elif head == ".inputs":
+            for net in tokens[1:]:
+                builder.input(net)
+        elif head == ".outputs":
+            outputs.extend(tokens[1:])
+        elif head == ".names":
+            current = (tokens[-1], tokens[1:-1], [])
+            covers.append(current)
+        elif head == ".end":
+            break
+        elif head.startswith("."):
+            raise CircuitError("unsupported BLIF construct %r" % head)
+        else:
+            if current is None:
+                raise CircuitError("cover row outside .names: %r" % line)
+            if len(tokens) == 1:
+                # Constant row: output plane only.
+                current[2].append(("", tokens[0]))
+            elif len(tokens) == 2:
+                current[2].append((tokens[0], tokens[1]))
+            else:
+                raise CircuitError("malformed cover row %r" % line)
+
+    builder.reserve(output for output, _, _ in covers)
+    for output, input_nets, rows in covers:
+        _cover_to_gates(builder, output, input_nets, rows)
+    for net in outputs:
+        builder.circuit.add_output(net)
+    circuit = builder.circuit
+    circuit.validate(allow_free=True)
+    return circuit
+
+
+def _format_gate_cover(gate_type: GateType, arity: int) -> List[str]:
+    """PLA rows implementing a gate type over ``arity`` inputs."""
+    if gate_type is GateType.AND:
+        return ["1" * arity + " 1"]
+    if gate_type is GateType.NAND:
+        return ["1" * arity + " 0"]
+    if gate_type is GateType.OR:
+        return ["-" * i + "1" + "-" * (arity - i - 1) + " 1"
+                for i in range(arity)]
+    if gate_type is GateType.NOR:
+        return ["0" * arity + " 1"]
+    if gate_type in (GateType.XOR, GateType.XNOR):
+        want = 1 if gate_type is GateType.XOR else 0
+        rows = []
+        for m in range(1 << arity):
+            bits = [(m >> i) & 1 for i in range(arity)]
+            if sum(bits) % 2 == want:
+                rows.append("".join(str(b) for b in bits) + " 1")
+        return rows
+    if gate_type is GateType.NOT:
+        return ["0 1"]
+    if gate_type is GateType.BUF:
+        return ["1 1"]
+    if gate_type is GateType.CONST1:
+        return ["1"]
+    if gate_type is GateType.CONST0:
+        return []
+    raise CircuitError("cannot express %s in BLIF" % gate_type)
+
+
+def dumps_blif(circuit: Circuit) -> str:
+    """Serialize a circuit to BLIF text.
+
+    NAND/NOR covers use off-set rows where convenient; XOR gates expand
+    to minterm covers, so keep their fan-in small when round-tripping.
+    """
+    out = ["# generated by repro", ".model %s" % circuit.name]
+    out.append(".inputs %s" % " ".join(
+        circuit.inputs + circuit.free_nets()))
+    out.append(".outputs %s" % " ".join(circuit.outputs))
+    for gate in circuit.gates:
+        out.append(".names %s" % " ".join(list(gate.inputs)
+                                          + [gate.output]))
+        out.extend(_format_gate_cover(gate.gtype, len(gate.inputs)))
+    out.append(".end")
+    return "\n".join(out) + "\n"
+
+
+def write_blif(circuit: Circuit, path: str) -> None:
+    """Write a circuit to a BLIF file."""
+    with open(path, "w") as handle:
+        handle.write(dumps_blif(circuit))

@@ -1,0 +1,238 @@
+"""Convenience layer for constructing netlists programmatically.
+
+:class:`CircuitBuilder` hands out fresh net names and offers word-level
+helpers (adders, muxes, reduction trees) that the benchmark generators
+are built from.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from .gates import GateType
+from .netlist import Circuit
+
+__all__ = ["CircuitBuilder"]
+
+
+class CircuitBuilder:
+    """Fluent netlist construction with automatic net naming."""
+
+    def __init__(self, name: str = "circuit",
+                 max_fanin: Optional[int] = None) -> None:
+        self.circuit = Circuit(name)
+        self._counter = 0
+        self._reserved: set = set()
+        self.max_fanin = max_fanin
+
+    # -- naming ---------------------------------------------------------
+
+    def reserve(self, names: Iterable[str]) -> None:
+        """Declare names :meth:`fresh` must never hand out (parser aid)."""
+        self._reserved.update(names)
+
+    def fresh(self, prefix: str = "n") -> str:
+        """A net name not used so far."""
+        while True:
+            name = "%s%d" % (prefix, self._counter)
+            self._counter += 1
+            if (not self.circuit.drives(name)
+                    and not self.circuit.is_input(name)
+                    and name not in self._reserved):
+                return name
+
+    # -- ports ----------------------------------------------------------
+
+    def input(self, name: str) -> str:
+        """Declare one primary input."""
+        return self.circuit.add_input(name)
+
+    def inputs(self, prefix: str, count: int) -> List[str]:
+        """Declare a bus of inputs ``prefix0 .. prefix<count-1>``."""
+        return [self.circuit.add_input("%s%d" % (prefix, i))
+                for i in range(count)]
+
+    def interleaved_inputs(self, prefixes: Sequence[str],
+                           count: int) -> List[List[str]]:
+        """Declare several buses bit-interleaved: ``a0 b0 a1 b1 ...``.
+
+        Interleaving operand buses gives word-level circuits (adders,
+        comparators) linear-size BDDs under the declaration order, where
+        bus-after-bus declaration is exponential.
+        """
+        buses: List[List[str]] = [[] for _ in prefixes]
+        for i in range(count):
+            for bus, prefix in zip(buses, prefixes):
+                bus.append(self.circuit.add_input("%s%d" % (prefix, i)))
+        return buses
+
+    def output(self, net: str, name: Optional[str] = None) -> str:
+        """Expose ``net`` as a primary output, buffering to rename."""
+        if name is not None and name != net:
+            net = self.gate(GateType.BUF, [net], out=name)
+        self.circuit.add_output(net)
+        return net
+
+    def outputs(self, nets: Sequence[str], prefix: str = "") -> List[str]:
+        """Expose several nets as outputs, optionally renamed by prefix."""
+        result = []
+        for i, net in enumerate(nets):
+            name = "%s%d" % (prefix, i) if prefix else None
+            result.append(self.output(net, name))
+        return result
+
+    # -- gates ------------------------------------------------------------
+
+    def gate(self, gtype: GateType, inputs: Sequence[str],
+             out: Optional[str] = None) -> str:
+        """Add one gate; splits wide gates if ``max_fanin`` is set."""
+        inputs = list(inputs)
+        if (self.max_fanin is not None and len(inputs) > self.max_fanin
+                and gtype in (GateType.AND, GateType.OR, GateType.XOR)):
+            while len(inputs) > self.max_fanin:
+                chunk = inputs[:self.max_fanin]
+                inputs = [self._raw(gtype, chunk)] + inputs[self.max_fanin:]
+            return self._raw(gtype, inputs, out)
+        return self._raw(gtype, inputs, out)
+
+    def _raw(self, gtype: GateType, inputs: Sequence[str],
+             out: Optional[str] = None) -> str:
+        if out is None:
+            out = self.fresh()
+        return self.circuit.add_gate(out, gtype, inputs)
+
+    def not_(self, a: str, out: Optional[str] = None) -> str:
+        """Inverter."""
+        return self.gate(GateType.NOT, [a], out)
+
+    def buf(self, a: str, out: Optional[str] = None) -> str:
+        """Buffer."""
+        return self.gate(GateType.BUF, [a], out)
+
+    def and_(self, *nets: str, out: Optional[str] = None) -> str:
+        """AND of one or more nets."""
+        return self.gate(GateType.AND, nets, out)
+
+    def or_(self, *nets: str, out: Optional[str] = None) -> str:
+        """OR of one or more nets."""
+        return self.gate(GateType.OR, nets, out)
+
+    def nand_(self, *nets: str, out: Optional[str] = None) -> str:
+        """NAND of one or more nets."""
+        return self.gate(GateType.NAND, nets, out)
+
+    def nor_(self, *nets: str, out: Optional[str] = None) -> str:
+        """NOR of one or more nets."""
+        return self.gate(GateType.NOR, nets, out)
+
+    def xor_(self, *nets: str, out: Optional[str] = None) -> str:
+        """XOR (parity) of one or more nets."""
+        return self.gate(GateType.XOR, nets, out)
+
+    def xnor_(self, *nets: str, out: Optional[str] = None) -> str:
+        """XNOR of one or more nets."""
+        return self.gate(GateType.XNOR, nets, out)
+
+    def const(self, value: bool, out: Optional[str] = None) -> str:
+        """Constant-0 or constant-1 net."""
+        return self.gate(GateType.CONST1 if value else GateType.CONST0,
+                         [], out)
+
+    # -- derived logic ---------------------------------------------------
+
+    def mux(self, sel: str, a: str, b: str,
+            out: Optional[str] = None) -> str:
+        """2:1 multiplexer: ``sel ? b : a``."""
+        nsel = self.not_(sel)
+        t0 = self.and_(nsel, a)
+        t1 = self.and_(sel, b)
+        return self.or_(t0, t1, out=out)
+
+    def xor_tree(self, nets: Sequence[str],
+                 out: Optional[str] = None) -> str:
+        """Balanced tree of 2-input XORs (parity)."""
+        return self._tree(GateType.XOR, nets, out)
+
+    def and_tree(self, nets: Sequence[str],
+                 out: Optional[str] = None) -> str:
+        """Balanced tree of 2-input ANDs."""
+        return self._tree(GateType.AND, nets, out)
+
+    def or_tree(self, nets: Sequence[str],
+                out: Optional[str] = None) -> str:
+        """Balanced tree of 2-input ORs."""
+        return self._tree(GateType.OR, nets, out)
+
+    def _tree(self, gtype: GateType, nets: Sequence[str],
+              out: Optional[str]) -> str:
+        level = list(nets)
+        if not level:
+            raise ValueError("reduction tree of zero nets")
+        if len(level) == 1:
+            return self.buf(level[0], out) if out else level[0]
+        while len(level) > 2:
+            level = [self.gate(gtype, level[i:i + 2])
+                     if i + 1 < len(level) else level[i]
+                     for i in range(0, len(level), 2)]
+        return self.gate(gtype, level, out)
+
+    def half_adder(self, a: str, b: str) -> Tuple[str, str]:
+        """Returns ``(sum, carry)``."""
+        return self.xor_(a, b), self.and_(a, b)
+
+    def full_adder(self, a: str, b: str, cin: str) -> Tuple[str, str]:
+        """Returns ``(sum, carry_out)``."""
+        s1 = self.xor_(a, b)
+        s = self.xor_(s1, cin)
+        c1 = self.and_(a, b)
+        c2 = self.and_(s1, cin)
+        return s, self.or_(c1, c2)
+
+    def ripple_adder(self, a_bits: Sequence[str], b_bits: Sequence[str],
+                     cin: Optional[str] = None)\
+            -> Tuple[List[str], str]:
+        """Ripple-carry adder; returns ``(sum_bits, carry_out)``."""
+        if len(a_bits) != len(b_bits):
+            raise ValueError("operand width mismatch")
+        sums: List[str] = []
+        carry = cin
+        for a, b in zip(a_bits, b_bits):
+            if carry is None:
+                s, carry = self.half_adder(a, b)
+            else:
+                s, carry = self.full_adder(a, b, carry)
+            sums.append(s)
+        return sums, carry
+
+    def equal(self, a_bits: Sequence[str], b_bits: Sequence[str],
+              out: Optional[str] = None) -> str:
+        """Word equality comparator."""
+        eqs = [self.xnor_(a, b) for a, b in zip(a_bits, b_bits)]
+        return self.and_tree(eqs, out)
+
+    def less_than(self, a_bits: Sequence[str], b_bits: Sequence[str],
+                  out: Optional[str] = None) -> str:
+        """Unsigned ``a < b``, LSB-first operands."""
+        lt: Optional[str] = None
+        for a, b in zip(a_bits, b_bits):  # LSB to MSB
+            na = self.not_(a)
+            bit_lt = self.and_(na, b)
+            if lt is None:
+                lt = bit_lt
+            else:
+                eq = self.xnor_(a, b)
+                keep = self.and_(eq, lt)
+                lt = self.or_(bit_lt, keep)
+        if lt is None:
+            return self.const(False, out)
+        if out is not None:
+            return self.buf(lt, out)
+        return lt
+
+    # -- finish ------------------------------------------------------------
+
+    def build(self, validate: bool = True) -> Circuit:
+        """Return the finished circuit, validating by default."""
+        if validate:
+            self.circuit.validate()
+        return self.circuit

@@ -1,0 +1,61 @@
+"""Cone extraction: cut a standalone sub-circuit out of a netlist.
+
+Useful for debugging (inspect one output's logic in isolation), for
+building abstraction boxes, and as the building block the diagnosis
+workflows use when presenting a suspected region to a human.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from .netlist import Circuit, CircuitError
+
+__all__ = ["extract_cone"]
+
+
+def extract_cone(circuit: Circuit, roots: Sequence[str],
+                 stop_at: Iterable[str] = (),
+                 name: Optional[str] = None) -> Circuit:
+    """Standalone circuit computing ``roots`` from their support.
+
+    The new circuit's inputs are the primary inputs / free nets the
+    cone reaches, plus every net in ``stop_at`` (cut points: their
+    driving logic is not copied).  Outputs are the requested roots, in
+    order.
+    """
+    stops = set(stop_at)
+    for net in roots:
+        if not (circuit.drives(net) or circuit.is_input(net)
+                or net in circuit.free_nets()):
+            raise CircuitError("unknown root net %r" % net)
+
+    needed: List[str] = []
+    seen = set()
+    stack = list(roots)
+    while stack:
+        net = stack.pop()
+        if net in seen:
+            continue
+        seen.add(net)
+        needed.append(net)
+        if net in stops or not circuit.drives(net):
+            continue
+        stack.extend(circuit.gate(net).inputs)
+
+    result = Circuit(name or circuit.name + "_cone")
+    leaves = [net for net in needed
+              if net in stops or not circuit.drives(net)]
+    # Preserve the original input declaration order where possible.
+    original_order = {net: i for i, net in enumerate(circuit.inputs)}
+    leaves.sort(key=lambda n: (original_order.get(n, 1 << 30), n))
+    for net in leaves:
+        result.add_input(net)
+    for net in circuit.topological_order():
+        if net in seen and net not in stops:
+            gate = circuit.gate(net)
+            result.add_gate(net, gate.gtype, gate.inputs)
+    for net in roots:
+        result.add_output(net)
+    result.validate()
+    return result

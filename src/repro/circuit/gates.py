@@ -1,0 +1,95 @@
+"""Gate types of the combinational netlist model.
+
+All gates except ``NOT``/``BUF``/constants are n-ary (n >= 1); ``XOR`` of
+many inputs is parity, ``XNOR`` its complement, matching common netlist
+semantics (BLIF, ISCAS-85 bench format).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Sequence
+
+__all__ = ["GateType", "eval_gate", "INVERTIBLE", "VARIADIC"]
+
+
+class GateType(enum.Enum):
+    """Supported combinational gate functions."""
+
+    AND = "and"
+    OR = "or"
+    NAND = "nand"
+    NOR = "nor"
+    XOR = "xor"
+    XNOR = "xnor"
+    NOT = "not"
+    BUF = "buf"
+    CONST0 = "const0"
+    CONST1 = "const1"
+
+    def arity_ok(self, n: int) -> bool:
+        """Whether this gate type accepts ``n`` inputs."""
+        if self in (GateType.CONST0, GateType.CONST1):
+            return n == 0
+        if self in (GateType.NOT, GateType.BUF):
+            return n == 1
+        return n >= 1
+
+    @property
+    def dual(self) -> "GateType":
+        """The AND<->OR / NAND<->NOR dual (used by error insertion)."""
+        pairs = {
+            GateType.AND: GateType.OR,
+            GateType.OR: GateType.AND,
+            GateType.NAND: GateType.NOR,
+            GateType.NOR: GateType.NAND,
+            GateType.XOR: GateType.XNOR,
+            GateType.XNOR: GateType.XOR,
+        }
+        if self not in pairs:
+            raise ValueError("%s has no dual" % self)
+        return pairs[self]
+
+
+#: Gate types whose output is the complement of another type's.
+INVERTIBLE = {
+    GateType.AND: GateType.NAND,
+    GateType.NAND: GateType.AND,
+    GateType.OR: GateType.NOR,
+    GateType.NOR: GateType.OR,
+    GateType.XOR: GateType.XNOR,
+    GateType.XNOR: GateType.XOR,
+    GateType.NOT: GateType.BUF,
+    GateType.BUF: GateType.NOT,
+    GateType.CONST0: GateType.CONST1,
+    GateType.CONST1: GateType.CONST0,
+}
+
+#: Gate types that accept any number (>= 1) of inputs.
+VARIADIC = {GateType.AND, GateType.OR, GateType.NAND, GateType.NOR,
+            GateType.XOR, GateType.XNOR}
+
+
+def eval_gate(gtype: GateType, inputs: Sequence[bool]) -> bool:
+    """Boolean gate evaluation (the two-valued reference semantics)."""
+    if gtype is GateType.AND:
+        return all(inputs)
+    if gtype is GateType.OR:
+        return any(inputs)
+    if gtype is GateType.NAND:
+        return not all(inputs)
+    if gtype is GateType.NOR:
+        return not any(inputs)
+    if gtype is GateType.XOR:
+        return sum(inputs) % 2 == 1
+    if gtype is GateType.XNOR:
+        return sum(inputs) % 2 == 0
+    if gtype is GateType.NOT:
+        return not inputs[0]
+    if gtype is GateType.BUF:
+        return bool(inputs[0])
+    if gtype is GateType.CONST0:
+        return False
+    if gtype is GateType.CONST1:
+        return True
+    raise ValueError("unknown gate type %r" % gtype)

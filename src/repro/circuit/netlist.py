@@ -1,0 +1,357 @@
+"""Combinational gate-level netlist.
+
+A :class:`Circuit` is a DAG of named nets.  Every net is driven either by
+a primary input, by a gate, or — in partial implementations — by a Black
+Box output declared as a *free net* (see :mod:`repro.partial.blackbox`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .gates import GateType, eval_gate
+
+__all__ = ["Gate", "Circuit", "CircuitError"]
+
+
+class CircuitError(ValueError):
+    """Structural problem in a netlist (cycle, undriven net, ...)."""
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One gate instance: ``output = gtype(inputs...)``."""
+
+    output: str
+    gtype: GateType
+    inputs: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.gtype.arity_ok(len(self.inputs)):
+            raise CircuitError(
+                "%s gate %r cannot take %d inputs"
+                % (self.gtype.name, self.output, len(self.inputs)))
+
+
+class Circuit:
+    """A named combinational netlist with ordered inputs and outputs.
+
+    Nets are identified by strings.  ``free_nets`` are nets read by gates
+    but driven neither by an input nor by a gate — the representation of
+    Black Box outputs in a partial implementation.  A complete circuit has
+    no free nets.
+    """
+
+    def __init__(self, name: str = "circuit") -> None:
+        self.name = name
+        self._inputs: List[str] = []
+        self._input_set: Set[str] = set()
+        self._outputs: List[str] = []
+        self._gates: Dict[str, Gate] = {}
+        self._topo_cache: Optional[List[str]] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_input(self, name: str) -> str:
+        """Declare a primary input net."""
+        if name in self._input_set:
+            raise CircuitError("duplicate input %r" % name)
+        if name in self._gates:
+            raise CircuitError("net %r is already driven by a gate" % name)
+        self._inputs.append(name)
+        self._input_set.add(name)
+        return name
+
+    def add_inputs(self, names: Iterable[str]) -> List[str]:
+        """Declare several primary inputs in order."""
+        return [self.add_input(n) for n in names]
+
+    def add_gate(self, output: str, gtype: GateType,
+                 inputs: Sequence[str]) -> str:
+        """Add a gate driving net ``output``; returns the net name."""
+        if output in self._gates:
+            raise CircuitError("net %r is already driven by a gate" % output)
+        if output in self._input_set:
+            raise CircuitError("net %r is a primary input" % output)
+        self._gates[output] = Gate(output, gtype, tuple(inputs))
+        self._topo_cache = None
+        return output
+
+    def remove_gate(self, output: str) -> Gate:
+        """Remove the gate driving ``output``; the net becomes free."""
+        try:
+            gate = self._gates.pop(output)
+        except KeyError:
+            raise CircuitError("no gate drives %r" % output) from None
+        self._topo_cache = None
+        return gate
+
+    def replace_gate(self, gate: Gate) -> None:
+        """Swap in a new gate for an existing driven net (mutations)."""
+        if gate.output not in self._gates:
+            raise CircuitError("no gate drives %r" % gate.output)
+        self._gates[gate.output] = gate
+        self._topo_cache = None
+
+    def add_output(self, name: str) -> str:
+        """Mark a net as primary output (may be any net, even an input)."""
+        if name in self._outputs:
+            raise CircuitError("duplicate output %r" % name)
+        self._outputs.append(name)
+        return name
+
+    def add_outputs(self, names: Iterable[str]) -> List[str]:
+        """Mark several nets as outputs in order."""
+        return [self.add_output(n) for n in names]
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def inputs(self) -> List[str]:
+        """Primary input nets, in declaration order."""
+        return list(self._inputs)
+
+    @property
+    def outputs(self) -> List[str]:
+        """Primary output nets, in declaration order."""
+        return list(self._outputs)
+
+    @property
+    def gates(self) -> List[Gate]:
+        """All gates, in insertion order."""
+        return list(self._gates.values())
+
+    @property
+    def num_gates(self) -> int:
+        """Number of gates."""
+        return len(self._gates)
+
+    def gate(self, output: str) -> Gate:
+        """The gate driving net ``output``."""
+        try:
+            return self._gates[output]
+        except KeyError:
+            raise CircuitError("no gate drives %r" % output) from None
+
+    def is_input(self, net: str) -> bool:
+        """Whether ``net`` is a primary input."""
+        return net in self._input_set
+
+    def drives(self, net: str) -> bool:
+        """Whether some gate drives ``net``."""
+        return net in self._gates
+
+    def nets(self) -> List[str]:
+        """All driven nets: inputs first, then gate outputs."""
+        return self._inputs + list(self._gates)
+
+    def free_nets(self) -> List[str]:
+        """Nets that are read but driven by nothing (Black Box outputs)."""
+        driven = self._input_set.union(self._gates)
+        seen: Set[str] = set()
+        free: List[str] = []
+        for gate in self._gates.values():
+            for net in gate.inputs:
+                if net not in driven and net not in seen:
+                    seen.add(net)
+                    free.append(net)
+        for net in self._outputs:
+            if net not in driven and net not in seen:
+                seen.add(net)
+                free.append(net)
+        return free
+
+    def fanout_map(self) -> Dict[str, List[str]]:
+        """Map from each net to the gate-output nets that read it."""
+        fanout: Dict[str, List[str]] = {}
+        for gate in self._gates.values():
+            for net in gate.inputs:
+                fanout.setdefault(net, []).append(gate.output)
+        return fanout
+
+    # ------------------------------------------------------------------
+    # Topological structure
+    # ------------------------------------------------------------------
+
+    def topological_order(self) -> List[str]:
+        """Gate output nets in topological order (inputs excluded).
+
+        Raises :class:`CircuitError` on combinational cycles.
+        """
+        if self._topo_cache is not None:
+            return list(self._topo_cache)
+        order: List[str] = []
+        state: Dict[str, int] = {}  # 1 = visiting, 2 = done
+        for root in self._gates:
+            if state.get(root):
+                continue
+            stack: List[Tuple[str, bool]] = [(root, False)]
+            while stack:
+                net, done = stack.pop()
+                if done:
+                    state[net] = 2
+                    order.append(net)
+                    continue
+                st = state.get(net, 0)
+                if st == 2:
+                    continue
+                if st == 1:
+                    raise CircuitError("combinational cycle through %r"
+                                       % net)
+                state[net] = 1
+                stack.append((net, True))
+                for src in self._gates[net].inputs:
+                    if src in self._gates and state.get(src, 0) != 2:
+                        if state.get(src, 0) == 1:
+                            raise CircuitError(
+                                "combinational cycle through %r" % src)
+                        stack.append((src, False))
+        self._topo_cache = order
+        return list(order)
+
+    def levelize(self) -> Dict[str, int]:
+        """Logic depth of each net (inputs and free nets at level 0)."""
+        levels: Dict[str, int] = {net: 0 for net in self._inputs}
+        for net in self.free_nets():
+            levels[net] = 0
+        for net in self.topological_order():
+            gate = self._gates[net]
+            levels[net] = 1 + max(
+                (levels.get(src, 0) for src in gate.inputs), default=0)
+        return levels
+
+    def depth(self) -> int:
+        """Maximum logic depth over all nets."""
+        levels = self.levelize()
+        return max(levels.values(), default=0)
+
+    def cone(self, roots: Iterable[str]) -> Set[str]:
+        """Transitive fan-in of ``roots``: every net they depend on."""
+        seen: Set[str] = set()
+        stack = list(roots)
+        while stack:
+            net = stack.pop()
+            if net in seen:
+                continue
+            seen.add(net)
+            gate = self._gates.get(net)
+            if gate is not None:
+                stack.extend(gate.inputs)
+        return seen
+
+    def validate(self, allow_free: bool = False) -> None:
+        """Check structural sanity; complete circuits have no free nets."""
+        self.topological_order()
+        free = self.free_nets()
+        if free and not allow_free:
+            raise CircuitError("undriven nets: %s" % ", ".join(free[:5]))
+        for out in self._outputs:
+            if (out not in self._gates and out not in self._input_set
+                    and out not in free):
+                raise CircuitError("dangling output %r" % out)
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+
+    def evaluate(self, assignment: Dict[str, bool],
+                 all_nets: bool = False) -> Dict[str, bool]:
+        """Two-valued simulation under a total input assignment.
+
+        ``assignment`` must cover all primary inputs and all free nets.
+        Returns output values, or every net's value if ``all_nets``.
+        """
+        values: Dict[str, bool] = {}
+        for net in self._inputs:
+            try:
+                values[net] = bool(assignment[net])
+            except KeyError:
+                raise CircuitError("missing input value %r" % net) from None
+        for net in self.free_nets():
+            try:
+                values[net] = bool(assignment[net])
+            except KeyError:
+                raise CircuitError(
+                    "missing value for free net %r" % net) from None
+        for net in self.topological_order():
+            gate = self._gates[net]
+            values[net] = eval_gate(
+                gate.gtype, [values[src] for src in gate.inputs])
+        if all_nets:
+            return values
+        return {net: values[net] for net in self._outputs}
+
+    def evaluate_vector(self, bits: Sequence[bool]) -> List[bool]:
+        """Evaluate with inputs given positionally; returns output bits."""
+        if len(bits) != len(self._inputs):
+            raise CircuitError("expected %d input bits, got %d"
+                               % (len(self._inputs), len(bits)))
+        out = self.evaluate(dict(zip(self._inputs, bits)))
+        return [out[net] for net in self._outputs]
+
+    # ------------------------------------------------------------------
+    # Transformation
+    # ------------------------------------------------------------------
+
+    def copy(self, name: Optional[str] = None) -> "Circuit":
+        """Deep copy (gates are immutable and shared)."""
+        other = Circuit(name or self.name)
+        other._inputs = list(self._inputs)
+        other._input_set = set(self._input_set)
+        other._outputs = list(self._outputs)
+        other._gates = dict(self._gates)
+        return other
+
+    def with_input_order(self, order: Sequence[str],
+                         name: Optional[str] = None) -> "Circuit":
+        """Copy with the primary inputs re-declared in ``order``.
+
+        Purely an interface permutation — gate structure and semantics
+        are untouched.  Useful because symbolic engines declare BDD
+        variables in input-declaration order, so a good order (e.g. one
+        found by sifting) can be baked into the circuit.
+        """
+        if sorted(order) != sorted(self._inputs):
+            raise CircuitError(
+                "order must be a permutation of the inputs")
+        other = self.copy(name)
+        other._inputs = list(order)
+        return other
+
+    def renamed(self, mapping: Dict[str, str],
+                name: Optional[str] = None) -> "Circuit":
+        """Copy with nets renamed via ``mapping`` (identity if absent)."""
+
+        def m(net: str) -> str:
+            return mapping.get(net, net)
+
+        other = Circuit(name or self.name)
+        other.add_inputs(m(n) for n in self._inputs)
+        for gate in self._gates.values():
+            other.add_gate(m(gate.output), gate.gtype,
+                           [m(s) for s in gate.inputs])
+        other.add_outputs(m(n) for n in self._outputs)
+        return other
+
+    def stats(self) -> Dict[str, int]:
+        """Size summary used in experiment reports."""
+        by_type: Dict[str, int] = {}
+        for gate in self._gates.values():
+            by_type[gate.gtype.name] = by_type.get(gate.gtype.name, 0) + 1
+        return {
+            "inputs": len(self._inputs),
+            "outputs": len(self._outputs),
+            "gates": len(self._gates),
+            "depth": self.depth(),
+            **{"gates_" + k.lower(): v for k, v in sorted(by_type.items())},
+        }
+
+    def __repr__(self) -> str:
+        return "<Circuit %s: %d in, %d out, %d gates>" % (
+            self.name, len(self._inputs), len(self._outputs),
+            len(self._gates))

@@ -1,0 +1,238 @@
+"""Light netlist clean-up passes: constant propagation, structural
+hashing, dead-gate removal.
+
+Used to keep generated and mutated circuits lean before the symbolic
+checks, and exercised by the test-suite as an equivalence-preserving
+transformation (checked against the BDD equivalence checker).
+All passes preserve the interface (inputs/outputs) and tolerate free
+nets (Black Box outputs), which they never touch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from .gates import GateType
+from .netlist import Circuit, CircuitError
+
+__all__ = ["propagate_constants", "merge_duplicates", "sweep_dead",
+           "optimize"]
+
+_INVERSE = {
+    GateType.AND: GateType.NAND,
+    GateType.NAND: GateType.AND,
+    GateType.OR: GateType.NOR,
+    GateType.NOR: GateType.OR,
+    GateType.XOR: GateType.XNOR,
+    GateType.XNOR: GateType.XOR,
+}
+
+_TRUE = "\x01"   # symbolic constants used inside the passes
+_FALSE = "\x00"
+
+
+def _const_of(net: str) -> Optional[bool]:
+    if net == _TRUE:
+        return True
+    if net == _FALSE:
+        return False
+    return None
+
+
+def propagate_constants(circuit: Circuit,
+                        name: Optional[str] = None) -> Circuit:
+    """Fold constant gates through the netlist.
+
+    CONST0/CONST1 gates and gates whose value is forced by controlling
+    constant inputs are evaluated; downstream gates simplify.  Constants
+    that remain visible (feeding outputs or surviving gates) are
+    re-emitted as constant gates.
+    """
+    result = Circuit(name or circuit.name)
+    result.add_inputs(circuit.inputs)
+    free = set(circuit.free_nets())
+
+    # Map from original net to either a replacement net or a constant.
+    value: Dict[str, str] = {}
+
+    def resolve(net: str) -> str:
+        return value.get(net, net)
+
+    const_nets: Dict[bool, str] = {}
+
+    def const_net(bit: bool) -> str:
+        if bit not in const_nets:
+            base = "const1" if bit else "const0"
+            candidate = base
+            counter = 0
+            existing = set(circuit.nets()) | free
+            while candidate in existing:
+                counter += 1
+                candidate = "%s_%d" % (base, counter)
+            result.add_gate(candidate,
+                            GateType.CONST1 if bit else GateType.CONST0,
+                            [])
+            const_nets[bit] = candidate
+        return const_nets[bit]
+
+    for net in circuit.topological_order():
+        gate = circuit.gate(net)
+        ins = [resolve(src) for src in gate.inputs]
+        consts = [_const_of(i) for i in ins]
+        gtype = gate.gtype
+
+        if gtype in (GateType.CONST0, GateType.CONST1):
+            value[net] = _TRUE if gtype is GateType.CONST1 else _FALSE
+            continue
+        if gtype in (GateType.BUF, GateType.NOT):
+            bit = consts[0]
+            if bit is not None:
+                out_bit = bit if gtype is GateType.BUF else not bit
+                value[net] = _TRUE if out_bit else _FALSE
+                continue
+            if gtype is GateType.BUF:
+                value[net] = ins[0]
+                continue
+            result.add_gate(net, GateType.NOT, ins)
+            continue
+
+        if gtype in (GateType.AND, GateType.NAND):
+            if any(bit is False for bit in consts):
+                value[net] = _FALSE if gtype is GateType.AND else _TRUE
+                continue
+            ins = [i for i, bit in zip(ins, consts) if bit is None]
+        elif gtype in (GateType.OR, GateType.NOR):
+            if any(bit is True for bit in consts):
+                value[net] = _TRUE if gtype is GateType.OR else _FALSE
+                continue
+            ins = [i for i, bit in zip(ins, consts) if bit is None]
+        elif gtype in (GateType.XOR, GateType.XNOR):
+            flips = sum(1 for bit in consts if bit is True)
+            ins = [i for i, bit in zip(ins, consts) if bit is None]
+            if flips % 2:
+                gtype = _INVERSE[gtype]
+
+        if not ins:
+            # All inputs were constants.
+            neutral = {GateType.AND: True, GateType.NAND: False,
+                       GateType.OR: False, GateType.NOR: True,
+                       GateType.XOR: False, GateType.XNOR: True}[gtype]
+            value[net] = _TRUE if neutral else _FALSE
+            continue
+        if len(ins) == 1 and gtype in (GateType.AND, GateType.OR):
+            value[net] = ins[0]
+            continue
+        if len(ins) == 1 and gtype in (GateType.NAND, GateType.NOR):
+            result.add_gate(net, GateType.NOT, ins)
+            continue
+        if len(ins) == 1 and gtype is GateType.XOR:
+            value[net] = ins[0]
+            continue
+        if len(ins) == 1 and gtype is GateType.XNOR:
+            result.add_gate(net, GateType.NOT, ins)
+            continue
+        result.add_gate(net, gtype, ins)
+
+    # Re-materialize references to folded nets.
+    fixed_gates = []
+    for gate in result.gates:
+        new_inputs = []
+        changed = False
+        for src in gate.inputs:
+            bit = _const_of(src)
+            if bit is not None:
+                new_inputs.append(const_net(bit))
+                changed = True
+            else:
+                new_inputs.append(src)
+        if changed:
+            fixed_gates.append((gate.output, gate.gtype,
+                                tuple(new_inputs)))
+    for output, gtype, new_inputs in fixed_gates:
+        from .netlist import Gate
+
+        result.replace_gate(Gate(output, gtype, new_inputs))
+
+    for net in circuit.outputs:
+        target = resolve(net)
+        bit = _const_of(target)
+        if bit is not None:
+            target = const_net(bit)
+        if target != net:
+            if result.drives(net) or result.is_input(net):
+                raise CircuitError("net collision folding %r" % net)
+            result.add_gate(net, GateType.BUF, [target])
+        result.add_output(net)
+    result.validate(allow_free=bool(free))
+    return result
+
+
+def merge_duplicates(circuit: Circuit,
+                     name: Optional[str] = None) -> Circuit:
+    """Structural hashing: merge gates with identical type and inputs.
+
+    Commutative gate inputs are sorted for matching.  Output nets are
+    preserved via buffers when their driver merges away.
+    """
+    result = Circuit(name or circuit.name)
+    result.add_inputs(circuit.inputs)
+    free = set(circuit.free_nets())
+    replacement: Dict[str, str] = {}
+    table: Dict[Tuple, str] = {}
+
+    def resolve(net: str) -> str:
+        seen = net
+        while seen in replacement:
+            seen = replacement[seen]
+        return seen
+
+    for net in circuit.topological_order():
+        gate = circuit.gate(net)
+        ins = tuple(resolve(src) for src in gate.inputs)
+        if gate.gtype in (GateType.AND, GateType.OR, GateType.NAND,
+                          GateType.NOR, GateType.XOR, GateType.XNOR):
+            key = (gate.gtype, tuple(sorted(ins)))
+        else:
+            key = (gate.gtype, ins)
+        existing = table.get(key)
+        if existing is not None:
+            replacement[net] = existing
+            continue
+        table[key] = net
+        result.add_gate(net, gate.gtype, ins)
+
+    for net in circuit.outputs:
+        target = resolve(net)
+        if target != net:
+            result.add_gate(net, GateType.BUF, [target])
+        result.add_output(net)
+    result.validate(allow_free=bool(free))
+    return result
+
+
+def sweep_dead(circuit: Circuit, name: Optional[str] = None) -> Circuit:
+    """Drop gates that no output (transitively) depends on."""
+    live = circuit.cone(circuit.outputs)
+    result = Circuit(name or circuit.name)
+    result.add_inputs(circuit.inputs)
+    for gate in circuit.gates:
+        if gate.output in live:
+            result.add_gate(gate.output, gate.gtype, gate.inputs)
+    result.add_outputs(circuit.outputs)
+    result.validate(allow_free=bool(result.free_nets()))
+    return result
+
+
+def optimize(circuit: Circuit, name: Optional[str] = None) -> Circuit:
+    """Constant propagation + structural hashing + dead sweep, to a
+    fixpoint (bounded)."""
+    current = circuit
+    for _ in range(4):
+        before = current.num_gates
+        current = sweep_dead(merge_duplicates(
+            propagate_constants(current)))
+        if current.num_gates == before:
+            break
+    if name:
+        current.name = name
+    return current

@@ -1,0 +1,92 @@
+"""Structural netlist transformations."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .gates import GateType
+from .netlist import Circuit, CircuitError
+
+__all__ = ["expand_to_two_input", "strip_buffers"]
+
+_SPLIT_BASE = {
+    GateType.AND: GateType.AND,
+    GateType.OR: GateType.OR,
+    GateType.XOR: GateType.XOR,
+    GateType.NAND: GateType.AND,
+    GateType.NOR: GateType.OR,
+    GateType.XNOR: GateType.XOR,
+}
+
+
+def expand_to_two_input(circuit: Circuit,
+                        name: Optional[str] = None) -> Circuit:
+    """Rewrite every gate with fan-in > 2 into a tree of 2-input gates.
+
+    The classic relation between ISCAS-85 C499 and C1355: identical
+    function, different structure.  Inverting gate types keep their
+    inversion at the final tree stage.
+    """
+    result = Circuit(name or circuit.name + "_2in")
+    result.add_inputs(circuit.inputs)
+    counter = [0]
+    used = set(circuit.nets()) | set(circuit.free_nets())
+
+    def fresh() -> str:
+        while True:
+            candidate = "x2_%d" % counter[0]
+            counter[0] += 1
+            if candidate not in used:
+                used.add(candidate)
+                return candidate
+
+    for gate in circuit.gates:
+        if len(gate.inputs) <= 2 or gate.gtype not in _SPLIT_BASE:
+            result.add_gate(gate.output, gate.gtype, gate.inputs)
+            continue
+        base = _SPLIT_BASE[gate.gtype]
+        level: List[str] = list(gate.inputs)
+        while len(level) > 2:
+            nxt: List[str] = []
+            for i in range(0, len(level), 2):
+                if i + 1 < len(level):
+                    net = fresh()
+                    result.add_gate(net, base, level[i:i + 2])
+                    nxt.append(net)
+                else:
+                    nxt.append(level[i])
+            level = nxt
+        result.add_gate(gate.output, gate.gtype, level)
+    result.add_outputs(circuit.outputs)
+    result.validate(allow_free=bool(circuit.free_nets()))
+    return result
+
+
+def strip_buffers(circuit: Circuit,
+                  name: Optional[str] = None) -> Circuit:
+    """Remove BUF gates by rewiring, except those naming primary outputs."""
+    keep = set(circuit.outputs)
+    forward: Dict[str, str] = {}
+    for gate in circuit.gates:
+        if gate.gtype is GateType.BUF and gate.output not in keep:
+            forward[gate.output] = gate.inputs[0]
+
+    def resolve(net: str) -> str:
+        seen = set()
+        while net in forward:
+            if net in seen:
+                raise CircuitError("buffer cycle at %r" % net)
+            seen.add(net)
+            net = forward[net]
+        return net
+
+    result = Circuit(name or circuit.name)
+    result.add_inputs(circuit.inputs)
+    for gate in circuit.gates:
+        if gate.output in forward:
+            continue
+        result.add_gate(gate.output, gate.gtype,
+                        [resolve(src) for src in gate.inputs])
+    result.add_outputs(circuit.outputs)
+    result.validate(allow_free=bool(circuit.free_nets()))
+    return result

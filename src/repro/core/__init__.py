@@ -1,0 +1,80 @@
+"""Black Box Equivalence Checking: the paper's five-check ladder.
+
+Public entry points:
+
+* :func:`check_random_patterns` — 0,1,X simulation, random patterns.
+* :func:`check_symbolic_01x` — symbolic 0,1,X simulation (Sec. 2.1).
+* :func:`check_local` — Z_i simulation + local check (Lemma 2.1).
+* :func:`check_output_exact` — output exact check (Lemma 2.2).
+* :func:`check_input_exact` — input exact check (eq. (1), Thm. 2.2).
+* :func:`run_ladder` / :func:`check_partial_equivalence` — the staged
+  methodology the paper recommends.
+* :func:`check_equivalence` — classic equivalence for complete circuits.
+* :func:`synthesize_boxes` — construct witness box implementations.
+* :func:`is_extendable` — brute-force ground truth for tiny instances.
+"""
+
+from .result import CheckResult
+from .common import SymbolicContext, prepare_context
+from .random_pattern import check_random_patterns, \
+    ternary_distinguishes
+from .symbolic01x import check_symbolic_01x
+from .local_check import check_local, local_check_from_context
+from .output_exact import (check_output_exact, feasible_inputs,
+                           legal_z_relation, output_exact_from_context)
+from .quantify import exists_conj, forall_disj
+from .input_exact import (build_cond_prime, check_input_exact,
+                          input_exact_from_context, prefix_check)
+from .ladder import CHECK_ORDER, check_partial_equivalence, run_ladder
+from .equivalence import EquivalenceResult, check_equivalence
+from .oracle import (count_extensions, exact_two_box_check,
+                     find_extension, is_extendable,
+                     truth_table_circuit)
+from .synthesis import (bdd_to_net, determinize, function_vector_circuit,
+                        synthesize_boxes, synthesize_single_box)
+from .diagnosis import (DiagnosisResult, locate_single_error,
+                        verify_error_location)
+from .explain import InputExactScenario, explain_input_exact_failure
+from .replay import verify_counterexample
+
+__all__ = [
+    "CheckResult",
+    "SymbolicContext",
+    "prepare_context",
+    "check_random_patterns",
+    "ternary_distinguishes",
+    "check_symbolic_01x",
+    "check_local",
+    "local_check_from_context",
+    "check_output_exact",
+    "output_exact_from_context",
+    "legal_z_relation",
+    "feasible_inputs",
+    "exists_conj",
+    "forall_disj",
+    "check_input_exact",
+    "input_exact_from_context",
+    "build_cond_prime",
+    "prefix_check",
+    "CHECK_ORDER",
+    "run_ladder",
+    "check_partial_equivalence",
+    "EquivalenceResult",
+    "check_equivalence",
+    "is_extendable",
+    "find_extension",
+    "count_extensions",
+    "exact_two_box_check",
+    "truth_table_circuit",
+    "bdd_to_net",
+    "determinize",
+    "function_vector_circuit",
+    "synthesize_boxes",
+    "synthesize_single_box",
+    "DiagnosisResult",
+    "verify_error_location",
+    "locate_single_error",
+    "InputExactScenario",
+    "explain_input_exact_failure",
+    "verify_counterexample",
+]

@@ -1,0 +1,109 @@
+"""Error-location verification and single-fault diagnosis.
+
+The paper's third application (Section 1): given an implementation that
+fails ordinary equivalence checking and a *hypothesis* about where the
+bug is, cut the suspected region into a Black Box and re-run the check.
+
+* If the Black Box check still finds an error, the hypothesis is wrong —
+  there are bugs outside the suspected region.
+* If it finds none (with the exact single-box check), the suspected
+  region provably explains every misbehaviour: some replacement of just
+  that region fixes the design.
+
+:func:`locate_single_error` turns this into a diagnosis loop: box each
+candidate gate alone and keep the ones whose boxing makes the design
+repairable — for a single-fault design this pinpoints the faulty gate
+(and its functionally equivalent repair sites).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Set
+
+from ..circuit.netlist import Circuit, CircuitError
+from ..partial.extraction import _convex_closure, carve
+from .input_exact import check_input_exact
+from .output_exact import check_output_exact
+from .result import CheckResult
+
+__all__ = ["DiagnosisResult", "verify_error_location",
+           "locate_single_error"]
+
+
+@dataclass
+class DiagnosisResult:
+    """Outcome of an error-location hypothesis check.
+
+    ``confined`` is True when no error remains after boxing the
+    suspected gates — i.e. the region explains all misbehaviour.  When
+    ``exact`` is also True (single region, input exact check) this is a
+    proof; otherwise it is only a failure to refute the hypothesis.
+    """
+
+    confined: bool
+    exact: bool
+    boxed_gates: List[str]
+    check_result: CheckResult
+
+    def __repr__(self) -> str:
+        status = "confined" if self.confined else "errors elsewhere"
+        proof = " (proven)" if self.confined and self.exact else ""
+        return "<DiagnosisResult %s%s, %d gates boxed>" % (
+            status, proof, len(self.boxed_gates))
+
+
+def verify_error_location(spec: Circuit, impl: Circuit,
+                          suspect_gates: Iterable[str],
+                          use_input_exact: bool = True)\
+        -> DiagnosisResult:
+    """Test the hypothesis "all bugs lie within ``suspect_gates``".
+
+    The suspected gates are convex-closed (a box must not feed back into
+    itself through kept logic), carved into one Black Box, and the exact
+    check is run.  Raises on gates that do not exist.
+    """
+    suspects: Set[str] = set(suspect_gates)
+    if not suspects:
+        raise CircuitError("empty suspect set")
+    for net in suspects:
+        if not impl.drives(net):
+            raise CircuitError("no gate drives suspected net %r" % net)
+    closed = _convex_closure(impl, suspects, impl.fanout_map())
+    partial = carve(impl, [closed])
+    checker = check_input_exact if use_input_exact else check_output_exact
+    result = checker(spec, partial)
+    return DiagnosisResult(
+        confined=not result.error_found,
+        exact=result.exact,
+        boxed_gates=sorted(closed),
+        check_result=result)
+
+
+def locate_single_error(spec: Circuit, impl: Circuit,
+                        candidates: Optional[Sequence[str]] = None)\
+        -> List[str]:
+    """Gates whose replacement alone could repair the implementation.
+
+    Runs :func:`verify_error_location` for every candidate gate (all
+    gates by default) and returns those for which the design becomes
+    provably repairable.  For a genuinely single-fault design the true
+    fault site is always included; additional hits are alternative
+    repair locations.
+
+    An empty result means no single-gate replacement fixes the design —
+    the error spans multiple gates.
+    """
+    if candidates is None:
+        candidates = [gate.output for gate in impl.gates]
+    sites: List[str] = []
+    for net in candidates:
+        try:
+            diagnosis = verify_error_location(spec, impl, [net])
+        except CircuitError:
+            # Dead logic cannot influence the outputs, so replacing it
+            # cannot repair anything; skip such candidates.
+            continue
+        if diagnosis.confined:
+            sites.append(net)
+    return sites

@@ -1,0 +1,67 @@
+"""Classic combinational equivalence checking for *complete* circuits.
+
+The degenerate, box-free case of the problem — and the subroutine that
+validates synthesized Black Box witnesses.  BDD-based (build canonical
+forms, compare); a SAT-based miter variant lives in
+:mod:`repro.sat.equivalence`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..bdd import Bdd, default_bdd
+from ..circuit.netlist import Circuit, CircuitError
+from ..sim.symbolic import symbolic_simulate
+from .result import Stopwatch
+
+__all__ = ["EquivalenceResult", "check_equivalence"]
+
+
+@dataclass
+class EquivalenceResult:
+    """Outcome of a complete-circuit equivalence check."""
+
+    equivalent: bool
+    counterexample: Optional[Dict[str, bool]] = None
+    failing_output: Optional[str] = None
+    seconds: float = 0.0
+
+    def __repr__(self) -> str:
+        if self.equivalent:
+            return "<EquivalenceResult equivalent>"
+        return "<EquivalenceResult differ at %s>" % self.failing_output
+
+
+def check_equivalence(spec: Circuit, impl: Circuit,
+                      bdd: Optional[Bdd] = None) -> EquivalenceResult:
+    """BDD equivalence of two complete circuits, output by output.
+
+    Inputs correspond by name (both circuits must declare the same input
+    list); outputs correspond positionally.
+    """
+    if spec.free_nets() or impl.free_nets():
+        raise CircuitError("equivalence check needs complete circuits; "
+                           "use the Black Box checks for partial ones")
+    if list(spec.inputs) != list(impl.inputs):
+        raise CircuitError("input lists differ")
+    if len(spec.outputs) != len(impl.outputs):
+        raise CircuitError("output counts differ")
+    if bdd is None:
+        bdd = default_bdd()
+    result = EquivalenceResult(equivalent=True)
+    with Stopwatch() as clock:
+        spec_fns = symbolic_simulate(spec, bdd)
+        impl_fns = symbolic_simulate(impl, bdd)
+        for spec_net, impl_net in zip(spec.outputs, impl.outputs):
+            diff = spec_fns[spec_net] ^ impl_fns[impl_net]
+            if not diff.is_false:
+                cex = diff.sat_one() or {}
+                result.equivalent = False
+                result.counterexample = {net: cex.get(net, False)
+                                         for net in spec.inputs}
+                result.failing_output = spec_net
+                break
+    result.seconds = clock.seconds
+    return result

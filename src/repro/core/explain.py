@@ -1,0 +1,110 @@
+"""Human-readable witnesses for input exact failures.
+
+When the input exact check rejects a design that the output exact check
+accepts, there is *no single* distinguishing input vector — the conflict
+is information-theoretic: some box, observing one value at its input
+pins, would have to produce different outputs for different primary
+input vectors behind that observation.  (The paper argues exactly this
+for Figure 3(b): for x6 = x7 = 1 the box sees the same pins whether
+x8 = 0 or x8 = 1, but the two cases need different box outputs.)
+
+:func:`explain_input_exact_failure` extracts such a scenario for the
+single-box case: the pin observation, and for every candidate box
+output value a primary-input vector on which that value is wrong.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from .common import SymbolicContext, box_input_var_name
+from .input_exact import build_cond_prime
+from .output_exact import legal_z_relation
+
+__all__ = ["InputExactScenario", "explain_input_exact_failure"]
+
+
+@dataclass
+class InputExactScenario:
+    """One unwinnable box observation.
+
+    ``pin_values`` maps the box's input nets to the observed values;
+    ``refutations`` maps each candidate output assignment (as a tuple of
+    bits, in box-output order) to a primary-input vector consistent with
+    the observation on which that output assignment produces a wrong
+    primary output.
+    """
+
+    box: str
+    pin_values: Dict[str, bool]
+    refutations: Dict[Tuple[bool, ...], Dict[str, bool]] = \
+        field(default_factory=dict)
+
+    def describe(self) -> str:
+        """Multi-line human-readable rendering."""
+        lines = ["Black Box %r observes %s at its inputs; every reply "
+                 "fails:" % (self.box,
+                             {k: int(v)
+                              for k, v in self.pin_values.items()})]
+        for output_bits, vector in sorted(self.refutations.items()):
+            lines.append("  output %s is wrong for primary inputs %s"
+                         % ("".join(str(int(b)) for b in output_bits),
+                            {k: int(v)
+                             for k, v in sorted(vector.items())}))
+        return "\n".join(lines)
+
+
+def explain_input_exact_failure(ctx: SymbolicContext)\
+        -> Optional[InputExactScenario]:
+    """Extract a Figure-3(b)-style scenario for a failing single box.
+
+    Returns ``None`` when the design has more than one box, when the
+    check in fact passes, or when the box interface is too wide to
+    enumerate (more than 16 outputs).
+    """
+    if ctx.partial.num_boxes != 1:
+        return None
+    box = ctx.partial.boxes[0]
+    if len(box.outputs) > 16:
+        return None
+    bdd = ctx.bdd
+    cond_prime, groups = build_cond_prime(ctx)
+    i_names, o_names = groups[0]
+
+    # A pin observation the box cannot answer.
+    unwinnable = ~(cond_prime.exists(o_names))
+    observation = unwinnable.sat_one()
+    if observation is None:
+        return None
+    pins = {name: observation.get(name, False) for name in i_names}
+
+    # Consistency of x with the observation, and legality of outputs.
+    h_fns = {}
+    from .input_exact import _box_input_functions
+
+    for position, h in enumerate(_box_input_functions(ctx)[box.name]):
+        h_fns[box_input_var_name(box.name, position)] = h
+    consistent = bdd.true
+    for name, value in pins.items():
+        h = h_fns[name]
+        consistent = consistent & (h if value else ~h)
+    cond = legal_z_relation(ctx)
+
+    scenario = InputExactScenario(
+        box=box.name,
+        pin_values={net: pins[box_input_var_name(box.name, k)]
+                    for k, net in enumerate(box.inputs)})
+    for bits in range(1 << len(box.outputs)):
+        output_bits = tuple(bool((bits >> k) & 1)
+                            for k in range(len(box.outputs)))
+        choice = {ctx.z_vars[net]: output_bits[k]
+                  for k, net in enumerate(box.outputs)}
+        bad = consistent & ~(cond.restrict(choice))
+        witness = bad.sat_one()
+        # The observation came from ¬∃O cond', which by construction
+        # means every output choice has a refuting consistent x.
+        assert witness is not None, "unwinnable observation had a reply"
+        scenario.refutations[output_bits] = {
+            net: witness.get(net, False) for net in ctx.spec.inputs}
+    return scenario

@@ -1,0 +1,77 @@
+"""The check ladder: run the algorithms in order of increasing accuracy.
+
+The paper's concluding recommendation: "first use 0,1,X based simulation
+with only a few random patterns, then symbolic 0,1,X simulation, Z_i
+simulation with local check, with output exact check and finally with
+input exact check."  Each rung is strictly more accurate and strictly
+more expensive; the ladder stops at the first error found.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..bdd import default_bdd
+from ..circuit.netlist import Circuit
+from ..partial.blackbox import PartialImplementation
+from .common import prepare_context
+from .input_exact import input_exact_from_context
+from .local_check import local_check_from_context
+from .output_exact import output_exact_from_context
+from .random_pattern import check_random_patterns
+from .result import CheckResult
+from .symbolic01x import check_symbolic_01x
+
+__all__ = ["CHECK_ORDER", "run_ladder", "check_partial_equivalence"]
+
+#: Check names from cheapest/least accurate to priciest/most accurate.
+CHECK_ORDER = ("random_pattern", "symbolic_01x", "local", "output_exact",
+               "input_exact")
+
+
+def run_ladder(spec: Circuit, partial: PartialImplementation,
+               checks: Sequence[str] = CHECK_ORDER,
+               patterns: int = 1000,
+               seed: Optional[int] = None,
+               stop_at_first_error: bool = True) -> List[CheckResult]:
+    """Run the selected checks in ladder order; returns all results.
+
+    The Z_i-based rungs share one symbolic context (spec and impl BDDs
+    are built once).  With ``stop_at_first_error`` (default) the ladder
+    short-circuits as the paper suggests.
+    """
+    unknown = set(checks) - set(CHECK_ORDER)
+    if unknown:
+        raise ValueError("unknown checks: %s" % ", ".join(sorted(unknown)))
+    ordered = [c for c in CHECK_ORDER if c in checks]
+    results: List[CheckResult] = []
+    ctx = None
+    bdd = default_bdd()
+    for name in ordered:
+        if name == "random_pattern":
+            result = check_random_patterns(spec, partial,
+                                           patterns=patterns, seed=seed)
+        elif name == "symbolic_01x":
+            result = check_symbolic_01x(spec, partial, bdd)
+        else:
+            if ctx is None:
+                ctx = prepare_context(spec, partial, bdd)
+            if name == "local":
+                result = local_check_from_context(ctx)
+            elif name == "output_exact":
+                result = output_exact_from_context(ctx)
+            else:
+                result = input_exact_from_context(ctx)
+        results.append(result)
+        if result.error_found and stop_at_first_error:
+            break
+    return results
+
+
+def check_partial_equivalence(spec: Circuit,
+                              partial: PartialImplementation,
+                              patterns: int = 1000,
+                              seed: Optional[int] = None) -> CheckResult:
+    """One-call API: the final (most accurate) verdict of the ladder."""
+    results = run_ladder(spec, partial, patterns=patterns, seed=seed)
+    return results[-1]

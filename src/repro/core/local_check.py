@@ -1,0 +1,70 @@
+"""Check 3: symbolic Z_i simulation with the local check (Lemma 2.1).
+
+One fresh variable ``Z_i`` per Black Box output tracks *where* unknown
+values come from, so reconvergence through a box is handled exactly
+(unlike 0,1,X, where ``X ⊕ X = X`` loses the correlation — Figure 2(b)).
+
+Lemma 2.1: output ``j`` of the partial implementation is erroneous iff
+
+    ¬( (∀Z g_j) → f_j )  or  ¬( (∀Z ¬g_j) → ¬f_j )
+
+i.e. some input forces ``g_j`` to a definite value that contradicts
+``f_j`` regardless of the boxes.  The check runs per output ("local") and
+misses errors that only show when outputs are considered together.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..bdd import Bdd
+from ..circuit.netlist import Circuit
+from ..partial.blackbox import PartialImplementation
+from .common import SymbolicContext, prepare_context
+from .result import CheckResult, Stopwatch
+
+__all__ = ["check_local", "local_check_from_context"]
+
+
+def local_check_from_context(ctx: SymbolicContext) -> CheckResult:
+    """Run the local check on prepared spec/impl output functions."""
+    with Stopwatch() as clock:
+        z_names = ctx.z_names
+        cex = None
+        failing = None
+        for f, g, spec_net in zip(ctx.spec_outputs, ctx.impl_outputs,
+                                  ctx.spec.outputs):
+            forced_one = g.forall(z_names)      # g_j = 1 for all boxes
+            bad = forced_one & ~f
+            if bad.is_false:
+                forced_zero = (~g).forall(z_names)
+                bad = forced_zero & f
+            if not bad.is_false:
+                failing = spec_net
+                cex = bad.sat_one()
+                break
+        impl_nodes = ctx.bdd.manager.size(
+            [g.node for g in ctx.impl_outputs])
+    return CheckResult(
+        check="local",
+        error_found=failing is not None,
+        exact=False,
+        counterexample={net: (cex or {}).get(net, False)
+                        for net in ctx.spec.inputs}
+        if cex is not None else None,
+        failing_output=failing,
+        seconds=clock.seconds,
+        stats={
+            "spec_nodes": ctx.bdd.manager.size(
+                [f.node for f in ctx.spec_outputs]),
+            "impl_nodes": impl_nodes,
+            "peak_nodes": ctx.bdd.peak_live_nodes,
+        },
+    )
+
+
+def check_local(spec: Circuit, partial: PartialImplementation,
+                bdd: Optional[Bdd] = None) -> CheckResult:
+    """Z_i simulation + local check (approximate; per-output)."""
+    ctx = prepare_context(spec, partial, bdd)
+    return local_check_from_context(ctx)

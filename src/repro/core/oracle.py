@@ -1,0 +1,199 @@
+"""Brute-force extendability oracle for tiny partial implementations.
+
+Enumerates *every* combination of Black Box truth tables and asks whether
+any of them completes the partial implementation into a circuit
+equivalent to the specification.  Exponential in everything — its sole
+purpose is validating the polynomial-space checks (Theorem 2.2 says the
+input exact check must agree with this oracle for one box) on small
+instances, in tests and in the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..circuit.builder import CircuitBuilder
+from ..circuit.netlist import Circuit, CircuitError
+from ..partial.blackbox import BlackBox, PartialImplementation
+
+__all__ = ["is_extendable", "find_extension", "truth_table_circuit",
+           "count_extensions"]
+
+
+def truth_table_circuit(num_inputs: int, tables: Sequence[int],
+                        name: str = "box_impl") -> Circuit:
+    """Circuit for explicit truth tables (one bitmask per output).
+
+    Bit ``r`` of ``tables[k]`` is output ``k``'s value for the input row
+    with input ``i`` set to bit ``i`` of ``r``.  Inputs are named
+    ``i0..``, outputs ``o0..``.
+    """
+    builder = CircuitBuilder(name)
+    ins = [builder.input("i%d" % i) for i in range(num_inputs)]
+    for k, table in enumerate(tables):
+        if not 0 <= table < (1 << (1 << num_inputs)):
+            raise CircuitError("table %d out of range" % k)
+        minterms: List[str] = []
+        for row in range(1 << num_inputs):
+            if (table >> row) & 1:
+                literals = [ins[i] if (row >> i) & 1
+                            else builder.not_(ins[i])
+                            for i in range(num_inputs)]
+                if literals:
+                    minterms.append(builder.and_tree(literals))
+                else:
+                    minterms.append(builder.const(True))
+        out = "o%d" % k
+        if not minterms:
+            builder.const(False, out)
+        elif num_inputs == 0:
+            builder.buf(minterms[0], out)
+        else:
+            builder.or_tree(minterms, out)
+        builder.circuit.add_output(out)
+    return builder.build()
+
+
+def _box_combinations(boxes: Sequence[BlackBox], limit: int)\
+        -> Tuple[int, List[List[Tuple[int, ...]]]]:
+    """All truth-table tuples per box; raises if the space exceeds limit."""
+    total = 1
+    per_box: List[List[Tuple[int, ...]]] = []
+    for box in boxes:
+        rows = 1 << len(box.inputs)
+        per_output = 1 << rows
+        combos = per_output ** len(box.outputs)
+        total *= combos
+        if total > limit:
+            raise CircuitError(
+                "oracle space %d exceeds limit %d — this oracle is for "
+                "tiny boxes only" % (total, limit))
+        per_box.append([tuple(tables) for tables in itertools.product(
+            range(per_output), repeat=len(box.outputs))])
+    return total, per_box
+
+
+def _simulate_with_tables(partial: PartialImplementation,
+                          assignment: Dict[str, bool],
+                          tables: Dict[str, Tuple[int, ...]])\
+        -> List[bool]:
+    """Evaluate the partial implementation with concrete box tables."""
+    circuit = partial.circuit
+    values: Dict[str, bool] = {net: bool(assignment[net])
+                               for net in circuit.inputs}
+    owner: Dict[str, BlackBox] = {}
+    for box in partial.boxes:
+        for net in box.outputs:
+            owner[net] = box
+
+    def net_value(net: str) -> bool:
+        if net in values:
+            return values[net]
+        box = owner.get(net)
+        if box is not None:
+            row = 0
+            for i, src in enumerate(box.inputs):
+                if net_value(src):
+                    row |= 1 << i
+            for k, out_net in enumerate(box.outputs):
+                values[out_net] = bool(
+                    (tables[box.name][k] >> row) & 1)
+            return values[net]
+        gate = circuit.gate(net)
+        from ..circuit.gates import eval_gate
+        values[net] = eval_gate(gate.gtype,
+                                [net_value(src) for src in gate.inputs])
+        return values[net]
+
+    return [net_value(net) for net in circuit.outputs]
+
+
+def find_extension(spec: Circuit, partial: PartialImplementation,
+                   limit: int = 1 << 14)\
+        -> Optional[Dict[str, Tuple[int, ...]]]:
+    """Search for box truth tables completing the implementation.
+
+    Returns ``{box name: per-output truth tables}`` for the first
+    combination equivalent to ``spec``, or ``None`` if none exists.
+    """
+    partial.validate_against(spec)
+    if len(spec.inputs) > 14:
+        raise CircuitError("oracle needs <= 14 primary inputs")
+    _, per_box = _box_combinations(partial.boxes, limit)
+    names = [box.name for box in partial.boxes]
+    patterns = []
+    for bits in range(1 << len(spec.inputs)):
+        patterns.append({net: bool((bits >> i) & 1)
+                         for i, net in enumerate(spec.inputs)})
+    spec_values = [[spec.evaluate(p)[net] for net in spec.outputs]
+                   for p in patterns]
+    for combo in itertools.product(*per_box):
+        tables = dict(zip(names, combo))
+        if all(_simulate_with_tables(partial, p, tables) == want
+               for p, want in zip(patterns, spec_values)):
+            return tables
+    return None
+
+
+def is_extendable(spec: Circuit, partial: PartialImplementation,
+                  limit: int = 1 << 14) -> bool:
+    """Ground truth: can the boxes be filled to match the spec?"""
+    return find_extension(spec, partial, limit=limit) is not None
+
+
+def exact_two_box_check(spec: Circuit, partial: PartialImplementation,
+                        limit: int = 1 << 12) -> bool:
+    """Exact extendability for exactly two boxes (Theorem 2.1, b = 2).
+
+    Far cheaper than full table enumeration: enumerate the *first*
+    box's truth tables only (bounded by ``limit``) and decide each
+    residual single-box problem with the exact input exact check
+    (Theorem 2.2).  Returns True iff an extension exists.
+
+    This also exposes the strictness of equation (1): instances where
+    :func:`repro.core.check_input_exact` reports no error while this
+    procedure proves unextendability are exactly the paper's
+    "approximation for b >= 2" gap.
+    """
+    from .input_exact import check_input_exact
+
+    if partial.num_boxes != 2:
+        raise CircuitError("exact_two_box_check needs exactly 2 boxes")
+    first = partial.boxes[0]
+    rows = 1 << len(first.inputs)
+    per_output = 1 << rows
+    combos = per_output ** len(first.outputs)
+    if combos > limit:
+        raise CircuitError(
+            "first box has %d candidate tables > limit %d"
+            % (combos, limit))
+    for tables in itertools.product(range(per_output),
+                                    repeat=len(first.outputs)):
+        impl = truth_table_circuit(len(first.inputs), tables,
+                                   name=first.name + "_cand")
+        residual = partial.substitute_some({first.name: impl})
+        verdict = check_input_exact(spec, residual)
+        if not verdict.error_found:
+            return True      # exact for the remaining single box
+    return False
+
+
+def count_extensions(spec: Circuit, partial: PartialImplementation,
+                     limit: int = 1 << 14) -> int:
+    """Number of distinct box-table combinations that work (ablations)."""
+    partial.validate_against(spec)
+    _, per_box = _box_combinations(partial.boxes, limit)
+    names = [box.name for box in partial.boxes]
+    patterns = [{net: bool((bits >> i) & 1)
+                 for i, net in enumerate(spec.inputs)}
+                for bits in range(1 << len(spec.inputs))]
+    spec_values = [[spec.evaluate(p)[net] for net in spec.outputs]
+                   for p in patterns]
+    count = 0
+    for combo in itertools.product(*per_box):
+        tables = dict(zip(names, combo))
+        if all(_simulate_with_tables(partial, p, tables) == want
+               for p, want in zip(patterns, spec_values)):
+            count += 1
+    return count

@@ -1,0 +1,84 @@
+"""Check 4: the output exact check (Lemma 2.2).
+
+Combines the per-output legality conditions ``cond_j = g_j ↔ f_j`` and
+asks whether some input assignment falsifies *at least one* condition for
+*every* Black Box output assignment:
+
+    error  iff  ∃x ∀Z ⋁_j ¬cond_j
+           iff  ¬( ∀x ∃Z ⋀_j cond_j )
+
+Detects cross-output conflicts (Figure 3(a)) that the local check misses.
+Same detection power as Günther et al. [9], computed without a Boolean
+relation representation of the whole circuit.  Exact if the Black Boxes
+were allowed to read all primary inputs — which real boxes are not; see
+the input exact check.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..bdd import Bdd, Function
+from ..circuit.netlist import Circuit
+from ..partial.blackbox import PartialImplementation
+from .common import SymbolicContext, prepare_context
+from .quantify import exists_conj
+from .result import CheckResult, Stopwatch
+
+__all__ = ["check_output_exact", "output_exact_from_context",
+           "legal_z_relation", "feasible_inputs"]
+
+
+def legal_z_relation(ctx: SymbolicContext) -> Function:
+    """``cond(x, Z) = ⋀_j (g_j ↔ f_j)`` — the legal-output relation.
+
+    Characteristic function of the Black-Box output assignments that make
+    every implementation output match the specification for input ``x``.
+    Can be large; the checks themselves use scheduled quantification and
+    never build it — this is for witness extraction and the oracle tests.
+    """
+    return ctx.bdd.conj(ctx.conditions())
+
+
+def feasible_inputs(ctx: SymbolicContext) -> Function:
+    """``∃Z ⋀_j cond_j``: inputs for which some box output is legal.
+
+    Computed with early quantification (bucket elimination over the Z
+    variables) so the full legality relation is never materialized.
+    """
+    return exists_conj(ctx.bdd, ctx.conditions(), ctx.z_names)
+
+
+def output_exact_from_context(ctx: SymbolicContext) -> CheckResult:
+    """Run the output exact check on a prepared context."""
+    with Stopwatch() as clock:
+        feasible = feasible_inputs(ctx)
+        error = not feasible.is_true
+        cex = None
+        if error:
+            cex = (~feasible).sat_one() or {}
+    return CheckResult(
+        check="output_exact",
+        error_found=error,
+        exact=False,
+        counterexample={net: cex.get(net, False)
+                        for net in ctx.spec.inputs} if error else None,
+        failing_output=None,
+        detail="∀x∃Z ⋀ cond_j %s" % ("violated" if error else "holds"),
+        seconds=clock.seconds,
+        stats={
+            "spec_nodes": ctx.bdd.manager.size(
+                [f.node for f in ctx.spec_outputs]),
+            "impl_nodes": ctx.bdd.manager.size(
+                [g.node for g in ctx.impl_outputs]),
+            "cond_nodes": feasible.size(),
+            "peak_nodes": ctx.bdd.peak_live_nodes,
+        },
+    )
+
+
+def check_output_exact(spec: Circuit, partial: PartialImplementation,
+                       bdd: Optional[Bdd] = None) -> CheckResult:
+    """Z_i simulation + output exact check (Lemma 2.2)."""
+    ctx = prepare_context(spec, partial, bdd)
+    return output_exact_from_context(ctx)

@@ -1,0 +1,74 @@
+"""Check 1: non-symbolic 0,1,X simulation with random patterns.
+
+The paper's baseline ("r.p." column, 5000 patterns): simulate the partial
+implementation with X at the Black Box outputs; whenever an output is a
+*definite* 0/1 that differs from the specification, the error is real —
+no box substitution can fix it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..circuit.netlist import Circuit
+from ..partial.blackbox import PartialImplementation
+from ..sim.logic3 import ONE, ZERO, from_bool
+from ..sim.patterns import random_patterns
+from ..sim.ternary import simulate_ternary
+from .result import CheckResult, Stopwatch
+
+__all__ = ["check_random_patterns", "ternary_distinguishes"]
+
+#: Pattern budget used in the paper's experiments.
+DEFAULT_PATTERNS = 5000
+
+
+def ternary_distinguishes(spec: Circuit, partial: PartialImplementation,
+                          assignment: Dict[str, bool]) -> Optional[str]:
+    """Does this input pattern prove an error?  Returns the spec output.
+
+    An error is proven when the ternary simulation of the partial
+    implementation yields a definite value that differs from the
+    specification's value.
+    """
+    spec_out = spec.evaluate(assignment)
+    impl_out = simulate_ternary(
+        partial.circuit, {k: from_bool(v) for k, v in assignment.items()})
+    for spec_net, impl_net in zip(spec.outputs, partial.circuit.outputs):
+        expected = ONE if spec_out[spec_net] else ZERO
+        got = impl_out[impl_net]
+        if got in (ZERO, ONE) and got != expected:
+            return spec_net
+    return None
+
+
+def check_random_patterns(spec: Circuit, partial: PartialImplementation,
+                          patterns: int = DEFAULT_PATTERNS,
+                          seed: Optional[int] = None) -> CheckResult:
+    """Random-pattern 0,1,X check (approximate, cheapest).
+
+    Never reports a false error; misses any error that needs either a
+    specific rare pattern or reasoning beyond the X abstraction.
+    """
+    partial.validate_against(spec)
+    with Stopwatch() as clock:
+        failing = None
+        cex = None
+        tried = 0
+        for assignment in random_patterns(spec.inputs, patterns,
+                                          seed=seed):
+            tried += 1
+            failing = ternary_distinguishes(spec, partial, assignment)
+            if failing is not None:
+                cex = assignment
+                break
+    return CheckResult(
+        check="random_pattern",
+        error_found=failing is not None,
+        exact=False,
+        counterexample=cex,
+        failing_output=failing,
+        detail="%d of %d patterns simulated" % (tried, patterns),
+        seconds=clock.seconds,
+        stats={"patterns": tried},
+    )

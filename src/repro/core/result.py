@@ -1,0 +1,72 @@
+"""Result types shared by all Black Box equivalence checks."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+__all__ = ["CheckResult", "Stopwatch"]
+
+
+@dataclass
+class CheckResult:
+    """Verdict of one Black Box equivalence check.
+
+    Attributes
+    ----------
+    check:
+        Identifier of the algorithm (``"random_pattern"``,
+        ``"symbolic_01x"``, ``"local"``, ``"output_exact"``,
+        ``"input_exact"``).
+    error_found:
+        True when the partial implementation provably cannot be extended
+        to a correct complete implementation.
+    exact:
+        True when this run was *exact*: ``error_found == False``
+        additionally guarantees that a correct extension exists.  Only the
+        input-exact check with a single Black Box (and the degenerate
+        box-free case) sets this.
+    counterexample:
+        A primary-input assignment on which the implementation provably
+        differs from the specification for every box substitution, when
+        the failing check can name one.
+    failing_output:
+        Name of a specification output witnessing the error, when known.
+    detail:
+        Free-text explanation (e.g. which stage of the input-exact
+        quantifier prefix failed).
+    seconds:
+        Wall-clock time of the check.
+    stats:
+        Implementation-defined resource counters (BDD sizes, peak nodes,
+        pattern counts, ...), mirroring the paper's Tables 1 and 2.
+    """
+
+    check: str
+    error_found: bool
+    exact: bool = False
+    counterexample: Optional[Dict[str, bool]] = None
+    failing_output: Optional[str] = None
+    detail: str = ""
+    seconds: float = 0.0
+    stats: Dict[str, int] = field(default_factory=dict)
+
+    def __repr__(self) -> str:
+        verdict = "ERROR" if self.error_found else (
+            "OK (exact)" if self.exact else "no error found")
+        return "<CheckResult %s: %s%s>" % (
+            self.check, verdict,
+            " @ %s" % self.failing_output if self.failing_output else "")
+
+
+class Stopwatch:
+    """Tiny context manager for wall-clock timing of checks."""
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        self.seconds = 0.0
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.seconds = time.perf_counter() - self._start

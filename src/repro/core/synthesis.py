@@ -1,0 +1,191 @@
+"""Witness synthesis: build concrete Black Box implementations.
+
+When the input exact check passes, Theorem 2.1 (for one box: Theorem 2.2)
+promises an extension of the partial implementation exists.  This module
+*constructs* one: it determinizes the relation ``cond'(I, O)`` into one
+Boolean function per box output and converts those BDDs back into a
+netlist — turning the paper's existence proof into an executable design
+step (and giving the test suite a strong end-to-end validation: plug the
+witness in and run ordinary equivalence checking).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..bdd import Bdd, Function
+from ..circuit.builder import CircuitBuilder
+from ..circuit.netlist import Circuit, CircuitError
+from ..partial.blackbox import PartialImplementation
+from .common import SymbolicContext, box_input_var_name, \
+    prepare_context
+from .input_exact import build_cond_prime
+
+__all__ = ["bdd_to_net", "function_vector_circuit", "determinize",
+           "synthesize_boxes", "synthesize_single_box"]
+
+
+def bdd_to_net(builder: CircuitBuilder, function: Function,
+               var_to_net: Dict[str, str]) -> str:
+    """Convert a BDD into multiplexer gates; returns the root net.
+
+    Shared BDD nodes become shared nets, so circuit size is linear in the
+    BDD size.  ``var_to_net`` maps every support variable to an existing
+    circuit net.
+    """
+    mgr = function.bdd.manager
+    memo: Dict[int, str] = {}
+
+    def build(node: int) -> str:
+        cached = memo.get(node)
+        if cached is not None:
+            return cached
+        if mgr.is_terminal(node):
+            net = builder.const(node == 1)
+        else:
+            var_name = mgr.var_name(mgr.node_var(node))
+            try:
+                sel = var_to_net[var_name]
+            except KeyError:
+                raise CircuitError(
+                    "no net mapped for BDD variable %r" % var_name
+                ) from None
+            lo = build(mgr.node_low(node))
+            hi = build(mgr.node_high(node))
+            net = builder.mux(sel, lo, hi)
+        memo[node] = net
+        return net
+
+    return build(function.node)
+
+
+def function_vector_circuit(functions: List[Function],
+                            input_vars: List[str],
+                            name: str = "box_impl") -> Circuit:
+    """Netlist computing a vector of BDDs over the given variables.
+
+    Inputs are named ``i0..``, in the order of ``input_vars``; outputs
+    ``o0..``, one per function.
+    """
+    builder = CircuitBuilder(name)
+    var_to_net = {}
+    for position, var in enumerate(input_vars):
+        var_to_net[var] = builder.input("i%d" % position)
+    for k, function in enumerate(functions):
+        root = bdd_to_net(builder, function, var_to_net)
+        builder.buf(root, "o%d" % k)
+        builder.circuit.add_output("o%d" % k)
+    return builder.build()
+
+
+def determinize(relation: Function, output_vars: List[str])\
+        -> Optional[List[Function]]:
+    """Extract functions ``o_k = f_k(rest)`` from a relation.
+
+    Requires ``∀rest ∃outputs relation``; returns ``None`` otherwise.
+    Prefers 0 where the relation allows both values.
+    """
+    if not relation.exists(output_vars).is_true:
+        return None
+    bdd = relation.bdd
+    current = relation
+    functions: List[Function] = []
+    for k, var in enumerate(output_vars):
+        rest = output_vars[k + 1:]
+        narrowed = current.exists(rest) if rest else current
+        # Choose 1 exactly where 0 is illegal.
+        f_k = ~narrowed.restrict({var: False})
+        functions.append(f_k)
+        current = current.compose({var: f_k})
+    return functions
+
+
+def synthesize_boxes(spec: Circuit, partial: PartialImplementation,
+                     bdd: Optional[Bdd] = None, verify: bool = True,
+                     minimize: bool = False)\
+        -> Optional[Dict[str, Circuit]]:
+    """Concrete implementations for all Black Boxes, or ``None``.
+
+    For one box this succeeds if and only if the partial implementation
+    is extendable (Theorem 2.2).  For several boxes a greedy sequential
+    strategy is used — sound (the result is verified by full equivalence
+    checking) but incomplete, mirroring the approximation status of
+    equation (1) itself.
+
+    With ``minimize`` the synthesized functions are simplified against
+    the box's reachable-observation care set (``∃x H``): pin patterns no
+    primary input can produce are don't-cares, often shrinking the
+    witness netlist considerably.
+    """
+    ctx = prepare_context(spec, partial, bdd)
+    cond_prime, groups = build_cond_prime(ctx)
+
+    implementations: Dict[str, Circuit] = {}
+    current = cond_prime
+    for j, box in enumerate(ctx.partial.boxes):
+        i_names, o_names = groups[j]
+        other_inputs = [n for g_idx, (ins, _) in enumerate(groups)
+                        if g_idx != j for n in ins]
+        later_outputs = [n for _, (_, outs) in
+                         enumerate(groups[j + 1:], start=j + 1)
+                         for n in outs]
+        relation = current.exists(later_outputs).forall(other_inputs)
+        functions = determinize(relation, o_names)
+        if functions is None:
+            return None
+        if minimize:
+            functions = _minimize_against_reachable(ctx, j, functions)
+        implementations[box.name] = function_vector_circuit(
+            functions, i_names, name="%s_impl" % box.name)
+        current = current.compose(dict(zip(o_names, functions)))
+
+    if verify:
+        from .equivalence import check_equivalence
+
+        complete = partial.substitute(implementations)
+        if not check_equivalence(spec, complete).equivalent:
+            return None
+    return implementations
+
+
+def _minimize_against_reachable(ctx: SymbolicContext, box_index: int,
+                                functions: List[Function])\
+        -> List[Function]:
+    """Simplify box functions with the reachable-pin care set.
+
+    The care set is ``∃x ∃O_<j ⋀_k (i_k ↔ h_k)`` — the pin observations
+    some primary input can actually produce.  Off that set the box's
+    value never matters, so Shiple's restrict may pick whatever shrinks
+    the BDDs.
+    """
+    from ..bdd import minimize_restrict
+    from .input_exact import _box_input_functions
+    from .quantify import exists_conj
+
+    bdd = ctx.bdd
+    box = ctx.partial.boxes[box_index]
+    equivs = []
+    support: set = set()
+    for position, h in enumerate(_box_input_functions(ctx)[box.name]):
+        i_var = bdd.var(box_input_var_name(box.name, position))
+        equivs.append(i_var.equiv(h))
+        support.update(h.support())
+    care = exists_conj(bdd, equivs, support)
+    if care.is_false:
+        return functions
+    return [minimize_restrict(f, care) for f in functions]
+
+
+def synthesize_single_box(spec: Circuit, partial: PartialImplementation,
+                          bdd: Optional[Bdd] = None,
+                          minimize: bool = False)\
+        -> Optional[Circuit]:
+    """Witness for the single-box case (exact per Theorem 2.2)."""
+    if partial.num_boxes != 1:
+        raise CircuitError("use synthesize_boxes for %d boxes"
+                           % partial.num_boxes)
+    implementations = synthesize_boxes(spec, partial, bdd,
+                                       minimize=minimize)
+    if implementations is None:
+        return None
+    return implementations[partial.boxes[0].name]

@@ -1,0 +1,33 @@
+"""Experiment harness regenerating the paper's tables."""
+
+from .runner import (CHECKS, BenchmarkRow, ExperimentConfig, run_one_case,
+                     run_benchmark_row, run_table)
+from .tables import average_row, format_detection_summary, format_table
+from .sweep import SweepPoint, format_sweep, run_fraction_sweep
+from .export import rows_to_csv, rows_to_dict, rows_to_json
+from .stats import detection_interval, wilson_interval
+from .paper_reference import (PAPER_TABLE1, PAPER_TABLE2,
+                              format_comparison)
+
+__all__ = [
+    "CHECKS",
+    "BenchmarkRow",
+    "ExperimentConfig",
+    "run_one_case",
+    "run_benchmark_row",
+    "run_table",
+    "average_row",
+    "format_detection_summary",
+    "format_table",
+    "SweepPoint",
+    "run_fraction_sweep",
+    "format_sweep",
+    "rows_to_dict",
+    "rows_to_json",
+    "rows_to_csv",
+    "wilson_interval",
+    "detection_interval",
+    "PAPER_TABLE1",
+    "PAPER_TABLE2",
+    "format_comparison",
+]

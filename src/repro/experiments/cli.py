@@ -1,0 +1,164 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Examples::
+
+    python -m repro.experiments table1
+    python -m repro.experiments table2 --errors 20 --selections 3
+    python -m repro.experiments table40 --benchmarks alu4,comp
+    python -m repro.experiments figures
+    python -m repro.experiments table1 --paper-scale   # hours, faithful
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..core.ladder import CHECK_ORDER, run_ladder
+from ..generators.benchmarks import BENCHMARK_NAMES
+from ..generators.paper_examples import ALL_FIGURES
+from .runner import ExperimentConfig, run_table
+from .tables import format_table
+
+__all__ = ["main"]
+
+_TABLES = {
+    "table1": dict(fraction=0.1, num_boxes=1,
+                   title="Table 1: 10% of the gates in one Black Box"),
+    "table2": dict(fraction=0.1, num_boxes=5,
+                   title="Table 2: 10% of the gates in five Black Boxes"),
+    "table40": dict(fraction=0.4, num_boxes=1,
+                    title="40% variant: 40% of the gates in one Black "
+                          "Box (Section 3, tech-report experiment)"),
+}
+
+
+def _run_figures() -> int:
+    print("Paper figures (Sections 2.1-2.2.3): first check that finds "
+          "the inserted error\n")
+    for name, (factory, expected) in ALL_FIGURES.items():
+        spec, partial = factory()
+        results = run_ladder(spec, partial,
+                             checks=[c for c in CHECK_ORDER
+                                     if c != "random_pattern"],
+                             stop_at_first_error=False)
+        first = next((r.check for r in results if r.error_found), None)
+        status = "OK" if first == expected else "MISMATCH"
+        print("%-9s expected %-12s found-by %-12s [%s]"
+              % (name, expected or "-", first or "-", status))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI dispatcher; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the evaluation of 'Checking Equivalence "
+                    "for Partial Implementations' (DAC 2001)")
+    parser.add_argument("experiment",
+                        choices=sorted(_TABLES) + ["figures", "sweep"],
+                        help="which table/figure set to regenerate")
+    parser.add_argument("--selections", type=int, default=None,
+                        help="random Black Box selections per circuit "
+                             "(paper: 5)")
+    parser.add_argument("--errors", type=int, default=None,
+                        help="error insertions per selection (paper: 100)")
+    parser.add_argument("--patterns", type=int, default=None,
+                        help="random patterns for the r.p. check "
+                             "(paper: 5000)")
+    parser.add_argument("--seed", type=int, default=2001)
+    parser.add_argument("--benchmarks", type=str, default=None,
+                        help="comma-separated circuit subset (default: "
+                             "all: %s)" % ",".join(BENCHMARK_NAMES))
+    parser.add_argument("--paper-scale", action="store_true",
+                        help="use the paper's campaign size "
+                             "(5 selections x 100 errors x 5000 patterns)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress progress output")
+    parser.add_argument("--json", metavar="FILE", default=None,
+                        help="additionally write results as JSON")
+    parser.add_argument("--csv", metavar="FILE", default=None,
+                        help="additionally write results as CSV")
+    parser.add_argument("--compare", action="store_true",
+                        help="also print a measured-vs-paper comparison "
+                             "(tables 1 and 2 only)")
+    args = parser.parse_args(argv)
+
+    if args.experiment == "figures":
+        return _run_figures()
+
+    if args.experiment == "sweep":
+        from ..generators.benchmarks import BENCHMARK_FACTORIES
+        from .sweep import format_sweep, run_fraction_sweep
+
+        names = ([n.strip() for n in args.benchmarks.split(",")]
+                 if args.benchmarks else ["alu4", "comp"])
+        unknown = set(names) - set(BENCHMARK_NAMES)
+        if unknown:
+            parser.error("unknown benchmarks: %s" % ", ".join(unknown))
+        for bench_name in names:
+            points = run_fraction_sweep(
+                bench_name, BENCHMARK_FACTORIES[bench_name](),
+                errors=args.errors or 6,
+                selections=args.selections or 1,
+                patterns=args.patterns or 300, seed=args.seed)
+            print(format_sweep(bench_name, points))
+            print()
+        return 0
+
+    table = _TABLES[args.experiment]
+    overrides = dict(fraction=table["fraction"],
+                     num_boxes=table["num_boxes"], seed=args.seed)
+    if args.benchmarks:
+        names = [n.strip() for n in args.benchmarks.split(",")]
+        unknown = set(names) - set(BENCHMARK_NAMES)
+        if unknown:
+            parser.error("unknown benchmarks: %s" % ", ".join(unknown))
+        overrides["benchmarks"] = names
+    for attr in ("selections", "errors", "patterns"):
+        value = getattr(args, attr)
+        if value is not None:
+            overrides[attr] = value
+    if args.paper_scale:
+        config = ExperimentConfig.paper_scale(**overrides)
+    else:
+        config = ExperimentConfig(**overrides)
+
+    progress = None
+    if not args.quiet:
+        def progress(message: str) -> None:
+            print("\r%-60s" % message, end="", file=sys.stderr, flush=True)
+
+    rows = run_table(config, progress=progress)
+    if not args.quiet:
+        print(file=sys.stderr)
+    if args.json:
+        from .export import rows_to_json
+
+        with open(args.json, "w") as handle:
+            handle.write(rows_to_json(rows))
+    if args.csv:
+        from .export import rows_to_csv
+
+        with open(args.csv, "w") as handle:
+            handle.write(rows_to_csv(rows))
+    print(format_table(
+        rows,
+        "%s  (%d selections x %d errors, %d patterns, seed %d)"
+        % (table["title"], config.selections, config.errors,
+           config.patterns, config.seed)))
+    if args.compare and args.experiment in ("table1", "table2"):
+        from .paper_reference import (PAPER_TABLE1, PAPER_TABLE2,
+                                      format_comparison)
+
+        reference = PAPER_TABLE1 if args.experiment == "table1" \
+            else PAPER_TABLE2
+        print()
+        print("measured vs paper (detection ratios):")
+        print(format_comparison(rows, reference))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

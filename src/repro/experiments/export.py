@@ -1,0 +1,69 @@
+"""Machine-readable export of experiment results (JSON / CSV)."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict, List, Sequence
+
+from .runner import BenchmarkRow
+from .stats import detection_interval
+
+__all__ = ["rows_to_dict", "rows_to_json", "rows_to_csv"]
+
+
+def rows_to_dict(rows: Sequence[BenchmarkRow],
+                 intervals: bool = True) -> List[Dict]:
+    """Plain-dict form of table rows, one entry per circuit."""
+    out: List[Dict] = []
+    for row in rows:
+        entry: Dict = {
+            "circuit": row.circuit,
+            "inputs": row.inputs,
+            "outputs": row.outputs,
+            "spec_nodes": row.spec_nodes,
+            "cases": row.cases,
+            "checks": {},
+        }
+        for check in row.detected:
+            record = {
+                "detection_percent": row.detection_ratio(check),
+                "mean_impl_nodes": row.impl_nodes.get(check, 0.0),
+                "mean_peak_nodes": row.peak_nodes.get(check, 0.0),
+                "mean_seconds": row.runtime.get(check, 0.0),
+            }
+            if intervals and row.cases:
+                low, high = detection_interval(
+                    row.detected[check], row.cases)
+                record["detection_ci95"] = [low, high]
+            entry["checks"][check] = record
+        out.append(entry)
+    return out
+
+
+def rows_to_json(rows: Sequence[BenchmarkRow],
+                 intervals: bool = True, indent: int = 2) -> str:
+    """JSON rendering of table rows."""
+    return json.dumps(rows_to_dict(rows, intervals=intervals),
+                      indent=indent, sort_keys=True)
+
+
+def rows_to_csv(rows: Sequence[BenchmarkRow]) -> str:
+    """Flat CSV rendering (one line per circuit x check)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["circuit", "inputs", "outputs", "spec_nodes",
+                     "cases", "check", "detection_percent",
+                     "mean_impl_nodes", "mean_peak_nodes",
+                     "mean_seconds"])
+    for row in rows:
+        for check in row.detected:
+            writer.writerow([
+                row.circuit, row.inputs, row.outputs, row.spec_nodes,
+                row.cases, check,
+                "%.2f" % row.detection_ratio(check),
+                "%.1f" % row.impl_nodes.get(check, 0.0),
+                "%.1f" % row.peak_nodes.get(check, 0.0),
+                "%.4f" % row.runtime.get(check, 0.0)])
+    return buffer.getvalue()

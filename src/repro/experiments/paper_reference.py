@@ -1,0 +1,76 @@
+"""The paper's published numbers (DAC 2001, Tables 1 and 2).
+
+Detection-ratio columns as printed in the paper; the random-pattern
+("r.p.") column is only legible for the average rows of the source
+scan, so per-circuit entries carry ``None`` there.  Used to render
+measured-vs-paper comparisons.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from .runner import BenchmarkRow
+
+__all__ = ["PAPER_TABLE1", "PAPER_TABLE2", "format_comparison"]
+
+#: circuit -> {check -> percent}; None where the scan is not legible.
+PAPER_TABLE1: Dict[str, Dict[str, Optional[float]]] = {
+    "alu4":  {"r.p.": None, "0,1,X": 95, "loc.": 95, "oe": 96, "ie": 96},
+    "apex3": {"r.p.": None, "0,1,X": 97, "loc.": 97, "oe": 98, "ie": 98},
+    "C499":  {"r.p.": None, "0,1,X": 88, "loc.": 88, "oe": 88, "ie": 96},
+    "C880":  {"r.p.": None, "0,1,X": 62, "loc.": 65, "oe": 68, "ie": 80},
+    "C1355": {"r.p.": None, "0,1,X": 59, "loc.": 59, "oe": 69, "ie": 80},
+    "C1908": {"r.p.": None, "0,1,X": 87, "loc.": 91, "oe": 92, "ie": 92},
+    "comp":  {"r.p.": None, "0,1,X": 63, "loc.": 65, "oe": 67, "ie": 90},
+    "term1": {"r.p.": None, "0,1,X": 95, "loc.": 95, "oe": 95, "ie": 95},
+    "average": {"r.p.": 63, "0,1,X": 81, "loc.": 82, "oe": 84,
+                "ie": 91},
+}
+
+PAPER_TABLE2: Dict[str, Dict[str, Optional[float]]] = {
+    "alu4":  {"r.p.": None, "0,1,X": 92, "loc.": 92, "oe": 94, "ie": 94},
+    "apex3": {"r.p.": None, "0,1,X": 96, "loc.": 96, "oe": 98, "ie": 98},
+    "C499":  {"r.p.": None, "0,1,X": 88, "loc.": 88, "oe": 88, "ie": 96},
+    "C880":  {"r.p.": None, "0,1,X": 54, "loc.": 66, "oe": 72, "ie": 87},
+    "C1355": {"r.p.": None, "0,1,X": 44, "loc.": 46, "oe": 58, "ie": 75},
+    "C1908": {"r.p.": None, "0,1,X": 75, "loc.": 80, "oe": 82, "ie": 88},
+    "comp":  {"r.p.": None, "0,1,X": 43, "loc.": 54, "oe": 57, "ie": 83},
+    "term1": {"r.p.": None, "0,1,X": 87, "loc.": 88, "oe": 88, "ie": 92},
+    "average": {"r.p.": 53, "0,1,X": 72, "loc.": 76, "oe": 80,
+                "ie": 89},
+}
+
+
+def format_comparison(rows: Sequence[BenchmarkRow],
+                      reference: Dict[str, Dict[str, Optional[float]]],
+                      checks: Sequence[str] = ("0,1,X", "loc.", "oe",
+                                               "ie")) -> str:
+    """Side-by-side measured vs. paper detection ratios.
+
+    Shape indicators per row: whether both series are monotone and
+    whether the biggest jump lands on the same check.
+    """
+    from .tables import average_row
+
+    lines = ["circuit    " + "  ".join(
+        "%13s" % ("%s meas/papr" % c) for c in checks) + "   shape"]
+    body = list(rows) + [average_row(rows)]
+    for row in body:
+        ref = reference.get(row.circuit)
+        cells = []
+        measured = [row.detection_ratio(c) for c in checks]
+        for check, value in zip(checks, measured):
+            paper = ref.get(check) if ref else None
+            cells.append("%13s" % (
+                "%3.0f%% /%4.0f%%" % (value, paper)
+                if paper is not None else "%3.0f%% /   ?" % value))
+        shape = ""
+        if ref and all(ref.get(c) is not None for c in checks):
+            paper_series = [float(ref[c]) for c in checks]
+            both_monotone = (measured == sorted(measured)
+                             and paper_series == sorted(paper_series))
+            shape = "monotone" if both_monotone else "check!"
+        lines.append("%-9s  %s   %s" % (row.circuit,
+                                        "  ".join(cells), shape))
+    return "\n".join(lines)

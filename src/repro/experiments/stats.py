@@ -1,0 +1,57 @@
+"""Statistics helpers for detection-ratio reporting.
+
+The paper reports plain detection percentages over 500 cases per row;
+our scaled-down campaigns have far fewer cases, so the harness can also
+report Wilson score intervals to make the uncertainty visible when
+comparing against the paper's numbers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+__all__ = ["wilson_interval", "detection_interval", "mean", "stddev"]
+
+
+def wilson_interval(successes: int, trials: int,
+                    z: float = 1.96) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Returns ``(low, high)`` in [0, 1]; the default ``z`` gives a 95%
+    interval.  Well-behaved for the small ``trials`` of quick campaigns
+    (unlike the normal approximation).
+    """
+    if trials <= 0:
+        raise ValueError("need at least one trial")
+    if not 0 <= successes <= trials:
+        raise ValueError("successes out of range")
+    p = successes / trials
+    denom = 1 + z * z / trials
+    center = (p + z * z / (2 * trials)) / denom
+    margin = (z / denom) * math.sqrt(
+        p * (1 - p) / trials + z * z / (4 * trials * trials))
+    return (max(0.0, center - margin), min(1.0, center + margin))
+
+
+def detection_interval(detected: float, cases: int,
+                       z: float = 1.96) -> Tuple[float, float]:
+    """Wilson interval for a detection ratio, in percent."""
+    low, high = wilson_interval(int(round(detected)), cases, z=z)
+    return (100.0 * low, 100.0 * high)
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (errors on empty input)."""
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def stddev(values: Sequence[float]) -> float:
+    """Sample standard deviation (0.0 for fewer than two values)."""
+    if len(values) < 2:
+        return 0.0
+    mu = mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values)
+                     / (len(values) - 1))

@@ -1,0 +1,71 @@
+"""Paper-style text rendering of experiment results."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .runner import CHECKS, BenchmarkRow
+
+__all__ = ["format_table", "average_row", "format_detection_summary"]
+
+
+def average_row(rows: Sequence[BenchmarkRow]) -> BenchmarkRow:
+    """The "average" line the paper prints under each table."""
+    if not rows:
+        raise ValueError("no rows to average")
+    avg = BenchmarkRow(circuit="average", inputs=0, outputs=0,
+                       spec_nodes=0)
+    checks = list(rows[0].detected)
+    avg.cases = 1
+    for check in checks:
+        avg.detected[check] = 0
+        ratios = [row.detection_ratio(check) for row in rows]
+        avg.impl_nodes[check] = sum(
+            row.impl_nodes[check] for row in rows) / len(rows)
+        avg.peak_nodes[check] = sum(
+            row.peak_nodes[check] for row in rows) / len(rows)
+        avg.runtime[check] = sum(
+            row.runtime[check] for row in rows) / len(rows)
+        # Encode the average ratio via detected/cases = ratio/100.
+        avg.detected[check] = sum(ratios) / len(ratios)
+    avg.cases = 100  # so detection_ratio() returns the mean percentage
+    return avg
+
+
+def format_table(rows: Sequence[BenchmarkRow], title: str,
+                 checks: Sequence[str] = CHECKS) -> str:
+    """Render rows in the layout of the paper's Tables 1 and 2."""
+    sym_checks = [c for c in checks if c != "r.p."]
+    header_1 = ("circuit  in out  #nodes | detected errors | "
+                "avg #nodes impl/peak | run time [s]")
+    lines = [title, "=" * len(title), header_1, "-" * len(header_1)]
+    det_hdr = " ".join("%7s" % c for c in checks)
+    node_hdr = " ".join("%9s" % c for c in sym_checks)
+    time_hdr = " ".join("%8s" % c for c in checks)
+    lines.append("%-8s %3s %3s %7s | %s | %s | %s"
+                 % ("", "", "", "spec", det_hdr, node_hdr, time_hdr))
+    body_rows = list(rows)
+    body_rows.append(average_row(rows))
+    for row in body_rows:
+        det = " ".join("%6.0f%%" % row.detection_ratio(c) for c in checks)
+        nodes = " ".join("%9s" % ("%d/%d" % (row.impl_nodes[c],
+                                             row.peak_nodes[c]))
+                         for c in sym_checks)
+        times = " ".join("%8.2f" % row.runtime[c] for c in checks)
+        if row.circuit == "average":
+            head = "%-8s %3s %3s %7s" % ("average", "", "", "")
+        else:
+            head = "%-8s %3d %3d %7d" % (row.circuit, row.inputs,
+                                         row.outputs, row.spec_nodes)
+        lines.append("%s | %s | %s | %s" % (head, det, nodes, times))
+    return "\n".join(lines)
+
+
+def format_detection_summary(rows: Sequence[BenchmarkRow],
+                             checks: Sequence[str] = CHECKS) -> str:
+    """Compact detection-only view (the paper's headline numbers)."""
+    lines = ["circuit   " + " ".join("%7s" % c for c in checks)]
+    for row in list(rows) + [average_row(rows)]:
+        lines.append("%-9s " % row.circuit + " ".join(
+            "%6.0f%%" % row.detection_ratio(c) for c in checks))
+    return "\n".join(lines)

@@ -1,0 +1,43 @@
+"""Benchmark circuit generators (stand-ins for the MCNC/ISCAS netlists)."""
+
+from .alu import alu4_like, c880_like, make_alu
+from .arithmetic import array_multiplier, parity_circuit, \
+    ripple_adder_circuit
+from .comparator import comp_like, magnitude_comparator
+from .ecc import c1355_like, c1908_like, c499_like, hamming_corrector
+from .random_logic import (apex3_like, random_logic, random_pla,
+                           routing_logic, term1_like)
+from .benchmarks import (BENCHMARK_FACTORIES, BENCHMARK_NAMES,
+                         benchmark_circuit, benchmark_suite)
+from .paper_examples import (ALL_FIGURES, figure1, figure2a, figure2b,
+                             figure3a, figure3b)
+
+__all__ = [
+    "make_alu",
+    "alu4_like",
+    "c880_like",
+    "ripple_adder_circuit",
+    "array_multiplier",
+    "parity_circuit",
+    "magnitude_comparator",
+    "comp_like",
+    "hamming_corrector",
+    "c499_like",
+    "c1355_like",
+    "c1908_like",
+    "random_logic",
+    "random_pla",
+    "routing_logic",
+    "apex3_like",
+    "term1_like",
+    "BENCHMARK_FACTORIES",
+    "BENCHMARK_NAMES",
+    "benchmark_circuit",
+    "benchmark_suite",
+    "ALL_FIGURES",
+    "figure1",
+    "figure2a",
+    "figure2b",
+    "figure3a",
+    "figure3b",
+]

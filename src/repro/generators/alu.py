@@ -1,0 +1,150 @@
+"""ALU-family benchmark generators (stand-ins for MCNC alu4, ISCAS C880).
+
+These are original designs, not copies of the benchmark netlists: the
+experiments only need circuits of the same family and comparable
+interface size (see DESIGN.md, "Benchmark substitutions").
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..circuit.builder import CircuitBuilder
+from ..circuit.netlist import Circuit
+
+__all__ = ["make_alu", "alu4_like", "c880_like"]
+
+
+def _logic_unit(builder: CircuitBuilder, a: List[str], b: List[str])\
+        -> Tuple[List[str], List[str], List[str], List[str]]:
+    """Bitwise AND/OR/XOR/NOR rails for the function selector."""
+    and_bits = [builder.and_(x, y) for x, y in zip(a, b)]
+    or_bits = [builder.or_(x, y) for x, y in zip(a, b)]
+    xor_bits = [builder.xor_(x, y) for x, y in zip(a, b)]
+    nor_bits = [builder.nor_(x, y) for x, y in zip(a, b)]
+    return and_bits, or_bits, xor_bits, nor_bits
+
+
+def make_alu(width: int, name: str = "alu") -> Circuit:
+    """``width``-bit ALU with add/and/or/xor, carry, zero and parity.
+
+    Inputs: ``a0.. b0.. sel0 sel1 cin inv`` (2*width + 4).
+    Outputs: ``r0..r<width-1> cout zero par neg`` (width + 4).
+
+    ``sel`` chooses among ADD, AND, OR, XOR; ``inv`` complements operand
+    ``b`` first (giving subtract-like behaviour for ADD with ``cin``).
+    """
+    builder = CircuitBuilder(name)
+    a, b_raw = builder.interleaved_inputs(("a", "b"), width)
+    sel0 = builder.input("sel0")
+    sel1 = builder.input("sel1")
+    cin = builder.input("cin")
+    inv = builder.input("inv")
+
+    b = [builder.mux(inv, bit, builder.not_(bit)) for bit in b_raw]
+
+    sum_bits, cout = builder.ripple_adder(a, b, cin)
+    and_bits, or_bits, xor_bits, _ = _logic_unit(builder, a, b)
+
+    result: List[str] = []
+    for i in range(width):
+        lo = builder.mux(sel0, sum_bits[i], and_bits[i])
+        hi = builder.mux(sel0, or_bits[i], xor_bits[i])
+        result.append(builder.mux(sel1, lo, hi))
+
+    builder.outputs(result, "r")
+    builder.output(cout, "cout")
+    zero = builder.nor_(*result, out="zero")
+    builder.circuit.add_output(zero)
+    par = builder.xor_tree(result, "par")
+    builder.circuit.add_output(par)
+    builder.output(result[-1], "neg")
+    return builder.build()
+
+
+def alu4_like(name: str = "alu4") -> Circuit:
+    """14-input / 8-output 4-bit ALU slice (MCNC *alu4* stand-in).
+
+    Interface matches the paper's table row: 14 inputs, 8 outputs.
+    """
+    # make_alu(4) has 2*4+4 = 12 inputs and 4+4 = 8 outputs; add a
+    # two-bit output mask stage to reach the 14-input interface.
+    builder = CircuitBuilder(name)
+    a, b_raw = builder.interleaved_inputs(("a", "b"), 4)
+    sel0 = builder.input("sel0")
+    sel1 = builder.input("sel1")
+    cin = builder.input("cin")
+    inv = builder.input("inv")
+    mask0 = builder.input("mask0")
+    mask1 = builder.input("mask1")
+
+    b = [builder.mux(inv, bit, builder.not_(bit)) for bit in b_raw]
+    sum_bits, cout = builder.ripple_adder(a, b, cin)
+    and_bits, or_bits, xor_bits, _ = _logic_unit(builder, a, b)
+
+    result: List[str] = []
+    for i in range(4):
+        lo = builder.mux(sel0, sum_bits[i], and_bits[i])
+        hi = builder.mux(sel0, or_bits[i], xor_bits[i])
+        picked = builder.mux(sel1, lo, hi)
+        # Masking: lower half gated by mask0, upper half by mask1.
+        gate_bit = mask0 if i < 2 else mask1
+        result.append(builder.and_(picked, builder.not_(gate_bit)))
+
+    builder.outputs(result, "r")
+    builder.output(cout, "cout")
+    builder.circuit.add_output(builder.nor_(*result, out="zero"))
+    builder.circuit.add_output(builder.xor_tree(result, "par"))
+    builder.output(result[3], "neg")
+    return builder.build()
+
+
+def c880_like(name: str = "C880", width: int = 6) -> Circuit:
+    """ALU with mask plane and group flags (ISCAS *C880* stand-in).
+
+    Interface at the default width 6: 6+6+6+5 = 23 inputs; 6 result
+    bits, 6 masked bits, 3 group-propagate bits and 6 flags = 21
+    outputs.  The paper circuit is a 60-input/26-output 8-bit ALU; the
+    family (ALU datapath + control + flag logic) is preserved at a size
+    the exact checks handle in pure-Python minutes rather than hours —
+    pass ``width=8`` for a closer but slower match.
+    """
+    if width % 2:
+        raise ValueError("width must be even for the group flags")
+    builder = CircuitBuilder(name)
+    a, b_raw, m = builder.interleaved_inputs(("a", "b", "m"), width)
+    sel0 = builder.input("sel0")
+    sel1 = builder.input("sel1")
+    inv = builder.input("inv")
+    en = builder.input("en")
+    cin = builder.input("cin")
+
+    b = [builder.mux(inv, bit, builder.not_(bit)) for bit in b_raw]
+    sum_bits, cout = builder.ripple_adder(a, b, cin)
+    and_bits, or_bits, xor_bits, _ = _logic_unit(builder, a, b)
+
+    result: List[str] = []
+    for i in range(width):
+        lo = builder.mux(sel0, sum_bits[i], and_bits[i])
+        hi = builder.mux(sel0, or_bits[i], xor_bits[i])
+        picked = builder.mux(sel1, lo, hi)
+        result.append(builder.and_(picked, en))
+
+    masked = [builder.and_(r, mm) for r, mm in zip(result, m)]
+    # Carry-lookahead style group propagate signals.
+    props = [builder.and_(builder.or_(a[2 * i], b[2 * i]),
+                          builder.or_(a[2 * i + 1], b[2 * i + 1]))
+             for i in range(width // 2)]
+
+    builder.outputs(result, "r")
+    builder.outputs(masked, "mr")
+    builder.outputs(props, "p")
+    builder.output(cout, "cout")
+    builder.circuit.add_output(builder.nor_(*result, out="zero"))
+    builder.circuit.add_output(builder.xor_tree(result, "par"))
+    builder.output(result[-1], "neg")
+    builder.circuit.add_output(
+        builder.and_(*masked[:width // 2], out="lowall"))
+    builder.circuit.add_output(
+        builder.or_(*masked[width // 2:], out="highany"))
+    return builder.build()

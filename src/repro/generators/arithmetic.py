@@ -1,0 +1,62 @@
+"""Arithmetic generators used by examples and ablation benchmarks."""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..circuit.builder import CircuitBuilder
+from ..circuit.netlist import Circuit
+
+__all__ = ["ripple_adder_circuit", "array_multiplier", "parity_circuit"]
+
+
+def ripple_adder_circuit(width: int, name: str = "adder") -> Circuit:
+    """``width``-bit ripple-carry adder: ``a + b + cin``."""
+    builder = CircuitBuilder(name)
+    a, b = builder.interleaved_inputs(("a", "b"), width)
+    cin = builder.input("cin")
+    sums, cout = builder.ripple_adder(a, b, cin)
+    builder.outputs(sums, "s")
+    builder.output(cout, "cout")
+    return builder.build()
+
+
+def array_multiplier(width: int, name: str = "mult") -> Circuit:
+    """``width x width`` unsigned array multiplier.
+
+    Deliberately BDD-hostile for larger widths — the abstraction example
+    uses it as the "difficult part" the paper suggests boxing away.
+    """
+    builder = CircuitBuilder(name)
+    a, b = builder.interleaved_inputs(("a", "b"), width)
+
+    products: List[List[str]] = [
+        [builder.and_(a[i], b[j]) for i in range(width)]
+        for j in range(width)]
+
+    # The accumulator holds bits j .. j+width of the running sum; its
+    # top entry is the carry out of the previous row's ripple chain.
+    row: List[str] = list(products[0]) + [builder.const(False)]
+    outputs: List[str] = [row[0]]
+    for j in range(1, width):
+        next_row: List[str] = []
+        carry = builder.const(False)
+        for i in range(width):
+            s, carry = builder.full_adder(
+                row[i + 1], products[j][i], carry)
+            next_row.append(s)
+        next_row.append(carry)
+        outputs.append(next_row[0])
+        row = next_row
+    outputs.extend(row[1:])
+
+    builder.outputs(outputs, "p")
+    return builder.build()
+
+
+def parity_circuit(width: int, name: str = "parity") -> Circuit:
+    """XOR-tree parity of ``width`` inputs."""
+    builder = CircuitBuilder(name)
+    xs = builder.inputs("x", width)
+    builder.output(builder.xor_tree(xs), "p")
+    return builder.build()

@@ -1,0 +1,44 @@
+"""The benchmark suite mirroring the paper's Tables 1 and 2 rows."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..circuit.netlist import Circuit
+from .alu import alu4_like, c880_like
+from .comparator import comp_like
+from .ecc import c1355_like, c1908_like, c499_like
+from .random_logic import apex3_like, term1_like
+
+__all__ = ["BENCHMARK_FACTORIES", "BENCHMARK_NAMES", "benchmark_circuit",
+           "benchmark_suite"]
+
+#: Factories in the row order of the paper's tables.
+BENCHMARK_FACTORIES: Dict[str, Callable[[], Circuit]] = {
+    "alu4": alu4_like,
+    "apex3": apex3_like,
+    "C499": c499_like,
+    "C880": c880_like,
+    "C1355": c1355_like,
+    "C1908": c1908_like,
+    "comp": comp_like,
+    "term1": term1_like,
+}
+
+BENCHMARK_NAMES: List[str] = list(BENCHMARK_FACTORIES)
+
+
+def benchmark_circuit(name: str) -> Circuit:
+    """Build one benchmark circuit by its paper-table name."""
+    try:
+        factory = BENCHMARK_FACTORIES[name]
+    except KeyError:
+        raise ValueError("unknown benchmark %r (choose from %s)"
+                         % (name, ", ".join(BENCHMARK_NAMES))) from None
+    return factory()
+
+
+def benchmark_suite() -> Dict[str, Circuit]:
+    """All eight benchmark circuits, keyed by paper-table name."""
+    return {name: factory() for name, factory in
+            BENCHMARK_FACTORIES.items()}

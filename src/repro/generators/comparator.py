@@ -1,0 +1,44 @@
+"""Magnitude comparator generator (MCNC *comp* stand-in).
+
+The paper's *comp* is a 32-input, 3-output comparator; ours compares two
+16-bit words and reports less-than / equal / greater-than, which gives
+exactly the 32/3 interface.
+"""
+
+from __future__ import annotations
+
+from ..circuit.builder import CircuitBuilder
+from ..circuit.netlist import Circuit
+
+__all__ = ["magnitude_comparator", "comp_like"]
+
+
+def magnitude_comparator(width: int, name: str = "comp") -> Circuit:
+    """``width``-bit comparator with ``lt``/``eq``/``gt`` outputs.
+
+    Built as the classic ripple structure from LSB to MSB, so the carved
+    Black Boxes cut through a long combinational chain — the situation
+    where the paper reports the biggest gap between the output exact and
+    input exact checks (*comp*: 67% vs. 90%).
+    """
+    builder = CircuitBuilder(name)
+    a, b = builder.interleaved_inputs(("a", "b"), width)
+
+    lt = builder.const(False)
+    eq = builder.const(True)
+    for bit_a, bit_b in zip(a, b):  # LSB first
+        bit_eq = builder.xnor_(bit_a, bit_b)
+        bit_lt = builder.and_(builder.not_(bit_a), bit_b)
+        lt = builder.or_(bit_lt, builder.and_(bit_eq, lt))
+        eq = builder.and_(bit_eq, eq)
+    gt = builder.nor_(lt, eq)
+
+    builder.output(lt, "lt")
+    builder.output(eq, "eq")
+    builder.output(gt, "gt")
+    return builder.build()
+
+
+def comp_like(name: str = "comp") -> Circuit:
+    """16-bit comparator: 32 inputs, 3 outputs, matching the paper row."""
+    return magnitude_comparator(16, name=name)

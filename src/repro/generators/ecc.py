@@ -1,0 +1,115 @@
+"""Error-correcting-code circuits (ISCAS C499 / C1355 / C1908 stand-ins).
+
+The ISCAS-85 C499/C1355 pair computes single-error correction over a
+32-bit word (C1355 being C499 with XORs expanded to 2-input gates);
+C1908 is a 16-bit SEC/DED detector-corrector.  These generators build
+Hamming-style circuits of the same family: XOR-tree syndrome computation
+followed by a syndrome decoder and a correction plane.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..circuit.builder import CircuitBuilder
+from ..circuit.netlist import Circuit
+from ..circuit.transform import expand_to_two_input
+
+__all__ = ["hamming_corrector", "c499_like", "c1355_like", "c1908_like"]
+
+
+def _check_positions(data_bits: int, check_bits: int) -> List[List[int]]:
+    """Hamming coverage: data bit ``d`` is covered by check ``c`` iff bit
+    ``c`` of ``d+1`` is set (the classic power-of-two scheme, compacted
+    to data-only words)."""
+    cover: List[List[int]] = [[] for _ in range(check_bits)]
+    for d in range(data_bits):
+        code = d + 1
+        for c in range(check_bits):
+            if (code >> c) & 1:
+                cover[c].append(d)
+    return cover
+
+
+def hamming_corrector(data_bits: int, check_bits: int,
+                      with_detect: bool = False, flat_xor: bool = False,
+                      name: str = "ecc") -> Circuit:
+    """Single-error corrector over ``data_bits`` with ``check_bits``.
+
+    Inputs: ``d0..`` (received data), ``c0..`` (received check bits), and
+    ``en`` (correction enable).  Outputs: corrected data word, plus — with
+    ``with_detect`` — the syndrome and an error flag (SEC/DED style).
+
+    With ``flat_xor`` the syndrome uses single wide XOR/AND gates (like
+    the original C499); otherwise balanced 2-input trees (like C1355).
+    """
+    if (1 << check_bits) - 1 < data_bits:
+        raise ValueError("%d check bits cover at most %d data bits"
+                         % (check_bits, (1 << check_bits) - 1))
+    builder = CircuitBuilder(name)
+    data = builder.inputs("d", data_bits)
+    check = builder.inputs("c", check_bits)
+    enable = builder.input("en")
+
+    def wide_xor(nets: List[str]) -> str:
+        if flat_xor and len(nets) > 2:
+            return builder.xor_(*nets)
+        return builder.xor_tree(nets)
+
+    def wide_and(nets: List[str]) -> str:
+        if flat_xor and len(nets) > 2:
+            return builder.and_(*nets)
+        return builder.and_tree(nets)
+
+    cover = _check_positions(data_bits, check_bits)
+    syndrome: List[str] = []
+    for c in range(check_bits):
+        recomputed = wide_xor([data[d] for d in cover[c]]) \
+            if cover[c] else builder.const(False)
+        syndrome.append(builder.xor_(recomputed, check[c]))
+
+    corrected: List[str] = []
+    for d in range(data_bits):
+        code = d + 1
+        literals = [syndrome[c] if (code >> c) & 1
+                    else builder.not_(syndrome[c])
+                    for c in range(check_bits)]
+        hit = wide_and(literals)
+        flip = builder.and_(hit, enable)
+        corrected.append(builder.xor_(data[d], flip))
+
+    builder.outputs(corrected, "q")
+    if with_detect:
+        builder.outputs(syndrome, "s")
+        builder.circuit.add_output(
+            builder.or_tree(syndrome, "err"))
+    return builder.build()
+
+
+def c499_like(name: str = "C499") -> Circuit:
+    """32-bit single-error corrector (ISCAS *C499* stand-in).
+
+    Interface: 32 data + 6 check + enable = 39 inputs, 32 outputs
+    (the paper circuit: 41/32).  Uses wide XOR gates like the original.
+    """
+    return hamming_corrector(32, 6, with_detect=False, flat_xor=True,
+                             name=name)
+
+
+def c1355_like(name: str = "C1355") -> Circuit:
+    """C499 with all gates expanded to fan-in 2 (ISCAS *C1355* relation).
+
+    Functionally equivalent to :func:`c499_like` — the test suite proves
+    it with the box-free equivalence checker, mirroring the classic
+    C499 ≡ C1355 benchmark exercise.
+    """
+    return expand_to_two_input(c499_like(name="C499"), name=name)
+
+
+def c1908_like(name: str = "C1908") -> Circuit:
+    """16-bit SEC/DED corrector-detector (ISCAS *C1908* stand-in).
+
+    Interface: 16 data + 5 check + enable = 22 inputs; 16 corrected bits
+    + 5 syndrome bits + error flag = 22 outputs (paper circuit: 33/25).
+    """
+    return hamming_corrector(16, 5, with_detect=True, name=name)

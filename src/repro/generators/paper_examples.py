@@ -1,0 +1,172 @@
+"""Reconstructions of the paper's worked examples (Figures 1-3).
+
+The published figures are tiny 8-input, 2-output circuits engineered so
+that each rung of the check ladder separates from the previous one.  The
+exact gate lists are not fully recoverable from the paper scan, so these
+are reconstructions exhibiting *the same documented behaviour*:
+
+* :func:`figure1` — a correct partial implementation with two boxes;
+  no check reports an error, and the exact check proves extendability.
+* :func:`figure2a` — an error visible to plain 0,1,X simulation.
+* :func:`figure2b` — invisible to 0,1,X (``Z ⊕ Z`` reconvergence), found
+  by the Z_i local check.
+* :func:`figure3a` — two outputs demanding contradictory box functions:
+  invisible locally, found by the output exact check.
+* :func:`figure3b` — a box that cannot see the input it would need
+  (paper: BB must compute ``x8(x6+x7)`` from ``x6, x7`` alone):
+  invisible to the output exact check, found by the input exact check.
+
+Each function returns ``(spec, partial)``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..circuit.builder import CircuitBuilder
+from ..circuit.netlist import Circuit
+from ..partial.blackbox import BlackBox, PartialImplementation
+
+__all__ = ["figure1", "figure2a", "figure2b", "figure3a", "figure3b",
+           "ALL_FIGURES"]
+
+_INPUTS = ["x%d" % i for i in range(1, 9)]
+
+
+def _spec_two_output() -> Circuit:
+    """Shared specification: f1 = x2·x3 + x4·x5, f2 = x4·x5 + x6."""
+    builder = CircuitBuilder("fig_spec")
+    builder.circuit.add_inputs(_INPUTS)
+    t23 = builder.and_("x2", "x3")
+    t45 = builder.and_("x4", "x5")
+    builder.output(builder.or_(t23, t45), "f1")
+    builder.output(builder.or_(t45, "x6"), "f2")
+    return builder.build()
+
+
+def figure1() -> Tuple[Circuit, PartialImplementation]:
+    """Correct two-box partial implementation (extendable).
+
+    Box BB1 must become AND(x4, x5); BB2 must become OR(its inputs).
+    """
+    spec = _spec_two_output()
+    builder = CircuitBuilder("fig1_impl")
+    builder.circuit.add_inputs(_INPUTS)
+    t23 = builder.and_("x2", "x3")
+    builder.output(builder.or_(t23, "z1"), "g1")
+    builder.output(builder.buf("z2"), "g2")
+    impl = builder.build(validate=False)
+    impl.validate(allow_free=True)
+    partial = PartialImplementation(impl, [
+        BlackBox("BB1", ("x4", "x5"), ("z1",)),
+        BlackBox("BB2", ("z1", "x6"), ("z2",)),
+    ])
+    return spec, partial
+
+
+def figure2a() -> Tuple[Circuit, PartialImplementation]:
+    """Error found already by 0,1,X simulation.
+
+    The kept OR of figure1's first output is replaced by a NOR: for
+    x2 = x3 = 1 the implementation output is a definite 0 while the
+    specification requires 1 — independent of both boxes.
+    """
+    spec = _spec_two_output()
+    builder = CircuitBuilder("fig2a_impl")
+    builder.circuit.add_inputs(_INPUTS)
+    t23 = builder.and_("x2", "x3")
+    builder.output(builder.nor_(t23, "z1"), "g1")
+    builder.output(builder.buf("z2"), "g2")
+    impl = builder.build(validate=False)
+    impl.validate(allow_free=True)
+    partial = PartialImplementation(impl, [
+        BlackBox("BB1", ("x4", "x5"), ("z1",)),
+        BlackBox("BB2", ("z1", "x6"), ("z2",)),
+    ])
+    return spec, partial
+
+
+def figure2b() -> Tuple[Circuit, PartialImplementation]:
+    """Error that 0,1,X misses but the Z_i local check finds.
+
+    The first output XORs the box output with itself: ternary
+    simulation computes ``X ⊕ X = X`` and sees nothing, while the Z_i
+    simulation knows the XOR is constant 0, so for x4 = x5 = 1 (and
+    x2·x3 = 0) the implementation is a definite 0 against spec 1.
+    """
+    spec = _spec_two_output()
+    builder = CircuitBuilder("fig2b_impl")
+    builder.circuit.add_inputs(_INPUTS)
+    t23 = builder.and_("x2", "x3")
+    zz = builder.xor_("z1", "z1")
+    builder.output(builder.or_(t23, zz), "g1")
+    builder.output(builder.or_("z1", "x6"), "g2")
+    impl = builder.build(validate=False)
+    impl.validate(allow_free=True)
+    partial = PartialImplementation(impl, [
+        BlackBox("BB1", ("x4", "x5"), ("z1",)),
+    ])
+    return spec, partial
+
+
+def figure3a() -> Tuple[Circuit, PartialImplementation]:
+    """Cross-output contradiction: output exact separates from local.
+
+    Specification: f1 = x4·x5, f2 = ¬(x4·x5).  Implementation feeds the
+    same box output to both primary outputs, so the box would have to be
+    x4·x5 and its complement at once.  Each output alone is fine
+    (the local check passes); together they are unsatisfiable.
+    """
+    builder = CircuitBuilder("fig3a_spec")
+    builder.circuit.add_inputs(_INPUTS)
+    t45 = builder.and_("x4", "x5")
+    builder.output(builder.buf(t45), "f1")
+    builder.output(builder.not_(t45), "f2")
+    spec = builder.build()
+
+    ibuilder = CircuitBuilder("fig3a_impl")
+    ibuilder.circuit.add_inputs(_INPUTS)
+    ibuilder.output(ibuilder.buf("z1"), "g1")
+    ibuilder.output(ibuilder.buf("z1", out="g2"), "g2")
+    impl = ibuilder.build(validate=False)
+    impl.validate(allow_free=True)
+    partial = PartialImplementation(impl, [
+        BlackBox("BB1", ("x4", "x5"), ("z1",)),
+    ])
+    return spec, partial
+
+
+def figure3b() -> Tuple[Circuit, PartialImplementation]:
+    """Input-cone limitation: input exact separates from output exact.
+
+    Specification: f1 = x8·(x6 + x7) (the function named in the paper).
+    The box only reads x6 and x7, so no box function can reproduce the
+    x8 dependence — but the output exact check, which implicitly lets Z
+    depend on *all* inputs, accepts the design.
+    """
+    builder = CircuitBuilder("fig3b_spec")
+    builder.circuit.add_inputs(_INPUTS)
+    t67 = builder.or_("x6", "x7")
+    builder.output(builder.and_("x8", t67), "f1")
+    spec = builder.build()
+
+    ibuilder = CircuitBuilder("fig3b_impl")
+    ibuilder.circuit.add_inputs(_INPUTS)
+    ibuilder.output(ibuilder.buf("z1"), "g1")
+    impl = ibuilder.build(validate=False)
+    impl.validate(allow_free=True)
+    partial = PartialImplementation(impl, [
+        BlackBox("BB1", ("x6", "x7"), ("z1",)),
+    ])
+    return spec, partial
+
+
+#: All figures with the check expected to find the error first
+#: (None = no error exists).
+ALL_FIGURES = {
+    "figure1": (figure1, None),
+    "figure2a": (figure2a, "symbolic_01x"),
+    "figure2b": (figure2b, "local"),
+    "figure3a": (figure3a, "output_exact"),
+    "figure3b": (figure3b, "input_exact"),
+}

@@ -1,0 +1,236 @@
+"""Seeded random multi-level logic (MCNC *apex3* / *term1* stand-ins).
+
+The two MCNC circuits are irregular random-looking control logic; we
+reproduce the *family* with a seeded generator: a layered DAG of random
+gates whose fan-ins prefer recent nets (giving realistic reconvergence)
+and whose outputs are guaranteed non-degenerate.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from ..circuit.builder import CircuitBuilder
+from ..circuit.gates import GateType
+from ..circuit.netlist import Circuit
+
+__all__ = ["random_logic", "random_pla", "routing_logic",
+           "apex3_like", "term1_like"]
+
+_GATE_POOL = [GateType.AND, GateType.OR, GateType.NAND, GateType.NOR,
+              GateType.XOR, GateType.XNOR, GateType.AND, GateType.OR]
+
+
+def random_logic(num_inputs: int, num_outputs: int, num_gates: int,
+                 seed: int, name: str = "rand",
+                 locality: int = 12) -> Circuit:
+    """Random multi-level netlist with the given interface and size.
+
+    ``locality`` biases gate fan-ins toward recently created nets, which
+    yields moderate depth and reconvergent fan-out rather than a shallow
+    random bipartite mess.  Gates outside every output cone are pruned
+    (and regrown), so every gate is at least structurally observable —
+    matching real control logic, where dead gates would have been
+    optimized away.  Deterministic in ``seed``.
+    """
+    if num_gates < num_outputs:
+        raise ValueError("need at least one gate per output")
+    rng = random.Random(seed)
+    builder = CircuitBuilder(name)
+    pool: List[str] = builder.inputs("x", num_inputs)
+    gates_alive = 0
+
+    # 256-pattern random-simulation signatures: new gates that are
+    # constant or duplicate an existing signal (a strong indicator of
+    # logical redundancy, which would make inserted errors untestable)
+    # are rejected, like a synthesis tool would remove them.
+    sig_bits = 256
+    sig_mask = (1 << sig_bits) - 1
+    signatures = {net: rng.getrandbits(sig_bits) for net in pool}
+    seen_signatures = set(signatures.values())
+
+    def gate_signature(gtype: GateType, sources: List[str]) -> int:
+        sigs = [signatures[s] for s in sources]
+        if gtype in (GateType.AND, GateType.NAND):
+            value = sigs[0]
+            for s in sigs[1:]:
+                value &= s
+        elif gtype in (GateType.OR, GateType.NOR):
+            value = sigs[0]
+            for s in sigs[1:]:
+                value |= s
+        else:
+            value = 0
+            for s in sigs:
+                value ^= s
+        if gtype in (GateType.NAND, GateType.NOR, GateType.XNOR):
+            value ^= sig_mask
+        return value
+
+    def add_gate() -> str:
+        for _ in range(30):
+            gtype = rng.choice(_GATE_POOL)
+            if gtype in (GateType.XOR, GateType.XNOR):
+                fanin = 2
+            else:
+                fanin = rng.choice((2, 2, 2, 3, 3, 4))
+            window = pool[-locality:] if len(pool) > locality else pool
+            extra = pool if rng.random() < 0.3 else window
+            sources: List[str] = []
+            while len(sources) < fanin:
+                candidate = rng.choice(extra if rng.random() < 0.5
+                                       else window)
+                if candidate not in sources:
+                    sources.append(candidate)
+                elif len(set(window)) < fanin:
+                    break
+            signature = gate_signature(gtype, sources)
+            if (signature in (0, sig_mask)
+                    or signature in seen_signatures
+                    or (signature ^ sig_mask) in seen_signatures):
+                continue
+            net = builder.gate(gtype, sources)
+            signatures[net] = signature
+            seen_signatures.add(signature)
+            return net
+        # Could not find a non-redundant gate; accept the last attempt.
+        net = builder.gate(gtype, sources)
+        signatures[net] = signature
+        seen_signatures.add(signature)
+        return net
+
+    # Generate, measure the observable part, and regrow until the
+    # pruned circuit reaches the requested gate count.
+    while True:
+        budget = num_gates - gates_alive
+        if budget <= 0:
+            break
+        for _ in range(budget):
+            pool.append(add_gate())
+        # Outputs: the most recent nets are the least degenerate.
+        circuit = builder.circuit
+        outputs = pool[-num_outputs:]
+        live = circuit.cone(outputs)
+        gates_alive = sum(1 for g in circuit.gates if g.output in live)
+        if gates_alive >= num_gates or len(pool) > 20 * num_gates:
+            break
+
+    circuit = builder.circuit
+    outputs = pool[-num_outputs:]
+    live = circuit.cone(outputs)
+    pruned = Circuit(name)
+    pruned.add_inputs(circuit.inputs)
+    for gate in circuit.gates:
+        if gate.output in live:
+            pruned.add_gate(gate.output, gate.gtype, gate.inputs)
+    out_builder = CircuitBuilder(name)
+    out_builder.circuit = pruned
+    out_builder.reserve(pruned.nets())
+    out_builder.outputs(outputs, "f")
+    pruned.validate()
+    return pruned
+
+
+def random_pla(num_inputs: int, num_outputs: int, num_products: int,
+               seed: int, name: str = "pla",
+               literals: Tuple[int, int] = (3, 7),
+               products_per_output: Tuple[int, int] = (3, 6)) -> Circuit:
+    """Seeded random two-level (PLA) logic with shared product terms.
+
+    The structure of the MCNC PLA benchmarks (*apex3* among them): an
+    AND plane of random cubes feeding an OR plane, with products shared
+    between outputs.  Every product is kept observable: each one is
+    wired into at least one output.
+    """
+    rng = random.Random(seed)
+    builder = CircuitBuilder(name)
+    inputs = builder.inputs("x", num_inputs)
+    inverters = {}
+
+    def literal(net: str, positive: bool) -> str:
+        if positive:
+            return net
+        if net not in inverters:
+            inverters[net] = builder.not_(net)
+        return inverters[net]
+
+    products: List[str] = []
+    for _ in range(num_products):
+        width = rng.randint(*literals)
+        chosen = rng.sample(inputs, min(width, num_inputs))
+        terms = [literal(net, rng.random() < 0.5) for net in chosen]
+        products.append(builder.and_tree(terms))
+
+    # OR plane: random selection per output, then make sure every
+    # product is used somewhere.
+    selections: List[List[str]] = []
+    for _ in range(num_outputs):
+        count = rng.randint(*products_per_output)
+        selections.append(rng.sample(products, min(count,
+                                                   len(products))))
+    used = {p for sel in selections for p in sel}
+    for orphan in (p for p in products if p not in used):
+        selections[rng.randrange(num_outputs)].append(orphan)
+    for index, chosen in enumerate(selections):
+        builder.output(builder.or_tree(chosen), "f%d" % index)
+    return builder.build()
+
+
+def routing_logic(data_bits: int, num_outputs: int, extra_xor: int,
+                  seed: int, name: str = "route") -> Circuit:
+    """Seeded routing/steering logic (MCNC *term1* is channel routing).
+
+    A shared one-hot decoder steers one of ``data_bits`` data lines to
+    each output (each output sees a different fixed permutation of the
+    select space), gated by a per-output mask, a global enable, and a
+    polarity bit; ``extra_xor`` additional inputs are XOR-folded onto
+    the first outputs.  Highly testable, mux-dominated logic.
+    """
+    select_bits = max(1, (data_bits - 1).bit_length())
+    rng = random.Random(seed)
+    builder = CircuitBuilder(name)
+    data = builder.inputs("d", data_bits)
+    select = builder.inputs("s", select_bits)
+    mask = builder.inputs("m", num_outputs)
+    enable = builder.input("en")
+    invert = builder.input("inv")
+    extra = builder.inputs("e", extra_xor)
+
+    select_n = [builder.not_(s) for s in select]
+    onehot = []
+    for code in range(data_bits):
+        terms = [select[b] if (code >> b) & 1 else select_n[b]
+                 for b in range(select_bits)]
+        onehot.append(builder.and_tree(terms))
+
+    permutations = [rng.sample(range(data_bits), data_bits)
+                    for _ in range(num_outputs)]
+    for index in range(num_outputs):
+        perm = permutations[index]
+        steered = builder.or_tree(
+            [builder.and_(onehot[perm[i]], data[i])
+             for i in range(data_bits)])
+        gated = builder.and_(steered, mask[index], enable)
+        signal = builder.xor_(gated, invert)
+        folded = [extra[k] for k in range(extra_xor)
+                  if k % num_outputs == index]
+        if folded:
+            signal = builder.xor_(signal, *folded)
+        builder.output(signal, "f%d" % index)
+    return builder.build()
+
+
+def apex3_like(name: str = "apex3") -> Circuit:
+    """54-input / 50-output two-level PLA logic (MCNC *apex3* row)."""
+    return random_pla(54, 50, 45, seed=0xA9E3, name=name,
+                      literals=(3, 5), products_per_output=(2, 3))
+
+
+def term1_like(name: str = "term1") -> Circuit:
+    """34-input / 10-output routing logic (MCNC *term1* row).
+
+    Interface: 8 data + 3 select + 10 mask + enable + invert + 11 extra
+    = 34 inputs, 10 outputs.
+    """
+    return routing_logic(8, 10, 11, seed=0x7E21, name=name)

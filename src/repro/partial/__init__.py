@@ -1,0 +1,25 @@
+"""Partial implementations: Black Boxes, carving, error insertion."""
+
+from .blackbox import BlackBox, PartialImplementation
+from .extraction import carve, make_partial, select_gate_groups
+from .mutations import (MUTATION_KINDS, Mutation, applicable_mutations,
+                        apply_mutation, insert_random_error)
+from .io import (boxes_from_json, boxes_to_json, load_partial,
+                 save_partial)
+
+__all__ = [
+    "BlackBox",
+    "PartialImplementation",
+    "carve",
+    "make_partial",
+    "select_gate_groups",
+    "Mutation",
+    "MUTATION_KINDS",
+    "applicable_mutations",
+    "apply_mutation",
+    "insert_random_error",
+    "save_partial",
+    "load_partial",
+    "boxes_to_json",
+    "boxes_from_json",
+]

@@ -1,0 +1,262 @@
+"""The partial-implementation model: circuits with Black Boxes.
+
+A :class:`PartialImplementation` is a netlist whose *free nets* are driven
+by Black Boxes with unknown functionality.  Each :class:`BlackBox` records
+which circuit nets feed it and which free nets it drives; the check
+algorithms only ever see this interface, never any box internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..circuit.netlist import Circuit, CircuitError
+
+__all__ = ["BlackBox", "PartialImplementation"]
+
+
+@dataclass(frozen=True)
+class BlackBox:
+    """Interface of one unknown sub-circuit.
+
+    ``inputs`` are nets of the surrounding partial implementation (primary
+    inputs, gate outputs, or outputs of other boxes); ``outputs`` are the
+    free nets the box drives.
+    """
+
+    name: str
+    inputs: Tuple[str, ...]
+    outputs: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.outputs:
+            raise CircuitError("Black Box %r has no outputs" % self.name)
+        if len(set(self.outputs)) != len(self.outputs):
+            raise CircuitError("Black Box %r repeats an output" % self.name)
+
+
+class PartialImplementation:
+    """A circuit plus the Black Boxes that drive its free nets.
+
+    The constructor validates the model and computes a topological order
+    of the boxes (required by the input-exact check): box ``j`` may only
+    read primary inputs, gate logic, and outputs of boxes before ``j``.
+    """
+
+    def __init__(self, circuit: Circuit,
+                 boxes: Sequence[BlackBox]) -> None:
+        self.circuit = circuit
+        self.boxes: List[BlackBox] = self._order_boxes(list(boxes))
+
+    # ------------------------------------------------------------------
+
+    def _order_boxes(self, boxes: List[BlackBox]) -> List[BlackBox]:
+        circuit = self.circuit
+        circuit.validate(allow_free=True)
+        free = set(circuit.free_nets())
+
+        # A box output is usually a free net of the circuit; it can also
+        # be a box-to-box wire (read only by other boxes, invisible to
+        # the netlist) or entirely unread.  Nothing else may drive it.
+        owner: Dict[str, str] = {}
+        by_name: Dict[str, BlackBox] = {}
+        for box in boxes:
+            if box.name in by_name:
+                raise CircuitError("duplicate Black Box %r" % box.name)
+            by_name[box.name] = box
+            for net in box.outputs:
+                if net in owner:
+                    raise CircuitError(
+                        "net %r driven by boxes %r and %r"
+                        % (net, owner[net], box.name))
+                if circuit.drives(net) or circuit.is_input(net):
+                    raise CircuitError(
+                        "box output %r is already driven by the circuit"
+                        % net)
+                # A box output nothing reads (free nets and box-to-box
+                # wires are the usual cases) is legal: it simply cannot
+                # influence the primary outputs.
+                owner[net] = box.name
+        unowned = free - set(owner)
+        if unowned:
+            raise CircuitError("free nets without a Black Box: %s"
+                               % ", ".join(sorted(unowned)[:5]))
+
+        # Which boxes does each box input transitively depend on?
+        dep_cache: Dict[str, frozenset] = {}
+
+        def net_deps(net: str) -> frozenset:
+            cached = dep_cache.get(net)
+            if cached is not None:
+                return cached
+            # Iterative DFS to avoid recursion limits on deep circuits.
+            stack = [(net, False)]
+            while stack:
+                cur, expanded = stack.pop()
+                if cur in dep_cache:
+                    continue
+                if cur in owner:
+                    dep_cache[cur] = frozenset((owner[cur],))
+                    continue
+                if not circuit.drives(cur):
+                    dep_cache[cur] = frozenset()
+                    continue
+                gate = circuit.gate(cur)
+                if expanded:
+                    acc: Set[str] = set()
+                    for src in gate.inputs:
+                        acc |= dep_cache[src]
+                    dep_cache[cur] = frozenset(acc)
+                else:
+                    stack.append((cur, True))
+                    for src in gate.inputs:
+                        if src not in dep_cache:
+                            stack.append((src, False))
+            return dep_cache[net]
+
+        # Kahn's algorithm over the box dependency graph.
+        box_deps: Dict[str, Set[str]] = {}
+        for box in boxes:
+            deps: Set[str] = set()
+            for net in box.inputs:
+                deps |= net_deps(net)
+            if box.name in deps:
+                raise CircuitError(
+                    "Black Box %r feeds back into itself" % box.name)
+            box_deps[box.name] = deps
+
+        ordered: List[BlackBox] = []
+        placed: Set[str] = set()
+        remaining = list(boxes)
+        while remaining:
+            progress = [b for b in remaining
+                        if box_deps[b.name] <= placed]
+            if not progress:
+                raise CircuitError(
+                    "cyclic dependency among Black Boxes: %s"
+                    % ", ".join(b.name for b in remaining))
+            for box in progress:
+                ordered.append(box)
+                placed.add(box.name)
+            remaining = [b for b in remaining if b.name not in placed]
+        return ordered
+
+    # ------------------------------------------------------------------
+
+    @property
+    def box_outputs(self) -> List[str]:
+        """All Black Box output nets, in box order."""
+        return [net for box in self.boxes for net in box.outputs]
+
+    @property
+    def num_boxes(self) -> int:
+        """Number of Black Boxes."""
+        return len(self.boxes)
+
+    def box(self, name: str) -> BlackBox:
+        """Look up a box by name."""
+        for box in self.boxes:
+            if box.name == name:
+                return box
+        raise CircuitError("no Black Box named %r" % name)
+
+    def validate_against(self, spec: Circuit) -> None:
+        """Check interface compatibility with a specification."""
+        if list(spec.inputs) != list(self.circuit.inputs):
+            raise CircuitError(
+                "specification and implementation inputs differ")
+        if len(spec.outputs) != len(self.circuit.outputs):
+            raise CircuitError(
+                "specification and implementation output counts differ")
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _splice(result: Circuit, box: BlackBox, impl: Circuit) -> None:
+        """Copy one box implementation into ``result``, wired to the
+        box's interface nets (positionally)."""
+        if len(impl.inputs) != len(box.inputs):
+            raise CircuitError(
+                "box %r expects %d inputs, implementation has %d"
+                % (box.name, len(box.inputs), len(impl.inputs)))
+        if len(impl.outputs) != len(box.outputs):
+            raise CircuitError(
+                "box %r expects %d outputs, implementation has %d"
+                % (box.name, len(box.outputs), len(impl.outputs)))
+        rename: Dict[str, str] = {}
+        for inner, outer in zip(impl.inputs, box.inputs):
+            rename[inner] = outer
+        for inner, outer in zip(impl.outputs, box.outputs):
+            if inner in rename:
+                raise CircuitError(
+                    "box %r implementation passes input %r straight "
+                    "through; buffer it first" % (box.name, inner))
+            rename[inner] = outer
+        prefix = "%s__" % box.name
+        for net in impl.nets():
+            if net not in rename:
+                rename[net] = prefix + net
+        for gate in impl.gates:
+            result.add_gate(rename[gate.output], gate.gtype,
+                            [rename[s] for s in gate.inputs])
+
+    def substitute(self, implementations: Dict[str, Circuit],
+                   name: Optional[str] = None) -> Circuit:
+        """Plug concrete circuits into the boxes; returns a complete netlist.
+
+        Each box implementation must have as many inputs/outputs as the
+        box interface; its nets are renamed into a private namespace and
+        wired up positionally.
+        """
+        result = self.circuit.copy(name or self.circuit.name + "_complete")
+        for box in self.boxes:
+            try:
+                impl = implementations[box.name]
+            except KeyError:
+                raise CircuitError(
+                    "no implementation for Black Box %r" % box.name
+                ) from None
+            self._splice(result, box, impl)
+        result.validate()
+        return result
+
+    def substitute_some(self, implementations: Dict[str, Circuit],
+                        name: Optional[str] = None)\
+            -> "PartialImplementation":
+        """Plug in a subset of the boxes; the rest stay black.
+
+        Returns a new partial implementation whose circuit contains the
+        given implementations' gates and whose box list is the remaining
+        boxes.  Used by staged/exact decision procedures that fix one
+        box function at a time.
+        """
+        unknown = set(implementations) - {b.name for b in self.boxes}
+        if unknown:
+            raise CircuitError("no such boxes: %s"
+                               % ", ".join(sorted(unknown)))
+        result = self.circuit.copy(
+            name or self.circuit.name + "_staged")
+        keep = []
+        for box in self.boxes:
+            if box.name in implementations:
+                self._splice(result, box, implementations[box.name])
+            else:
+                keep.append(box)
+        result.validate(allow_free=True)
+        return PartialImplementation(result, keep)
+
+    def stats(self) -> Dict[str, int]:
+        """Size summary for reports."""
+        return {
+            "gates": self.circuit.num_gates,
+            "boxes": self.num_boxes,
+            "box_inputs": sum(len(b.inputs) for b in self.boxes),
+            "box_outputs": sum(len(b.outputs) for b in self.boxes),
+        }
+
+    def __repr__(self) -> str:
+        return "<PartialImplementation %s: %d gates, %d boxes (%s)>" % (
+            self.circuit.name, self.circuit.num_gates, self.num_boxes,
+            ", ".join("%s:%d->%d" % (b.name, len(b.inputs), len(b.outputs))
+                      for b in self.boxes))

@@ -1,0 +1,201 @@
+"""Carving Black Boxes out of complete circuits.
+
+This reproduces the paper's experiment setup: "for each benchmark circuit
+a certain fraction of the gates was included in Black Boxes" (Section 3),
+with 1 or 5 boxes and fractions of 10% / 40%.
+
+A carved gate group must be *convex* (no path from a group gate through
+kept logic back into the group), otherwise the box would feed back into
+itself; and the quotient graph over several boxes must stay acyclic so the
+boxes admit the topological order the input-exact check needs.  Both are
+enforced here — by convex closure per group and rejection sampling over
+seeds.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from ..circuit.netlist import Circuit, CircuitError
+from .blackbox import BlackBox, PartialImplementation
+
+__all__ = ["carve", "select_gate_groups", "make_partial"]
+
+
+def carve(circuit: Circuit, gate_groups: Sequence[Iterable[str]],
+          box_prefix: str = "BB") -> PartialImplementation:
+    """Remove the given gate groups and wrap each in a Black Box.
+
+    ``gate_groups`` are disjoint collections of gate-output nets.  The
+    carved box keeps the original net names on its outputs, so the rest
+    of the netlist is untouched.
+    """
+    groups: List[Set[str]] = [set(g) for g in gate_groups]
+    all_selected: Set[str] = set()
+    for group in groups:
+        if group & all_selected:
+            raise CircuitError("gate groups overlap")
+        all_selected |= group
+    for net in all_selected:
+        if not circuit.drives(net):
+            raise CircuitError("no gate drives %r" % net)
+
+    partial_circuit = circuit.copy(circuit.name + "_partial")
+    removed: Dict[str, Set[str]] = {}
+    for idx, group in enumerate(groups):
+        for net in group:
+            partial_circuit.remove_gate(net)
+        removed[str(idx)] = group
+
+    read_by_kept: Set[str] = set()
+    for gate in partial_circuit.gates:
+        read_by_kept.update(gate.inputs)
+    output_set = set(partial_circuit.outputs)
+    read_by_group: List[Set[str]] = []
+    for group in groups:
+        reads: Set[str] = set()
+        for net in group:
+            reads.update(circuit.gate(net).inputs)
+        read_by_group.append(reads)
+
+    boxes: List[BlackBox] = []
+    for idx, group in enumerate(groups):
+        # A group net must be exported if anything outside the group
+        # still reads it — kept logic, a primary output, or another
+        # group (whose box will take it as an input pin).
+        external_readers = read_by_kept | output_set
+        for other, reads in enumerate(read_by_group):
+            if other != idx:
+                external_readers |= reads
+        box_outputs = sorted(net for net in group
+                             if net in external_readers)
+        if not box_outputs:
+            raise CircuitError(
+                "gate group %d is entirely dead logic; nothing to box"
+                % idx)
+        box_inputs: List[str] = []
+        seen: Set[str] = set()
+        for net in sorted(group):
+            for src in circuit.gate(net).inputs:
+                if src not in group and src not in seen:
+                    seen.add(src)
+                    box_inputs.append(src)
+        boxes.append(BlackBox("%s%d" % (box_prefix, idx + 1),
+                              tuple(box_inputs), tuple(box_outputs)))
+    return PartialImplementation(partial_circuit, boxes)
+
+
+def _convex_closure(circuit: Circuit, group: Set[str],
+                    fanout: Dict[str, List[str]]) -> Set[str]:
+    """Close a gate group under kept-logic paths group -> group.
+
+    Adds every gate that is simultaneously reachable *from* the group and
+    able to reach the group; the result has no feedback through kept
+    logic.
+    """
+    while True:
+        # Gates downstream of the group.
+        down: Set[str] = set()
+        stack = [c for net in group for c in fanout.get(net, [])]
+        while stack:
+            net = stack.pop()
+            if net in down or net in group:
+                continue
+            down.add(net)
+            stack.extend(fanout.get(net, []))
+        # Gates upstream of the group.
+        up: Set[str] = set()
+        stack = [src for net in group
+                 for src in circuit.gate(net).inputs
+                 if circuit.drives(src)]
+        while stack:
+            net = stack.pop()
+            if net in up or net in group:
+                continue
+            up.add(net)
+            stack.extend(src for src in circuit.gate(net).inputs
+                         if circuit.drives(src))
+        middle = down & up
+        if not middle:
+            return group
+        group = group | middle
+
+
+def select_gate_groups(circuit: Circuit, fraction: float, num_boxes: int,
+                       rng: random.Random,
+                       connected: bool = True) -> List[Set[str]]:
+    """Choose disjoint convex gate groups covering ~``fraction`` of gates.
+
+    With ``connected`` (the default, matching the experiments) each group
+    is grown breadth-first around a random seed gate, then convex-closed.
+    Otherwise gates are sampled uniformly and redistributed, which yields
+    boxes with wide, scattered interfaces.
+    """
+    if not 0 < fraction <= 1:
+        raise ValueError("fraction must be in (0, 1]")
+    if num_boxes < 1:
+        raise ValueError("need at least one box")
+    gate_nets = [g.output for g in circuit.gates]
+    if len(gate_nets) < num_boxes:
+        raise CircuitError("fewer gates than requested boxes")
+    target_total = max(num_boxes, int(round(fraction * len(gate_nets))))
+    per_box = max(1, target_total // num_boxes)
+    fanout = circuit.fanout_map()
+
+    taken: Set[str] = set()
+    groups: List[Set[str]] = []
+    for _ in range(num_boxes):
+        seedable = [n for n in gate_nets if n not in taken]
+        if not seedable:
+            break
+        group: Set[str] = set()
+        if connected:
+            frontier = [rng.choice(seedable)]
+            while frontier and len(group) < per_box:
+                net = frontier.pop(rng.randrange(len(frontier)))
+                if net in group or net in taken:
+                    continue
+                group.add(net)
+                neighbours = list(fanout.get(net, []))
+                neighbours.extend(
+                    src for src in circuit.gate(net).inputs
+                    if circuit.drives(src))
+                rng.shuffle(neighbours)
+                frontier.extend(n for n in neighbours
+                                if n not in group and n not in taken)
+        else:
+            group = set(rng.sample(seedable, min(per_box, len(seedable))))
+        group = _convex_closure(circuit, group, fanout)
+        if group & taken:
+            # Convex closure grew into another box; skip this attempt.
+            continue
+        taken |= group
+        groups.append(group)
+    if len(groups) != num_boxes:
+        raise CircuitError("could not place %d disjoint boxes" % num_boxes)
+    return groups
+
+
+def make_partial(circuit: Circuit, fraction: float = 0.1,
+                 num_boxes: int = 1, seed: Optional[int] = None,
+                 connected: bool = True,
+                 max_tries: int = 50) -> PartialImplementation:
+    """Random partial implementation of ``circuit``.
+
+    Retries box placement until the boxes admit a topological order (the
+    quotient graph over convex groups can still be cyclic for several
+    boxes) and no group is dead logic.
+    """
+    rng = random.Random(seed)
+    last_error: Optional[Exception] = None
+    for _ in range(max_tries):
+        try:
+            groups = select_gate_groups(circuit, fraction, num_boxes, rng,
+                                        connected=connected)
+            return carve(circuit, groups)
+        except CircuitError as exc:
+            last_error = exc
+    raise CircuitError(
+        "failed to carve %d boxes from %s after %d attempts: %s"
+        % (num_boxes, circuit.name, max_tries, last_error))

@@ -1,0 +1,95 @@
+"""Persistence for partial implementations.
+
+A partial design is a netlist plus its Black Box interfaces.  The
+netlist travels as ordinary BLIF (box outputs appear as extra inputs,
+which standard tools tolerate); the interfaces go into a JSON sidecar.
+``save_partial``/``load_partial`` round-trip the pair.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Optional
+
+from ..circuit.blif import read_blif, write_blif
+from ..circuit.netlist import Circuit, CircuitError
+from .blackbox import BlackBox, PartialImplementation
+
+__all__ = ["save_partial", "load_partial", "boxes_to_json",
+           "boxes_from_json"]
+
+_FORMAT_VERSION = 1
+
+
+def boxes_to_json(partial: PartialImplementation) -> str:
+    """JSON description of the Black Box interfaces."""
+    payload = {
+        "format": "repro-partial",
+        "version": _FORMAT_VERSION,
+        "circuit": partial.circuit.name,
+        "boxes": [
+            {"name": box.name,
+             "inputs": list(box.inputs),
+             "outputs": list(box.outputs)}
+            for box in partial.boxes
+        ],
+    }
+    return json.dumps(payload, indent=2)
+
+
+def boxes_from_json(text: str, circuit: Circuit)\
+        -> PartialImplementation:
+    """Rebuild a partial implementation from sidecar JSON + netlist."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise CircuitError("invalid box sidecar: %s" % exc) from None
+    if payload.get("format") != "repro-partial":
+        raise CircuitError("not a repro partial-implementation sidecar")
+    if payload.get("version") != _FORMAT_VERSION:
+        raise CircuitError("unsupported sidecar version %r"
+                           % payload.get("version"))
+    boxes = [BlackBox(entry["name"], tuple(entry["inputs"]),
+                      tuple(entry["outputs"]))
+             for entry in payload.get("boxes", [])]
+    return PartialImplementation(circuit, boxes)
+
+
+def save_partial(partial: PartialImplementation, base_path: str) -> None:
+    """Write ``<base>.blif`` and ``<base>.boxes.json``."""
+    write_blif(partial.circuit, base_path + ".blif")
+    with open(base_path + ".boxes.json", "w") as handle:
+        handle.write(boxes_to_json(partial))
+
+
+def load_partial(base_path: str,
+                 name: Optional[str] = None) -> PartialImplementation:
+    """Load a pair written by :func:`save_partial`.
+
+    The BLIF reader returns box outputs as primary inputs; they are
+    demoted back to free nets according to the sidecar before the model
+    is rebuilt.
+    """
+    blif_path = base_path + ".blif"
+    sidecar_path = base_path + ".boxes.json"
+    if not os.path.exists(blif_path):
+        raise CircuitError("missing netlist file %r" % blif_path)
+    if not os.path.exists(sidecar_path):
+        raise CircuitError("missing sidecar file %r" % sidecar_path)
+    raw = read_blif(blif_path, name=name)
+    with open(sidecar_path) as handle:
+        payload_text = handle.read()
+    payload = json.loads(payload_text)
+    box_outputs = {net for entry in payload.get("boxes", [])
+                   for net in entry["outputs"]}
+
+    circuit = Circuit(name or raw.name)
+    for net in raw.inputs:
+        if net not in box_outputs:
+            circuit.add_input(net)
+    for gate in raw.gates:
+        circuit.add_gate(gate.output, gate.gtype, gate.inputs)
+    circuit.add_outputs(raw.outputs)
+    circuit.validate(allow_free=True)
+    return boxes_from_json(payload_text, circuit)

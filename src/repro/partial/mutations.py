@@ -1,0 +1,141 @@
+"""Design-error insertion, reproducing the paper's fault model.
+
+Section 3: "We randomly selected a gate, which did not belong to a Black
+Box, and inserted an error.  The error type was also selected randomly
+between several choices: We added/removed an inverter for an input or
+output signal of the gate, changed the type of the gate (and2 to or2 or
+or2 to and2) or removed an input line from an and or or gate."
+
+Note that an inserted "error" is not guaranteed to change the function of
+the circuit relative to the specification once the Black Boxes may absorb
+it — the paper observes ~9% of insertions were compensable.  Callers that
+need guaranteed-real errors should verify with an exact check.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..circuit.gates import GateType, INVERTIBLE
+from ..circuit.netlist import Circuit, CircuitError, Gate
+
+__all__ = ["Mutation", "MUTATION_KINDS", "applicable_mutations",
+           "apply_mutation", "insert_random_error"]
+
+#: The paper's four error classes.
+MUTATION_KINDS = (
+    "invert_output",     # add/remove inverter at the gate output
+    "invert_input",      # add/remove inverter at one gate input
+    "change_gate_type",  # AND <-> OR (and the NAND <-> NOR dual)
+    "remove_input",      # drop one input line of an AND/OR-family gate
+)
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """One concrete error insertion, replayable via :func:`apply_mutation`."""
+
+    kind: str
+    gate: str
+    pin: Optional[int] = None
+
+    def describe(self) -> str:
+        """Human-readable summary for experiment logs."""
+        if self.pin is None:
+            return "%s at gate %r" % (self.kind, self.gate)
+        return "%s at gate %r pin %d" % (self.kind, self.gate, self.pin)
+
+
+def applicable_mutations(circuit: Circuit) -> List[Mutation]:
+    """All single mutations the paper's fault model allows on ``circuit``."""
+    out: List[Mutation] = []
+    for gate in circuit.gates:
+        if gate.gtype in INVERTIBLE:
+            out.append(Mutation("invert_output", gate.output))
+        for pin in range(len(gate.inputs)):
+            out.append(Mutation("invert_input", gate.output, pin))
+        if gate.gtype in (GateType.AND, GateType.OR, GateType.NAND,
+                          GateType.NOR):
+            out.append(Mutation("change_gate_type", gate.output))
+        if (gate.gtype in (GateType.AND, GateType.OR, GateType.NAND,
+                           GateType.NOR) and len(gate.inputs) >= 2):
+            for pin in range(len(gate.inputs)):
+                out.append(Mutation("remove_input", gate.output, pin))
+    return out
+
+
+def apply_mutation(circuit: Circuit, mutation: Mutation) -> Circuit:
+    """Return a mutated copy of ``circuit``."""
+    result = circuit.copy(circuit.name + "_mut")
+    gate = result.gate(mutation.gate)
+    if mutation.kind == "invert_output":
+        try:
+            new_type = INVERTIBLE[gate.gtype]
+        except KeyError:
+            raise CircuitError(
+                "cannot invert output of %s gate" % gate.gtype.name
+            ) from None
+        result.replace_gate(Gate(gate.output, new_type, gate.inputs))
+    elif mutation.kind == "invert_input":
+        pin = _check_pin(gate, mutation)
+        src = gate.inputs[pin]
+        # "Remove an inverter": bypass an existing NOT driver; otherwise
+        # splice a new inverter into the connection.
+        if result.drives(src) and result.gate(src).gtype is GateType.NOT:
+            new_src = result.gate(src).inputs[0]
+        else:
+            new_src = _fresh_net(result, "%s_inv%d" % (gate.output, pin))
+            result.add_gate(new_src, GateType.NOT, [src])
+        inputs = list(gate.inputs)
+        inputs[pin] = new_src
+        result.replace_gate(Gate(gate.output, gate.gtype, tuple(inputs)))
+    elif mutation.kind == "change_gate_type":
+        result.replace_gate(Gate(gate.output, gate.gtype.dual,
+                                 gate.inputs))
+    elif mutation.kind == "remove_input":
+        pin = _check_pin(gate, mutation)
+        if len(gate.inputs) < 2:
+            raise CircuitError("cannot remove the only input of %r"
+                               % gate.output)
+        if gate.gtype not in (GateType.AND, GateType.OR, GateType.NAND,
+                              GateType.NOR):
+            raise CircuitError("cannot remove an input of a %s gate"
+                               % gate.gtype.name)
+        inputs = gate.inputs[:pin] + gate.inputs[pin + 1:]
+        result.replace_gate(Gate(gate.output, gate.gtype, inputs))
+    else:
+        raise CircuitError("unknown mutation kind %r" % mutation.kind)
+    result.validate(allow_free=bool(circuit.free_nets()))
+    return result
+
+
+def insert_random_error(circuit: Circuit, rng: random.Random)\
+        -> Tuple[Circuit, Mutation]:
+    """Pick a random applicable mutation and apply it (paper Section 3)."""
+    candidates = applicable_mutations(circuit)
+    if not candidates:
+        raise CircuitError("no mutable gate in %s" % circuit.name)
+    mutation = rng.choice(candidates)
+    return apply_mutation(circuit, mutation), mutation
+
+
+def _check_pin(gate: Gate, mutation: Mutation) -> int:
+    if mutation.pin is None or not 0 <= mutation.pin < len(gate.inputs):
+        raise CircuitError("mutation %r has bad pin for gate %r"
+                           % (mutation.kind, gate.output))
+    return mutation.pin
+
+
+def _fresh_net(circuit: Circuit, base: str) -> str:
+    used = set(circuit.nets())
+    used.update(circuit.outputs)
+    for gate in circuit.gates:
+        used.update(gate.inputs)
+    name = base
+    counter = 0
+    while name in used:
+        counter += 1
+        name = "%s_%d" % (base, counter)
+    return name

@@ -1,0 +1,23 @@
+"""SAT backend: CNF encoding, CDCL solver, miter and CEGAR checks."""
+
+from .cnf import Cnf, TseitinEncoder
+from .solver import Solver, SolverResult
+from .equivalence import build_miter, check_equivalence_sat
+from .qbf import (check_output_exact_sat, check_symbolic_01x_sat,
+                  dual_rail_expand)
+from .dimacs import loads_dimacs, read_dimacs, write_dimacs
+
+__all__ = [
+    "Cnf",
+    "TseitinEncoder",
+    "Solver",
+    "SolverResult",
+    "build_miter",
+    "check_equivalence_sat",
+    "check_output_exact_sat",
+    "check_symbolic_01x_sat",
+    "dual_rail_expand",
+    "read_dimacs",
+    "loads_dimacs",
+    "write_dimacs",
+]

@@ -1,0 +1,146 @@
+"""CNF formulas and Tseitin encoding of netlists.
+
+Literals follow the DIMACS convention: variables are positive integers,
+a negative literal is the negation.  The paper's future-work section
+proposes replacing the BDD engine with SAT; this package provides that
+alternative backend for the checks that are ∃/∃∀-shaped.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..circuit.gates import GateType
+from ..circuit.netlist import Circuit, CircuitError
+
+__all__ = ["Cnf", "TseitinEncoder"]
+
+
+class Cnf:
+    """A growable CNF formula with a variable allocator."""
+
+    def __init__(self) -> None:
+        self.num_vars = 0
+        self.clauses: List[Tuple[int, ...]] = []
+
+    def new_var(self) -> int:
+        """Allocate a fresh variable."""
+        self.num_vars += 1
+        return self.num_vars
+
+    def add_clause(self, literals: Iterable[int]) -> None:
+        """Add one clause; literals must reference allocated variables."""
+        clause = tuple(literals)
+        for lit in clause:
+            if lit == 0 or abs(lit) > self.num_vars:
+                raise ValueError("literal %d out of range" % lit)
+        self.clauses.append(clause)
+
+    def to_dimacs(self) -> str:
+        """Serialize in DIMACS CNF format."""
+        lines = ["p cnf %d %d" % (self.num_vars, len(self.clauses))]
+        for clause in self.clauses:
+            lines.append(" ".join(str(l) for l in clause) + " 0")
+        return "\n".join(lines) + "\n"
+
+    def __repr__(self) -> str:
+        return "<Cnf %d vars, %d clauses>" % (self.num_vars,
+                                              len(self.clauses))
+
+
+class TseitinEncoder:
+    """Encode circuit nets into a shared :class:`Cnf`.
+
+    Multiple circuits can be encoded against the same encoder; nets with
+    equal names share variables (that is how miters share their primary
+    inputs).  Use ``prefix`` to keep two circuits' internal nets apart.
+    """
+
+    def __init__(self, cnf: Optional[Cnf] = None) -> None:
+        self.cnf = cnf or Cnf()
+        self._net_var: Dict[str, int] = {}
+
+    def var_of(self, net: str) -> int:
+        """CNF variable of a net, allocating on first use."""
+        var = self._net_var.get(net)
+        if var is None:
+            var = self.cnf.new_var()
+            self._net_var[net] = var
+        return var
+
+    def has_net(self, net: str) -> bool:
+        """Whether the net already has a CNF variable."""
+        return net in self._net_var
+
+    # ------------------------------------------------------------------
+
+    def encode_gate_function(self, gtype: GateType, out: int,
+                             ins: Sequence[int]) -> None:
+        """Clauses forcing ``out <-> gtype(ins)``."""
+        cnf = self.cnf
+        if gtype in (GateType.AND, GateType.NAND):
+            lit = out if gtype is GateType.AND else -out
+            for i in ins:
+                cnf.add_clause((-lit, i))
+            cnf.add_clause(tuple(-i for i in ins) + (lit,))
+        elif gtype in (GateType.OR, GateType.NOR):
+            lit = out if gtype is GateType.OR else -out
+            for i in ins:
+                cnf.add_clause((lit, -i))
+            cnf.add_clause(tuple(ins) + (-lit,))
+        elif gtype in (GateType.XOR, GateType.XNOR):
+            # Parity via a chain of 2-input XORs; negate at the last
+            # stage for XNOR (out <-> ¬parity).
+            lit = out if gtype is GateType.XOR else -out
+            current = ins[0]
+            for nxt in ins[1:-1]:
+                aux = cnf.new_var()
+                self._encode_xor2(aux, current, nxt)
+                current = aux
+            if len(ins) == 1:
+                self._encode_eq(lit, current)
+            else:
+                self._encode_xor2(lit, current, ins[-1])
+        elif gtype is GateType.NOT:
+            self._encode_eq(out, -ins[0])
+        elif gtype is GateType.BUF:
+            self._encode_eq(out, ins[0])
+        elif gtype is GateType.CONST0:
+            cnf.add_clause((-out,))
+        elif gtype is GateType.CONST1:
+            cnf.add_clause((out,))
+        else:
+            raise CircuitError("cannot encode gate type %r" % gtype)
+
+    def _encode_eq(self, a: int, b: int) -> None:
+        self.cnf.add_clause((-a, b))
+        self.cnf.add_clause((a, -b))
+
+    def _encode_xor2(self, out: int, a: int, b: int) -> None:
+        cnf = self.cnf
+        cnf.add_clause((-out, a, b))
+        cnf.add_clause((-out, -a, -b))
+        cnf.add_clause((out, -a, b))
+        cnf.add_clause((out, a, -b))
+
+    def encode_circuit(self, circuit: Circuit, prefix: str = "")\
+            -> Dict[str, int]:
+        """Encode every gate of a circuit; returns net-to-variable map.
+
+        Primary inputs and free nets are *not* prefixed, so encoding a
+        specification and an implementation with different prefixes
+        against one encoder shares exactly the inputs (and, for partial
+        implementations, the Black Box outputs).
+        """
+        shared = set(circuit.inputs) | set(circuit.free_nets())
+
+        def name_of(net: str) -> str:
+            return net if net in shared else prefix + net
+
+        for net in circuit.topological_order():
+            gate = circuit.gate(net)
+            out = self.var_of(name_of(net))
+            ins = [self.var_of(name_of(src)) for src in gate.inputs]
+            self.encode_gate_function(gate.gtype, out, ins)
+        return {net: self.var_of(name_of(net))
+                for net in circuit.nets() + circuit.free_nets()}

@@ -1,0 +1,61 @@
+"""DIMACS CNF parsing/serialization (interop with external solvers)."""
+
+from __future__ import annotations
+
+import io
+from typing import TextIO, Union
+
+from .cnf import Cnf
+
+__all__ = ["read_dimacs", "loads_dimacs", "write_dimacs"]
+
+
+def loads_dimacs(text: str) -> Cnf:
+    """Parse DIMACS CNF from a string."""
+    return read_dimacs(io.StringIO(text))
+
+
+def read_dimacs(source: Union[str, TextIO]) -> Cnf:
+    """Parse a DIMACS CNF file (path or open handle).
+
+    Tolerates comment lines, missing trailing 0 on the last clause, and
+    clauses spanning several lines, as real-world files do.  The header
+    variable count is honoured as a minimum.
+    """
+    if isinstance(source, str):
+        with open(source) as handle:
+            return read_dimacs(handle)
+
+    cnf = Cnf()
+    declared_vars = 0
+    pending: list = []
+    for raw in source:
+        line = raw.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("p"):
+            tokens = line.split()
+            if len(tokens) != 4 or tokens[1] != "cnf":
+                raise ValueError("malformed problem line: %r" % line)
+            declared_vars = int(tokens[2])
+            cnf.num_vars = max(cnf.num_vars, declared_vars)
+            continue
+        if line.startswith("%"):
+            break   # SATLIB trailer
+        for token in line.split():
+            literal = int(token)
+            if literal == 0:
+                cnf.add_clause(pending)
+                pending = []
+            else:
+                cnf.num_vars = max(cnf.num_vars, abs(literal))
+                pending.append(literal)
+    if pending:
+        cnf.add_clause(pending)
+    return cnf
+
+
+def write_dimacs(cnf: Cnf, path: str) -> None:
+    """Write a CNF in DIMACS format."""
+    with open(path, "w") as handle:
+        handle.write(cnf.to_dimacs())

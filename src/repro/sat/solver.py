@@ -1,0 +1,363 @@
+"""A compact CDCL SAT solver (GRASP/Chaff lineage).
+
+Implements the standard modern recipe: two-watched-literal propagation,
+first-UIP conflict analysis with clause learning, VSIDS-style activity
+decision heuristic, phase saving, Luby restarts and learned-clause
+deletion.  Pure Python, built for the moderate-size miters and CEGAR
+subproblems of this package — not a competition solver.
+
+The paper cites GRASP [Marques-Silva & Sakallah] as the engine its
+future-work SAT backend would use; this is our stand-in.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .cnf import Cnf
+
+__all__ = ["Solver", "SolverResult"]
+
+
+class SolverResult:
+    """Outcome of a :meth:`Solver.solve` call."""
+
+    __slots__ = ("satisfiable", "model", "conflicts", "decisions")
+
+    def __init__(self, satisfiable: bool, model: Optional[Dict[int, bool]],
+                 conflicts: int, decisions: int) -> None:
+        self.satisfiable = satisfiable
+        self.model = model
+        self.conflicts = conflicts
+        self.decisions = decisions
+
+    def __bool__(self) -> bool:
+        return self.satisfiable
+
+    def __repr__(self) -> str:
+        return "<SolverResult %s conflicts=%d decisions=%d>" % (
+            "SAT" if self.satisfiable else "UNSAT", self.conflicts,
+            self.decisions)
+
+
+def _luby(index: int) -> int:
+    """The Luby restart sequence 1,1,2,1,1,2,4,... (0-based index).
+
+    MiniSat's formulation: find the subsequence containing ``index``,
+    then recurse into it.
+    """
+    size, seq = 1, 0
+    while size < index + 1:
+        seq += 1
+        size = 2 * size + 1
+    while size - 1 != index:
+        size = (size - 1) >> 1
+        seq -= 1
+        index %= size
+    return 1 << seq
+
+
+class Solver:
+    """Incremental CDCL solver over DIMACS-style integer literals."""
+
+    UNASSIGNED = -1
+
+    def __init__(self, cnf: Optional[Cnf] = None) -> None:
+        self.num_vars = 0
+        self._clauses: List[List[int]] = []
+        self._learned: List[List[int]] = []
+        # lit -> list of clause refs watching it; lit index = encoded lit
+        self._watches: Dict[int, List[List[int]]] = {}
+        self._assign: List[int] = [Solver.UNASSIGNED]  # 1-indexed
+        self._level: List[int] = [0]
+        self._reason: List[Optional[List[int]]] = [None]
+        self._activity: List[float] = [0.0]
+        self._phase: List[bool] = [False]
+        self._trail: List[int] = []
+        self._trail_lim: List[int] = []
+        self._queue_head = 0
+        self._var_inc = 1.0
+        self._var_decay = 0.95
+        # Lazy max-heap of (-activity, var); stale entries are skipped.
+        self._order: List[Tuple[float, int]] = []
+        self._ok = True
+        self.conflicts = 0
+        self.decisions = 0
+        if cnf is not None:
+            self.ensure_vars(cnf.num_vars)
+            for clause in cnf.clauses:
+                self.add_clause(clause)
+
+    # ------------------------------------------------------------------
+
+    def ensure_vars(self, count: int) -> None:
+        """Grow the variable universe to at least ``count`` variables."""
+        while self.num_vars < count:
+            self.num_vars += 1
+            self._assign.append(Solver.UNASSIGNED)
+            self._level.append(0)
+            self._reason.append(None)
+            self._activity.append(0.0)
+            self._phase.append(False)
+            heapq.heappush(self._order, (0.0, self.num_vars))
+
+    def new_var(self) -> int:
+        """Allocate one fresh variable; returns its index."""
+        self.ensure_vars(self.num_vars + 1)
+        return self.num_vars
+
+    def add_clause(self, literals: Iterable[int]) -> bool:
+        """Add a clause at decision level 0; returns False on conflict."""
+        if not self._ok:
+            return False
+        seen = set()
+        clause: List[int] = []
+        for lit in literals:
+            if lit == 0:
+                raise ValueError("literal 0 is not allowed")
+            self.ensure_vars(abs(lit))
+            if -lit in seen:
+                return True  # tautology
+            if lit not in seen:
+                seen.add(lit)
+                clause.append(lit)
+        # Remove literals already false at level 0; satisfied -> drop.
+        filtered: List[int] = []
+        for lit in clause:
+            value = self._value(lit)
+            if value == 1 and self._level[abs(lit)] == 0:
+                return True
+            if value == 0 and self._level[abs(lit)] == 0:
+                continue
+            filtered.append(lit)
+        if not filtered:
+            self._ok = False
+            return False
+        if len(filtered) == 1:
+            if not self._enqueue(filtered[0], None):
+                self._ok = False
+                return False
+            conflict = self._propagate()
+            if conflict is not None:
+                self._ok = False
+                return False
+            return True
+        self._clauses.append(filtered)
+        self._watch_clause(filtered)
+        return True
+
+    # ------------------------------------------------------------------
+
+    def _watch_clause(self, clause: List[int]) -> None:
+        self._watches.setdefault(-clause[0], []).append(clause)
+        self._watches.setdefault(-clause[1], []).append(clause)
+
+    def _value(self, lit: int) -> int:
+        """1 true, 0 false, -1 unassigned — for a literal."""
+        assignment = self._assign[abs(lit)]
+        if assignment == Solver.UNASSIGNED:
+            return -1
+        return assignment if lit > 0 else 1 - assignment
+
+    def _enqueue(self, lit: int, reason: Optional[List[int]]) -> bool:
+        value = self._value(lit)
+        if value == 0:
+            return False
+        if value == 1:
+            return True
+        var = abs(lit)
+        self._assign[var] = 1 if lit > 0 else 0
+        self._level[var] = len(self._trail_lim)
+        self._reason[var] = reason
+        self._trail.append(lit)
+        return True
+
+    def _propagate(self) -> Optional[List[int]]:
+        """Unit propagation; returns a conflicting clause or None."""
+        while self._queue_head < len(self._trail):
+            lit = self._trail[self._queue_head]
+            self._queue_head += 1
+            watchers = self._watches.get(lit)
+            if not watchers:
+                continue
+            keep: List[List[int]] = []
+            i = 0
+            while i < len(watchers):
+                clause = watchers[i]
+                i += 1
+                # Normalize: false watch at position 1.
+                if clause[0] == -lit:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._value(first) == 1:
+                    keep.append(clause)
+                    continue
+                moved = False
+                for k in range(2, len(clause)):
+                    if self._value(clause[k]) != 0:
+                        clause[1], clause[k] = clause[k], clause[1]
+                        self._watches.setdefault(
+                            -clause[1], []).append(clause)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                keep.append(clause)
+                if not self._enqueue(first, clause):
+                    # Conflict: restore remaining watchers and report.
+                    keep.extend(watchers[i:])
+                    self._watches[lit] = keep
+                    return clause
+            self._watches[lit] = keep
+        return None
+
+    # ------------------------------------------------------------------
+
+    def _bump(self, var: int) -> None:
+        self._activity[var] += self._var_inc
+        if self._activity[var] > 1e100:
+            for v in range(1, self.num_vars + 1):
+                self._activity[v] *= 1e-100
+            self._var_inc *= 1e-100
+            self._order = [(-self._activity[v], v)
+                           for v in range(1, self.num_vars + 1)
+                           if self._assign[v] == Solver.UNASSIGNED]
+            heapq.heapify(self._order)
+        elif self._assign[var] == Solver.UNASSIGNED:
+            heapq.heappush(self._order, (-self._activity[var], var))
+
+    def _analyze(self, conflict: List[int]) -> Tuple[List[int], int]:
+        """First-UIP learning; returns (learned clause, backtrack level)."""
+        learned: List[int] = []
+        seen = [False] * (self.num_vars + 1)
+        counter = 0
+        lit = 0
+        reason: Sequence[int] = conflict
+        index = len(self._trail)
+        current_level = len(self._trail_lim)
+        while True:
+            for q in reason:
+                var = abs(q)
+                if not seen[var] and self._level[var] > 0:
+                    seen[var] = True
+                    self._bump(var)
+                    if self._level[var] == current_level:
+                        counter += 1
+                    else:
+                        learned.append(q)
+            while True:
+                index -= 1
+                lit = self._trail[index]
+                if seen[abs(lit)]:
+                    break
+            counter -= 1
+            if counter == 0:
+                break
+            clause_reason = self._reason[abs(lit)]
+            assert clause_reason is not None
+            reason = [q for q in clause_reason if q != lit]
+            seen[abs(lit)] = False
+        learned.insert(0, -lit)
+        if len(learned) == 1:
+            return learned, 0
+        back_level = max(self._level[abs(q)] for q in learned[1:])
+        # Put a literal of the backtrack level in watch position 1.
+        for k in range(1, len(learned)):
+            if self._level[abs(learned[k])] == back_level:
+                learned[1], learned[k] = learned[k], learned[1]
+                break
+        return learned, back_level
+
+    def _backtrack(self, level: int) -> None:
+        if len(self._trail_lim) <= level:
+            return
+        limit = self._trail_lim[level]
+        for lit in reversed(self._trail[limit:]):
+            var = abs(lit)
+            self._phase[var] = self._assign[var] == 1
+            self._assign[var] = Solver.UNASSIGNED
+            self._reason[var] = None
+            heapq.heappush(self._order, (-self._activity[var], var))
+        del self._trail[limit:]
+        del self._trail_lim[level:]
+        self._queue_head = len(self._trail)
+
+    def _decide(self) -> int:
+        while self._order:
+            _, var = heapq.heappop(self._order)
+            if self._assign[var] == Solver.UNASSIGNED:
+                return var if self._phase[var] else -var
+        return 0
+
+    # ------------------------------------------------------------------
+
+    def solve(self, assumptions: Sequence[int] = (),
+              conflict_budget: Optional[int] = None) -> SolverResult:
+        """Decide satisfiability under optional assumptions.
+
+        Raises ``RuntimeError`` when a finite ``conflict_budget`` is
+        exhausted — callers treating this solver as an oracle should
+        leave the budget infinite.
+        """
+        self.conflicts = 0
+        self.decisions = 0
+        if not self._ok:
+            return SolverResult(False, None, 0, 0)
+        self._backtrack(0)
+        for lit in assumptions:
+            self.ensure_vars(abs(lit))
+
+        restart_count = 0
+        limit = 32 * _luby(restart_count)
+        conflicts_here = 0
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.conflicts += 1
+                conflicts_here += 1
+                if conflict_budget is not None \
+                        and self.conflicts > conflict_budget:
+                    raise RuntimeError("conflict budget exhausted")
+                if len(self._trail_lim) == 0:
+                    return SolverResult(False, None, self.conflicts,
+                                        self.decisions)
+                learned, back_level = self._analyze(conflict)
+                self._backtrack(back_level)
+                if len(learned) > 1:
+                    self._learned.append(learned)
+                    self._watch_clause(learned)
+                if not self._enqueue(learned[0],
+                                     learned if len(learned) > 1
+                                     else None):
+                    return SolverResult(False, None, self.conflicts,
+                                        self.decisions)
+                self._var_inc /= self._var_decay
+                if conflicts_here >= limit:
+                    restart_count += 1
+                    limit = 32 * _luby(restart_count)
+                    conflicts_here = 0
+                    self._backtrack(0)
+                continue
+
+            # Assumptions before free decisions.
+            pending = None
+            for lit in assumptions:
+                value = self._value(lit)
+                if value == 0:
+                    return SolverResult(False, None, self.conflicts,
+                                        self.decisions)
+                if value == -1:
+                    pending = lit
+                    break
+            if pending is None:
+                pending = self._decide()
+                if pending == 0:
+                    model = {v: self._assign[v] == 1
+                             for v in range(1, self.num_vars + 1)}
+                    self._backtrack(0)
+                    return SolverResult(True, model, self.conflicts,
+                                        self.decisions)
+                self.decisions += 1
+            self._trail_lim.append(len(self._trail))
+            self._enqueue(pending, None)

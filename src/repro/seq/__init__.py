@@ -1,0 +1,29 @@
+"""Sequential circuits with Black Boxes: bounded checking via unrolling.
+
+The paper's future-work direction ("how the methods can be extended to
+verify also sequential circuits containing Black Boxes"), implemented
+for bounded depth: model a Mealy machine, expand ``k`` time frames into
+a combinational circuit, and run the ladder on the expansion.
+"""
+
+from .sequential import Latch, SequentialCircuit
+from .unroll import frame_net, unroll, unroll_partial
+from .check import check_bounded_equivalence, check_sequential_partial
+from .reachability import (MachineEncoding, SequentialEquivalenceResult,
+                           check_unbounded_equivalence, encode_machine,
+                           reachable_states)
+
+__all__ = [
+    "Latch",
+    "SequentialCircuit",
+    "frame_net",
+    "unroll",
+    "unroll_partial",
+    "check_bounded_equivalence",
+    "check_sequential_partial",
+    "MachineEncoding",
+    "SequentialEquivalenceResult",
+    "encode_machine",
+    "reachable_states",
+    "check_unbounded_equivalence",
+]

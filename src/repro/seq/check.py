@@ -1,0 +1,72 @@
+"""Bounded equivalence checks for sequential circuits with Black Boxes.
+
+Realizes the paper's second future-work direction for bounded depth:
+two machines are compared over their first ``k`` cycles from reset by
+checking the time-frame expansions combinationally.  For partial
+designs the per-frame box copies make every reported error sound (a
+fortiori: if even frame-varying boxes cannot fix the design, neither
+can a fixed one).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..circuit.netlist import CircuitError
+from ..core.equivalence import EquivalenceResult, check_equivalence
+from ..core.ladder import CHECK_ORDER, run_ladder
+from ..core.result import CheckResult
+from ..partial.blackbox import BlackBox
+from .sequential import SequentialCircuit
+from .unroll import unroll, unroll_partial
+
+__all__ = ["check_bounded_equivalence", "check_sequential_partial"]
+
+
+def check_bounded_equivalence(spec: SequentialCircuit,
+                              impl: SequentialCircuit,
+                              frames: int) -> EquivalenceResult:
+    """Bounded (k-cycle) equivalence of two complete machines.
+
+    Compares all outputs over ``frames`` cycles from the reset states.
+    Inputs must have the same names; latch counts may differ freely.
+    """
+    if spec.inputs != impl.inputs:
+        raise CircuitError("primary input lists differ")
+    if len(spec.outputs) != len(impl.outputs):
+        raise CircuitError("output counts differ")
+    spec_u = unroll(spec, frames)
+    impl_u = unroll(impl, frames)
+    return check_equivalence(spec_u, impl_u)
+
+
+def check_sequential_partial(spec: SequentialCircuit,
+                             impl: SequentialCircuit,
+                             boxes: Sequence[BlackBox],
+                             frames: int,
+                             checks: Sequence[str] = CHECK_ORDER,
+                             patterns: int = 500,
+                             seed: Optional[int] = None,
+                             stop_at_first_error: bool = True)\
+        -> List[CheckResult]:
+    """Bounded Black Box equivalence check of a partial machine.
+
+    ``boxes`` describe the unknown regions of ``impl``'s combinational
+    core (per-cycle interfaces); the check unrolls both designs over
+    ``frames`` cycles and runs the requested ladder rungs.
+
+    A reported error is definitive for the bound: no implementation of
+    the boxes — not even one that changed every cycle — makes the first
+    ``frames`` cycles match the specification.  "No error" is bounded
+    *and* relaxed (frame-independent boxes), so it neither proves full
+    sequential correctness nor exact extendability.
+    """
+    if spec.inputs != impl.inputs:
+        raise CircuitError("primary input lists differ")
+    if len(spec.outputs) != len(impl.outputs):
+        raise CircuitError("output counts differ")
+    spec_u = unroll(spec, frames)
+    partial_u = unroll_partial(impl, frames, list(boxes))
+    return run_ladder(spec_u, partial_u, checks=checks,
+                      patterns=patterns, seed=seed,
+                      stop_at_first_error=stop_at_first_error)

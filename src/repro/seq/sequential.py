@@ -1,0 +1,119 @@
+"""Sequential (latched) circuits on top of the combinational model.
+
+The paper's future work asks "how the methods can be extended to verify
+also sequential circuits containing Black Boxes"; this subpackage
+provides the bounded answer: a sequential netlist model, time-frame
+expansion, and bounded Black Box equivalence checking
+(:mod:`repro.seq.unroll`, :mod:`repro.seq.check`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..circuit.netlist import Circuit, CircuitError
+
+__all__ = ["Latch", "SequentialCircuit"]
+
+
+@dataclass(frozen=True)
+class Latch:
+    """One state element: ``state`` is the Q output net (a primary input
+    of the combinational core), ``next_state`` the D input net (a core
+    net), ``init`` the reset value."""
+
+    state: str
+    next_state: str
+    init: bool = False
+
+
+class SequentialCircuit:
+    """A Mealy machine: combinational core + latches.
+
+    The core circuit's inputs are the primary inputs *plus* one input
+    per latch (its ``state`` net); the core computes the primary outputs
+    and each latch's ``next_state`` net.  Black Boxes in the core (free
+    nets) make a *partial* sequential design.
+    """
+
+    def __init__(self, core: Circuit, latches: Sequence[Latch],
+                 name: Optional[str] = None) -> None:
+        self.name = name or core.name
+        self.core = core
+        self.latches = list(latches)
+        self._validate()
+
+    def _validate(self) -> None:
+        seen_states = set()
+        seen_next = set()
+        free = set(self.core.free_nets())
+        for latch in self.latches:
+            if latch.state in seen_states:
+                raise CircuitError("latch output %r declared twice"
+                                   % latch.state)
+            if latch.next_state in seen_next:
+                raise CircuitError("net %r drives two latches"
+                                   % latch.next_state)
+            seen_states.add(latch.state)
+            seen_next.add(latch.next_state)
+            if not self.core.is_input(latch.state):
+                raise CircuitError(
+                    "latch output %r must be a core input" % latch.state)
+            # The next-state net may be a gate output, a pass-through
+            # input, an already-free net, or a net only the latch reads
+            # (then it is a Black Box output of a partial design: the
+            # latch is its sole reader).  Completeness is enforced where
+            # it matters — simulate() and unroll() reject missing
+            # drivers with a precise error.
+        self.core.validate(allow_free=bool(self.core.free_nets()))
+
+    @property
+    def inputs(self) -> List[str]:
+        """Primary inputs (core inputs minus latch outputs)."""
+        states = {latch.state for latch in self.latches}
+        return [net for net in self.core.inputs if net not in states]
+
+    @property
+    def outputs(self) -> List[str]:
+        """Primary outputs of the machine."""
+        return self.core.outputs
+
+    @property
+    def state_names(self) -> List[str]:
+        """Latch output nets, in declaration order."""
+        return [latch.state for latch in self.latches]
+
+    def initial_state(self) -> Dict[str, bool]:
+        """The reset assignment of all latches."""
+        return {latch.state: latch.init for latch in self.latches}
+
+    def simulate(self, input_sequence: Iterable[Dict[str, bool]],
+                 state: Optional[Dict[str, bool]] = None)\
+            -> List[Dict[str, bool]]:
+        """Cycle-accurate simulation; returns outputs per cycle.
+
+        Requires a complete core (no Black Boxes).
+        """
+        missing = [latch.next_state for latch in self.latches
+                   if not (self.core.drives(latch.next_state)
+                           or self.core.is_input(latch.next_state))]
+        if self.core.free_nets() or missing:
+            raise CircuitError("cannot simulate a partial sequential "
+                               "design; give the boxes functions first")
+        current = dict(state or self.initial_state())
+        trace: List[Dict[str, bool]] = []
+        for step_inputs in input_sequence:
+            assignment = dict(step_inputs)
+            assignment.update(current)
+            values = self.core.evaluate(assignment, all_nets=True)
+            trace.append({net: values[net] for net in self.outputs})
+            current = {latch.state: values[latch.next_state]
+                       for latch in self.latches}
+        return trace
+
+    def __repr__(self) -> str:
+        return "<SequentialCircuit %s: %d in, %d out, %d latches, " \
+            "%d gates>" % (self.name, len(self.inputs),
+                           len(self.outputs), len(self.latches),
+                           self.core.num_gates)

@@ -1,0 +1,121 @@
+"""Time-frame expansion of sequential circuits.
+
+``unroll`` turns ``k`` clock cycles of a machine into one combinational
+circuit: frame-local copies of the core, latches replaced by wires from
+the previous frame (constants at the reset frame).  Black Boxes are
+duplicated per frame — see :mod:`repro.seq.check` for what that means
+for soundness.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..circuit.gates import GateType
+from ..circuit.netlist import Circuit, CircuitError
+from ..partial.blackbox import BlackBox, PartialImplementation
+from .sequential import SequentialCircuit
+
+__all__ = ["frame_net", "unroll", "unroll_partial"]
+
+
+def frame_net(net: str, frame: int) -> str:
+    """Name of a core net's copy in time frame ``frame`` (0-based)."""
+    return "%s@%d" % (net, frame)
+
+
+def _build_frames(seq: SequentialCircuit, frames: int,
+                  result: Circuit) -> None:
+    """Emit ``frames`` copies of the core into ``result``."""
+    if frames < 1:
+        raise CircuitError("need at least one time frame")
+    states = {latch.state: latch for latch in seq.latches}
+
+    def source_name(net: str, frame: int) -> str:
+        latch = states.get(net)
+        if latch is None:
+            return frame_net(net, frame)
+        if frame == 0:
+            return "%s@init" % latch.state
+        return source_name(latch.next_state, frame - 1)
+
+    for latch in seq.latches:
+        result.add_gate("%s@init" % latch.state,
+                        GateType.CONST1 if latch.init
+                        else GateType.CONST0, [])
+    for frame in range(frames):
+        for net in seq.inputs:
+            result.add_input(frame_net(net, frame))
+        for net in seq.core.topological_order():
+            gate = seq.core.gate(net)
+            result.add_gate(
+                frame_net(net, frame), gate.gtype,
+                [source_name(src, frame) for src in gate.inputs])
+    # Outputs are buffered per frame: distinct frames of one output may
+    # resolve to the same source net (e.g. a latch that holds its reset
+    # value), and output names must be unique.
+    existing = set(result.nets())
+    for frame in range(frames):
+        for index, net in enumerate(seq.outputs):
+            out_name = "po%d@%d" % (index, frame)
+            while out_name in existing:
+                out_name = "_" + out_name
+            existing.add(out_name)
+            result.add_gate(out_name, GateType.BUF,
+                            [source_name(net, frame)])
+            result.add_output(out_name)
+
+
+def unroll(seq: SequentialCircuit, frames: int,
+           name: Optional[str] = None) -> Circuit:
+    """Combinational expansion of a *complete* sequential circuit.
+
+    Inputs: ``x@t`` per primary input and frame; outputs: every primary
+    output per frame, in frame-major order.
+    """
+    undriven_latches = [
+        latch.next_state for latch in seq.latches
+        if not (seq.core.drives(latch.next_state)
+                or seq.core.is_input(latch.next_state))]
+    if seq.core.free_nets() or undriven_latches:
+        raise CircuitError("use unroll_partial for designs with boxes")
+    result = Circuit(name or "%s_u%d" % (seq.name, frames))
+    _build_frames(seq, frames, result)
+    result.validate()
+    return result
+
+
+def unroll_partial(seq: SequentialCircuit, frames: int,
+                   boxes: List[BlackBox],
+                   name: Optional[str] = None)\
+        -> PartialImplementation:
+    """Expansion of a partial sequential circuit.
+
+    Every Black Box is copied once per time frame (``BB@t``).  Note the
+    relaxation: the copies are treated as *independent* boxes, although
+    a real implementation uses the same function in every frame.  The
+    checks therefore consider a superset of the legal behaviours —
+    reported errors remain sound, but some sequential-only errors are
+    missed (exactly the approximation direction of the whole ladder).
+    """
+    result = Circuit(name or "%s_u%d" % (seq.name, frames))
+    _build_frames(seq, frames, result)
+
+    states = {latch.state: latch for latch in seq.latches}
+
+    def source_name(net: str, frame: int) -> str:
+        latch = states.get(net)
+        if latch is None:
+            return frame_net(net, frame)
+        if frame == 0:
+            return "%s@init" % latch.state
+        return source_name(latch.next_state, frame - 1)
+
+    frame_boxes: List[BlackBox] = []
+    for frame in range(frames):
+        for box in boxes:
+            frame_boxes.append(BlackBox(
+                "%s@%d" % (box.name, frame),
+                tuple(source_name(net, frame) for net in box.inputs),
+                tuple(frame_net(net, frame) for net in box.outputs)))
+    return PartialImplementation(result, frame_boxes)

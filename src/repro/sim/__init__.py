@@ -1,0 +1,27 @@
+"""Simulation engines: scalar ternary, random patterns, symbolic BDDs."""
+
+from .logic3 import ONE, X, ZERO, TernaryValue, eval_gate3, from_bool, \
+    from_char, to_char
+from .ternary import simulate_ternary, simulate_ternary_vector
+from .patterns import exhaustive_patterns, random_patterns
+from .symbolic import declare_input_vars, symbolic_simulate
+from .dualrail import DualRail, dual_rail_simulate
+
+__all__ = [
+    "ZERO",
+    "ONE",
+    "X",
+    "TernaryValue",
+    "eval_gate3",
+    "from_bool",
+    "from_char",
+    "to_char",
+    "simulate_ternary",
+    "simulate_ternary_vector",
+    "random_patterns",
+    "exhaustive_patterns",
+    "declare_input_vars",
+    "symbolic_simulate",
+    "DualRail",
+    "dual_rail_simulate",
+]

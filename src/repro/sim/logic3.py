@@ -1,0 +1,98 @@
+"""Three-valued (0, 1, X) logic, as used in testing [Abramovici et al.].
+
+``X`` models the unknown value at Black Box outputs: a gate output is
+``X`` exactly when two different 0/1 replacements of the ``X`` inputs can
+produce different gate outputs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+from ..circuit.gates import GateType
+
+__all__ = ["ZERO", "ONE", "X", "TernaryValue", "eval_gate3", "from_bool",
+           "to_char", "from_char"]
+
+#: The three simulation values.  ``ZERO``/``ONE`` are compatible with
+#: Python ints, so two-valued code can feed the ternary simulator.
+ZERO = 0
+ONE = 1
+X = 2
+
+TernaryValue = int
+
+
+def from_bool(value: Union[bool, int]) -> TernaryValue:
+    """Lift a Python bool (or 0/1) into ternary."""
+    return ONE if value else ZERO
+
+
+def to_char(value: TernaryValue) -> str:
+    """Render as ``'0'``, ``'1'`` or ``'X'``."""
+    return "01X"[value]
+
+
+def from_char(char: str) -> TernaryValue:
+    """Parse ``'0'``, ``'1'``, ``'X'`` (or ``'x'``, ``'-'``)."""
+    if char == "0":
+        return ZERO
+    if char == "1":
+        return ONE
+    if char in ("X", "x", "-"):
+        return X
+    raise ValueError("not a ternary character: %r" % char)
+
+
+def _and3(values: Sequence[TernaryValue]) -> TernaryValue:
+    if any(v == ZERO for v in values):
+        return ZERO
+    if any(v == X for v in values):
+        return X
+    return ONE
+
+
+def _or3(values: Sequence[TernaryValue]) -> TernaryValue:
+    if any(v == ONE for v in values):
+        return ONE
+    if any(v == X for v in values):
+        return X
+    return ZERO
+
+
+def _not3(value: TernaryValue) -> TernaryValue:
+    if value == X:
+        return X
+    return ONE - value
+
+
+def _xor3(values: Sequence[TernaryValue]) -> TernaryValue:
+    if any(v == X for v in values):
+        return X
+    return sum(values) % 2
+
+
+def eval_gate3(gtype: GateType, inputs: Sequence[TernaryValue])\
+        -> TernaryValue:
+    """Ternary gate evaluation with pessimistic X propagation."""
+    if gtype is GateType.AND:
+        return _and3(inputs)
+    if gtype is GateType.OR:
+        return _or3(inputs)
+    if gtype is GateType.NAND:
+        return _not3(_and3(inputs))
+    if gtype is GateType.NOR:
+        return _not3(_or3(inputs))
+    if gtype is GateType.XOR:
+        return _xor3(inputs)
+    if gtype is GateType.XNOR:
+        return _not3(_xor3(inputs))
+    if gtype is GateType.NOT:
+        return _not3(inputs[0])
+    if gtype is GateType.BUF:
+        return inputs[0]
+    if gtype is GateType.CONST0:
+        return ZERO
+    if gtype is GateType.CONST1:
+        return ONE
+    raise ValueError("unknown gate type %r" % gtype)

@@ -1,0 +1,34 @@
+"""Input pattern sources for simulation-based checking."""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterator, Optional, Sequence
+
+__all__ = ["random_patterns", "exhaustive_patterns"]
+
+
+def random_patterns(input_names: Sequence[str], count: int,
+                    seed: Optional[int] = None)\
+        -> Iterator[Dict[str, bool]]:
+    """``count`` uniformly random input assignments (with replacement).
+
+    The paper's baseline uses 5000 such patterns per check.
+    """
+    rng = random.Random(seed)
+    names = list(input_names)
+    width = len(names)
+    for _ in range(count):
+        bits = rng.getrandbits(width) if width else 0
+        yield {name: bool((bits >> i) & 1) for i, name in enumerate(names)}
+
+
+def exhaustive_patterns(input_names: Sequence[str])\
+        -> Iterator[Dict[str, bool]]:
+    """All ``2^n`` assignments — only sensible for small circuits."""
+    names = list(input_names)
+    width = len(names)
+    if width > 24:
+        raise ValueError("refusing to enumerate 2^%d patterns" % width)
+    for bits in range(1 << width):
+        yield {name: bool((bits >> i) & 1) for i, name in enumerate(names)}

@@ -1,0 +1,93 @@
+"""Symbolic (BDD) circuit simulation.
+
+Computes one BDD per net as a function of the primary input variables —
+plus, for partial implementations, the ``Z_i`` variables standing for
+Black Box outputs (the paper's "symbolic Z_i simulation", Section 2.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from ..bdd import Bdd, Function
+from ..circuit.gates import GateType
+from ..circuit.netlist import Circuit, CircuitError
+
+__all__ = ["declare_input_vars", "symbolic_simulate"]
+
+
+def declare_input_vars(bdd: Bdd, circuit: Circuit) -> Dict[str, Function]:
+    """Declare (or fetch) one BDD variable per primary input net."""
+    out: Dict[str, Function] = {}
+    for net in circuit.inputs:
+        out[net] = bdd.var(net) if bdd.has_var(net) else bdd.add_var(net)
+    return out
+
+
+def _gate_bdd(bdd: Bdd, gtype: GateType, args: list) -> Function:
+    if gtype is GateType.AND:
+        return bdd.conj(args)
+    if gtype is GateType.OR:
+        return bdd.disj(args)
+    if gtype is GateType.NAND:
+        return ~bdd.conj(args)
+    if gtype is GateType.NOR:
+        return ~bdd.disj(args)
+    if gtype is GateType.XOR:
+        acc = bdd.false
+        for f in args:
+            acc = acc ^ f
+        return acc
+    if gtype is GateType.XNOR:
+        # XNOR is NOT(parity); chaining equiv() would get 3+ inputs wrong.
+        acc = bdd.false
+        for f in args:
+            acc = acc ^ f
+        return ~acc
+    if gtype is GateType.NOT:
+        return ~args[0]
+    if gtype is GateType.BUF:
+        return args[0]
+    if gtype is GateType.CONST0:
+        return bdd.false
+    if gtype is GateType.CONST1:
+        return bdd.true
+    raise ValueError("unknown gate type %r" % gtype)
+
+
+def symbolic_simulate(circuit: Circuit, bdd: Bdd,
+                      free_functions: Optional[Dict[str, Function]] = None,
+                      nets: Optional[Iterable[str]] = None)\
+        -> Dict[str, Function]:
+    """BDDs for circuit nets as functions of the input variables.
+
+    Parameters
+    ----------
+    free_functions:
+        Function to use for each free net (Black Box output); typically a
+        fresh ``Z_i`` variable per output.  Required if the circuit has
+        free nets.
+    nets:
+        Restrict the result to these nets (their cones are still built).
+        Defaults to the primary outputs; pass ``circuit.nets()`` for all.
+
+    Returns a dict mapping each requested net to its :class:`Function`.
+    """
+    free_functions = dict(free_functions or {})
+    values: Dict[str, Function] = declare_input_vars(bdd, circuit)
+    for net, function in free_functions.items():
+        values.setdefault(net, function)
+    for net in circuit.free_nets():
+        if net not in values:
+            raise CircuitError(
+                "no function supplied for free net %r" % net)
+    for net in circuit.topological_order():
+        gate = circuit.gate(net)
+        values[net] = _gate_bdd(
+            bdd, gate.gtype, [values[src] for src in gate.inputs])
+    wanted = list(nets) if nets is not None else circuit.outputs
+    missing = [n for n in wanted if n not in values]
+    if missing:
+        raise CircuitError("unknown nets requested: %s"
+                           % ", ".join(missing[:5]))
+    return {net: values[net] for net in wanted}

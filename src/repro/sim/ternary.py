@@ -1,0 +1,52 @@
+"""Scalar three-valued circuit simulation.
+
+This is the engine behind the paper's baseline check: simulate the
+partial implementation with ``X`` on every Black Box output and compare
+definite (0/1) outputs against the specification.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..circuit.netlist import Circuit, CircuitError
+from .logic3 import TernaryValue, X, eval_gate3
+
+__all__ = ["simulate_ternary", "simulate_ternary_vector"]
+
+
+def simulate_ternary(circuit: Circuit,
+                     assignment: Dict[str, TernaryValue],
+                     all_nets: bool = False) -> Dict[str, TernaryValue]:
+    """Ternary simulation of ``circuit`` under an input assignment.
+
+    Primary inputs default to nothing (they must all be assigned); free
+    nets (Black Box outputs) default to ``X`` when unassigned, which is
+    exactly the 0,1,X model of an unknown box.
+    """
+    values: Dict[str, TernaryValue] = {}
+    for net in circuit.inputs:
+        try:
+            values[net] = assignment[net]
+        except KeyError:
+            raise CircuitError("missing input value %r" % net) from None
+    for net in circuit.free_nets():
+        values[net] = assignment.get(net, X)
+    for net in circuit.topological_order():
+        gate = circuit.gate(net)
+        values[net] = eval_gate3(
+            gate.gtype, [values[src] for src in gate.inputs])
+    if all_nets:
+        return values
+    return {net: values[net] for net in circuit.outputs}
+
+
+def simulate_ternary_vector(circuit: Circuit,
+                            bits: Sequence[TernaryValue])\
+        -> List[TernaryValue]:
+    """Positional variant: input values by declaration order."""
+    if len(bits) != len(circuit.inputs):
+        raise CircuitError("expected %d input values, got %d"
+                           % (len(circuit.inputs), len(bits)))
+    out = simulate_ternary(circuit, dict(zip(circuit.inputs, bits)))
+    return [out[net] for net in circuit.outputs]

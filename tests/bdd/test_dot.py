@@ -1,0 +1,45 @@
+"""Tests for DOT export."""
+
+import pytest
+
+from repro.bdd import Bdd, to_dot
+
+
+@pytest.fixture
+def bdd():
+    b = Bdd()
+    b.add_vars(["x", "y"])
+    return b
+
+
+def test_single_function(bdd):
+    f = bdd.var("x") & bdd.var("y")
+    dot = to_dot(f)
+    assert dot.startswith("digraph")
+    assert dot.rstrip().endswith("}")
+    assert '"x"' in dot and '"y"' in dot
+    assert '"0"' in dot and '"1"' in dot
+
+
+def test_multiple_functions_share_nodes(bdd):
+    x, y = bdd.var("x"), bdd.var("y")
+    dot = to_dot([x & y, x | y], labels=["and", "or"])
+    assert "and" in dot and "or" in dot
+    # both roots present
+    assert dot.count("root") >= 4  # 2 declarations + 2 edges
+
+
+def test_rank_same_per_level(bdd):
+    f = bdd.var("x") ^ bdd.var("y")
+    dot = to_dot(f)
+    assert "rank=same" in dot
+
+
+def test_label_count_mismatch_rejected(bdd):
+    with pytest.raises(ValueError):
+        to_dot([bdd.var("x")], labels=["a", "b"])
+
+
+def test_empty_rejected():
+    with pytest.raises(ValueError):
+        to_dot([])

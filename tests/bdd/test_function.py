@@ -1,0 +1,98 @@
+"""Tests for the Function wrapper / Bdd facade."""
+
+import pytest
+
+from repro.bdd import Bdd, default_bdd
+
+
+@pytest.fixture
+def bdd():
+    b = Bdd()
+    b.add_vars(["x", "y", "z"])
+    return b
+
+
+class TestWrapperSemantics:
+    def test_bool_conversion_is_rejected(self, bdd):
+        with pytest.raises(TypeError):
+            bool(bdd.var("x"))
+
+    def test_mixing_managers_rejected(self, bdd):
+        other = Bdd()
+        other.add_var("x")
+        with pytest.raises(ValueError):
+            bdd.var("x") & other.var("x")
+
+    def test_operations_with_python_bools(self, bdd):
+        x = bdd.var("x")
+        assert (x & True) == x
+        assert (x & False).is_false
+        assert (x | True).is_true
+        assert (x ^ True) == ~x
+
+    def test_equality_with_bool(self, bdd):
+        assert bdd.true == True            # noqa: E712
+        assert bdd.false == False          # noqa: E712
+        assert not (bdd.var("x") == True)  # noqa: E712
+
+    def test_hash_consistent_with_equality(self, bdd):
+        x1 = bdd.var("x")
+        x2 = bdd.var("x")
+        assert x1 == x2
+        assert hash(x1) == hash(x2)
+        assert len({x1, x2}) == 1
+
+    def test_repr_forms(self, bdd):
+        assert "TRUE" in repr(bdd.true)
+        assert "FALSE" in repr(bdd.false)
+        assert "x" in repr(bdd.var("x"))
+
+    def test_call_is_evaluate(self, bdd):
+        f = bdd.var("x") ^ bdd.var("y")
+        assert f({"x": True, "y": False})
+
+    def test_constant_flags(self, bdd):
+        assert bdd.true.is_constant and bdd.false.is_constant
+        assert not bdd.var("x").is_constant
+
+    def test_type_error_on_bad_operand(self, bdd):
+        with pytest.raises(TypeError):
+            bdd.var("x") & 3
+
+
+class TestFacadeHelpers:
+    def test_constant(self, bdd):
+        assert bdd.constant(True).is_true
+        assert bdd.constant(False).is_false
+
+    def test_cube(self, bdd):
+        cube = bdd.cube({"x": True, "y": False})
+        assert cube.evaluate({"x": True, "y": False, "z": False})
+        assert not cube.evaluate({"x": True, "y": True, "z": False})
+
+    def test_conj_disj(self, bdd):
+        xs = [bdd.var(n) for n in ("x", "y", "z")]
+        assert bdd.conj(xs).evaluate({"x": True, "y": True, "z": True})
+        assert not bdd.conj(xs).evaluate(
+            {"x": True, "y": False, "z": True})
+        assert bdd.disj(xs).evaluate({"x": False, "y": False, "z": True})
+        assert bdd.conj([]).is_true
+        assert bdd.disj([]).is_false
+
+    def test_add_vars(self):
+        bdd = Bdd()
+        fs = bdd.add_vars(["p", "q"])
+        assert [f.support() for f in fs] == [["p"], ["q"]]
+
+    def test_has_var(self, bdd):
+        assert bdd.has_var("x")
+        assert not bdd.has_var("w")
+
+    def test_len_and_repr(self, bdd):
+        _ = bdd.var("x") & bdd.var("y")
+        assert len(bdd) >= 3
+        assert "Bdd" in repr(bdd)
+
+    def test_default_bdd_has_reordering_enabled(self):
+        bdd = default_bdd()
+        assert bdd.manager.auto_reorder

@@ -1,0 +1,92 @@
+"""Tests for BDD serialization."""
+
+import pytest
+
+from repro.bdd import (Bdd, dumps_functions, load_functions,
+                       loads_functions, set_order)
+
+
+def build_sample():
+    bdd = Bdd()
+    a, b, c = bdd.add_vars(["a", "b", "c"])
+    return bdd, {"maj": (a & b) | (b & c) | (a & c),
+                 "xor": a ^ b ^ c,
+                 "const": bdd.true}
+
+
+def truth(fn, names=("a", "b", "c")):
+    return [fn.evaluate({n: bool(bits >> i & 1)
+                         for i, n in enumerate(names)})
+            for bits in range(1 << len(names))]
+
+
+class TestRoundTrip:
+    def test_same_manager_kind(self):
+        bdd, fns = build_sample()
+        text = dumps_functions(fns)
+        fresh = Bdd()
+        loaded = loads_functions(fresh, text)
+        assert set(loaded) == set(fns)
+        for name in fns:
+            assert truth(loaded[name]) == truth(fns[name])
+
+    def test_into_manager_with_different_order(self):
+        bdd, fns = build_sample()
+        text = dumps_functions(fns)
+        other = Bdd()
+        other.add_vars(["c", "b", "a", "unrelated"])
+        loaded = loads_functions(other, text)
+        for name in fns:
+            assert truth(loaded[name]) == truth(fns[name])
+
+    def test_after_reordering_source(self):
+        bdd, fns = build_sample()
+        reference = {k: truth(f) for k, f in fns.items()}
+        bdd.collect_garbage()
+        set_order(bdd.manager, ["c", "a", "b"])
+        text = dumps_functions(fns)
+        loaded = loads_functions(Bdd(), text)
+        for name in fns:
+            assert truth(loaded[name]) == reference[name]
+
+    def test_file_round_trip(self, tmp_path):
+        from repro.bdd import dump_functions
+
+        bdd, fns = build_sample()
+        path = tmp_path / "funcs.bdd"
+        dump_functions(fns, str(path))
+        loaded = load_functions(Bdd(), str(path))
+        assert truth(loaded["maj"]) == truth(fns["maj"])
+
+
+class TestErrors:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            dumps_functions({})
+
+    def test_mixed_managers_rejected(self):
+        bdd1, fns1 = build_sample()
+        bdd2, fns2 = build_sample()
+        with pytest.raises(ValueError):
+            dumps_functions({"a": fns1["maj"], "b": fns2["maj"]})
+
+    def test_whitespace_name_rejected(self):
+        bdd, fns = build_sample()
+        with pytest.raises(ValueError):
+            dumps_functions({"bad name": fns["maj"]})
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(ValueError):
+            loads_functions(Bdd(), "vars a\nroot f 1\n")
+
+    def test_unknown_child_rejected(self):
+        with pytest.raises(ValueError):
+            loads_functions(Bdd(), "bdd 1\nvars a\nnode 5 a 0 9\n")
+
+    def test_unknown_keyword_rejected(self):
+        with pytest.raises(ValueError):
+            loads_functions(Bdd(), "bdd 1\nfrobnicate\n")
+
+    def test_bad_version_rejected(self):
+        with pytest.raises(ValueError):
+            loads_functions(Bdd(), "bdd 99\n")

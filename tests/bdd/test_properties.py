@@ -1,0 +1,165 @@
+"""Property-based tests of the BDD package against a direct evaluator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd import Bdd, set_order
+
+NAMES = ["v0", "v1", "v2", "v3", "v4"]
+
+
+# --- random Boolean expression trees ---------------------------------
+
+def expr_strategy(depth=4):
+    leaf = st.one_of(
+        st.sampled_from([("var", n) for n in NAMES]),
+        st.sampled_from([("const", False), ("const", True)]),
+    )
+
+    def extend(children):
+        return st.one_of(
+            st.tuples(st.just("not"), children),
+            st.tuples(st.sampled_from(["and", "or", "xor"]),
+                      children, children),
+            st.tuples(st.just("ite"), children, children, children),
+        )
+
+    return st.recursive(leaf, extend, max_leaves=12)
+
+
+def eval_expr(expr, asg):
+    op = expr[0]
+    if op == "var":
+        return asg[expr[1]]
+    if op == "const":
+        return expr[1]
+    if op == "not":
+        return not eval_expr(expr[1], asg)
+    if op == "and":
+        return eval_expr(expr[1], asg) and eval_expr(expr[2], asg)
+    if op == "or":
+        return eval_expr(expr[1], asg) or eval_expr(expr[2], asg)
+    if op == "xor":
+        return eval_expr(expr[1], asg) != eval_expr(expr[2], asg)
+    if op == "ite":
+        return (eval_expr(expr[2], asg) if eval_expr(expr[1], asg)
+                else eval_expr(expr[3], asg))
+    raise AssertionError(op)
+
+
+def build_bdd(bdd, expr):
+    op = expr[0]
+    if op == "var":
+        return bdd.var(expr[1])
+    if op == "const":
+        return bdd.constant(expr[1])
+    if op == "not":
+        return ~build_bdd(bdd, expr[1])
+    if op == "and":
+        return build_bdd(bdd, expr[1]) & build_bdd(bdd, expr[2])
+    if op == "or":
+        return build_bdd(bdd, expr[1]) | build_bdd(bdd, expr[2])
+    if op == "xor":
+        return build_bdd(bdd, expr[1]) ^ build_bdd(bdd, expr[2])
+    if op == "ite":
+        return build_bdd(bdd, expr[1]).ite(build_bdd(bdd, expr[2]),
+                                           build_bdd(bdd, expr[3]))
+    raise AssertionError(op)
+
+
+def assignments():
+    for bits in range(1 << len(NAMES)):
+        yield {n: bool((bits >> i) & 1) for i, n in enumerate(NAMES)}
+
+
+@settings(max_examples=60, deadline=None)
+@given(expr_strategy())
+def test_bdd_matches_direct_evaluation(expr):
+    bdd = Bdd()
+    bdd.add_vars(NAMES)
+    f = build_bdd(bdd, expr)
+    for asg in assignments():
+        assert f.evaluate(asg) == eval_expr(expr, asg)
+
+
+@settings(max_examples=40, deadline=None)
+@given(expr_strategy())
+def test_sat_count_matches_brute_force(expr):
+    bdd = Bdd()
+    bdd.add_vars(NAMES)
+    f = build_bdd(bdd, expr)
+    brute = sum(eval_expr(expr, asg) for asg in assignments())
+    assert f.sat_count() == brute
+
+
+@settings(max_examples=40, deadline=None)
+@given(expr_strategy(), st.sets(st.sampled_from(NAMES)))
+def test_exists_matches_brute_force(expr, qvars):
+    bdd = Bdd()
+    bdd.add_vars(NAMES)
+    f = build_bdd(bdd, expr)
+    g = f.exists(qvars)
+    free = [n for n in NAMES if n not in qvars]
+    for asg in assignments():
+        want = False
+        for bits in range(1 << len(qvars)):
+            sub = dict(asg)
+            for i, q in enumerate(sorted(qvars)):
+                sub[q] = bool((bits >> i) & 1)
+            if eval_expr(expr, sub):
+                want = True
+                break
+        assert g.evaluate(asg) == want
+
+
+@settings(max_examples=40, deadline=None)
+@given(expr_strategy(), st.permutations(NAMES))
+def test_reorder_preserves_semantics(expr, perm):
+    bdd = Bdd()
+    bdd.add_vars(NAMES)
+    f = build_bdd(bdd, expr)
+    reference = [f.evaluate(asg) for asg in assignments()]
+    bdd.collect_garbage()
+    set_order(bdd.manager, list(perm))
+    bdd.manager.check_invariants()
+    assert [f.evaluate(asg) for asg in assignments()] == reference
+    bdd.reorder()
+    bdd.manager.check_invariants()
+    assert [f.evaluate(asg) for asg in assignments()] == reference
+
+
+@settings(max_examples=30, deadline=None)
+@given(expr_strategy())
+def test_gc_preserves_referenced_functions(expr):
+    bdd = Bdd()
+    bdd.add_vars(NAMES)
+    f = build_bdd(bdd, expr)
+    reference = [f.evaluate(asg) for asg in assignments()]
+    # create garbage
+    for n in NAMES:
+        _ = f ^ bdd.var(n)
+    bdd.collect_garbage()
+    bdd.manager.check_invariants()
+    assert [f.evaluate(asg) for asg in assignments()] == reference
+
+
+@settings(max_examples=30, deadline=None)
+@given(expr_strategy(), expr_strategy(),
+       st.sets(st.sampled_from(NAMES)))
+def test_and_exists_equals_composed(e1, e2, qvars):
+    bdd = Bdd()
+    bdd.add_vars(NAMES)
+    f, g = build_bdd(bdd, e1), build_bdd(bdd, e2)
+    assert f.and_exists(g, qvars) == (f & g).exists(qvars)
+
+
+@settings(max_examples=30, deadline=None)
+@given(expr_strategy(), st.sampled_from(NAMES))
+def test_shannon_expansion(expr, var):
+    bdd = Bdd()
+    bdd.add_vars(NAMES)
+    f = build_bdd(bdd, expr)
+    v = bdd.var(var)
+    expansion = (v & f.restrict({var: True})) \
+        | (~v & f.restrict({var: False}))
+    assert expansion == f

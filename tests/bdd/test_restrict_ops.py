@@ -1,0 +1,103 @@
+"""Tests for the constrain / restrict don't-care operators."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd import Bdd, constrain, minimize_restrict
+
+NAMES = ["v%d" % i for i in range(5)]
+
+
+def random_function(bdd, rng):
+    f = bdd.constant(rng.random() < 0.5)
+    for name in rng.sample(NAMES, rng.randint(1, 4)):
+        v = bdd.var(name)
+        op = rng.randrange(3)
+        f = f & v if op == 0 else (f | v if op == 1 else f ^ v)
+    return f
+
+
+class TestContracts:
+    @pytest.mark.parametrize("op", [constrain, minimize_restrict])
+    @pytest.mark.parametrize("seed", range(15))
+    def test_agreement_on_care_set(self, op, seed):
+        rng = random.Random(seed)
+        bdd = Bdd()
+        bdd.add_vars(NAMES)
+        f = random_function(bdd, rng)
+        care = random_function(bdd, rng)
+        if care.is_false:
+            care = bdd.var("v0")
+        g = op(f, care)
+        assert (g & care) == (f & care)
+
+    def test_full_care_is_identity(self):
+        bdd = Bdd()
+        bdd.add_vars(NAMES)
+        f = bdd.var("v0") ^ bdd.var("v1")
+        assert constrain(f, bdd.true) == f
+        assert minimize_restrict(f, bdd.true) == f
+
+    def test_empty_care_rejected(self):
+        bdd = Bdd()
+        bdd.add_vars(NAMES)
+        f = bdd.var("v0")
+        with pytest.raises(ValueError):
+            constrain(f, bdd.false)
+        with pytest.raises(ValueError):
+            minimize_restrict(f, bdd.false)
+
+    def test_manager_mixing_rejected(self):
+        b1, b2 = Bdd(), Bdd()
+        b1.add_var("x")
+        b2.add_var("x")
+        with pytest.raises(ValueError):
+            constrain(b1.var("x"), b2.var("x"))
+
+    def test_constrain_can_shrink(self):
+        bdd = Bdd()
+        a, b, c = bdd.add_vars(["a", "b", "c"])
+        f = (a & b) | (~a & c)
+        g = constrain(f, a)          # care: a = 1
+        assert g == b
+
+    def test_restrict_never_grows_support(self):
+        rng = random.Random(7)
+        bdd = Bdd()
+        bdd.add_vars(NAMES)
+        for _ in range(20):
+            f = random_function(bdd, rng)
+            care = random_function(bdd, rng)
+            if care.is_false:
+                continue
+            g = minimize_restrict(f, care)
+            assert set(g.support()) <= set(f.support())
+
+    def test_constrain_may_grow_support_but_stays_correct(self):
+        """The known constrain anomaly: support can grow; the care-set
+        contract still holds (this is why synthesis uses restrict)."""
+        bdd = Bdd()
+        a, b, c = bdd.add_vars(["a", "b", "c"])
+        f = b
+        care = (a & b) | (~a & c)
+        g = constrain(f, care)
+        assert (g & care) == (f & care)
+
+
+class TestSynthesisMinimization:
+    def test_minimized_witness_verifies_and_is_smaller(self):
+        from repro.core import check_equivalence, synthesize_single_box
+        from repro.generators.comparator import magnitude_comparator
+        from repro.partial import make_partial
+
+        spec = magnitude_comparator(8)
+        partial = make_partial(spec, fraction=0.25, num_boxes=1, seed=3)
+        plain = synthesize_single_box(spec, partial)
+        small = synthesize_single_box(spec, partial, minimize=True)
+        assert plain is not None and small is not None
+        assert small.num_gates <= plain.num_gates
+        complete = partial.substitute(
+            {partial.boxes[0].name: small})
+        assert check_equivalence(spec, complete).equivalent

@@ -1,0 +1,103 @@
+"""Stress and lifecycle tests for the BDD manager."""
+
+import random
+
+import pytest
+
+from repro.bdd import Bdd
+
+
+def random_ops_session(seed, steps, auto_reorder):
+    """Long mixed-operation session; invariants checked along the way."""
+    rng = random.Random(seed)
+    bdd = Bdd(auto_reorder=auto_reorder, initial_reorder_threshold=48)
+    names = ["s%d" % i for i in range(8)]
+    bdd.add_vars(names)
+    live = [bdd.var(n) for n in names]
+    reference = {}   # function -> truth table snapshot
+
+    def table(f):
+        return tuple(
+            f.evaluate({n: bool(m >> i & 1)
+                        for i, n in enumerate(names)})
+            for m in range(256))
+
+    for step in range(steps):
+        op = rng.randrange(7)
+        if op == 0:
+            f = rng.choice(live) & rng.choice(live)
+        elif op == 1:
+            f = rng.choice(live) | rng.choice(live)
+        elif op == 2:
+            f = rng.choice(live) ^ rng.choice(live)
+        elif op == 3:
+            f = ~rng.choice(live)
+        elif op == 4:
+            f = rng.choice(live).exists(rng.sample(names, 2))
+        elif op == 5:
+            f = rng.choice(live).ite(rng.choice(live),
+                                     rng.choice(live))
+        else:
+            f = rng.choice(live).restrict(
+                {rng.choice(names): rng.random() < 0.5})
+        live.append(f)
+        if len(live) > 24:
+            # drop references; the dropped functions become garbage
+            del live[:8]
+        if step % 17 == 0:
+            reference[step] = (f, table(f))
+        if step % 29 == 0:
+            bdd.collect_garbage()
+            bdd.manager.check_invariants()
+    # all snapshots still evaluate identically
+    for step, (f, want) in reference.items():
+        assert table(f) == want, step
+    bdd.collect_garbage()
+    bdd.manager.check_invariants()
+    return bdd
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_long_session_without_reordering(seed):
+    random_ops_session(seed, steps=150, auto_reorder=False)
+
+
+@pytest.mark.parametrize("seed", [3, 4])
+def test_long_session_with_auto_reordering(seed):
+    bdd = random_ops_session(seed, steps=150, auto_reorder=True)
+    # Either reordering fired, or the session never crossed the
+    # threshold after collection — both consistent with the contract.
+    assert (bdd.manager.n_reorderings >= 1
+            or len(bdd) < bdd.manager.reorder_threshold)
+
+
+def test_gc_threshold_adapts():
+    bdd = Bdd()
+    bdd.manager._gc_threshold = 64
+    names = ["t%d" % i for i in range(10)]
+    bdd.add_vars(names)
+    acc = bdd.true
+    for i in range(9):
+        acc = acc & (bdd.var(names[i]) | bdd.var(names[i + 1]))
+        _ = acc ^ bdd.var(names[0])
+    assert bdd.manager.n_gc_runs >= 1
+    bdd.manager.check_invariants()
+
+
+def test_interleaved_wrapper_lifetime():
+    """Dropping wrappers in odd orders never corrupts refcounts."""
+    import gc
+
+    bdd = Bdd()
+    a, b, c = bdd.add_vars(["a", "b", "c"])
+    prev = a ^ b
+    chain = [prev]
+    for _ in range(30):
+        prev = (a ^ b) | (c & prev)
+        chain.append(prev)
+    del chain[::2]
+    del prev
+    gc.collect()
+    bdd.collect_garbage()
+    bdd.manager.check_invariants()
+    assert (a & b).evaluate({"a": True, "b": True})

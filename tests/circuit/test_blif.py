@@ -1,0 +1,162 @@
+"""Tests for the BLIF reader/writer."""
+
+import pytest
+
+from repro.circuit import (CircuitBuilder, CircuitError, GateType,
+                           dumps_blif, loads_blif)
+
+
+def exhaustive_equal(c1, c2):
+    assert sorted(c1.inputs) == sorted(c2.inputs)
+    assert len(c1.outputs) == len(c2.outputs)
+    names = c1.inputs
+    for bits in range(1 << len(names)):
+        asg = {n: bool((bits >> i) & 1) for i, n in enumerate(names)}
+        o1 = list(c1.evaluate(asg).values())
+        o2 = [c2.evaluate(asg)[n] for n in c2.outputs]
+        assert o1 == o2, asg
+    return True
+
+
+class TestParsing:
+    def test_simple_model(self):
+        circuit = loads_blif("""
+            .model test
+            .inputs a b
+            .outputs f
+            .names a b f
+            11 1
+            .end
+        """)
+        assert circuit.name == "test"
+        assert circuit.inputs == ["a", "b"]
+        assert circuit.evaluate({"a": True, "b": True}) == {"f": True}
+        assert circuit.evaluate({"a": True, "b": False}) == {"f": False}
+
+    def test_dont_care_rows(self):
+        circuit = loads_blif("""
+            .model dc
+            .inputs a b c
+            .outputs f
+            .names a b c f
+            1-- 1
+            -11 1
+            .end
+        """)
+        assert circuit.evaluate({"a": True, "b": False, "c": False})["f"]
+        assert circuit.evaluate({"a": False, "b": True, "c": True})["f"]
+        assert not circuit.evaluate(
+            {"a": False, "b": True, "c": False})["f"]
+
+    def test_off_set_cover(self):
+        circuit = loads_blif("""
+            .model offset
+            .inputs a b
+            .outputs f
+            .names a b f
+            11 0
+            .end
+        """)
+        # f is the complement of a&b
+        assert circuit.evaluate({"a": True, "b": True}) == {"f": False}
+        assert circuit.evaluate({"a": False, "b": True}) == {"f": True}
+
+    def test_constants(self):
+        circuit = loads_blif("""
+            .model consts
+            .inputs a
+            .outputs one zero
+            .names one
+            1
+            .names zero
+            .end
+        """)
+        out = circuit.evaluate({"a": False})
+        assert out == {"one": True, "zero": False}
+
+    def test_comments_and_continuations(self):
+        circuit = loads_blif(
+            ".model c  # comment\n"
+            ".inputs \\\na b\n"
+            ".outputs f\n"
+            ".names a b f\n"
+            "11 1\n"
+            ".end\n")
+        assert circuit.inputs == ["a", "b"]
+
+    def test_unsupported_construct_rejected(self):
+        with pytest.raises(CircuitError):
+            loads_blif(".model x\n.latch a b\n.end")
+
+    def test_cover_row_outside_names_rejected(self):
+        with pytest.raises(CircuitError):
+            loads_blif(".model x\n.inputs a\n11 1\n.end")
+
+    def test_malformed_row_rejected(self):
+        with pytest.raises(CircuitError):
+            loads_blif(".model x\n.inputs a\n.outputs f\n"
+                       ".names a f\n1 1 extra\n.end")
+
+    def test_wrong_width_row_rejected(self):
+        with pytest.raises(CircuitError):
+            loads_blif(".model x\n.inputs a b\n.outputs f\n"
+                       ".names a b f\n111 1\n.end")
+
+    def test_mixed_cover_rejected(self):
+        with pytest.raises(CircuitError):
+            loads_blif(".model x\n.inputs a b\n.outputs f\n"
+                       ".names a b f\n11 1\n00 0\n.end")
+
+    def test_free_nets_allowed(self):
+        circuit = loads_blif("""
+            .model partial
+            .inputs a
+            .outputs f
+            .names a z f
+            11 1
+            .end
+        """)
+        assert circuit.free_nets() == ["z"]
+
+
+class TestRoundTrip:
+    def _adder(self):
+        builder = CircuitBuilder("rt")
+        a, b = builder.interleaved_inputs(("a", "b"), 3)
+        sums, cout = builder.ripple_adder(a, b)
+        builder.outputs(sums, "s")
+        builder.output(cout, "co")
+        return builder.build()
+
+    def test_adder_roundtrip(self):
+        original = self._adder()
+        recovered = loads_blif(dumps_blif(original))
+        exhaustive_equal(original, recovered)
+
+    def test_all_gate_types_roundtrip(self):
+        builder = CircuitBuilder("gates")
+        x, y, z = builder.input("x"), builder.input("y"), builder.input("z")
+        builder.output(builder.and_(x, y, z), "o_and")
+        builder.output(builder.or_(x, y, z), "o_or")
+        builder.output(builder.nand_(x, y), "o_nand")
+        builder.output(builder.nor_(x, y), "o_nor")
+        builder.output(builder.xor_(x, y, z), "o_xor")
+        builder.output(builder.xnor_(x, y), "o_xnor")
+        builder.output(builder.not_(x), "o_not")
+        builder.output(builder.buf(y), "o_buf")
+        builder.output(builder.const(True), "o_one")
+        builder.output(builder.const(False), "o_zero")
+        original = builder.build()
+        recovered = loads_blif(dumps_blif(original))
+        exhaustive_equal(original, recovered)
+
+    def test_partial_implementation_roundtrip(self):
+        builder = CircuitBuilder("p")
+        a = builder.input("a")
+        builder.output(builder.and_(a, "boxout"), "f")
+        circuit = builder.circuit
+        circuit.validate(allow_free=True)
+        text = dumps_blif(circuit)
+        recovered = loads_blif(text)
+        # free nets become inputs in BLIF; function is preserved
+        assert recovered.evaluate({"a": True, "boxout": True})["f"]

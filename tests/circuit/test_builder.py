@@ -1,0 +1,223 @@
+"""Tests for the CircuitBuilder word-level helpers."""
+
+import pytest
+
+from repro.circuit import CircuitBuilder, CircuitError, GateType
+
+
+def to_bits(value, width):
+    return [bool((value >> i) & 1) for i in range(width)]
+
+
+def from_bits(bits):
+    return sum(int(b) << i for i, b in enumerate(bits))
+
+
+class TestNaming:
+    def test_fresh_avoids_existing(self):
+        b = CircuitBuilder()
+        b.input("n0")
+        assert b.fresh() != "n0"
+
+    def test_reserve(self):
+        b = CircuitBuilder()
+        b.reserve(["n0", "n1"])
+        assert b.fresh() == "n2"
+
+    def test_interleaved_inputs(self):
+        b = CircuitBuilder()
+        a, c = b.interleaved_inputs(("a", "b"), 3)
+        assert b.circuit.inputs == ["a0", "b0", "a1", "b1", "a2", "b2"]
+        assert a == ["a0", "a1", "a2"]
+
+
+class TestGateHelpers:
+    def test_basic_gates(self):
+        b = CircuitBuilder()
+        x, y = b.input("x"), b.input("y")
+        pairs = {
+            b.and_(x, y): lambda p, q: p and q,
+            b.or_(x, y): lambda p, q: p or q,
+            b.nand_(x, y): lambda p, q: not (p and q),
+            b.nor_(x, y): lambda p, q: not (p or q),
+            b.xor_(x, y): lambda p, q: p != q,
+            b.xnor_(x, y): lambda p, q: p == q,
+        }
+        not_x = b.not_(x)
+        buf_x = b.buf(x)
+        c = b.circuit
+        for net in pairs:
+            c.add_output(net)
+        for p in (False, True):
+            for q in (False, True):
+                values = c.evaluate({"x": p, "y": q}, all_nets=True)
+                for net, fn in pairs.items():
+                    assert values[net] == fn(p, q)
+                assert values[not_x] == (not p)
+                assert values[buf_x] == p
+
+    def test_const(self):
+        b = CircuitBuilder()
+        b.input("x")
+        one = b.const(True)
+        zero = b.const(False)
+        values = b.circuit.evaluate({"x": False}, all_nets=True)
+        assert values[one] and not values[zero]
+
+    def test_max_fanin_splitting(self):
+        b = CircuitBuilder(max_fanin=2)
+        ins = b.inputs("x", 5)
+        out = b.and_(*ins)
+        b.circuit.add_output(out)
+        c = b.build()
+        assert all(len(g.inputs) <= 2 for g in c.gates)
+        assert c.evaluate({n: True for n in c.inputs})[out]
+        assert not c.evaluate({**{n: True for n in c.inputs},
+                               "x3": False})[out]
+
+    def test_mux(self):
+        b = CircuitBuilder()
+        s, p, q = b.input("s"), b.input("p"), b.input("q")
+        m = b.mux(s, p, q)
+        b.circuit.add_output(m)
+        for sv in (False, True):
+            for pv in (False, True):
+                for qv in (False, True):
+                    out = b.circuit.evaluate({"s": sv, "p": pv, "q": qv})
+                    assert out[m] == (qv if sv else pv)
+
+
+class TestTrees:
+    @pytest.mark.parametrize("count", [1, 2, 3, 5, 8])
+    def test_xor_tree_parity(self, count):
+        b = CircuitBuilder()
+        ins = b.inputs("x", count)
+        out = b.xor_tree(ins)
+        b.circuit.add_output(out)
+        c = b.build()
+        for bits in range(1 << count):
+            asg = {("x%d" % i): bool((bits >> i) & 1)
+                   for i in range(count)}
+            assert c.evaluate(asg)[out] == (bin(bits).count("1") % 2 == 1)
+
+    def test_and_or_trees(self):
+        b = CircuitBuilder()
+        ins = b.inputs("x", 6)
+        a = b.and_tree(ins)
+        o = b.or_tree(ins)
+        c = b.circuit
+        all_true = {n: True for n in c.inputs}
+        all_false = {n: False for n in c.inputs}
+        values = c.evaluate(all_true, all_nets=True)
+        assert values[a] and values[o]
+        values = c.evaluate(all_false, all_nets=True)
+        assert not values[a] and not values[o]
+
+    def test_tree_with_named_output(self):
+        b = CircuitBuilder()
+        ins = b.inputs("x", 4)
+        out = b.xor_tree(ins, out="parity")
+        assert out == "parity"
+        single = b.and_tree([ins[0]], out="alias")
+        assert single == "alias"
+
+    def test_empty_tree_rejected(self):
+        b = CircuitBuilder()
+        with pytest.raises(ValueError):
+            b.and_tree([])
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize("width", [1, 3, 4])
+    def test_ripple_adder(self, width):
+        b = CircuitBuilder()
+        a_bits, b_bits = b.interleaved_inputs(("a", "b"), width)
+        cin = b.input("cin")
+        sums, cout = b.ripple_adder(a_bits, b_bits, cin)
+        c = b.circuit
+        for x in range(1 << width):
+            for y in range(1 << width):
+                for ci in (0, 1):
+                    asg = {}
+                    for i in range(width):
+                        asg["a%d" % i] = bool((x >> i) & 1)
+                        asg["b%d" % i] = bool((y >> i) & 1)
+                    asg["cin"] = bool(ci)
+                    values = c.evaluate(asg, all_nets=True)
+                    got = from_bits([values[s] for s in sums]) \
+                        + (values[cout] << width)
+                    assert got == x + y + ci
+
+    def test_adder_without_carry_in(self):
+        b = CircuitBuilder()
+        a_bits, b_bits = b.interleaved_inputs(("a", "b"), 3)
+        sums, cout = b.ripple_adder(a_bits, b_bits)
+        c = b.circuit
+        asg = {"a0": True, "a1": True, "a2": False,   # a = 3
+               "b0": True, "b1": False, "b2": True}   # b = 5
+        values = c.evaluate(asg, all_nets=True)
+        got = from_bits([values[s] for s in sums]) + (values[cout] << 3)
+        assert got == 8
+
+    def test_width_mismatch_rejected(self):
+        b = CircuitBuilder()
+        with pytest.raises(ValueError):
+            b.ripple_adder(b.inputs("a", 2), b.inputs("b", 3))
+
+    def test_equal(self):
+        b = CircuitBuilder()
+        a_bits, b_bits = b.interleaved_inputs(("a", "b"), 3)
+        eq = b.equal(a_bits, b_bits)
+        c = b.circuit
+        for x in range(8):
+            for y in range(8):
+                asg = {}
+                for i in range(3):
+                    asg["a%d" % i] = bool((x >> i) & 1)
+                    asg["b%d" % i] = bool((y >> i) & 1)
+                assert c.evaluate(asg, all_nets=True)[eq] == (x == y)
+
+    def test_less_than(self):
+        b = CircuitBuilder()
+        a_bits, b_bits = b.interleaved_inputs(("a", "b"), 3)
+        lt = b.less_than(a_bits, b_bits)
+        c = b.circuit
+        for x in range(8):
+            for y in range(8):
+                asg = {}
+                for i in range(3):
+                    asg["a%d" % i] = bool((x >> i) & 1)
+                    asg["b%d" % i] = bool((y >> i) & 1)
+                assert c.evaluate(asg, all_nets=True)[lt] == (x < y)
+
+    def test_less_than_empty(self):
+        b = CircuitBuilder()
+        b.input("dummy")
+        lt = b.less_than([], [])
+        assert b.circuit.evaluate({"dummy": False},
+                                  all_nets=True)[lt] is False
+
+
+class TestOutputs:
+    def test_output_renaming_buffers(self):
+        b = CircuitBuilder()
+        x = b.input("x")
+        t = b.not_(x)
+        b.output(t, "y")
+        c = b.build()
+        assert c.outputs == ["y"]
+        assert c.evaluate({"x": False}) == {"y": True}
+
+    def test_outputs_with_prefix(self):
+        b = CircuitBuilder()
+        x = b.input("x")
+        nets = [b.not_(x), b.buf(x)]
+        b.outputs(nets, "o")
+        assert b.circuit.outputs == ["o0", "o1"]
+
+    def test_build_validates(self):
+        b = CircuitBuilder()
+        b.input("x")
+        b.gate(GateType.AND, ["x", "ghost"])
+        with pytest.raises(CircuitError):
+            b.build()

@@ -1,0 +1,79 @@
+"""Tests for standalone cone extraction."""
+
+import pytest
+
+from repro.circuit import CircuitBuilder, CircuitError, extract_cone
+from repro.generators import alu4_like
+
+
+def sample():
+    builder = CircuitBuilder("s")
+    a, b, c = builder.input("a"), builder.input("b"), builder.input("c")
+    t1 = builder.and_(a, b, out="t1")
+    t2 = builder.xor_(t1, c, out="t2")
+    builder.output(builder.not_(t2, out="f"), "f")
+    builder.output(builder.or_(a, c, out="g"), "g")
+    return builder.build()
+
+
+class TestExtractCone:
+    def test_single_output_cone(self):
+        circuit = sample()
+        cone = extract_cone(circuit, ["f"])
+        assert set(cone.inputs) == {"a", "b", "c"}
+        assert cone.outputs == ["f"]
+        assert cone.num_gates == 3
+        for bits in range(8):
+            asg = {"a": bool(bits & 1), "b": bool(bits & 2),
+                   "c": bool(bits & 4)}
+            assert cone.evaluate(asg)["f"] == circuit.evaluate(asg)["f"]
+
+    def test_cut_point_becomes_input(self):
+        circuit = sample()
+        cone = extract_cone(circuit, ["f"], stop_at=["t1"])
+        assert "t1" in cone.inputs
+        assert cone.num_gates == 2
+        assert cone.evaluate({"t1": True, "c": False})["f"] is False
+
+    def test_unrelated_logic_excluded(self):
+        circuit = sample()
+        cone = extract_cone(circuit, ["g"])
+        assert set(cone.inputs) == {"a", "c"}
+        assert cone.num_gates == 1
+
+    def test_multiple_roots(self):
+        circuit = sample()
+        cone = extract_cone(circuit, ["f", "g"])
+        assert cone.outputs == ["f", "g"]
+        assert cone.num_gates == 4
+
+    def test_input_root(self):
+        circuit = sample()
+        cone = extract_cone(circuit, ["a"])
+        assert cone.outputs == ["a"]
+        assert cone.inputs == ["a"]
+
+    def test_unknown_root_rejected(self):
+        with pytest.raises(CircuitError):
+            extract_cone(sample(), ["ghost"])
+
+    def test_benchmark_output_cone_matches(self):
+        circuit = alu4_like()
+        target = circuit.outputs[0]
+        cone = extract_cone(circuit, [target])
+        assert set(cone.inputs) <= set(circuit.inputs)
+        import random
+
+        rng = random.Random(0)
+        for _ in range(20):
+            asg = {n: bool(rng.getrandbits(1)) for n in circuit.inputs}
+            sub = {n: asg[n] for n in cone.inputs}
+            assert cone.evaluate(sub)[target] \
+                == circuit.evaluate(asg)[target]
+
+    def test_input_order_preserved(self):
+        circuit = alu4_like()
+        cone = extract_cone(circuit, [circuit.outputs[0]])
+        order = {n: i for i, n in enumerate(circuit.inputs)}
+        indices = [order[n] for n in cone.inputs if n in order]
+        assert indices == sorted(indices)

@@ -1,0 +1,70 @@
+"""Tests for gate types and two-valued gate evaluation."""
+
+import pytest
+
+from repro.circuit import GateType, eval_gate
+from repro.circuit.gates import INVERTIBLE, VARIADIC
+
+
+class TestEvalGate:
+    @pytest.mark.parametrize("gtype,table", [
+        (GateType.AND, {(0, 0): 0, (0, 1): 0, (1, 0): 0, (1, 1): 1}),
+        (GateType.OR, {(0, 0): 0, (0, 1): 1, (1, 0): 1, (1, 1): 1}),
+        (GateType.NAND, {(0, 0): 1, (0, 1): 1, (1, 0): 1, (1, 1): 0}),
+        (GateType.NOR, {(0, 0): 1, (0, 1): 0, (1, 0): 0, (1, 1): 0}),
+        (GateType.XOR, {(0, 0): 0, (0, 1): 1, (1, 0): 1, (1, 1): 0}),
+        (GateType.XNOR, {(0, 0): 1, (0, 1): 0, (1, 0): 0, (1, 1): 1}),
+    ])
+    def test_binary_tables(self, gtype, table):
+        for ins, want in table.items():
+            got = eval_gate(gtype, [bool(b) for b in ins])
+            assert got == bool(want), (gtype, ins)
+
+    def test_wide_gates(self):
+        assert eval_gate(GateType.AND, [True] * 5)
+        assert not eval_gate(GateType.AND, [True] * 4 + [False])
+        assert eval_gate(GateType.XOR, [True, True, True])
+        assert not eval_gate(GateType.XOR, [True, True, True, True])
+        assert eval_gate(GateType.XNOR, [True, True])
+
+    def test_unary_and_const(self):
+        assert eval_gate(GateType.NOT, [False])
+        assert eval_gate(GateType.BUF, [True])
+        assert not eval_gate(GateType.CONST0, [])
+        assert eval_gate(GateType.CONST1, [])
+
+
+class TestGateTypeMeta:
+    def test_arity_rules(self):
+        assert GateType.AND.arity_ok(1)
+        assert GateType.AND.arity_ok(7)
+        assert not GateType.NOT.arity_ok(2)
+        assert GateType.NOT.arity_ok(1)
+        assert GateType.CONST0.arity_ok(0)
+        assert not GateType.CONST1.arity_ok(1)
+
+    def test_dual_pairs(self):
+        assert GateType.AND.dual is GateType.OR
+        assert GateType.OR.dual is GateType.AND
+        assert GateType.NAND.dual is GateType.NOR
+        assert GateType.XOR.dual is GateType.XNOR
+        with pytest.raises(ValueError):
+            GateType.NOT.dual
+
+    def test_invertible_is_involution(self):
+        for gtype, inverse in INVERTIBLE.items():
+            assert INVERTIBLE[inverse] is gtype
+
+    def test_invertible_semantics(self):
+        for gtype, inverse in INVERTIBLE.items():
+            if gtype in (GateType.CONST0, GateType.CONST1):
+                assert eval_gate(gtype, []) != eval_gate(inverse, [])
+                continue
+            arity = 1 if gtype in (GateType.NOT, GateType.BUF) else 2
+            for bits in range(1 << arity):
+                ins = [bool((bits >> i) & 1) for i in range(arity)]
+                assert eval_gate(gtype, ins) != eval_gate(inverse, ins)
+
+    def test_variadic_contents(self):
+        assert GateType.AND in VARIADIC
+        assert GateType.NOT not in VARIADIC

@@ -1,0 +1,84 @@
+"""Tests for the ISCAS .bench reader/writer."""
+
+import pytest
+
+from repro.circuit import (CircuitBuilder, CircuitError, GateType,
+                           dumps_bench, loads_bench)
+
+
+SAMPLE = """
+# a comment
+INPUT(a)
+INPUT(b)
+OUTPUT(f)
+g1 = AND(a, b)
+g2 = NOT(g1)
+f = OR(g2, a)
+"""
+
+
+class TestParsing:
+    def test_sample(self):
+        c = loads_bench(SAMPLE)
+        assert c.inputs == ["a", "b"]
+        assert c.outputs == ["f"]
+        assert c.num_gates == 3
+        assert c.evaluate({"a": False, "b": True}) == {"f": True}
+
+    def test_gate_aliases(self):
+        c = loads_bench("INPUT(a)\nOUTPUT(f)\nt = INV(a)\nf = BUFF(t)\n")
+        assert c.evaluate({"a": True}) == {"f": False}
+
+    def test_all_gate_names(self):
+        text = "INPUT(a)\nINPUT(b)\n"
+        gates = ["AND", "OR", "NAND", "NOR", "XOR", "XNOR"]
+        for g in gates:
+            text += "o_%s = %s(a, b)\n" % (g.lower(), g)
+            text += "OUTPUT(o_%s)\n" % g.lower()
+        c = loads_bench(text)
+        out = c.evaluate({"a": True, "b": True})
+        assert out["o_and"] and out["o_or"] and out["o_xnor"]
+        assert not out["o_nand"] and not out["o_nor"] and not out["o_xor"]
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(CircuitError):
+            loads_bench("INPUT(a)\nf = MAJ(a, a, a)\n")
+
+    def test_garbage_line_rejected(self):
+        with pytest.raises(CircuitError):
+            loads_bench("this is not bench\n")
+
+    def test_free_nets_allowed(self):
+        c = loads_bench("INPUT(a)\nOUTPUT(f)\nf = AND(a, z)\n")
+        assert c.free_nets() == ["z"]
+
+    def test_whitespace_tolerance(self):
+        c = loads_bench("  INPUT( a )\nOUTPUT(f)\nf  =  NOT( a )\n")
+        assert c.evaluate({"a": False}) == {"f": True}
+
+
+class TestDumping:
+    def test_roundtrip(self):
+        original = loads_bench(SAMPLE)
+        recovered = loads_bench(dumps_bench(original))
+        for a in (False, True):
+            for b in (False, True):
+                asg = {"a": a, "b": b}
+                assert original.evaluate(asg) == recovered.evaluate(asg)
+
+    def test_constants_rejected(self):
+        builder = CircuitBuilder()
+        builder.input("a")
+        builder.output(builder.const(True), "f")
+        with pytest.raises(CircuitError):
+            dumps_bench(builder.circuit)
+
+    def test_free_nets_become_marked_inputs(self):
+        builder = CircuitBuilder()
+        a = builder.input("a")
+        builder.output(builder.and_(a, "boxnet"), "f")
+        text = dumps_bench(builder.circuit)
+        assert "INPUT(boxnet)" in text
+        assert "Black Box" in text
+        recovered = loads_bench(text)
+        assert "boxnet" in recovered.inputs

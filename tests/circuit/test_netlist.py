@@ -1,0 +1,203 @@
+"""Tests for the Circuit netlist model."""
+
+import pytest
+
+from repro.circuit import Circuit, CircuitError, Gate, GateType
+
+
+def small_circuit():
+    c = Circuit("small")
+    c.add_inputs(["a", "b", "c"])
+    c.add_gate("t1", GateType.AND, ["a", "b"])
+    c.add_gate("t2", GateType.XOR, ["t1", "c"])
+    c.add_gate("out", GateType.NOT, ["t2"])
+    c.add_output("out")
+    return c
+
+
+class TestConstruction:
+    def test_duplicate_input_rejected(self):
+        c = Circuit()
+        c.add_input("a")
+        with pytest.raises(CircuitError):
+            c.add_input("a")
+
+    def test_redriving_net_rejected(self):
+        c = small_circuit()
+        with pytest.raises(CircuitError):
+            c.add_gate("t1", GateType.OR, ["a"])
+        with pytest.raises(CircuitError):
+            c.add_gate("a", GateType.OR, ["b"])
+
+    def test_gate_arity_enforced(self):
+        with pytest.raises(CircuitError):
+            Gate("x", GateType.NOT, ("a", "b"))
+        with pytest.raises(CircuitError):
+            Gate("x", GateType.CONST0, ("a",))
+
+    def test_duplicate_output_rejected(self):
+        c = small_circuit()
+        with pytest.raises(CircuitError):
+            c.add_output("out")
+
+    def test_remove_gate(self):
+        c = small_circuit()
+        gate = c.remove_gate("t2")
+        assert gate.gtype is GateType.XOR
+        assert "t2" in c.free_nets()
+        with pytest.raises(CircuitError):
+            c.remove_gate("t2")
+
+    def test_replace_gate(self):
+        c = small_circuit()
+        c.replace_gate(Gate("t1", GateType.OR, ("a", "b")))
+        assert c.gate("t1").gtype is GateType.OR
+        with pytest.raises(CircuitError):
+            c.replace_gate(Gate("nope", GateType.OR, ("a",)))
+
+    def test_gate_lookup_error(self):
+        c = small_circuit()
+        with pytest.raises(CircuitError):
+            c.gate("a")          # input, not a gate
+
+    def test_accessors(self):
+        c = small_circuit()
+        assert c.inputs == ["a", "b", "c"]
+        assert c.outputs == ["out"]
+        assert c.num_gates == 3
+        assert c.is_input("a") and not c.is_input("t1")
+        assert c.drives("t1") and not c.drives("a")
+        assert set(c.nets()) == {"a", "b", "c", "t1", "t2", "out"}
+
+
+class TestStructure:
+    def test_topological_order(self):
+        c = small_circuit()
+        order = c.topological_order()
+        assert order.index("t1") < order.index("t2") < order.index("out")
+
+    def test_cycle_detection(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_gate("x", GateType.AND, ["a", "y"])
+        c.add_gate("y", GateType.OR, ["x", "a"])
+        with pytest.raises(CircuitError):
+            c.topological_order()
+
+    def test_free_nets(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_gate("g", GateType.AND, ["a", "bb_out"])
+        c.add_output("g")
+        assert c.free_nets() == ["bb_out"]
+        with pytest.raises(CircuitError):
+            c.validate()
+        c.validate(allow_free=True)
+
+    def test_free_output_net(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_output("floating")
+        assert c.free_nets() == ["floating"]
+
+    def test_levelize_and_depth(self):
+        c = small_circuit()
+        levels = c.levelize()
+        assert levels["a"] == 0
+        assert levels["t1"] == 1
+        assert levels["t2"] == 2
+        assert c.depth() == 3
+
+    def test_cone(self):
+        c = small_circuit()
+        cone = c.cone(["t1"])
+        assert cone == {"t1", "a", "b"}
+        assert c.cone(["out"]) == {"out", "t2", "t1", "a", "b", "c"}
+
+    def test_fanout_map(self):
+        c = small_circuit()
+        fan = c.fanout_map()
+        assert fan["t1"] == ["t2"]
+        assert fan["a"] == ["t1"]
+
+    def test_dangling_output_rejected(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_output("a")
+        c.validate()  # inputs may be outputs
+        c2 = Circuit()
+        c2.add_input("x")
+        c2.add_gate("g", GateType.BUF, ["x"])
+        c2.add_output("g")
+        c2.validate()
+
+
+class TestEvaluation:
+    def test_evaluate(self):
+        c = small_circuit()
+        out = c.evaluate({"a": True, "b": True, "c": False})
+        assert out == {"out": not (True ^ False)}
+
+    def test_evaluate_all_nets(self):
+        c = small_circuit()
+        values = c.evaluate({"a": True, "b": False, "c": True},
+                            all_nets=True)
+        assert values["t1"] is False
+        assert values["t2"] is True
+
+    def test_evaluate_vector(self):
+        c = small_circuit()
+        assert c.evaluate_vector([True, True, True]) == [True]
+        with pytest.raises(CircuitError):
+            c.evaluate_vector([True])
+
+    def test_missing_input_rejected(self):
+        c = small_circuit()
+        with pytest.raises(CircuitError):
+            c.evaluate({"a": True})
+
+    def test_free_net_requires_value(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_gate("g", GateType.AND, ["a", "z"])
+        c.add_output("g")
+        with pytest.raises(CircuitError):
+            c.evaluate({"a": True})
+        assert c.evaluate({"a": True, "z": True}) == {"g": True}
+
+
+class TestTransformations:
+    def test_copy_is_independent(self):
+        c = small_circuit()
+        c2 = c.copy()
+        c2.replace_gate(Gate("t1", GateType.OR, ("a", "b")))
+        assert c.gate("t1").gtype is GateType.AND
+
+    def test_renamed(self):
+        c = small_circuit()
+        r = c.renamed({"a": "alpha", "out": "result"})
+        assert r.inputs == ["alpha", "b", "c"]
+        assert r.outputs == ["result"]
+        assert (r.evaluate({"alpha": True, "b": True, "c": False})
+                == {"result": False})
+        assert (r.evaluate({"alpha": True, "b": True, "c": True})
+                == {"result": True})
+
+    def test_with_input_order(self):
+        c = small_circuit()
+        r = c.with_input_order(["c", "a", "b"])
+        assert r.inputs == ["c", "a", "b"]
+        asg = {"a": True, "b": True, "c": False}
+        assert r.evaluate(asg) == c.evaluate(asg)
+        with pytest.raises(CircuitError):
+            c.with_input_order(["a", "b"])
+
+    def test_stats(self):
+        c = small_circuit()
+        stats = c.stats()
+        assert stats["inputs"] == 3
+        assert stats["gates"] == 3
+        assert stats["gates_and"] == 1
+
+    def test_repr(self):
+        assert "small" in repr(small_circuit())

@@ -1,0 +1,129 @@
+"""Tests for the netlist clean-up passes."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit import (CircuitBuilder, GateType, merge_duplicates,
+                           optimize, propagate_constants, sweep_dead)
+from repro.core import check_equivalence
+from repro.generators import alu4_like, comp_like
+
+
+class TestPropagateConstants:
+    def test_folds_controlled_gates(self):
+        builder = CircuitBuilder()
+        x = builder.input("x")
+        zero = builder.const(False)
+        one = builder.const(True)
+        builder.output(builder.and_(x, zero), "f_and")   # 0
+        builder.output(builder.or_(x, one), "f_or")      # 1
+        builder.output(builder.xor_(x, one), "f_xor")    # ~x
+        builder.output(builder.nand_(x, zero), "f_nand")  # 1
+        circuit = builder.build()
+        folded = propagate_constants(circuit)
+        assert check_equivalence(circuit, folded).equivalent
+        # the xor with constant must have become an inverter
+        kinds = {g.gtype for g in folded.gates}
+        assert GateType.XOR not in kinds
+
+    def test_neutral_inputs_dropped(self):
+        builder = CircuitBuilder()
+        x, y = builder.input("x"), builder.input("y")
+        one = builder.const(True)
+        builder.output(builder.and_(x, y, one), "f")
+        circuit = builder.build()
+        folded = propagate_constants(circuit)
+        gate = folded.gate(folded.gates[-1].output) \
+            if folded.gates else None
+        assert check_equivalence(circuit, folded).equivalent
+        and_gates = [g for g in folded.gates
+                     if g.gtype is GateType.AND]
+        assert all(len(g.inputs) == 2 for g in and_gates)
+
+    def test_constant_output(self):
+        builder = CircuitBuilder()
+        builder.input("x")
+        builder.output(builder.xor_("x", "x"), "f")
+        circuit = builder.build()
+        folded = propagate_constants(circuit)
+        assert check_equivalence(circuit, folded).equivalent
+        assert not folded.evaluate({"x": True})["f"]
+
+    def test_free_nets_untouched(self):
+        builder = CircuitBuilder()
+        x = builder.input("x")
+        builder.output(builder.and_(x, "boxnet"), "f")
+        circuit = builder.circuit
+        circuit.validate(allow_free=True)
+        folded = propagate_constants(circuit)
+        assert "boxnet" in folded.free_nets()
+
+
+class TestMergeDuplicates:
+    def test_identical_gates_merge(self):
+        builder = CircuitBuilder()
+        x, y = builder.input("x"), builder.input("y")
+        a = builder.and_(x, y)
+        b = builder.and_(y, x)      # commutative duplicate
+        builder.output(builder.xor_(a, b), "f")
+        circuit = builder.build()
+        merged = merge_duplicates(circuit)
+        assert check_equivalence(circuit, merged).equivalent
+        assert merged.evaluate({"x": True, "y": True})["f"] is False
+        and_count = sum(1 for g in merged.gates
+                        if g.gtype is GateType.AND)
+        assert and_count == 1
+
+    def test_output_net_preserved_via_buffer(self):
+        builder = CircuitBuilder()
+        x, y = builder.input("x"), builder.input("y")
+        builder.output(builder.and_(x, y, out="g1"), "g1")
+        builder.output(builder.and_(x, y, out="g2"), "g2")
+        circuit = builder.build()
+        merged = merge_duplicates(circuit)
+        assert set(merged.outputs) == {"g1", "g2"}
+        assert check_equivalence(circuit, merged).equivalent
+
+
+class TestSweepDead:
+    def test_unobservable_gates_removed(self):
+        builder = CircuitBuilder()
+        x, y = builder.input("x"), builder.input("y")
+        builder.output(builder.and_(x, y, out="live"), "live")
+        builder.or_(x, y, out="dead")
+        circuit = builder.circuit
+        circuit.validate()
+        swept = sweep_dead(circuit)
+        assert swept.num_gates == 1
+        assert check_equivalence(circuit, swept).equivalent
+
+
+class TestOptimize:
+    @pytest.mark.parametrize("factory", [alu4_like, comp_like])
+    def test_benchmarks_shrink_and_stay_equivalent(self, factory):
+        spec = factory()
+        small = optimize(spec)
+        assert small.num_gates <= spec.num_gates
+        assert check_equivalence(spec, small).equivalent
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=100_000))
+    def test_random_circuits_preserved(self, seed):
+        rng = random.Random(seed)
+        builder = CircuitBuilder("r%d" % seed)
+        pool = [builder.input("x%d" % i) for i in range(4)]
+        pool.append(builder.const(rng.random() < 0.5))
+        for _ in range(rng.randint(3, 15)):
+            gtype = rng.choice([GateType.AND, GateType.OR, GateType.XOR,
+                                GateType.NAND, GateType.NOR,
+                                GateType.XNOR, GateType.NOT])
+            fanin = 1 if gtype is GateType.NOT else rng.randint(1, 3)
+            pool.append(builder.gate(
+                gtype, [rng.choice(pool) for _ in range(fanin)]))
+        builder.output(builder.buf(pool[-1]), "f0")
+        builder.output(builder.buf(pool[-2]), "f1")
+        circuit = builder.build()
+        small = optimize(circuit)
+        assert check_equivalence(circuit, small).equivalent

@@ -1,0 +1,53 @@
+"""Fuzzing the text parsers: garbage must raise cleanly, never crash."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit import CircuitError, loads_bench, loads_blif
+from repro.sat.dimacs import loads_dimacs
+
+_TEXT = st.text(
+    alphabet=st.sampled_from(
+        list("abcxyz0123456789 .\n\t-=(),#%pcnf_") + ["\\"]),
+    max_size=300)
+
+
+@settings(max_examples=120, deadline=None)
+@given(_TEXT)
+def test_blif_parser_never_crashes(text):
+    try:
+        circuit = loads_blif(text)
+    except (CircuitError, ValueError):
+        return
+    circuit.validate(allow_free=True)
+
+
+@settings(max_examples=120, deadline=None)
+@given(_TEXT)
+def test_bench_parser_never_crashes(text):
+    try:
+        circuit = loads_bench(text)
+    except (CircuitError, ValueError):
+        return
+    circuit.validate(allow_free=True)
+
+
+@settings(max_examples=120, deadline=None)
+@given(_TEXT)
+def test_dimacs_parser_never_crashes(text):
+    try:
+        cnf = loads_dimacs(text)
+    except (CircuitError, ValueError):
+        return
+    assert cnf.num_vars >= 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(_TEXT)
+def test_bdd_loader_never_crashes(text):
+    """Only ValueError may escape; anything else is a loader bug."""
+    from repro.bdd import Bdd, loads_functions
+
+    try:
+        loads_functions(Bdd(), text)
+    except ValueError:
+        pass

@@ -1,0 +1,88 @@
+"""Property-based tests of the circuit substrate."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit import (CircuitBuilder, GateType, dumps_bench,
+                           dumps_blif, loads_bench, loads_blif,
+                           expand_to_two_input, optimize, strip_buffers)
+from repro.core import check_equivalence
+
+
+def random_circuit(seed, with_constants=False):
+    rng = random.Random(seed)
+    builder = CircuitBuilder("rc%d" % seed)
+    pool = [builder.input("x%d" % i) for i in range(rng.randint(2, 5))]
+    if with_constants:
+        pool.append(builder.const(rng.random() < 0.5))
+    kinds = [GateType.AND, GateType.OR, GateType.NAND, GateType.NOR,
+             GateType.XOR, GateType.XNOR, GateType.NOT, GateType.BUF]
+    for _ in range(rng.randint(2, 14)):
+        gtype = rng.choice(kinds)
+        fanin = 1 if gtype in (GateType.NOT, GateType.BUF) \
+            else rng.randint(2, min(4, len(pool)))
+        pool.append(builder.gate(gtype, rng.sample(pool, fanin)))
+    for k in range(rng.randint(1, 3)):
+        builder.output(builder.buf(pool[-(k + 1)]), "f%d" % k)
+    return builder.build()
+
+
+def equivalent_exhaustive(a, b):
+    names = a.inputs
+    for bits in range(1 << len(names)):
+        asg = {n: bool(bits >> i & 1) for i, n in enumerate(names)}
+        av = [a.evaluate(asg)[n] for n in a.outputs]
+        bv = [b.evaluate(asg)[n] for n in b.outputs]
+        if av != bv:
+            return False
+    return True
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_blif_round_trip_preserves_function(seed):
+    original = random_circuit(seed, with_constants=True)
+    recovered = loads_blif(dumps_blif(original))
+    assert equivalent_exhaustive(original, recovered)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_bench_round_trip_preserves_function(seed):
+    original = random_circuit(seed, with_constants=False)
+    recovered = loads_bench(dumps_bench(original))
+    assert equivalent_exhaustive(original, recovered)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_transforms_preserve_function(seed):
+    original = random_circuit(seed, with_constants=True)
+    for transform in (expand_to_two_input, strip_buffers, optimize):
+        changed = transform(original)
+        assert check_equivalence(original, changed).equivalent, \
+            transform.__name__
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_topological_order_is_consistent(seed):
+    circuit = random_circuit(seed)
+    order = circuit.topological_order()
+    position = {net: i for i, net in enumerate(order)}
+    for net in order:
+        for src in circuit.gate(net).inputs:
+            if circuit.drives(src):
+                assert position[src] < position[net]
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_levelize_bounds_depth(seed):
+    circuit = random_circuit(seed)
+    levels = circuit.levelize()
+    for net in circuit.topological_order():
+        gate = circuit.gate(net)
+        for src in gate.inputs:
+            assert levels[src] < levels[net]

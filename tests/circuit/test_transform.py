@@ -1,0 +1,80 @@
+"""Tests for structural netlist transformations."""
+
+import pytest
+
+from repro.circuit import CircuitBuilder, GateType
+from repro.circuit.transform import expand_to_two_input, strip_buffers
+from repro.core import check_equivalence
+
+
+def wide_gate_circuit():
+    builder = CircuitBuilder("wide")
+    ins = builder.inputs("x", 6)
+    builder.output(builder.and_(*ins), "f_and")
+    builder.output(builder.xor_(*ins), "f_xor")
+    builder.output(builder.nor_(*ins[:5]), "f_nor")
+    builder.output(builder.nand_(*ins[:3]), "f_nand")
+    builder.output(builder.xnor_(*ins[:4]), "f_xnor")
+    return builder.build()
+
+
+class TestExpandToTwoInput:
+    def test_fanin_bounded(self):
+        wide = wide_gate_circuit()
+        narrow = expand_to_two_input(wide)
+        assert all(len(g.inputs) <= 2 for g in narrow.gates)
+
+    def test_function_preserved(self):
+        wide = wide_gate_circuit()
+        narrow = expand_to_two_input(wide)
+        assert check_equivalence(wide, narrow).equivalent
+
+    def test_inverting_gate_keeps_inversion(self):
+        builder = CircuitBuilder()
+        ins = builder.inputs("x", 4)
+        builder.output(builder.nor_(*ins), "f")
+        wide = builder.build()
+        narrow = expand_to_two_input(wide)
+        assert narrow.evaluate({n: False for n in narrow.inputs})["f"]
+        assert not narrow.evaluate(
+            {**{n: False for n in narrow.inputs}, "x2": True})["f"]
+
+    def test_small_gates_untouched(self):
+        builder = CircuitBuilder()
+        a, b = builder.input("a"), builder.input("b")
+        builder.output(builder.and_(a, b), "f")
+        circuit = builder.build()
+        expanded = expand_to_two_input(circuit)
+        assert expanded.num_gates == circuit.num_gates
+
+    def test_partial_circuit_supported(self):
+        builder = CircuitBuilder()
+        a = builder.input("a")
+        builder.output(builder.and_(a, "z1", "z2"), "f")
+        partial = builder.circuit
+        partial.validate(allow_free=True)
+        expanded = expand_to_two_input(partial)
+        assert set(expanded.free_nets()) == {"z1", "z2"}
+
+
+class TestStripBuffers:
+    def test_buffers_removed(self):
+        builder = CircuitBuilder()
+        a, b = builder.input("a"), builder.input("b")
+        t = builder.buf(builder.buf(builder.and_(a, b)))
+        builder.output(t, "f")
+        circuit = builder.build()
+        stripped = strip_buffers(circuit)
+        assert check_equivalence(circuit, stripped).equivalent
+        inner = [g for g in stripped.gates if g.gtype is GateType.BUF
+                 and g.output not in stripped.outputs]
+        assert not inner
+
+    def test_output_buffers_kept(self):
+        builder = CircuitBuilder()
+        a = builder.input("a")
+        builder.output(builder.not_(a), "f")
+        circuit = builder.build()
+        stripped = strip_buffers(circuit)
+        assert stripped.outputs == ["f"]
+        assert stripped.evaluate({"a": True}) == {"f": False}

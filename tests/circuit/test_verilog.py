@@ -1,0 +1,65 @@
+"""Tests for the structural Verilog writer."""
+
+import re
+
+import pytest
+
+from repro.circuit import CircuitBuilder, CircuitError, GateType, \
+    dumps_verilog
+from repro.generators import alu4_like
+
+
+class TestDumpsVerilog:
+    def test_module_structure(self):
+        text = dumps_verilog(alu4_like())
+        assert text.splitlines()[1].startswith("module alu4 (")
+        assert text.rstrip().endswith("endmodule")
+        assert text.count("module") == 2  # module + endmodule
+
+    def test_every_gate_emitted(self):
+        circuit = alu4_like()
+        text = dumps_verilog(circuit)
+        instances = re.findall(r"^\s+(and|or|nand|nor|xor|xnor|not|buf)"
+                               r"\s+g\d+", text, re.MULTILINE)
+        assert len(instances) == circuit.num_gates
+
+    def test_constants_become_assigns(self):
+        builder = CircuitBuilder("c")
+        builder.input("a")
+        builder.output(builder.const(True), "one")
+        builder.output(builder.const(False), "zero")
+        text = dumps_verilog(builder.build())
+        assert "1'b1" in text and "1'b0" in text
+
+    def test_identifier_sanitization(self):
+        builder = CircuitBuilder("weird")
+        builder.input("a.b")          # illegal Verilog identifier
+        builder.input("module")       # keyword
+        builder.output(builder.and_("a.b", "module"), "f")
+        text = dumps_verilog(builder.build())
+        assert "a.b" not in text.replace("// was 'a.b'", "")
+        assert re.search(r"input\s+a_b;", text)
+        assert re.search(r"input\s+n_module;", text)
+
+    def test_free_nets_marked(self):
+        builder = CircuitBuilder("p")
+        builder.input("a")
+        builder.output(builder.and_("a", "boxnet"), "f")
+        circuit = builder.circuit
+        circuit.validate(allow_free=True)
+        text = dumps_verilog(circuit)
+        assert "Black Box outputs" in text
+        assert re.search(r"input\s+boxnet;", text)
+
+    def test_module_name_override(self):
+        text = dumps_verilog(alu4_like(), module_name="my_alu")
+        assert "module my_alu (" in text
+
+    def test_name_collision_resolved(self):
+        builder = CircuitBuilder("clash")
+        builder.input("x.y")
+        builder.input("x_y")
+        builder.output(builder.or_("x.y", "x_y"), "f")
+        text = dumps_verilog(builder.build())
+        assert re.search(r"input\s+x_y;", text)
+        assert re.search(r"input\s+x_y_1;", text)

@@ -1,0 +1,95 @@
+"""Tests for the complete-circuit (box-free) equivalence checker."""
+
+import random
+
+import pytest
+
+from repro.circuit import CircuitBuilder, CircuitError
+from repro.core import check_equivalence
+from repro.generators import (alu4_like, c1355_like, c499_like,
+                              ripple_adder_circuit)
+from repro.partial import insert_random_error
+
+
+class TestEquivalent:
+    def test_self_equivalence(self):
+        spec = alu4_like()
+        assert check_equivalence(spec, spec.copy()).equivalent
+
+    def test_c499_equals_c1355(self):
+        """The classic benchmark relation, on our stand-ins."""
+        result = check_equivalence(c499_like(), c1355_like())
+        assert result.equivalent
+
+    def test_structurally_different_adders(self):
+        a = ripple_adder_circuit(4)
+        from repro.circuit.transform import expand_to_two_input
+        b = expand_to_two_input(a)
+        assert check_equivalence(a, b).equivalent
+
+
+class TestInequivalent:
+    def test_mutant_detected_with_valid_counterexample(self):
+        spec = alu4_like()
+        rng = random.Random(0)
+        found_diff = 0
+        for _ in range(6):
+            mutant, mutation = insert_random_error(spec, rng)
+            result = check_equivalence(spec, mutant)
+            if result.equivalent:
+                continue  # some mutations are functionally neutral
+            found_diff += 1
+            cex = result.counterexample
+            s = spec.evaluate(cex)
+            m = mutant.evaluate(cex)
+            outs_s = [s[n] for n in spec.outputs]
+            outs_m = [m[n] for n in mutant.outputs]
+            assert outs_s != outs_m
+            assert result.failing_output in spec.outputs
+        assert found_diff >= 3
+
+    def test_constant_difference(self):
+        b1 = CircuitBuilder("one")
+        b1.input("a")
+        b1.output(b1.const(True), "f")
+        b2 = CircuitBuilder("id")
+        b2.input("a")
+        b2.output(b2.buf("a"), "f")
+        result = check_equivalence(b1.build(), b2.build())
+        assert not result.equivalent
+        assert result.counterexample == {"a": False}
+
+
+class TestInterfaceChecks:
+    def test_input_mismatch_rejected(self):
+        b1 = CircuitBuilder()
+        b1.input("a")
+        b1.output(b1.buf("a"), "f")
+        b2 = CircuitBuilder()
+        b2.input("b")
+        b2.output(b2.buf("b"), "f")
+        with pytest.raises(CircuitError):
+            check_equivalence(b1.build(), b2.build())
+
+    def test_output_count_mismatch_rejected(self):
+        b1 = CircuitBuilder()
+        b1.input("a")
+        b1.output(b1.buf("a"), "f")
+        b2 = CircuitBuilder()
+        b2.input("a")
+        b2.output(b2.buf("a"), "f")
+        b2.output(b2.not_("a"), "g")
+        with pytest.raises(CircuitError):
+            check_equivalence(b1.build(), b2.build())
+
+    def test_partial_circuits_rejected(self):
+        b1 = CircuitBuilder()
+        b1.input("a")
+        b1.output(b1.and_("a", "z"), "f")
+        partial = b1.circuit
+        partial.validate(allow_free=True)
+        b2 = CircuitBuilder()
+        b2.input("a")
+        b2.output(b2.buf("a"), "f")
+        with pytest.raises(CircuitError):
+            check_equivalence(partial, b2.build())

@@ -1,0 +1,101 @@
+"""Tests for the exact two-box decision procedure (Theorem 2.1, b=2)."""
+
+import pytest
+
+from repro.circuit import CircuitBuilder, CircuitError
+from repro.core import (check_input_exact, exact_two_box_check,
+                        is_extendable, truth_table_circuit)
+from repro.generators import figure1
+from repro.partial import BlackBox, PartialImplementation
+
+from .test_two_box_approximation import random_two_box_instance
+
+
+class TestExactTwoBox:
+    def test_figure1_extendable(self):
+        spec, partial = figure1()
+        assert exact_two_box_check(spec, partial)
+
+    def test_xor_of_two_boxes_reading_the_input(self):
+        """f = z1 XOR z2 with both boxes reading 'a' is extendable
+        (z1 = a, z2 = 0); the exact procedure must find it."""
+        builder = CircuitBuilder("spec")
+        a = builder.input("a")
+        builder.output(builder.buf(a), "f")
+        spec = builder.build()
+
+        impl = CircuitBuilder("impl")
+        impl.input("a")
+        impl.output(impl.xor_("z1", "z2"), "f")
+        circuit = impl.circuit
+        circuit.validate(allow_free=True)
+        partial = PartialImplementation(circuit, [
+            BlackBox("B1", ("a",), ("z1",)),
+            BlackBox("B2", ("a",), ("z2",)),
+        ])
+        # With both boxes reading 'a' this IS extendable (z1=a, z2=0).
+        assert exact_two_box_check(spec, partial)
+        assert is_extendable(spec, partial, limit=1 << 10)
+
+    @pytest.mark.parametrize("seed", [0, 3, 7, 11, 19])
+    def test_agrees_with_brute_force(self, seed):
+        instance = random_two_box_instance(seed)
+        if instance is None:
+            pytest.skip("instance had unused box output")
+        spec, partial = instance
+        assert exact_two_box_check(spec, partial) \
+            == is_extendable(spec, partial, limit=1 << 16)
+
+    def test_dominates_equation_one(self):
+        """eq (1) error implies exact-unextendable (soundness)."""
+        for seed in (1, 5, 9):
+            instance = random_two_box_instance(seed)
+            if instance is None:
+                continue
+            spec, partial = instance
+            if check_input_exact(spec, partial).error_found:
+                assert not exact_two_box_check(spec, partial), seed
+
+    def test_wrong_box_count_rejected(self):
+        builder = CircuitBuilder("s")
+        a = builder.input("a")
+        builder.output(builder.and_(a, "z"), "f")
+        circuit = builder.circuit
+        circuit.validate(allow_free=True)
+        partial = PartialImplementation(
+            circuit, [BlackBox("B", ("a",), ("z",))])
+        spec = CircuitBuilder("sp")
+        spec.input("a")
+        spec.output(spec.buf("a"), "f")
+        with pytest.raises(CircuitError):
+            exact_two_box_check(spec.build(), partial)
+
+    def test_limit_enforced(self):
+        spec, partial = figure1()
+        with pytest.raises(CircuitError):
+            exact_two_box_check(spec, partial, limit=2)
+
+
+class TestSubstituteSome:
+    def test_partial_substitution_leaves_other_box(self):
+        spec, partial = figure1()
+        and_box = truth_table_circuit(2, [0b1000], name="and2")
+        staged = partial.substitute_some({"BB1": and_box})
+        assert staged.num_boxes == 1
+        assert staged.boxes[0].name == "BB2"
+        verdict = check_input_exact(spec, staged)
+        assert not verdict.error_found
+        assert verdict.exact
+
+    def test_wrong_first_box_makes_residual_unextendable(self):
+        spec, partial = figure1()
+        # BB1 must be AND(x4,x5); force NOR instead.
+        nor_box = truth_table_circuit(2, [0b0001], name="nor2")
+        staged = partial.substitute_some({"BB1": nor_box})
+        assert check_input_exact(spec, staged).error_found
+
+    def test_unknown_box_rejected(self):
+        spec, partial = figure1()
+        with pytest.raises(CircuitError):
+            partial.substitute_some(
+                {"ZZ": truth_table_circuit(2, [0])})

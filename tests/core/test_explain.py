@@ -1,0 +1,81 @@
+"""Tests for input exact failure explanation."""
+
+import pytest
+
+from repro.core import (check_input_exact, check_output_exact,
+                        explain_input_exact_failure, prepare_context)
+from repro.generators import figure1, figure2b, figure3b
+
+
+class TestExplainFigure3b:
+    def test_scenario_matches_paper_argument(self):
+        spec, partial = figure3b()
+        ctx = prepare_context(spec, partial)
+        scenario = explain_input_exact_failure(ctx)
+        assert scenario is not None
+        assert scenario.box == "BB1"
+        assert set(scenario.pin_values) == {"x6", "x7"}
+        # both possible single-bit outputs are refuted
+        assert set(scenario.refutations) == {(False,), (True,)}
+
+    def test_refutations_are_concrete(self):
+        spec, partial = figure3b()
+        ctx = prepare_context(spec, partial)
+        scenario = explain_input_exact_failure(ctx)
+        box = partial.boxes[0]
+        for bits, vector in scenario.refutations.items():
+            # the vector is consistent with the observation...
+            values = spec.evaluate(vector, all_nets=True)
+            for net, want in scenario.pin_values.items():
+                assert values[net] == want
+            # ...and that output choice produces a wrong primary output
+            impl_out = partial.circuit.evaluate(
+                {**vector, **dict(zip(box.outputs, bits))})
+            spec_out = spec.evaluate(vector)
+            assert [impl_out[n] for n in partial.circuit.outputs] \
+                != [spec_out[n] for n in spec.outputs]
+
+    def test_refutation_vectors_differ_only_behind_the_box(self):
+        """The two x vectors agree on the box's pins — the conflict is
+        invisible to the box, which is the whole point."""
+        spec, partial = figure3b()
+        ctx = prepare_context(spec, partial)
+        scenario = explain_input_exact_failure(ctx)
+        vectors = list(scenario.refutations.values())
+        for net, want in scenario.pin_values.items():
+            for vector in vectors:
+                values = spec.evaluate(vector, all_nets=True)
+                assert values[net] == want
+
+    def test_describe(self):
+        spec, partial = figure3b()
+        ctx = prepare_context(spec, partial)
+        text = explain_input_exact_failure(ctx).describe()
+        assert "BB1" in text and "wrong for primary inputs" in text
+
+
+class TestExplainLimits:
+    def test_none_for_passing_design(self):
+        spec, partial = figure1()
+        # figure1 has two boxes -> None regardless
+        ctx = prepare_context(spec, partial)
+        assert explain_input_exact_failure(ctx) is None
+
+    def test_none_when_check_passes_single_box(self):
+        from repro.generators import alu4_like
+        from repro.partial import make_partial
+
+        spec = alu4_like()
+        partial = make_partial(spec, fraction=0.08, num_boxes=1, seed=2)
+        ctx = prepare_context(spec, partial)
+        assert not check_input_exact(spec, partial).error_found
+        assert explain_input_exact_failure(ctx) is None
+
+    def test_scenario_exists_even_with_pi_counterexample(self):
+        """figure2b fails even the local check; a single-box failure
+        always yields an unwinnable observation too."""
+        spec, partial = figure2b()
+        ctx = prepare_context(spec, partial)
+        scenario = explain_input_exact_failure(ctx)
+        assert scenario is not None
+        assert scenario.refutations

@@ -1,0 +1,95 @@
+"""Tests for the check ladder driver."""
+
+import pytest
+
+from repro.core import (CHECK_ORDER, check_partial_equivalence,
+                        run_ladder)
+from repro.generators import figure1, figure2a, figure3b
+from repro.partial import BlackBox, PartialImplementation
+from repro.circuit import CircuitBuilder
+
+
+class TestRunLadder:
+    def test_order_follows_paper(self):
+        assert CHECK_ORDER == ("random_pattern", "symbolic_01x", "local",
+                               "output_exact", "input_exact")
+        spec, partial = figure1()
+        results = run_ladder(spec, partial, patterns=50, seed=0,
+                             stop_at_first_error=False)
+        assert [r.check for r in results] == list(CHECK_ORDER)
+
+    def test_stop_at_first_error(self):
+        spec, partial = figure2a()
+        results = run_ladder(spec, partial, patterns=2000, seed=0)
+        assert results[-1].error_found
+        assert len(results) < len(CHECK_ORDER)
+
+    def test_subset_of_checks(self):
+        spec, partial = figure1()
+        results = run_ladder(spec, partial,
+                             checks=("local", "input_exact"))
+        assert [r.check for r in results] == ["local", "input_exact"]
+
+    def test_unknown_check_rejected(self):
+        spec, partial = figure1()
+        with pytest.raises(ValueError):
+            run_ladder(spec, partial, checks=("magic",))
+
+    def test_shared_context_consistency(self):
+        """All Z_i rungs share one BDD; verdicts must match standalone."""
+        from repro.core import check_local, check_output_exact
+
+        spec, partial = figure3b()
+        results = run_ladder(spec, partial, patterns=20, seed=1,
+                             stop_at_first_error=False)
+        by_name = {r.check: r for r in results}
+        assert by_name["local"].error_found \
+            == check_local(spec, partial).error_found
+        assert by_name["output_exact"].error_found \
+            == check_output_exact(spec, partial).error_found
+        assert by_name["input_exact"].error_found
+
+
+class TestOneCallApi:
+    def test_returns_most_accurate_verdict(self):
+        spec, partial = figure3b()
+        result = check_partial_equivalence(spec, partial, patterns=20,
+                                           seed=0)
+        assert result.check == "input_exact"
+        assert result.error_found
+
+    def test_clean_design(self):
+        spec, partial = figure1()
+        result = check_partial_equivalence(spec, partial, patterns=20,
+                                           seed=0)
+        assert result.check == "input_exact"
+        assert not result.error_found
+
+
+class TestDegenerateNoBoxes:
+    def test_box_free_partial_is_equivalence_checking(self):
+        builder = CircuitBuilder("spec")
+        a, b = builder.input("a"), builder.input("b")
+        builder.output(builder.and_(a, b), "f")
+        spec = builder.build()
+
+        good = CircuitBuilder("good")
+        good.input("a")
+        good.input("b")
+        good.output(good.nor_(good.not_("a"), good.not_("b")), "f")
+        partial_good = PartialImplementation(good.build(), [])
+
+        bad = CircuitBuilder("bad")
+        bad.input("a")
+        bad.input("b")
+        bad.output(bad.or_("a", "b"), "f")
+        partial_bad = PartialImplementation(bad.build(), [])
+
+        ok = run_ladder(spec, partial_good, patterns=16, seed=0,
+                        stop_at_first_error=False)
+        assert not any(r.error_found for r in ok)
+        assert ok[-1].exact   # zero boxes: verdict is exact
+
+        nok = run_ladder(spec, partial_bad, patterns=64, seed=0,
+                         stop_at_first_error=False)
+        assert nok[-1].error_found

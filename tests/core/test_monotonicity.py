@@ -1,0 +1,123 @@
+"""The detection-power hierarchy of the five checks (paper Section 2).
+
+For any spec + partial implementation:
+
+    r.p. ⟹ 0,1,X ⟹ local ⟹ output exact ⟹ input exact
+
+and no check may flag a partial implementation that is extendable
+(soundness).  Verified on mutation campaigns over carved benchmark
+circuits and on random circuits with tiny boxes against the brute-force
+oracle.
+"""
+
+import random
+
+import pytest
+
+from repro.circuit import CircuitBuilder, GateType
+from repro.core import (check_input_exact, check_local,
+                        check_output_exact, check_random_patterns,
+                        check_symbolic_01x, is_extendable)
+from repro.generators import alu4_like, comp_like, term1_like
+from repro.partial import (BlackBox, PartialImplementation, make_partial,
+                           insert_random_error)
+
+
+def run_all(spec, partial, seed=0):
+    return {
+        "rp": check_random_patterns(spec, partial, patterns=300,
+                                    seed=seed).error_found,
+        "x01": check_symbolic_01x(spec, partial).error_found,
+        "local": check_local(spec, partial).error_found,
+        "oe": check_output_exact(spec, partial).error_found,
+        "ie": check_input_exact(spec, partial).error_found,
+    }
+
+
+def assert_chain(found, context):
+    assert not (found["rp"] and not found["x01"]), context
+    assert not (found["x01"] and not found["local"]), context
+    assert not (found["local"] and not found["oe"]), context
+    assert not (found["oe"] and not found["ie"]), context
+
+
+@pytest.mark.parametrize("factory,boxes", [
+    (alu4_like, 1), (alu4_like, 3), (comp_like, 2), (term1_like, 2)])
+def test_mutation_campaign_monotone(factory, boxes):
+    spec = factory()
+    partial = make_partial(spec, fraction=0.1, num_boxes=boxes, seed=17)
+    rng = random.Random(23)
+    for i in range(8):
+        mutated, mutation = insert_random_error(partial.circuit, rng)
+        case = PartialImplementation(mutated, partial.boxes)
+        found = run_all(spec, case, seed=i)
+        assert_chain(found, (factory.__name__, boxes, mutation))
+
+
+@pytest.mark.parametrize("factory,boxes", [
+    (alu4_like, 1), (alu4_like, 4), (comp_like, 3)])
+def test_clean_carves_never_flagged(factory, boxes):
+    spec = factory()
+    for seed in (3, 7):
+        partial = make_partial(spec, fraction=0.12, num_boxes=boxes,
+                               seed=seed)
+        found = run_all(spec, partial, seed=seed)
+        assert not any(found.values()), (factory.__name__, boxes, seed,
+                                         found)
+
+
+def random_tiny_instance(seed):
+    """Random spec + partial with one tiny box (oracle-tractable)."""
+    rng = random.Random(seed)
+    builder = CircuitBuilder("spec%d" % seed)
+    pool = [builder.input("x%d" % i) for i in range(4)]
+    for _ in range(rng.randint(4, 10)):
+        gtype = rng.choice([GateType.AND, GateType.OR, GateType.XOR,
+                            GateType.NAND, GateType.NOR])
+        srcs = rng.sample(pool, min(len(pool), 2))
+        pool.append(builder.gate(gtype, srcs))
+    outs = pool[-2:]
+    builder.outputs(outs, "f")
+    spec = builder.build()
+
+    impl_builder = CircuitBuilder("impl%d" % seed)
+    for net in spec.inputs:
+        impl_builder.input(net)
+    # impl: same structure but one net replaced by a box output and a
+    # random gate possibly mutated
+    box_inputs = tuple(rng.sample(spec.inputs, 2))
+    pool2 = list(spec.inputs) + ["bb"]
+    for _ in range(rng.randint(3, 8)):
+        gtype = rng.choice([GateType.AND, GateType.OR, GateType.XOR,
+                            GateType.NOR])
+        srcs = rng.sample(pool2, 2)
+        pool2.append(impl_builder.gate(gtype, srcs))
+    for k in range(2):
+        net = pool2[-(k + 1)]
+        impl_builder.output(impl_builder.buf(net), "g%d" % k)
+    impl = impl_builder.circuit
+    impl.validate(allow_free=True)
+    free = impl.free_nets()
+    boxes = [BlackBox("BB1", box_inputs, tuple(free))] if free else []
+    if not free:
+        return None
+    return spec, PartialImplementation(impl, boxes)
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_single_box_input_exact_matches_oracle(seed):
+    """Theorem 2.2: for one box, input exact == ground truth."""
+    instance = random_tiny_instance(seed)
+    if instance is None:
+        pytest.skip("no box in this instance")
+    spec, partial = instance
+    verdict = check_input_exact(spec, partial)
+    truth = is_extendable(spec, partial, limit=1 << 18)
+    assert verdict.error_found == (not truth), seed
+    assert verdict.exact
+    # monotone chain on the same instance
+    found = run_all(spec, partial, seed=seed)
+    assert_chain(found, seed)
+    # soundness of every weaker check
+    if truth:
+        assert not any(found.values()), seed

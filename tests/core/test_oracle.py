@@ -1,0 +1,74 @@
+"""Tests for the brute-force extendability oracle."""
+
+import pytest
+
+from repro.circuit import CircuitBuilder, CircuitError
+from repro.core import (count_extensions, find_extension, is_extendable,
+                        truth_table_circuit)
+from repro.generators import figure1, figure3a, figure3b
+from repro.partial import BlackBox, PartialImplementation
+
+
+class TestTruthTableCircuit:
+    @pytest.mark.parametrize("table", range(16))
+    def test_two_input_tables(self, table):
+        circuit = truth_table_circuit(2, [table])
+        for row in range(4):
+            asg = {"i0": bool(row & 1), "i1": bool(row & 2)}
+            assert circuit.evaluate(asg)["o0"] == bool((table >> row) & 1)
+
+    def test_multi_output(self):
+        circuit = truth_table_circuit(1, [0b10, 0b01])
+        assert circuit.evaluate({"i0": True}) == {"o0": True,
+                                                  "o1": False}
+        assert circuit.evaluate({"i0": False}) == {"o0": False,
+                                                   "o1": True}
+
+    def test_zero_inputs(self):
+        circuit = truth_table_circuit(0, [1, 0])
+        assert circuit.evaluate({}) == {"o0": True, "o1": False}
+
+    def test_range_checked(self):
+        with pytest.raises(CircuitError):
+            truth_table_circuit(1, [4])
+
+
+class TestFindExtension:
+    def test_figure1_has_extension(self):
+        spec, partial = figure1()
+        tables = find_extension(spec, partial, limit=1 << 18)
+        assert tables is not None
+        # BB1 must be AND(x4, x5): table 0b1000
+        assert tables["BB1"] == (0b1000,)
+        # BB2 must be OR: table 0b1110
+        assert tables["BB2"] == (0b1110,)
+
+    def test_figure3a_has_none(self):
+        spec, partial = figure3a()
+        assert find_extension(spec, partial, limit=1 << 18) is None
+
+    def test_figure3b_has_none(self):
+        spec, partial = figure3b()
+        assert not is_extendable(spec, partial, limit=1 << 18)
+
+    def test_space_limit_enforced(self):
+        spec, partial = figure1()
+        with pytest.raises(CircuitError):
+            find_extension(spec, partial, limit=4)
+
+    def test_count_extensions(self):
+        """A box whose output is ignored has every table legal."""
+        builder = CircuitBuilder("spec")
+        a = builder.input("a")
+        builder.output(builder.buf(a), "f")
+        spec = builder.build()
+
+        impl = CircuitBuilder("impl")
+        impl.input("a")
+        impl.output(impl.buf("a"), "g")
+        t = impl.and_("z", "a")  # reads the box, result unused as output
+        circuit = impl.circuit
+        circuit.validate(allow_free=True)
+        partial = PartialImplementation(
+            circuit, [BlackBox("B", ("a",), ("z",))])
+        assert count_extensions(spec, partial) == 4  # all 1-in tables

@@ -1,0 +1,42 @@
+"""Tests for the CheckResult container and Stopwatch."""
+
+import time
+
+from repro.core import CheckResult
+from repro.core.result import Stopwatch
+
+
+class TestCheckResult:
+    def test_repr_variants(self):
+        err = CheckResult(check="local", error_found=True,
+                          failing_output="f1")
+        assert "ERROR" in repr(err)
+        assert "f1" in repr(err)
+        ok_exact = CheckResult(check="input_exact", error_found=False,
+                               exact=True)
+        assert "exact" in repr(ok_exact)
+        ok = CheckResult(check="local", error_found=False)
+        assert "no error" in repr(ok)
+
+    def test_defaults(self):
+        result = CheckResult(check="x", error_found=False)
+        assert result.counterexample is None
+        assert result.stats == {}
+        assert result.seconds == 0.0
+
+
+class TestStopwatch:
+    def test_measures_elapsed_time(self):
+        with Stopwatch() as clock:
+            time.sleep(0.01)
+        assert clock.seconds >= 0.009
+
+    def test_reusable(self):
+        clock = Stopwatch()
+        with clock:
+            pass
+        first = clock.seconds
+        with clock:
+            time.sleep(0.005)
+        assert clock.seconds >= 0.004
+        assert clock.seconds != first or first == 0.0

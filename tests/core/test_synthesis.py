@@ -1,0 +1,143 @@
+"""Tests for witness Black Box synthesis."""
+
+import random
+
+import pytest
+
+from repro.bdd import Bdd
+from repro.circuit import CircuitBuilder, CircuitError
+from repro.core import (bdd_to_net, check_equivalence, determinize,
+                        function_vector_circuit, synthesize_boxes,
+                        synthesize_single_box)
+from repro.generators import alu4_like, comp_like, figure1, figure2b, \
+    figure3b
+from repro.partial import make_partial
+
+
+class TestBddToNet:
+    def test_roundtrip_random_functions(self):
+        bdd = Bdd()
+        names = ["p", "q", "r"]
+        bdd.add_vars(names)
+        p, q, r = (bdd.var(n) for n in names)
+        f = (p & q) | (~p & r)
+        builder = CircuitBuilder("syn")
+        nets = {n: builder.input(n) for n in names}
+        root = bdd_to_net(builder, f, nets)
+        builder.circuit.add_output(root)
+        circuit = builder.build()
+        for bits in range(8):
+            asg = {"p": bool(bits & 1), "q": bool(bits & 2),
+                   "r": bool(bits & 4)}
+            assert circuit.evaluate(asg)[root] == f.evaluate(asg)
+
+    def test_unmapped_variable_rejected(self):
+        bdd = Bdd()
+        bdd.add_vars(["p"])
+        builder = CircuitBuilder()
+        with pytest.raises(CircuitError):
+            bdd_to_net(builder, bdd.var("p"), {})
+
+    def test_constants(self):
+        bdd = Bdd()
+        builder = CircuitBuilder()
+        builder.input("dummy")
+        top = bdd_to_net(builder, bdd.true, {})
+        bot = bdd_to_net(builder, bdd.false, {})
+        values = builder.circuit.evaluate({"dummy": False},
+                                          all_nets=True)
+        assert values[top] and not values[bot]
+
+
+class TestDeterminize:
+    def test_total_relation(self):
+        bdd = Bdd()
+        bdd.add_vars(["i", "o"])
+        i, o = bdd.var("i"), bdd.var("o")
+        relation = o.equiv(~i)
+        fns = determinize(relation, ["o"])
+        assert fns is not None
+        assert fns[0] == ~i
+
+    def test_partial_relation_returns_none(self):
+        bdd = Bdd()
+        bdd.add_vars(["i", "o"])
+        i, o = bdd.var("i"), bdd.var("o")
+        relation = i & o          # no legal o when i = 0
+        assert determinize(relation, ["o"]) is None
+
+    def test_choice_freedom_prefers_zero(self):
+        bdd = Bdd()
+        bdd.add_vars(["i", "o"])
+        relation = bdd.true       # anything goes
+        fns = determinize(relation, ["o"])
+        assert fns[0].is_false
+
+    def test_multi_output(self):
+        bdd = Bdd()
+        bdd.add_vars(["i", "o1", "o2"])
+        i, o1, o2 = (bdd.var(n) for n in ("i", "o1", "o2"))
+        relation = (o1 ^ o2).equiv(i)   # outputs must differ iff i
+        fns = determinize(relation, ["o1", "o2"])
+        assert fns is not None
+        for iv in (False, True):
+            v1 = fns[0].evaluate({"i": iv})
+            v2 = fns[1].evaluate({"i": iv})
+            assert (v1 != v2) == iv
+
+
+class TestFunctionVectorCircuit:
+    def test_interface(self):
+        bdd = Bdd()
+        bdd.add_vars(["a", "b"])
+        f = bdd.var("a") ^ bdd.var("b")
+        circuit = function_vector_circuit([f, ~f], ["a", "b"])
+        assert circuit.inputs == ["i0", "i1"]
+        assert circuit.outputs == ["o0", "o1"]
+        out = circuit.evaluate({"i0": True, "i1": False})
+        assert out == {"o0": True, "o1": False}
+
+
+class TestSynthesizeBoxes:
+    def test_figure1_witness_verifies(self):
+        spec, partial = figure1()
+        implementations = synthesize_boxes(spec, partial)
+        assert implementations is not None
+        complete = partial.substitute(implementations)
+        assert check_equivalence(spec, complete).equivalent
+
+    def test_erroneous_partial_yields_none(self):
+        spec, partial = figure2b()
+        assert synthesize_boxes(spec, partial) is None
+        spec, partial = figure3b()
+        assert synthesize_single_box(spec, partial) is None
+
+    def test_single_box_api_guard(self):
+        spec, partial = figure1()
+        with pytest.raises(CircuitError):
+            synthesize_single_box(spec, partial)  # two boxes
+
+    @pytest.mark.parametrize("factory,seed", [
+        (alu4_like, 2), (alu4_like, 13), (comp_like, 5)])
+    def test_carved_single_box_synthesis(self, factory, seed):
+        """End-to-end: carve a box out of a benchmark, synthesize a
+        fresh implementation, plug it back, prove equivalence."""
+        spec = factory()
+        partial = make_partial(spec, fraction=0.08, num_boxes=1,
+                               seed=seed)
+        witness = synthesize_single_box(spec, partial)
+        assert witness is not None
+        complete = partial.substitute(
+            {partial.boxes[0].name: witness})
+        assert check_equivalence(spec, complete).equivalent
+
+    def test_multi_box_carve_synthesis(self):
+        spec = alu4_like()
+        partial = make_partial(spec, fraction=0.1, num_boxes=2, seed=6)
+        implementations = synthesize_boxes(spec, partial)
+        # greedy multi-box synthesis may fail in principle, but on a
+        # clean carve with verification it must either give a correct
+        # result or None — never a wrong one (verify=True guarantees).
+        if implementations is not None:
+            complete = partial.substitute(implementations)
+            assert check_equivalence(spec, complete).equivalent

@@ -1,0 +1,77 @@
+"""The approximation direction of equation (1) for two boxes.
+
+For b >= 2 the input exact check is *not* exact (Theorem 2.1's
+decomposition is NP-complete), but it must stay sound: whenever it
+reports an error, the brute-force oracle must confirm no extension
+exists.  The converse may fail — the check may miss errors — which is
+precisely the paper's "approximation for b >= 2".
+"""
+
+import random
+
+import pytest
+
+from repro.circuit import CircuitBuilder, GateType
+from repro.core import (check_input_exact, check_output_exact,
+                        is_extendable)
+from repro.partial import BlackBox, PartialImplementation
+
+
+def random_two_box_instance(seed):
+    """Tiny spec + partial with two one-output boxes (oracle-sized)."""
+    rng = random.Random(seed)
+    builder = CircuitBuilder("spec%d" % seed)
+    pool = [builder.input("x%d" % i) for i in range(4)]
+    for _ in range(rng.randint(4, 9)):
+        gtype = rng.choice([GateType.AND, GateType.OR, GateType.XOR,
+                            GateType.NAND, GateType.NOR])
+        pool.append(builder.gate(gtype, rng.sample(pool, 2)))
+    builder.outputs(pool[-2:], "f")
+    spec = builder.build()
+
+    impl_builder = CircuitBuilder("impl%d" % seed)
+    for net in spec.inputs:
+        impl_builder.input(net)
+    pool2 = list(spec.inputs) + ["bbA", "bbB"]
+    for _ in range(rng.randint(3, 7)):
+        gtype = rng.choice([GateType.AND, GateType.OR, GateType.XOR,
+                            GateType.NOR])
+        pool2.append(impl_builder.gate(gtype, rng.sample(pool2, 2)))
+    for k in range(2):
+        impl_builder.output(impl_builder.buf(pool2[-(k + 1)]),
+                            "g%d" % k)
+    impl = impl_builder.circuit
+    impl.validate(allow_free=True)
+    free = set(impl.free_nets())
+    if free != {"bbA", "bbB"}:
+        return None
+    boxes = [
+        BlackBox("A", tuple(rng.sample(spec.inputs, 2)), ("bbA",)),
+        BlackBox("B", tuple(rng.sample(spec.inputs, 2)), ("bbB",)),
+    ]
+    return spec, PartialImplementation(impl, boxes)
+
+
+@pytest.mark.parametrize("seed", range(30))
+def test_equation_one_is_sound_for_two_boxes(seed):
+    instance = random_two_box_instance(seed)
+    if instance is None:
+        pytest.skip("a box output went unused")
+    spec, partial = instance
+    truth = is_extendable(spec, partial, limit=1 << 16)
+    ie = check_input_exact(spec, partial)
+    oe = check_output_exact(spec, partial)
+    # soundness: an error verdict implies genuinely unextendable
+    if ie.error_found:
+        assert not truth, seed
+    if oe.error_found:
+        assert not truth, seed
+    # dominance: ie finds everything oe finds
+    if oe.error_found:
+        assert ie.error_found, seed
+    # the two-box verdict must not claim exactness
+    assert not ie.exact
+    # completeness direction may fail (approximation); when the oracle
+    # says extendable, no sound check may fire
+    if truth:
+        assert not ie.error_found and not oe.error_found, seed

@@ -1,0 +1,45 @@
+"""Tests for the experiments command-line interface."""
+
+import pytest
+
+from repro.experiments.cli import main
+
+
+class TestCli:
+    def test_figures_command(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        assert "figure3b" in out
+        assert "MISMATCH" not in out
+
+    def test_tiny_table_run(self, capsys):
+        code = main(["table1", "--selections", "1", "--errors", "2",
+                     "--patterns", "50", "--benchmarks", "alu4",
+                     "--quiet"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "alu4" in out
+        assert "one Black Box" in out
+
+    def test_table2_uses_five_boxes(self, capsys):
+        code = main(["table2", "--selections", "1", "--errors", "1",
+                     "--patterns", "20", "--benchmarks", "alu4",
+                     "--quiet"])
+        assert code == 0
+        assert "five Black Boxes" in capsys.readouterr().out
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table1", "--benchmarks", "c17"])
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table9"])
+
+    def test_compare_flag(self, capsys):
+        code = main(["table1", "--selections", "1", "--errors", "1",
+                     "--patterns", "20", "--benchmarks", "alu4",
+                     "--quiet", "--compare"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "measured vs paper" in out

@@ -1,0 +1,62 @@
+"""Tests for JSON/CSV export of experiment results."""
+
+import json
+
+import pytest
+
+from repro.experiments import (BenchmarkRow, rows_to_csv, rows_to_dict,
+                               rows_to_json)
+from repro.experiments.runner import CHECKS
+
+
+def make_row():
+    row = BenchmarkRow(circuit="alu4", inputs=14, outputs=8,
+                       spec_nodes=324)
+    row.cases = 12
+    for i, check in enumerate(CHECKS):
+        row.detected[check] = 6 + i
+        row.impl_nodes[check] = 100.0 + i
+        row.peak_nodes[check] = 1000.0 + i
+        row.runtime[check] = 0.01 * (i + 1)
+    return row
+
+
+class TestExport:
+    def test_dict_shape(self):
+        data = rows_to_dict([make_row()])
+        assert len(data) == 1
+        entry = data[0]
+        assert entry["circuit"] == "alu4"
+        assert entry["cases"] == 12
+        assert set(entry["checks"]) == set(CHECKS)
+        ie = entry["checks"]["ie"]
+        assert ie["detection_percent"] == pytest.approx(1000 / 12, 0.01)
+        low, high = ie["detection_ci95"]
+        assert 0 <= low <= ie["detection_percent"] <= high <= 100
+
+    def test_json_parses(self):
+        text = rows_to_json([make_row()])
+        data = json.loads(text)
+        assert data[0]["spec_nodes"] == 324
+
+    def test_intervals_optional(self):
+        data = rows_to_dict([make_row()], intervals=False)
+        assert "detection_ci95" not in data[0]["checks"]["r.p."]
+
+    def test_csv(self):
+        text = rows_to_csv([make_row()])
+        lines = text.strip().splitlines()
+        assert lines[0].startswith("circuit,")
+        assert len(lines) == 1 + len(CHECKS)
+        assert "alu4" in lines[1]
+
+    def test_cli_json_output(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+
+        out = tmp_path / "r.json"
+        code = main(["table1", "--selections", "1", "--errors", "1",
+                     "--patterns", "20", "--benchmarks", "alu4",
+                     "--quiet", "--json", str(out)])
+        assert code == 0
+        data = json.loads(out.read_text())
+        assert data[0]["circuit"] == "alu4"

@@ -1,0 +1,45 @@
+"""Tests for the statistics helpers."""
+
+import pytest
+
+from repro.experiments.stats import (detection_interval, mean, stddev,
+                                     wilson_interval)
+
+
+class TestWilson:
+    def test_contains_point_estimate(self):
+        low, high = wilson_interval(7, 10)
+        assert low < 0.7 < high
+
+    def test_extremes_stay_in_unit_interval(self):
+        low, high = wilson_interval(0, 5)
+        assert low == 0.0 and high < 0.6
+        low, high = wilson_interval(5, 5)
+        assert low > 0.4 and high == 1.0
+
+    def test_narrows_with_more_trials(self):
+        small = wilson_interval(5, 10)
+        large = wilson_interval(50, 100)
+        assert (large[1] - large[0]) < (small[1] - small[0])
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            wilson_interval(1, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(6, 5)
+
+    def test_detection_interval_percent(self):
+        low, high = detection_interval(6, 12)
+        assert 0 <= low <= 50 <= high <= 100
+
+
+class TestMoments:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_stddev(self):
+        assert stddev([5.0]) == 0.0
+        assert stddev([1.0, 1.0, 1.0]) == 0.0
+        assert stddev([0.0, 2.0]) == pytest.approx(2.0 ** 0.5)

@@ -1,0 +1,67 @@
+"""Tests for table formatting."""
+
+import pytest
+
+from repro.experiments import (BenchmarkRow, average_row,
+                               format_detection_summary, format_table)
+from repro.experiments.runner import CHECKS
+
+
+def make_row(name, ratios):
+    row = BenchmarkRow(circuit=name, inputs=10, outputs=5,
+                       spec_nodes=123)
+    row.cases = 10
+    for check, ratio in zip(CHECKS, ratios):
+        row.detected[check] = ratio / 10.0  # cases=10 -> percent/10
+        row.impl_nodes[check] = 50.0
+        row.peak_nodes[check] = 200.0
+        row.runtime[check] = 0.01
+    return row
+
+
+class TestAverageRow:
+    def test_mean_of_ratios(self):
+        rows = [make_row("a", [10, 20, 30, 40, 50]),
+                make_row("b", [30, 40, 50, 60, 70])]
+        avg = average_row(rows)
+        assert avg.detection_ratio("r.p.") == pytest.approx(20.0)
+        assert avg.detection_ratio("ie") == pytest.approx(60.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            average_row([])
+
+
+class TestFormatting:
+    def test_table_contains_rows_and_average(self):
+        rows = [make_row("alu4", [50, 60, 70, 80, 90])]
+        text = format_table(rows, "Table 1 test")
+        assert "Table 1 test" in text
+        assert "alu4" in text
+        assert "average" in text
+        assert "90%" in text
+
+    def test_detection_summary(self):
+        rows = [make_row("comp", [10, 20, 30, 40, 50])]
+        text = format_detection_summary(rows)
+        assert "comp" in text and "50%" in text
+
+
+class TestPaperComparison:
+    def test_format_comparison(self):
+        from repro.experiments import PAPER_TABLE1, format_comparison
+
+        rows = [make_row("comp", [40, 42, 45, 50, 80]),
+                make_row("alu4", [90, 92, 92, 93, 94])]
+        text = format_comparison(rows, PAPER_TABLE1)
+        assert "comp" in text and "alu4" in text
+        assert "/  90%" in text or "/ 90%" in text.replace("  ", " ")
+        assert "monotone" in text
+
+    def test_reference_tables_are_monotone(self):
+        from repro.experiments import PAPER_TABLE1, PAPER_TABLE2
+
+        for table in (PAPER_TABLE1, PAPER_TABLE2):
+            for circuit, ref in table.items():
+                series = [ref[c] for c in ("0,1,X", "loc.", "oe", "ie")]
+                assert series == sorted(series), circuit

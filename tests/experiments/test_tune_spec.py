@@ -1,0 +1,36 @@
+"""Tests for the campaign's spec-order warm start."""
+
+from repro.experiments.runner import _tune_spec
+from repro.core import check_equivalence
+from repro.generators.comparator import magnitude_comparator
+
+
+class TestTuneSpec:
+    def test_order_is_permutation_and_function_preserved(self):
+        spec = magnitude_comparator(6)
+        # deliberately bad declaration order: all a's then all b's
+        bad = spec.with_input_order(
+            [n for n in spec.inputs if n.startswith("a")]
+            + [n for n in spec.inputs if n.startswith("b")])
+        tuned, nodes = _tune_spec(bad)
+        assert sorted(tuned.inputs) == sorted(spec.inputs)
+        assert nodes > 0
+        assert check_equivalence(spec, tuned).equivalent
+
+    def test_tuned_order_beats_bad_order(self):
+        from repro.bdd import Bdd
+        from repro.sim import symbolic_simulate
+
+        spec = magnitude_comparator(8)
+        bad = spec.with_input_order(
+            [n for n in spec.inputs if n.startswith("a")]
+            + [n for n in spec.inputs if n.startswith("b")])
+
+        def spec_size(circuit):
+            bdd = Bdd()
+            fns = symbolic_simulate(circuit, bdd)
+            return bdd.manager.size(
+                [fns[n].node for n in circuit.outputs])
+
+        tuned, _ = _tune_spec(bad)
+        assert spec_size(tuned) < spec_size(bad)

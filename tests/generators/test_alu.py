@@ -1,0 +1,122 @@
+"""Functional tests of the ALU generators against integer arithmetic."""
+
+import random
+
+import pytest
+
+from repro.generators import alu4_like, c880_like, make_alu
+
+
+def drive_alu(circuit, width, a, b, sel, cin, inv, extra=None):
+    asg = {}
+    for i in range(width):
+        asg["a%d" % i] = bool((a >> i) & 1)
+        asg["b%d" % i] = bool((b >> i) & 1)
+    asg["sel0"] = bool(sel & 1)
+    asg["sel1"] = bool(sel & 2)
+    asg["cin"] = bool(cin)
+    asg["inv"] = bool(inv)
+    if extra:
+        asg.update(extra)
+    return asg, circuit.evaluate(asg)
+
+
+def expected_result(width, a, b, sel, cin, inv):
+    mask = (1 << width) - 1
+    operand = (~b & mask) if inv else b
+    if sel == 0:
+        return (a + operand + cin) & mask
+    if sel == 1:
+        return a & operand
+    if sel == 2:
+        return a | operand
+    return a ^ operand
+
+
+class TestMakeAlu:
+    @pytest.mark.parametrize("width", [2, 4])
+    def test_all_ops_sampled(self, width):
+        circuit = make_alu(width)
+        rng = random.Random(0)
+        for _ in range(60):
+            a = rng.randrange(1 << width)
+            b = rng.randrange(1 << width)
+            sel = rng.randrange(4)
+            cin = rng.randrange(2)
+            inv = rng.randrange(2)
+            _, out = drive_alu(circuit, width, a, b, sel, cin, inv)
+            result = sum(out["r%d" % i] << i for i in range(width))
+            want = expected_result(width, a, b, sel, cin, inv)
+            assert result == want, (a, b, sel, cin, inv)
+            assert out["zero"] == (result == 0)
+            assert out["par"] == (bin(result).count("1") % 2 == 1)
+            assert out["neg"] == bool(result >> (width - 1) & 1)
+
+    def test_carry_out(self):
+        circuit = make_alu(3)
+        _, out = drive_alu(circuit, 3, 7, 7, sel=0, cin=1, inv=0)
+        assert out["cout"]
+        _, out = drive_alu(circuit, 3, 1, 1, sel=0, cin=0, inv=0)
+        assert not out["cout"]
+
+
+class TestAlu4Like:
+    def test_interface_matches_paper_row(self):
+        circuit = alu4_like()
+        assert len(circuit.inputs) == 14
+        assert len(circuit.outputs) == 8
+
+    def test_masking(self):
+        circuit = alu4_like()
+        rng = random.Random(1)
+        for _ in range(40):
+            a = rng.randrange(16)
+            b = rng.randrange(16)
+            sel = rng.randrange(4)
+            extra = {"mask0": bool(rng.getrandbits(1)),
+                     "mask1": bool(rng.getrandbits(1))}
+            _, out = drive_alu(circuit, 4, a, b, sel, 0, 0, extra)
+            raw = expected_result(4, a, b, sel, 0, 0)
+            want = raw
+            if extra["mask0"]:
+                want &= ~0b0011
+            if extra["mask1"]:
+                want &= ~0b1100
+            got = sum(out["r%d" % i] << i for i in range(4))
+            assert got == want
+
+
+class TestC880Like:
+    def test_interface(self):
+        circuit = c880_like()
+        assert len(circuit.inputs) == 23
+        assert len(circuit.outputs) == 21
+
+    def test_width_parameter(self):
+        assert len(c880_like(width=4).inputs) == 4 * 3 + 5
+        with pytest.raises(ValueError):
+            c880_like(width=5)
+
+    def test_datapath_with_mask_and_enable(self):
+        circuit = c880_like()
+        rng = random.Random(2)
+        for _ in range(30):
+            a = rng.randrange(64)
+            b = rng.randrange(64)
+            m = rng.randrange(64)
+            sel = rng.randrange(4)
+            en = rng.randrange(2)
+            asg = {}
+            for i in range(6):
+                asg["a%d" % i] = bool((a >> i) & 1)
+                asg["b%d" % i] = bool((b >> i) & 1)
+                asg["m%d" % i] = bool((m >> i) & 1)
+            asg.update({"sel0": bool(sel & 1), "sel1": bool(sel & 2),
+                        "cin": False, "inv": False, "en": bool(en)})
+            out = circuit.evaluate(asg)
+            want = expected_result(6, a, b, sel, 0, 0) if en else 0
+            got = sum(out["r%d" % i] << i for i in range(6))
+            assert got == want
+            masked = sum(out["mr%d" % i] << i for i in range(6))
+            assert masked == (want & m)
+            assert out["zero"] == (want == 0)

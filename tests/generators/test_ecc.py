@@ -1,0 +1,110 @@
+"""Functional tests of the Hamming-corrector generators."""
+
+import random
+
+import pytest
+
+from repro.core import check_equivalence
+from repro.generators import (c1355_like, c1908_like, c499_like,
+                              hamming_corrector)
+
+
+def encode(data_bits, check_bits, word):
+    """Check bits consistent with a data word (syndrome = 0)."""
+    from repro.generators.ecc import _check_positions
+
+    cover = _check_positions(data_bits, check_bits)
+    checks = 0
+    for c in range(check_bits):
+        parity = 0
+        for d in cover[c]:
+            parity ^= (word >> d) & 1
+        checks |= parity << c
+    return checks
+
+
+def drive(circuit, data_bits, check_bits, word, checks, enable=True):
+    asg = {}
+    for i in range(data_bits):
+        asg["d%d" % i] = bool((word >> i) & 1)
+    for i in range(check_bits):
+        asg["c%d" % i] = bool((checks >> i) & 1)
+    asg["en"] = enable
+    return circuit.evaluate(asg)
+
+
+class TestHammingCorrector:
+    @pytest.mark.parametrize("data_bits,check_bits", [(4, 3), (8, 4)])
+    def test_clean_word_passes_through(self, data_bits, check_bits):
+        circuit = hamming_corrector(data_bits, check_bits)
+        rng = random.Random(0)
+        for _ in range(20):
+            word = rng.randrange(1 << data_bits)
+            checks = encode(data_bits, check_bits, word)
+            out = drive(circuit, data_bits, check_bits, word, checks)
+            got = sum(out["q%d" % i] << i for i in range(data_bits))
+            assert got == word
+
+    @pytest.mark.parametrize("data_bits,check_bits", [(4, 3), (8, 4)])
+    def test_single_data_error_corrected(self, data_bits, check_bits):
+        circuit = hamming_corrector(data_bits, check_bits)
+        rng = random.Random(1)
+        for _ in range(25):
+            word = rng.randrange(1 << data_bits)
+            checks = encode(data_bits, check_bits, word)
+            flip = rng.randrange(data_bits)
+            corrupted = word ^ (1 << flip)
+            out = drive(circuit, data_bits, check_bits, corrupted,
+                        checks)
+            got = sum(out["q%d" % i] << i for i in range(data_bits))
+            assert got == word, (word, flip)
+
+    def test_enable_off_passes_corrupted_word(self):
+        circuit = hamming_corrector(4, 3)
+        word = 0b1010
+        checks = encode(4, 3, word)
+        corrupted = word ^ 0b0100
+        out = drive(circuit, 4, 3, corrupted, checks, enable=False)
+        got = sum(out["q%d" % i] << i for i in range(4))
+        assert got == corrupted
+
+    def test_detect_flag(self):
+        circuit = hamming_corrector(4, 3, with_detect=True)
+        word = 0b0110
+        checks = encode(4, 3, word)
+        out = drive(circuit, 4, 3, word, checks)
+        assert not out["err"]
+        out = drive(circuit, 4, 3, word ^ 1, checks)
+        assert out["err"]
+
+    def test_capacity_check(self):
+        with pytest.raises(ValueError):
+            hamming_corrector(8, 3)   # 3 check bits cover 7 data bits
+
+
+class TestPaperStandIns:
+    def test_c499_interface(self):
+        circuit = c499_like()
+        assert len(circuit.inputs) == 39
+        assert len(circuit.outputs) == 32
+
+    def test_c1908_interface(self):
+        circuit = c1908_like()
+        assert len(circuit.inputs) == 22
+        assert len(circuit.outputs) == 22
+
+    def test_c1355_is_c499_expanded(self):
+        a, b = c499_like(), c1355_like()
+        assert b.num_gates > a.num_gates
+        assert all(len(g.inputs) <= 2 for g in b.gates)
+        assert check_equivalence(a, b).equivalent
+
+    def test_c499_corrects_random_single_error(self):
+        circuit = c499_like()
+        rng = random.Random(7)
+        word = rng.randrange(1 << 32)
+        checks = encode(32, 6, word)
+        flip = rng.randrange(32)
+        out = drive(circuit, 32, 6, word ^ (1 << flip), checks)
+        got = sum(out["q%d" % i] << i for i in range(32))
+        assert got == word

@@ -1,0 +1,202 @@
+"""Tests for comparator, arithmetic and random-logic generators."""
+
+import random
+
+import pytest
+
+from repro.generators import (apex3_like, array_multiplier,
+                              benchmark_circuit, benchmark_suite,
+                              comp_like, magnitude_comparator,
+                              parity_circuit, random_logic, random_pla,
+                              ripple_adder_circuit, routing_logic,
+                              term1_like)
+from repro.generators.benchmarks import BENCHMARK_NAMES
+
+
+def word_assignment(prefixes_widths, values):
+    asg = {}
+    for (prefix, width), value in zip(prefixes_widths, values):
+        for i in range(width):
+            asg["%s%d" % (prefix, i)] = bool((value >> i) & 1)
+    return asg
+
+
+class TestComparator:
+    @pytest.mark.parametrize("width", [1, 3, 5])
+    def test_exhaustive_small(self, width):
+        circuit = magnitude_comparator(width)
+        for a in range(1 << width):
+            for b in range(1 << width):
+                asg = word_assignment(
+                    [("a", width), ("b", width)], [a, b])
+                out = circuit.evaluate(asg)
+                assert out["lt"] == (a < b)
+                assert out["eq"] == (a == b)
+                assert out["gt"] == (a > b)
+
+    def test_comp_like_interface(self):
+        circuit = comp_like()
+        assert len(circuit.inputs) == 32
+        assert len(circuit.outputs) == 3
+
+    def test_comp_like_sampled(self):
+        circuit = comp_like()
+        rng = random.Random(0)
+        for _ in range(30):
+            a = rng.randrange(1 << 16)
+            b = rng.randrange(1 << 16)
+            asg = word_assignment([("a", 16), ("b", 16)], [a, b])
+            out = circuit.evaluate(asg)
+            assert (out["lt"], out["eq"], out["gt"]) \
+                == (a < b, a == b, a > b)
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize("width", [2, 4])
+    def test_adder(self, width):
+        circuit = ripple_adder_circuit(width)
+        rng = random.Random(0)
+        for _ in range(30):
+            a = rng.randrange(1 << width)
+            b = rng.randrange(1 << width)
+            cin = rng.randrange(2)
+            asg = word_assignment([("a", width), ("b", width)], [a, b])
+            asg["cin"] = bool(cin)
+            out = circuit.evaluate(asg)
+            got = sum(out["s%d" % i] << i for i in range(width))
+            got += out[circuit.outputs[-1]] << width
+            assert got == a + b + cin
+
+    @pytest.mark.parametrize("width", [2, 3, 4])
+    def test_multiplier(self, width):
+        circuit = array_multiplier(width)
+        assert len(circuit.outputs) == 2 * width
+        for a in range(1 << width):
+            for b in range(1 << width):
+                asg = word_assignment(
+                    [("a", width), ("b", width)], [a, b])
+                out = circuit.evaluate(asg)
+                got = sum(out["p%d" % i] << i for i in range(2 * width))
+                assert got == a * b, (a, b)
+
+    def test_parity(self):
+        circuit = parity_circuit(5)
+        for bits in range(32):
+            asg = {("x%d" % i): bool((bits >> i) & 1) for i in range(5)}
+            assert circuit.evaluate(asg)["p"] \
+                == (bin(bits).count("1") % 2 == 1)
+
+
+class TestRandomLogic:
+    def test_deterministic(self):
+        a = random_logic(10, 4, 30, seed=5)
+        b = random_logic(10, 4, 30, seed=5)
+        assert [str(g) for g in a.gates] == [str(g) for g in b.gates]
+
+    def test_different_seeds_differ(self):
+        a = random_logic(10, 4, 30, seed=5)
+        b = random_logic(10, 4, 30, seed=6)
+        assert [str(g) for g in a.gates] != [str(g) for g in b.gates]
+
+    def test_interface_and_validity(self):
+        circuit = random_logic(12, 5, 40, seed=1)
+        assert len(circuit.inputs) == 12
+        assert len(circuit.outputs) == 5
+        circuit.validate()
+        rng = random.Random(0)
+        asg = {n: bool(rng.getrandbits(1)) for n in circuit.inputs}
+        assert len(circuit.evaluate(asg)) == 5
+
+    def test_too_few_gates_rejected(self):
+        with pytest.raises(ValueError):
+            random_logic(4, 5, 3, seed=0)
+
+    def test_paper_interfaces(self):
+        apex3 = apex3_like()
+        assert (len(apex3.inputs), len(apex3.outputs)) == (54, 50)
+        term1 = term1_like()
+        assert (len(term1.inputs), len(term1.outputs)) == (34, 10)
+
+
+class TestRandomPla:
+    def test_deterministic(self):
+        a = random_pla(10, 5, 12, seed=3)
+        b = random_pla(10, 5, 12, seed=3)
+        assert [str(g) for g in a.gates] == [str(g) for g in b.gates]
+
+    def test_two_level_structure(self):
+        circuit = random_pla(12, 6, 15, seed=1)
+        circuit.validate()
+        # two-level plus inverters: shallow by construction
+        assert circuit.depth() <= 10
+
+    def test_every_output_nonconstant(self):
+        from repro.bdd import Bdd
+        from repro.sim import symbolic_simulate
+
+        circuit = random_pla(10, 6, 14, seed=4)
+        bdd = Bdd()
+        fns = symbolic_simulate(circuit, bdd)
+        for net in circuit.outputs:
+            assert not fns[net].is_constant, net
+
+
+class TestRoutingLogic:
+    def test_steering_semantics(self):
+        circuit = routing_logic(4, 3, 0, seed=9)
+        # with all masks and enable on and no inversion, each output
+        # must equal exactly one data line per select code
+        for code in range(4):
+            for data in range(16):
+                asg = {"en": True, "inv": False}
+                for b in range(2):
+                    asg["s%d" % b] = bool((code >> b) & 1)
+                for i in range(4):
+                    asg["d%d" % i] = bool((data >> i) & 1)
+                for k in range(3):
+                    asg["m%d" % k] = True
+                out = circuit.evaluate(asg)
+                for k in range(3):
+                    assert out["f%d" % k] in (True, False)
+                # each output is one of the data bits
+                for k in range(3):
+                    assert out["f%d" % k] in [
+                        bool((data >> i) & 1) for i in range(4)]
+
+    def test_enable_forces_inverted_constant(self):
+        circuit = routing_logic(4, 2, 0, seed=9)
+        asg = {"en": False, "inv": True,
+               "m0": True, "m1": True,
+               "s0": False, "s1": False}
+        for i in range(4):
+            asg["d%d" % i] = True
+        out = circuit.evaluate(asg)
+        assert out == {"f0": True, "f1": True}
+
+    def test_mask_gates_output(self):
+        circuit = routing_logic(4, 2, 0, seed=9)
+        asg = {"en": True, "inv": False,
+               "m0": False, "m1": False,
+               "s0": False, "s1": False}
+        for i in range(4):
+            asg["d%d" % i] = True
+        out = circuit.evaluate(asg)
+        assert out == {"f0": False, "f1": False}
+
+
+class TestBenchmarkSuite:
+    def test_names_in_paper_order(self):
+        assert BENCHMARK_NAMES == ["alu4", "apex3", "C499", "C880",
+                                   "C1355", "C1908", "comp", "term1"]
+
+    def test_suite_builds_everything(self):
+        suite = benchmark_suite()
+        assert set(suite) == set(BENCHMARK_NAMES)
+        for name, circuit in suite.items():
+            circuit.validate()
+            assert circuit.num_gates > 50, name
+
+    def test_lookup(self):
+        assert benchmark_circuit("comp").name == "comp"
+        with pytest.raises(ValueError):
+            benchmark_circuit("c17")

@@ -1,0 +1,150 @@
+"""Tests for the Black Box / PartialImplementation model."""
+
+import pytest
+
+from repro.circuit import CircuitBuilder, CircuitError, GateType
+from repro.partial import BlackBox, PartialImplementation
+from repro.generators import figure1
+
+
+def chain_circuit():
+    """z1 feeds logic feeding BB2's input; z2 is BB2's output."""
+    builder = CircuitBuilder("chain")
+    a = builder.input("a")
+    mid = builder.and_(a, "z1")
+    builder.output(builder.or_(mid, "z2"), "f")
+    circuit = builder.circuit
+    circuit.validate(allow_free=True)
+    return circuit, mid
+
+
+class TestBlackBox:
+    def test_requires_outputs(self):
+        with pytest.raises(CircuitError):
+            BlackBox("B", ("a",), ())
+
+    def test_rejects_duplicate_outputs(self):
+        with pytest.raises(CircuitError):
+            BlackBox("B", ("a",), ("z", "z"))
+
+
+class TestPartialImplementation:
+    def test_topological_box_order(self):
+        circuit, mid = chain_circuit()
+        boxes = [BlackBox("B2", (mid,), ("z2",)),
+                 BlackBox("B1", ("a",), ("z1",))]
+        partial = PartialImplementation(circuit, boxes)
+        assert [b.name for b in partial.boxes] == ["B1", "B2"]
+        assert partial.box_outputs == ["z1", "z2"]
+
+    def test_self_feedback_rejected(self):
+        circuit, mid = chain_circuit()
+        # B1 reads a net that depends on its own output z1.
+        boxes = [BlackBox("B1", (mid,), ("z1",)),
+                 BlackBox("B2", ("a",), ("z2",))]
+        with pytest.raises(CircuitError):
+            PartialImplementation(circuit, boxes)
+
+    def test_cyclic_boxes_rejected(self):
+        builder = CircuitBuilder()
+        builder.input("a")
+        t1 = builder.and_("a", "z1")
+        t2 = builder.or_("a", "z2")
+        builder.output(t1, "f1")
+        builder.output(t2, "f2")
+        circuit = builder.circuit
+        circuit.validate(allow_free=True)
+        boxes = [BlackBox("B1", (t2,), ("z1",)),
+                 BlackBox("B2", (t1,), ("z2",))]
+        with pytest.raises(CircuitError):
+            PartialImplementation(circuit, boxes)
+
+    def test_unowned_free_net_rejected(self):
+        circuit, mid = chain_circuit()
+        with pytest.raises(CircuitError):
+            PartialImplementation(
+                circuit, [BlackBox("B1", ("a",), ("z1",))])
+
+    def test_output_not_free_rejected(self):
+        circuit, mid = chain_circuit()
+        boxes = [BlackBox("B1", ("a",), ("z1",)),
+                 BlackBox("B2", (mid,), ("z2",)),
+                 BlackBox("B3", ("a",), (mid,))]
+        with pytest.raises(CircuitError):
+            PartialImplementation(circuit, boxes)
+
+    def test_duplicate_box_names_rejected(self):
+        circuit, mid = chain_circuit()
+        boxes = [BlackBox("B", ("a",), ("z1",)),
+                 BlackBox("B", (mid,), ("z2",))]
+        with pytest.raises(CircuitError):
+            PartialImplementation(circuit, boxes)
+
+    def test_double_driven_free_net_rejected(self):
+        circuit, mid = chain_circuit()
+        boxes = [BlackBox("B1", ("a",), ("z1",)),
+                 BlackBox("B2", (mid,), ("z2",)),
+                 BlackBox("B3", ("a",), ("z1",))]
+        with pytest.raises(CircuitError):
+            PartialImplementation(circuit, boxes)
+
+    def test_box_lookup(self):
+        _, partial = figure1()
+        assert partial.box("BB1").outputs == ("z1",)
+        with pytest.raises(CircuitError):
+            partial.box("nope")
+
+    def test_stats_and_repr(self):
+        _, partial = figure1()
+        stats = partial.stats()
+        assert stats["boxes"] == 2
+        assert "BB1" in repr(partial)
+
+    def test_validate_against(self):
+        spec, partial = figure1()
+        partial.validate_against(spec)
+        builder = CircuitBuilder()
+        builder.input("only")
+        builder.output(builder.buf("only"), "f")
+        bad_spec = builder.build()
+        with pytest.raises(CircuitError):
+            partial.validate_against(bad_spec)
+
+
+class TestSubstitute:
+    def test_substitute_completes_figure1(self):
+        spec, partial = figure1()
+        and_box = CircuitBuilder("and2")
+        i0, i1 = and_box.input("i0"), and_box.input("i1")
+        and_box.output(and_box.and_(i0, i1), "o0")
+        or_box = CircuitBuilder("or2")
+        j0, j1 = or_box.input("i0"), or_box.input("i1")
+        or_box.output(or_box.or_(j0, j1), "o0")
+        complete = partial.substitute({"BB1": and_box.build(),
+                                       "BB2": or_box.build()})
+        from repro.core import check_equivalence
+        assert check_equivalence(spec, complete).equivalent
+
+    def test_missing_implementation_rejected(self):
+        _, partial = figure1()
+        with pytest.raises(CircuitError):
+            partial.substitute({})
+
+    def test_interface_mismatch_rejected(self):
+        _, partial = figure1()
+        tiny = CircuitBuilder("tiny")
+        tiny.input("i0")
+        tiny.output(tiny.not_("i0"), "o0")
+        with pytest.raises(CircuitError):
+            partial.substitute({"BB1": tiny.build(),
+                                "BB2": tiny.build()})
+
+    def test_passthrough_rejected(self):
+        _, partial = figure1()
+        passthru = CircuitBuilder("pass")
+        passthru.input("w")
+        passthru.input("v")
+        passthru.circuit.add_output("w")
+        bad = passthru.circuit
+        with pytest.raises(CircuitError):
+            partial.substitute({"BB1": bad, "BB2": bad})

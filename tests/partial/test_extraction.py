@@ -1,0 +1,133 @@
+"""Tests for Black Box carving."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit import CircuitBuilder, CircuitError
+from repro.core import check_equivalence
+from repro.generators import alu4_like, comp_like
+from repro.partial import carve, make_partial, select_gate_groups
+from repro.partial.blackbox import PartialImplementation
+
+
+class TestCarve:
+    def test_interface_is_minimal_and_correct(self):
+        spec = alu4_like()
+        groups = select_gate_groups(spec, 0.1, 1, random.Random(0))
+        partial = carve(spec, groups)
+        box = partial.boxes[0]
+        group = groups[0]
+        # outputs: group nets still referenced outside
+        for net in box.outputs:
+            assert net in group
+        # inputs: non-group nets feeding the group
+        for net in box.inputs:
+            assert net not in group
+        # circuit no longer drives the carved gates
+        for net in group:
+            assert not partial.circuit.drives(net)
+
+    def test_overlapping_groups_rejected(self):
+        spec = alu4_like()
+        nets = [g.output for g in spec.gates]
+        with pytest.raises(CircuitError):
+            carve(spec, [nets[:5], nets[3:8]])
+
+    def test_unknown_gate_rejected(self):
+        spec = alu4_like()
+        with pytest.raises(CircuitError):
+            carve(spec, [{"not_a_net"}])
+
+    def test_substituting_original_logic_restores_spec(self):
+        """Carve, then plug the original gates back in: must be
+        equivalent to the untouched specification."""
+        spec = alu4_like()
+        partial = make_partial(spec, fraction=0.12, num_boxes=2, seed=11)
+        carved = {net for net in spec.topological_order()
+                  if not partial.circuit.drives(net)}
+        implementations = {}
+        for box in partial.boxes:
+            # Recover this box's own gate group: the carved gates
+            # reachable from its outputs without crossing its inputs.
+            group = set()
+            stack = list(box.outputs)
+            while stack:
+                net = stack.pop()
+                if net in group or net in box.inputs or net not in carved:
+                    continue
+                group.add(net)
+                stack.extend(spec.gate(net).inputs)
+            builder = CircuitBuilder(box.name)
+            rename = {net: builder.input("i%d" % k)
+                      for k, net in enumerate(box.inputs)}
+            for net in spec.topological_order():
+                if net not in group:
+                    continue
+                gate = spec.gate(net)
+                ins = [rename[s] if s in rename else "inner_" + s
+                       for s in gate.inputs]
+                builder.circuit.add_gate("inner_" + net, gate.gtype, ins)
+            for k, net in enumerate(box.outputs):
+                builder.buf("inner_" + net, "o%d" % k)
+                builder.circuit.add_output("o%d" % k)
+            implementations[box.name] = builder.circuit
+        complete = partial.substitute(implementations)
+        assert check_equivalence(spec, complete).equivalent
+
+
+class TestSelectGateGroups:
+    def test_fraction_respected_roughly(self):
+        spec = comp_like()
+        groups = select_gate_groups(spec, 0.2, 2, random.Random(1))
+        total = sum(len(g) for g in groups)
+        assert total >= 2
+        assert total <= spec.num_gates
+
+    def test_bad_parameters(self):
+        spec = alu4_like()
+        with pytest.raises(ValueError):
+            select_gate_groups(spec, 0.0, 1, random.Random(0))
+        with pytest.raises(ValueError):
+            select_gate_groups(spec, 0.5, 0, random.Random(0))
+
+    def test_scattered_strategy(self):
+        spec = alu4_like()
+        groups = select_gate_groups(spec, 0.1, 1, random.Random(3),
+                                    connected=False)
+        partial = carve(spec, groups)
+        assert partial.num_boxes == 1
+
+
+class TestMakePartial:
+    @pytest.mark.parametrize("boxes", [1, 2, 5])
+    def test_valid_partial_produced(self, boxes):
+        spec = alu4_like()
+        partial = make_partial(spec, fraction=0.1, num_boxes=boxes,
+                               seed=5)
+        assert partial.num_boxes == boxes
+        assert partial.circuit.num_gates < spec.num_gates
+        partial.validate_against(spec)
+        # convexity: the model constructor would have raised on feedback
+        assert isinstance(partial, PartialImplementation)
+
+    def test_deterministic_for_seed(self):
+        spec = alu4_like()
+        p1 = make_partial(spec, fraction=0.1, num_boxes=2, seed=42)
+        p2 = make_partial(spec, fraction=0.1, num_boxes=2, seed=42)
+        assert [b.inputs for b in p1.boxes] == [b.inputs
+                                                for b in p2.boxes]
+        assert [b.outputs for b in p1.boxes] == [b.outputs
+                                                 for b in p2.boxes]
+
+    def test_no_check_flags_clean_carve(self):
+        from repro.core import run_ladder
+
+        spec = alu4_like()
+        for seed in (0, 1, 2):
+            partial = make_partial(spec, fraction=0.1, num_boxes=3,
+                                   seed=seed)
+            results = run_ladder(spec, partial, patterns=100, seed=seed,
+                                 stop_at_first_error=False)
+            assert not any(r.error_found for r in results), seed

@@ -1,0 +1,136 @@
+"""Tests for the error-insertion fault model."""
+
+import random
+
+import pytest
+
+from repro.circuit import CircuitBuilder, CircuitError, GateType
+from repro.generators import alu4_like
+from repro.partial import (MUTATION_KINDS, Mutation, applicable_mutations,
+                           apply_mutation, insert_random_error)
+
+
+def two_gate_circuit():
+    builder = CircuitBuilder("two")
+    a, b, c = builder.input("a"), builder.input("b"), builder.input("c")
+    t = builder.and_(a, b, out="t")
+    builder.output(builder.or_(t, c, out="f"), "f")
+    return builder.circuit
+
+
+class TestApplyMutation:
+    def test_invert_output(self):
+        circuit = two_gate_circuit()
+        mutated = apply_mutation(circuit, Mutation("invert_output", "t"))
+        assert mutated.gate("t").gtype is GateType.NAND
+        # original untouched
+        assert circuit.gate("t").gtype is GateType.AND
+
+    def test_invert_input_splices_inverter(self):
+        circuit = two_gate_circuit()
+        mutated = apply_mutation(
+            circuit, Mutation("invert_input", "f", pin=1))
+        src = mutated.gate("f").inputs[1]
+        assert mutated.gate(src).gtype is GateType.NOT
+        assert mutated.evaluate({"a": False, "b": False, "c": False})["f"]
+
+    def test_invert_input_removes_existing_inverter(self):
+        builder = CircuitBuilder()
+        a = builder.input("a")
+        n = builder.not_(a, out="na")
+        builder.output(builder.buf(n, out="f"), "f")
+        circuit = builder.circuit
+        mutated = apply_mutation(
+            circuit, Mutation("invert_input", "f", pin=0))
+        assert mutated.gate("f").inputs == ("a",)
+
+    def test_change_gate_type(self):
+        circuit = two_gate_circuit()
+        mutated = apply_mutation(
+            circuit, Mutation("change_gate_type", "t"))
+        assert mutated.gate("t").gtype is GateType.OR
+
+    def test_remove_input(self):
+        circuit = two_gate_circuit()
+        mutated = apply_mutation(
+            circuit, Mutation("remove_input", "t", pin=0))
+        assert mutated.gate("t").inputs == ("b",)
+
+    def test_remove_only_input_rejected(self):
+        builder = CircuitBuilder()
+        a = builder.input("a")
+        builder.output(builder.and_(a, out="g"), "g")
+        with pytest.raises(CircuitError):
+            apply_mutation(builder.circuit,
+                           Mutation("remove_input", "g", pin=0))
+
+    def test_remove_input_of_xor_rejected(self):
+        builder = CircuitBuilder()
+        a, b = builder.input("a"), builder.input("b")
+        builder.output(builder.xor_(a, b, out="g"), "g")
+        with pytest.raises(CircuitError):
+            apply_mutation(builder.circuit,
+                           Mutation("remove_input", "g", pin=0))
+
+    def test_bad_pin_rejected(self):
+        circuit = two_gate_circuit()
+        with pytest.raises(CircuitError):
+            apply_mutation(circuit, Mutation("invert_input", "t", pin=9))
+        with pytest.raises(CircuitError):
+            apply_mutation(circuit, Mutation("invert_input", "t"))
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(CircuitError):
+            apply_mutation(two_gate_circuit(),
+                           Mutation("scramble", "t"))
+
+    def test_mutation_on_partial_circuit(self):
+        builder = CircuitBuilder()
+        a = builder.input("a")
+        builder.output(builder.and_(a, "z", out="g"), "g")
+        circuit = builder.circuit
+        circuit.validate(allow_free=True)
+        mutated = apply_mutation(circuit,
+                                 Mutation("change_gate_type", "g"))
+        assert mutated.free_nets() == ["z"]
+
+    def test_describe(self):
+        assert "pin 1" in Mutation("invert_input", "g", pin=1).describe()
+        assert "pin" not in Mutation("invert_output", "g").describe()
+
+
+class TestApplicableMutations:
+    def test_catalogue_contents(self):
+        circuit = two_gate_circuit()
+        muts = applicable_mutations(circuit)
+        kinds = {m.kind for m in muts}
+        assert kinds == set(MUTATION_KINDS)
+        # every listed mutation must apply cleanly
+        for m in muts:
+            apply_mutation(circuit, m)
+
+    def test_counts(self):
+        circuit = two_gate_circuit()
+        muts = applicable_mutations(circuit)
+        # t: AND/2 -> 1 invert_output + 2 invert_input + 1 change + 2 rm
+        # f: OR/2  -> same
+        assert len(muts) == 12
+
+
+class TestInsertRandomError:
+    def test_deterministic_per_rng_state(self):
+        circuit = alu4_like()
+        m1 = insert_random_error(circuit, random.Random(9))[1]
+        m2 = insert_random_error(circuit, random.Random(9))[1]
+        assert m1 == m2
+
+    def test_mutant_differs_structurally(self):
+        circuit = alu4_like()
+        mutated, mutation = insert_random_error(circuit, random.Random(1))
+        assert mutated.gates != circuit.gates or \
+            mutated.num_gates != circuit.num_gates
+
+    def test_empty_circuit_rejected(self):
+        empty = CircuitBuilder().circuit
+        with pytest.raises(CircuitError):
+            insert_random_error(empty, random.Random(0))

@@ -1,0 +1,98 @@
+"""Tests for Tseitin encoding of netlists."""
+
+import itertools
+
+import pytest
+
+from repro.circuit import CircuitBuilder, CircuitError, GateType
+from repro.generators import alu4_like
+from repro.sat import Cnf, Solver, TseitinEncoder
+
+
+def enumerate_models(circuit):
+    """All (input assignment, output values) via the SAT encoding."""
+    encoder = TseitinEncoder()
+    net_map = encoder.encode_circuit(circuit)
+    solver = Solver(encoder.cnf)
+    for bits in itertools.product((False, True),
+                                  repeat=len(circuit.inputs)):
+        assumptions = []
+        for net, value in zip(circuit.inputs, bits):
+            var = net_map[net]
+            assumptions.append(var if value else -var)
+        result = solver.solve(assumptions)
+        assert result.satisfiable   # circuits are total functions
+        yield dict(zip(circuit.inputs, bits)), {
+            net: result.model[net_map[net]] for net in circuit.outputs}
+
+
+class TestGateEncodings:
+    @pytest.mark.parametrize("gtype", [
+        GateType.AND, GateType.OR, GateType.NAND, GateType.NOR,
+        GateType.XOR, GateType.XNOR])
+    @pytest.mark.parametrize("arity", [1, 2, 3, 4])
+    def test_nary_gates_match_evaluation(self, gtype, arity):
+        builder = CircuitBuilder()
+        ins = builder.inputs("x", arity)
+        builder.output(builder.gate(gtype, ins), "f")
+        circuit = builder.build()
+        for asg, out in enumerate_models(circuit):
+            assert out["f"] == circuit.evaluate(asg)["f"], (gtype, asg)
+
+    def test_not_buf_const(self):
+        builder = CircuitBuilder()
+        x = builder.input("x")
+        builder.output(builder.not_(x), "f_not")
+        builder.output(builder.buf(x), "f_buf")
+        builder.output(builder.const(True), "f_one")
+        builder.output(builder.const(False), "f_zero")
+        circuit = builder.build()
+        for asg, out in enumerate_models(circuit):
+            want = circuit.evaluate(asg)
+            assert out == want
+
+    def test_whole_alu_on_sample_vectors(self):
+        circuit = alu4_like()
+        encoder = TseitinEncoder()
+        net_map = encoder.encode_circuit(circuit)
+        solver = Solver(encoder.cnf)
+        import random
+        rng = random.Random(1)
+        for _ in range(10):
+            asg = {n: bool(rng.getrandbits(1)) for n in circuit.inputs}
+            assumptions = [net_map[n] if v else -net_map[n]
+                           for n, v in asg.items()]
+            result = solver.solve(assumptions)
+            want = circuit.evaluate(asg)
+            for net in circuit.outputs:
+                assert result.model[net_map[net]] == want[net]
+
+
+class TestSharing:
+    def test_prefix_keeps_internals_apart(self):
+        builder = CircuitBuilder()
+        x = builder.input("x")
+        builder.output(builder.not_(x, out="t"), "t")
+        circuit = builder.build()
+        encoder = TseitinEncoder()
+        m1 = encoder.encode_circuit(circuit, prefix="a/")
+        m2 = encoder.encode_circuit(circuit, prefix="b/")
+        assert m1["x"] == m2["x"]          # inputs shared
+        assert m1["t"] != m2["t"]          # internals separated
+
+    def test_free_nets_shared(self):
+        builder = CircuitBuilder()
+        a = builder.input("a")
+        builder.output(builder.and_(a, "z"), "f")
+        circuit = builder.circuit
+        circuit.validate(allow_free=True)
+        encoder = TseitinEncoder()
+        m1 = encoder.encode_circuit(circuit, prefix="a/")
+        m2 = encoder.encode_circuit(circuit, prefix="b/")
+        assert m1["z"] == m2["z"]
+
+    def test_var_of_allocates_once(self):
+        encoder = TseitinEncoder()
+        assert encoder.var_of("net") == encoder.var_of("net")
+        assert encoder.has_net("net")
+        assert not encoder.has_net("other")

@@ -1,0 +1,28 @@
+"""Cross-backend property test: SAT checks == BDD checks, always.
+
+The two backends implement the same mathematical checks (the paper's
+future-work comparison); on random instances they must never disagree.
+"""
+
+import pytest
+
+from repro.core import check_output_exact, check_symbolic_01x
+from repro.sat import check_output_exact_sat, check_symbolic_01x_sat
+
+from tests.core.test_monotonicity import random_tiny_instance
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_backends_agree_on_random_instances(seed):
+    instance = random_tiny_instance(seed + 500)
+    if instance is None:
+        pytest.skip("no box in this instance")
+    spec, partial = instance
+
+    bdd_01x = check_symbolic_01x(spec, partial).error_found
+    sat_01x = check_symbolic_01x_sat(spec, partial).error_found
+    assert bdd_01x == sat_01x
+
+    bdd_oe = check_output_exact(spec, partial).error_found
+    sat_oe = check_output_exact_sat(spec, partial).error_found
+    assert bdd_oe == sat_oe

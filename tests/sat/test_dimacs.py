@@ -1,0 +1,59 @@
+"""Tests for DIMACS I/O."""
+
+import pytest
+
+from repro.sat import Cnf, Solver
+from repro.sat.dimacs import loads_dimacs, read_dimacs, write_dimacs
+
+
+SAMPLE = """\
+c a comment
+p cnf 3 3
+1 -2 0
+2 3 0
+-1 0
+"""
+
+
+class TestParsing:
+    def test_sample(self):
+        cnf = loads_dimacs(SAMPLE)
+        assert cnf.num_vars == 3
+        assert cnf.clauses == [(1, -2), (2, 3), (-1,)]
+        result = Solver(cnf).solve()
+        assert result.satisfiable
+        assert not result.model[1] and not result.model[2]
+        assert result.model[3]
+
+    def test_multiline_clause(self):
+        cnf = loads_dimacs("p cnf 4 1\n1 2\n3 4 0\n")
+        assert cnf.clauses == [(1, 2, 3, 4)]
+
+    def test_missing_trailing_zero(self):
+        cnf = loads_dimacs("p cnf 2 1\n1 2\n")
+        assert cnf.clauses == [(1, 2)]
+
+    def test_vars_grow_beyond_header(self):
+        cnf = loads_dimacs("p cnf 1 1\n5 0\n")
+        assert cnf.num_vars == 5
+
+    def test_satlib_trailer(self):
+        cnf = loads_dimacs("p cnf 1 1\n1 0\n%\n0\n")
+        assert cnf.clauses == [(1,)]
+
+    def test_malformed_header(self):
+        with pytest.raises(ValueError):
+            loads_dimacs("p wrong 1 1\n")
+
+
+class TestRoundTrip:
+    def test_file_round_trip(self, tmp_path):
+        cnf = Cnf()
+        cnf.num_vars = 4
+        cnf.add_clause([1, -3])
+        cnf.add_clause([2, 4, -1])
+        path = tmp_path / "f.cnf"
+        write_dimacs(cnf, str(path))
+        back = read_dimacs(str(path))
+        assert back.clauses == cnf.clauses
+        assert back.num_vars == cnf.num_vars

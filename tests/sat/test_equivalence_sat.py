@@ -1,0 +1,69 @@
+"""Tests for SAT-based miter equivalence checking."""
+
+import random
+
+import pytest
+
+from repro.circuit import CircuitBuilder, CircuitError
+from repro.core import check_equivalence
+from repro.generators import alu4_like, ripple_adder_circuit
+from repro.generators.comparator import magnitude_comparator
+from repro.partial import insert_random_error
+from repro.sat import build_miter, check_equivalence_sat
+
+
+class TestMiterConstruction:
+    def test_miter_unsat_for_identical(self):
+        spec = ripple_adder_circuit(3)
+        cnf, inputs, _ = build_miter(spec, spec.copy())
+        from repro.sat import Solver
+
+        assert not Solver(cnf).solve().satisfiable
+
+    def test_interface_mismatch_rejected(self):
+        b1 = CircuitBuilder()
+        b1.input("a")
+        b1.output(b1.buf("a"), "f")
+        b2 = CircuitBuilder()
+        b2.input("b")
+        b2.output(b2.buf("b"), "f")
+        with pytest.raises(CircuitError):
+            build_miter(b1.build(), b2.build())
+
+
+class TestAgainstBddChecker:
+    @pytest.mark.parametrize("factory", [
+        lambda: ripple_adder_circuit(6),
+        lambda: magnitude_comparator(6),
+        alu4_like,
+    ])
+    def test_self_equivalence(self, factory):
+        spec = factory()
+        assert check_equivalence_sat(spec, spec.copy()).equivalent
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_mutants_agree_with_bdd(self, seed):
+        spec = alu4_like()
+        mutant, _ = insert_random_error(spec, random.Random(seed))
+        bdd_result = check_equivalence(spec, mutant)
+        sat_result = check_equivalence_sat(spec, mutant)
+        assert bdd_result.equivalent == sat_result.equivalent
+        if not sat_result.equivalent:
+            cex = sat_result.counterexample
+            s = spec.evaluate(cex)
+            m = mutant.evaluate(cex)
+            assert [s[n] for n in spec.outputs] \
+                != [m[n] for n in mutant.outputs]
+            assert sat_result.failing_output in spec.outputs
+
+    def test_partial_circuit_rejected(self):
+        builder = CircuitBuilder()
+        builder.input("a")
+        builder.output(builder.and_("a", "z"), "f")
+        partial = builder.circuit
+        partial.validate(allow_free=True)
+        ok = CircuitBuilder()
+        ok.input("a")
+        ok.output(ok.buf("a"), "f")
+        with pytest.raises(CircuitError):
+            check_equivalence_sat(partial, ok.build())

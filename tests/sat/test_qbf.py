@@ -1,0 +1,134 @@
+"""Tests for the SAT/CEGAR Black Box checks and dual-rail expansion."""
+
+import random
+
+import pytest
+
+from repro.circuit import CircuitBuilder, GateType
+from repro.core import check_output_exact, check_symbolic_01x
+from repro.generators import (ALL_FIGURES, alu4_like, term1_like)
+from repro.partial import (PartialImplementation, insert_random_error,
+                           make_partial)
+from repro.sat import (check_output_exact_sat, check_symbolic_01x_sat,
+                       dual_rail_expand)
+from repro.sim import ONE, X, ZERO, simulate_ternary
+
+
+class TestDualRailExpand:
+    def test_matches_scalar_ternary(self):
+        spec = alu4_like()
+        partial = make_partial(spec, fraction=0.1, num_boxes=2, seed=8)
+        circuit = partial.circuit
+        dual = dual_rail_expand(circuit)
+        rng = random.Random(5)
+        for _ in range(25):
+            asg = {n: bool(rng.getrandbits(1)) for n in circuit.inputs}
+            scalar = simulate_ternary(
+                circuit, {n: int(v) for n, v in asg.items()})
+            rails = dual.evaluate(asg)
+            for index, net in enumerate(circuit.outputs):
+                hi = rails[dual.outputs[2 * index]]
+                lo = rails[dual.outputs[2 * index + 1]]
+                want = scalar[net]
+                got = ONE if hi else (ZERO if lo else X)
+                assert got == want, (net, asg)
+
+    def test_complete_circuit_is_never_unknown(self):
+        spec = alu4_like()
+        dual = dual_rail_expand(spec)
+        rng = random.Random(2)
+        for _ in range(10):
+            asg = {n: bool(rng.getrandbits(1)) for n in spec.inputs}
+            rails = dual.evaluate(asg)
+            for index in range(len(spec.outputs)):
+                hi = rails[dual.outputs[2 * index]]
+                lo = rails[dual.outputs[2 * index + 1]]
+                assert hi != lo   # definite, and consistent
+
+    def test_gate_type_coverage(self):
+        builder = CircuitBuilder()
+        a, b = builder.input("a"), builder.input("b")
+        builder.output(builder.nand_(a, "z", b), "f1")
+        builder.output(builder.xnor_(a, "z"), "f2")
+        builder.output(builder.nor_("z", "z"), "f3")
+        builder.output(builder.const(True), "f4")
+        circuit = builder.circuit
+        circuit.validate(allow_free=True)
+        dual = dual_rail_expand(circuit)
+        for bits in range(4):
+            asg = {"a": bool(bits & 1), "b": bool(bits & 2)}
+            scalar = simulate_ternary(
+                circuit, {n: int(v) for n, v in asg.items()})
+            rails = dual.evaluate(asg)
+            for index, net in enumerate(circuit.outputs):
+                hi = rails[dual.outputs[2 * index]]
+                lo = rails[dual.outputs[2 * index + 1]]
+                got = ONE if hi else (ZERO if lo else X)
+                assert got == scalar[net]
+
+
+class TestSat01xCheck:
+    @pytest.mark.parametrize("name", list(ALL_FIGURES))
+    def test_agrees_with_bdd_on_figures(self, name):
+        factory, _ = ALL_FIGURES[name]
+        spec, partial = factory()
+        bdd_verdict = check_symbolic_01x(spec, partial).error_found
+        sat_result = check_symbolic_01x_sat(spec, partial)
+        assert sat_result.error_found == bdd_verdict
+        if sat_result.error_found:
+            from repro.core.random_pattern import ternary_distinguishes
+
+            assert ternary_distinguishes(
+                spec, partial, sat_result.counterexample) is not None
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_agrees_on_mutated_benchmark(self, seed):
+        spec = term1_like()
+        partial = make_partial(spec, fraction=0.1, num_boxes=2,
+                               seed=seed)
+        mutated, _ = insert_random_error(partial.circuit,
+                                         random.Random(seed))
+        case = PartialImplementation(mutated, partial.boxes)
+        assert (check_symbolic_01x_sat(spec, case).error_found
+                == check_symbolic_01x(spec, case).error_found)
+
+
+class TestCegarOutputExact:
+    @pytest.mark.parametrize("name", list(ALL_FIGURES))
+    def test_agrees_with_bdd_on_figures(self, name):
+        factory, _ = ALL_FIGURES[name]
+        spec, partial = factory()
+        bdd_verdict = check_output_exact(spec, partial).error_found
+        sat_result = check_output_exact_sat(spec, partial)
+        assert sat_result.error_found == bdd_verdict
+        assert sat_result.stats["iterations"] >= 1
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_agrees_on_mutated_benchmark(self, seed):
+        spec = alu4_like()
+        partial = make_partial(spec, fraction=0.1, num_boxes=1,
+                               seed=seed)
+        mutated, _ = insert_random_error(partial.circuit,
+                                         random.Random(seed + 50))
+        case = PartialImplementation(mutated, partial.boxes)
+        assert (check_output_exact_sat(spec, case).error_found
+                == check_output_exact(spec, case).error_found)
+
+    def test_counterexample_defeats_every_z(self):
+        """The CEGAR witness must be a real error: no box output can
+        repair it (checked by brute force over the Z space)."""
+        from repro.generators import figure3a
+
+        spec, partial = figure3a()
+        result = check_output_exact_sat(spec, partial)
+        assert result.error_found
+        cex = result.counterexample
+        z_nets = partial.box_outputs
+        for bits in range(1 << len(z_nets)):
+            asg = dict(cex)
+            for i, net in enumerate(z_nets):
+                asg[net] = bool((bits >> i) & 1)
+            impl_out = partial.circuit.evaluate(asg)
+            spec_out = spec.evaluate(cex)
+            assert [impl_out[n] for n in partial.circuit.outputs] \
+                != [spec_out[n] for n in spec.outputs], bits

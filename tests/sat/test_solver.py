@@ -1,0 +1,166 @@
+"""Tests for the CDCL SAT solver."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sat import Cnf, Solver
+from repro.sat.solver import _luby
+
+
+def brute_force_sat(num_vars, clauses):
+    for model in range(1 << num_vars):
+        if all(any((lit > 0) == bool((model >> (abs(lit) - 1)) & 1)
+                   for lit in clause) for clause in clauses):
+            return True
+    return False
+
+
+def model_satisfies(model, clauses):
+    return all(any((lit > 0) == model[abs(lit)] for lit in clause)
+               for clause in clauses)
+
+
+class TestLuby:
+    def test_prefix(self):
+        want = [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]
+        assert [_luby(i) for i in range(15)] == want
+
+
+class TestBasics:
+    def test_empty_formula_is_sat(self):
+        assert Solver().solve().satisfiable
+
+    def test_unit_clauses(self):
+        s = Solver()
+        s.ensure_vars(2)
+        s.add_clause([1])
+        s.add_clause([-2])
+        result = s.solve()
+        assert result.satisfiable
+        assert result.model[1] and not result.model[2]
+
+    def test_contradiction(self):
+        s = Solver()
+        s.ensure_vars(1)
+        s.add_clause([1])
+        assert not s.add_clause([-1])
+        assert not s.solve().satisfiable
+
+    def test_tautology_dropped(self):
+        s = Solver()
+        s.ensure_vars(1)
+        assert s.add_clause([1, -1])
+        assert s.solve().satisfiable
+
+    def test_duplicate_literals_deduped(self):
+        s = Solver()
+        s.ensure_vars(2)
+        s.add_clause([1, 1, 2])
+        assert s.solve().satisfiable
+
+    def test_zero_literal_rejected(self):
+        s = Solver()
+        with pytest.raises(ValueError):
+            s.add_clause([0])
+
+    def test_pigeonhole_3_into_2_unsat(self):
+        # p_{i,j}: pigeon i in hole j. vars 1..6
+        def var(i, j):
+            return i * 2 + j + 1
+        s = Solver()
+        s.ensure_vars(6)
+        for i in range(3):
+            s.add_clause([var(i, 0), var(i, 1)])
+        for j in range(2):
+            for i1 in range(3):
+                for i2 in range(i1 + 1, 3):
+                    s.add_clause([-var(i1, j), -var(i2, j)])
+        assert not s.solve().satisfiable
+
+
+class TestAssumptions:
+    def test_assumptions_restrict(self):
+        s = Solver()
+        s.ensure_vars(2)
+        s.add_clause([1, 2])
+        assert s.solve(assumptions=[-1]).model[2]
+        assert not s.solve(assumptions=[-1, -2]).satisfiable
+
+    def test_solver_reusable_after_assumptions(self):
+        s = Solver()
+        s.ensure_vars(2)
+        s.add_clause([1, 2])
+        assert not s.solve(assumptions=[-1, -2]).satisfiable
+        assert s.solve().satisfiable
+        assert s.solve(assumptions=[-2]).model[1]
+
+    def test_incremental_clause_addition(self):
+        s = Solver()
+        s.ensure_vars(3)
+        s.add_clause([1, 2, 3])
+        assert s.solve().satisfiable
+        s.add_clause([-1])
+        s.add_clause([-2])
+        result = s.solve()
+        assert result.satisfiable and result.model[3]
+        s.add_clause([-3])
+        assert not s.solve().satisfiable
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(40))
+    def test_random_3sat(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(2, 10)
+        m = rng.randint(1, 42)
+        clauses = []
+        for _ in range(m):
+            width = min(n, rng.choice((1, 2, 3, 3)))
+            lits = [v * rng.choice((1, -1))
+                    for v in rng.sample(range(1, n + 1), width)]
+            clauses.append(lits)
+        cnf = Cnf()
+        cnf.num_vars = n
+        for clause in clauses:
+            cnf.add_clause(clause)
+        result = Solver(cnf).solve()
+        assert result.satisfiable == brute_force_sat(n, clauses), seed
+        if result.satisfiable:
+            assert model_satisfies(result.model, clauses)
+
+    def test_conflict_budget(self):
+        rng = random.Random(99)
+        s = Solver()
+        n = 24
+        s.ensure_vars(n)
+        for _ in range(150):
+            s.add_clause([v * rng.choice((1, -1))
+                          for v in rng.sample(range(1, n + 1), 3)])
+        with pytest.raises(RuntimeError):
+            s.solve(conflict_budget=0)
+
+
+class TestCnfContainer:
+    def test_dimacs_format(self):
+        cnf = Cnf()
+        cnf.num_vars = 3
+        cnf.add_clause([1, -2])
+        cnf.add_clause([3])
+        text = cnf.to_dimacs()
+        assert text.splitlines()[0] == "p cnf 3 2"
+        assert "1 -2 0" in text
+
+    def test_literal_range_checked(self):
+        cnf = Cnf()
+        with pytest.raises(ValueError):
+            cnf.add_clause([1])
+        cnf.num_vars = 1
+        cnf.add_clause([1])
+        with pytest.raises(ValueError):
+            cnf.add_clause([2])
+
+    def test_repr(self):
+        cnf = Cnf()
+        assert "0 vars" in repr(cnf)

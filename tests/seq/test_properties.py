@@ -1,0 +1,60 @@
+"""Property test: time-frame expansion equals cycle-accurate simulation."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit import CircuitBuilder, GateType
+from repro.seq import Latch, SequentialCircuit, frame_net, unroll
+
+
+def random_machine(seed):
+    rng = random.Random(seed)
+    builder = CircuitBuilder("m%d" % seed)
+    n_in = rng.randint(1, 3)
+    n_state = rng.randint(1, 3)
+    inputs = [builder.input("x%d" % i) for i in range(n_in)]
+    states = [builder.input("q%d" % i) for i in range(n_state)]
+    pool = inputs + states
+    for _ in range(rng.randint(2, 10)):
+        gtype = rng.choice([GateType.AND, GateType.OR, GateType.XOR,
+                            GateType.NAND, GateType.NOR, GateType.NOT])
+        fanin = 1 if gtype is GateType.NOT else 2
+        pool.append(builder.gate(gtype, [rng.choice(pool)
+                                         for _ in range(fanin)]))
+    latches = []
+    for i in range(n_state):
+        src = rng.choice(pool)
+        builder.buf(src, out="next%d" % i)
+        latches.append(Latch("q%d" % i, "next%d" % i,
+                             init=rng.random() < 0.5))
+    n_out = rng.randint(1, 2)
+    for k in range(n_out):
+        builder.output(builder.buf(rng.choice(pool)), "y%d" % k)
+    core = builder.circuit
+    core.validate()
+    return SequentialCircuit(core, latches)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000),
+       st.integers(min_value=1, max_value=5),
+       st.integers(min_value=0, max_value=1000))
+def test_unroll_equals_simulation(seed, frames, stimulus_seed):
+    machine = random_machine(seed)
+    rng = random.Random(stimulus_seed)
+    sequence = [{name: bool(rng.getrandbits(1))
+                 for name in machine.inputs} for _ in range(frames)]
+    reference = machine.simulate(sequence)
+
+    flat = unroll(machine, frames)
+    assignment = {}
+    for t, step in enumerate(sequence):
+        for name, value in step.items():
+            assignment[frame_net(name, t)] = value
+    out = flat.evaluate(assignment)
+    per_frame = len(machine.outputs)
+    for t in range(frames):
+        for k, net in enumerate(machine.outputs):
+            flat_net = flat.outputs[t * per_frame + k]
+            assert out[flat_net] == reference[t][net], (t, net)

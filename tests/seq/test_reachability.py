@@ -1,0 +1,102 @@
+"""Tests for symbolic reachability and unbounded sequential equivalence."""
+
+import pytest
+
+from repro.bdd import Bdd
+from repro.circuit import CircuitBuilder, CircuitError, GateType
+from repro.seq import (Latch, SequentialCircuit,
+                       check_bounded_equivalence,
+                       check_unbounded_equivalence, encode_machine,
+                       reachable_states)
+
+from .test_sequential import count_of, make_counter
+
+
+class TestReachability:
+    def test_counter_reaches_all_states(self):
+        bdd = Bdd()
+        enc = encode_machine(make_counter(3), bdd, "A")
+        reached, rings = reachable_states([enc], bdd)
+        # an enabled counter walks through all 8 states, one per ring
+        assert len(rings) == 8
+        assert reached.sat_count() >> (bdd.num_vars - 3) == 8
+
+    def test_disabled_transition_stays(self):
+        """With en tied low the counter cannot leave the reset state —
+        reachability is exact, not structural."""
+        builder = CircuitBuilder("frozen")
+        state = builder.input("q")
+        builder.buf(state, out="nq")            # hold forever
+        builder.output(builder.buf(state), "out")
+        core = builder.circuit
+        core.validate()
+        machine = SequentialCircuit(core, [Latch("q", "nq")])
+        bdd = Bdd()
+        enc = encode_machine(machine, bdd, "A")
+        reached, rings = reachable_states([enc], bdd)
+        assert len(rings) == 1
+        assert reached.sat_count() >> (bdd.num_vars - 1) == 1
+
+    def test_partial_machine_rejected(self):
+        seq = make_counter(2)
+        core = seq.core.copy()
+        core.remove_gate("nx0")
+        partial = SequentialCircuit(core, seq.latches)
+        with pytest.raises(CircuitError):
+            encode_machine(partial, Bdd(), "A")
+
+
+class TestUnboundedEquivalence:
+    def test_identical_counters(self):
+        result = check_unbounded_equivalence(make_counter(3),
+                                             make_counter(3, "o"))
+        assert result.equivalent
+        assert result.reachable_count == 8
+        assert result.trace is None
+
+    def test_different_latch_count_same_behaviour(self):
+        base = make_counter(2)
+        padded_core = make_counter(2, "p").core.copy()
+        padded_core.add_input("qdead")
+        padded_core.add_gate("nxdead", GateType.NOT, ["qdead"])
+        padded = SequentialCircuit(
+            padded_core,
+            list(make_counter(2, "p").latches)
+            + [Latch("qdead", "nxdead")])
+        assert check_unbounded_equivalence(base, padded).equivalent
+
+    def test_broken_counter_trace_replays(self):
+        spec = make_counter(3)
+        bad = make_counter(3, "bad", broken_bit=1)
+        result = check_unbounded_equivalence(spec, bad)
+        assert not result.equivalent
+        trace = result.trace
+        assert trace is not None
+        assert spec.simulate(trace) != bad.simulate(trace)
+
+    def test_trace_is_shortest(self):
+        """Onion-ring extraction yields a minimum-length witness: the
+        bounded check at len(trace)-1 frames must still pass."""
+        spec = make_counter(3)
+        bad = make_counter(3, "bad", broken_bit=1)
+        result = check_unbounded_equivalence(spec, bad)
+        frames = len(result.trace)
+        assert not check_bounded_equivalence(spec, bad,
+                                             frames=frames).equivalent
+        assert check_bounded_equivalence(spec, bad,
+                                         frames=frames - 1).equivalent
+
+    def test_agrees_with_bounded_past_diameter(self):
+        """Once the bound exceeds the state-space diameter, bounded and
+        unbounded verdicts coincide."""
+        spec = make_counter(2)
+        for broken in (None, 0, 1):
+            impl = make_counter(2, "i", broken_bit=broken)
+            unbounded = check_unbounded_equivalence(spec, impl)
+            bounded = check_bounded_equivalence(spec, impl, frames=6)
+            assert unbounded.equivalent == bounded.equivalent, broken
+
+    def test_interface_checks(self):
+        with pytest.raises(CircuitError):
+            check_unbounded_equivalence(make_counter(2),
+                                        make_counter(3))

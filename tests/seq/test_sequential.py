@@ -1,0 +1,106 @@
+"""Tests for the sequential circuit model and simulation."""
+
+import pytest
+
+from repro.circuit import CircuitBuilder, CircuitError, Gate, GateType
+from repro.seq import Latch, SequentialCircuit
+
+
+def make_counter(width, name="cnt", broken_bit=None):
+    """width-bit enabled counter; outputs show the current count."""
+    builder = CircuitBuilder(name)
+    enable = builder.input("en")
+    states = [builder.input("q%d" % i) for i in range(width)]
+    carry = enable
+    for i in range(width):
+        gtype = GateType.OR if broken_bit == i else GateType.XOR
+        builder.gate(gtype, [states[i], carry], out="nx%d" % i)
+        carry = builder.and_(states[i], carry)
+    for i in range(width):
+        builder.output(builder.buf(states[i]), "out%d" % i)
+    core = builder.circuit
+    core.validate()
+    latches = [Latch("q%d" % i, "nx%d" % i) for i in range(width)]
+    return SequentialCircuit(core, latches, name=name)
+
+
+def count_of(step, width):
+    return sum(step["out%d" % i] << i for i in range(width))
+
+
+class TestModel:
+    def test_interface_partition(self):
+        seq = make_counter(3)
+        assert seq.inputs == ["en"]
+        assert seq.state_names == ["q0", "q1", "q2"]
+        assert len(seq.outputs) == 3
+
+    def test_initial_state(self):
+        seq = make_counter(2)
+        assert seq.initial_state() == {"q0": False, "q1": False}
+        custom = SequentialCircuit(
+            seq.core, [Latch("q0", "nx0", init=True),
+                       Latch("q1", "nx1")])
+        assert custom.initial_state() == {"q0": True, "q1": False}
+
+    def test_latch_must_be_core_input(self):
+        seq = make_counter(2)
+        with pytest.raises(CircuitError):
+            SequentialCircuit(seq.core, [Latch("ghost", "nx0")])
+
+    def test_undriven_latch_source_fails_at_use(self):
+        # An undriven next-state net is allowed at construction (it may
+        # be a Black Box output) but rejected when completeness matters.
+        seq = make_counter(2)
+        dangling = SequentialCircuit(
+            seq.core, [Latch("q0", "ghost"), Latch("q1", "nx1")])
+        with pytest.raises(CircuitError):
+            dangling.simulate([{"en": True}])
+        from repro.seq import unroll
+        with pytest.raises(CircuitError):
+            unroll(dangling, 2)
+
+    def test_duplicate_latch_rejected(self):
+        seq = make_counter(2)
+        with pytest.raises(CircuitError):
+            SequentialCircuit(seq.core, [Latch("q0", "nx0"),
+                                         Latch("q0", "nx1")])
+        with pytest.raises(CircuitError):
+            SequentialCircuit(seq.core, [Latch("q0", "nx0"),
+                                         Latch("q1", "nx0")])
+
+    def test_repr(self):
+        assert "latches" in repr(make_counter(2))
+
+
+class TestSimulation:
+    def test_counting(self):
+        seq = make_counter(3)
+        trace = seq.simulate([{"en": True}] * 6)
+        assert [count_of(s, 3) for s in trace] == [0, 1, 2, 3, 4, 5]
+
+    def test_enable_freezes(self):
+        seq = make_counter(3)
+        trace = seq.simulate([{"en": True}, {"en": False},
+                              {"en": False}, {"en": True},
+                              {"en": True}])
+        assert [count_of(s, 3) for s in trace] == [0, 1, 1, 1, 2]
+
+    def test_wraparound(self):
+        seq = make_counter(2)
+        trace = seq.simulate([{"en": True}] * 6)
+        assert [count_of(s, 2) for s in trace] == [0, 1, 2, 3, 0, 1]
+
+    def test_custom_start_state(self):
+        seq = make_counter(2)
+        trace = seq.simulate([{"en": True}],
+                             state={"q0": True, "q1": True})
+        assert count_of(trace[0], 2) == 3
+
+    def test_partial_core_cannot_simulate(self):
+        seq = make_counter(2)
+        core = seq.core.copy()
+        core.remove_gate("nx0")
+        partial = SequentialCircuit(core, seq.latches)
+        with pytest.raises(CircuitError):
+            partial.simulate([{"en": True}])

@@ -1,0 +1,118 @@
+"""Tests for dual-rail symbolic 0,1,X simulation.
+
+The key correctness property: for every input assignment, the dual-rail
+pair of each output must equal the *scalar* ternary simulation value.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd import Bdd
+from repro.circuit import CircuitBuilder, GateType
+from repro.generators import alu4_like, figure2b
+from repro.partial import make_partial
+from repro.sim import (ONE, X, ZERO, DualRail, dual_rail_simulate,
+                       simulate_ternary)
+
+
+def rails_match_scalar(circuit, samples=40, seed=0):
+    bdd = Bdd()
+    rails = dual_rail_simulate(circuit, bdd)
+    rng = random.Random(seed)
+    for _ in range(samples):
+        asg = {n: bool(rng.getrandbits(1)) for n in circuit.inputs}
+        scalar = simulate_ternary(
+            circuit, {n: int(v) for n, v in asg.items()})
+        for net in circuit.outputs:
+            assert rails[net].value_at(asg) == scalar[net], (net, asg)
+    return rails
+
+
+class TestDualRail:
+    def test_consistency_invariant(self):
+        spec, partial = figure2b()
+        bdd = Bdd()
+        rails = dual_rail_simulate(partial.circuit, bdd)
+        for rail in rails.values():
+            assert rail.is_consistent()
+
+    def test_matches_scalar_on_partial(self):
+        spec, partial = figure2b()
+        rails_match_scalar(partial.circuit)
+
+    def test_matches_scalar_on_carved_alu(self):
+        spec = alu4_like()
+        partial = make_partial(spec, fraction=0.15, num_boxes=2, seed=4)
+        rails_match_scalar(partial.circuit)
+
+    def test_complete_circuit_has_no_unknown(self):
+        spec = alu4_like()
+        bdd = Bdd()
+        rails = dual_rail_simulate(spec, bdd)
+        for net, rail in rails.items():
+            assert rail.unknown.is_false, net
+            assert (rail.hi | rail.lo).is_true
+
+    def test_invert(self):
+        spec, partial = figure2b()
+        bdd = Bdd()
+        rails = dual_rail_simulate(partial.circuit, bdd)
+        rail = rails[partial.circuit.outputs[0]]
+        inv = rail.invert()
+        assert inv.hi == rail.lo and inv.lo == rail.hi
+
+    def test_xor_reconvergence_is_pessimistic(self):
+        """Z ^ Z through dual rails is X everywhere (Figure 2(b))."""
+        builder = CircuitBuilder()
+        builder.input("a")
+        builder.output(builder.xor_("z", "z"), "f")
+        circuit = builder.circuit
+        circuit.validate(allow_free=True)
+        bdd = Bdd()
+        rails = dual_rail_simulate(circuit, bdd)
+        assert rails["f"].unknown.is_true
+
+    def test_nary_gate_rails(self):
+        builder = CircuitBuilder()
+        a, b = builder.input("a"), builder.input("b")
+        builder.output(builder.nand_(a, b, "z"), "f")
+        builder.output(builder.nor_(a, "z", b), "g")
+        builder.output(builder.xnor_(a, "z"), "h")
+        circuit = builder.circuit
+        circuit.validate(allow_free=True)
+        rails_match_scalar(circuit, samples=16)
+
+    def test_constants(self):
+        builder = CircuitBuilder()
+        builder.input("a")
+        builder.output(builder.const(True), "one")
+        builder.output(builder.const(False), "zero")
+        circuit = builder.build()
+        bdd = Bdd()
+        rails = dual_rail_simulate(circuit, bdd)
+        assert rails["one"].hi.is_true and rails["one"].lo.is_false
+        assert rails["zero"].lo.is_true
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_random_partial_circuits_match_scalar(seed):
+    """Random netlists with free nets: dual-rail == scalar ternary."""
+    rng = random.Random(seed)
+    builder = CircuitBuilder("rand")
+    pool = [builder.input("x%d" % i) for i in range(4)] + ["bb0", "bb1"]
+    for i in range(rng.randint(3, 12)):
+        gtype = rng.choice([GateType.AND, GateType.OR, GateType.NAND,
+                            GateType.NOR, GateType.XOR, GateType.XNOR,
+                            GateType.NOT])
+        fanin = 1 if gtype is GateType.NOT else rng.randint(2, 3)
+        srcs = [rng.choice(pool) for _ in range(fanin)]
+        pool.append(builder.gate(gtype, srcs))
+    for k, net in enumerate(pool[-2:]):
+        builder.output(net, "f%d" % k) if net not in ("bb0", "bb1") \
+            else builder.output(builder.buf(net), "f%d" % k)
+    circuit = builder.circuit
+    circuit.validate(allow_free=True)
+    rails_match_scalar(circuit, samples=16, seed=seed)

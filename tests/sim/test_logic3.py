@@ -1,0 +1,81 @@
+"""Tests for ternary gate semantics."""
+
+import itertools
+
+import pytest
+
+from repro.circuit import GateType, eval_gate
+from repro.sim import ONE, X, ZERO, eval_gate3, from_bool, from_char, \
+    to_char
+
+
+class TestConversions:
+    def test_from_bool(self):
+        assert from_bool(True) == ONE
+        assert from_bool(False) == ZERO
+        assert from_bool(1) == ONE
+
+    def test_char_roundtrip(self):
+        for v in (ZERO, ONE, X):
+            assert from_char(to_char(v)) == v
+        assert from_char("-") == X
+        assert from_char("x") == X
+        with pytest.raises(ValueError):
+            from_char("2")
+
+
+class TestDefiniteAgreesWithBoolean:
+    """On 0/1 inputs the ternary simulation is exactly Boolean."""
+
+    @pytest.mark.parametrize("gtype", [
+        GateType.AND, GateType.OR, GateType.NAND, GateType.NOR,
+        GateType.XOR, GateType.XNOR])
+    def test_binary_gates(self, gtype):
+        for ins in itertools.product((False, True), repeat=3):
+            want = from_bool(eval_gate(gtype, ins))
+            got = eval_gate3(gtype, [from_bool(b) for b in ins])
+            assert got == want
+
+    def test_unary_gates(self):
+        assert eval_gate3(GateType.NOT, [ZERO]) == ONE
+        assert eval_gate3(GateType.BUF, [ONE]) == ONE
+        assert eval_gate3(GateType.CONST0, []) == ZERO
+        assert eval_gate3(GateType.CONST1, []) == ONE
+
+
+class TestXPropagation:
+    def test_controlling_values_override_x(self):
+        assert eval_gate3(GateType.AND, [ZERO, X]) == ZERO
+        assert eval_gate3(GateType.OR, [ONE, X]) == ONE
+        assert eval_gate3(GateType.NAND, [ZERO, X]) == ONE
+        assert eval_gate3(GateType.NOR, [ONE, X]) == ZERO
+
+    def test_non_controlling_with_x_is_x(self):
+        assert eval_gate3(GateType.AND, [ONE, X]) == X
+        assert eval_gate3(GateType.OR, [ZERO, X]) == X
+        assert eval_gate3(GateType.NOT, [X]) == X
+        assert eval_gate3(GateType.BUF, [X]) == X
+
+    def test_xor_is_pessimistic(self):
+        # The well-known deficiency: X ^ X is X although any concrete
+        # signal XORed with itself is 0 (Figure 2(b) of the paper).
+        assert eval_gate3(GateType.XOR, [X, X]) == X
+        assert eval_gate3(GateType.XOR, [ONE, X]) == X
+        assert eval_gate3(GateType.XNOR, [X, ZERO]) == X
+
+    def test_x_is_sound_abstraction(self):
+        """If ternary says 0/1, every X replacement must agree."""
+        for gtype in (GateType.AND, GateType.OR, GateType.NAND,
+                      GateType.NOR, GateType.XOR, GateType.XNOR):
+            for ins in itertools.product((ZERO, ONE, X), repeat=2):
+                result = eval_gate3(gtype, list(ins))
+                if result == X:
+                    continue
+                x_positions = [i for i, v in enumerate(ins) if v == X]
+                for bits in range(1 << len(x_positions)):
+                    concrete = list(ins)
+                    for k, pos in enumerate(x_positions):
+                        concrete[pos] = (bits >> k) & 1
+                    want = from_bool(eval_gate(
+                        gtype, [bool(v) for v in concrete]))
+                    assert want == result, (gtype, ins)

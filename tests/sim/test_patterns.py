@@ -1,0 +1,41 @@
+"""Tests for pattern generation."""
+
+import pytest
+
+from repro.sim import exhaustive_patterns, random_patterns
+
+
+class TestRandomPatterns:
+    def test_deterministic_with_seed(self):
+        a = list(random_patterns(["x", "y", "z"], 20, seed=7))
+        b = list(random_patterns(["x", "y", "z"], 20, seed=7))
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = list(random_patterns(["x%d" % i for i in range(16)], 10,
+                                 seed=1))
+        b = list(random_patterns(["x%d" % i for i in range(16)], 10,
+                                 seed=2))
+        assert a != b
+
+    def test_count_and_shape(self):
+        pats = list(random_patterns(["p", "q"], 5, seed=0))
+        assert len(pats) == 5
+        for pat in pats:
+            assert set(pat) == {"p", "q"}
+            assert all(isinstance(v, bool) for v in pat.values())
+
+    def test_zero_inputs(self):
+        pats = list(random_patterns([], 3, seed=0))
+        assert pats == [{}, {}, {}]
+
+
+class TestExhaustivePatterns:
+    def test_covers_all(self):
+        pats = list(exhaustive_patterns(["a", "b", "c"]))
+        assert len(pats) == 8
+        assert len({tuple(sorted(p.items())) for p in pats}) == 8
+
+    def test_too_wide_rejected(self):
+        with pytest.raises(ValueError):
+            list(exhaustive_patterns(["x%d" % i for i in range(30)]))

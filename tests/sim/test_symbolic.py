@@ -1,0 +1,76 @@
+"""Tests for plain symbolic (BDD) simulation."""
+
+import pytest
+
+from repro.bdd import Bdd
+from repro.circuit import CircuitBuilder, CircuitError
+from repro.generators import alu4_like
+from repro.sim import symbolic_simulate
+
+
+class TestSymbolicSimulate:
+    def test_matches_scalar_evaluation(self):
+        circuit = alu4_like()
+        bdd = Bdd()
+        fns = symbolic_simulate(circuit, bdd)
+        import random
+        rng = random.Random(3)
+        for _ in range(50):
+            asg = {n: bool(rng.getrandbits(1)) for n in circuit.inputs}
+            want = circuit.evaluate(asg)
+            for net in circuit.outputs:
+                assert fns[net].evaluate(asg) == want[net], net
+
+    def test_all_gate_types(self):
+        builder = CircuitBuilder()
+        x, y, z = (builder.input(n) for n in "xyz")
+        builder.output(builder.nand_(x, y, z), "f1")
+        builder.output(builder.nor_(x, y), "f2")
+        builder.output(builder.xnor_(x, y, z), "f3")
+        builder.output(builder.const(True), "f4")
+        builder.output(builder.const(False), "f5")
+        builder.output(builder.buf(x), "f6")
+        circuit = builder.build()
+        bdd = Bdd()
+        fns = symbolic_simulate(circuit, bdd)
+        for bits in range(8):
+            asg = {"x": bool(bits & 1), "y": bool(bits & 2),
+                   "z": bool(bits & 4)}
+            want = circuit.evaluate(asg)
+            for net in circuit.outputs:
+                assert fns[net].evaluate(asg) == want[net]
+
+    def test_free_net_requires_function(self):
+        builder = CircuitBuilder()
+        a = builder.input("a")
+        builder.output(builder.and_(a, "box"), "f")
+        circuit = builder.circuit
+        bdd = Bdd()
+        with pytest.raises(CircuitError):
+            symbolic_simulate(circuit, bdd)
+
+    def test_free_net_with_function(self):
+        builder = CircuitBuilder()
+        a = builder.input("a")
+        builder.output(builder.and_(a, "box"), "f")
+        circuit = builder.circuit
+        bdd = Bdd()
+        z = bdd.add_var("Z")
+        fns = symbolic_simulate(circuit, bdd, free_functions={"box": z})
+        assert set(fns["f"].support()) == {"a", "Z"}
+
+    def test_nets_selection(self):
+        circuit = alu4_like()
+        bdd = Bdd()
+        fns = symbolic_simulate(circuit, bdd, nets=["r0", "cout"])
+        assert set(fns) == {"r0", "cout"}
+        with pytest.raises(CircuitError):
+            symbolic_simulate(circuit, bdd, nets=["ghost"])
+
+    def test_input_vars_shared_across_calls(self):
+        circuit = alu4_like()
+        bdd = Bdd()
+        f1 = symbolic_simulate(circuit, bdd)
+        f2 = symbolic_simulate(circuit, bdd)
+        for net in circuit.outputs:
+            assert f1[net] == f2[net]

@@ -1,0 +1,69 @@
+"""Tests for scalar ternary circuit simulation."""
+
+import pytest
+
+from repro.circuit import CircuitBuilder, CircuitError
+from repro.sim import ONE, X, ZERO, from_bool, simulate_ternary, \
+    simulate_ternary_vector
+
+
+def partial_circuit():
+    """f = (a & b) | box ; g = box ^ box (always 0 for any box)."""
+    builder = CircuitBuilder("p")
+    a, b = builder.input("a"), builder.input("b")
+    t = builder.and_(a, b)
+    builder.output(builder.or_(t, "box"), "f")
+    builder.output(builder.xor_("box", "box"), "g")
+    circuit = builder.circuit
+    circuit.validate(allow_free=True)
+    return circuit
+
+
+class TestSimulation:
+    def test_free_nets_default_to_x(self):
+        circuit = partial_circuit()
+        out = simulate_ternary(circuit, {"a": ONE, "b": ZERO})
+        assert out["f"] == X        # 0 | X
+        assert out["g"] == X        # X ^ X, pessimistic
+
+    def test_controlling_input_dominates_box(self):
+        circuit = partial_circuit()
+        out = simulate_ternary(circuit, {"a": ONE, "b": ONE})
+        assert out["f"] == ONE      # 1 | X = 1
+
+    def test_free_net_can_be_pinned(self):
+        circuit = partial_circuit()
+        out = simulate_ternary(circuit, {"a": ZERO, "b": ZERO,
+                                         "box": ONE})
+        assert out == {"f": ONE, "g": ZERO}
+
+    def test_agrees_with_boolean_on_complete_assignments(self):
+        circuit = partial_circuit()
+        for bits in range(8):
+            asg = {"a": bool(bits & 1), "b": bool(bits & 2),
+                   "box": bool(bits & 4)}
+            want = circuit.evaluate(asg)
+            got = simulate_ternary(
+                circuit, {k: from_bool(v) for k, v in asg.items()})
+            assert got == {k: from_bool(v) for k, v in want.items()}
+
+    def test_all_nets(self):
+        circuit = partial_circuit()
+        values = simulate_ternary(circuit, {"a": ONE, "b": ONE},
+                                  all_nets=True)
+        assert set(values) >= set(circuit.nets())
+
+    def test_missing_input_rejected(self):
+        with pytest.raises(CircuitError):
+            simulate_ternary(partial_circuit(), {"a": ONE})
+
+    def test_vector_api(self):
+        circuit = partial_circuit()
+        assert simulate_ternary_vector(circuit, [ONE, ONE])[0] == ONE
+        with pytest.raises(CircuitError):
+            simulate_ternary_vector(circuit, [ONE])
+
+    def test_x_input_allowed(self):
+        circuit = partial_circuit()
+        out = simulate_ternary(circuit, {"a": X, "b": ONE})
+        assert out["f"] == X

@@ -1,0 +1,63 @@
+"""Tests for the top-level BlackBoxChecker facade."""
+
+import pytest
+
+from repro import (BlackBoxChecker, CHECK_ORDER, CircuitBuilder,
+                   CircuitError, PartialImplementation)
+from repro.generators import alu4_like, figure3b
+from repro.partial import Mutation, apply_mutation
+
+
+@pytest.fixture(scope="module")
+def checker():
+    return BlackBoxChecker(alu4_like())
+
+
+class TestConstruction:
+    def test_requires_complete_spec(self):
+        builder = CircuitBuilder()
+        builder.input("a")
+        builder.output(builder.and_("a", "z"), "f")
+        partial = builder.circuit
+        partial.validate(allow_free=True)
+        with pytest.raises(CircuitError):
+            BlackBoxChecker(partial)
+
+    def test_repr(self, checker):
+        assert "alu4" in repr(checker)
+
+
+class TestWorkflow:
+    def test_carve_check_synthesize_complete(self, checker):
+        partial = checker.carve(fraction=0.1, seed=4)
+        results = checker.check(partial, patterns=200, seed=0,
+                                stop_at_first_error=False)
+        assert [r.check for r in results] == list(CHECK_ORDER)
+        assert not checker.is_refuted(partial, patterns=200, seed=0)
+        complete = checker.complete(partial)
+        assert complete is not None
+        assert checker.equivalent(complete).equivalent
+
+    def test_check_one(self, checker):
+        partial = checker.carve(fraction=0.1, seed=4)
+        result = checker.check_one(partial, "output_exact")
+        assert result.check == "output_exact"
+        with pytest.raises(ValueError):
+            checker.check_one(partial, "magic")
+
+    def test_refuted_design(self):
+        spec, partial = figure3b()
+        checker = BlackBoxChecker(spec)
+        assert checker.is_refuted(partial, patterns=50, seed=0)
+        assert checker.synthesize(partial) is None
+        assert checker.complete(partial) is None
+
+    def test_diagnose(self, checker):
+        impl = apply_mutation(checker.spec,
+                              Mutation("invert_output",
+                                       checker.spec.gates[5].output))
+        if checker.equivalent(impl).equivalent:
+            pytest.skip("mutation was neutral")
+        diagnosis = checker.diagnose(
+            impl, [checker.spec.gates[5].output])
+        assert diagnosis.confined
