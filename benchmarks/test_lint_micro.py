@@ -1,0 +1,86 @@
+"""Micro-benchmarks of the linter: O(V+E) scaling, ladder overhead.
+
+Two guarantees from ``docs/linting.md`` are enforced here rather than in
+the unit suite (they need wall-clock measurements):
+
+* lint cost grows linearly in the gate count, and
+* the ``run_ladder`` pre-flight lint adds <5% to a real check.
+"""
+
+import time
+
+import pytest
+
+from repro.analysis import lint_circuit, lint_partial
+from repro.circuit import Circuit, GateType
+from repro.core import run_ladder
+from repro.generators import alu4_like, c1355_like, c1908_like
+from repro.partial import make_partial
+
+
+def _chain(n_gates: int) -> Circuit:
+    """An n-gate circuit with bounded fan-in (E proportional to V)."""
+    c = Circuit("chain%d" % n_gates)
+    prev = c.add_input("x0")
+    other = c.add_input("x1")
+    for i in range(n_gates):
+        gtype = (GateType.AND, GateType.OR, GateType.XOR)[i % 3]
+        prev, other = c.add_gate("g%d" % i, gtype, [prev, other]), prev
+    c.add_output(prev)
+    return c
+
+
+def _best_lint_seconds(circuit: Circuit, repeats: int = 5) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        fresh = circuit.copy()  # empty topo cache each round
+        start = time.perf_counter()
+        report = lint_circuit(fresh)
+        best = min(best, time.perf_counter() - start)
+        assert report.ok
+    return best
+
+
+def test_lint_scales_linearly():
+    """10x the gates must cost well under 100x the time (no quadratic
+    blowup).  The 30x bound leaves generous room for timer noise and
+    allocator effects while still failing any O(V^2) regression."""
+    small = _best_lint_seconds(_chain(1_000))
+    large = _best_lint_seconds(_chain(10_000))
+    assert large < 30 * max(small, 1e-5), \
+        "lint: %d gates took %.4fs, %d gates %.4fs" \
+        % (1_000, small, 10_000, large)
+
+
+def test_bench_lint_alu4(benchmark):
+    circuit = alu4_like()
+    benchmark(lambda: lint_circuit(circuit.copy()))
+
+
+def test_bench_lint_partial_c1908(benchmark):
+    partial = make_partial(c1908_like(), fraction=0.1, num_boxes=5,
+                           seed=7)
+    benchmark(lambda: lint_partial(partial))
+
+
+def test_ladder_preflight_overhead_under_5_percent():
+    """The pre-flight lint must be noise next to one symbolic check.
+
+    Runs on the largest generator benchmark (C1355-like, 448 gates);
+    the two variants are timed interleaved (best-of-N each) so drift in
+    the interpreter/allocator state biases neither side.
+    """
+    spec = c1355_like()
+    partial = make_partial(spec, fraction=0.1, num_boxes=1, seed=3)
+
+    def once(lint: bool) -> float:
+        start = time.perf_counter()
+        run_ladder(spec, partial, checks=("local",), lint=lint)
+        return time.perf_counter() - start
+
+    once(True)  # warm-up, outside the measurement
+    without = min(once(False) for _ in range(5))
+    with_lint = min(once(True) for _ in range(5))
+    overhead = (with_lint - without) / without
+    assert overhead < 0.05, \
+        "lint pre-flight adds %.1f%% to run_ladder" % (100 * overhead)

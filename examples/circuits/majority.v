@@ -1,0 +1,12 @@
+// 3-input majority voter, structural Verilog subset.
+module majority (a, b, c, f);
+  input a;
+  input b;
+  input c;
+  output f;
+  wire t1, t2, t3;
+  and g0 (t1, a, b);
+  and g1 (t2, a, c);
+  and g2 (t3, b, c);
+  or g3 (f, t1, t2, t3);
+endmodule

@@ -15,11 +15,13 @@ The most convenient entry point is the facade::
 Subpackages: :mod:`repro.bdd`, :mod:`repro.circuit`,
 :mod:`repro.generators`, :mod:`repro.sim`, :mod:`repro.partial`,
 :mod:`repro.core`, :mod:`repro.sat`, :mod:`repro.seq`,
-:mod:`repro.experiments`.
+:mod:`repro.experiments`, :mod:`repro.analysis`.
 """
 
+from .analysis import Diagnostic, LintReport, lint_circuit, lint_partial
 from .api import BlackBoxChecker
-from .circuit.netlist import Circuit, CircuitError
+from .circuit.netlist import Circuit, CircuitError, \
+    CombinationalCycleError
 from .circuit.builder import CircuitBuilder
 from .core.ladder import CHECK_ORDER, check_partial_equivalence, \
     run_ladder
@@ -33,11 +35,16 @@ __all__ = [
     "Circuit",
     "CircuitBuilder",
     "CircuitError",
+    "CombinationalCycleError",
     "BlackBox",
     "PartialImplementation",
     "CheckResult",
     "CHECK_ORDER",
     "run_ladder",
     "check_partial_equivalence",
+    "Diagnostic",
+    "LintReport",
+    "lint_circuit",
+    "lint_partial",
     "__version__",
 ]

@@ -1,0 +1,21 @@
+"""Static analysis: netlist linter, BDD sanitizer, lint CLI.
+
+This layer sits above :mod:`repro.circuit`, :mod:`repro.bdd` and
+:mod:`repro.partial` and is what ``Circuit.validate`` and the check
+ladder delegate their pre-flight diagnostics to.  See
+``docs/linting.md`` for the rule catalog.
+"""
+
+from .bddcheck import BddInvariantError, enable_debug_checks, \
+    sanitize_manager
+from .diagnostics import Diagnostic, LintReport, Rule, RULES, Severity, \
+    rule
+from .lint import lint_boxes, lint_circuit, lint_partial
+from .loader import lint_path, load_for_lint
+
+__all__ = [
+    "Severity", "Rule", "RULES", "rule", "Diagnostic", "LintReport",
+    "lint_circuit", "lint_boxes", "lint_partial",
+    "lint_path", "load_for_lint",
+    "BddInvariantError", "sanitize_manager", "enable_debug_checks",
+]

@@ -1,0 +1,76 @@
+"""Opt-in BDD manager sanitizer with structured diagnostics.
+
+:meth:`repro.bdd.manager.BddManager.check_invariants` started life as a
+test-only helper raising bare ``AssertionError``.  This module promotes
+it into a runtime sanitizer: with ``BddManager(debug_checks=True)`` or
+``REPRO_DEBUG=1`` in the environment, the manager re-verifies every
+internal invariant after each garbage collection and each dynamic
+reordering and raises :class:`BddInvariantError` carrying
+:class:`~repro.analysis.diagnostics.Diagnostic` records (rule ``D001``)
+instead of asserting.
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+from ..bdd.function import Bdd
+from ..bdd.manager import BddManager
+from .diagnostics import Diagnostic, LintReport, rule
+
+__all__ = ["BddInvariantError", "sanitize_manager", "invariant_error",
+           "enable_debug_checks"]
+
+
+class BddInvariantError(RuntimeError):
+    """Raised by the sanitizer when manager invariants are violated.
+
+    ``diagnostics`` holds one ``D001`` record per violated invariant;
+    ``phase`` names the maintenance step that exposed the corruption
+    (``"gc"``, ``"reorder"`` or ``"manual"``).
+    """
+
+    def __init__(self, phase: str,
+                 diagnostics: List[Diagnostic]) -> None:
+        self.phase = phase
+        self.diagnostics = list(diagnostics)
+        super().__init__(
+            "BDD invariants violated after %s:\n%s"
+            % (phase, "\n".join(d.format() for d in self.diagnostics)))
+
+
+def _diagnostics(phase: str, violations: List[str]) -> List[Diagnostic]:
+    entry = rule("bdd-invariant")
+    return [Diagnostic(entry, "after %s: %s" % (phase, message),
+                       hint="the manager state is corrupt; this is a "
+                            "repro.bdd bug — please report it")
+            for message in violations]
+
+
+def invariant_error(manager: BddManager, phase: str,
+                    violations: List[str]) -> BddInvariantError:
+    """Build the error the manager's debug hook raises (internal API)."""
+    return BddInvariantError(phase, _diagnostics(phase, violations))
+
+
+def sanitize_manager(manager: Union[Bdd, BddManager],
+                     phase: str = "manual") -> LintReport:
+    """Run all invariant checks once; return findings instead of raising.
+
+    Accepts either the high-level :class:`~repro.bdd.function.Bdd`
+    wrapper or a raw manager.
+    """
+    if isinstance(manager, Bdd):
+        manager = manager.manager
+    manager.n_selfchecks += 1
+    report = LintReport()
+    report.extend(_diagnostics(phase, manager.invariant_violations()))
+    return report
+
+
+def enable_debug_checks(manager: Union[Bdd, BddManager],
+                        enabled: bool = True) -> None:
+    """Toggle the after-GC/after-reorder sanitizer on a live manager."""
+    if isinstance(manager, Bdd):
+        manager = manager.manager
+    manager.debug_checks = bool(enabled)

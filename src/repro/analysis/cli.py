@@ -1,0 +1,72 @@
+"""``python -m repro.experiments lint`` — batch netlist linting.
+
+Exit status: 0 when every file parses and has no error-severity
+finding, 1 when any error finding (including parse errors) is present,
+2 when a file cannot be read at all (missing, unknown extension).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .diagnostics import LintReport, Severity
+from .loader import lint_path
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments lint",
+        description="Lint netlist files (.blif, .bench, .v) for "
+                    "structural defects.")
+    parser.add_argument("files", nargs="+", metavar="FILE",
+                        help="netlist files to lint")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text",
+                        help="output format (default: text)")
+    parser.add_argument("--allow-free", action="store_true",
+                        help="treat free nets as Black Box outputs "
+                             "instead of undriven-net errors")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="suppress informational findings")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the exit status instead of calling exit."""
+    options = _build_parser().parse_args(argv)
+    combined = LintReport()
+    unreadable = False
+    for path in options.files:
+        try:
+            report = lint_path(path, allow_free=options.allow_free)
+        except (OSError, KeyError, UnicodeDecodeError) as err:
+            unreadable = True
+            message = err.args[0] if isinstance(err, KeyError) else err
+            print("%s: unreadable: %s" % (path, message),
+                  file=sys.stderr)
+            continue
+        combined.extend(report)
+
+    diagnostics = [d for d in combined
+                   if not (options.quiet and d.severity < Severity.WARNING)]
+    if options.format == "json":
+        shown = LintReport(diagnostics)
+        print(shown.to_json(indent=2))
+    else:
+        for diag in diagnostics:
+            print(diag.format())
+        errors, warnings = combined.errors, combined.warnings
+        if diagnostics or errors or warnings:
+            print("%d error(s), %d warning(s)"
+                  % (len(errors), len(warnings)))
+    if unreadable:
+        return 2
+    return 0 if combined.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,238 @@
+"""Structured diagnostics for the netlist linter and BDD sanitizer.
+
+Every finding is a :class:`Diagnostic` bound to one entry of the fixed
+:data:`RULES` catalog (stable id, name, default severity).  Reports
+aggregate diagnostics and render them for humans (``clang``-style
+``file:line: severity[ID] message``) or machines (JSON).
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple, Type, Union
+
+__all__ = ["Severity", "Rule", "RULES", "RULES_BY_ID", "RULES_BY_NAME",
+           "rule", "Diagnostic", "LintReport"]
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity; comparisons follow increasing gravity."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One catalog entry: stable id, human name, default severity."""
+
+    id: str
+    name: str
+    severity: Severity
+    summary: str
+
+
+#: The rule catalog (documented in ``docs/linting.md``).  Ids are stable
+#: across releases; ``L``-rules are netlist-structural, ``B``-rules
+#: concern the Black Box interface of partial implementations, ``D``-rules
+#: come from the BDD sanitizer, and ``P``-rules from the file loaders.
+RULES: Tuple[Rule, ...] = (
+    Rule("L001", "combinational-cycle", Severity.ERROR,
+         "gates form a combinational feedback loop"),
+    Rule("L002", "multiply-driven-net", Severity.ERROR,
+         "more than one construct drives the same net"),
+    Rule("L003", "undriven-net", Severity.ERROR,
+         "a net is read but driven by nothing"),
+    Rule("L004", "dangling-output", Severity.ERROR,
+         "a primary output is driven by nothing"),
+    Rule("L005", "dead-gate", Severity.WARNING,
+         "a gate feeds no primary output cone"),
+    Rule("L006", "degenerate-gate", Severity.WARNING,
+         "a gate is trivially reducible (1-input AND/OR, duplicate "
+         "fanins, ...)"),
+    Rule("L007", "duplicate-input", Severity.ERROR,
+         "the same primary input is declared twice"),
+    Rule("L008", "shadowed-input", Severity.ERROR,
+         "a declared input name is also driven by logic"),
+    Rule("B001", "box-output-collision", Severity.ERROR,
+         "a Black Box output collides with an already-driven net"),
+    Rule("B002", "free-net-without-box", Severity.ERROR,
+         "a free net is not claimed by any Black Box"),
+    Rule("B003", "box-feedback", Severity.ERROR,
+         "Black Boxes form a dependency cycle"),
+    Rule("B004", "box-cone-overlap", Severity.WARNING,
+         "two Black Boxes have overlapping input cones; the input exact "
+         "check is only an approximation (Theorem 2.2 needs b = 1)"),
+    Rule("B005", "unread-box-output", Severity.INFO,
+         "a Black Box output is read by nothing"),
+    Rule("D001", "bdd-invariant", Severity.ERROR,
+         "a BddManager internal invariant is violated"),
+    Rule("P001", "parse-error", Severity.ERROR,
+         "the file could not be parsed as a netlist"),
+)
+
+RULES_BY_ID: Dict[str, Rule] = {r.id: r for r in RULES}
+RULES_BY_NAME: Dict[str, Rule] = {r.name: r for r in RULES}
+
+
+def rule(key: str) -> Rule:
+    """Look up a rule by id (``"L001"``) or name (``"combinational-cycle"``)."""
+    found = RULES_BY_ID.get(key) or RULES_BY_NAME.get(key)
+    if found is None:
+        raise KeyError("unknown lint rule %r" % key)
+    return found
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One linter/sanitizer finding.
+
+    Attributes
+    ----------
+    rule:
+        The catalog entry this finding instantiates.
+    message:
+        Specific, human-readable description.
+    nets:
+        The nets involved; for ``combinational-cycle`` this is the full
+        cycle path (first net repeated at the end).
+    hint:
+        A short fix suggestion, possibly empty.
+    file / line:
+        Source location when the circuit came from a parsed file.
+    """
+
+    rule: Rule
+    message: str
+    nets: Tuple[str, ...] = ()
+    hint: str = ""
+    file: Optional[str] = None
+    line: Optional[int] = None
+
+    @property
+    def severity(self) -> Severity:
+        """Severity inherited from the rule."""
+        return self.rule.severity
+
+    @property
+    def rule_id(self) -> str:
+        """Stable id of the rule (e.g. ``"L001"``)."""
+        return self.rule.id
+
+    def format(self) -> str:
+        """``file:line: severity[ID/name] message (hint)``."""
+        where = ""
+        if self.file is not None:
+            where = self.file
+            if self.line is not None:
+                where += ":%d" % self.line
+            where += ": "
+        elif self.line is not None:
+            where = "line %d: " % self.line
+        text = "%s%s[%s/%s] %s" % (where, self.severity, self.rule.id,
+                                   self.rule.name, self.message)
+        if self.hint:
+            text += "  (hint: %s)" % self.hint
+        return text
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation."""
+        return {
+            "rule": self.rule.id,
+            "name": self.rule.name,
+            "severity": str(self.severity),
+            "message": self.message,
+            "nets": list(self.nets),
+            "hint": self.hint,
+            "file": self.file,
+            "line": self.line,
+        }
+
+    def __repr__(self) -> str:
+        return "<Diagnostic %s>" % self.format()
+
+
+@dataclass
+class LintReport:
+    """An ordered collection of diagnostics with severity accessors."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    def add(self, rule_key: Union[str, Rule], message: str,
+            nets: Iterable[str] = (), hint: str = "",
+            file: Optional[str] = None,
+            line: Optional[int] = None) -> Diagnostic:
+        """Append a diagnostic for ``rule_key`` (id, name or Rule)."""
+        entry = rule_key if isinstance(rule_key, Rule) else rule(rule_key)
+        diag = Diagnostic(entry, message, tuple(nets), hint, file, line)
+        self.diagnostics.append(diag)
+        return diag
+
+    def extend(self, other: Union["LintReport",
+                                  Iterable[Diagnostic]]) -> None:
+        """Append all diagnostics of another report/iterable."""
+        if isinstance(other, LintReport):
+            other = other.diagnostics
+        self.diagnostics.extend(other)
+
+    # -- selection -----------------------------------------------------
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        """Error-severity findings."""
+        return [d for d in self.diagnostics
+                if d.severity >= Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        """Warning-severity findings."""
+        return [d for d in self.diagnostics
+                if d.severity == Severity.WARNING]
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity finding is present."""
+        return not self.errors
+
+    def by_rule(self, key: str) -> List[Diagnostic]:
+        """All findings of one rule (by id or name)."""
+        entry = rule(key)
+        return [d for d in self.diagnostics if d.rule is entry]
+
+    def rule_ids(self) -> List[str]:
+        """Sorted unique rule ids present in the report."""
+        return sorted({d.rule.id for d in self.diagnostics})
+
+    # -- rendering -----------------------------------------------------
+
+    def format(self) -> str:
+        """All findings, one per line."""
+        return "\n".join(d.format() for d in self.diagnostics)
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """JSON array of the diagnostics."""
+        return json.dumps([d.to_dict() for d in self.diagnostics],
+                          indent=indent)
+
+    def raise_if_errors(self,
+                        exc_type: Type[Exception] = ValueError) -> None:
+        """Raise ``exc_type`` summarising the error findings, if any."""
+        errors = self.errors
+        if errors:
+            raise exc_type("; ".join(d.message for d in errors))
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __iter__(self):
+        return iter(self.diagnostics)
+
+    def __repr__(self) -> str:
+        return "<LintReport %d findings (%d errors, %d warnings)>" % (
+            len(self.diagnostics), len(self.errors), len(self.warnings))

@@ -1,0 +1,98 @@
+"""File-level lint driver: permissive parsing + lint in one call.
+
+Dispatches on the file extension to the matching reader (``.blif``,
+``.bench``, ``.v``), parses in permissive mode so that recoverable
+defects (duplicate drivers, shadowed inputs, ...) become diagnostics
+with file/line context instead of aborting the parse, and runs the full
+rule set over the result.  Unrecoverable parse failures are reported as
+rule ``P001`` findings rather than exceptions, so a batch lint over many
+files always completes.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Dict, Optional, TextIO, Tuple, Union
+
+from ..circuit.blif import read_blif
+from ..circuit.iscas import read_bench
+from ..circuit.netlist import Circuit, CircuitError
+from ..circuit.srcloc import SourceMap
+from ..circuit.verilog import read_verilog
+from .diagnostics import LintReport
+from .lint import lint_circuit
+
+__all__ = ["READERS", "reader_for", "load_for_lint", "lint_path"]
+
+#: Extension -> reader.  All readers share the
+#: ``(source, name=..., source_map=..., strict=...)`` signature.
+READERS: Dict[str, Callable[..., Circuit]] = {
+    ".blif": read_blif,
+    ".bench": read_bench,
+    ".v": read_verilog,
+}
+
+_LINE_PREFIX = re.compile(r"^line (\d+): ")
+
+
+def reader_for(path: str) -> Callable[..., Circuit]:
+    """The reader matching ``path``'s extension; KeyError when unknown."""
+    for extension, reader in READERS.items():
+        if path.endswith(extension):
+            return reader
+    raise KeyError(
+        "no netlist reader for %r (expected one of: %s)"
+        % (path, ", ".join(sorted(READERS))))
+
+
+def load_for_lint(path: str,
+                  text: Optional[Union[str, TextIO]] = None)\
+        -> Tuple[Optional[Circuit], SourceMap, LintReport]:
+    """Parse ``path`` permissively; parse failures become diagnostics.
+
+    Returns ``(circuit, source_map, parse_report)`` where ``circuit`` is
+    ``None`` exactly when the parse failed (the report then carries one
+    ``P001`` finding).  ``text`` optionally supplies the content (string
+    or open file) so callers can lint unsaved buffers under a file name.
+    """
+    reader = reader_for(path)
+    source_map = SourceMap(file=path)
+    report = LintReport()
+    try:
+        if text is None:
+            circuit = reader(path, source_map=source_map, strict=False)
+        else:
+            import io
+
+            handle = io.StringIO(text) if isinstance(text, str) else text
+            circuit = reader(handle, name=path, source_map=source_map,
+                             strict=False)
+    except CircuitError as err:
+        message = str(err)
+        match = _LINE_PREFIX.match(message)
+        line = int(match.group(1)) if match else None
+        if match:
+            message = message[match.end():]
+        report.add("parse-error", message,
+                   hint="fix the syntax; permissive parsing only "
+                        "recovers from semantic defects",
+                   file=path, line=line)
+        return None, source_map, report
+    return circuit, source_map, report
+
+
+def lint_path(path: str, allow_free: bool = False,
+              text: Optional[Union[str, TextIO]] = None) -> LintReport:
+    """Parse + lint one netlist file; never raises on bad content.
+
+    ``allow_free`` suppresses the undriven-net rules for files whose
+    free nets stand for Black Box outputs (the convention the
+    ``.bench``/Verilog writers use).  IO errors and unknown extensions
+    still raise — the file itself, not its content, is the problem.
+    """
+    circuit, source_map, report = load_for_lint(path, text=text)
+    if circuit is None:
+        return report
+    report.extend(lint_circuit(circuit, allow_free=allow_free,
+                               source=source_map))
+    return report

@@ -8,7 +8,10 @@ functional APIs in :mod:`repro.core` remain the primitive layer.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .analysis.diagnostics import LintReport
 
 from .circuit.netlist import Circuit, CircuitError
 from .core.diagnosis import DiagnosisResult, verify_error_location
@@ -62,6 +65,18 @@ class BlackBoxChecker:
                             num_boxes=num_boxes, seed=seed)
 
     # -- checking ---------------------------------------------------------
+
+    def lint(self, partial: PartialImplementation) -> "LintReport":
+        """Static pre-flight analysis of a partial implementation.
+
+        Runs the full netlist + Black-Box rule set of
+        :mod:`repro.analysis` and returns the report; :meth:`check`
+        attaches the same findings to every
+        :class:`~repro.core.result.CheckResult`.
+        """
+        from .analysis.lint import lint_partial
+
+        return lint_partial(partial)
 
     def check(self, partial: PartialImplementation,
               checks: Sequence[str] = CHECK_ORDER,

@@ -215,10 +215,12 @@ class Bdd:
     """
 
     def __init__(self, auto_reorder: bool = False,
-                 initial_reorder_threshold: int = 50_000) -> None:
+                 initial_reorder_threshold: int = 50_000,
+                 debug_checks: "Optional[bool]" = None) -> None:
         self.manager = BddManager(
             auto_reorder=auto_reorder,
-            initial_reorder_threshold=initial_reorder_threshold)
+            initial_reorder_threshold=initial_reorder_threshold,
+            debug_checks=debug_checks)
 
     # -- constants -----------------------------------------------------
 

@@ -21,9 +21,16 @@ Design notes
 
 from __future__ import annotations
 
+import os
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
-__all__ = ["BddManager", "FALSE", "TRUE"]
+__all__ = ["BddManager", "FALSE", "TRUE", "debug_checks_enabled"]
+
+
+def debug_checks_enabled() -> bool:
+    """Whether ``REPRO_DEBUG`` asks for the opt-in BDD sanitizer."""
+    return os.environ.get("REPRO_DEBUG", "").strip().lower() in (
+        "1", "true", "yes", "on")
 
 #: Node id of the constant-false terminal.
 FALSE = 0
@@ -61,10 +68,17 @@ class BddManager:
     initial_reorder_threshold:
         Live-node count at which the first automatic reordering fires.
         The threshold doubles after every automatic reordering.
+    debug_checks:
+        Opt-in sanitizer: verify all manager invariants after every
+        garbage collection and reordering, raising
+        :class:`repro.analysis.bddcheck.BddInvariantError` (with
+        structured diagnostics) on corruption.  Defaults to the
+        ``REPRO_DEBUG=1`` environment switch.
     """
 
     def __init__(self, auto_reorder: bool = False,
-                 initial_reorder_threshold: int = 50_000) -> None:
+                 initial_reorder_threshold: int = 50_000,
+                 debug_checks: Optional[bool] = None) -> None:
         # Parallel node arrays; slots 0/1 are the terminals.
         self._var: List[int] = [_TERMINAL_VAR, _TERMINAL_VAR]
         self._low: List[int] = [FALSE, TRUE]
@@ -99,6 +113,10 @@ class BddManager:
         # Counters, for experiment reporting.
         self.n_gc_runs = 0
         self.n_reorderings = 0
+        self.n_selfchecks = 0
+
+        self.debug_checks = (debug_checks_enabled() if debug_checks is None
+                             else bool(debug_checks))
 
     # ------------------------------------------------------------------
     # Variables
@@ -281,6 +299,8 @@ class BddManager:
                 self._pref[self._high[u]] += 1
         self._cache.clear()
         self.n_gc_runs += 1
+        if self.debug_checks:
+            self._selfcheck("gc")
         return freed
 
     def __len__(self) -> int:
@@ -795,11 +815,15 @@ class BddManager:
     # Debug helpers
     # ------------------------------------------------------------------
 
-    def check_invariants(self) -> None:
-        """Raise ``AssertionError`` if internal structures are corrupt.
+    def invariant_violations(self) -> List[str]:
+        """Collect every violated internal invariant (empty = healthy).
 
-        Used by the test suite after garbage collection and reordering.
+        The checks mirror what a corrupted unique table, stale parent
+        counts or a broken variable order would look like; the sanitizer
+        (:mod:`repro.analysis.bddcheck`) turns the returned strings into
+        structured diagnostics.
         """
+        out: List[str] = []
         live = 0
         free = set(self._free)
         pref = [0] * len(self._var)
@@ -810,29 +834,64 @@ class BddManager:
             if u <= TRUE:
                 continue
             var = self._var[u]
-            assert var != _TERMINAL_VAR, "free node leaked: %d" % u
+            if var == _TERMINAL_VAR:
+                out.append("free node leaked: %d" % u)
+                continue
             lo, hi = self._low[u], self._high[u]
-            assert lo != hi, "redundant node %d" % u
-            assert lo not in free and hi not in free, \
-                "node %d points at freed child" % u
+            if lo == hi:
+                out.append("redundant node %d" % u)
+            if lo in free or hi in free:
+                out.append("node %d points at freed child" % u)
+                continue
             pref[lo] += 1
             pref[hi] += 1
+            if not 0 <= var < len(self._var2level):
+                out.append("node %d has undeclared variable %d" % (u, var))
+                continue
             lvl = self._var2level[var]
-            assert self._node_level(lo) > lvl, "order violated at %d" % u
-            assert self._node_level(hi) > lvl, "order violated at %d" % u
-            assert self._unique.get((var, lo, hi)) == u, \
-                "unique table inconsistent at %d" % u
-            assert u in self._var_nodes[var], \
-                "node %d missing from its variable set" % u
-        assert live == self._live_nodes, (live, self._live_nodes)
-        assert len(self._unique) == live - 2
+            if self._node_level(lo) <= lvl or self._node_level(hi) <= lvl:
+                out.append("order violated at %d" % u)
+            if self._unique.get((var, lo, hi)) != u:
+                out.append("unique table inconsistent at %d" % u)
+            if u not in self._var_nodes[var]:
+                out.append("node %d missing from its variable set" % u)
+        if live != self._live_nodes:
+            out.append("live count wrong: counted %d, recorded %d"
+                       % (live, self._live_nodes))
+        if len(self._unique) != live - 2:
+            out.append("unique table size %d != %d live non-terminals"
+                       % (len(self._unique), live - 2))
         for u in range(2, len(self._var)):
-            if u not in free:
-                assert self._pref[u] == pref[u], \
-                    "parent count wrong at %d: %d != %d" % (
-                        u, self._pref[u], pref[u])
-        assert sum(len(s) for s in self._var_nodes) == live - 2
-        sorted_levels = sorted(self._var2level)
-        assert sorted_levels == list(range(self.num_vars))
-        for var, lvl in enumerate(self._var2level):
-            assert self._level2var[lvl] == var
+            if u not in free and self._pref[u] != pref[u]:
+                out.append("parent count wrong at %d: %d != %d"
+                           % (u, self._pref[u], pref[u]))
+        if sum(len(s) for s in self._var_nodes) != live - 2:
+            out.append("per-variable node sets do not partition the "
+                       "live nodes")
+        if sorted(self._var2level) != list(range(self.num_vars)):
+            out.append("var2level is not a permutation of the levels")
+        else:
+            for var, lvl in enumerate(self._var2level):
+                if self._level2var[lvl] != var:
+                    out.append("level2var inconsistent at level %d" % lvl)
+        return out
+
+    def check_invariants(self) -> None:
+        """Raise ``AssertionError`` if internal structures are corrupt.
+
+        Used by the test suite after garbage collection and reordering;
+        the opt-in runtime sanitizer raises structured diagnostics
+        instead (see :meth:`invariant_violations`).
+        """
+        violations = self.invariant_violations()
+        assert not violations, "; ".join(violations)
+
+    def _selfcheck(self, phase: str) -> None:
+        """Debug-mode hook run after GC/reordering (``debug_checks``)."""
+        self.n_selfchecks += 1
+        violations = self.invariant_violations()
+        if violations:
+            # Imported lazily: analysis sits above the bdd layer.
+            from ..analysis.bddcheck import invariant_error
+
+            raise invariant_error(self, phase, violations)

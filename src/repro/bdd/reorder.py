@@ -141,6 +141,8 @@ def sift(mgr: BddManager, max_growth: float = 1.2,
             continue
         _sift_one(mgr, var, max_growth)
     mgr._cache.clear()
+    if mgr.debug_checks:
+        mgr._selfcheck("reorder")
     return mgr._live_nodes
 
 

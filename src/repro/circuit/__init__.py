@@ -1,14 +1,16 @@
 """Combinational gate-level netlists: model, builder, BLIF/bench I/O."""
 
 from .gates import GateType, eval_gate
-from .netlist import Circuit, CircuitError, Gate
+from .netlist import Circuit, CircuitError, CombinationalCycleError, Gate
 from .builder import CircuitBuilder
+from .srcloc import ParseEvent, SourceMap
 from .blif import dumps_blif, loads_blif, read_blif, write_blif
 from .iscas import dumps_bench, loads_bench, read_bench, write_bench
 from .transform import expand_to_two_input, strip_buffers
 from .optimize import (merge_duplicates, optimize, propagate_constants,
                        sweep_dead)
-from .verilog import dumps_verilog, write_verilog
+from .verilog import (dumps_verilog, loads_verilog, read_verilog,
+                      write_verilog)
 from .cone_extraction import extract_cone
 
 __all__ = [
@@ -16,8 +18,11 @@ __all__ = [
     "eval_gate",
     "Circuit",
     "CircuitError",
+    "CombinationalCycleError",
     "Gate",
     "CircuitBuilder",
+    "ParseEvent",
+    "SourceMap",
     "read_blif",
     "write_blif",
     "loads_blif",
@@ -34,5 +39,7 @@ __all__ = [
     "optimize",
     "dumps_verilog",
     "write_verilog",
+    "read_verilog",
+    "loads_verilog",
     "extract_cone",
 ]

@@ -4,34 +4,51 @@ Supported constructs: ``.model``, ``.inputs``, ``.outputs``, ``.names``
 (single-output PLA covers) and ``.end``.  Covers are translated into
 AND/OR/NOT netlist structure; sequential elements are out of scope (the
 paper is purely combinational).
+
+The reader tracks line numbers: every :class:`CircuitError` names the
+offending line, and an optional :class:`~repro.circuit.srcloc.SourceMap`
+records net definition sites plus parse events for the linter.  With
+``strict=False`` duplicate drivers / re-declared inputs are recorded as
+events (keeping the *first* definition) instead of raising.
 """
 
 from __future__ import annotations
 
 import io
-from typing import Dict, Iterable, List, Optional, Sequence, TextIO, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Sequence, TextIO, \
+    Tuple, Union
 
 from .builder import CircuitBuilder
 from .gates import GateType
 from .netlist import Circuit, CircuitError
+from .srcloc import SourceMap
 
 __all__ = ["read_blif", "write_blif", "loads_blif", "dumps_blif"]
 
 
-def _logical_lines(handle: Iterable[str]) -> Iterable[str]:
-    """Join backslash continuations, strip comments and blanks."""
+def _logical_lines(handle: Iterable[str])\
+        -> Iterable[Tuple[int, str]]:
+    """Join backslash continuations, strip comments and blanks.
+
+    Yields ``(line_number, text)`` where the number is the first
+    physical line of the logical line.
+    """
     pending = ""
-    for raw in handle:
+    pending_start = 0
+    for number, raw in enumerate(handle, start=1):
         line = raw.split("#", 1)[0].rstrip()
         if line.endswith("\\"):
+            if not pending:
+                pending_start = number
             pending += line[:-1] + " "
             continue
+        start = pending_start if pending else number
         line = (pending + line).strip()
         pending = ""
         if line:
-            yield line
+            yield start, line
     if pending.strip():
-        yield pending.strip()
+        yield pending_start, pending.strip()
 
 
 def _cover_to_gates(builder: CircuitBuilder, output: str,
@@ -91,24 +108,45 @@ def _cover_to_gates(builder: CircuitBuilder, output: str,
             builder.not_(builder.or_tree(products), output)
 
 
-def loads_blif(text: str, name: Optional[str] = None) -> Circuit:
+def loads_blif(text: str, name: Optional[str] = None,
+               source_map: Optional[SourceMap] = None,
+               strict: bool = True) -> Circuit:
     """Parse BLIF from a string."""
-    return read_blif(io.StringIO(text), name=name)
+    return read_blif(io.StringIO(text), name=name,
+                     source_map=source_map, strict=strict)
 
 
 def read_blif(source: Union[str, TextIO],
-              name: Optional[str] = None) -> Circuit:
-    """Parse a combinational BLIF model from a path or open file."""
+              name: Optional[str] = None,
+              source_map: Optional[SourceMap] = None,
+              strict: bool = True) -> Circuit:
+    """Parse a combinational BLIF model from a path or open file.
+
+    ``strict`` (default) rejects duplicate ``.names`` blocks driving the
+    same net, re-declared inputs and covers that shadow an input.  With
+    ``strict=False`` those findings are recorded as parse events on
+    ``source_map`` (which then must be given) and the first definition
+    is kept.
+    """
     if isinstance(source, str):
+        if source_map is not None and source_map.file is None:
+            source_map.file = source
         with open(source) as handle:
-            return read_blif(handle, name=name)
+            return read_blif(handle, name=name, source_map=source_map,
+                             strict=strict)
+    if not strict and source_map is None:
+        raise ValueError("strict=False requires a source_map to record "
+                         "the findings")
 
     builder = CircuitBuilder(name or "blif")
     outputs: List[str] = []
-    covers: List[Tuple[str, List[str], List[Tuple[str, str]]]] = []
-    current: Optional[Tuple[str, List[str], List[Tuple[str, str]]]] = None
+    covers: List[Tuple[int, str, List[str], List[Tuple[str, str]]]] = []
+    current: Optional[Tuple[int, str, List[str],
+                            List[Tuple[str, str]]]] = None
+    input_lines: Dict[str, int] = {}
+    cover_lines: Dict[str, int] = {}
 
-    for line in _logical_lines(source):
+    for lineno, line in _logical_lines(source):
         tokens = line.split()
         head = tokens[0]
         if head == ".model":
@@ -116,34 +154,82 @@ def read_blif(source: Union[str, TextIO],
                 builder.circuit.name = tokens[1]
         elif head == ".inputs":
             for net in tokens[1:]:
+                if net in input_lines:
+                    message = ("duplicate input %r (first declared at "
+                               "line %d)" % (net, input_lines[net]))
+                    if strict:
+                        raise CircuitError("line %d: %s"
+                                           % (lineno, message))
+                    source_map.record("duplicate-input", message,
+                                      line=lineno, nets=(net,))
+                    continue
+                input_lines[net] = lineno
                 builder.input(net)
+                if source_map is not None:
+                    source_map.define(net, lineno)
         elif head == ".outputs":
             outputs.extend(tokens[1:])
         elif head == ".names":
-            current = (tokens[-1], tokens[1:-1], [])
+            output = tokens[-1]
+            if output in cover_lines:
+                message = ("duplicate .names driver for net %r (first "
+                           "defined at line %d)"
+                           % (output, cover_lines[output]))
+                if strict:
+                    raise CircuitError("line %d: %s" % (lineno, message))
+                source_map.record("multiply-driven-net", message,
+                                  line=lineno, nets=(output,))
+                # Swallow the block's rows without building gates.
+                current = (lineno, output, tokens[1:-1], [])
+                continue
+            if output in input_lines:
+                message = (".names drives net %r which is a declared "
+                           "input (line %d)"
+                           % (output, input_lines[output]))
+                if strict:
+                    raise CircuitError("line %d: %s" % (lineno, message))
+                source_map.record("shadowed-input", message,
+                                  line=lineno, nets=(output,))
+                current = (lineno, output, tokens[1:-1], [])
+                continue
+            cover_lines[output] = lineno
+            current = (lineno, output, tokens[1:-1], [])
             covers.append(current)
+            if source_map is not None:
+                source_map.define(output, lineno)
         elif head == ".end":
             break
         elif head.startswith("."):
-            raise CircuitError("unsupported BLIF construct %r" % head)
+            raise CircuitError("line %d: unsupported BLIF construct %r"
+                               % (lineno, head))
         else:
             if current is None:
-                raise CircuitError("cover row outside .names: %r" % line)
+                raise CircuitError("line %d: cover row outside .names: %r"
+                                   % (lineno, line))
             if len(tokens) == 1:
                 # Constant row: output plane only.
-                current[2].append(("", tokens[0]))
+                current[3].append(("", tokens[0]))
             elif len(tokens) == 2:
-                current[2].append((tokens[0], tokens[1]))
+                current[3].append((tokens[0], tokens[1]))
             else:
-                raise CircuitError("malformed cover row %r" % line)
+                raise CircuitError("line %d: malformed cover row %r"
+                                   % (lineno, line))
 
-    builder.reserve(output for output, _, _ in covers)
-    for output, input_nets, rows in covers:
-        _cover_to_gates(builder, output, input_nets, rows)
+    builder.reserve(output for _, output, _, _ in covers)
+    for lineno, output, input_nets, rows in covers:
+        try:
+            _cover_to_gates(builder, output, input_nets, rows)
+        except CircuitError as err:
+            raise CircuitError("line %d: %s" % (lineno, err)) from None
     for net in outputs:
+        if not strict and net in builder.circuit.outputs:
+            continue
         builder.circuit.add_output(net)
     circuit = builder.circuit
-    circuit.validate(allow_free=True)
+    if strict:
+        # In permissive (lint) mode structural problems — cycles above
+        # all — are left for the linter to report with full context.
+        circuit.validate(allow_free=True)
     return circuit
 
 

@@ -13,10 +13,11 @@ from __future__ import annotations
 
 import io
 import re
-from typing import Optional, TextIO, Union
+from typing import Dict, Optional, TextIO, Union
 
 from .gates import GateType
 from .netlist import Circuit, CircuitError
+from .srcloc import SourceMap
 
 __all__ = ["read_bench", "write_bench", "loads_bench", "dumps_bench"]
 
@@ -39,46 +40,109 @@ _LINE_RE = re.compile(
     r")\s*$")
 
 
-def loads_bench(text: str, name: Optional[str] = None) -> Circuit:
+def loads_bench(text: str, name: Optional[str] = None,
+                source_map: Optional[SourceMap] = None,
+                strict: bool = True) -> Circuit:
     """Parse ``.bench`` text from a string."""
-    return read_bench(io.StringIO(text), name=name)
+    return read_bench(io.StringIO(text), name=name,
+                      source_map=source_map, strict=strict)
 
 
 def read_bench(source: Union[str, TextIO],
-               name: Optional[str] = None) -> Circuit:
-    """Parse a ``.bench`` netlist from a path or open file."""
+               name: Optional[str] = None,
+               source_map: Optional[SourceMap] = None,
+               strict: bool = True) -> Circuit:
+    """Parse a ``.bench`` netlist from a path or open file.
+
+    ``strict`` (default) rejects duplicate gate definitions, re-declared
+    inputs and gates shadowing an input, with line context in the error;
+    with ``strict=False`` such findings are recorded as parse events on
+    ``source_map`` (required in that mode) and the first definition is
+    kept.
+    """
     if isinstance(source, str):
+        if source_map is not None and source_map.file is None:
+            source_map.file = source
         with open(source) as handle:
-            return read_bench(handle, name=name or source)
+            return read_bench(handle, name=name or source,
+                              source_map=source_map, strict=strict)
+    if not strict and source_map is None:
+        raise ValueError("strict=False requires a source_map to record "
+                         "the findings")
 
     circuit = Circuit(name or "bench")
     outputs = []
-    for raw in source:
+    input_lines: Dict[str, int] = {}
+    gate_lines: Dict[str, int] = {}
+    for lineno, raw in enumerate(source, start=1):
         line = raw.split("#", 1)[0].strip()
         if not line:
             continue
         match = _LINE_RE.match(line)
         if not match:
-            raise CircuitError("cannot parse bench line: %r" % line)
+            raise CircuitError("line %d: cannot parse bench line: %r"
+                               % (lineno, line))
         if match.group("port"):
             net = match.group("pname")
             if match.group("port") == "INPUT":
+                if net in input_lines:
+                    message = ("duplicate INPUT(%s) (first declared at "
+                               "line %d)" % (net, input_lines[net]))
+                    if strict:
+                        raise CircuitError("line %d: %s"
+                                           % (lineno, message))
+                    source_map.record("duplicate-input", message,
+                                      line=lineno, nets=(net,))
+                    continue
+                input_lines[net] = lineno
                 circuit.add_input(net)
+                if source_map is not None:
+                    source_map.define(net, lineno)
             else:
                 outputs.append(net)
         else:
+            out = match.group("out")
             gate_name = match.group("gate").upper()
             try:
                 gtype = _GATE_NAMES[gate_name]
             except KeyError:
                 raise CircuitError(
-                    "unknown bench gate %r" % gate_name) from None
+                    "line %d: unknown bench gate %r"
+                    % (lineno, gate_name)) from None
             args = [a.strip() for a in match.group("args").split(",")
                     if a.strip()]
-            circuit.add_gate(match.group("out"), gtype, args)
+            if out in gate_lines:
+                message = ("net %r is driven twice (first definition at "
+                           "line %d)" % (out, gate_lines[out]))
+                if strict:
+                    raise CircuitError("line %d: %s" % (lineno, message))
+                source_map.record("multiply-driven-net", message,
+                                  line=lineno, nets=(out,))
+                continue
+            if out in input_lines:
+                message = ("gate drives net %r which is a declared "
+                           "INPUT (line %d)" % (out, input_lines[out]))
+                if strict:
+                    raise CircuitError("line %d: %s" % (lineno, message))
+                source_map.record("shadowed-input", message,
+                                  line=lineno, nets=(out,))
+                continue
+            gate_lines[out] = lineno
+            try:
+                circuit.add_gate(out, gtype, args)
+            except CircuitError as err:
+                raise CircuitError("line %d: %s" % (lineno, err)) \
+                    from None
+            if source_map is not None:
+                source_map.define(out, lineno)
     for net in outputs:
+        if not strict and net in circuit.outputs:
+            continue
         circuit.add_output(net)
-    circuit.validate(allow_free=True)
+    if strict:
+        # In permissive (lint) mode structural problems — cycles above
+        # all — are left for the linter to report with full context.
+        circuit.validate(allow_free=True)
     return circuit
 
 

@@ -12,11 +12,24 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from .gates import GateType, eval_gate
 
-__all__ = ["Gate", "Circuit", "CircuitError"]
+__all__ = ["Gate", "Circuit", "CircuitError", "CombinationalCycleError"]
 
 
 class CircuitError(ValueError):
     """Structural problem in a netlist (cycle, undriven net, ...)."""
+
+
+class CombinationalCycleError(CircuitError):
+    """A combinational feedback loop, with the full cycle as witness.
+
+    ``cycle`` lists the gate-output nets along the loop, first net
+    repeated at the end: ``["a", "b", "c", "a"]``.
+    """
+
+    def __init__(self, cycle: Sequence[str]) -> None:
+        self.cycle: List[str] = list(cycle)
+        super().__init__("combinational cycle: %s"
+                         % " -> ".join(self.cycle))
 
 
 @dataclass(frozen=True)
@@ -181,7 +194,8 @@ class Circuit:
     def topological_order(self) -> List[str]:
         """Gate output nets in topological order (inputs excluded).
 
-        Raises :class:`CircuitError` on combinational cycles.
+        Raises :class:`CombinationalCycleError` (a :class:`CircuitError`)
+        on combinational cycles, with the full cycle path as witness.
         """
         if self._topo_cache is not None:
             return list(self._topo_cache)
@@ -201,18 +215,63 @@ class Circuit:
                 if st == 2:
                     continue
                 if st == 1:
-                    raise CircuitError("combinational cycle through %r"
-                                       % net)
+                    self._raise_cycle(net)
                 state[net] = 1
                 stack.append((net, True))
                 for src in self._gates[net].inputs:
                     if src in self._gates and state.get(src, 0) != 2:
                         if state.get(src, 0) == 1:
-                            raise CircuitError(
-                                "combinational cycle through %r" % src)
+                            self._raise_cycle(src)
                         stack.append((src, False))
         self._topo_cache = order
         return list(order)
+
+    def _raise_cycle(self, net: str) -> None:
+        """Raise with the actual cycle through ``net`` as witness."""
+        cycle = self.find_cycle()
+        if cycle is None:  # pragma: no cover - detector disagreement
+            raise CircuitError("combinational cycle through %r" % net)
+        raise CombinationalCycleError(cycle)
+
+    def find_cycle(self) -> Optional[List[str]]:
+        """One combinational cycle as a closed net path, or ``None``.
+
+        Returns e.g. ``["a", "b", "c", "a"]`` where each gate reads the
+        next net in the list as one of its fanins (fan-in direction),
+        and the first net closes the loop.  Runs one O(V+E) DFS;
+        :meth:`topological_order` calls this only on failure.
+        """
+        if self._topo_cache is not None:
+            return None
+        state: Dict[str, int] = {}  # 1 = on current path, 2 = done
+        for root in self._gates:
+            if state.get(root):
+                continue
+            # DFS with an explicit path so the cycle can be read off.
+            path: List[str] = []
+            iters = []
+            state[root] = 1
+            path.append(root)
+            iters.append(iter(self._gates[root].inputs))
+            while path:
+                try:
+                    src = next(iters[-1])
+                except StopIteration:
+                    done = path.pop()
+                    iters.pop()
+                    state[done] = 2
+                    continue
+                if src not in self._gates:
+                    continue
+                st = state.get(src, 0)
+                if st == 1:
+                    start = path.index(src)
+                    return path[start:] + [src]
+                if st == 0:
+                    state[src] = 1
+                    path.append(src)
+                    iters.append(iter(self._gates[src].inputs))
+        return None
 
     def levelize(self) -> Dict[str, int]:
         """Logic depth of each net (inputs and free nets at level 0)."""
@@ -245,15 +304,22 @@ class Circuit:
         return seen
 
     def validate(self, allow_free: bool = False) -> None:
-        """Check structural sanity; complete circuits have no free nets."""
-        self.topological_order()
-        free = self.free_nets()
-        if free and not allow_free:
-            raise CircuitError("undriven nets: %s" % ", ".join(free[:5]))
-        for out in self._outputs:
-            if (out not in self._gates and out not in self._input_set
-                    and out not in free):
-                raise CircuitError("dangling output %r" % out)
+        """Check structural sanity; complete circuits have no free nets.
+
+        Delegates to the error rules of :mod:`repro.analysis.lint` (the
+        fast, errors-only profile) and raises :class:`CircuitError` on
+        the first finding.  For the full rule set — including warnings
+        like dead or degenerate gates — call
+        :func:`repro.analysis.lint.lint_circuit` directly.
+        """
+        # Imported lazily: analysis sits above the circuit layer.
+        from ..analysis.lint import structural_errors
+
+        problems = structural_errors(self, allow_free=allow_free)
+        if problems:
+            if problems[0].rule.name == "combinational-cycle":
+                raise CombinationalCycleError(problems[0].nets)
+            raise CircuitError("; ".join(d.message for d in problems))
 
     # ------------------------------------------------------------------
     # Simulation

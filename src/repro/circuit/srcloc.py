@@ -1,0 +1,57 @@
+"""Source-location tracking for the text netlist parsers.
+
+A :class:`SourceMap` records, for each net, the line of the construct
+that defined it, plus *parse events* — findings (duplicate drivers,
+re-declared inputs, shadowed names) the parsers notice while reading a
+file.  The linter (:mod:`repro.analysis.lint`) turns parse events into
+:class:`~repro.analysis.diagnostics.Diagnostic` records with file/line
+context; the circuit layer itself stays free of any analysis dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["ParseEvent", "SourceMap"]
+
+
+@dataclass(frozen=True)
+class ParseEvent:
+    """One parser-level finding, in linter rule vocabulary.
+
+    ``rule`` is the *name* of a lint rule (e.g. ``"multiply-driven-net"``,
+    ``"duplicate-input"``, ``"shadowed-input"``); the analysis layer maps
+    it to the full rule record with id and severity.
+    """
+
+    rule: str
+    message: str
+    line: Optional[int] = None
+    nets: Tuple[str, ...] = ()
+
+
+@dataclass
+class SourceMap:
+    """Net definition lines and parse events for one parsed file."""
+
+    file: Optional[str] = None
+    net_lines: Dict[str, int] = field(default_factory=dict)
+    events: List[ParseEvent] = field(default_factory=list)
+
+    def define(self, net: str, line: int) -> None:
+        """Record the defining line of ``net`` (first definition wins)."""
+        self.net_lines.setdefault(net, line)
+
+    def line_of(self, net: str) -> Optional[int]:
+        """Line where ``net`` was defined, if known."""
+        return self.net_lines.get(net)
+
+    def record(self, rule: str, message: str, line: Optional[int] = None,
+               nets: Tuple[str, ...] = ()) -> None:
+        """Append a parse event."""
+        self.events.append(ParseEvent(rule, message, line, tuple(nets)))
+
+    def __repr__(self) -> str:
+        return "<SourceMap %s: %d nets, %d events>" % (
+            self.file or "<string>", len(self.net_lines), len(self.events))

@@ -33,16 +33,27 @@ def run_ladder(spec: Circuit, partial: PartialImplementation,
                checks: Sequence[str] = CHECK_ORDER,
                patterns: int = 1000,
                seed: Optional[int] = None,
-               stop_at_first_error: bool = True) -> List[CheckResult]:
+               stop_at_first_error: bool = True,
+               lint: bool = True) -> List[CheckResult]:
     """Run the selected checks in ladder order; returns all results.
 
     The Z_i-based rungs share one symbolic context (spec and impl BDDs
     are built once).  With ``stop_at_first_error`` (default) the ladder
     short-circuits as the paper suggests.
+
+    Unless ``lint=False``, the partial implementation is linted first
+    and the findings are attached to every result's ``diagnostics`` —
+    most importantly ``box-cone-overlap``, which marks the input-exact
+    verdict as approximate (Theorem 2.2 exactness needs b = 1).
     """
     unknown = set(checks) - set(CHECK_ORDER)
     if unknown:
         raise ValueError("unknown checks: %s" % ", ".join(sorted(unknown)))
+    diagnostics: List = []
+    if lint:
+        from ..analysis.lint import lint_partial
+
+        diagnostics = list(lint_partial(partial))
     ordered = [c for c in CHECK_ORDER if c in checks]
     results: List[CheckResult] = []
     ctx = None
@@ -62,6 +73,7 @@ def run_ladder(spec: Circuit, partial: PartialImplementation,
                 result = output_exact_from_context(ctx)
             else:
                 result = input_exact_from_context(ctx)
+        result.diagnostics = list(diagnostics)
         results.append(result)
         if result.error_found and stop_at_first_error:
             break

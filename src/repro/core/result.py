@@ -4,7 +4,10 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..analysis.diagnostics import Diagnostic
 
 __all__ = ["CheckResult", "Stopwatch"]
 
@@ -41,6 +44,11 @@ class CheckResult:
     stats:
         Implementation-defined resource counters (BDD sizes, peak nodes,
         pattern counts, ...), mirroring the paper's Tables 1 and 2.
+    diagnostics:
+        Pre-flight linter findings for the checked model (see
+        :mod:`repro.analysis`).  Warnings here qualify the verdict —
+        e.g. ``box-cone-overlap`` means a "no error" from the
+        input-exact rung is an approximation, not a guarantee.
     """
 
     check: str
@@ -51,6 +59,7 @@ class CheckResult:
     detail: str = ""
     seconds: float = 0.0
     stats: Dict[str, int] = field(default_factory=dict)
+    diagnostics: List["Diagnostic"] = field(default_factory=list)
 
     def __repr__(self) -> str:
         verdict = "ERROR" if self.error_found else (

@@ -7,6 +7,7 @@ Examples::
     python -m repro.experiments table40 --benchmarks alu4,comp
     python -m repro.experiments figures
     python -m repro.experiments table1 --paper-scale   # hours, faithful
+    python -m repro.experiments lint examples/circuits/*.blif
 """
 
 from __future__ import annotations
@@ -52,13 +53,23 @@ def _run_figures() -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI dispatcher; returns a process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "lint":
+        # The linter has its own option set (files, --format, ...) that
+        # clashes with the experiment flags, so it dispatches early.
+        from ..analysis.cli import main as lint_main
+
+        return lint_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the evaluation of 'Checking Equivalence "
                     "for Partial Implementations' (DAC 2001)")
     parser.add_argument("experiment",
                         choices=sorted(_TABLES) + ["figures", "sweep"],
-                        help="which table/figure set to regenerate")
+                        help="which table/figure set to regenerate "
+                             "(also: 'lint FILE...' runs the netlist "
+                             "linter, see 'lint --help')")
     parser.add_argument("--selections", type=int, default=None,
                         help="random Black Box selections per circuit "
                              "(paper: 5)")

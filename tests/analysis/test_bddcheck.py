@@ -1,0 +1,121 @@
+"""BDD sanitizer: opt-in invariant checks after GC and reordering."""
+
+import pytest
+
+from repro.analysis.bddcheck import BddInvariantError, \
+    enable_debug_checks, sanitize_manager
+from repro.bdd import Bdd
+from repro.bdd.manager import BddManager, debug_checks_enabled
+
+
+def _pollute(bdd):
+    """Create a few dead nodes so a GC has something to do."""
+    x, y, z = bdd.add_vars(["x", "y", "z"])
+    keep = (x & y) | z
+    for _ in range(5):
+        _ = (x ^ y) & z  # dropped immediately -> garbage
+    return keep
+
+
+class TestOptIn:
+    def test_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_DEBUG", raising=False)
+        assert not debug_checks_enabled()
+        assert BddManager().debug_checks is False
+
+    def test_env_var_enables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DEBUG", "1")
+        assert debug_checks_enabled()
+        assert BddManager().debug_checks is True
+        # Explicit argument still wins over the environment.
+        assert BddManager(debug_checks=False).debug_checks is False
+
+    def test_constructor_flag(self, monkeypatch):
+        monkeypatch.delenv("REPRO_DEBUG", raising=False)
+        assert Bdd(debug_checks=True).manager.debug_checks is True
+
+    def test_runtime_toggle(self):
+        bdd = Bdd()
+        enable_debug_checks(bdd)
+        assert bdd.manager.debug_checks is True
+        enable_debug_checks(bdd, False)
+        assert bdd.manager.debug_checks is False
+
+
+class TestSelfCheckHooks:
+    def test_gc_triggers_selfcheck(self):
+        bdd = Bdd(debug_checks=True)
+        _pollute(bdd)
+        before = bdd.manager.n_selfchecks
+        bdd.collect_garbage()
+        assert bdd.manager.n_selfchecks == before + 1
+
+    def test_reorder_triggers_selfcheck(self):
+        bdd = Bdd(debug_checks=True)
+        _pollute(bdd)
+        before = bdd.manager.n_selfchecks
+        bdd.reorder()
+        # reorder() garbage-collects first, then sifts: two checks.
+        assert bdd.manager.n_selfchecks == before + 2
+
+    def test_no_selfcheck_when_disabled(self):
+        bdd = Bdd(debug_checks=False)
+        _pollute(bdd)
+        bdd.collect_garbage()
+        bdd.reorder()
+        assert bdd.manager.n_selfchecks == 0
+
+
+class TestCorruptionDetection:
+    @staticmethod
+    def _corrupt(bdd, keep):
+        """Make a *live* internal node redundant (low == high).
+
+        Corrupting a live node keeps the GC sweep itself functional (it
+        only deletes dead nodes by their unique-table key), so the
+        corruption is caught by the post-GC self-check, not by an
+        accidental crash inside the sweep.
+        """
+        mgr = bdd.manager
+        node = keep.node
+        assert mgr._low[node] != mgr._high[node]
+        mgr._high[node] = mgr._low[node]
+
+    def test_sanitize_reports_diagnostics(self):
+        bdd = Bdd()
+        keep = _pollute(bdd)
+        self._corrupt(bdd, keep)
+        report = sanitize_manager(bdd)
+        assert not report.ok
+        assert all(d.rule_id == "D001" for d in report)
+
+    def test_gc_raises_invariant_error(self):
+        bdd = Bdd(debug_checks=True)
+        keep = _pollute(bdd)
+        self._corrupt(bdd, keep)
+        with pytest.raises(BddInvariantError) as excinfo:
+            bdd.collect_garbage()
+        assert excinfo.value.phase == "gc"
+        assert excinfo.value.diagnostics
+        assert excinfo.value.diagnostics[0].rule_id == "D001"
+
+    def test_sanitize_clean_manager_is_empty(self):
+        bdd = Bdd()
+        _pollute(bdd)
+        report = sanitize_manager(bdd)
+        assert report.ok
+        assert len(report) == 0
+        assert bdd.manager.n_selfchecks == 1
+
+
+class TestBackCompat:
+    def test_check_invariants_still_asserts(self):
+        bdd = Bdd()
+        _pollute(bdd)
+        bdd.manager.check_invariants()  # clean: no exception
+        mgr = bdd.manager
+        node = max(n for n in range(len(mgr._var))
+                   if mgr._var[n] >= 0 and mgr._low[n] != mgr._high[n])
+        mgr._high[node] = mgr._low[node]
+        with pytest.raises(AssertionError):
+            bdd.manager.check_invariants()

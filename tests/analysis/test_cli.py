@@ -1,0 +1,130 @@
+"""Lint CLI: exit codes, formats, and the experiments dispatcher."""
+
+import json
+
+import pytest
+
+from repro.analysis.cli import main as lint_main
+from repro.experiments.cli import main as experiments_main
+
+CLEAN_BENCH = """\
+INPUT(a)
+INPUT(b)
+OUTPUT(f)
+g = AND(a, b)
+f = NOT(g)
+"""
+
+CYCLIC_BENCH = """\
+INPUT(a)
+OUTPUT(f)
+x = AND(a, y)
+y = NOT(x)
+f = OR(x, y)
+"""
+
+MULTI_DRIVEN_BLIF = """\
+.model twice
+.inputs a b
+.outputs f
+.names a b f
+11 1
+.names a f
+1 1
+.end
+"""
+
+FREE_NET_BENCH = """\
+INPUT(a)
+OUTPUT(f)
+f = AND(a, u)
+"""
+
+
+@pytest.fixture
+def files(tmp_path):
+    def make(name, text):
+        path = tmp_path / name
+        path.write_text(text)
+        return str(path)
+
+    return make
+
+
+class TestExitCodes:
+    def test_clean_file_exits_zero(self, files, capsys):
+        assert lint_main([files("ok.bench", CLEAN_BENCH)]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_cycle_exits_one(self, files, capsys):
+        assert lint_main([files("cyc.bench", CYCLIC_BENCH)]) == 1
+        out = capsys.readouterr().out
+        assert "L001" in out
+        assert "x -> y -> x" in out
+
+    def test_multiply_driven_exits_one(self, files, capsys):
+        assert lint_main([files("twice.blif", MULTI_DRIVEN_BLIF)]) == 1
+        assert "L002" in capsys.readouterr().out
+
+    def test_missing_file_exits_two(self, capsys):
+        assert lint_main(["/no/such/file.blif"]) == 2
+        assert "unreadable" in capsys.readouterr().err
+
+    def test_unknown_extension_exits_two(self, files, capsys):
+        assert lint_main([files("netlist.txt", CLEAN_BENCH)]) == 2
+        assert "unreadable" in capsys.readouterr().err
+
+    def test_binary_file_exits_two(self, tmp_path, capsys):
+        path = tmp_path / "junk.blif"
+        path.write_bytes(b"garbage\x00\xff\n")
+        assert lint_main([str(path)]) == 2
+        assert "unreadable" in capsys.readouterr().err
+
+    def test_unreadable_beats_findings(self, files, capsys):
+        code = lint_main([files("cyc.bench", CYCLIC_BENCH),
+                          "/no/such/file.blif"])
+        assert code == 2
+
+    def test_allow_free_suppresses_undriven(self, files, capsys):
+        path = files("free.bench", FREE_NET_BENCH)
+        assert lint_main([path]) == 1
+        capsys.readouterr()
+        assert lint_main(["--allow-free", path]) == 0
+
+
+class TestFormats:
+    def test_json_output(self, files, capsys):
+        path = files("cyc.bench", CYCLIC_BENCH)
+        assert lint_main(["--format", "json", path]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["rule"] == "L001"
+        assert payload[0]["file"] == path
+        assert payload[0]["nets"][0] == payload[0]["nets"][-1]
+
+    def test_json_empty_for_clean_file(self, files, capsys):
+        assert lint_main(["--format", "json",
+                          files("ok.bench", CLEAN_BENCH)]) == 0
+        assert json.loads(capsys.readouterr().out) == []
+
+    def test_text_summary_line(self, files, capsys):
+        lint_main([files("cyc.bench", CYCLIC_BENCH)])
+        assert "error(s)" in capsys.readouterr().out
+
+    def test_parse_error_is_p001(self, files, capsys):
+        path = files("broken.blif", ".names f\n.garbage\n")
+        assert lint_main(["--format", "json", path]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert [d["rule"] for d in payload] == ["P001"]
+        assert payload[0]["line"] == 2
+
+
+class TestExperimentsDispatch:
+    def test_lint_subcommand(self, files, capsys):
+        assert experiments_main(
+            ["lint", files("ok.bench", CLEAN_BENCH)]) == 0
+        assert experiments_main(
+            ["lint", files("cyc.bench", CYCLIC_BENCH)]) == 1
+
+    def test_other_subcommands_untouched(self, capsys):
+        with pytest.raises(SystemExit):
+            experiments_main(["not-a-command"])

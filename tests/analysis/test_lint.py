@@ -1,0 +1,290 @@
+"""Netlist linter: every rule fires on its trigger, clean stays clean."""
+
+import pytest
+
+from repro.analysis import LintReport, Severity, lint_circuit, \
+    lint_partial, rule
+from repro.analysis.lint import lint_boxes
+from repro.circuit import Circuit, CircuitBuilder, \
+    CombinationalCycleError, GateType, loads_blif
+from repro.circuit.srcloc import SourceMap
+from repro.partial import BlackBox, PartialImplementation
+
+
+def _clean_circuit() -> Circuit:
+    builder = CircuitBuilder("clean")
+    a, b = builder.input("a"), builder.input("b")
+    builder.output(builder.and_(a, b), "f")
+    return builder.circuit
+
+
+def _cyclic_circuit() -> Circuit:
+    c = Circuit("cyc")
+    c.add_input("a")
+    c.add_gate("x", GateType.AND, ["a", "y"])
+    c.add_gate("y", GateType.NOT, ["x"])
+    c.add_output("y")
+    return c
+
+
+class TestNetlistRules:
+    def test_clean_circuit_has_no_findings(self):
+        report = lint_circuit(_clean_circuit())
+        assert report.ok
+        assert len(report) == 0
+
+    def test_cycle_reports_full_path_witness(self):
+        report = lint_circuit(_cyclic_circuit())
+        findings = report.by_rule("L001")
+        assert len(findings) == 1
+        cycle = findings[0].nets
+        # Closed walk: starts and ends on the same net.
+        assert cycle[0] == cycle[-1]
+        assert set(cycle) == {"x", "y"}
+        assert " -> ".join(cycle) in findings[0].message
+
+    def test_validate_raises_cycle_error_with_path(self):
+        with pytest.raises(CombinationalCycleError) as excinfo:
+            _cyclic_circuit().validate()
+        assert excinfo.value.cycle[0] == excinfo.value.cycle[-1]
+        assert set(excinfo.value.cycle) == {"x", "y"}
+
+    def test_undriven_net_read_by_gate(self):
+        c = Circuit("undriven")
+        c.add_input("a")
+        c.add_gate("f", GateType.AND, ["a", "ghost"])
+        c.add_output("f")
+        report = lint_circuit(c)
+        assert report.rule_ids() == ["L003"]
+        assert not lint_circuit(c, allow_free=True).by_rule("L003")
+
+    def test_dangling_output(self):
+        c = Circuit("dangle")
+        c.add_input("a")
+        c.add_gate("f", GateType.NOT, ["a"])
+        c.add_output("f")
+        c.add_output("ghost")
+        report = lint_circuit(c)
+        assert report.rule_ids() == ["L004"]
+
+    def test_dead_gate_outside_output_cone(self):
+        c = Circuit("dead")
+        c.add_input("a")
+        c.add_gate("f", GateType.NOT, ["a"])
+        c.add_gate("unused", GateType.BUF, ["a"])
+        c.add_output("f")
+        report = lint_circuit(c)
+        dead = report.by_rule("dead-gate")
+        assert [d.nets for d in dead] == [("unused",)]
+        assert dead[0].severity == Severity.WARNING
+        assert report.ok  # warnings only
+
+    def test_degenerate_one_input_and(self):
+        c = Circuit("degen")
+        c.add_input("a")
+        c.add_gate("f", GateType.AND, ["a"])
+        c.add_output("f")
+        report = lint_circuit(c)
+        assert report.rule_ids() == ["L006"]
+        assert "BUF" in report.by_rule("L006")[0].message
+
+    def test_degenerate_duplicate_xor_fanin(self):
+        c = Circuit("degen2")
+        c.add_input("a")
+        c.add_gate("f", GateType.XOR, ["a", "a"])
+        c.add_output("f")
+        report = lint_circuit(c)
+        assert report.rule_ids() == ["L006"]
+        assert "cancel" in report.by_rule("L006")[0].message
+
+    def test_errors_only_profile_skips_warnings(self):
+        c = Circuit("degen")
+        c.add_input("a")
+        c.add_gate("f", GateType.AND, ["a"])
+        c.add_output("f")
+        assert len(lint_circuit(c, errors_only=True)) == 0
+
+    def test_parse_events_become_located_diagnostics(self):
+        text = (".model twice\n.inputs a b\n.outputs f\n"
+                ".names a b f\n11 1\n.names a f\n1 1\n.end\n")
+        source = SourceMap(file="twice.blif")
+        circuit = loads_blif(text, source_map=source, strict=False)
+        report = lint_circuit(circuit, source=source)
+        findings = report.by_rule("multiply-driven-net")
+        assert len(findings) == 1
+        assert findings[0].file == "twice.blif"
+        assert findings[0].line == 6
+        # First definition wins: f still behaves as AND(a, b), not
+        # as the shadowing BUF(a) cover.
+        assert circuit.evaluate({"a": True, "b": False})["f"] is False
+
+
+class TestBoxRules:
+    def _two_box_overlap(self):
+        c = Circuit("overlap")
+        c.add_input("a")
+        c.add_input("b")
+        c.add_gate("s", GateType.NOT, ["a"])
+        c.add_gate("f", GateType.AND, ["u", "v"])
+        c.add_output("f")
+        boxes = [BlackBox("bb1", ("s", "b"), ("u",)),
+                 BlackBox("bb2", ("s",), ("v",))]
+        return c, boxes
+
+    def test_overlapping_cones_warn_about_theorem_2_2(self):
+        c, boxes = self._two_box_overlap()
+        report = lint_boxes(c, boxes)
+        overlap = report.by_rule("box-cone-overlap")
+        assert len(overlap) == 1
+        assert "Theorem 2.2" in overlap[0].message
+        assert "approximation" in overlap[0].message
+        assert report.ok  # a warning, not an error
+
+    def test_single_box_never_warns_overlap(self):
+        c = Circuit("single")
+        c.add_input("a")
+        c.add_gate("f", GateType.BUF, ["u"])
+        c.add_output("f")
+        report = lint_boxes(c, [BlackBox("bb", ("a",), ("u",))])
+        assert not report.by_rule("box-cone-overlap")
+
+    def test_disjoint_cones_do_not_warn(self):
+        c = Circuit("disjoint")
+        c.add_input("a")
+        c.add_input("b")
+        c.add_gate("f", GateType.AND, ["u", "v"])
+        c.add_output("f")
+        boxes = [BlackBox("bb1", ("a",), ("u",)),
+                 BlackBox("bb2", ("b",), ("v",))]
+        assert not lint_boxes(c, boxes).by_rule("box-cone-overlap")
+
+    def test_box_output_collision_with_gate(self):
+        c = Circuit("collide")
+        c.add_input("a")
+        c.add_gate("u", GateType.NOT, ["a"])
+        c.add_output("u")
+        report = lint_boxes(c, [BlackBox("bb", ("a",), ("u",))])
+        assert "B001" in report.rule_ids()
+
+    def test_free_net_without_box(self):
+        c = Circuit("orphan")
+        c.add_input("a")
+        c.add_gate("f", GateType.AND, ["a", "mystery"])
+        c.add_output("f")
+        report = lint_boxes(c, [])
+        assert report.rule_ids() == ["B002"]
+
+    def test_box_self_feedback(self):
+        c = Circuit("loop")
+        c.add_input("a")
+        c.add_gate("t", GateType.AND, ["a", "u"])
+        c.add_gate("f", GateType.BUF, ["u"])
+        c.add_output("f")
+        report = lint_boxes(c, [BlackBox("bb", ("t",), ("u",))])
+        assert "B003" in report.rule_ids()
+
+    def test_mutual_box_cycle(self):
+        c = Circuit("mutual")
+        c.add_input("a")
+        c.add_gate("f", GateType.AND, ["u", "v"])
+        c.add_output("f")
+        boxes = [BlackBox("bb1", ("v",), ("u",)),
+                 BlackBox("bb2", ("u",), ("v",))]
+        report = lint_boxes(c, boxes)
+        feedback = report.by_rule("box-feedback")
+        assert len(feedback) == 1
+        assert "bb1" in feedback[0].message
+        assert "bb2" in feedback[0].message
+
+    def test_unread_box_output_is_info(self):
+        c = Circuit("unread")
+        c.add_input("a")
+        c.add_gate("f", GateType.NOT, ["a"])
+        c.add_output("f")
+        report = lint_boxes(c, [BlackBox("bb", ("a",), ("u",))])
+        unread = report.by_rule("unread-box-output")
+        assert len(unread) == 1
+        assert unread[0].severity == Severity.INFO
+
+    def test_lint_partial_accepts_constructed_partial(self):
+        c, boxes = self._two_box_overlap()
+        partial = PartialImplementation(c, boxes)
+        report = lint_partial(partial)
+        assert report.by_rule("box-cone-overlap")
+
+    def test_gate_feeding_only_box_inputs_is_not_dead(self):
+        # 's' reaches the outputs only through the boxes; the bare
+        # circuit cone misses it, but for a partial it is live logic.
+        c, boxes = self._two_box_overlap()
+        assert lint_circuit(c).by_rule("dead-gate")
+        assert not lint_partial(c, boxes).by_rule("dead-gate")
+
+
+class TestLadderIntegration:
+    def test_ladder_attaches_diagnostics(self):
+        from repro.core import run_ladder
+        from repro.generators import figure1
+
+        spec, partial = figure1()
+        results = run_ladder(spec, partial, checks=("local",))
+        assert all(isinstance(r.diagnostics, list) for r in results)
+
+    def test_ladder_overlap_warning_reaches_results(self):
+        from repro.core import run_ladder
+
+        builder = CircuitBuilder("spec")
+        a, b = builder.input("a"), builder.input("b")
+        builder.output(builder.and_(a, b), "f")
+        spec = builder.circuit
+
+        impl = Circuit("impl")
+        impl.add_input("a")
+        impl.add_input("b")
+        impl.add_gate("s", GateType.AND, ["a", "b"])
+        impl.add_gate("f", GateType.AND, ["u", "v"])
+        impl.add_output("f")
+        partial = PartialImplementation(
+            impl, [BlackBox("bb1", ("s",), ("u",)),
+                   BlackBox("bb2", ("s",), ("v",))])
+        results = run_ladder(spec, partial, checks=("local",))
+        ids = {d.rule_id for r in results for d in r.diagnostics}
+        assert "B004" in ids
+
+    def test_ladder_lint_can_be_disabled(self):
+        from repro.core import run_ladder
+        from repro.generators import figure1
+
+        spec, partial = figure1()
+        results = run_ladder(spec, partial, checks=("local",),
+                             lint=False)
+        assert all(r.diagnostics == [] for r in results)
+
+    def test_api_lint_method(self):
+        from repro.api import BlackBoxChecker
+        from repro.generators import figure1
+
+        spec, partial = figure1()
+        report = BlackBoxChecker(spec).lint(partial)
+        assert isinstance(report, LintReport)
+        assert report.ok
+
+
+class TestReportMachinery:
+    def test_rule_lookup_by_id_and_name(self):
+        assert rule("L001") is rule("combinational-cycle")
+        with pytest.raises(KeyError):
+            rule("L999")
+
+    def test_json_round_trip(self):
+        import json
+
+        report = lint_circuit(_cyclic_circuit())
+        payload = json.loads(report.to_json())
+        assert payload[0]["rule"] == "L001"
+        assert payload[0]["severity"] == "error"
+
+    def test_raise_if_errors(self):
+        report = lint_circuit(_cyclic_circuit())
+        with pytest.raises(ValueError):
+            report.raise_if_errors()
+        lint_circuit(_clean_circuit()).raise_if_errors()

@@ -1,0 +1,106 @@
+"""Property tests: generated circuits lint clean, mutations stay clean.
+
+Two invariants tie the linter to the rest of the library:
+
+1. Every circuit the benchmark generators emit is structurally sound —
+   no error-severity finding, ever.
+2. The paper's fault model (Section 3 mutations) changes *functions*,
+   not *structure*: a mutated circuit still lints without errors, and
+   the structural warnings it can introduce are exactly the expected
+   ones (``remove_input`` on a 2-input gate leaves a 1-input
+   degenerate, for example).
+"""
+
+from functools import lru_cache
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import Severity, lint_circuit
+from repro.circuit import Circuit, GateType
+from repro.generators.benchmarks import BENCHMARK_FACTORIES, \
+    BENCHMARK_NAMES
+from repro.partial.mutations import Mutation, applicable_mutations, \
+    apply_mutation
+
+
+@lru_cache(maxsize=None)
+def _benchmark(name):
+    return BENCHMARK_FACTORIES[name]()
+
+
+@pytest.mark.parametrize("name", BENCHMARK_NAMES)
+def test_generator_benchmarks_lint_clean(name):
+    report = lint_circuit(_benchmark(name))
+    assert report.ok, report.format()
+
+
+@st.composite
+def _random_circuits(draw):
+    """Structurally valid random DAG circuits (builder-style)."""
+    n_inputs = draw(st.integers(min_value=1, max_value=4))
+    circuit = Circuit("random")
+    nets = [circuit.add_input("x%d" % i) for i in range(n_inputs)]
+    n_gates = draw(st.integers(min_value=1, max_value=12))
+    binary = [GateType.AND, GateType.OR, GateType.NAND, GateType.NOR,
+              GateType.XOR, GateType.XNOR]
+    for index in range(n_gates):
+        gtype = draw(st.sampled_from(binary + [GateType.NOT]))
+        if gtype is GateType.NOT:
+            fanins = [draw(st.sampled_from(nets))]
+        else:
+            first = draw(st.sampled_from(nets))
+            second = draw(st.sampled_from(
+                [n for n in nets if n != first] or nets))
+            fanins = [first, second]
+        nets.append(circuit.add_gate("g%d" % index, gtype, fanins))
+    circuit.add_output(nets[-1])
+    return circuit
+
+
+@settings(max_examples=60, deadline=None)
+@given(_random_circuits())
+def test_random_circuits_have_no_error_findings(circuit):
+    report = lint_circuit(circuit)
+    assert report.ok, report.format()
+
+
+@settings(max_examples=40, deadline=None)
+@given(_random_circuits(), st.randoms(use_true_random=False))
+def test_mutations_never_introduce_error_findings(circuit, rng):
+    mutations = applicable_mutations(circuit)
+    if not mutations:
+        return
+    mutated = apply_mutation(circuit, rng.choice(mutations))
+    report = lint_circuit(mutated)
+    assert report.ok, report.format()
+
+
+class TestTargetedMutations:
+    """Exact rule ids for structure-changing mutations."""
+
+    @staticmethod
+    def _and2():
+        c = Circuit("and2")
+        c.add_input("a")
+        c.add_input("b")
+        c.add_gate("f", GateType.AND, ["a", "b"])
+        c.add_output("f")
+        return c
+
+    def test_remove_input_leaves_degenerate_gate(self):
+        mutated = apply_mutation(self._and2(),
+                                 Mutation("remove_input", "f", pin=0))
+        report = lint_circuit(mutated)
+        assert report.rule_ids() == ["L006"]
+        assert report.by_rule("L006")[0].severity == Severity.WARNING
+
+    def test_invert_output_stays_clean(self):
+        mutated = apply_mutation(self._and2(),
+                                 Mutation("invert_output", "f"))
+        assert len(lint_circuit(mutated)) == 0
+
+    def test_change_gate_type_stays_clean(self):
+        mutated = apply_mutation(self._and2(),
+                                 Mutation("change_gate_type", "f"))
+        assert len(lint_circuit(mutated)) == 0

@@ -84,6 +84,30 @@ class TestStructure:
         with pytest.raises(CircuitError):
             c.topological_order()
 
+    def test_cycle_error_carries_path_witness(self):
+        from repro.circuit import CombinationalCycleError
+
+        c = Circuit()
+        c.add_input("a")
+        c.add_gate("p", GateType.NOT, ["a"])
+        c.add_gate("x", GateType.AND, ["p", "z"])
+        c.add_gate("y", GateType.OR, ["x", "a"])
+        c.add_gate("z", GateType.BUF, ["y"])
+        c.add_output("z")
+        with pytest.raises(CombinationalCycleError) as excinfo:
+            c.topological_order()
+        cycle = excinfo.value.cycle
+        assert cycle[0] == cycle[-1]
+        assert set(cycle) == {"x", "y", "z"}
+        # Every hop in the witness is a real netlist edge (fan-in
+        # direction: each gate reads the next net in the list).
+        for src, dst in zip(cycle, cycle[1:]):
+            assert dst in c.gate(src).inputs
+        assert " -> ".join(cycle) in str(excinfo.value)
+
+    def test_find_cycle_none_on_dag(self):
+        assert small_circuit().find_cycle() is None
+
     def test_free_nets(self):
         c = Circuit()
         c.add_input("a")

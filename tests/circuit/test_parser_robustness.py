@@ -51,3 +51,84 @@ def test_bdd_loader_never_crashes(text):
         loads_functions(Bdd(), text)
     except ValueError:
         pass
+
+
+# ----------------------------------------------------------------------
+# Regression: duplicate definitions must raise in strict mode and be
+# recorded (first definition kept) in permissive lint mode.
+# ----------------------------------------------------------------------
+
+import pytest
+
+from repro.circuit import SourceMap, loads_verilog
+
+_DUP_NAMES = """\
+.model twice
+.inputs a b
+.outputs f
+.names a b f
+11 1
+.names a f
+1 1
+.end
+"""
+
+_DUP_BENCH = """\
+INPUT(a)
+OUTPUT(f)
+f = NOT(a)
+f = BUF(a)
+"""
+
+
+def test_blif_duplicate_names_rejected_strict():
+    with pytest.raises(CircuitError, match=r"line 6: duplicate \.names"):
+        loads_blif(_DUP_NAMES)
+
+
+def test_blif_duplicate_names_recorded_permissive():
+    source = SourceMap(file="twice.blif")
+    circuit = loads_blif(_DUP_NAMES, source_map=source, strict=False)
+    events = [e for e in source.events
+              if e.rule == "multiply-driven-net"]
+    assert len(events) == 1
+    assert events[0].line == 6
+    assert events[0].nets == ("f",)
+    # The first cover wins; the duplicate's rows are swallowed.
+    assert circuit.evaluate({"a": True, "b": False})["f"] is False
+    assert circuit.evaluate({"a": True, "b": True})["f"] is True
+
+
+def test_blif_permissive_requires_source_map():
+    with pytest.raises(ValueError):
+        loads_blif(_DUP_NAMES, strict=False)
+
+
+def test_blif_shadowed_input_strict_and_permissive():
+    text = (".model s\n.inputs a\n.outputs f\n"
+            ".names a\n1\n.names a f\n1 1\n.end\n")
+    with pytest.raises(CircuitError, match="line 4"):
+        loads_blif(text)
+    source = SourceMap(file="s.blif")
+    loads_blif(text, source_map=source, strict=False)
+    assert [e.rule for e in source.events] == ["shadowed-input"]
+
+
+def test_bench_duplicate_driver_strict_and_permissive():
+    with pytest.raises(CircuitError, match="line 4"):
+        loads_bench(_DUP_BENCH)
+    source = SourceMap(file="dup.bench")
+    circuit = loads_bench(_DUP_BENCH, source_map=source, strict=False)
+    assert [e.rule for e in source.events] == ["multiply-driven-net"]
+    assert circuit.evaluate({"a": True})["f"] is False  # NOT won
+
+
+def test_verilog_duplicate_driver_strict_and_permissive():
+    text = ("module m (a, f);\n  input a;\n  output f;\n"
+            "  not g0 (f, a);\n  buf g1 (f, a);\nendmodule\n")
+    with pytest.raises(CircuitError, match="line 5"):
+        loads_verilog(text)
+    source = SourceMap(file="dup.v")
+    circuit = loads_verilog(text, source_map=source, strict=False)
+    assert [e.rule for e in source.events] == ["multiply-driven-net"]
+    assert circuit.evaluate({"a": True})["f"] is False  # NOT won

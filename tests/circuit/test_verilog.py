@@ -63,3 +63,54 @@ class TestDumpsVerilog:
         text = dumps_verilog(builder.build())
         assert re.search(r"input\s+x_y;", text)
         assert re.search(r"input\s+x_y_1;", text)
+
+
+class TestReadVerilog:
+    """The reader accepts everything the writer emits."""
+
+    def _round_trip(self, circuit):
+        from repro.circuit import loads_verilog
+
+        return loads_verilog(dumps_verilog(circuit))
+
+    def test_round_trip_preserves_semantics(self):
+        import itertools
+
+        builder = CircuitBuilder("rt")
+        a, b, c = (builder.input(n) for n in "abc")
+        builder.output(builder.xor_(builder.and_(a, b), c), "f")
+        original = builder.circuit
+        parsed = self._round_trip(original)
+        # The writer suffixes outputs with _o; compare functionally.
+        for bits in itertools.product([False, True], repeat=3):
+            assignment = dict(zip("abc", bits))
+            assert parsed.evaluate(assignment)["f_o"] \
+                == original.evaluate(assignment)["f"]
+
+    def test_round_trip_benchmark(self):
+        original = alu4_like()
+        parsed = self._round_trip(original)
+        assert len(parsed.inputs) == len(original.inputs)
+        assert len(parsed.outputs) == len(original.outputs)
+        parsed.validate(allow_free=True)
+
+    def test_constant_assigns_parse(self):
+        from repro.circuit import loads_verilog
+
+        text = ("module k (f);\n  output f;\n  wire t;\n"
+                "  assign t = 1'b1;\n  assign f = t;\nendmodule\n")
+        circuit = loads_verilog(text)
+        assert circuit.evaluate({})["f"] is True
+
+    def test_missing_module_rejected(self):
+        from repro.circuit import loads_verilog
+
+        with pytest.raises(CircuitError, match="module"):
+            loads_verilog("wire a;\n")
+
+    def test_unsupported_statement_rejected(self):
+        from repro.circuit import loads_verilog
+
+        with pytest.raises(CircuitError, match="line 2"):
+            loads_verilog("module m (a);\n  always @(a) begin end\n"
+                          "endmodule\n")

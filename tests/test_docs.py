@@ -52,7 +52,7 @@ def test_cli_commands_in_docs_are_valid():
     flattened = set()
     for c in commands:
         flattened.update(c.split("|"))
-    known = {"table1", "table2", "table40", "figures", "sweep"}
+    known = {"table1", "table2", "table40", "figures", "sweep", "lint"}
     assert flattened <= known, flattened - known
 
 
