@@ -49,11 +49,15 @@ def exists_conj(bdd: Bdd, functions: Iterable[Function],
 
     sizes = [f.size() for f in funcs]
     while live:
-        # Cheapest variable first: fewest functions, then smallest total.
-        def cost(var: str) -> Tuple[int, int]:
+        # Cheapest variable first: fewest functions, then smallest
+        # total, then name — the name tie-break keeps the elimination
+        # schedule (and hence the BDD peak) independent of set
+        # iteration order, i.e. of interpreter hash randomisation.
+        def cost(var: str) -> Tuple[int, int, str]:
             members = [i for i, sup in enumerate(supports) if var in sup]
             return (len(members),
-                    sum(sizes[i] for i in members))
+                    sum(sizes[i] for i in members),
+                    var)
 
         var = min(live, key=cost)
         members = [i for i, sup in enumerate(supports) if var in sup]

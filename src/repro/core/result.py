@@ -9,7 +9,15 @@ from typing import TYPE_CHECKING, Dict, List, Optional
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..analysis.diagnostics import Diagnostic
 
-__all__ = ["CheckResult", "Stopwatch"]
+__all__ = ["CheckResult", "Stopwatch", "OUTCOME_OK", "OUTCOME_TIMEOUT",
+           "OUTCOME_ERROR"]
+
+#: The check ran to completion and its verdict is meaningful.
+OUTCOME_OK = "ok"
+#: The check was killed at a wall-clock deadline; no verdict.
+OUTCOME_TIMEOUT = "timeout"
+#: The check (or its setup) raised; no verdict.
+OUTCOME_ERROR = "error"
 
 
 @dataclass
@@ -41,6 +49,12 @@ class CheckResult:
         quantifier prefix failed).
     seconds:
         Wall-clock time of the check.
+    outcome:
+        Execution status: ``"ok"`` (ran to completion — the normal
+        case), ``"timeout"`` (killed at a campaign deadline) or
+        ``"error"`` (the check raised).  Only ``"ok"`` results carry a
+        meaningful ``error_found`` verdict; campaign aggregation
+        excludes the other two from detection-ratio denominators.
     stats:
         Implementation-defined resource counters (BDD sizes, peak nodes,
         pattern counts, ...), mirroring the paper's Tables 1 and 2.
@@ -58,6 +72,7 @@ class CheckResult:
     failing_output: Optional[str] = None
     detail: str = ""
     seconds: float = 0.0
+    outcome: str = OUTCOME_OK
     stats: Dict[str, int] = field(default_factory=dict)
     diagnostics: List["Diagnostic"] = field(default_factory=list)
 

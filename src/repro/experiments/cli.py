@@ -8,6 +8,16 @@ Examples::
     python -m repro.experiments figures
     python -m repro.experiments table1 --paper-scale   # hours, faithful
     python -m repro.experiments lint examples/circuits/*.blif
+
+Campaigns shard across cores, checkpoint, and resume (docs/parallel.md)::
+
+    python -m repro.experiments table1 --jobs 8 --timeout 120 \\
+        --journal table1.jsonl
+    python -m repro.experiments table1 --jobs 8 --resume table1.jsonl
+    python -m repro.experiments table1 --format json > table1.json
+
+All progress goes to stderr; stdout carries only the table (or the
+--format json/csv export), so redirection is always clean.
 """
 
 from __future__ import annotations
@@ -85,8 +95,26 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--paper-scale", action="store_true",
                         help="use the paper's campaign size "
                              "(5 selections x 100 errors x 5000 patterns)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for the campaign "
+                             "(default 1 = in-process serial; results "
+                             "are bit-identical either way)")
+    parser.add_argument("--timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-case wall-clock deadline; an overdue "
+                             "case is killed and recorded as TIMEOUT "
+                             "instead of aborting the campaign")
+    parser.add_argument("--journal", metavar="FILE", default=None,
+                        help="append per-case results to a JSONL "
+                             "checkpoint as they complete")
+    parser.add_argument("--resume", metavar="FILE", default=None,
+                        help="skip cases already completed in this "
+                             "journal, then continue appending to it")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress progress output")
+    parser.add_argument("--format", choices=("table", "json", "csv"),
+                        default="table",
+                        help="stdout format (progress stays on stderr)")
     parser.add_argument("--json", metavar="FILE", default=None,
                         help="additionally write results as JSON")
     parser.add_argument("--csv", metavar="FILE", default=None,
@@ -95,9 +123,26 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="also print a measured-vs-paper comparison "
                              "(tables 1 and 2 only)")
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+    if args.timeout is not None and args.timeout <= 0:
+        parser.error("--timeout must be positive")
 
     if args.experiment == "figures":
         return _run_figures()
+
+    # Progress — every path, including the worker pool's per-case
+    # reporting — writes to stderr only, so piping stdout (the table or
+    # a --format json/csv export) never picks up progress lines.
+    progress = None
+    if not args.quiet:
+        def progress(message: str) -> None:
+            print("\r%-70s" % message[:70], end="", file=sys.stderr,
+                  flush=True)
+
+    def progress_done() -> None:
+        if progress is not None:
+            print(file=sys.stderr)
 
     if args.experiment == "sweep":
         from ..generators.benchmarks import BENCHMARK_FACTORIES
@@ -113,7 +158,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                 bench_name, BENCHMARK_FACTORIES[bench_name](),
                 errors=args.errors or 6,
                 selections=args.selections or 1,
-                patterns=args.patterns or 300, seed=args.seed)
+                patterns=args.patterns or 300, seed=args.seed,
+                progress=progress, jobs=args.jobs,
+                timeout=args.timeout, journal=args.journal,
+                resume=args.resume)
+            progress_done()
             print(format_sweep(bench_name, points))
             print()
         return 0
@@ -136,14 +185,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     else:
         config = ExperimentConfig(**overrides)
 
-    progress = None
-    if not args.quiet:
-        def progress(message: str) -> None:
-            print("\r%-60s" % message, end="", file=sys.stderr, flush=True)
-
-    rows = run_table(config, progress=progress)
-    if not args.quiet:
-        print(file=sys.stderr)
+    rows = run_table(config, progress=progress, jobs=args.jobs,
+                     timeout=args.timeout, journal=args.journal,
+                     resume=args.resume)
+    progress_done()
     if args.json:
         from .export import rows_to_json
 
@@ -154,6 +199,16 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         with open(args.csv, "w") as handle:
             handle.write(rows_to_csv(rows))
+    if args.format == "json":
+        from .export import rows_to_json
+
+        print(rows_to_json(rows))
+        return 0
+    if args.format == "csv":
+        from .export import rows_to_csv
+
+        print(rows_to_csv(rows), end="")
+        return 0
     print(format_table(
         rows,
         "%s  (%d selections x %d errors, %d patterns, seed %d)"

@@ -24,18 +24,23 @@ def rows_to_dict(rows: Sequence[BenchmarkRow],
             "outputs": row.outputs,
             "spec_nodes": row.spec_nodes,
             "cases": row.cases,
+            "wall_seconds": row.wall_seconds,
             "checks": {},
         }
         for check in row.detected:
+            valid = row.valid.get(check, row.cases)
             record = {
                 "detection_percent": row.detection_ratio(check),
                 "mean_impl_nodes": row.impl_nodes.get(check, 0.0),
                 "mean_peak_nodes": row.peak_nodes.get(check, 0.0),
                 "mean_seconds": row.runtime.get(check, 0.0),
+                "valid_cases": valid,
+                "timeouts": row.timeouts.get(check, 0),
+                "errors": row.check_errors.get(check, 0),
             }
-            if intervals and row.cases:
+            if intervals and valid:
                 low, high = detection_interval(
-                    row.detected[check], row.cases)
+                    row.detected[check], valid)
                 record["detection_ci95"] = [low, high]
             entry["checks"][check] = record
         out.append(entry)
@@ -56,7 +61,8 @@ def rows_to_csv(rows: Sequence[BenchmarkRow]) -> str:
     writer.writerow(["circuit", "inputs", "outputs", "spec_nodes",
                      "cases", "check", "detection_percent",
                      "mean_impl_nodes", "mean_peak_nodes",
-                     "mean_seconds"])
+                     "mean_seconds", "valid_cases", "timeouts",
+                     "errors"])
     for row in rows:
         for check in row.detected:
             writer.writerow([
@@ -65,5 +71,8 @@ def rows_to_csv(rows: Sequence[BenchmarkRow]) -> str:
                 "%.2f" % row.detection_ratio(check),
                 "%.1f" % row.impl_nodes.get(check, 0.0),
                 "%.1f" % row.peak_nodes.get(check, 0.0),
-                "%.4f" % row.runtime.get(check, 0.0)])
+                "%.4f" % row.runtime.get(check, 0.0),
+                row.valid.get(check, row.cases),
+                row.timeouts.get(check, 0),
+                row.check_errors.get(check, 0)])
     return buffer.getvalue()

@@ -10,8 +10,6 @@ check) and run times — the columns of Tables 1 and 2.
 
 from __future__ import annotations
 
-import random
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -26,9 +24,11 @@ from ..core.result import CheckResult
 from ..core.symbolic01x import check_symbolic_01x
 from ..generators.benchmarks import BENCHMARK_FACTORIES
 from ..partial.blackbox import PartialImplementation
-from ..partial.extraction import make_partial
-from ..partial.mutations import insert_random_error
 from ..sim.symbolic import symbolic_simulate
+
+# NOTE: repro.jobs imports this module at import time (for
+# BenchmarkRow / run_one_case), so everything from repro.jobs must be
+# imported lazily inside functions here.
 
 __all__ = ["CHECKS", "ExperimentConfig", "BenchmarkRow", "run_one_case",
            "run_benchmark_row", "run_table"]
@@ -74,7 +74,13 @@ class ExperimentConfig:
 
 @dataclass
 class BenchmarkRow:
-    """One row of a results table (aggregated over all cases)."""
+    """One row of a results table (aggregated over all cases).
+
+    A campaign may degrade gracefully: cases whose check was killed at
+    a deadline (``timeouts``) or raised (``check_errors``) are excluded
+    from the per-check denominators (``valid``) and from the node/time
+    averages, and counted separately so tables can report them.
+    """
 
     circuit: str
     inputs: int
@@ -86,12 +92,31 @@ class BenchmarkRow:
     peak_nodes: Dict[str, float] = field(default_factory=dict)
     #: mean seconds per case, per check
     runtime: Dict[str, float] = field(default_factory=dict)
+    #: cases with a usable verdict, per check (defaults to ``cases``)
+    valid: Dict[str, int] = field(default_factory=dict)
+    #: cases killed at the campaign deadline, per check
+    timeouts: Dict[str, int] = field(default_factory=dict)
+    #: cases whose check raised, per check
+    check_errors: Dict[str, int] = field(default_factory=dict)
+    #: total wall-clock spent on this row's cases
+    wall_seconds: float = 0.0
 
     def detection_ratio(self, check: str) -> float:
-        """Fraction of inserted errors the check reported, in percent."""
-        if not self.cases:
+        """Fraction of inserted errors the check reported, in percent.
+
+        Timed-out / errored cases do not count as "not detected": the
+        denominator is the number of cases with a usable verdict.
+        """
+        denominator = self.valid.get(check, self.cases)
+        if not denominator:
             return 0.0
-        return 100.0 * self.detected.get(check, 0) / self.cases
+        return 100.0 * self.detected.get(check, 0) / denominator
+
+    @property
+    def degraded_cases(self) -> int:
+        """Check executions without a verdict (timeouts + errors)."""
+        return (sum(self.timeouts.values())
+                + sum(self.check_errors.values()))
 
 
 def run_one_case(spec: Circuit, partial: PartialImplementation,
@@ -150,52 +175,49 @@ def run_benchmark_row(name: str, spec: Circuit,
                       config: ExperimentConfig,
                       progress: Optional[Callable[[str], None]] = None)\
         -> BenchmarkRow:
-    """Run the full campaign for one benchmark circuit."""
-    spec, spec_nodes = _tune_spec(spec)
-    row = BenchmarkRow(circuit=name, inputs=len(spec.inputs),
-                       outputs=len(spec.outputs),
-                       spec_nodes=spec_nodes)
-    for check in config.checks:
-        row.detected[check] = 0
-        row.impl_nodes[check] = 0.0
-        row.peak_nodes[check] = 0.0
-        row.runtime[check] = 0.0
+    """Run the full campaign for one benchmark circuit, in-process.
 
-    master = random.Random("%d/%s" % (config.seed, name))
-    for selection in range(config.selections):
-        partial = make_partial(spec, fraction=config.fraction,
-                               num_boxes=config.num_boxes,
-                               seed=master.randrange(1 << 30))
-        mut_rng = random.Random(master.randrange(1 << 30))
-        for error_index in range(config.errors):
-            mutated, _ = insert_random_error(partial.circuit, mut_rng)
-            case = PartialImplementation(mutated, partial.boxes)
-            results = run_one_case(spec, case, config.checks,
-                                   config.patterns,
-                                   seed=master.randrange(1 << 30))
-            row.cases += 1
-            for check, result in results.items():
-                row.detected[check] += int(result.error_found)
-                row.impl_nodes[check] += result.stats.get("impl_nodes", 0)
-                row.peak_nodes[check] += result.stats.get("peak_nodes", 0)
-                row.runtime[check] += result.seconds
-            if progress is not None:
-                progress("%s sel %d/%d err %d/%d" % (
-                    name, selection + 1, config.selections,
-                    error_index + 1, config.errors))
-    for check in config.checks:
-        if row.cases:
-            row.impl_nodes[check] /= row.cases
-            row.peak_nodes[check] /= row.cases
-            row.runtime[check] /= row.cases
-    return row
+    Cases are enumerated and executed through :mod:`repro.jobs`, so the
+    per-case seeds are derived from coordinates (benchmark, selection,
+    error index) rather than consumed from a shared sequential stream:
+    re-running any subset of the campaign — or sharding it across
+    workers — reproduces exactly the same cases.
+    """
+    from ..jobs.aggregate import row_from_records
+    from ..jobs.spec import enumerate_cases
+    from ..jobs.worker import execute_case
+
+    records = []
+    for case in enumerate_cases(config, benchmarks=[name]):
+        records.append(execute_case(case, spec=spec))
+        if progress is not None:
+            progress("%s sel %d/%d err %d/%d" % (
+                name, case.selection + 1, config.selections,
+                case.error_index + 1, config.errors))
+    return row_from_records(name, records, config.checks)
 
 
 def run_table(config: ExperimentConfig,
-              progress: Optional[Callable[[str], None]] = None)\
-        -> List[BenchmarkRow]:
-    """Run the campaign for every benchmark (one table of the paper)."""
+              progress: Optional[Callable[[str], None]] = None,
+              jobs: int = 1,
+              timeout: Optional[float] = None,
+              journal: Optional[str] = None,
+              resume: Optional[str] = None) -> List[BenchmarkRow]:
+    """Run the campaign for every benchmark (one table of the paper).
+
+    ``jobs``/``timeout``/``journal``/``resume`` route execution through
+    the :mod:`repro.jobs` engine (parallel workers, per-case deadlines,
+    checkpoint/resume); the defaults keep the historic in-process
+    serial path.  Both paths aggregate identically.
+    """
     names = list(config.benchmarks or BENCHMARK_FACTORIES)
+    if jobs > 1 or timeout is not None or journal or resume:
+        from ..jobs.engine import run_campaign
+
+        result = run_campaign(config, benchmarks=names, jobs=jobs,
+                              timeout=timeout, journal=journal,
+                              resume=resume, progress=progress)
+        return [result.rows[name] for name in names]
     rows: List[BenchmarkRow] = []
     for name in names:
         spec = BENCHMARK_FACTORIES[name]()

@@ -25,6 +25,8 @@ class SweepPoint:
     fraction: float
     detection: Dict[str, float] = field(default_factory=dict)
     mean_seconds: Dict[str, float] = field(default_factory=dict)
+    #: checks without a verdict at this fraction (timeouts + errors)
+    degraded: int = 0
 
 
 def run_fraction_sweep(name: str, spec: Circuit,
@@ -33,17 +35,37 @@ def run_fraction_sweep(name: str, spec: Circuit,
                        selections: int = 1, errors: int = 6,
                        patterns: int = 300, seed: int = 2001,
                        checks: Sequence[str] = CHECKS,
-                       progress: Optional[Callable[[str], None]] = None)\
-        -> List[SweepPoint]:
-    """Detection ratio per check over a range of boxed fractions."""
+                       progress: Optional[Callable[[str], None]] = None,
+                       jobs: int = 1,
+                       timeout: Optional[float] = None,
+                       journal: Optional[str] = None,
+                       resume: Optional[str] = None) -> List[SweepPoint]:
+    """Detection ratio per check over a range of boxed fractions.
+
+    ``jobs``/``timeout``/``journal``/``resume`` route each fraction's
+    campaign through the :mod:`repro.jobs` engine; one journal can hold
+    the whole sweep, since the boxed fraction is part of every case key.
+    On the parallel path ``name`` must be a factory benchmark (workers
+    rebuild the spec by name).
+    """
+    use_engine = jobs > 1 or timeout is not None or journal or resume
     points: List[SweepPoint] = []
     for fraction in fractions:
         config = ExperimentConfig(
             fraction=fraction, num_boxes=num_boxes,
             selections=selections, errors=errors, patterns=patterns,
             seed=seed, checks=checks)
-        row = run_benchmark_row(name, spec, config, progress=progress)
-        point = SweepPoint(fraction=fraction)
+        if use_engine:
+            from ..jobs.engine import run_campaign
+
+            row = run_campaign(config, benchmarks=[name], jobs=jobs,
+                               timeout=timeout, journal=journal,
+                               resume=resume, progress=progress,
+                               spec_overrides={name: spec}).rows[name]
+        else:
+            row = run_benchmark_row(name, spec, config,
+                                    progress=progress)
+        point = SweepPoint(fraction=fraction, degraded=row.degraded_cases)
         for check in checks:
             point.detection[check] = row.detection_ratio(check)
             point.mean_seconds[check] = row.runtime[check]

@@ -26,26 +26,59 @@ def average_row(rows: Sequence[BenchmarkRow]) -> BenchmarkRow:
             row.peak_nodes[check] for row in rows) / len(rows)
         avg.runtime[check] = sum(
             row.runtime[check] for row in rows) / len(rows)
+        avg.timeouts[check] = sum(
+            row.timeouts.get(check, 0) for row in rows)
+        avg.check_errors[check] = sum(
+            row.check_errors.get(check, 0) for row in rows)
         # Encode the average ratio via detected/cases = ratio/100.
         avg.detected[check] = sum(ratios) / len(ratios)
+    avg.wall_seconds = sum(row.wall_seconds for row in rows)
     avg.cases = 100  # so detection_ratio() returns the mean percentage
+    # avg.valid stays empty so detection_ratio falls back to cases.
     return avg
+
+
+def _degradation_note(row: BenchmarkRow) -> str:
+    """Per-check breakdown of a row's missing verdicts, or ""."""
+    parts = []
+    for check in row.detected:
+        t = row.timeouts.get(check, 0)
+        e = row.check_errors.get(check, 0)
+        if t or e:
+            detail = []
+            if t:
+                detail.append("%d timeout%s" % (t, "s" if t > 1 else ""))
+            if e:
+                detail.append("%d error%s" % (e, "s" if e > 1 else ""))
+            parts.append("%s: %s" % (check, ", ".join(detail)))
+    return "; ".join(parts)
 
 
 def format_table(rows: Sequence[BenchmarkRow], title: str,
                  checks: Sequence[str] = CHECKS) -> str:
-    """Render rows in the layout of the paper's Tables 1 and 2."""
+    """Render rows in the layout of the paper's Tables 1 and 2.
+
+    Campaigns that ran with a deadline may have degraded cases; those
+    rows gain a trailing ``t/o err`` column plus footnotes, so a table
+    with missing verdicts is visibly different from a clean one.
+    """
     sym_checks = [c for c in checks if c != "r.p."]
+    degraded = any(row.degraded_cases for row in rows)
     header_1 = ("circuit  in out  #nodes | detected errors | "
-                "avg #nodes impl/peak | run time [s]")
+                "avg #nodes impl/peak | run time [s]"
+                + (" | degraded" if degraded else ""))
     lines = [title, "=" * len(title), header_1, "-" * len(header_1)]
     det_hdr = " ".join("%7s" % c for c in checks)
     node_hdr = " ".join("%9s" % c for c in sym_checks)
     time_hdr = " ".join("%8s" % c for c in checks)
-    lines.append("%-8s %3s %3s %7s | %s | %s | %s"
-                 % ("", "", "", "spec", det_hdr, node_hdr, time_hdr))
+    header_2 = ("%-8s %3s %3s %7s | %s | %s | %s"
+                % ("", "", "", "spec", det_hdr, node_hdr, time_hdr))
+    if degraded:
+        header_2 += " | %4s %4s" % ("t/o", "err")
+    lines.append(header_2)
     body_rows = list(rows)
     body_rows.append(average_row(rows))
+    footnotes = []
     for row in body_rows:
         det = " ".join("%6.0f%%" % row.detection_ratio(c) for c in checks)
         nodes = " ".join("%9s" % ("%d/%d" % (row.impl_nodes[c],
@@ -57,7 +90,18 @@ def format_table(rows: Sequence[BenchmarkRow], title: str,
         else:
             head = "%-8s %3d %3d %7d" % (row.circuit, row.inputs,
                                          row.outputs, row.spec_nodes)
-        lines.append("%s | %s | %s | %s" % (head, det, nodes, times))
+        line = "%s | %s | %s | %s" % (head, det, nodes, times)
+        if degraded:
+            line += " | %4d %4d" % (sum(row.timeouts.values()),
+                                    sum(row.check_errors.values()))
+            if row.circuit != "average" and row.degraded_cases:
+                footnotes.append("  %s — %s"
+                                 % (row.circuit, _degradation_note(row)))
+        lines.append(line)
+    if footnotes:
+        lines.append("degraded checks (excluded from detection "
+                     "denominators and node/time averages):")
+        lines.extend(footnotes)
     return "\n".join(lines)
 
 

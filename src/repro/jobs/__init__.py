@@ -1,0 +1,45 @@
+"""Parallel, fault-tolerant, resumable campaign execution engine.
+
+Layers (see ``docs/parallel.md``):
+
+* :mod:`~repro.jobs.spec` — flatten a campaign into coordinate-seeded
+  :class:`CaseSpec` records (the determinism foundation);
+* :mod:`~repro.jobs.worker` — execute one case from its coordinates,
+  with process-local memoisation of expensive setup;
+* :mod:`~repro.jobs.pool` — spawn-based worker pool with per-case
+  wall-clock timeouts (kill + TIMEOUT record) and bounded crash retry;
+* :mod:`~repro.jobs.journal` — append-only JSONL checkpoint enabling
+  ``--resume``;
+* :mod:`~repro.jobs.aggregate` — fold records into table rows in
+  canonical order (serial == parallel, bit-for-bit);
+* :mod:`~repro.jobs.engine` — :func:`run_campaign` orchestrating all of
+  the above.
+"""
+
+from .spec import CaseSpec, derive_seed, enumerate_cases
+from .journal import (CaseRecord, CheckOutcome, JournalWriter,
+                      failed_record, read_journal, timeout_record)
+from .worker import clear_caches, execute_case
+from .pool import run_parallel
+from .aggregate import fold_records, row_from_records, sort_records
+from .engine import CampaignResult, run_campaign
+
+__all__ = [
+    "CaseSpec",
+    "derive_seed",
+    "enumerate_cases",
+    "CaseRecord",
+    "CheckOutcome",
+    "JournalWriter",
+    "read_journal",
+    "failed_record",
+    "timeout_record",
+    "execute_case",
+    "clear_caches",
+    "run_parallel",
+    "fold_records",
+    "row_from_records",
+    "sort_records",
+    "CampaignResult",
+    "run_campaign",
+]

@@ -1,0 +1,86 @@
+"""Folding case records back into table rows.
+
+Serial and parallel campaigns both end here: records are folded in
+canonical enumeration order (benchmark, selection, error index), so the
+floating-point sums — and therefore the rendered tables — are identical
+no matter how many workers executed the cases or in which order they
+finished.
+
+Degraded cases are first-class: a check whose outcome is ``timeout`` or
+``error`` is *excluded* from that check's detection-ratio denominator
+and node/time averages, and counted in ``BenchmarkRow.timeouts`` /
+``check_errors`` instead, so a partially-failed campaign is visibly
+degraded rather than silently averaged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..core.result import OUTCOME_OK, OUTCOME_TIMEOUT
+from ..experiments.runner import BenchmarkRow
+from .journal import CaseRecord
+
+__all__ = ["row_from_records", "fold_records", "sort_records"]
+
+
+def sort_records(records: Sequence[CaseRecord]) -> List[CaseRecord]:
+    """Records in canonical enumeration order."""
+    return sorted(records, key=lambda r: (r.case.benchmark,
+                                          r.case.selection,
+                                          r.case.error_index))
+
+
+def row_from_records(name: str, records: Sequence[CaseRecord],
+                     checks: Sequence[str]) -> BenchmarkRow:
+    """Fold one benchmark's records into a table row.
+
+    ``records`` may arrive in any order; they are folded in canonical
+    order for float determinism.
+    """
+    row = BenchmarkRow(circuit=name, inputs=0, outputs=0, spec_nodes=0)
+    for check in checks:
+        row.detected[check] = 0
+        row.impl_nodes[check] = 0.0
+        row.peak_nodes[check] = 0.0
+        row.runtime[check] = 0.0
+        row.valid[check] = 0
+        row.timeouts[check] = 0
+        row.check_errors[check] = 0
+    for record in sort_records(records):
+        row.cases += 1
+        row.wall_seconds += record.seconds
+        if record.spec_nodes and not row.spec_nodes:
+            row.inputs = record.inputs
+            row.outputs = record.outputs
+            row.spec_nodes = record.spec_nodes
+        for check in checks:
+            outcome = record.checks.get(check)
+            if outcome is None or outcome.outcome == OUTCOME_TIMEOUT:
+                # A missing slice only happens when the whole case was
+                # killed before the check could report — a timeout.
+                row.timeouts[check] += 1
+            elif outcome.outcome != OUTCOME_OK:
+                row.check_errors[check] += 1
+            else:
+                row.valid[check] += 1
+                row.detected[check] += int(outcome.error_found)
+                row.impl_nodes[check] += outcome.impl_nodes
+                row.peak_nodes[check] += outcome.peak_nodes
+                row.runtime[check] += outcome.seconds
+    for check in checks:
+        if row.valid[check]:
+            row.impl_nodes[check] /= row.valid[check]
+            row.peak_nodes[check] /= row.valid[check]
+            row.runtime[check] /= row.valid[check]
+    return row
+
+
+def fold_records(records: Sequence[CaseRecord],
+                 checks: Sequence[str]) -> Dict[str, BenchmarkRow]:
+    """Group records by benchmark (first-appearance order) and fold."""
+    grouped: Dict[str, List[CaseRecord]] = {}
+    for record in records:
+        grouped.setdefault(record.case.benchmark, []).append(record)
+    return {name: row_from_records(name, group, checks)
+            for name, group in grouped.items()}

@@ -1,0 +1,216 @@
+"""Append-only JSONL checkpoint journal for campaign runs.
+
+One line per completed case, written atomically (single buffered write
+of the full line, then flush), so a campaign killed at any instant
+leaves at most one truncated final line — which :func:`read_journal`
+tolerates and skips.  ``--resume`` replays the journal, keeps every
+record whose case key matches the current campaign, and only executes
+the remainder.
+
+Record format (version 1)::
+
+    {"v": 1,
+     "case": {"benchmark": "alu4", "selection": 0, "error_index": 3,
+              "fraction": 0.1, "num_boxes": 1, "patterns": 500,
+              "seed": 2001, "checks": ["r.p.", "0,1,X", ...]},
+     "outcome": "ok" | "timeout" | "error",
+     "seconds": 1.84, "worker": 2, "attempt": 1,
+     "spec": {"inputs": 14, "outputs": 8, "nodes": 1083},
+     "mutation": "change_gate_type at gate 'n42'",
+     "checks": {"ie": {"outcome": "ok", "error_found": true,
+                       "seconds": 0.31, "impl_nodes": 911,
+                       "peak_nodes": 2010, "detail": ""}, ...}}
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.result import OUTCOME_ERROR, OUTCOME_OK, OUTCOME_TIMEOUT
+from .spec import CaseSpec
+
+__all__ = ["JOURNAL_VERSION", "CheckOutcome", "CaseRecord",
+           "JournalWriter", "read_journal", "failed_record",
+           "timeout_record"]
+
+JOURNAL_VERSION = 1
+
+
+@dataclass
+class CheckOutcome:
+    """Per-check slice of one case result."""
+
+    outcome: str = OUTCOME_OK
+    error_found: bool = False
+    seconds: float = 0.0
+    impl_nodes: int = 0
+    peak_nodes: int = 0
+    detail: str = ""
+
+    def to_dict(self) -> Dict:
+        return {"outcome": self.outcome,
+                "error_found": self.error_found,
+                "seconds": self.seconds,
+                "impl_nodes": self.impl_nodes,
+                "peak_nodes": self.peak_nodes,
+                "detail": self.detail}
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "CheckOutcome":
+        return cls(outcome=data["outcome"],
+                   error_found=bool(data["error_found"]),
+                   seconds=float(data["seconds"]),
+                   impl_nodes=int(data["impl_nodes"]),
+                   peak_nodes=int(data["peak_nodes"]),
+                   detail=data.get("detail", ""))
+
+
+@dataclass
+class CaseRecord:
+    """Everything the aggregator needs about one executed case."""
+
+    case: CaseSpec
+    outcome: str = OUTCOME_OK
+    checks: Dict[str, CheckOutcome] = field(default_factory=dict)
+    seconds: float = 0.0
+    worker: int = 0
+    attempt: int = 1
+    inputs: int = 0
+    outputs: int = 0
+    spec_nodes: int = 0
+    mutation: str = ""
+
+    def to_dict(self) -> Dict:
+        return {
+            "v": JOURNAL_VERSION,
+            "case": self.case.to_dict(),
+            "outcome": self.outcome,
+            "seconds": self.seconds,
+            "worker": self.worker,
+            "attempt": self.attempt,
+            "spec": {"inputs": self.inputs, "outputs": self.outputs,
+                     "nodes": self.spec_nodes},
+            "mutation": self.mutation,
+            "checks": {name: out.to_dict()
+                       for name, out in self.checks.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "CaseRecord":
+        if data.get("v") != JOURNAL_VERSION:
+            raise ValueError("unsupported journal record version %r"
+                             % data.get("v"))
+        spec_meta = data.get("spec", {})
+        return cls(
+            case=CaseSpec.from_dict(data["case"]),
+            outcome=data["outcome"],
+            seconds=float(data["seconds"]),
+            worker=int(data.get("worker", 0)),
+            attempt=int(data.get("attempt", 1)),
+            inputs=int(spec_meta.get("inputs", 0)),
+            outputs=int(spec_meta.get("outputs", 0)),
+            spec_nodes=int(spec_meta.get("nodes", 0)),
+            mutation=data.get("mutation", ""),
+            checks={name: CheckOutcome.from_dict(out)
+                    for name, out in data.get("checks", {}).items()})
+
+    def to_json_line(self) -> str:
+        """One compact, newline-free JSON line."""
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    @classmethod
+    def from_json_line(cls, line: str) -> "CaseRecord":
+        return cls.from_dict(json.loads(line))
+
+
+def failed_record(case: CaseSpec, error: BaseException,
+                  seconds: float = 0.0, worker: int = 0,
+                  attempt: int = 1) -> CaseRecord:
+    """Terminal ERROR record: the case (or its setup) raised/crashed."""
+    detail = "%s: %s" % (type(error).__name__, error)
+    return CaseRecord(
+        case=case, outcome=OUTCOME_ERROR, seconds=seconds,
+        worker=worker, attempt=attempt,
+        checks={check: CheckOutcome(outcome=OUTCOME_ERROR, detail=detail)
+                for check in case.checks})
+
+
+def timeout_record(case: CaseSpec, seconds: float, worker: int = 0,
+                   attempt: int = 1) -> CaseRecord:
+    """Terminal TIMEOUT record: the worker was killed at the deadline."""
+    return CaseRecord(
+        case=case, outcome=OUTCOME_TIMEOUT, seconds=seconds,
+        worker=worker, attempt=attempt,
+        checks={check: CheckOutcome(
+            outcome=OUTCOME_TIMEOUT,
+            detail="killed after %.1fs" % seconds)
+            for check in case.checks})
+
+
+class JournalWriter:
+    """Append-only writer with one atomic line per record.
+
+    Each record is serialised to a single line and written with one
+    buffered ``write`` followed by ``flush``, so concurrent readers (and
+    post-crash resumes) see only whole lines plus at most one truncated
+    tail.  Pass ``fsync=True`` to force every line to disk (slower;
+    protects against OS crashes, not just process death).
+    """
+
+    def __init__(self, path: str, fsync: bool = False):
+        self.path = path
+        self._fsync = fsync
+        parent = os.path.dirname(os.path.abspath(path))
+        if parent and not os.path.isdir(parent):
+            os.makedirs(parent, exist_ok=True)
+        self._handle = open(path, "a", encoding="utf-8")
+        # Self-heal a torn tail from a killed run: without this, the
+        # first appended record would concatenate onto the truncated
+        # line and both records would be lost to the parser.
+        if self._handle.tell() > 0:
+            with open(path, "rb") as probe:
+                probe.seek(-1, os.SEEK_END)
+                if probe.read(1) != b"\n":
+                    self._handle.write("\n")
+                    self._handle.flush()
+
+    def write(self, record: CaseRecord) -> None:
+        self._handle.write(record.to_json_line() + "\n")
+        self._handle.flush()
+        if self._fsync:
+            os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "JournalWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_journal(path: str) -> List[CaseRecord]:
+    """Load a journal, skipping corrupt/truncated lines.
+
+    Duplicate case keys (e.g. a case re-run after a resume) keep the
+    *last* record, at the position of its first appearance.
+    """
+    records: Dict[tuple, CaseRecord] = {}
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = CaseRecord.from_json_line(line)
+            except (ValueError, KeyError, TypeError):
+                # Truncated tail of a killed run, or foreign garbage.
+                continue
+            records[record.case.key] = record
+    return list(records.values())

@@ -1,0 +1,231 @@
+"""Spawn-based worker pool with per-case timeouts and bounded retry.
+
+Design notes
+------------
+* **spawn, not fork.**  Workers are started with the ``spawn`` start
+  method: each child imports :mod:`repro` fresh instead of inheriting
+  the parent's BDD managers, open files and locks.  That costs a few
+  hundred milliseconds per worker once, buys identical behaviour on
+  Linux/macOS/Windows, and guarantees a worker's unique-table state is
+  a pure function of the cases it executed — part of the determinism
+  contract.
+* **One persistent process per slot.**  A worker loops over cases sent
+  down a :class:`multiprocessing.Pipe`; per-benchmark setup is memoised
+  inside the worker (:mod:`repro.jobs.worker`), so the pool does not
+  pay a process start per case.
+* **Timeouts kill, results survive.**  Pure-Python BDD operations
+  cannot be interrupted in-process, so the deadline is enforced from
+  the parent: an overdue worker is ``kill()``-ed, a terminal ``TIMEOUT``
+  record is emitted for its case, and a fresh worker takes the slot.
+* **Crash != timeout.**  A worker that dies *without* hitting the
+  deadline (segfault, OOM kill) gets its case retried on a fresh worker
+  up to ``max_attempts`` times, then a terminal ``ERROR`` record.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from collections import deque
+from multiprocessing.connection import Connection, wait
+from typing import Callable, Deque, List, Optional, Tuple
+
+from .journal import CaseRecord, failed_record, timeout_record
+from .spec import CaseSpec
+
+__all__ = ["run_parallel", "DEFAULT_MAX_ATTEMPTS"]
+
+#: Attempts per case before a crashing case is recorded as ERROR.
+DEFAULT_MAX_ATTEMPTS = 2
+
+#: How long the shutdown path waits for a worker to exit voluntarily.
+_JOIN_GRACE = 5.0
+
+#: Upper bound on one poll cycle, so crashes surface promptly even
+#: under long/no deadlines.
+_POLL_CAP = 0.5
+
+
+class _WorkerDied(Exception):
+    """Internal marker: the child's pipe hit EOF mid-case."""
+
+
+def _child_main(conn: Connection, task: Callable) -> None:
+    """Worker loop: receive a case dict, execute, send a record dict."""
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError, KeyboardInterrupt):
+                break
+            if message is None:
+                break
+            case = CaseSpec.from_dict(message)
+            try:
+                record = task(case)
+            except BaseException as exc:  # last-resort guard
+                record = failed_record(case, exc)
+            try:
+                conn.send(record.to_dict())
+            except (BrokenPipeError, OSError):
+                break
+    finally:
+        conn.close()
+
+
+class _Slot:
+    """One worker process and its in-flight case, parent side."""
+
+    def __init__(self, slot_id: int, context, task: Callable):
+        self.slot_id = slot_id
+        self._context = context
+        self._task = task
+        self.case: Optional[CaseSpec] = None
+        self.attempt = 0
+        self.started = 0.0
+        self.deadline: Optional[float] = None
+        self._start_process()
+
+    def _start_process(self) -> None:
+        parent_conn, child_conn = self._context.Pipe()
+        self.process = self._context.Process(
+            target=_child_main, args=(child_conn, self._task),
+            name="repro-jobs-%d" % self.slot_id, daemon=True)
+        self.process.start()
+        child_conn.close()
+        self.conn = parent_conn
+
+    @property
+    def busy(self) -> bool:
+        return self.case is not None
+
+    def dispatch(self, case: CaseSpec, attempt: int,
+                 timeout: Optional[float]) -> None:
+        self.conn.send(case.to_dict())
+        self.case = case
+        self.attempt = attempt
+        self.started = time.monotonic()
+        self.deadline = self.started + timeout if timeout else None
+
+    def take_case(self) -> Tuple[CaseSpec, int, float]:
+        """Clear the in-flight case, returning (case, attempt, elapsed)."""
+        case, attempt = self.case, self.attempt
+        elapsed = time.monotonic() - self.started
+        self.case = None
+        self.deadline = None
+        return case, attempt, elapsed
+
+    def receive(self) -> CaseRecord:
+        try:
+            payload = self.conn.recv()
+        except (EOFError, OSError) as exc:
+            raise _WorkerDied() from exc
+        return CaseRecord.from_dict(payload)
+
+    def kill_and_respawn(self) -> None:
+        self.kill()
+        self._start_process()
+
+    def kill(self) -> None:
+        if self.process.is_alive():
+            self.process.kill()
+        self.process.join(_JOIN_GRACE)
+        self.conn.close()
+
+    def shutdown(self) -> None:
+        """Polite shutdown of an idle worker; escalates to kill."""
+        try:
+            self.conn.send(None)
+        except (BrokenPipeError, OSError):
+            pass
+        self.process.join(_JOIN_GRACE)
+        if self.process.is_alive():
+            self.process.kill()
+            self.process.join(_JOIN_GRACE)
+        self.conn.close()
+
+
+def run_parallel(cases: List[CaseSpec], jobs: int,
+                 timeout: Optional[float] = None,
+                 task: Optional[Callable] = None,
+                 on_record: Optional[Callable[[CaseRecord], None]] = None,
+                 max_attempts: int = DEFAULT_MAX_ATTEMPTS)\
+        -> List[CaseRecord]:
+    """Execute ``cases`` on ``jobs`` spawned workers.
+
+    Returns one record per case (in completion order); ``on_record`` is
+    additionally called as each record lands, which is how the engine
+    journals and reports progress incrementally.  ``task`` defaults to
+    :func:`repro.jobs.worker.execute_case` and must be an importable
+    top-level callable (it is sent to spawned children by reference).
+    """
+    if task is None:
+        from .worker import execute_case as task
+    if not cases:
+        return []
+    jobs = max(1, min(int(jobs), len(cases)))
+    context = multiprocessing.get_context("spawn")
+    pending: Deque[Tuple[CaseSpec, int]] = deque(
+        (case, 1) for case in cases)
+    records: List[CaseRecord] = []
+
+    def emit(record: CaseRecord) -> None:
+        records.append(record)
+        if on_record is not None:
+            on_record(record)
+
+    slots = [_Slot(i, context, task) for i in range(jobs)]
+    try:
+        while pending or any(slot.busy for slot in slots):
+            for slot in slots:
+                if not slot.busy and pending:
+                    case, attempt = pending.popleft()
+                    slot.dispatch(case, attempt, timeout)
+            busy = [slot for slot in slots if slot.busy]
+            if not busy:
+                continue
+            now = time.monotonic()
+            poll = _POLL_CAP
+            if timeout:
+                nearest = min(slot.deadline for slot in busy)
+                poll = min(poll, max(0.0, nearest - now))
+            ready = wait([slot.conn for slot in busy], timeout=poll)
+            for slot in busy:
+                if slot.conn not in ready or not slot.busy:
+                    continue
+                try:
+                    record = slot.receive()
+                except _WorkerDied:
+                    case, attempt, elapsed = slot.take_case()
+                    slot.kill_and_respawn()
+                    if attempt < max_attempts:
+                        pending.append((case, attempt + 1))
+                    else:
+                        emit(failed_record(
+                            case,
+                            RuntimeError("worker died (attempt %d/%d)"
+                                         % (attempt, max_attempts)),
+                            seconds=elapsed, worker=slot.slot_id,
+                            attempt=attempt))
+                    continue
+                case, attempt, _ = slot.take_case()
+                record.worker = slot.slot_id
+                record.attempt = attempt
+                emit(record)
+            if timeout:
+                now = time.monotonic()
+                for slot in slots:
+                    if slot.busy and slot.deadline is not None \
+                            and now >= slot.deadline:
+                        case, attempt, elapsed = slot.take_case()
+                        slot.kill_and_respawn()
+                        emit(timeout_record(case, elapsed,
+                                            worker=slot.slot_id,
+                                            attempt=attempt))
+    finally:
+        for slot in slots:
+            if slot.busy:
+                slot.kill()
+            else:
+                slot.shutdown()
+    return records

@@ -1,0 +1,143 @@
+"""Case enumeration for check campaigns.
+
+A campaign (Section 3 of the paper: selections x errors x checks per
+benchmark) is flattened into self-describing :class:`CaseSpec` records.
+Every random decision a case makes — which gates become the Black Box,
+which mutation is inserted, which patterns the r.p. check draws — is
+seeded from the case *coordinates* via SHA-256, never from a shared
+sequential ``random.Random`` stream.  Any subset of cases can therefore
+run in any order, in any process, on any machine, and still reproduce
+the serial campaign bit-for-bit; this is the determinism contract the
+parallel engine (:mod:`repro.jobs.engine`) is built on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..experiments.runner import ExperimentConfig
+
+__all__ = ["CaseSpec", "derive_seed", "enumerate_cases"]
+
+
+def _canon(part: object) -> str:
+    """Canonical text form of one seed coordinate.
+
+    ``repr`` for floats so 0.1 survives a JSON round trip unchanged;
+    plain ``str`` for ints/strings.
+    """
+    if isinstance(part, float):
+        return repr(part)
+    return str(part)
+
+
+def derive_seed(*coords: object) -> int:
+    """A 64-bit seed derived purely from coordinates (SHA-256 based).
+
+    Unlike the builtin ``hash`` this is stable across processes and
+    Python versions (no hash randomisation), which is what makes journal
+    resume and cross-worker reproducibility possible.
+    """
+    text = "\x1f".join(_canon(c) for c in coords)
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+@dataclass(frozen=True)
+class CaseSpec:
+    """One campaign case: a (benchmark, selection, error) coordinate.
+
+    Carries everything a worker needs to execute the case from scratch
+    in a fresh process: the campaign parameters plus derived seeds.
+    """
+
+    benchmark: str
+    selection: int
+    error_index: int
+    fraction: float
+    num_boxes: int
+    patterns: int
+    seed: int
+    checks: Tuple[str, ...]
+
+    @property
+    def partial_seed(self) -> int:
+        """Seed for carving this selection's Black Boxes."""
+        return derive_seed(self.seed, self.benchmark, self.selection,
+                           "partial")
+
+    @property
+    def mutation_seed(self) -> int:
+        """Seed for picking this case's inserted error."""
+        return derive_seed(self.seed, self.benchmark, self.selection,
+                           self.error_index, "mutation")
+
+    @property
+    def case_seed(self) -> int:
+        """Seed for the random-pattern check of this case."""
+        return derive_seed(self.seed, self.benchmark, self.selection,
+                           self.error_index, "patterns")
+
+    @property
+    def key(self) -> Tuple:
+        """Hashable identity used for journal resume matching."""
+        return (self.benchmark, self.selection, self.error_index,
+                repr(self.fraction), self.num_boxes, self.patterns,
+                self.seed, self.checks)
+
+    def describe(self) -> str:
+        """Short human-readable coordinate for progress lines."""
+        return "%s sel %d err %d" % (self.benchmark, self.selection,
+                                     self.error_index)
+
+    def to_dict(self) -> Dict:
+        return {
+            "benchmark": self.benchmark,
+            "selection": self.selection,
+            "error_index": self.error_index,
+            "fraction": self.fraction,
+            "num_boxes": self.num_boxes,
+            "patterns": self.patterns,
+            "seed": self.seed,
+            "checks": list(self.checks),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "CaseSpec":
+        return cls(benchmark=data["benchmark"],
+                   selection=int(data["selection"]),
+                   error_index=int(data["error_index"]),
+                   fraction=float(data["fraction"]),
+                   num_boxes=int(data["num_boxes"]),
+                   patterns=int(data["patterns"]),
+                   seed=int(data["seed"]),
+                   checks=tuple(data["checks"]))
+
+
+def enumerate_cases(config: "ExperimentConfig",
+                    benchmarks: Optional[Sequence[str]] = None)\
+        -> List[CaseSpec]:
+    """Flatten a campaign config into its case list.
+
+    Order is benchmark-major, then selection, then error index — the
+    canonical order the aggregator folds records in, so float sums are
+    identical no matter in which order the cases actually executed.
+    """
+    from ..generators.benchmarks import BENCHMARK_FACTORIES
+
+    names = list(benchmarks if benchmarks is not None
+                 else (config.benchmarks or BENCHMARK_FACTORIES))
+    cases: List[CaseSpec] = []
+    for name in names:
+        for selection in range(config.selections):
+            for error_index in range(config.errors):
+                cases.append(CaseSpec(
+                    benchmark=name, selection=selection,
+                    error_index=error_index, fraction=config.fraction,
+                    num_boxes=config.num_boxes,
+                    patterns=config.patterns, seed=config.seed,
+                    checks=tuple(config.checks)))
+    return cases

@@ -1,0 +1,150 @@
+"""Per-case execution: the unit of work the pool distributes.
+
+:func:`execute_case` rebuilds everything a case needs from its
+coordinates alone (benchmark factory -> tuned spec -> Black Box carving
+-> error insertion -> checks), which is what lets any worker process
+execute any case.  Expensive per-benchmark artefacts (the sifted
+specification) and per-selection artefacts (the carved partial) are
+memoised process-locally, so a worker that receives many cases of the
+same benchmark pays the setup cost once — mirroring what the serial
+runner gets for free from its loop nesting.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Dict, Optional, Tuple
+
+from ..circuit.netlist import Circuit
+from ..core.result import OUTCOME_ERROR, OUTCOME_OK
+from ..generators.benchmarks import BENCHMARK_FACTORIES
+from ..partial.blackbox import PartialImplementation
+from ..partial.extraction import make_partial
+from ..partial.mutations import insert_random_error
+from .journal import CaseRecord, CheckOutcome, failed_record
+from .spec import CaseSpec
+
+__all__ = ["execute_case", "clear_caches"]
+
+#: benchmark name -> (fingerprint, tuned spec, (inputs, outputs, nodes))
+_SPEC_CACHE: Dict[str, Tuple[str, Circuit, Tuple[int, int, int]]] = {}
+#: (benchmark, fraction, num_boxes, partial seed) -> carved partial
+_PARTIAL_CACHE: Dict[Tuple, PartialImplementation] = {}
+_PARTIAL_CACHE_MAX = 16
+
+
+def clear_caches() -> None:
+    """Drop the process-local spec/partial memos (mainly for tests)."""
+    _SPEC_CACHE.clear()
+    _PARTIAL_CACHE.clear()
+
+
+def _fingerprint(circuit: Circuit) -> str:
+    """Structural identity of a circuit, for cache validation."""
+    import hashlib
+
+    digest = hashlib.sha256()
+    digest.update(repr((tuple(circuit.inputs),
+                        tuple(circuit.outputs))).encode("utf-8"))
+    for gate in sorted(circuit.gates, key=lambda g: g.output):
+        digest.update(repr((gate.output, gate.gtype.name,
+                            tuple(gate.inputs))).encode("utf-8"))
+    return digest.hexdigest()[:16]
+
+
+def _tuned_spec(name: str, spec: Optional[Circuit] = None)\
+        -> Tuple[Circuit, Tuple[int, int, int]]:
+    """Sifted spec + (inputs, outputs, nodes) for a benchmark, memoised.
+
+    When an explicit ``spec`` circuit is supplied (serial in-process
+    paths) its structure is fingerprinted so a cache entry built from a
+    *different* circuit under the same name is never reused.  Without
+    one, the circuit comes from :data:`BENCHMARK_FACTORIES` — the only
+    mode available to pool workers, which hold no circuit objects.
+    """
+    from ..experiments.runner import _tune_spec
+
+    fingerprint = _fingerprint(spec) if spec is not None else None
+    cached = _SPEC_CACHE.get(name)
+    if cached is not None and (fingerprint is None
+                               or cached[0] == fingerprint):
+        return cached[1], cached[2]
+    if spec is None:
+        try:
+            factory = BENCHMARK_FACTORIES[name]
+        except KeyError:
+            raise ValueError(
+                "benchmark %r is not in BENCHMARK_FACTORIES; parallel "
+                "workers can only rebuild factory benchmarks" % name
+            ) from None
+        spec = factory()
+        fingerprint = _fingerprint(spec)
+    tuned, nodes = _tune_spec(spec)
+    meta = (len(tuned.inputs), len(tuned.outputs), nodes)
+    _SPEC_CACHE[name] = (fingerprint, tuned, meta)
+    return tuned, meta
+
+
+def _carved_partial(case: CaseSpec, tuned: Circuit)\
+        -> PartialImplementation:
+    cache_key = (case.benchmark, repr(case.fraction), case.num_boxes,
+                 case.partial_seed)
+    partial = _PARTIAL_CACHE.get(cache_key)
+    if partial is None:
+        partial = make_partial(tuned, fraction=case.fraction,
+                               num_boxes=case.num_boxes,
+                               seed=case.partial_seed)
+        if len(_PARTIAL_CACHE) >= _PARTIAL_CACHE_MAX:
+            _PARTIAL_CACHE.pop(next(iter(_PARTIAL_CACHE)))
+        _PARTIAL_CACHE[cache_key] = partial
+    return partial
+
+
+def execute_case(case: CaseSpec,
+                 spec: Optional[Circuit] = None) -> CaseRecord:
+    """Run one campaign case and return its record.
+
+    Never raises for per-case problems: setup failures yield a terminal
+    ERROR record, and each check is isolated so one raising check
+    degrades only its own column, not the case.
+    """
+    from ..experiments.runner import run_one_case
+
+    start = time.perf_counter()
+    try:
+        tuned, (n_inputs, n_outputs, spec_nodes) = _tuned_spec(
+            case.benchmark, spec)
+        partial = _carved_partial(case, tuned)
+        mutated, mutation = insert_random_error(
+            partial.circuit, random.Random(case.mutation_seed))
+        impl = PartialImplementation(mutated, partial.boxes)
+    except Exception as exc:
+        return failed_record(case, exc,
+                             seconds=time.perf_counter() - start)
+
+    outcomes: Dict[str, CheckOutcome] = {}
+    worst = OUTCOME_OK
+    for check in case.checks:
+        try:
+            result = run_one_case(tuned, impl, (check,), case.patterns,
+                                  seed=case.case_seed)[check]
+            outcomes[check] = CheckOutcome(
+                outcome=result.outcome,
+                error_found=result.error_found,
+                seconds=result.seconds,
+                impl_nodes=int(result.stats.get("impl_nodes", 0)),
+                peak_nodes=int(result.stats.get("peak_nodes", 0)),
+                detail=result.detail)
+            if result.outcome != OUTCOME_OK:
+                worst = OUTCOME_ERROR
+        except Exception as exc:
+            outcomes[check] = CheckOutcome(
+                outcome=OUTCOME_ERROR,
+                detail="%s: %s" % (type(exc).__name__, exc))
+            worst = OUTCOME_ERROR
+    return CaseRecord(
+        case=case, outcome=worst, checks=outcomes,
+        seconds=time.perf_counter() - start,
+        inputs=n_inputs, outputs=n_outputs, spec_nodes=spec_nodes,
+        mutation=mutation.describe())

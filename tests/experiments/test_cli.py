@@ -1,5 +1,7 @@
 """Tests for the experiments command-line interface."""
 
+import json
+
 import pytest
 
 from repro.experiments.cli import main
@@ -35,6 +37,46 @@ class TestCli:
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["table9"])
+
+    def test_format_json_stdout_is_clean(self, capsys):
+        # Progress goes to stderr, so stdout must parse as JSON even
+        # without --quiet.
+        code = main(["table1", "--selections", "1", "--errors", "1",
+                     "--patterns", "20", "--benchmarks", "alu4",
+                     "--format", "json"])
+        assert code == 0
+        captured = capsys.readouterr()
+        data = json.loads(captured.out)
+        assert data[0]["circuit"] == "alu4"
+        assert "checks" in data[0]
+
+    def test_format_csv_stdout_is_clean(self, capsys):
+        code = main(["table1", "--selections", "1", "--errors", "1",
+                     "--patterns", "20", "--benchmarks", "alu4",
+                     "--quiet", "--format", "csv"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("circuit,")
+        assert ",ie," in out
+
+    def test_parallel_run_with_journal(self, tmp_path, capsys):
+        journal = tmp_path / "journal.jsonl"
+        code = main(["table1", "--selections", "1", "--errors", "2",
+                     "--patterns", "20", "--benchmarks", "alu4",
+                     "--quiet", "--jobs", "2",
+                     "--journal", str(journal)])
+        assert code == 0
+        assert "alu4" in capsys.readouterr().out
+        lines = journal.read_text().strip().splitlines()
+        assert len(lines) == 2
+        assert all(json.loads(line)["case"]["benchmark"] == "alu4"
+                   for line in lines)
+
+    def test_bad_jobs_and_timeout_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table1", "--jobs", "0"])
+        with pytest.raises(SystemExit):
+            main(["table1", "--timeout", "0"])
 
     def test_compare_flag(self, capsys):
         code = main(["table1", "--selections", "1", "--errors", "1",

@@ -50,6 +50,28 @@ class TestExport:
         assert len(lines) == 1 + len(CHECKS)
         assert "alu4" in lines[1]
 
+    def test_degradation_fields_exported(self):
+        row = make_row()
+        for check in CHECKS:
+            row.valid[check] = 12
+        row.detected["ie"] = 6
+        row.valid["ie"] = 9
+        row.timeouts["ie"] = 2
+        row.check_errors["ie"] = 1
+        row.wall_seconds = 3.5
+        entry = rows_to_dict([row])[0]
+        assert entry["wall_seconds"] == pytest.approx(3.5)
+        ie = entry["checks"]["ie"]
+        assert ie["valid_cases"] == 9
+        assert ie["timeouts"] == 2
+        assert ie["errors"] == 1
+        # detection ratio and CI use the valid denominator, not cases
+        assert ie["detection_percent"] == pytest.approx(600 / 9, 0.01)
+        csv_lines = rows_to_csv([row]).strip().splitlines()
+        assert csv_lines[0].endswith("valid_cases,timeouts,errors")
+        ie_line = next(l for l in csv_lines if ",ie," in l)
+        assert ie_line.endswith("9,2,1")
+
     def test_cli_json_output(self, tmp_path, capsys):
         from repro.experiments.cli import main
 

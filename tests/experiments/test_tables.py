@@ -47,6 +47,39 @@ class TestFormatting:
         assert "comp" in text and "50%" in text
 
 
+class TestDegradedRendering:
+    def test_clean_table_has_no_degraded_column(self):
+        text = format_table([make_row("alu4", [50, 60, 70, 80, 90])],
+                            "clean")
+        assert "degraded" not in text
+        assert "t/o" not in text
+
+    def test_degraded_rows_get_column_and_footnote(self):
+        clean = make_row("alu4", [50, 60, 70, 80, 90])
+        hurt = make_row("comp", [10, 20, 30, 40, 50])
+        hurt.timeouts["ie"] = 2
+        hurt.check_errors["oe"] = 1
+        text = format_table([clean, hurt], "degraded")
+        assert "| degraded" in text
+        assert "t/o" in text and "err" in text
+        assert "degraded checks (excluded from detection" in text
+        assert "comp — " in text
+        assert "ie: 2 timeouts" in text
+        assert "oe: 1 error" in text
+        # the clean row gets no footnote of its own
+        assert "alu4 — " not in text
+
+    def test_valid_denominator_used_for_ratio(self):
+        row = make_row("alu4", [50, 60, 70, 80, 90])
+        row.detected["ie"] = 4
+        for check in CHECKS:
+            row.valid[check] = 10
+        row.valid["ie"] = 5
+        row.timeouts["ie"] = 5
+        assert row.detection_ratio("ie") == pytest.approx(80.0)
+        assert row.degraded_cases == 5
+
+
 class TestPaperComparison:
     def test_format_comparison(self):
         from repro.experiments import PAPER_TABLE1, format_comparison

@@ -1,0 +1,140 @@
+"""Tests for the JSONL checkpoint journal."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.result import OUTCOME_ERROR, OUTCOME_OK, OUTCOME_TIMEOUT
+from repro.jobs import (CaseRecord, CaseSpec, CheckOutcome,
+                        JournalWriter, failed_record, read_journal,
+                        timeout_record)
+
+CHECKS = ("r.p.", "0,1,X", "ie")
+
+
+def make_case(error_index=0, seed=2001):
+    return CaseSpec(benchmark="alu4", selection=0,
+                    error_index=error_index, fraction=0.1, num_boxes=1,
+                    patterns=100, seed=seed, checks=CHECKS)
+
+
+def make_record(error_index=0, seed=2001):
+    case = make_case(error_index, seed)
+    return CaseRecord(
+        case=case, outcome=OUTCOME_OK, seconds=1.25, worker=1,
+        attempt=1, inputs=14, outputs=8, spec_nodes=324,
+        mutation="invert_output at gate 'n1'",
+        checks={c: CheckOutcome(outcome=OUTCOME_OK, error_found=True,
+                                seconds=0.1, impl_nodes=10,
+                                peak_nodes=20) for c in CHECKS})
+
+
+class TestRoundTrip:
+    def test_writer_reader(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        records = [make_record(i) for i in range(3)]
+        with JournalWriter(path) as writer:
+            for record in records:
+                writer.write(record)
+        assert read_journal(path) == records
+
+    def test_line_is_single_line(self):
+        assert "\n" not in make_record().to_json_line()
+
+    def test_terminal_record_helpers(self):
+        case = make_case()
+        failed = failed_record(case, ValueError("boom"), seconds=0.5)
+        assert failed.outcome == OUTCOME_ERROR
+        assert set(failed.checks) == set(CHECKS)
+        assert "boom" in failed.checks["ie"].detail
+        timed = timeout_record(case, 12.0, worker=3)
+        assert timed.outcome == OUTCOME_TIMEOUT
+        assert all(c.outcome == OUTCOME_TIMEOUT
+                   for c in timed.checks.values())
+        # both must survive the journal
+        assert CaseRecord.from_json_line(failed.to_json_line()) == failed
+        assert CaseRecord.from_json_line(timed.to_json_line()) == timed
+
+
+class TestCrashTolerance:
+    def test_truncated_tail_skipped(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        with JournalWriter(path) as writer:
+            writer.write(make_record(0))
+            writer.write(make_record(1))
+        with open(path) as handle:
+            lines = handle.readlines()
+        with open(path, "w") as handle:
+            handle.writelines(lines[:1])
+            handle.write(lines[1][:37])  # torn mid-record write
+        survivors = read_journal(path)
+        assert [r.case.error_index for r in survivors] == [0]
+
+    def test_append_after_torn_tail_self_heals(self, tmp_path):
+        # Without healing, the appended record would concatenate onto
+        # the torn line and *both* would be lost.
+        path = str(tmp_path / "journal.jsonl")
+        with JournalWriter(path) as writer:
+            writer.write(make_record(0))
+            writer.write(make_record(1))
+        with open(path) as handle:
+            content = handle.read()
+        with open(path, "w") as handle:
+            handle.write(content[:-40])
+        with JournalWriter(path) as writer:
+            writer.write(make_record(2))
+        assert sorted(r.case.error_index for r in read_journal(path)) \
+            == [0, 2]
+
+    def test_garbage_lines_skipped(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        with open(path, "w") as handle:
+            handle.write("not json at all\n")
+            handle.write('{"v": 99, "case": {}}\n')
+            handle.write(make_record(4).to_json_line() + "\n")
+            handle.write("\n")
+        assert [r.case.error_index for r in read_journal(path)] == [4]
+
+    def test_duplicate_keys_last_wins(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        first = make_record(0)
+        second = make_record(0)
+        second.seconds = 99.0
+        with JournalWriter(path) as writer:
+            writer.write(first)
+            writer.write(make_record(1))
+            writer.write(second)
+        records = read_journal(path)
+        assert len(records) == 2
+        assert records[0].seconds == 99.0
+
+
+_outcomes = st.sampled_from([OUTCOME_OK, OUTCOME_TIMEOUT, OUTCOME_ERROR])
+_names = st.text(min_size=1, max_size=20)
+_floats = st.floats(min_value=0, max_value=1e6, allow_nan=False)
+_check_outcomes = st.builds(
+    CheckOutcome, outcome=_outcomes, error_found=st.booleans(),
+    seconds=_floats, impl_nodes=st.integers(0, 10 ** 9),
+    peak_nodes=st.integers(0, 10 ** 9), detail=st.text(max_size=40))
+_cases = st.builds(
+    CaseSpec, benchmark=_names, selection=st.integers(0, 99),
+    error_index=st.integers(0, 999),
+    fraction=st.floats(min_value=0.01, max_value=1.0, allow_nan=False),
+    num_boxes=st.integers(1, 9), patterns=st.integers(1, 10 ** 5),
+    seed=st.integers(0, 2 ** 63 - 1),
+    checks=st.lists(_names, min_size=1, max_size=5).map(tuple))
+_records = st.builds(
+    CaseRecord, case=_cases, outcome=_outcomes,
+    checks=st.dictionaries(_names, _check_outcomes, max_size=5),
+    seconds=_floats, worker=st.integers(0, 63),
+    attempt=st.integers(1, 5), inputs=st.integers(0, 10 ** 4),
+    outputs=st.integers(0, 10 ** 4), spec_nodes=st.integers(0, 10 ** 9),
+    mutation=st.text(max_size=60))
+
+
+class TestProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(record=_records)
+    def test_record_roundtrips_through_json_line(self, record):
+        line = record.to_json_line()
+        assert "\n" not in line
+        assert CaseRecord.from_json_line(line) == record

@@ -1,0 +1,108 @@
+"""Tests for the spawn worker pool: timeouts, crashes, retries.
+
+The task callables live at module level so spawned children can import
+them by reference; they are stubs (no BDD work), so these tests measure
+pool mechanics, not check runtimes.
+"""
+
+import os
+import time
+
+from repro.core.result import OUTCOME_ERROR, OUTCOME_OK, OUTCOME_TIMEOUT
+from repro.jobs import (CaseRecord, CaseSpec, CheckOutcome,
+                        run_parallel)
+
+CHECKS = ("r.p.", "ie")
+
+
+def make_cases(count):
+    return [CaseSpec(benchmark="alu4", selection=0, error_index=i,
+                     fraction=0.1, num_boxes=1, patterns=10, seed=5,
+                     checks=CHECKS) for i in range(count)]
+
+
+def stub_task(case):
+    """Deterministic fake result, no real checking."""
+    return CaseRecord(
+        case=case, outcome=OUTCOME_OK, seconds=0.001,
+        inputs=2, outputs=1, spec_nodes=3,
+        mutation="stub",
+        checks={c: CheckOutcome(error_found=case.error_index % 2 == 0)
+                for c in case.checks})
+
+
+def hang_task(case):
+    """Simulates a runaway exact check on the first case."""
+    if case.error_index == 0:
+        time.sleep(300)
+    return stub_task(case)
+
+
+def crash_task(case):
+    """Simulates a segfaulting/OOM-killed worker on the first case."""
+    if case.error_index == 0:
+        os._exit(3)
+    return stub_task(case)
+
+
+def sleep_task(case):
+    """Fixed-length nap; sleeps need no CPU, so overlap is provable
+    even on a single-core runner."""
+    time.sleep(1.0)
+    return stub_task(case)
+
+
+class TestRunParallel:
+    def test_empty_case_list(self):
+        assert run_parallel([], jobs=2, task=stub_task) == []
+
+    def test_all_cases_complete_once(self):
+        cases = make_cases(6)
+        seen = []
+        records = run_parallel(cases, jobs=2, task=stub_task,
+                               on_record=seen.append)
+        assert len(records) == 6
+        assert len(seen) == 6
+        assert sorted(r.case.error_index for r in records) \
+            == list(range(6))
+        assert all(r.outcome == OUTCOME_OK for r in records)
+        assert {r.worker for r in records} <= {0, 1}
+
+    def test_hung_task_killed_at_timeout(self):
+        cases = make_cases(3)
+        start = time.monotonic()
+        records = run_parallel(cases, jobs=2, timeout=1.5,
+                               task=hang_task)
+        elapsed = time.monotonic() - start
+        by_index = {r.case.error_index: r for r in records}
+        assert by_index[0].outcome == OUTCOME_TIMEOUT
+        assert all(c.outcome == OUTCOME_TIMEOUT
+                   for c in by_index[0].checks.values())
+        assert by_index[1].outcome == OUTCOME_OK
+        assert by_index[2].outcome == OUTCOME_OK
+        # killed close to the deadline, not after the full 300s sleep
+        assert by_index[0].seconds >= 1.4
+        assert elapsed < 60
+
+    def test_two_workers_overlap(self):
+        # 4 one-second naps serially take >= 4s; two workers finish in
+        # ~2s plus spawn overhead.  The 3.8s bound holds even when the
+        # runner has a single core, because sleeping burns no CPU.
+        cases = make_cases(4)
+        start = time.monotonic()
+        records = run_parallel(cases, jobs=2, task=sleep_task)
+        elapsed = time.monotonic() - start
+        assert len(records) == 4
+        assert elapsed < 3.8
+
+    def test_crashed_worker_retried_then_error(self):
+        cases = make_cases(3)
+        records = run_parallel(cases, jobs=2, task=crash_task,
+                               max_attempts=2)
+        by_index = {r.case.error_index: r for r in records}
+        assert by_index[0].outcome == OUTCOME_ERROR
+        assert by_index[0].attempt == 2
+        assert "worker died" in by_index[0].checks["ie"].detail
+        # the crashing case must not take the rest of the pool down
+        assert by_index[1].outcome == OUTCOME_OK
+        assert by_index[2].outcome == OUTCOME_OK

@@ -1,0 +1,88 @@
+"""Tests for case enumeration and coordinate-derived seeds."""
+
+import json
+
+from repro.experiments.runner import CHECKS, ExperimentConfig
+from repro.jobs import CaseSpec, derive_seed, enumerate_cases
+
+
+class TestDeriveSeed:
+    def test_pinned_values(self):
+        # Cross-process / cross-version stability is the whole point:
+        # these constants must never change, or old journals and
+        # published tables stop being reproducible.
+        assert derive_seed(2001, "alu4", 0, "partial") \
+            == 16043175399511412495
+        assert derive_seed(7, "comp", 1, 3, "mutation") \
+            == 16753193596096690794
+
+    def test_coordinates_matter(self):
+        seeds = {derive_seed(1, "alu4", s, e, "mutation")
+                 for s in range(4) for e in range(25)}
+        assert len(seeds) == 100
+
+    def test_float_canonicalisation(self):
+        # 0.1 via JSON round trip is the same float, hence same seed.
+        assert derive_seed(0.1) == derive_seed(json.loads(json.dumps(0.1)))
+        assert derive_seed(0.1) != derive_seed("0.1aliased")
+
+
+class TestCaseSpec:
+    CASE = CaseSpec(benchmark="alu4", selection=1, error_index=3,
+                    fraction=0.1, num_boxes=1, patterns=500, seed=2001,
+                    checks=tuple(CHECKS))
+
+    def test_dict_roundtrip_through_json(self):
+        data = json.loads(json.dumps(self.CASE.to_dict()))
+        assert CaseSpec.from_dict(data) == self.CASE
+        assert CaseSpec.from_dict(data).key == self.CASE.key
+
+    def test_key_distinguishes_campaign_parameters(self):
+        other = CaseSpec(benchmark="alu4", selection=1, error_index=3,
+                         fraction=0.4, num_boxes=1, patterns=500,
+                         seed=2001, checks=tuple(CHECKS))
+        assert other.key != self.CASE.key
+
+    def test_seeds_are_per_purpose(self):
+        assert len({self.CASE.partial_seed, self.CASE.mutation_seed,
+                    self.CASE.case_seed}) == 3
+
+    def test_partial_seed_shared_within_selection(self):
+        sibling = CaseSpec(benchmark="alu4", selection=1, error_index=9,
+                           fraction=0.1, num_boxes=1, patterns=500,
+                           seed=2001, checks=tuple(CHECKS))
+        assert sibling.partial_seed == self.CASE.partial_seed
+        assert sibling.mutation_seed != self.CASE.mutation_seed
+
+
+class TestEnumerateCases:
+    def test_order_and_count(self):
+        config = ExperimentConfig(selections=2, errors=3,
+                                  benchmarks=["alu4", "comp"])
+        cases = enumerate_cases(config)
+        assert len(cases) == 2 * 2 * 3
+        assert [c.benchmark for c in cases[:6]] == ["alu4"] * 6
+        assert [(c.selection, c.error_index) for c in cases[:6]] \
+            == [(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)]
+
+    def test_benchmarks_override(self):
+        config = ExperimentConfig(selections=1, errors=2,
+                                  benchmarks=["alu4", "comp"])
+        cases = enumerate_cases(config, benchmarks=["comp"])
+        assert {c.benchmark for c in cases} == {"comp"}
+
+    def test_seeds_independent_of_campaign_size(self):
+        # The enabling property for sharding and resume: a case's seeds
+        # depend only on its coordinates, not on how many selections or
+        # errors surround it in the campaign.
+        small = ExperimentConfig(selections=2, errors=3,
+                                 benchmarks=["alu4"])
+        large = ExperimentConfig(selections=4, errors=10,
+                                 benchmarks=["alu4"])
+        by_coord = {(c.selection, c.error_index): c
+                    for c in enumerate_cases(large)}
+        for case in enumerate_cases(small):
+            twin = by_coord[(case.selection, case.error_index)]
+            assert case.partial_seed == twin.partial_seed
+            assert case.mutation_seed == twin.mutation_seed
+            assert case.case_seed == twin.case_seed
