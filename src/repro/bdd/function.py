@@ -299,6 +299,19 @@ class Bdd:
 
     # -- maintenance -----------------------------------------------------
 
+    def set_budget(self, budget) -> None:
+        """Attach a :class:`repro.resilience.budget.Budget` (or ``None``).
+
+        Overruns raise ``BudgetExceededError`` from inside the symbolic
+        operations; the manager stays consistent and usable.
+        """
+        self.manager.set_budget(budget)
+
+    @property
+    def budget(self):
+        """The attached resource budget, if any."""
+        return self.manager.budget
+
     def collect_garbage(self) -> int:
         """Free nodes not reachable from any live Function."""
         return self.manager.collect_garbage()

@@ -22,7 +22,11 @@ Design notes
 from __future__ import annotations
 
 import os
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
+from typing import (TYPE_CHECKING, Dict, Iterable, Iterator, List,
+                    Optional, Tuple, Union)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..resilience.budget import Budget
 
 __all__ = ["BddManager", "FALSE", "TRUE", "debug_checks_enabled"]
 
@@ -74,6 +78,22 @@ class BddManager:
         :class:`repro.analysis.bddcheck.BddInvariantError` (with
         structured diagnostics) on corruption.  Defaults to the
         ``REPRO_DEBUG=1`` environment switch.
+
+    Resource governance
+    -------------------
+    Attach a :class:`repro.resilience.budget.Budget` via
+    :meth:`set_budget` to arm periodic checks in the hot loops (``mk``,
+    ``_ite``, quantification, sifting).  The hot sites decrement a
+    manager-local countdown — one integer test per event, whether or
+    not a budget is attached — and all real accounting happens in the
+    amortised :meth:`_budget_poll`; node-limit trips are still exact
+    because the recharge is clamped against the remaining headroom.  An
+    overrun raises
+    :class:`~repro.resilience.budget.BudgetExceededError` at a point
+    where the manager is consistent — already-built nodes stay valid
+    and further operations are allowed.  During a level swap the budget
+    is detached and re-checked only at swap boundaries, so reordering
+    can never be interrupted mid-mutation.
     """
 
     def __init__(self, auto_reorder: bool = False,
@@ -117,6 +137,48 @@ class BddManager:
 
         self.debug_checks = (debug_checks_enabled() if debug_checks is None
                              else bool(debug_checks))
+
+        #: Optional resource envelope (see class docstring).
+        self.budget: Optional["Budget"] = None
+        # Governance countdown: None when no budget is attached, else
+        # the number of hot-loop events left before the next
+        # _budget_poll.  Hot sites pay one integer test per event; the
+        # poll does all real accounting (see _budget_poll).
+        self._budget_countdown: Optional[int] = None
+        self._budget_recharge = 0
+
+    def set_budget(self, budget: Optional["Budget"]) -> None:
+        """Attach (or detach, with ``None``) a resource budget."""
+        self.budget = budget
+        self._budget_recharge = 0
+        # 0 (not the interval) so the first hot event polls and the
+        # recharge gets clamped against the node limit right away.
+        self._budget_countdown = None if budget is None else 0
+
+    def _budget_poll(self, where: str) -> None:
+        """Cold half of the governance hot path.
+
+        Charges the events since the last poll to the budget, checks
+        every limit, and recharges the countdown.  The recharge is
+        clamped to ``max_live_nodes - live``: each node creation both
+        decrements the countdown and increments the live count, so the
+        countdown exhausts no later than the creation that crosses the
+        limit — node-limit trips are exact (and always report ``mk``)
+        even though polls are amortised.
+        """
+        budget = self.budget
+        budget.steps += self._budget_recharge + 1
+        limit = budget.max_live_nodes
+        if limit is not None and self._live_nodes > limit:
+            budget.trip_nodes(self._live_nodes, where)
+        budget.slow_check(where)
+        recharge = budget.check_interval
+        if limit is not None:
+            remaining = limit - self._live_nodes
+            if remaining < recharge:
+                recharge = remaining if remaining > 0 else 0
+        self._budget_recharge = recharge
+        self._budget_countdown = recharge
 
     # ------------------------------------------------------------------
     # Variables
@@ -212,6 +274,12 @@ class BddManager:
         self._live_nodes += 1
         if self._live_nodes > self.peak_live_nodes:
             self.peak_live_nodes = self._live_nodes
+        n = self._budget_countdown
+        if n is not None:
+            if n > 0:
+                self._budget_countdown = n - 1
+            else:
+                self._budget_poll("mk")
         return node
 
     def _free_node(self, u: int) -> None:
@@ -525,6 +593,12 @@ class BddManager:
         res = self._cache.get(key)
         if res is not None:
             return res
+        n = self._budget_countdown
+        if n is not None:
+            if n > 0:
+                self._budget_countdown = n - 1
+            else:
+                self._budget_poll("ite")
         level = min(self._node_level(f), self._node_level(g),
                     self._node_level(h))
         var = self._level2var[level]
@@ -573,6 +647,12 @@ class BddManager:
         res = self._cache.get(key)
         if res is not None:
             return res
+        n = self._budget_countdown
+        if n is not None:
+            if n > 0:
+                self._budget_countdown = n - 1
+            else:
+                self._budget_poll("quantify")
         var = self._var[f]
         lo = self._quantify(self._low[f], var_set, op)
         hi = self._quantify(self._high[f], var_set, op)
@@ -615,6 +695,12 @@ class BddManager:
         res = self._cache.get(key)
         if res is not None:
             return res
+        n = self._budget_countdown
+        if n is not None:
+            if n > 0:
+                self._budget_countdown = n - 1
+            else:
+                self._budget_poll("and_exists")
         var, f0, f1, g0, g1 = self._top_split(f, g)
         if var in var_set:
             lo = self._and_exists(f0, g0, var_set)

@@ -30,9 +30,26 @@ def swap_adjacent_levels(mgr: BddManager, level: int) -> int:
     Returns the live node count after the swap.  Semantics of every node
     id are preserved; nodes made unreachable by the restructuring are
     freed immediately (exact parent counts required).
+
+    An attached budget is checked once *before* any mutation — the only
+    safe point — and detached for the duration of the swap, so a
+    :class:`~repro.resilience.budget.BudgetExceededError` can never
+    surface from a half-rebuilt level.
     """
     if not 0 <= level < mgr.num_vars - 1:
         raise ValueError("level %d out of range" % level)
+    budget = mgr.budget
+    if budget is not None:
+        budget.checkpoint("reorder", live_nodes=mgr._live_nodes)
+        mgr.set_budget(None)
+    try:
+        return _swap_unchecked(mgr, level)
+    finally:
+        if budget is not None:
+            mgr.set_budget(budget)
+
+
+def _swap_unchecked(mgr: BddManager, level: int) -> int:
     u = mgr._level2var[level]
     v = mgr._level2var[level + 1]
     var_arr, low_arr, high_arr = mgr._var, mgr._low, mgr._high

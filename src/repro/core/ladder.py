@@ -9,11 +9,12 @@ more expensive; the ladder stops at the first error found.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from ..bdd import default_bdd
 from ..circuit.netlist import Circuit
 from ..partial.blackbox import PartialImplementation
+from ..resilience.budget import BudgetExceededError
 from .common import prepare_context
 from .input_exact import input_exact_from_context
 from .local_check import local_check_from_context
@@ -21,6 +22,9 @@ from .output_exact import output_exact_from_context
 from .random_pattern import check_random_patterns
 from .result import CheckResult
 from .symbolic01x import check_symbolic_01x
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..resilience.budget import Budget
 
 __all__ = ["CHECK_ORDER", "run_ladder", "check_partial_equivalence"]
 
@@ -34,7 +38,8 @@ def run_ladder(spec: Circuit, partial: PartialImplementation,
                patterns: int = 1000,
                seed: Optional[int] = None,
                stop_at_first_error: bool = True,
-               lint: bool = True) -> List[CheckResult]:
+               lint: bool = True,
+               budget: "Optional[Budget]" = None) -> List[CheckResult]:
     """Run the selected checks in ladder order; returns all results.
 
     The Z_i-based rungs share one symbolic context (spec and impl BDDs
@@ -45,6 +50,12 @@ def run_ladder(spec: Circuit, partial: PartialImplementation,
     and the findings are attached to every result's ``diagnostics`` —
     most importantly ``box-cone-overlap``, which marks the input-exact
     verdict as approximate (Theorem 2.2 exactness needs b = 1).
+
+    With a ``budget``, the symbolic operations are governed: when the
+    budget trips mid-rung, the ladder degrades gracefully instead of
+    raising — the final result has ``outcome == "inconclusive"`` and
+    carries the strongest *completed* rung's verdict plus per-rung
+    timings and the kill reason (see :mod:`repro.resilience`).
     """
     unknown = set(checks) - set(CHECK_ORDER)
     if unknown:
@@ -58,21 +69,34 @@ def run_ladder(spec: Circuit, partial: PartialImplementation,
     results: List[CheckResult] = []
     ctx = None
     bdd = default_bdd()
+    if budget is not None:
+        budget.start()
+        bdd.set_budget(budget)
     for name in ordered:
-        if name == "random_pattern":
-            result = check_random_patterns(spec, partial,
-                                           patterns=patterns, seed=seed)
-        elif name == "symbolic_01x":
-            result = check_symbolic_01x(spec, partial, bdd)
-        else:
-            if ctx is None:
-                ctx = prepare_context(spec, partial, bdd)
-            if name == "local":
-                result = local_check_from_context(ctx)
-            elif name == "output_exact":
-                result = output_exact_from_context(ctx)
+        try:
+            if name == "random_pattern":
+                result = check_random_patterns(spec, partial,
+                                               patterns=patterns, seed=seed,
+                                               budget=budget)
+            elif name == "symbolic_01x":
+                result = check_symbolic_01x(spec, partial, bdd)
             else:
-                result = input_exact_from_context(ctx)
+                if ctx is None:
+                    ctx = prepare_context(spec, partial, bdd)
+                if name == "local":
+                    result = local_check_from_context(ctx)
+                elif name == "output_exact":
+                    result = output_exact_from_context(ctx)
+                else:
+                    result = input_exact_from_context(ctx)
+        except BudgetExceededError as exc:
+            from ..resilience.degrade import inconclusive_result
+
+            result = inconclusive_result(name, results, exc,
+                                         peak_nodes=bdd.peak_live_nodes)
+            result.diagnostics = list(diagnostics)
+            results.append(result)
+            break
         result.diagnostics = list(diagnostics)
         results.append(result)
         if result.error_found and stop_at_first_error:

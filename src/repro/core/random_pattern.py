@@ -8,7 +8,7 @@ no box substitution can fix it.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 from ..circuit.netlist import Circuit
 from ..partial.blackbox import PartialImplementation
@@ -16,6 +16,9 @@ from ..sim.logic3 import ONE, ZERO, from_bool
 from ..sim.patterns import random_patterns
 from ..sim.ternary import simulate_ternary
 from .result import CheckResult, Stopwatch
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..resilience.budget import Budget
 
 __all__ = ["check_random_patterns", "ternary_distinguishes"]
 
@@ -44,11 +47,14 @@ def ternary_distinguishes(spec: Circuit, partial: PartialImplementation,
 
 def check_random_patterns(spec: Circuit, partial: PartialImplementation,
                           patterns: int = DEFAULT_PATTERNS,
-                          seed: Optional[int] = None) -> CheckResult:
+                          seed: Optional[int] = None,
+                          budget: "Optional[Budget]" = None) -> CheckResult:
     """Random-pattern 0,1,X check (approximate, cheapest).
 
     Never reports a false error; misses any error that needs either a
-    specific rare pattern or reasoning beyond the X abstraction.
+    specific rare pattern or reasoning beyond the X abstraction.  An
+    optional ``budget`` is checkpointed every few hundred patterns so a
+    wall-clock deadline can interrupt very large pattern counts.
     """
     partial.validate_against(spec)
     with Stopwatch() as clock:
@@ -57,6 +63,8 @@ def check_random_patterns(spec: Circuit, partial: PartialImplementation,
         tried = 0
         for assignment in random_patterns(spec.inputs, patterns,
                                           seed=seed):
+            if budget is not None and tried % 256 == 0:
+                budget.checkpoint("random_pattern")
             tried += 1
             failing = ternary_distinguishes(spec, partial, assignment)
             if failing is not None:

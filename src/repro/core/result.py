@@ -10,7 +10,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..analysis.diagnostics import Diagnostic
 
 __all__ = ["CheckResult", "Stopwatch", "OUTCOME_OK", "OUTCOME_TIMEOUT",
-           "OUTCOME_ERROR"]
+           "OUTCOME_ERROR", "OUTCOME_INCONCLUSIVE"]
 
 #: The check ran to completion and its verdict is meaningful.
 OUTCOME_OK = "ok"
@@ -18,6 +18,11 @@ OUTCOME_OK = "ok"
 OUTCOME_TIMEOUT = "timeout"
 #: The check (or its setup) raised; no verdict.
 OUTCOME_ERROR = "error"
+#: The check overran its resource budget and was stopped cooperatively;
+#: ``error_found`` carries the strongest *completed* ladder level's
+#: verdict (best-effort, never exact), and ``stats`` records the kill
+#: reason plus per-level timings (see :mod:`repro.resilience`).
+OUTCOME_INCONCLUSIVE = "inconclusive"
 
 
 @dataclass
@@ -51,10 +56,13 @@ class CheckResult:
         Wall-clock time of the check.
     outcome:
         Execution status: ``"ok"`` (ran to completion — the normal
-        case), ``"timeout"`` (killed at a campaign deadline) or
-        ``"error"`` (the check raised).  Only ``"ok"`` results carry a
-        meaningful ``error_found`` verdict; campaign aggregation
-        excludes the other two from detection-ratio denominators.
+        case), ``"timeout"`` (killed at a campaign deadline),
+        ``"error"`` (the check raised) or ``"inconclusive"`` (stopped
+        cooperatively at a resource budget; ``error_found`` then holds
+        the strongest completed ladder level's verdict).  Only ``"ok"``
+        results carry an authoritative ``error_found`` verdict;
+        campaign aggregation excludes the others from detection-ratio
+        denominators.
     stats:
         Implementation-defined resource counters (BDD sizes, peak nodes,
         pattern counts, ...), mirroring the paper's Tables 1 and 2.
@@ -79,6 +87,8 @@ class CheckResult:
     def __repr__(self) -> str:
         verdict = "ERROR" if self.error_found else (
             "OK (exact)" if self.exact else "no error found")
+        if self.outcome == OUTCOME_INCONCLUSIVE:
+            verdict = "INCONCLUSIVE (best effort: %s)" % verdict
         return "<CheckResult %s: %s%s>" % (
             self.check, verdict,
             " @ %s" % self.failing_output if self.failing_output else "")

@@ -28,6 +28,7 @@ from typing import List, Optional
 
 from ..core.ladder import CHECK_ORDER, run_ladder
 from ..generators.benchmarks import BENCHMARK_NAMES
+from ..jobs.journal import JournalWriteError
 from ..generators.paper_examples import ALL_FIGURES
 from .runner import ExperimentConfig, run_table
 from .tables import format_table
@@ -59,6 +60,26 @@ def _run_figures() -> int:
         print("%-9s expected %-12s found-by %-12s [%s]"
               % (name, expected or "-", first or "-", status))
     return 0
+
+
+def _interrupted(progress_done, args) -> int:
+    """Ctrl-C handling: flush progress, print a resume hint, exit 130.
+
+    The journal writer appends (and flushes) each record as it lands
+    and the engine closes it on the way out, so everything completed
+    before the interrupt is already safe on disk.
+    """
+    progress_done()
+    journal = args.journal or args.resume
+    if journal:
+        print("interrupted — completed cases are safe in %s; rerun "
+              "with --resume %s to continue" % (journal, journal),
+              file=sys.stderr)
+    else:
+        print("interrupted — no journal was active; rerun with "
+              "--journal FILE to make campaigns resumable",
+              file=sys.stderr)
+    return 130
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -104,6 +125,18 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="per-case wall-clock deadline; an overdue "
                              "case is killed and recorded as TIMEOUT "
                              "instead of aborting the campaign")
+    parser.add_argument("--soft-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="cooperative per-case deadline: the case "
+                             "stops itself and records the strongest "
+                             "completed check's verdict as INCONCLUSIVE "
+                             "instead of being killed (defaults to "
+                             "0.9 x --timeout when --timeout is given)")
+    parser.add_argument("--node-limit", type=int, default=None,
+                        metavar="NODES",
+                        help="max live BDD nodes per check; an "
+                             "overrunning check degrades to "
+                             "INCONCLUSIVE with per-level stats")
     parser.add_argument("--journal", metavar="FILE", default=None,
                         help="append per-case results to a JSONL "
                              "checkpoint as they complete")
@@ -127,6 +160,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--jobs must be >= 1")
     if args.timeout is not None and args.timeout <= 0:
         parser.error("--timeout must be positive")
+    if args.soft_timeout is not None and args.soft_timeout <= 0:
+        parser.error("--soft-timeout must be positive")
+    if args.node_limit is not None and args.node_limit <= 0:
+        parser.error("--node-limit must be positive")
+    if args.soft_timeout is None and args.timeout is not None:
+        # Give the cooperative path a head start on the SIGKILL hard
+        # deadline, so a governed case degrades to INCONCLUSIVE (with
+        # its strongest completed verdict) instead of dying as TIMEOUT.
+        args.soft_timeout = 0.9 * args.timeout
 
     if args.experiment == "figures":
         return _run_figures()
@@ -154,14 +196,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         if unknown:
             parser.error("unknown benchmarks: %s" % ", ".join(unknown))
         for bench_name in names:
-            points = run_fraction_sweep(
-                bench_name, BENCHMARK_FACTORIES[bench_name](),
-                errors=args.errors or 6,
-                selections=args.selections or 1,
-                patterns=args.patterns or 300, seed=args.seed,
-                progress=progress, jobs=args.jobs,
-                timeout=args.timeout, journal=args.journal,
-                resume=args.resume)
+            try:
+                points = run_fraction_sweep(
+                    bench_name, BENCHMARK_FACTORIES[bench_name](),
+                    errors=args.errors or 6,
+                    selections=args.selections or 1,
+                    patterns=args.patterns or 300, seed=args.seed,
+                    progress=progress, jobs=args.jobs,
+                    timeout=args.timeout, journal=args.journal,
+                    resume=args.resume,
+                    node_limit=args.node_limit,
+                    soft_timeout=args.soft_timeout)
+            except KeyboardInterrupt:
+                return _interrupted(progress_done, args)
+            except JournalWriteError as exc:
+                progress_done()
+                print("error: %s" % exc, file=sys.stderr)
+                return 1
             progress_done()
             print(format_sweep(bench_name, points))
             print()
@@ -176,7 +227,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         if unknown:
             parser.error("unknown benchmarks: %s" % ", ".join(unknown))
         overrides["benchmarks"] = names
-    for attr in ("selections", "errors", "patterns"):
+    for attr in ("selections", "errors", "patterns", "node_limit",
+                 "soft_timeout"):
         value = getattr(args, attr)
         if value is not None:
             overrides[attr] = value
@@ -185,9 +237,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     else:
         config = ExperimentConfig(**overrides)
 
-    rows = run_table(config, progress=progress, jobs=args.jobs,
-                     timeout=args.timeout, journal=args.journal,
-                     resume=args.resume)
+    try:
+        rows = run_table(config, progress=progress, jobs=args.jobs,
+                         timeout=args.timeout, journal=args.journal,
+                         resume=args.resume)
+    except KeyboardInterrupt:
+        return _interrupted(progress_done, args)
+    except JournalWriteError as exc:
+        progress_done()
+        print("error: %s" % exc, file=sys.stderr)
+        return 1
     progress_done()
     if args.json:
         from .export import rows_to_json

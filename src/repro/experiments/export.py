@@ -27,6 +27,11 @@ def rows_to_dict(rows: Sequence[BenchmarkRow],
             "wall_seconds": row.wall_seconds,
             "checks": {},
         }
+        if row.strongest_valid:
+            entry["best_effort"] = {
+                "strongest_detected": row.strongest_detected,
+                "strongest_valid": row.strongest_valid,
+            }
         for check in row.detected:
             valid = row.valid.get(check, row.cases)
             record = {
@@ -34,6 +39,7 @@ def rows_to_dict(rows: Sequence[BenchmarkRow],
                 "mean_impl_nodes": row.impl_nodes.get(check, 0.0),
                 "mean_peak_nodes": row.peak_nodes.get(check, 0.0),
                 "mean_seconds": row.runtime.get(check, 0.0),
+                "inconclusive": row.inconclusive.get(check, 0),
                 "valid_cases": valid,
                 "timeouts": row.timeouts.get(check, 0),
                 "errors": row.check_errors.get(check, 0),
@@ -61,8 +67,8 @@ def rows_to_csv(rows: Sequence[BenchmarkRow]) -> str:
     writer.writerow(["circuit", "inputs", "outputs", "spec_nodes",
                      "cases", "check", "detection_percent",
                      "mean_impl_nodes", "mean_peak_nodes",
-                     "mean_seconds", "valid_cases", "timeouts",
-                     "errors"])
+                     "mean_seconds", "inconclusive", "valid_cases",
+                     "timeouts", "errors"])
     for row in rows:
         for check in row.detected:
             writer.writerow([
@@ -72,6 +78,7 @@ def rows_to_csv(rows: Sequence[BenchmarkRow]) -> str:
                 "%.1f" % row.impl_nodes.get(check, 0.0),
                 "%.1f" % row.peak_nodes.get(check, 0.0),
                 "%.4f" % row.runtime.get(check, 0.0),
+                row.inconclusive.get(check, 0),
                 row.valid.get(check, row.cases),
                 row.timeouts.get(check, 0),
                 row.check_errors.get(check, 0)])

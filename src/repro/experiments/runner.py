@@ -63,6 +63,13 @@ class ExperimentConfig:
     seed: int = 2001
     checks: Sequence[str] = CHECKS
     benchmarks: Optional[Sequence[str]] = None
+    #: In-process resource governance (see :mod:`repro.resilience`):
+    #: per-check live BDD node ceiling and cooperative per-case
+    #: wall-clock deadline.  ``None`` disables the respective limit;
+    #: a governed check that overruns degrades to ``inconclusive``
+    #: instead of running away or being SIGKILLed.
+    node_limit: Optional[int] = None
+    soft_timeout: Optional[float] = None
 
     @classmethod
     def paper_scale(cls, **overrides) -> "ExperimentConfig":
@@ -98,6 +105,14 @@ class BenchmarkRow:
     timeouts: Dict[str, int] = field(default_factory=dict)
     #: cases whose check raised, per check
     check_errors: Dict[str, int] = field(default_factory=dict)
+    #: cases stopped cooperatively at a resource budget, per check
+    #: (their best-effort verdict lives in the strongest-level fold)
+    inconclusive: Dict[str, int] = field(default_factory=dict)
+    #: budget-degraded cases whose strongest *completed* level still
+    #: detected the error (numerator) / reached any verdict at all
+    #: (denominator) — the best-effort detection the tables footnote
+    strongest_detected: int = 0
+    strongest_valid: int = 0
     #: total wall-clock spent on this row's cases
     wall_seconds: float = 0.0
 
@@ -114,19 +129,28 @@ class BenchmarkRow:
 
     @property
     def degraded_cases(self) -> int:
-        """Check executions without a verdict (timeouts + errors)."""
+        """Check executions without an authoritative verdict
+        (timeouts + errors + budget-inconclusive)."""
         return (sum(self.timeouts.values())
-                + sum(self.check_errors.values()))
+                + sum(self.check_errors.values())
+                + sum(self.inconclusive.values()))
 
 
 def run_one_case(spec: Circuit, partial: PartialImplementation,
                  checks: Sequence[str], patterns: int,
-                 seed: int) -> Dict[str, CheckResult]:
+                 seed: int, budget=None) -> Dict[str, CheckResult]:
     """All requested checks on one (spec, partial) pair.
 
     Each symbolic check runs on a fresh BDD manager so that the node and
     peak statistics are attributable to that check alone (matching how
     the paper reports per-check peaks).
+
+    A ``budget`` (:class:`repro.resilience.budget.Budget`) is attached
+    to every fresh manager; an overrunning check raises
+    ``BudgetExceededError`` for the caller (the campaign worker) to
+    degrade into an ``inconclusive`` outcome.  Because each check gets
+    its own manager, the node ceiling governs each check separately
+    while the wall clock spans the whole case.
     """
     results: Dict[str, CheckResult] = {}
     for short in checks:
@@ -137,18 +161,23 @@ def run_one_case(spec: Circuit, partial: PartialImplementation,
                              % (short, ", ".join(CHECKS))) from None
         if key == "random_pattern":
             results[short] = check_random_patterns(
-                spec, partial, patterns=patterns, seed=seed)
-        elif key == "symbolic_01x":
-            results[short] = check_symbolic_01x(spec, partial,
-                                                default_bdd())
+                spec, partial, patterns=patterns, seed=seed,
+                budget=budget)
         else:
-            ctx = prepare_context(spec, partial, default_bdd())
-            if key == "local":
-                results[short] = local_check_from_context(ctx)
-            elif key == "output_exact":
-                results[short] = output_exact_from_context(ctx)
+            bdd = default_bdd()
+            if budget is not None:
+                budget.start()
+                bdd.set_budget(budget)
+            if key == "symbolic_01x":
+                results[short] = check_symbolic_01x(spec, partial, bdd)
             else:
-                results[short] = input_exact_from_context(ctx)
+                ctx = prepare_context(spec, partial, bdd)
+                if key == "local":
+                    results[short] = local_check_from_context(ctx)
+                elif key == "output_exact":
+                    results[short] = output_exact_from_context(ctx)
+                else:
+                    results[short] = input_exact_from_context(ctx)
     return results
 
 

@@ -39,7 +39,10 @@ def run_fraction_sweep(name: str, spec: Circuit,
                        jobs: int = 1,
                        timeout: Optional[float] = None,
                        journal: Optional[str] = None,
-                       resume: Optional[str] = None) -> List[SweepPoint]:
+                       resume: Optional[str] = None,
+                       node_limit: Optional[int] = None,
+                       soft_timeout: Optional[float] = None)\
+        -> List[SweepPoint]:
     """Detection ratio per check over a range of boxed fractions.
 
     ``jobs``/``timeout``/``journal``/``resume`` route each fraction's
@@ -54,7 +57,8 @@ def run_fraction_sweep(name: str, spec: Circuit,
         config = ExperimentConfig(
             fraction=fraction, num_boxes=num_boxes,
             selections=selections, errors=errors, patterns=patterns,
-            seed=seed, checks=checks)
+            seed=seed, checks=checks, node_limit=node_limit,
+            soft_timeout=soft_timeout)
         if use_engine:
             from ..jobs.engine import run_campaign
 

@@ -30,8 +30,12 @@ def average_row(rows: Sequence[BenchmarkRow]) -> BenchmarkRow:
             row.timeouts.get(check, 0) for row in rows)
         avg.check_errors[check] = sum(
             row.check_errors.get(check, 0) for row in rows)
+        avg.inconclusive[check] = sum(
+            row.inconclusive.get(check, 0) for row in rows)
         # Encode the average ratio via detected/cases = ratio/100.
         avg.detected[check] = sum(ratios) / len(ratios)
+    avg.strongest_detected = sum(row.strongest_detected for row in rows)
+    avg.strongest_valid = sum(row.strongest_valid for row in rows)
     avg.wall_seconds = sum(row.wall_seconds for row in rows)
     avg.cases = 100  # so detection_ratio() returns the mean percentage
     # avg.valid stays empty so detection_ratio falls back to cases.
@@ -44,12 +48,15 @@ def _degradation_note(row: BenchmarkRow) -> str:
     for check in row.detected:
         t = row.timeouts.get(check, 0)
         e = row.check_errors.get(check, 0)
-        if t or e:
+        i = row.inconclusive.get(check, 0)
+        if t or e or i:
             detail = []
             if t:
                 detail.append("%d timeout%s" % (t, "s" if t > 1 else ""))
             if e:
                 detail.append("%d error%s" % (e, "s" if e > 1 else ""))
+            if i:
+                detail.append("%d inconclusive" % i)
             parts.append("%s: %s" % (check, ", ".join(detail)))
     return "; ".join(parts)
 
@@ -74,7 +81,7 @@ def format_table(rows: Sequence[BenchmarkRow], title: str,
     header_2 = ("%-8s %3s %3s %7s | %s | %s | %s"
                 % ("", "", "", "spec", det_hdr, node_hdr, time_hdr))
     if degraded:
-        header_2 += " | %4s %4s" % ("t/o", "err")
+        header_2 += " | %4s %4s %4s" % ("t/o", "err", "inc")
     lines.append(header_2)
     body_rows = list(rows)
     body_rows.append(average_row(rows))
@@ -92,11 +99,17 @@ def format_table(rows: Sequence[BenchmarkRow], title: str,
                                          row.outputs, row.spec_nodes)
         line = "%s | %s | %s | %s" % (head, det, nodes, times)
         if degraded:
-            line += " | %4d %4d" % (sum(row.timeouts.values()),
-                                    sum(row.check_errors.values()))
+            line += " | %4d %4d %4d" % (sum(row.timeouts.values()),
+                                        sum(row.check_errors.values()),
+                                        sum(row.inconclusive.values()))
             if row.circuit != "average" and row.degraded_cases:
-                footnotes.append("  %s — %s"
-                                 % (row.circuit, _degradation_note(row)))
+                note = _degradation_note(row)
+                if row.strongest_valid:
+                    note += ("; best-effort (strongest completed "
+                             "level): %d/%d detected"
+                             % (row.strongest_detected,
+                                row.strongest_valid))
+                footnotes.append("  %s — %s" % (row.circuit, note))
         lines.append(line)
     if footnotes:
         lines.append("degraded checks (excluded from detection "

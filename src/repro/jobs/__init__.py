@@ -17,10 +17,11 @@ Layers (see ``docs/parallel.md``):
 """
 
 from .spec import CaseSpec, derive_seed, enumerate_cases
-from .journal import (CaseRecord, CheckOutcome, JournalWriter,
-                      failed_record, read_journal, timeout_record)
+from .journal import (CaseRecord, CheckOutcome, JournalWriteError,
+                      JournalWriter, failed_record, read_journal,
+                      timeout_record)
 from .worker import clear_caches, execute_case
-from .pool import run_parallel
+from .pool import WorkerPool, run_parallel
 from .aggregate import fold_records, row_from_records, sort_records
 from .engine import CampaignResult, run_campaign
 
@@ -31,11 +32,13 @@ __all__ = [
     "CaseRecord",
     "CheckOutcome",
     "JournalWriter",
+    "JournalWriteError",
     "read_journal",
     "failed_record",
     "timeout_record",
     "execute_case",
     "clear_caches",
+    "WorkerPool",
     "run_parallel",
     "fold_records",
     "row_from_records",

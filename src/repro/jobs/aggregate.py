@@ -6,18 +6,22 @@ floating-point sums — and therefore the rendered tables — are identical
 no matter how many workers executed the cases or in which order they
 finished.
 
-Degraded cases are first-class: a check whose outcome is ``timeout`` or
-``error`` is *excluded* from that check's detection-ratio denominator
-and node/time averages, and counted in ``BenchmarkRow.timeouts`` /
-``check_errors`` instead, so a partially-failed campaign is visibly
-degraded rather than silently averaged.
+Degraded cases are first-class: a check whose outcome is ``timeout``,
+``error`` or ``inconclusive`` is *excluded* from that check's
+detection-ratio denominator and node/time averages, and counted in
+``BenchmarkRow.timeouts`` / ``check_errors`` / ``inconclusive``
+instead, so a partially-failed campaign is visibly degraded rather than
+silently averaged.  Budget-inconclusive cases additionally contribute
+their strongest *completed* check's verdict to the row's best-effort
+detection counters (``strongest_detected`` / ``strongest_valid``).
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Sequence
 
-from ..core.result import OUTCOME_OK, OUTCOME_TIMEOUT
+from ..core.result import (OUTCOME_INCONCLUSIVE, OUTCOME_OK,
+                           OUTCOME_TIMEOUT)
 from ..experiments.runner import BenchmarkRow
 from .journal import CaseRecord
 
@@ -29,6 +33,16 @@ def sort_records(records: Sequence[CaseRecord]) -> List[CaseRecord]:
     return sorted(records, key=lambda r: (r.case.benchmark,
                                           r.case.selection,
                                           r.case.error_index))
+
+
+def _strongest_ok(record: CaseRecord, checks: Sequence[str]):
+    """Last (most accurate) check slice of a record with an ok outcome."""
+    strongest = None
+    for check in checks:
+        outcome = record.checks.get(check)
+        if outcome is not None and outcome.outcome == OUTCOME_OK:
+            strongest = outcome
+    return strongest
 
 
 def row_from_records(name: str, records: Sequence[CaseRecord],
@@ -47,6 +61,7 @@ def row_from_records(name: str, records: Sequence[CaseRecord],
         row.valid[check] = 0
         row.timeouts[check] = 0
         row.check_errors[check] = 0
+        row.inconclusive[check] = 0
     for record in sort_records(records):
         row.cases += 1
         row.wall_seconds += record.seconds
@@ -54,12 +69,27 @@ def row_from_records(name: str, records: Sequence[CaseRecord],
             row.inputs = record.inputs
             row.outputs = record.outputs
             row.spec_nodes = record.spec_nodes
+        if record.outcome == OUTCOME_INCONCLUSIVE:
+            # Best-effort fold: the strongest completed check's verdict
+            # for a budget-degraded case (mirrored into every
+            # inconclusive slice's ``error_found`` by the worker).
+            strongest = _strongest_ok(record, checks)
+            if strongest is not None:
+                row.strongest_valid += 1
+                row.strongest_detected += int(strongest.error_found)
         for check in checks:
             outcome = record.checks.get(check)
             if outcome is None or outcome.outcome == OUTCOME_TIMEOUT:
                 # A missing slice only happens when the whole case was
                 # killed before the check could report — a timeout.
                 row.timeouts[check] += 1
+            elif outcome.outcome == OUTCOME_INCONCLUSIVE:
+                # Stopped cooperatively at a resource budget: no
+                # authoritative verdict for *this* check, so it stays
+                # out of the detection denominator, but unlike a
+                # timeout the case still carries its best-effort
+                # verdict (folded above).
+                row.inconclusive[check] += 1
             elif outcome.outcome != OUTCOME_OK:
                 row.check_errors[check] += 1
             else:

@@ -24,6 +24,7 @@ Record format (version 1)::
 
 from __future__ import annotations
 
+import errno
 import json
 import os
 from dataclasses import dataclass, field
@@ -33,8 +34,8 @@ from ..core.result import OUTCOME_ERROR, OUTCOME_OK, OUTCOME_TIMEOUT
 from .spec import CaseSpec
 
 __all__ = ["JOURNAL_VERSION", "CheckOutcome", "CaseRecord",
-           "JournalWriter", "read_journal", "failed_record",
-           "timeout_record"]
+           "JournalWriter", "JournalWriteError", "read_journal",
+           "failed_record", "timeout_record"]
 
 JOURNAL_VERSION = 1
 
@@ -151,14 +152,38 @@ def timeout_record(case: CaseSpec, seconds: float, worker: int = 0,
             for check in case.checks})
 
 
+class JournalWriteError(OSError):
+    """Appending to the campaign journal failed even after one retry.
+
+    Raised instead of a bare ``OSError`` so the campaign driver can
+    tell the operator *which* file is full/broken and that completed
+    work up to the previous record is safely on disk.
+    """
+
+    def __init__(self, path: str, cause: BaseException):
+        self.path = path
+        self.cause = cause
+        super().__init__(
+            "cannot append to campaign journal %s (%s: %s); records "
+            "written before this one are intact — free space or point "
+            "--journal elsewhere and --resume" % (
+                path, type(cause).__name__, cause))
+
+
 class JournalWriter:
     """Append-only writer with one atomic line per record.
 
-    Each record is serialised to a single line and written with one
-    buffered ``write`` followed by ``flush``, so concurrent readers (and
-    post-crash resumes) see only whole lines plus at most one truncated
-    tail.  Pass ``fsync=True`` to force every line to disk (slower;
-    protects against OS crashes, not just process death).
+    Each record is serialised to a single line and written unbuffered
+    (``O_APPEND`` raw I/O), so concurrent readers (and post-crash
+    resumes) see only whole lines plus at most one truncated tail.
+    Pass ``fsync=True`` to force every line to disk (slower; protects
+    against OS crashes, not just process death).
+
+    Disk-full robustness: on ``ENOSPC``/short writes the partial line
+    is truncated away, the write retried once (after an fsync that may
+    release cached space), and a persistent failure surfaces as
+    :class:`JournalWriteError` naming the journal path — with the file
+    left whole-line clean for a later ``--resume``.
     """
 
     def __init__(self, path: str, fsync: bool = False):
@@ -167,7 +192,7 @@ class JournalWriter:
         parent = os.path.dirname(os.path.abspath(path))
         if parent and not os.path.isdir(parent):
             os.makedirs(parent, exist_ok=True)
-        self._handle = open(path, "a", encoding="utf-8")
+        self._handle = open(path, "ab", buffering=0)
         # Self-heal a torn tail from a killed run: without this, the
         # first appended record would concatenate onto the truncated
         # line and both records would be lost to the parser.
@@ -175,12 +200,37 @@ class JournalWriter:
             with open(path, "rb") as probe:
                 probe.seek(-1, os.SEEK_END)
                 if probe.read(1) != b"\n":
-                    self._handle.write("\n")
-                    self._handle.flush()
+                    self._handle.write(b"\n")
+
+    def _write_all(self, data: bytes) -> None:
+        """Write every byte, treating a 0-byte write as disk-full."""
+        view = memoryview(data)
+        while view:
+            written = self._handle.write(view)
+            if not written:
+                raise OSError(errno.ENOSPC,
+                              "short write: 0 of %d bytes accepted"
+                              % len(view))
+            view = view[written:]
 
     def write(self, record: CaseRecord) -> None:
-        self._handle.write(record.to_json_line() + "\n")
-        self._handle.flush()
+        data = (record.to_json_line() + "\n").encode("utf-8")
+        start = self._handle.tell()
+        try:
+            self._write_all(data)
+        except OSError as first:
+            # A torn line would poison this record AND the next one;
+            # cut it off before anything else (O_APPEND re-positions
+            # the retry correctly after the truncate).
+            try:
+                os.fsync(self._handle.fileno())
+            except OSError:
+                pass
+            try:
+                os.ftruncate(self._handle.fileno(), start)
+                self._write_all(data)
+            except OSError:
+                raise JournalWriteError(self.path, first) from first
         if self._fsync:
             os.fsync(self._handle.fileno())
 

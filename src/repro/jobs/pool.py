@@ -33,7 +33,7 @@ from typing import Callable, Deque, List, Optional, Tuple
 from .journal import CaseRecord, failed_record, timeout_record
 from .spec import CaseSpec
 
-__all__ = ["run_parallel", "DEFAULT_MAX_ATTEMPTS"]
+__all__ = ["WorkerPool", "run_parallel", "DEFAULT_MAX_ATTEMPTS"]
 
 #: Attempts per case before a crashing case is recorded as ERROR.
 DEFAULT_MAX_ATTEMPTS = 2
@@ -145,37 +145,92 @@ class _Slot:
         self.conn.close()
 
 
-def run_parallel(cases: List[CaseSpec], jobs: int,
-                 timeout: Optional[float] = None,
-                 task: Optional[Callable] = None,
-                 on_record: Optional[Callable[[CaseRecord], None]] = None,
-                 max_attempts: int = DEFAULT_MAX_ATTEMPTS)\
-        -> List[CaseRecord]:
-    """Execute ``cases`` on ``jobs`` spawned workers.
+class WorkerPool:
+    """A reusable pool of spawned workers, usable as a context manager.
 
-    Returns one record per case (in completion order); ``on_record`` is
-    additionally called as each record lands, which is how the engine
-    journals and reports progress incrementally.  ``task`` defaults to
-    :func:`repro.jobs.worker.execute_case` and must be an importable
-    top-level callable (it is sent to spawned children by reference).
+    Separating construction (:meth:`start`) from case execution
+    (:meth:`run`) makes the cleanup obligations explicit: however
+    :meth:`run` exits — normally, on a worker crash, or because the
+    driving process was interrupted — ``with WorkerPool(...) as pool:``
+    guarantees every child process is reaped.  :func:`run_parallel`
+    remains the one-shot convenience wrapper.
     """
-    if task is None:
-        from .worker import execute_case as task
-    if not cases:
-        return []
-    jobs = max(1, min(int(jobs), len(cases)))
-    context = multiprocessing.get_context("spawn")
-    pending: Deque[Tuple[CaseSpec, int]] = deque(
-        (case, 1) for case in cases)
-    records: List[CaseRecord] = []
 
-    def emit(record: CaseRecord) -> None:
-        records.append(record)
-        if on_record is not None:
-            on_record(record)
+    def __init__(self, jobs: int, timeout: Optional[float] = None,
+                 task: Optional[Callable] = None,
+                 max_attempts: int = DEFAULT_MAX_ATTEMPTS):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if task is None:
+            from .worker import execute_case as task
+        self.jobs = int(jobs)
+        self.timeout = timeout
+        self.task = task
+        self.max_attempts = max_attempts
+        self._slots: List[_Slot] = []
 
-    slots = [_Slot(i, context, task) for i in range(jobs)]
-    try:
+    @property
+    def started(self) -> bool:
+        return bool(self._slots)
+
+    def start(self) -> "WorkerPool":
+        """Spawn the worker processes (idempotent).
+
+        Startup is exception-safe: if the N-th worker fails to spawn,
+        the N-1 already-running ones are shut down before the error
+        propagates, so a failed start never leaks children.
+        """
+        if self._slots:
+            return self
+        context = multiprocessing.get_context("spawn")
+        slots: List[_Slot] = []
+        try:
+            for i in range(self.jobs):
+                slots.append(_Slot(i, context, self.task))
+        except BaseException:
+            for slot in slots:
+                slot.kill()
+            raise
+        self._slots = slots
+        return self
+
+    def close(self) -> None:
+        """Reap every worker: polite shutdown when idle, kill if busy."""
+        slots, self._slots = self._slots, []
+        for slot in slots:
+            if slot.busy:
+                slot.kill()
+            else:
+                slot.shutdown()
+
+    def __enter__(self) -> "WorkerPool":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def run(self, cases: List[CaseSpec],
+            on_record: Optional[Callable[[CaseRecord], None]] = None)\
+            -> List[CaseRecord]:
+        """Execute ``cases``, returning records in completion order.
+
+        ``on_record`` is additionally called as each record lands, which
+        is how the engine journals and reports progress incrementally.
+        """
+        if not cases:
+            return []
+        self.start()
+        timeout, max_attempts = self.timeout, self.max_attempts
+        slots = self._slots
+        pending: Deque[Tuple[CaseSpec, int]] = deque(
+            (case, 1) for case in cases)
+        records: List[CaseRecord] = []
+
+        def emit(record: CaseRecord) -> None:
+            records.append(record)
+            if on_record is not None:
+                on_record(record)
+
         while pending or any(slot.busy for slot in slots):
             for slot in slots:
                 if not slot.busy and pending:
@@ -222,10 +277,25 @@ def run_parallel(cases: List[CaseSpec], jobs: int,
                         emit(timeout_record(case, elapsed,
                                             worker=slot.slot_id,
                                             attempt=attempt))
-    finally:
-        for slot in slots:
-            if slot.busy:
-                slot.kill()
-            else:
-                slot.shutdown()
-    return records
+        return records
+
+
+def run_parallel(cases: List[CaseSpec], jobs: int,
+                 timeout: Optional[float] = None,
+                 task: Optional[Callable] = None,
+                 on_record: Optional[Callable[[CaseRecord], None]] = None,
+                 max_attempts: int = DEFAULT_MAX_ATTEMPTS)\
+        -> List[CaseRecord]:
+    """Execute ``cases`` on ``jobs`` spawned workers (one-shot pool).
+
+    Returns one record per case (in completion order); ``on_record`` is
+    additionally called as each record lands.  ``task`` defaults to
+    :func:`repro.jobs.worker.execute_case` and must be an importable
+    top-level callable (it is sent to spawned children by reference).
+    """
+    if not cases:
+        return []
+    jobs = max(1, min(int(jobs), len(cases)))
+    with WorkerPool(jobs=jobs, timeout=timeout, task=task,
+                    max_attempts=max_attempts) as pool:
+        return pool.run(cases, on_record=on_record)

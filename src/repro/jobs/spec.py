@@ -62,6 +62,11 @@ class CaseSpec:
     patterns: int
     seed: int
     checks: Tuple[str, ...]
+    #: In-process governance (see :mod:`repro.resilience`): max live BDD
+    #: nodes per check and a cooperative wall-clock deadline per case.
+    #: ``None`` disables the respective limit.
+    node_limit: Optional[int] = None
+    soft_timeout: Optional[float] = None
 
     @property
     def partial_seed(self) -> int:
@@ -86,7 +91,9 @@ class CaseSpec:
         """Hashable identity used for journal resume matching."""
         return (self.benchmark, self.selection, self.error_index,
                 repr(self.fraction), self.num_boxes, self.patterns,
-                self.seed, self.checks)
+                self.seed, self.checks, self.node_limit,
+                repr(self.soft_timeout) if self.soft_timeout is not None
+                else None)
 
     def describe(self) -> str:
         """Short human-readable coordinate for progress lines."""
@@ -94,7 +101,7 @@ class CaseSpec:
                                      self.error_index)
 
     def to_dict(self) -> Dict:
-        return {
+        data = {
             "benchmark": self.benchmark,
             "selection": self.selection,
             "error_index": self.error_index,
@@ -104,9 +111,18 @@ class CaseSpec:
             "seed": self.seed,
             "checks": list(self.checks),
         }
+        # Omitted when unset so ungoverned journals stay byte-identical
+        # to those written before resource governance existed.
+        if self.node_limit is not None:
+            data["node_limit"] = self.node_limit
+        if self.soft_timeout is not None:
+            data["soft_timeout"] = self.soft_timeout
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict) -> "CaseSpec":
+        node_limit = data.get("node_limit")
+        soft_timeout = data.get("soft_timeout")
         return cls(benchmark=data["benchmark"],
                    selection=int(data["selection"]),
                    error_index=int(data["error_index"]),
@@ -114,7 +130,11 @@ class CaseSpec:
                    num_boxes=int(data["num_boxes"]),
                    patterns=int(data["patterns"]),
                    seed=int(data["seed"]),
-                   checks=tuple(data["checks"]))
+                   checks=tuple(data["checks"]),
+                   node_limit=int(node_limit)
+                   if node_limit is not None else None,
+                   soft_timeout=float(soft_timeout)
+                   if soft_timeout is not None else None)
 
 
 def enumerate_cases(config: "ExperimentConfig",
@@ -139,5 +159,7 @@ def enumerate_cases(config: "ExperimentConfig",
                     error_index=error_index, fraction=config.fraction,
                     num_boxes=config.num_boxes,
                     patterns=config.patterns, seed=config.seed,
-                    checks=tuple(config.checks)))
+                    checks=tuple(config.checks),
+                    node_limit=getattr(config, "node_limit", None),
+                    soft_timeout=getattr(config, "soft_timeout", None)))
     return cases

@@ -17,11 +17,13 @@ import time
 from typing import Dict, Optional, Tuple
 
 from ..circuit.netlist import Circuit
-from ..core.result import OUTCOME_ERROR, OUTCOME_OK
+from ..core.result import (OUTCOME_ERROR, OUTCOME_INCONCLUSIVE,
+                           OUTCOME_OK)
 from ..generators.benchmarks import BENCHMARK_FACTORIES
 from ..partial.blackbox import PartialImplementation
 from ..partial.extraction import make_partial
 from ..partial.mutations import insert_random_error
+from ..resilience.budget import Budget, BudgetExceededError
 from .journal import CaseRecord, CheckOutcome, failed_record
 from .spec import CaseSpec
 
@@ -101,6 +103,14 @@ def _carved_partial(case: CaseSpec, tuned: Circuit)\
     return partial
 
 
+def _strongest_clause(check: Optional[str], error_found: bool) -> str:
+    """Human-readable "strongest completed level" suffix for details."""
+    if check is None:
+        return "no level completed"
+    return "strongest completed level: %s (%s)" % (
+        check, "error found" if error_found else "no error found")
+
+
 def execute_case(case: CaseSpec,
                  spec: Optional[Circuit] = None) -> CaseRecord:
     """Run one campaign case and return its record.
@@ -123,12 +133,33 @@ def execute_case(case: CaseSpec,
         return failed_record(case, exc,
                              seconds=time.perf_counter() - start)
 
+    # One Budget per case: the cooperative soft deadline spans all the
+    # case's checks, while the node ceiling governs each check's fresh
+    # manager separately.  A budget kill degrades that check's column to
+    # ``inconclusive`` carrying the strongest *completed* check's
+    # verdict (ladder order == case.checks order) instead of poisoning
+    # the whole case or waiting for the pool's SIGKILL hard deadline.
+    budget = Budget.from_limits(node_limit=case.node_limit,
+                                soft_timeout=case.soft_timeout)
     outcomes: Dict[str, CheckOutcome] = {}
     worst = OUTCOME_OK
+    strongest_check: Optional[str] = None
+    strongest_found = False
+    out_of_time = False
     for check in case.checks:
+        if out_of_time:
+            outcomes[check] = CheckOutcome(
+                outcome=OUTCOME_INCONCLUSIVE,
+                error_found=strongest_found,
+                detail="soft deadline exhausted before this check; %s"
+                       % _strongest_clause(strongest_check,
+                                           strongest_found))
+            continue
+        check_start = time.perf_counter()
         try:
             result = run_one_case(tuned, impl, (check,), case.patterns,
-                                  seed=case.case_seed)[check]
+                                  seed=case.case_seed,
+                                  budget=budget)[check]
             outcomes[check] = CheckOutcome(
                 outcome=result.outcome,
                 error_found=result.error_found,
@@ -136,13 +167,36 @@ def execute_case(case: CaseSpec,
                 impl_nodes=int(result.stats.get("impl_nodes", 0)),
                 peak_nodes=int(result.stats.get("peak_nodes", 0)),
                 detail=result.detail)
-            if result.outcome != OUTCOME_OK:
+            if result.outcome == OUTCOME_OK:
+                strongest_check = check
+                strongest_found = result.error_found
+            elif result.outcome == OUTCOME_INCONCLUSIVE:
+                if worst == OUTCOME_OK:
+                    worst = OUTCOME_INCONCLUSIVE
+            else:
                 worst = OUTCOME_ERROR
+        except BudgetExceededError as exc:
+            outcomes[check] = CheckOutcome(
+                outcome=OUTCOME_INCONCLUSIVE,
+                error_found=strongest_found,
+                seconds=time.perf_counter() - check_start,
+                peak_nodes=exc.value if exc.resource == "live_nodes"
+                else 0,
+                detail="%s; %s" % (exc, _strongest_clause(
+                    strongest_check, strongest_found)))
+            if worst == OUTCOME_OK:
+                worst = OUTCOME_INCONCLUSIVE
+            if exc.resource == "wall_clock":
+                # The deadline is per-case: later (more expensive)
+                # checks cannot fit either; mark them without running.
+                out_of_time = True
         except Exception as exc:
             outcomes[check] = CheckOutcome(
                 outcome=OUTCOME_ERROR,
                 detail="%s: %s" % (type(exc).__name__, exc))
             worst = OUTCOME_ERROR
+    if out_of_time and worst == OUTCOME_OK:
+        worst = OUTCOME_INCONCLUSIVE
     return CaseRecord(
         case=case, outcome=worst, checks=outcomes,
         seconds=time.perf_counter() - start,

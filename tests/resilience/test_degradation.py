@@ -1,0 +1,140 @@
+"""Campaign-level graceful degradation under resource budgets.
+
+Covers the acceptance criterion of the robustness PR: a campaign case
+whose most accurate (level-5, ``ie``) check exceeds the node budget
+produces an ``inconclusive`` record that carries the strongest
+completed level's verdict and per-level stats — not a bare TIMEOUT —
+and the serial and parallel paths aggregate such records identically.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.result import (OUTCOME_INCONCLUSIVE, OUTCOME_OK,
+                               OUTCOME_TIMEOUT)
+from repro.experiments.export import rows_to_csv, rows_to_dict
+from repro.experiments.runner import CHECKS, ExperimentConfig
+from repro.experiments.tables import format_table
+from repro.jobs import enumerate_cases, execute_case, run_campaign
+
+CONFIG = ExperimentConfig(selections=1, errors=3, patterns=30,
+                          benchmarks=["alu4"])
+
+
+def _ie_killing_case():
+    """An alu4 case plus a node limit that kills only the ie check.
+
+    The threshold is computed from an ungoverned run (peaks are
+    deterministic), so the test does not hard-code BDD sizes.
+    """
+    for case in enumerate_cases(CONFIG):
+        base = execute_case(case)
+        ie_peak = base.checks["ie"].peak_nodes
+        lower_peak = max(o.peak_nodes for c, o in base.checks.items()
+                        if c != "ie")
+        if lower_peak < ie_peak - 1:
+            limit = (lower_peak + ie_peak) // 2
+            return replace(case, node_limit=limit), base
+    pytest.skip("no case separates ie peak from the lower rungs")
+
+
+class TestAcceptance:
+    def test_level5_node_kill_yields_inconclusive_with_stats(self):
+        case, base = _ie_killing_case()
+        record = execute_case(case)
+        assert record.outcome == OUTCOME_INCONCLUSIVE
+        assert record.outcome != OUTCOME_TIMEOUT
+        ie = record.checks["ie"]
+        assert ie.outcome == OUTCOME_INCONCLUSIVE
+        # Strongest completed level (oe) verdict is carried verbatim.
+        assert ie.error_found == base.checks["oe"].error_found
+        assert "strongest completed level: oe" in ie.detail
+        assert "live_nodes" in ie.detail
+        # Per-level stats: every lower rung completed with its own
+        # timing/node column, unchanged by governance.
+        for check in ("r.p.", "0,1,X", "loc.", "oe"):
+            assert record.checks[check].outcome == OUTCOME_OK
+            assert record.checks[check].peak_nodes \
+                == base.checks[check].peak_nodes
+        assert ie.peak_nodes > 0  # the node count at the kill
+
+
+class TestSerialParallelWithInconclusive:
+    def test_aggregates_identically(self):
+        config = replace(CONFIG)
+        config.node_limit = _ie_killing_case()[0].node_limit
+        serial = run_campaign(config)
+        parallel = run_campaign(config, jobs=2)
+        assert serial.executed == parallel.executed == 3
+
+        def det(row):
+            return (row.circuit, row.cases, row.detected, row.valid,
+                    row.timeouts, row.check_errors, row.inconclusive,
+                    row.strongest_detected, row.strongest_valid,
+                    row.impl_nodes, row.peak_nodes)
+
+        assert det(serial.rows["alu4"]) == det(parallel.rows["alu4"])
+        for ours, theirs in zip(serial.records, parallel.records):
+            assert ours.case == theirs.case
+            assert ours.outcome == theirs.outcome
+            for check in CHECKS:
+                assert ours.checks[check].outcome \
+                    == theirs.checks[check].outcome
+                assert ours.checks[check].error_found \
+                    == theirs.checks[check].error_found
+
+    def test_journal_roundtrip_preserves_inconclusive(self, tmp_path):
+        config = replace(CONFIG)
+        config.node_limit = _ie_killing_case()[0].node_limit
+        path = str(tmp_path / "campaign.jsonl")
+        run_campaign(config, journal=path)
+        resumed = run_campaign(config, resume=path)
+        assert resumed.executed == 0
+        assert resumed.resumed == 3
+        row = resumed.rows["alu4"]
+        assert sum(row.inconclusive.values()) > 0
+
+
+class TestDisplay:
+    def _degraded_row(self):
+        config = replace(CONFIG)
+        config.node_limit = _ie_killing_case()[0].node_limit
+        return run_campaign(config).rows["alu4"]
+
+    def test_table_shows_inc_column_and_best_effort(self):
+        row = self._degraded_row()
+        text = format_table([row], "governed")
+        assert "inc" in text
+        assert "inconclusive" in text
+        assert "best-effort (strongest completed level)" in text
+
+    def test_export_carries_inconclusive_and_best_effort(self):
+        row = self._degraded_row()
+        entry = rows_to_dict([row])[0]
+        assert entry["checks"]["ie"]["inconclusive"] > 0
+        assert entry["checks"]["ie"]["valid_cases"] \
+            < entry["checks"]["oe"]["valid_cases"] \
+            + entry["checks"]["ie"]["inconclusive"]
+        assert entry["best_effort"]["strongest_valid"] > 0
+        csv_text = rows_to_csv([row])
+        header = csv_text.splitlines()[0]
+        assert header.endswith("inconclusive,valid_cases,timeouts,errors")
+
+
+class TestSoftTimeout:
+    def test_soft_deadline_marks_remaining_checks(self):
+        # A deadline so tight nothing symbolic can finish: the worker
+        # must stop cooperatively and mark the unreached checks
+        # inconclusive instead of running them.
+        case = replace(enumerate_cases(CONFIG)[0], soft_timeout=1e-6)
+        record = execute_case(case)
+        assert record.outcome == OUTCOME_INCONCLUSIVE
+        slices = list(record.checks.values())
+        assert any(o.outcome == OUTCOME_INCONCLUSIVE for o in slices)
+        assert all(o.outcome in (OUTCOME_OK, OUTCOME_INCONCLUSIVE)
+                   for o in slices)
+        killed = [o for o in slices
+                  if o.outcome == OUTCOME_INCONCLUSIVE]
+        assert any("wall_clock" in o.detail
+                   or "soft deadline" in o.detail for o in killed)
