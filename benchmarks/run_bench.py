@@ -1,0 +1,299 @@
+#!/usr/bin/env python
+"""Tracked before/after benchmark of the BDD kernels (BENCH_*.json).
+
+Runs the full check ladder on Table-2-style cases (10% of the gates in
+five Black Boxes) and, unless ``--quick``, a Table-3-style case (40% in
+one box), once on the current stack (iterative manager + bit-parallel
+random-pattern engine) and once on the frozen pre-rewrite reference
+(:mod:`repro.bdd._legacy` — recursive kernels, unbounded single
+computed table, historic sifting swap — plus the scalar
+one-pattern-at-a-time random-pattern engine).  Both run on the same
+interpreter and host, which makes the per-bench speedup ratio
+meaningful across machines — unlike absolute seconds.
+
+Each check runs on a fresh manager (``run_one_case``), exactly as the
+campaign that produces the paper's tables does, so the wall clock
+covers what dominates a real campaign: symbolic simulation, dynamic
+sifting and the Boolean/quantifier kernels, once per rung.
+
+Output schema (``BENCH_PR4.json``)::
+
+    {"meta":    {"python": "3.11.7", "quick": false, "patterns": 300},
+     "benches": {"ladder_t2_alu4": {"wall_s": 0.41,
+                                    "peak_nodes": 9182,
+                                    "cache_hit_rate": 0.41,
+                                    "legacy_wall_s": 0.58,
+                                    "legacy_peak_nodes": 9182,
+                                    "speedup": 1.41}, ...},
+     "aggregate": {"wall_s": ..., "legacy_wall_s": ..., "speedup": ...}}
+
+Usage::
+
+    python benchmarks/run_bench.py                      # full suite
+    python benchmarks/run_bench.py --quick              # CI smoke (fast)
+    python benchmarks/run_bench.py --baseline BENCH_PR4.json
+    python benchmarks/run_bench.py -o BENCH_PR4.json
+
+``--baseline`` compares the measured per-bench *speedup ratios* against
+a committed BENCH_*.json and exits non-zero when any common bench
+regressed by more than ``--tolerance`` (default 25%).  Ratios are
+host-independent, so the comparison is stable on shared CI runners
+where absolute seconds are not.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import random
+import sys
+import time
+from typing import Dict, List, Optional, Tuple
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src"))
+
+from repro.bdd._legacy import default_legacy_bdd          # noqa: E402
+from repro.bdd.function import default_bdd                # noqa: E402
+from repro.experiments.runner import CHECKS, run_one_case  # noqa: E402
+from repro.generators.benchmarks import BENCHMARK_FACTORIES  # noqa: E402
+from repro.partial.blackbox import PartialImplementation  # noqa: E402
+from repro.partial.extraction import make_partial         # noqa: E402
+from repro.partial.mutations import insert_random_error   # noqa: E402
+
+#: (bench key, circuit, fraction, num_boxes) — Table-2 and Table-3
+#: shapes on the circuits where the ladder's symbolic rungs dominate.
+FULL_BENCHES: List[Tuple[str, str, float, int]] = [
+    ("ladder_t2_alu4", "alu4", 0.1, 5),
+    ("ladder_t2_C499", "C499", 0.1, 5),
+    ("ladder_t2_C880", "C880", 0.1, 5),
+    ("ladder_t2_comp", "comp", 0.1, 5),
+    ("ladder_t2_term1", "term1", 0.1, 5),
+    ("ladder_t3_alu4_40pct", "alu4", 0.4, 1),
+]
+
+#: CI smoke subset: finishes in well under a minute.
+QUICK_BENCHES: List[Tuple[str, str, float, int]] = [
+    ("ladder_t2_alu4", "alu4", 0.1, 5),
+    ("ladder_t2_comp", "comp", 0.1, 5),
+]
+
+
+def _build_case(circuit: str, fraction: float, num_boxes: int,
+                seed: int):
+    """(spec, partial-with-error) for one bench, deterministically."""
+    from repro.experiments.runner import _tune_spec
+
+    spec = BENCHMARK_FACTORIES[circuit]()
+    tuned, _ = _tune_spec(spec)
+    partial = make_partial(tuned, fraction=fraction,
+                           num_boxes=num_boxes, seed=seed)
+    mutated, _ = insert_random_error(partial.circuit,
+                                     random.Random(seed + 6))
+    return tuned, PartialImplementation(mutated, partial.boxes)
+
+
+def _time_ladder(spec, impl, patterns: int, seed: int,
+                 factory, rp_engine: str) -> Tuple[float, int, float]:
+    """(wall seconds, peak live nodes, cache hit rate) of one ladder.
+
+    All five checks run, each on a fresh manager from ``factory`` —
+    the campaign workload.  Peak nodes is the max over the checks;
+    the hit rate pools the per-check computed-table counters.
+    """
+    start = time.perf_counter()
+    results = run_one_case(spec, impl, CHECKS, patterns, seed=seed,
+                           bdd_factory=factory, rp_engine=rp_engine)
+    wall = time.perf_counter() - start
+    peak = max((r.stats.get("peak_nodes", 0) for r in results.values()),
+               default=0)
+    hits = sum(r.stats.get("cache_hits", 0) for r in results.values())
+    misses = sum(r.stats.get("cache_misses", 0)
+                 for r in results.values())
+    rate = hits / (hits + misses) if hits + misses else 0.0
+    return wall, peak, rate
+
+
+def run_benches(benches, patterns: int, seed: int, repeats: int,
+                progress=print) -> Dict[str, Dict[str, float]]:
+    """Measure every bench; returns the ``benches`` mapping."""
+    out: Dict[str, Dict[str, float]] = {}
+    for key, circuit, fraction, num_boxes in benches:
+        spec, impl = _build_case(circuit, fraction, num_boxes, seed)
+        new_wall = legacy_wall = float("inf")
+        peak = legacy_peak = 0
+        hit_rate = 0.0
+        # Best-of-N on both sides damps scheduler noise the same way.
+        for _ in range(repeats):
+            wall, p, rate = _time_ladder(spec, impl, patterns, seed,
+                                         default_bdd, "packed")
+            if wall < new_wall:
+                new_wall, peak, hit_rate = wall, p, rate
+            wall, p, _ = _time_ladder(spec, impl, patterns, seed,
+                                      default_legacy_bdd, "scalar")
+            if wall < legacy_wall:
+                legacy_wall, legacy_peak = wall, p
+        out[key] = {
+            "wall_s": round(new_wall, 4),
+            "peak_nodes": peak,
+            "cache_hit_rate": round(hit_rate, 4),
+            "legacy_wall_s": round(legacy_wall, 4),
+            "legacy_peak_nodes": legacy_peak,
+            "speedup": round(legacy_wall / new_wall, 3),
+        }
+        progress("%-22s %7.2fs vs legacy %7.2fs  speedup %.2fx  "
+                 "hit-rate %.1f%%" % (key, new_wall, legacy_wall,
+                                      out[key]["speedup"],
+                                      100.0 * hit_rate))
+    return out
+
+
+#: Per-bench ratio checks need signal: below this many combined wall
+#: seconds in the baseline, a single bench's ratio is noise-dominated
+#: and only participates in the pooled comparison.
+_COMPARE_WALL_FLOOR = 1.0
+
+
+def compare_to_baseline(benches: Dict[str, Dict], baseline: Dict,
+                        tolerance: float, report=print) -> bool:
+    """True when the speedup did not regress past ``tolerance``.
+
+    Two layers, both on *ratios* (host-independent):
+
+    * each common bench whose baseline spent at least
+      ``_COMPARE_WALL_FLOOR`` combined wall seconds is compared
+      individually — sub-second ladders are ratio-noise and are only
+      pooled;
+    * the pooled ratio over all common benches (sum of legacy walls
+      over sum of current walls) is always compared.
+    """
+    ok = True
+    base_benches = baseline.get("benches", {})
+    walls = legacy_walls = base_walls = base_legacy_walls = 0.0
+    for key, entry in benches.items():
+        base = base_benches.get(key)
+        if base is None or "speedup" not in base:
+            continue
+        walls += entry["wall_s"]
+        legacy_walls += entry["legacy_wall_s"]
+        base_walls += base["wall_s"]
+        base_legacy_walls += base["legacy_wall_s"]
+        floor = base["speedup"] * (1.0 - tolerance)
+        if base["wall_s"] + base["legacy_wall_s"] < _COMPARE_WALL_FLOOR:
+            report("-- %s: sub-second bench, pooled only "
+                   "(speedup %.2fx, baseline %.2fx)"
+                   % (key, entry["speedup"], base["speedup"]))
+        elif entry["speedup"] < floor:
+            report("REGRESSION %s: speedup %.2fx < %.2fx "
+                   "(baseline %.2fx - %d%%)"
+                   % (key, entry["speedup"], floor, base["speedup"],
+                      round(100 * tolerance)))
+            ok = False
+        else:
+            report("ok %s: speedup %.2fx (baseline %.2fx)"
+                   % (key, entry["speedup"], base["speedup"]))
+    if walls and base_walls:
+        pooled = legacy_walls / walls
+        base_pooled = base_legacy_walls / base_walls
+        floor = base_pooled * (1.0 - tolerance)
+        if pooled < floor:
+            report("REGRESSION pooled: speedup %.2fx < %.2fx "
+                   "(baseline %.2fx - %d%%)"
+                   % (pooled, floor, base_pooled,
+                      round(100 * tolerance)))
+            ok = False
+        else:
+            report("ok pooled: speedup %.2fx (baseline %.2fx)"
+                   % (pooled, base_pooled))
+    return ok
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Before/after BDD kernel benchmark (BENCH_*.json)")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke subset with fewer patterns; "
+                             "also asserts the computed table is live "
+                             "(hit rate > 0 on every bench)")
+    parser.add_argument("--patterns", type=int, default=None,
+                        help="random patterns for the r.p. rung "
+                             "(default 300, or 100 with --quick)")
+    parser.add_argument("--seed", type=int, default=2004)
+    parser.add_argument("--repeats", type=int, default=1,
+                        help="best-of-N timing repetitions per side")
+    parser.add_argument("--benchmarks", type=str, default=None,
+                        help="comma-separated bench-key subset")
+    parser.add_argument("--baseline", metavar="FILE", default=None,
+                        help="committed BENCH_*.json to compare "
+                             "speedup ratios against")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional speedup regression "
+                             "vs --baseline (default 0.25)")
+    parser.add_argument("-o", "--output", metavar="FILE", default=None,
+                        help="write the result JSON here")
+    args = parser.parse_args(argv)
+
+    benches = QUICK_BENCHES if args.quick else FULL_BENCHES
+    if args.benchmarks:
+        wanted = {k.strip() for k in args.benchmarks.split(",")}
+        known = {b[0] for b in FULL_BENCHES}
+        unknown = wanted - known
+        if unknown:
+            parser.error("unknown benches: %s (known: %s)"
+                         % (", ".join(sorted(unknown)),
+                            ", ".join(sorted(known))))
+        benches = [b for b in FULL_BENCHES if b[0] in wanted]
+    patterns = args.patterns or (100 if args.quick else 300)
+
+    measured = run_benches(benches, patterns, args.seed, args.repeats,
+                           progress=lambda msg: print(msg,
+                                                      file=sys.stderr))
+    walls = [e["wall_s"] for e in measured.values()]
+    legacy_walls = [e["legacy_wall_s"] for e in measured.values()]
+    result = {
+        "meta": {
+            "python": platform.python_version(),
+            "quick": args.quick,
+            "patterns": patterns,
+            "seed": args.seed,
+            "repeats": args.repeats,
+        },
+        "benches": measured,
+        "aggregate": {
+            "wall_s": round(sum(walls), 4),
+            "legacy_wall_s": round(sum(legacy_walls), 4),
+            "speedup": round(sum(legacy_walls) / sum(walls), 3),
+        },
+    }
+    text = json.dumps(result, indent=2, sort_keys=True)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+        print("wrote %s" % args.output, file=sys.stderr)
+    else:
+        print(text)
+    print("aggregate speedup: %.2fx" % result["aggregate"]["speedup"],
+          file=sys.stderr)
+
+    status = 0
+    if args.quick:
+        dead = [k for k, e in measured.items()
+                if e["cache_hit_rate"] <= 0.0]
+        if dead:
+            print("FAIL: computed table saw no hits on: %s"
+                  % ", ".join(dead), file=sys.stderr)
+            status = 1
+    if args.baseline:
+        with open(args.baseline) as handle:
+            baseline = json.load(handle)
+        if not compare_to_baseline(
+                measured, baseline, args.tolerance,
+                report=lambda msg: print(msg, file=sys.stderr)):
+            status = 1
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

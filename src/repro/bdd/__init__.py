@@ -11,6 +11,7 @@ Quick example::
     assert f.sat_count() == 2
 """
 
+from .cache import CacheConfig, DEFAULT_CACHE_CONFIG
 from .function import Bdd, Function, default_bdd
 from .manager import BddManager, FALSE, TRUE
 from .reorder import set_order, sift, swap_adjacent_levels
@@ -21,6 +22,8 @@ from .io import (dump_functions, dumps_functions, load_functions,
 
 __all__ = [
     "Bdd",
+    "CacheConfig",
+    "DEFAULT_CACHE_CONFIG",
     "Function",
     "default_bdd",
     "BddManager",

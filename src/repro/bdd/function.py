@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, List, Optional, Union
 
+from .cache import CacheConfig
 from .manager import FALSE, TRUE, BddManager
 
 __all__ = ["Function", "Bdd", "default_bdd"]
@@ -214,13 +215,20 @@ class Bdd:
     :class:`BddManager` stays an implementation detail.
     """
 
+    #: Manager implementation to instantiate; subclasses (e.g. the
+    #: recursive reference manager in :mod:`repro.bdd._legacy`) override
+    #: this to swap kernels without touching the Function layer.
+    _manager_class = BddManager
+
     def __init__(self, auto_reorder: bool = False,
                  initial_reorder_threshold: int = 50_000,
-                 debug_checks: "Optional[bool]" = None) -> None:
-        self.manager = BddManager(
+                 debug_checks: "Optional[bool]" = None,
+                 cache_config: "Optional[CacheConfig]" = None) -> None:
+        self.manager = self._manager_class(
             auto_reorder=auto_reorder,
             initial_reorder_threshold=initial_reorder_threshold,
-            debug_checks=debug_checks)
+            debug_checks=debug_checks,
+            cache_config=cache_config)
 
     # -- constants -----------------------------------------------------
 
@@ -315,6 +323,14 @@ class Bdd:
     def collect_garbage(self) -> int:
         """Free nodes not reachable from any live Function."""
         return self.manager.collect_garbage()
+
+    def cache_stats(self) -> Dict:
+        """Computed-table traffic (see :meth:`BddManager.cache_stats`)."""
+        return self.manager.cache_stats()
+
+    def clear_cache(self) -> None:
+        """Drop every computed-table entry."""
+        self.manager.clear_cache()
 
     def reorder(self) -> None:
         """Run one full sifting pass over all variables."""

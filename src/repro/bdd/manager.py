@@ -7,9 +7,20 @@ wrapped by :class:`repro.bdd.function.Function`.
 
 Design notes
 ------------
-* No complement edges: negation is a cached recursive operation.  This
-  keeps the unique table, quantification and the sifting swap simple and
-  easy to validate.
+* No complement edges: negation is a cached operation.  This keeps the
+  unique table, quantification and the sifting swap simple and easy to
+  validate.
+* All Boolean kernels are *iterative*: they run an explicit-stack loop
+  instead of Python recursion, so arbitrarily deep BDDs never trip the
+  interpreter recursion limit and the hot loops can bind their state to
+  locals.  The recursive reference implementations live in
+  :mod:`repro.bdd._legacy` for differential testing and benchmarking.
+* The computed table is *segmented*: one bounded dict per operation
+  (see :mod:`repro.bdd.cache`).  Full segments evict their oldest entry
+  on insert — a lossy cache in the spirit of CUDD's — and entries whose
+  operands and result survive garbage collection are kept instead of
+  wholesale clearing.  Per-segment hit/miss/eviction counters surface
+  through :meth:`BddManager.cache_stats`.
 * Reference counting is *external only*: :class:`Function` wrappers hold
   references; garbage collection is a mark-and-sweep from externally
   referenced nodes.  Intermediate results of a running operation are safe
@@ -24,6 +35,8 @@ from __future__ import annotations
 import os
 from typing import (TYPE_CHECKING, Dict, Iterable, Iterator, List,
                     Optional, Tuple, Union)
+
+from .cache import DEFAULT_CACHE_CONFIG, CacheConfig
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..resilience.budget import Budget
@@ -47,7 +60,10 @@ TRUE = 1
 _TERMINAL_VAR = -1
 _TERMINAL_LEVEL = 1 << 60
 
-# Opcodes for the computed table.
+# Opcodes.  The segmented computed table no longer tags its keys with
+# these (each op owns a segment), but quantification still dispatches on
+# them and :mod:`repro.bdd._legacy` keys its historic single table with
+# them.
 _OP_AND = 0
 _OP_OR = 1
 _OP_XOR = 2
@@ -58,6 +74,26 @@ _OP_FORALL = 6
 _OP_COMPOSE = 7
 _OP_RESTRICT = 8
 _OP_AND_EXISTS = 9
+
+#: Computed-table segments: (op name, cache attr, stats attr, sweep kind).
+#: The sweep kind says which key positions hold node ids, so the GC sweep
+#: can keep entries whose operands and result all survived:
+#: ``bin`` (f, g) -> r; ``unary`` f -> r; ``tri`` (f, g, h) -> r;
+#: ``ctx1`` (f, ctx) -> r; ``ctx2`` (f, g, ctx) -> r; ``volatile`` is
+#: always cleared (compose contexts embed node ids, so recycled ids
+#: would alias).
+_SEGMENT_SPECS = (
+    ("and", "_c_and", "_cs_and", "bin"),
+    ("or", "_c_or", "_cs_or", "bin"),
+    ("xor", "_c_xor", "_cs_xor", "bin"),
+    ("not", "_c_not", "_cs_not", "unary"),
+    ("ite", "_c_ite", "_cs_ite", "tri"),
+    ("exists", "_c_exists", "_cs_exists", "ctx1"),
+    ("forall", "_c_forall", "_cs_forall", "ctx1"),
+    ("compose", "_c_compose", "_cs_compose", "volatile"),
+    ("restrict", "_c_restrict", "_cs_restrict", "ctx1"),
+    ("and_exists", "_c_andex", "_cs_andex", "ctx2"),
+)
 
 
 class BddManager:
@@ -78,6 +114,10 @@ class BddManager:
         :class:`repro.analysis.bddcheck.BddInvariantError` (with
         structured diagnostics) on corruption.  Defaults to the
         ``REPRO_DEBUG=1`` environment switch.
+    cache_config:
+        Sizing and retention policy of the segmented computed table
+        (see :class:`repro.bdd.cache.CacheConfig`).  Defaults to
+        bounded segments that are kept warm across garbage collection.
 
     Resource governance
     -------------------
@@ -98,7 +138,8 @@ class BddManager:
 
     def __init__(self, auto_reorder: bool = False,
                  initial_reorder_threshold: int = 50_000,
-                 debug_checks: Optional[bool] = None) -> None:
+                 debug_checks: Optional[bool] = None,
+                 cache_config: Optional[CacheConfig] = None) -> None:
         # Parallel node arrays; slots 0/1 are the terminals.
         self._var: List[int] = [_TERMINAL_VAR, _TERMINAL_VAR]
         self._low: List[int] = [FALSE, TRUE]
@@ -111,8 +152,27 @@ class BddManager:
 
         # (var, low, high) -> node id
         self._unique: Dict[Tuple[int, int, int], int] = {}
-        # (op, operands...) -> node id
-        self._cache: Dict[Tuple, int] = {}
+
+        # Segmented computed table: one bounded dict per operation (see
+        # repro.bdd.cache).  Keys hold operand node ids — plus an
+        # interned context id for quantify/restrict/compose — and values
+        # are result node ids.  Stats lists: [hits, misses, evictions].
+        if cache_config is None:
+            cache_config = DEFAULT_CACHE_CONFIG
+        elif not isinstance(cache_config, CacheConfig):
+            raise TypeError("cache_config must be a CacheConfig")
+        self.cache_config = cache_config
+        self._cache_limit = cache_config.entry_limit
+        for _name, cattr, sattr, _kind in _SEGMENT_SPECS:
+            setattr(self, cattr, {})
+            setattr(self, sattr, [0, 0, 0])
+        # Interned operation contexts.  Quantified variable sets and
+        # restrict assignments are immortal (their ids carry no node
+        # references); compose substitutions embed node ids and are
+        # cleared together with their segment.
+        self._quant_ctx: Dict[frozenset, int] = {}
+        self._restrict_ctx: Dict[Tuple, int] = {}
+        self._compose_ctx: Dict[Tuple, int] = {}
 
         self._var_names: List[str] = []
         self._name_to_var: Dict[str, int] = {}
@@ -124,6 +184,12 @@ class BddManager:
         #: 0 = sift every variable; N > 0 = only the N most populous
         #: (CUDD's siftMaxVar); trades order quality for reorder speed.
         self.sift_max_vars = 0
+        #: Per-variable sift walk span cut: abort a direction after
+        #: this many consecutive non-improving swaps (0 = historic
+        #: full-span walk).  12 cuts reorder work 1.5-2.5x on the
+        #: paper's circuits for a few percent of order quality; see
+        #: docs/performance.md for the measurements.
+        self.sift_stall = 12
         self._reorder_lock = 0
 
         self._live_nodes = 2
@@ -329,47 +395,142 @@ class BddManager:
     def collect_garbage(self) -> int:
         """Mark-and-sweep from externally referenced nodes.
 
-        Returns the number of freed nodes.  All computed-table entries are
-        dropped (they may point at dead nodes).
+        Returns the number of freed nodes.  The computed-table segments
+        are swept against the mark: entries whose operands and result
+        all survived are kept when the cache policy allows
+        (:attr:`CacheConfig.keep_across_gc`), everything else is
+        dropped.
         """
-        marked = bytearray(len(self._var))
+        var_a = self._var
+        low_a = self._low
+        high_a = self._high
+        ref = self._ref
+        marked = bytearray(len(var_a))
         marked[FALSE] = marked[TRUE] = 1
-        stack = [u for u in range(2, len(self._var)) if self._ref[u] > 0]
+        stack = [u for u in range(2, len(var_a)) if ref[u] > 0]
+        push = stack.append
+        pop = stack.pop
         while stack:
-            u = stack.pop()
+            u = pop()
             if marked[u]:
                 continue
             marked[u] = 1
-            lo, hi = self._low[u], self._high[u]
+            lo = low_a[u]
+            hi = high_a[u]
             if not marked[lo]:
-                stack.append(lo)
+                push(lo)
             if not marked[hi]:
-                stack.append(hi)
+                push(hi)
         freed = 0
-        in_free = bytearray(len(self._var))
+        in_free = bytearray(len(var_a))
         for u in self._free:
             in_free[u] = 1
-        for u in range(2, len(self._var)):
+        unique = self._unique
+        var_nodes = self._var_nodes
+        free_append = self._free.append
+        for u in range(2, len(var_a)):
             if not marked[u] and not in_free[u]:
-                var = self._var[u]
-                del self._unique[(var, self._low[u], self._high[u])]
-                self._var_nodes[var].discard(u)
-                self._var[u] = _TERMINAL_VAR
-                self._free.append(u)
+                var = var_a[u]
+                del unique[(var, low_a[u], high_a[u])]
+                var_nodes[var].discard(u)
+                var_a[u] = _TERMINAL_VAR
+                free_append(u)
                 freed += 1
         self._live_nodes -= freed
         # Parent counts are recomputed from scratch: cheaper and simpler
         # than decrementing along every freed edge.
-        self._pref = [0] * len(self._var)
-        for u in range(2, len(self._var)):
-            if self._var[u] != _TERMINAL_VAR:
-                self._pref[self._low[u]] += 1
-                self._pref[self._high[u]] += 1
-        self._cache.clear()
+        pref = [0] * len(var_a)
+        for u in range(2, len(var_a)):
+            if var_a[u] != _TERMINAL_VAR:
+                pref[low_a[u]] += 1
+                pref[high_a[u]] += 1
+        self._pref = pref
+        self._sweep_cache(marked)
         self.n_gc_runs += 1
         if self.debug_checks:
             self._selfcheck("gc")
         return freed
+
+    # ------------------------------------------------------------------
+    # Computed-table plumbing
+    # ------------------------------------------------------------------
+
+    def _sweep_cache(self, marked: bytearray) -> None:
+        """Filter the computed table against a GC mark vector.
+
+        Freed node ids get recycled by ``mk``, so any entry touching an
+        unmarked id must go.  Compose is special-cased: its interned
+        contexts embed substitution node ids, so the segment and its
+        context table are always cleared wholesale.
+        """
+        self._c_compose.clear()
+        self._compose_ctx.clear()
+        if not self.cache_config.keep_across_gc:
+            for _name, cattr, _sattr, _kind in _SEGMENT_SPECS:
+                getattr(self, cattr).clear()
+            return
+        for _name, cattr, _sattr, kind in _SEGMENT_SPECS:
+            if kind == "volatile":
+                continue
+            cache = getattr(self, cattr)
+            if not cache:
+                continue
+            # Dict comprehensions preserve insertion order, so surviving
+            # entries keep their FIFO age for future evictions.
+            if kind == "bin":
+                kept = {k: v for k, v in cache.items()
+                        if marked[k[0]] and marked[k[1]] and marked[v]}
+            elif kind == "unary":
+                kept = {k: v for k, v in cache.items()
+                        if marked[k] and marked[v]}
+            elif kind == "tri":
+                kept = {k: v for k, v in cache.items()
+                        if marked[k[0]] and marked[k[1]] and marked[k[2]]
+                        and marked[v]}
+            elif kind == "ctx1":
+                kept = {k: v for k, v in cache.items()
+                        if marked[k[0]] and marked[v]}
+            else:  # ctx2
+                kept = {k: v for k, v in cache.items()
+                        if marked[k[0]] and marked[k[1]] and marked[v]}
+            setattr(self, cattr, kept)
+
+    def clear_cache(self) -> None:
+        """Drop every computed-table entry.
+
+        Required after reordering: a level swap rewrites what a node id
+        *means*, so cached results would be wrong, not merely stale.
+        The interned quantify/restrict contexts survive (they reference
+        variable ids, which reordering never changes); compose contexts
+        embed node ids and go with their segment.
+        """
+        for _name, cattr, _sattr, _kind in _SEGMENT_SPECS:
+            getattr(self, cattr).clear()
+        self._compose_ctx.clear()
+
+    def cache_stats(self) -> Dict:
+        """Computed-table traffic counters.
+
+        Returns ``{"ops": {name: {hits, misses, evictions, entries}},
+        "total": {hits, misses, evictions, entries, hit_rate}}``.
+        ``hit_rate`` is hits over probes (0.0 before any probe).
+        """
+        ops = {}
+        th = tm = te = tn = 0
+        for name, cattr, sattr, _kind in _SEGMENT_SPECS:
+            st = getattr(self, sattr)
+            entries = len(getattr(self, cattr))
+            ops[name] = {"hits": st[0], "misses": st[1],
+                         "evictions": st[2], "entries": entries}
+            th += st[0]
+            tm += st[1]
+            te += st[2]
+            tn += entries
+        probes = th + tm
+        return {"ops": ops,
+                "total": {"hits": th, "misses": tm, "evictions": te,
+                          "entries": tn,
+                          "hit_rate": (th / probes) if probes else 0.0}}
 
     def __len__(self) -> int:
         """Number of live nodes, terminals included."""
@@ -425,16 +586,21 @@ class BddManager:
         included (matching how CUDD's ``Cudd_DagSize`` counts)."""
         if isinstance(roots, int):
             roots = (roots,)
+        low_a = self._low
+        high_a = self._high
         seen = set()
+        seen_add = seen.add
         stack = list(roots)
+        push = stack.append
+        pop = stack.pop
         while stack:
-            u = stack.pop()
+            u = pop()
             if u in seen:
                 continue
-            seen.add(u)
+            seen_add(u)
             if u > TRUE:
-                stack.append(self._low[u])
-                stack.append(self._high[u])
+                push(low_a[u])
+                push(high_a[u])
         return len(seen)
 
     # ------------------------------------------------------------------
@@ -494,6 +660,14 @@ class BddManager:
             g0 = g1 = g
         return var, f0, f1, g0, g1
 
+    # Each kernel is split into a fast path (terminal rules, normalize,
+    # one computed-table probe) and a ``*_slow`` explicit-stack loop.
+    # The loops use *lookahead*: before pushing a frame for a child
+    # pair, they try to resolve it inline via the terminal rules and a
+    # cache probe, so frames exist only for true misses.  Stats are
+    # accumulated in locals and flushed in ``finally`` (a budget trip
+    # may abort the loop mid-flight).
+
     def _and(self, f: int, g: int) -> int:
         if f == FALSE or g == FALSE:
             return FALSE
@@ -503,14 +677,218 @@ class BddManager:
             return f
         if f > g:
             f, g = g, f
-        key = (_OP_AND, f, g)
-        res = self._cache.get(key)
+        res = self._c_and.get((f, g))
         if res is not None:
+            self._cs_and[0] += 1
             return res
-        var, f0, f1, g0, g1 = self._top_split(f, g)
-        res = self.mk(var, self._and(f0, g0), self._and(f1, g1))
-        self._cache[key] = res
-        return res
+        return self._and_slow(f, g)
+
+    def _and_slow(self, f: int, g: int) -> int:
+        # (f, g) is normalized and just missed the computed table.
+        cache = self._c_and
+        cache_get = cache.get
+        limit = self._cache_limit
+        var_a = self._var
+        low_a = self._low
+        high_a = self._high
+        v2l = self._var2level
+        unique = self._unique
+        unique_get = unique.get
+        var_nodes = self._var_nodes
+        pref = self._pref
+        ref = self._ref
+        free = self._free
+        # The fault injector (resilience.faults) patches the public mk
+        # as an instance attribute; route node creation through it so
+        # injected allocator faults still fire inside the loop.
+        mk_hooked = "mk" in self.__dict__
+        stack: List[list] = []
+        push = stack.append
+        pop = stack.pop
+        hits = 0
+        miss = 0
+        evt = 0
+        key = (f, g)
+        try:
+            while True:
+                # EXPAND: (f, g) is a normalized computed-table miss.
+                miss += 1
+                vf = var_a[f]
+                vg = var_a[g]
+                lf = v2l[vf]
+                lg = v2l[vg]
+                if lf <= lg:
+                    v = vf
+                    f0 = low_a[f]
+                    f1 = high_a[f]
+                else:
+                    v = vg
+                    f0 = f1 = f
+                if lg <= lf:
+                    g0 = low_a[g]
+                    g1 = high_a[g]
+                else:
+                    g0 = g1 = g
+                # Quick-resolve the low pair.
+                if f0 == FALSE or g0 == FALSE:
+                    r0 = FALSE
+                elif f0 == TRUE:
+                    r0 = g0
+                elif g0 == TRUE or f0 == g0:
+                    r0 = f0
+                else:
+                    if f0 > g0:
+                        f0, g0 = g0, f0
+                    k0 = (f0, g0)
+                    r0 = cache_get(k0)
+                    if r0 is None:
+                        push([key, v, f1, g1, -1])
+                        f = f0
+                        g = g0
+                        key = k0
+                        continue
+                    hits += 1
+                # Quick-resolve the high pair.
+                if f1 == FALSE or g1 == FALSE:
+                    r1 = FALSE
+                elif f1 == TRUE:
+                    r1 = g1
+                elif g1 == TRUE or f1 == g1:
+                    r1 = f1
+                else:
+                    if f1 > g1:
+                        f1, g1 = g1, f1
+                    k1 = (f1, g1)
+                    r1 = cache_get(k1)
+                    if r1 is None:
+                        push([key, v, r0, 0, 0])
+                        f = f1
+                        g = g1
+                        key = k1
+                        continue
+                    hits += 1
+                # Inline mk(v, r0, r1).
+                if mk_hooked:
+                    res = self.mk(v, r0, r1)
+                elif r0 == r1:
+                    res = r0
+                else:
+                    ukey = (v, r0, r1)
+                    res = unique_get(ukey)
+                    if res is None:
+                        if free:
+                            res = free.pop()
+                            var_a[res] = v
+                            low_a[res] = r0
+                            high_a[res] = r1
+                            ref[res] = 0
+                            pref[res] = 0
+                        else:
+                            res = len(var_a)
+                            var_a.append(v)
+                            low_a.append(r0)
+                            high_a.append(r1)
+                            ref.append(0)
+                            pref.append(0)
+                        unique[ukey] = res
+                        var_nodes[v].add(res)
+                        pref[r0] += 1
+                        pref[r1] += 1
+                        live = self._live_nodes + 1
+                        self._live_nodes = live
+                        if live > self.peak_live_nodes:
+                            self.peak_live_nodes = live
+                        n = self._budget_countdown
+                        if n is not None:
+                            if n > 0:
+                                self._budget_countdown = n - 1
+                            else:
+                                self._budget_poll("mk")
+                if len(cache) >= limit:
+                    del cache[next(iter(cache))]
+                    evt += 1
+                cache[key] = res
+                # UNWIND until a frame needs a subcomputation.
+                while stack:
+                    top = stack[-1]
+                    if top[4] < 0:
+                        # res is the low result; quick-resolve the high.
+                        r0 = res
+                        f1 = top[2]
+                        g1 = top[3]
+                        if f1 == FALSE or g1 == FALSE:
+                            r1 = FALSE
+                        elif f1 == TRUE:
+                            r1 = g1
+                        elif g1 == TRUE or f1 == g1:
+                            r1 = f1
+                        else:
+                            if f1 > g1:
+                                f1, g1 = g1, f1
+                            k1 = (f1, g1)
+                            r1 = cache_get(k1)
+                            if r1 is None:
+                                top[2] = r0
+                                top[4] = 0
+                                f = f1
+                                g = g1
+                                key = k1
+                                break
+                            hits += 1
+                        pop()
+                    else:
+                        pop()
+                        r0 = top[2]
+                        r1 = res
+                    v = top[1]
+                    # Inline mk(v, r0, r1).
+                    if mk_hooked:
+                        res = self.mk(v, r0, r1)
+                    elif r0 == r1:
+                        res = r0
+                    else:
+                        ukey = (v, r0, r1)
+                        res = unique_get(ukey)
+                        if res is None:
+                            if free:
+                                res = free.pop()
+                                var_a[res] = v
+                                low_a[res] = r0
+                                high_a[res] = r1
+                                ref[res] = 0
+                                pref[res] = 0
+                            else:
+                                res = len(var_a)
+                                var_a.append(v)
+                                low_a.append(r0)
+                                high_a.append(r1)
+                                ref.append(0)
+                                pref.append(0)
+                            unique[ukey] = res
+                            var_nodes[v].add(res)
+                            pref[r0] += 1
+                            pref[r1] += 1
+                            live = self._live_nodes + 1
+                            self._live_nodes = live
+                            if live > self.peak_live_nodes:
+                                self.peak_live_nodes = live
+                            n = self._budget_countdown
+                            if n is not None:
+                                if n > 0:
+                                    self._budget_countdown = n - 1
+                                else:
+                                    self._budget_poll("mk")
+                    if len(cache) >= limit:
+                        del cache[next(iter(cache))]
+                        evt += 1
+                    cache[top[0]] = res
+                else:
+                    return res
+        finally:
+            st = self._cs_and
+            st[0] += hits
+            st[1] += miss
+            st[2] += evt
 
     def _or(self, f: int, g: int) -> int:
         if f == TRUE or g == TRUE:
@@ -521,14 +899,210 @@ class BddManager:
             return f
         if f > g:
             f, g = g, f
-        key = (_OP_OR, f, g)
-        res = self._cache.get(key)
+        res = self._c_or.get((f, g))
         if res is not None:
+            self._cs_or[0] += 1
             return res
-        var, f0, f1, g0, g1 = self._top_split(f, g)
-        res = self.mk(var, self._or(f0, g0), self._or(f1, g1))
-        self._cache[key] = res
-        return res
+        return self._or_slow(f, g)
+
+    def _or_slow(self, f: int, g: int) -> int:
+        cache = self._c_or
+        cache_get = cache.get
+        limit = self._cache_limit
+        var_a = self._var
+        low_a = self._low
+        high_a = self._high
+        v2l = self._var2level
+        unique = self._unique
+        unique_get = unique.get
+        var_nodes = self._var_nodes
+        pref = self._pref
+        ref = self._ref
+        free = self._free
+        # The fault injector (resilience.faults) patches the public mk
+        # as an instance attribute; route node creation through it so
+        # injected allocator faults still fire inside the loop.
+        mk_hooked = "mk" in self.__dict__
+        stack: List[list] = []
+        push = stack.append
+        pop = stack.pop
+        hits = 0
+        miss = 0
+        evt = 0
+        key = (f, g)
+        try:
+            while True:
+                miss += 1
+                vf = var_a[f]
+                vg = var_a[g]
+                lf = v2l[vf]
+                lg = v2l[vg]
+                if lf <= lg:
+                    v = vf
+                    f0 = low_a[f]
+                    f1 = high_a[f]
+                else:
+                    v = vg
+                    f0 = f1 = f
+                if lg <= lf:
+                    g0 = low_a[g]
+                    g1 = high_a[g]
+                else:
+                    g0 = g1 = g
+                if f0 == TRUE or g0 == TRUE:
+                    r0 = TRUE
+                elif f0 == FALSE:
+                    r0 = g0
+                elif g0 == FALSE or f0 == g0:
+                    r0 = f0
+                else:
+                    if f0 > g0:
+                        f0, g0 = g0, f0
+                    k0 = (f0, g0)
+                    r0 = cache_get(k0)
+                    if r0 is None:
+                        push([key, v, f1, g1, -1])
+                        f = f0
+                        g = g0
+                        key = k0
+                        continue
+                    hits += 1
+                if f1 == TRUE or g1 == TRUE:
+                    r1 = TRUE
+                elif f1 == FALSE:
+                    r1 = g1
+                elif g1 == FALSE or f1 == g1:
+                    r1 = f1
+                else:
+                    if f1 > g1:
+                        f1, g1 = g1, f1
+                    k1 = (f1, g1)
+                    r1 = cache_get(k1)
+                    if r1 is None:
+                        push([key, v, r0, 0, 0])
+                        f = f1
+                        g = g1
+                        key = k1
+                        continue
+                    hits += 1
+                if mk_hooked:
+                    res = self.mk(v, r0, r1)
+                elif r0 == r1:
+                    res = r0
+                else:
+                    ukey = (v, r0, r1)
+                    res = unique_get(ukey)
+                    if res is None:
+                        if free:
+                            res = free.pop()
+                            var_a[res] = v
+                            low_a[res] = r0
+                            high_a[res] = r1
+                            ref[res] = 0
+                            pref[res] = 0
+                        else:
+                            res = len(var_a)
+                            var_a.append(v)
+                            low_a.append(r0)
+                            high_a.append(r1)
+                            ref.append(0)
+                            pref.append(0)
+                        unique[ukey] = res
+                        var_nodes[v].add(res)
+                        pref[r0] += 1
+                        pref[r1] += 1
+                        live = self._live_nodes + 1
+                        self._live_nodes = live
+                        if live > self.peak_live_nodes:
+                            self.peak_live_nodes = live
+                        n = self._budget_countdown
+                        if n is not None:
+                            if n > 0:
+                                self._budget_countdown = n - 1
+                            else:
+                                self._budget_poll("mk")
+                if len(cache) >= limit:
+                    del cache[next(iter(cache))]
+                    evt += 1
+                cache[key] = res
+                while stack:
+                    top = stack[-1]
+                    if top[4] < 0:
+                        r0 = res
+                        f1 = top[2]
+                        g1 = top[3]
+                        if f1 == TRUE or g1 == TRUE:
+                            r1 = TRUE
+                        elif f1 == FALSE:
+                            r1 = g1
+                        elif g1 == FALSE or f1 == g1:
+                            r1 = f1
+                        else:
+                            if f1 > g1:
+                                f1, g1 = g1, f1
+                            k1 = (f1, g1)
+                            r1 = cache_get(k1)
+                            if r1 is None:
+                                top[2] = r0
+                                top[4] = 0
+                                f = f1
+                                g = g1
+                                key = k1
+                                break
+                            hits += 1
+                        pop()
+                    else:
+                        pop()
+                        r0 = top[2]
+                        r1 = res
+                    v = top[1]
+                    if mk_hooked:
+                        res = self.mk(v, r0, r1)
+                    elif r0 == r1:
+                        res = r0
+                    else:
+                        ukey = (v, r0, r1)
+                        res = unique_get(ukey)
+                        if res is None:
+                            if free:
+                                res = free.pop()
+                                var_a[res] = v
+                                low_a[res] = r0
+                                high_a[res] = r1
+                                ref[res] = 0
+                                pref[res] = 0
+                            else:
+                                res = len(var_a)
+                                var_a.append(v)
+                                low_a.append(r0)
+                                high_a.append(r1)
+                                ref.append(0)
+                                pref.append(0)
+                            unique[ukey] = res
+                            var_nodes[v].add(res)
+                            pref[r0] += 1
+                            pref[r1] += 1
+                            live = self._live_nodes + 1
+                            self._live_nodes = live
+                            if live > self.peak_live_nodes:
+                                self.peak_live_nodes = live
+                            n = self._budget_countdown
+                            if n is not None:
+                                if n > 0:
+                                    self._budget_countdown = n - 1
+                                else:
+                                    self._budget_poll("mk")
+                    if len(cache) >= limit:
+                        del cache[next(iter(cache))]
+                        evt += 1
+                    cache[top[0]] = res
+                else:
+                    return res
+        finally:
+            st = self._cs_or
+            st[0] += hits
+            st[1] += miss
+            st[2] += evt
 
     def _xor(self, f: int, g: int) -> int:
         if f == g:
@@ -543,28 +1117,388 @@ class BddManager:
             return self._not(f)
         if f > g:
             f, g = g, f
-        key = (_OP_XOR, f, g)
-        res = self._cache.get(key)
+        res = self._c_xor.get((f, g))
         if res is not None:
+            self._cs_xor[0] += 1
             return res
-        var, f0, f1, g0, g1 = self._top_split(f, g)
-        res = self.mk(var, self._xor(f0, g0), self._xor(f1, g1))
-        self._cache[key] = res
-        return res
+        return self._xor_slow(f, g)
+
+    def _xor_slow(self, f: int, g: int) -> int:
+        cache = self._c_xor
+        cache_get = cache.get
+        limit = self._cache_limit
+        _not = self._not
+        var_a = self._var
+        low_a = self._low
+        high_a = self._high
+        v2l = self._var2level
+        unique = self._unique
+        unique_get = unique.get
+        var_nodes = self._var_nodes
+        pref = self._pref
+        ref = self._ref
+        free = self._free
+        # The fault injector (resilience.faults) patches the public mk
+        # as an instance attribute; route node creation through it so
+        # injected allocator faults still fire inside the loop.
+        mk_hooked = "mk" in self.__dict__
+        stack: List[list] = []
+        push = stack.append
+        pop = stack.pop
+        hits = 0
+        miss = 0
+        evt = 0
+        key = (f, g)
+        try:
+            while True:
+                miss += 1
+                vf = var_a[f]
+                vg = var_a[g]
+                lf = v2l[vf]
+                lg = v2l[vg]
+                if lf <= lg:
+                    v = vf
+                    f0 = low_a[f]
+                    f1 = high_a[f]
+                else:
+                    v = vg
+                    f0 = f1 = f
+                if lg <= lf:
+                    g0 = low_a[g]
+                    g1 = high_a[g]
+                else:
+                    g0 = g1 = g
+                if f0 == g0:
+                    r0 = FALSE
+                elif f0 == FALSE:
+                    r0 = g0
+                elif g0 == FALSE:
+                    r0 = f0
+                elif f0 == TRUE:
+                    r0 = _not(g0)
+                elif g0 == TRUE:
+                    r0 = _not(f0)
+                else:
+                    if f0 > g0:
+                        f0, g0 = g0, f0
+                    k0 = (f0, g0)
+                    r0 = cache_get(k0)
+                    if r0 is None:
+                        push([key, v, f1, g1, -1])
+                        f = f0
+                        g = g0
+                        key = k0
+                        continue
+                    hits += 1
+                if f1 == g1:
+                    r1 = FALSE
+                elif f1 == FALSE:
+                    r1 = g1
+                elif g1 == FALSE:
+                    r1 = f1
+                elif f1 == TRUE:
+                    r1 = _not(g1)
+                elif g1 == TRUE:
+                    r1 = _not(f1)
+                else:
+                    if f1 > g1:
+                        f1, g1 = g1, f1
+                    k1 = (f1, g1)
+                    r1 = cache_get(k1)
+                    if r1 is None:
+                        push([key, v, r0, 0, 0])
+                        f = f1
+                        g = g1
+                        key = k1
+                        continue
+                    hits += 1
+                if mk_hooked:
+                    res = self.mk(v, r0, r1)
+                elif r0 == r1:
+                    res = r0
+                else:
+                    ukey = (v, r0, r1)
+                    res = unique_get(ukey)
+                    if res is None:
+                        if free:
+                            res = free.pop()
+                            var_a[res] = v
+                            low_a[res] = r0
+                            high_a[res] = r1
+                            ref[res] = 0
+                            pref[res] = 0
+                        else:
+                            res = len(var_a)
+                            var_a.append(v)
+                            low_a.append(r0)
+                            high_a.append(r1)
+                            ref.append(0)
+                            pref.append(0)
+                        unique[ukey] = res
+                        var_nodes[v].add(res)
+                        pref[r0] += 1
+                        pref[r1] += 1
+                        live = self._live_nodes + 1
+                        self._live_nodes = live
+                        if live > self.peak_live_nodes:
+                            self.peak_live_nodes = live
+                        n = self._budget_countdown
+                        if n is not None:
+                            if n > 0:
+                                self._budget_countdown = n - 1
+                            else:
+                                self._budget_poll("mk")
+                if len(cache) >= limit:
+                    del cache[next(iter(cache))]
+                    evt += 1
+                cache[key] = res
+                while stack:
+                    top = stack[-1]
+                    if top[4] < 0:
+                        r0 = res
+                        f1 = top[2]
+                        g1 = top[3]
+                        if f1 == g1:
+                            r1 = FALSE
+                        elif f1 == FALSE:
+                            r1 = g1
+                        elif g1 == FALSE:
+                            r1 = f1
+                        elif f1 == TRUE:
+                            r1 = _not(g1)
+                        elif g1 == TRUE:
+                            r1 = _not(f1)
+                        else:
+                            if f1 > g1:
+                                f1, g1 = g1, f1
+                            k1 = (f1, g1)
+                            r1 = cache_get(k1)
+                            if r1 is None:
+                                top[2] = r0
+                                top[4] = 0
+                                f = f1
+                                g = g1
+                                key = k1
+                                break
+                            hits += 1
+                        pop()
+                    else:
+                        pop()
+                        r0 = top[2]
+                        r1 = res
+                    v = top[1]
+                    if mk_hooked:
+                        res = self.mk(v, r0, r1)
+                    elif r0 == r1:
+                        res = r0
+                    else:
+                        ukey = (v, r0, r1)
+                        res = unique_get(ukey)
+                        if res is None:
+                            if free:
+                                res = free.pop()
+                                var_a[res] = v
+                                low_a[res] = r0
+                                high_a[res] = r1
+                                ref[res] = 0
+                                pref[res] = 0
+                            else:
+                                res = len(var_a)
+                                var_a.append(v)
+                                low_a.append(r0)
+                                high_a.append(r1)
+                                ref.append(0)
+                                pref.append(0)
+                            unique[ukey] = res
+                            var_nodes[v].add(res)
+                            pref[r0] += 1
+                            pref[r1] += 1
+                            live = self._live_nodes + 1
+                            self._live_nodes = live
+                            if live > self.peak_live_nodes:
+                                self.peak_live_nodes = live
+                            n = self._budget_countdown
+                            if n is not None:
+                                if n > 0:
+                                    self._budget_countdown = n - 1
+                                else:
+                                    self._budget_poll("mk")
+                    if len(cache) >= limit:
+                        del cache[next(iter(cache))]
+                        evt += 1
+                    cache[top[0]] = res
+                else:
+                    return res
+        finally:
+            st = self._cs_xor
+            st[0] += hits
+            st[1] += miss
+            st[2] += evt
 
     def _not(self, f: int) -> int:
         if f == FALSE:
             return TRUE
         if f == TRUE:
             return FALSE
-        key = (_OP_NOT, f)
-        res = self._cache.get(key)
+        res = self._c_not.get(f)
         if res is not None:
+            self._cs_not[0] += 1
             return res
-        res = self.mk(self._var[f], self._not(self._low[f]),
-                      self._not(self._high[f]))
-        self._cache[key] = res
-        return res
+        return self._not_slow(f)
+
+    def _not_slow(self, f: int) -> int:
+        cache = self._c_not
+        cache_get = cache.get
+        limit = self._cache_limit
+        var_a = self._var
+        low_a = self._low
+        high_a = self._high
+        unique = self._unique
+        unique_get = unique.get
+        var_nodes = self._var_nodes
+        pref = self._pref
+        ref = self._ref
+        free = self._free
+        # The fault injector (resilience.faults) patches the public mk
+        # as an instance attribute; route node creation through it so
+        # injected allocator faults still fire inside the loop.
+        mk_hooked = "mk" in self.__dict__
+        stack: List[list] = []
+        push = stack.append
+        pop = stack.pop
+        hits = 0
+        miss = 0
+        evt = 0
+        try:
+            while True:
+                # EXPAND: f is a nonterminal computed-table miss.
+                miss += 1
+                v = var_a[f]
+                c0 = low_a[f]
+                c1 = high_a[f]
+                if c0 == FALSE:
+                    r0 = TRUE
+                elif c0 == TRUE:
+                    r0 = FALSE
+                else:
+                    r0 = cache_get(c0)
+                    if r0 is None:
+                        push([f, v, c1, -1])
+                        f = c0
+                        continue
+                    hits += 1
+                if c1 == FALSE:
+                    r1 = TRUE
+                elif c1 == TRUE:
+                    r1 = FALSE
+                else:
+                    r1 = cache_get(c1)
+                    if r1 is None:
+                        push([f, v, r0, 0])
+                        f = c1
+                        continue
+                    hits += 1
+                # Inline mk(v, r0, r1); negation never merges children.
+                ukey = (v, r0, r1)
+                res = self.mk(v, r0, r1) if mk_hooked else unique_get(ukey)
+                if res is None:
+                    if free:
+                        res = free.pop()
+                        var_a[res] = v
+                        low_a[res] = r0
+                        high_a[res] = r1
+                        ref[res] = 0
+                        pref[res] = 0
+                    else:
+                        res = len(var_a)
+                        var_a.append(v)
+                        low_a.append(r0)
+                        high_a.append(r1)
+                        ref.append(0)
+                        pref.append(0)
+                    unique[ukey] = res
+                    var_nodes[v].add(res)
+                    pref[r0] += 1
+                    pref[r1] += 1
+                    live = self._live_nodes + 1
+                    self._live_nodes = live
+                    if live > self.peak_live_nodes:
+                        self.peak_live_nodes = live
+                    n = self._budget_countdown
+                    if n is not None:
+                        if n > 0:
+                            self._budget_countdown = n - 1
+                        else:
+                            self._budget_poll("mk")
+                if len(cache) >= limit:
+                    del cache[next(iter(cache))]
+                    evt += 1
+                cache[f] = res
+                while stack:
+                    top = stack[-1]
+                    if top[3] < 0:
+                        r0 = res
+                        c1 = top[2]
+                        if c1 == FALSE:
+                            r1 = TRUE
+                        elif c1 == TRUE:
+                            r1 = FALSE
+                        else:
+                            r1 = cache_get(c1)
+                            if r1 is None:
+                                top[2] = r0
+                                top[3] = 0
+                                f = c1
+                                break
+                            hits += 1
+                        pop()
+                    else:
+                        pop()
+                        r0 = top[2]
+                        r1 = res
+                    v = top[1]
+                    ukey = (v, r0, r1)
+                    res = self.mk(v, r0, r1) if mk_hooked else unique_get(ukey)
+                    if res is None:
+                        if free:
+                            res = free.pop()
+                            var_a[res] = v
+                            low_a[res] = r0
+                            high_a[res] = r1
+                            ref[res] = 0
+                            pref[res] = 0
+                        else:
+                            res = len(var_a)
+                            var_a.append(v)
+                            low_a.append(r0)
+                            high_a.append(r1)
+                            ref.append(0)
+                            pref.append(0)
+                        unique[ukey] = res
+                        var_nodes[v].add(res)
+                        pref[r0] += 1
+                        pref[r1] += 1
+                        live = self._live_nodes + 1
+                        self._live_nodes = live
+                        if live > self.peak_live_nodes:
+                            self.peak_live_nodes = live
+                        n = self._budget_countdown
+                        if n is not None:
+                            if n > 0:
+                                self._budget_countdown = n - 1
+                            else:
+                                self._budget_poll("mk")
+                    if len(cache) >= limit:
+                        del cache[next(iter(cache))]
+                        evt += 1
+                    cache[top[0]] = res
+                else:
+                    return res
+        finally:
+            st = self._cs_not
+            st[0] += hits
+            st[1] += miss
+            st[2] += evt
 
     def _ite(self, f: int, g: int, h: int) -> int:
         if f == TRUE:
@@ -589,25 +1523,122 @@ class BddManager:
             return self._or(f, h)
         if f == h:
             return self._and(f, g)
-        key = (_OP_ITE, f, g, h)
-        res = self._cache.get(key)
+        res = self._c_ite.get((f, g, h))
         if res is not None:
+            self._cs_ite[0] += 1
             return res
-        n = self._budget_countdown
-        if n is not None:
-            if n > 0:
-                self._budget_countdown = n - 1
-            else:
-                self._budget_poll("ite")
-        level = min(self._node_level(f), self._node_level(g),
-                    self._node_level(h))
-        var = self._level2var[level]
-        f0, f1 = self._cofactors_at(f, level)
-        g0, g1 = self._cofactors_at(g, level)
-        h0, h1 = self._cofactors_at(h, level)
-        res = self.mk(var, self._ite(f0, g0, h0), self._ite(f1, g1, h1))
-        self._cache[key] = res
-        return res
+        return self._ite_slow(f, g, h)
+
+    def _ite_slow(self, f: int, g: int, h: int) -> int:
+        # Resolve-first loop: each (f, g, h) task either simplifies via
+        # the terminal rules (which may run the — iterative — binary
+        # kernels), hits the cache, or pushes one frame and descends.
+        # Frame: [key, var, f1, g1, h1, state]; state is -1 while the
+        # low cofactor is in flight, then the low *result* (always
+        # >= 0) while the high cofactor is in flight.
+        cache = self._c_ite
+        cache_get = cache.get
+        limit = self._cache_limit
+        mk = self.mk
+        var_a = self._var
+        low_a = self._low
+        high_a = self._high
+        v2l = self._var2level
+        l2v = self._level2var
+        stack: List[list] = []
+        push = stack.append
+        pop = stack.pop
+        hits = 0
+        miss = 0
+        evt = 0
+        try:
+            while True:
+                # RESOLVE the task (f, g, h).
+                if f == TRUE:
+                    res = g
+                elif f == FALSE:
+                    res = h
+                elif g == h:
+                    res = g
+                elif g == TRUE and h == FALSE:
+                    res = f
+                elif g == FALSE and h == TRUE:
+                    res = self._not(f)
+                elif g == TRUE:
+                    res = self._or(f, h)
+                elif g == FALSE:
+                    res = self._and(self._not(f), h)
+                elif h == FALSE:
+                    res = self._and(f, g)
+                elif h == TRUE:
+                    res = self._or(self._not(f), g)
+                elif f == g:
+                    res = self._or(f, h)
+                elif f == h:
+                    res = self._and(f, g)
+                else:
+                    key = (f, g, h)
+                    res = cache_get(key)
+                    if res is None:
+                        miss += 1
+                        n = self._budget_countdown
+                        if n is not None:
+                            if n > 0:
+                                self._budget_countdown = n - 1
+                            else:
+                                self._budget_poll("ite")
+                        # All three operands are nonterminal here.
+                        level = v2l[var_a[f]]
+                        lg = v2l[var_a[g]]
+                        if lg < level:
+                            level = lg
+                        lh = v2l[var_a[h]]
+                        if lh < level:
+                            level = lh
+                        if v2l[var_a[f]] == level:
+                            f0 = low_a[f]
+                            f1 = high_a[f]
+                        else:
+                            f0 = f1 = f
+                        if lg == level:
+                            g0 = low_a[g]
+                            g1 = high_a[g]
+                        else:
+                            g0 = g1 = g
+                        if lh == level:
+                            h0 = low_a[h]
+                            h1 = high_a[h]
+                        else:
+                            h0 = h1 = h
+                        push([key, l2v[level], f1, g1, h1, -1])
+                        f = f0
+                        g = g0
+                        h = h0
+                        continue
+                    hits += 1
+                # UNWIND.
+                while stack:
+                    top = stack[-1]
+                    state = top[5]
+                    if state < 0:
+                        top[5] = res
+                        f = top[2]
+                        g = top[3]
+                        h = top[4]
+                        break
+                    pop()
+                    res = mk(top[1], state, res)
+                    if len(cache) >= limit:
+                        del cache[next(iter(cache))]
+                        evt += 1
+                    cache[top[0]] = res
+                else:
+                    return res
+        finally:
+            st = self._cs_ite
+            st[0] += hits
+            st[1] += miss
+            st[2] += evt
 
     def _cofactors_at(self, f: int, level: int) -> Tuple[int, int]:
         if self._node_level(f) == level:
@@ -620,6 +1651,14 @@ class BddManager:
 
     def _levels_key(self, variables: Iterable[Union[str, int]]) -> frozenset:
         return frozenset(self.var_id(v) for v in variables)
+
+    def _quant_ctx_id(self, var_set: frozenset) -> int:
+        qc = self._quant_ctx
+        ctx = qc.get(var_set)
+        if ctx is None:
+            ctx = len(qc)
+            qc[var_set] = ctx
+        return ctx
 
     def exists(self, variables: Iterable[Union[str, int]], f: int) -> int:
         """Existential quantification ``∃ variables . f``."""
@@ -640,31 +1679,81 @@ class BddManager:
     def _quantify(self, f: int, var_set: frozenset, op: int) -> int:
         if f <= TRUE:
             return f
-        max_level = max(self._var2level[v] for v in var_set)
-        if self._node_level(f) > max_level:
+        v2l = self._var2level
+        # Hoisted once per top-level call; the historic recursion paid
+        # this O(|var_set|) max at *every* visited node.
+        max_level = max(v2l[v] for v in var_set)
+        var_a = self._var
+        if v2l[var_a[f]] > max_level:
             return f
-        key = (op, f, var_set)
-        res = self._cache.get(key)
-        if res is not None:
-            return res
-        n = self._budget_countdown
-        if n is not None:
-            if n > 0:
-                self._budget_countdown = n - 1
-            else:
-                self._budget_poll("quantify")
-        var = self._var[f]
-        lo = self._quantify(self._low[f], var_set, op)
-        hi = self._quantify(self._high[f], var_set, op)
-        if var in var_set:
-            if op == _OP_EXISTS:
-                res = self._or(lo, hi)
-            else:
-                res = self._and(lo, hi)
+        if op == _OP_EXISTS:
+            cache = self._c_exists
+            stats = self._cs_exists
+            combine = self._or
         else:
-            res = self.mk(var, lo, hi)
-        self._cache[key] = res
-        return res
+            cache = self._c_forall
+            stats = self._cs_forall
+            combine = self._and
+        ctx = self._quant_ctx_id(var_set)
+        res = cache.get((f, ctx))
+        if res is not None:
+            stats[0] += 1
+            return res
+        cache_get = cache.get
+        limit = self._cache_limit
+        mk = self.mk
+        low_a = self._low
+        high_a = self._high
+        stack: List[list] = []
+        push = stack.append
+        pop = stack.pop
+        hits = 0
+        miss = 0
+        evt = 0
+        try:
+            while True:
+                # RESOLVE the task f.
+                if f <= TRUE or v2l[var_a[f]] > max_level:
+                    res = f
+                else:
+                    key = (f, ctx)
+                    res = cache_get(key)
+                    if res is None:
+                        miss += 1
+                        n = self._budget_countdown
+                        if n is not None:
+                            if n > 0:
+                                self._budget_countdown = n - 1
+                            else:
+                                self._budget_poll("quantify")
+                        push([key, var_a[f], high_a[f], -1])
+                        f = low_a[f]
+                        continue
+                    hits += 1
+                # UNWIND.
+                while stack:
+                    top = stack[-1]
+                    if top[3] < 0:
+                        f = top[2]
+                        top[2] = res
+                        top[3] = 0
+                        break
+                    pop()
+                    var = top[1]
+                    if var in var_set:
+                        res = combine(top[2], res)
+                    else:
+                        res = mk(var, top[2], res)
+                    if len(cache) >= limit:
+                        del cache[next(iter(cache))]
+                        evt += 1
+                    cache[top[0]] = res
+                else:
+                    return res
+        finally:
+            stats[0] += hits
+            stats[1] += miss
+            stats[2] += evt
 
     def and_exists(self, variables: Iterable[Union[str, int]],
                    f: int, g: int) -> int:
@@ -681,38 +1770,105 @@ class BddManager:
         return self._and_exists(f, g, vars_key)
 
     def _and_exists(self, f: int, g: int, var_set: frozenset) -> int:
-        if f == FALSE or g == FALSE:
-            return FALSE
-        if f == TRUE and g == TRUE:
-            return TRUE
-        if f == TRUE:
-            return self._quantify(g, var_set, _OP_EXISTS)
-        if g == TRUE or f == g:
-            return self._quantify(f, var_set, _OP_EXISTS)
-        if f > g:
-            f, g = g, f
-        key = (_OP_AND_EXISTS, f, g, var_set)
-        res = self._cache.get(key)
-        if res is not None:
-            return res
-        n = self._budget_countdown
-        if n is not None:
-            if n > 0:
-                self._budget_countdown = n - 1
-            else:
-                self._budget_poll("and_exists")
-        var, f0, f1, g0, g1 = self._top_split(f, g)
-        if var in var_set:
-            lo = self._and_exists(f0, g0, var_set)
-            if lo == TRUE:
-                res = TRUE
-            else:
-                res = self._or(lo, self._and_exists(f1, g1, var_set))
-        else:
-            res = self.mk(var, self._and_exists(f0, g0, var_set),
-                          self._and_exists(f1, g1, var_set))
-        self._cache[key] = res
-        return res
+        # Resolve-first loop.  Frame: [key, var, a, b, state] with
+        # state -2/-1 while the low pair (a=f1, b=g1 pending) is in
+        # flight — -2 when var is quantified, enabling the lo == TRUE
+        # short-circuit — then 1 (quantified, a=low result) or 0
+        # (unquantified, a=low result) while the high pair runs.
+        ctx = self._quant_ctx_id(var_set)
+        cache = self._c_andex
+        cache_get = cache.get
+        limit = self._cache_limit
+        mk = self.mk
+        _or = self._or
+        var_a = self._var
+        low_a = self._low
+        high_a = self._high
+        v2l = self._var2level
+        stack: List[list] = []
+        push = stack.append
+        pop = stack.pop
+        hits = 0
+        miss = 0
+        evt = 0
+        try:
+            while True:
+                # RESOLVE the task (f, g).
+                if f == FALSE or g == FALSE:
+                    res = FALSE
+                elif f == TRUE and g == TRUE:
+                    res = TRUE
+                elif f == TRUE:
+                    res = self._quantify(g, var_set, _OP_EXISTS)
+                elif g == TRUE or f == g:
+                    res = self._quantify(f, var_set, _OP_EXISTS)
+                else:
+                    if f > g:
+                        f, g = g, f
+                    key = (f, g, ctx)
+                    res = cache_get(key)
+                    if res is None:
+                        miss += 1
+                        n = self._budget_countdown
+                        if n is not None:
+                            if n > 0:
+                                self._budget_countdown = n - 1
+                            else:
+                                self._budget_poll("and_exists")
+                        lf = v2l[var_a[f]]
+                        lg = v2l[var_a[g]]
+                        if lf <= lg:
+                            var = var_a[f]
+                            f0 = low_a[f]
+                            f1 = high_a[f]
+                        else:
+                            var = var_a[g]
+                            f0 = f1 = f
+                        if lg <= lf:
+                            g0 = low_a[g]
+                            g1 = high_a[g]
+                        else:
+                            g0 = g1 = g
+                        push([key, var, f1, g1,
+                              -2 if var in var_set else -1])
+                        f = f0
+                        g = g0
+                        continue
+                    hits += 1
+                # UNWIND.
+                while stack:
+                    top = stack[-1]
+                    state = top[4]
+                    if state < 0:
+                        if state == -2 and res == TRUE:
+                            # ∃-short-circuit: TRUE ∨ anything is TRUE.
+                            pop()
+                            if len(cache) >= limit:
+                                del cache[next(iter(cache))]
+                                evt += 1
+                            cache[top[0]] = TRUE
+                            continue
+                        f = top[2]
+                        g = top[3]
+                        top[2] = res
+                        top[4] = 1 if state == -2 else 0
+                        break
+                    pop()
+                    if state == 1:
+                        res = _or(top[2], res)
+                    else:
+                        res = mk(top[1], top[2], res)
+                    if len(cache) >= limit:
+                        del cache[next(iter(cache))]
+                        evt += 1
+                    cache[top[0]] = res
+                else:
+                    return res
+        finally:
+            st = self._cs_andex
+            st[0] += hits
+            st[1] += miss
+            st[2] += evt
 
     # ------------------------------------------------------------------
     # Cofactor / compose
@@ -725,30 +1881,81 @@ class BddManager:
         fixed = {self.var_id(v): bool(val) for v, val in assignment.items()}
         if not fixed:
             return f
-        key = (_OP_RESTRICT, f, tuple(sorted(fixed.items())))
-        res = self._cache.get(key)
-        if res is not None:
-            return res
-        res = self._restrict(f, fixed)
-        self._cache[key] = res
-        return res
+        # The assignment is interned once per top-level call; the
+        # historic recursion rebuilt tuple(sorted(fixed.items())) at
+        # every visited node just to key the computed table.
+        rc = self._restrict_ctx
+        items = tuple(sorted(fixed.items()))
+        rid = rc.get(items)
+        if rid is None:
+            rid = len(rc)
+            rc[items] = rid
+        return self._restrict(f, fixed, rid)
 
-    def _restrict(self, f: int, fixed: Dict[int, bool]) -> int:
+    def _restrict(self, f: int, fixed: Dict[int, bool], rid: int) -> int:
         if f <= TRUE:
             return f
-        key = (_OP_RESTRICT, f, tuple(sorted(fixed.items())))
-        res = self._cache.get(key)
-        if res is not None:
-            return res
-        var = self._var[f]
-        if var in fixed:
-            res = self._restrict(self._high[f] if fixed[var]
-                                 else self._low[f], fixed)
-        else:
-            res = self.mk(var, self._restrict(self._low[f], fixed),
-                          self._restrict(self._high[f], fixed))
-        self._cache[key] = res
-        return res
+        # Resolve-first loop.  Frame: [key, var, hi, state]; state -1
+        # while the low child is in flight (hi pending), 0 while the
+        # high child runs (slot 2 now holds the low result), 2 for a
+        # fixed-variable pass-through (cache and propagate unchanged).
+        cache = self._c_restrict
+        cache_get = cache.get
+        limit = self._cache_limit
+        mk = self.mk
+        fixed_get = fixed.get
+        var_a = self._var
+        low_a = self._low
+        high_a = self._high
+        stack: List[list] = []
+        push = stack.append
+        pop = stack.pop
+        hits = 0
+        miss = 0
+        evt = 0
+        try:
+            while True:
+                # RESOLVE the task f.
+                if f <= TRUE:
+                    res = f
+                else:
+                    key = (f, rid)
+                    res = cache_get(key)
+                    if res is None:
+                        miss += 1
+                        var = var_a[f]
+                        val = fixed_get(var)
+                        if val is None:
+                            push([key, var, high_a[f], -1])
+                            f = low_a[f]
+                        else:
+                            push([key, 0, 0, 2])
+                            f = high_a[f] if val else low_a[f]
+                        continue
+                    hits += 1
+                # UNWIND.
+                while stack:
+                    top = stack[-1]
+                    state = top[3]
+                    if state < 0:
+                        f = top[2]
+                        top[2] = res
+                        top[3] = 0
+                        break
+                    pop()
+                    if state == 0:
+                        res = mk(top[1], top[2], res)
+                    if len(cache) >= limit:
+                        del cache[next(iter(cache))]
+                        evt += 1
+                    cache[top[0]] = res
+                else:
+                    return res
+        finally:
+            st = self._cs_restrict
+            st[0] += hits
+            st[1] += miss
+            st[2] += evt
 
     def compose(self, f: int,
                 substitution: Dict[Union[str, int], int]) -> int:
@@ -757,26 +1964,72 @@ class BddManager:
         subst = {self.var_id(v): g for v, g in substitution.items()}
         if not subst:
             return f
-        subst_key = tuple(sorted(subst.items()))
-        return self._compose(f, subst, subst_key)
+        cc = self._compose_ctx
+        skey = tuple(sorted(subst.items()))
+        cid = cc.get(skey)
+        if cid is None:
+            cid = len(cc)
+            cc[skey] = cid
+        return self._compose(f, subst, cid)
 
-    def _compose(self, f: int, subst: Dict[int, int], subst_key: Tuple)\
-            -> int:
+    def _compose(self, f: int, subst: Dict[int, int], cid: int) -> int:
         if f <= TRUE:
             return f
-        key = (_OP_COMPOSE, f, subst_key)
-        res = self._cache.get(key)
-        if res is not None:
-            return res
-        var = self._var[f]
-        lo = self._compose(self._low[f], subst, subst_key)
-        hi = self._compose(self._high[f], subst, subst_key)
-        g = subst.get(var)
-        if g is None:
-            g = self.mk(var, FALSE, TRUE)
-        res = self._ite(g, hi, lo)
-        self._cache[key] = res
-        return res
+        # Resolve-first loop.  Frame: [key, var, hi, state]; state -1
+        # while the low child is in flight, 0 while the high child runs
+        # (slot 2 then holds the low result).
+        cache = self._c_compose
+        cache_get = cache.get
+        limit = self._cache_limit
+        subst_get = subst.get
+        var_a = self._var
+        low_a = self._low
+        high_a = self._high
+        stack: List[list] = []
+        push = stack.append
+        pop = stack.pop
+        hits = 0
+        miss = 0
+        evt = 0
+        try:
+            while True:
+                # RESOLVE the task f.
+                if f <= TRUE:
+                    res = f
+                else:
+                    key = (f, cid)
+                    res = cache_get(key)
+                    if res is None:
+                        miss += 1
+                        push([key, var_a[f], high_a[f], -1])
+                        f = low_a[f]
+                        continue
+                    hits += 1
+                # UNWIND.
+                while stack:
+                    top = stack[-1]
+                    if top[3] < 0:
+                        f = top[2]
+                        top[2] = res
+                        top[3] = 0
+                        break
+                    pop()
+                    var = top[1]
+                    g = subst_get(var)
+                    if g is None:
+                        g = self.mk(var, FALSE, TRUE)
+                    res = self._ite(g, res, top[2])
+                    if len(cache) >= limit:
+                        del cache[next(iter(cache))]
+                        evt += 1
+                    cache[top[0]] = res
+                else:
+                    return res
+        finally:
+            st = self._cs_compose
+            st[0] += hits
+            st[1] += miss
+            st[2] += evt
 
     # ------------------------------------------------------------------
     # Satisfiability helpers
@@ -826,29 +2079,46 @@ class BddManager:
             nvars = self.num_vars
         if nvars < self.num_vars:
             raise ValueError("nvars smaller than the declared variable count")
+        if f == FALSE:
+            return 0
+        if f == TRUE:
+            return 1 << nvars
+        var_a = self._var
+        low_a = self._low
+        high_a = self._high
+        v2l = self._var2level
+        # memo[u]: models over the variables at levels strictly below
+        # u's level, padded as if u sat at level -1 were the root; the
+        # final shift rescales by the root's level gap.  Terminals are
+        # not memoised — their count equals their node id (0 or 1).
         memo: Dict[int, int] = {}
-
-        def count(u: int) -> int:
-            # Models over the variables at levels strictly below u's level,
-            # padded as if u sat at level -1 were the root; the caller
-            # rescales by the level gap.
-            if u == FALSE:
-                return 0
-            if u == TRUE:
-                return 1
-            base = memo.get(u)
-            if base is not None:
-                return base
-            ulvl = self._node_level(u)
-            lo, hi = self._low[u], self._high[u]
-            lo_gap = (min(self._node_level(lo), nvars)) - ulvl - 1
-            hi_gap = (min(self._node_level(hi), nvars)) - ulvl - 1
-            base = (count(lo) << lo_gap) + (count(hi) << hi_gap)
-            memo[u] = base
-            return base
-
-        top_gap = min(self._node_level(f), nvars)
-        return count(f) << top_gap
+        stack = [f]
+        push = stack.append
+        pop = stack.pop
+        while stack:
+            u = stack[-1]
+            if u in memo:
+                pop()
+                continue
+            lo = low_a[u]
+            hi = high_a[u]
+            ready = True
+            if lo > TRUE and lo not in memo:
+                push(lo)
+                ready = False
+            if hi > TRUE and hi not in memo:
+                push(hi)
+                ready = False
+            if not ready:
+                continue
+            pop()
+            ulvl = v2l[var_a[u]]
+            lo_gap = (nvars if lo <= TRUE else v2l[var_a[lo]]) - ulvl - 1
+            hi_gap = (nvars if hi <= TRUE else v2l[var_a[hi]]) - ulvl - 1
+            clo = lo if lo <= TRUE else memo[lo]
+            chi = hi if hi <= TRUE else memo[hi]
+            memo[u] = (clo << lo_gap) + (chi << hi_gap)
+        return memo[f] << v2l[var_a[f]]
 
     def sat_iter(self, f: int) -> Iterator[Dict[str, bool]]:
         """Iterate over all satisfying *cubes* (partial assignments)."""
@@ -872,12 +2142,27 @@ class BddManager:
 
     def support(self, f: int) -> List[str]:
         """Names of the variables ``f`` depends on, in order."""
+        var_a = self._var
+        low_a = self._low
+        high_a = self._high
         vars_seen = set()
-        for u in self._topo_nodes(f):
-            if u > TRUE:
-                vars_seen.add(self._var[u])
+        vars_add = vars_seen.add
+        seen = set()
+        seen_add = seen.add
+        stack = [f]
+        push = stack.append
+        pop = stack.pop
+        while stack:
+            u = pop()
+            if u <= TRUE or u in seen:
+                continue
+            seen_add(u)
+            vars_add(var_a[u])
+            push(low_a[u])
+            push(high_a[u])
+        v2l = self._var2level
         return [self._var_names[v]
-                for v in sorted(vars_seen, key=lambda v: self._var2level[v])]
+                for v in sorted(vars_seen, key=v2l.__getitem__)]
 
     def _topo_nodes(self, f: int) -> List[int]:
         seen = set()

@@ -13,13 +13,20 @@ minimised the live node count.
 Correctness relies on exact parent-reference counts in the manager, which
 is why callers must garbage-collect immediately before sifting (both
 :meth:`repro.bdd.function.Bdd.reorder` and the automatic trigger do).
+
+Computed-table hygiene: a raw :func:`swap_adjacent_levels` leaves the
+manager's computed table dirty — swaps preserve node semantics, but ids
+freed here may be recycled by later ``mk`` calls, so the *caller* must
+invalidate the table before running any Boolean operation.  :func:`sift`
+and :func:`set_order` do this via :meth:`BddManager.clear_cache` once at
+the end of their swap sequences.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
-from .manager import TRUE, BddManager
+from .manager import TRUE, BddManager, _TERMINAL_VAR
 
 __all__ = ["swap_adjacent_levels", "sift", "set_order"]
 
@@ -42,18 +49,36 @@ def swap_adjacent_levels(mgr: BddManager, level: int) -> int:
     if budget is not None:
         budget.checkpoint("reorder", live_nodes=mgr._live_nodes)
         mgr.set_budget(None)
+    # Manager subclasses may pin their own swap implementation (the
+    # legacy reference manager keeps the historic one so before/after
+    # benchmarks measure the true pre-rewrite code path).
+    impl = getattr(type(mgr), "_swap_unchecked_impl", _swap_unchecked)
     try:
-        return _swap_unchecked(mgr, level)
+        return impl(mgr, level)
     finally:
         if budget is not None:
             mgr.set_budget(budget)
 
 
 def _swap_unchecked(mgr: BddManager, level: int) -> int:
+    # Sifting spends most of its time here, so the loop binds every
+    # manager structure to a local and inlines both the node-creating
+    # half of ``mk`` and the ``_free_node`` cascade.  The duplicate-node
+    # assert runs only under ``debug_checks``.
     u = mgr._level2var[level]
     v = mgr._level2var[level + 1]
-    var_arr, low_arr, high_arr = mgr._var, mgr._low, mgr._high
-    unodes = mgr._var_nodes[u]
+    var_arr = mgr._var
+    low_arr = mgr._low
+    high_arr = mgr._high
+    var_nodes = mgr._var_nodes
+    unodes = var_nodes[u]
+    unique = mgr._unique
+    unique_get = unique.get
+    pref = mgr._pref
+    ref = mgr._ref
+    free = mgr._free
+    free_append = free.append
+    debug = mgr.debug_checks
 
     movers: List[int] = [n for n in unodes
                          if var_arr[low_arr[n]] == v
@@ -61,56 +86,161 @@ def _swap_unchecked(mgr: BddManager, level: int) -> int:
     # Phase 1: take movers out of the unique table so lookups during
     # rebuilding only ever hit nodes that keep their identity.
     for n in movers:
-        del mgr._unique[(u, low_arr[n], high_arr[n])]
+        del unique[(u, low_arr[n], high_arr[n])]
         unodes.discard(n)
 
-    vnodes = mgr._var_nodes[v]
-    pref = mgr._pref
+    vnodes = var_nodes[v]
+    vnodes_add = vnodes.add
+    unodes_add = unodes.add
+    live = mgr._live_nodes
+    peak = mgr.peak_live_nodes
     for n in movers:
-        f0, f1 = low_arr[n], high_arr[n]
+        f0 = low_arr[n]
+        f1 = high_arr[n]
         if var_arr[f0] == v:
-            f00, f01 = low_arr[f0], high_arr[f0]
+            f00 = low_arr[f0]
+            f01 = high_arr[f0]
         else:
             f00 = f01 = f0
         if var_arr[f1] == v:
-            f10, f11 = low_arr[f1], high_arr[f1]
+            f10 = low_arr[f1]
+            f11 = high_arr[f1]
         else:
             f10 = f11 = f1
-        g0 = mgr.mk(u, f00, f10)
-        g1 = mgr.mk(u, f01, f11)
+        # Inline mk(u, f00, f10).
+        if f00 == f10:
+            g0 = f00
+        else:
+            ukey = (u, f00, f10)
+            g0 = unique_get(ukey)
+            if g0 is None:
+                if free:
+                    g0 = free.pop()
+                    var_arr[g0] = u
+                    low_arr[g0] = f00
+                    high_arr[g0] = f10
+                    ref[g0] = 0
+                    pref[g0] = 0
+                else:
+                    g0 = len(var_arr)
+                    var_arr.append(u)
+                    low_arr.append(f00)
+                    high_arr.append(f10)
+                    ref.append(0)
+                    pref.append(0)
+                unique[ukey] = g0
+                unodes_add(g0)
+                pref[f00] += 1
+                pref[f10] += 1
+                live += 1
+                if live > peak:
+                    peak = live
+                cd = mgr._budget_countdown
+                if cd is not None:
+                    if cd > 0:
+                        mgr._budget_countdown = cd - 1
+                    else:
+                        mgr._live_nodes = live
+                        mgr._budget_poll("mk")
+        # Inline mk(u, f01, f11).
+        if f01 == f11:
+            g1 = f01
+        else:
+            ukey = (u, f01, f11)
+            g1 = unique_get(ukey)
+            if g1 is None:
+                if free:
+                    g1 = free.pop()
+                    var_arr[g1] = u
+                    low_arr[g1] = f01
+                    high_arr[g1] = f11
+                    ref[g1] = 0
+                    pref[g1] = 0
+                else:
+                    g1 = len(var_arr)
+                    var_arr.append(u)
+                    low_arr.append(f01)
+                    high_arr.append(f11)
+                    ref.append(0)
+                    pref.append(0)
+                unique[ukey] = g1
+                unodes_add(g1)
+                pref[f01] += 1
+                pref[f11] += 1
+                live += 1
+                if live > peak:
+                    peak = live
+                cd = mgr._budget_countdown
+                if cd is not None:
+                    if cd > 0:
+                        mgr._budget_countdown = cd - 1
+                    else:
+                        mgr._live_nodes = live
+                        mgr._budget_poll("mk")
         # Mutate n in place: it now tests v first.
         key = (v, g0, g1)
-        assert key not in mgr._unique, "swap produced duplicate node"
+        if debug:
+            assert key not in unique, "swap produced duplicate node"
         var_arr[n] = v
         low_arr[n] = g0
         high_arr[n] = g1
-        mgr._unique[key] = n
-        vnodes.add(n)
+        unique[key] = n
+        vnodes_add(n)
         pref[g0] += 1
         pref[g1] += 1
+        # Release the old children; cascade into dead subgraphs
+        # (inline _free_node).
         for child in (f0, f1):
             pref[child] -= 1
-            if (child > TRUE and pref[child] == 0
-                    and mgr._ref[child] == 0):
-                mgr._free_node(child)
+            if child > TRUE and pref[child] == 0 and ref[child] == 0:
+                dstack = [child]
+                while dstack:
+                    d = dstack.pop()
+                    w = var_arr[d]
+                    del unique[(w, low_arr[d], high_arr[d])]
+                    var_nodes[w].discard(d)
+                    var_arr[d] = _TERMINAL_VAR
+                    for c in (low_arr[d], high_arr[d]):
+                        pref[c] -= 1
+                        if c > TRUE and pref[c] == 0 and ref[c] == 0:
+                            dstack.append(c)
+                    free_append(d)
+                    live -= 1
 
+    mgr._live_nodes = live
+    if peak > mgr.peak_live_nodes:
+        mgr.peak_live_nodes = peak
     mgr._level2var[level] = v
     mgr._level2var[level + 1] = u
     mgr._var2level[u] = level + 1
     mgr._var2level[v] = level
-    return mgr._live_nodes
+    return live
 
 
-def _sift_one(mgr: BddManager, var: int, max_growth: float) -> None:
-    """Move one variable through the order, settle at its best level."""
+def _sift_one(mgr: BddManager, var: int, max_growth: float,
+              stall: int = 0) -> None:
+    """Move one variable through the order, settle at its best level.
+
+    The walk in each direction terminates early on two conditions:
+
+    * the live count exceeds ``max_growth`` times the *best* size seen
+      so far (the bound tightens as better positions are found), or
+    * ``stall`` consecutive swaps have failed to improve on the best —
+      the span cut that makes sifting affordable on wide orders, where
+      a variable's useful positions cluster near a local optimum and
+      the historic full-span walk spent most of its swaps shuffling a
+      settled variable through levels it never belonged in.
+
+    ``stall = 0`` disables the second condition (the historic walk).
+    """
     nvars = mgr.num_vars
     start = mgr._var2level[var]
     best_size = mgr._live_nodes
     best_level = start
-    limit = int(best_size * max_growth) + 2
 
     def walk(level: int, stop: int, step: int) -> int:
         nonlocal best_size, best_level
+        since_best = 0
         while level != stop:
             if step > 0:
                 size = swap_adjacent_levels(mgr, level)
@@ -120,8 +250,13 @@ def _sift_one(mgr: BddManager, var: int, max_growth: float) -> None:
             if size < best_size:
                 best_size = size
                 best_level = level
-            if size > limit:
-                break
+                since_best = 0
+            else:
+                since_best += 1
+                if size > int(best_size * max_growth) + 2:
+                    break
+                if stall and since_best >= stall:
+                    break
         return level
 
     # Visit the nearer end first, then sweep to the other end, then park
@@ -141,23 +276,34 @@ def _sift_one(mgr: BddManager, var: int, max_growth: float) -> None:
 
 
 def sift(mgr: BddManager, max_growth: float = 1.2,
-         max_vars: int = 0) -> int:
+         max_vars: int = 0, stall: Optional[int] = None) -> int:
     """One full sifting pass; returns the resulting live node count.
 
     Variables are processed in decreasing order of their node count.
     ``max_growth`` bounds the tolerated intermediate blow-up per
     variable; ``max_vars`` (0 = all) limits how many variables are
-    sifted, mirroring CUDD's ``siftMaxVar``.
+    sifted, mirroring CUDD's ``siftMaxVar``; ``stall`` is the
+    early-termination span cut of :func:`_sift_one` (``None`` reads the
+    manager's ``sift_stall`` attribute, ``0`` forces the historic
+    full-span walk).
+
+    A manager subclass may pin the historic per-variable walk via a
+    ``_sift_one_impl`` class attribute (the legacy reference manager
+    does, so before/after benchmarks measure the true pre-rewrite
+    reordering cost).
     """
     order = sorted(range(mgr.num_vars),
                    key=lambda w: -len(mgr._var_nodes[w]))
     if max_vars:
         order = order[:max_vars]
+    if stall is None:
+        stall = getattr(mgr, "sift_stall", 0)
+    sift_one = getattr(type(mgr), "_sift_one_impl", _sift_one)
     for var in order:
         if len(mgr._var_nodes[var]) == 0:
             continue
-        _sift_one(mgr, var, max_growth)
-    mgr._cache.clear()
+        sift_one(mgr, var, max_growth, stall)
+    mgr.clear_cache()
     if mgr.debug_checks:
         mgr._selfcheck("reorder")
     return mgr._live_nodes
@@ -176,4 +322,4 @@ def set_order(mgr: BddManager, names_top_to_bottom: List[str]) -> None:
         while level > target_level:
             swap_adjacent_levels(mgr, level - 1)
             level -= 1
-    mgr._cache.clear()
+    mgr.clear_cache()

@@ -39,12 +39,20 @@ def run_ladder(spec: Circuit, partial: PartialImplementation,
                seed: Optional[int] = None,
                stop_at_first_error: bool = True,
                lint: bool = True,
-               budget: "Optional[Budget]" = None) -> List[CheckResult]:
+               budget: "Optional[Budget]" = None,
+               bdd=None) -> List[CheckResult]:
     """Run the selected checks in ladder order; returns all results.
 
     The Z_i-based rungs share one symbolic context (spec and impl BDDs
     are built once).  With ``stop_at_first_error`` (default) the ladder
     short-circuits as the paper suggests.
+
+    ``bdd`` injects the shared manager (default: a fresh
+    :func:`~repro.bdd.function.default_bdd`) — callers tuning the
+    computed table pass a ``Bdd(cache_config=...)`` here.  Because the
+    rungs share it, each result's ``stats`` records that rung's *delta*
+    of the computed-table counters (``cache_hits``, ``cache_misses``,
+    ``cache_evictions``, ``cache_hit_rate``).
 
     Unless ``lint=False``, the partial implementation is linted first
     and the findings are attached to every result's ``diagnostics`` —
@@ -68,11 +76,18 @@ def run_ladder(spec: Circuit, partial: PartialImplementation,
     ordered = [c for c in CHECK_ORDER if c in checks]
     results: List[CheckResult] = []
     ctx = None
-    bdd = default_bdd()
+    if bdd is None:
+        bdd = default_bdd()
     if budget is not None:
         budget.start()
         bdd.set_budget(budget)
+
+    def cache_totals():
+        total = bdd.cache_stats()["total"]
+        return (total["hits"], total["misses"], total["evictions"])
+
     for name in ordered:
+        before = cache_totals()
         try:
             if name == "random_pattern":
                 result = check_random_patterns(spec, partial,
@@ -94,14 +109,35 @@ def run_ladder(spec: Circuit, partial: PartialImplementation,
 
             result = inconclusive_result(name, results, exc,
                                          peak_nodes=bdd.peak_live_nodes)
+            _attach_rung_cache_delta(result, before, cache_totals())
             result.diagnostics = list(diagnostics)
             results.append(result)
             break
+        _attach_rung_cache_delta(result, before, cache_totals())
         result.diagnostics = list(diagnostics)
         results.append(result)
         if result.error_found and stop_at_first_error:
             break
     return results
+
+
+def _attach_rung_cache_delta(result: CheckResult, before, after) -> None:
+    """Record one rung's computed-table traffic in ``result.stats``.
+
+    The rungs share one manager, so per-rung numbers are deltas of the
+    monotone counters (``clear_cache`` drops entries, never counters).
+    The random-pattern rung never touches the manager; its delta is
+    zero and is skipped to keep its stats free of BDD noise.
+    """
+    hits = after[0] - before[0]
+    misses = after[1] - before[1]
+    if result.check == "random_pattern" and not (hits or misses):
+        return
+    result.stats["cache_hits"] = hits
+    result.stats["cache_misses"] = misses
+    result.stats["cache_evictions"] = after[2] - before[2]
+    result.stats["cache_hit_rate"] = (
+        hits / (hits + misses) if hits + misses else 0.0)
 
 
 def check_partial_equivalence(spec: Circuit,

@@ -4,6 +4,7 @@ Examples::
 
     python -m repro.experiments table1
     python -m repro.experiments table2 --errors 20 --selections 3
+    python -m repro.experiments table2 --stats   # + computed-table traffic
     python -m repro.experiments table40 --benchmarks alu4,comp
     python -m repro.experiments figures
     python -m repro.experiments table1 --paper-scale   # hours, faithful
@@ -152,6 +153,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="additionally write results as JSON")
     parser.add_argument("--csv", metavar="FILE", default=None,
                         help="additionally write results as CSV")
+    parser.add_argument("--stats", action="store_true",
+                        help="also print computed-table traffic per "
+                             "check (hits/misses/evictions, hit rate)")
     parser.add_argument("--compare", action="store_true",
                         help="also print a measured-vs-paper comparison "
                              "(tables 1 and 2 only)")
@@ -273,6 +277,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "%s  (%d selections x %d errors, %d patterns, seed %d)"
         % (table["title"], config.selections, config.errors,
            config.patterns, config.seed)))
+    if args.stats:
+        from .tables import format_cache_stats
+
+        print()
+        print(format_cache_stats(rows, checks=config.checks))
     if args.compare and args.experiment in ("table1", "table2"):
         from .paper_reference import (PAPER_TABLE1, PAPER_TABLE2,
                                       format_comparison)

@@ -39,6 +39,10 @@ def rows_to_dict(rows: Sequence[BenchmarkRow],
                 "mean_impl_nodes": row.impl_nodes.get(check, 0.0),
                 "mean_peak_nodes": row.peak_nodes.get(check, 0.0),
                 "mean_seconds": row.runtime.get(check, 0.0),
+                "cache_hits": row.cache_hits.get(check, 0),
+                "cache_misses": row.cache_misses.get(check, 0),
+                "cache_evictions": row.cache_evictions.get(check, 0),
+                "cache_hit_rate": row.cache_hit_rate(check),
                 "inconclusive": row.inconclusive.get(check, 0),
                 "valid_cases": valid,
                 "timeouts": row.timeouts.get(check, 0),
@@ -67,7 +71,9 @@ def rows_to_csv(rows: Sequence[BenchmarkRow]) -> str:
     writer.writerow(["circuit", "inputs", "outputs", "spec_nodes",
                      "cases", "check", "detection_percent",
                      "mean_impl_nodes", "mean_peak_nodes",
-                     "mean_seconds", "inconclusive", "valid_cases",
+                     "mean_seconds", "cache_hits", "cache_misses",
+                     "cache_evictions", "cache_hit_rate",
+                     "inconclusive", "valid_cases",
                      "timeouts", "errors"])
     for row in rows:
         for check in row.detected:
@@ -78,6 +84,10 @@ def rows_to_csv(rows: Sequence[BenchmarkRow]) -> str:
                 "%.1f" % row.impl_nodes.get(check, 0.0),
                 "%.1f" % row.peak_nodes.get(check, 0.0),
                 "%.4f" % row.runtime.get(check, 0.0),
+                row.cache_hits.get(check, 0),
+                row.cache_misses.get(check, 0),
+                row.cache_evictions.get(check, 0),
+                "%.4f" % row.cache_hit_rate(check),
                 row.inconclusive.get(check, 0),
                 row.valid.get(check, row.cases),
                 row.timeouts.get(check, 0),

@@ -99,6 +99,11 @@ class BenchmarkRow:
     peak_nodes: Dict[str, float] = field(default_factory=dict)
     #: mean seconds per case, per check
     runtime: Dict[str, float] = field(default_factory=dict)
+    #: total computed-table hits / misses / evictions, per check
+    #: (summed over valid cases; see :meth:`cache_hit_rate`)
+    cache_hits: Dict[str, int] = field(default_factory=dict)
+    cache_misses: Dict[str, int] = field(default_factory=dict)
+    cache_evictions: Dict[str, int] = field(default_factory=dict)
     #: cases with a usable verdict, per check (defaults to ``cases``)
     valid: Dict[str, int] = field(default_factory=dict)
     #: cases killed at the campaign deadline, per check
@@ -127,6 +132,14 @@ class BenchmarkRow:
             return 0.0
         return 100.0 * self.detected.get(check, 0) / denominator
 
+    def cache_hit_rate(self, check: str) -> float:
+        """Computed-table hit rate of one check, over its valid cases."""
+        hits = self.cache_hits.get(check, 0)
+        lookups = hits + self.cache_misses.get(check, 0)
+        if not lookups:
+            return 0.0
+        return hits / lookups
+
     @property
     def degraded_cases(self) -> int:
         """Check executions without an authoritative verdict
@@ -138,12 +151,18 @@ class BenchmarkRow:
 
 def run_one_case(spec: Circuit, partial: PartialImplementation,
                  checks: Sequence[str], patterns: int,
-                 seed: int, budget=None) -> Dict[str, CheckResult]:
+                 seed: int, budget=None,
+                 bdd_factory=None,
+                 rp_engine: str = "packed") -> Dict[str, CheckResult]:
     """All requested checks on one (spec, partial) pair.
 
     Each symbolic check runs on a fresh BDD manager so that the node and
     peak statistics are attributable to that check alone (matching how
-    the paper reports per-check peaks).
+    the paper reports per-check peaks).  ``bdd_factory`` supplies those
+    managers (default :func:`~repro.bdd.function.default_bdd`); the
+    before/after benchmark passes the legacy reference factory here,
+    together with ``rp_engine="scalar"`` so its "before" side also runs
+    the historic one-pattern-at-a-time random-pattern engine.
 
     A ``budget`` (:class:`repro.resilience.budget.Budget`) is attached
     to every fresh manager; an overrunning check raises
@@ -152,6 +171,8 @@ def run_one_case(spec: Circuit, partial: PartialImplementation,
     its own manager, the node ceiling governs each check separately
     while the wall clock spans the whole case.
     """
+    if bdd_factory is None:
+        bdd_factory = default_bdd
     results: Dict[str, CheckResult] = {}
     for short in checks:
         try:
@@ -162,9 +183,9 @@ def run_one_case(spec: Circuit, partial: PartialImplementation,
         if key == "random_pattern":
             results[short] = check_random_patterns(
                 spec, partial, patterns=patterns, seed=seed,
-                budget=budget)
+                budget=budget, engine=rp_engine)
         else:
-            bdd = default_bdd()
+            bdd = bdd_factory()
             if budget is not None:
                 budget.start()
                 bdd.set_budget(budget)
@@ -178,7 +199,21 @@ def run_one_case(spec: Circuit, partial: PartialImplementation,
                     results[short] = output_exact_from_context(ctx)
                 else:
                     results[short] = input_exact_from_context(ctx)
+            _attach_cache_stats(results[short], bdd)
     return results
+
+
+def _attach_cache_stats(result: CheckResult, bdd) -> None:
+    """Fold the manager's computed-table traffic into ``result.stats``.
+
+    The check ran on a fresh manager, so the totals are attributable to
+    this check alone — same reasoning as the node/peak statistics.
+    """
+    total = bdd.cache_stats()["total"]
+    result.stats["cache_hits"] = total["hits"]
+    result.stats["cache_misses"] = total["misses"]
+    result.stats["cache_evictions"] = total["evictions"]
+    result.stats["cache_hit_rate"] = total["hit_rate"]
 
 
 def _tune_spec(spec: Circuit) -> Tuple[Circuit, int]:

@@ -6,7 +6,8 @@ from typing import Sequence
 
 from .runner import CHECKS, BenchmarkRow
 
-__all__ = ["format_table", "average_row", "format_detection_summary"]
+__all__ = ["format_table", "average_row", "format_detection_summary",
+           "format_cache_stats"]
 
 
 def average_row(rows: Sequence[BenchmarkRow]) -> BenchmarkRow:
@@ -115,6 +116,32 @@ def format_table(rows: Sequence[BenchmarkRow], title: str,
         lines.append("degraded checks (excluded from detection "
                      "denominators and node/time averages):")
         lines.extend(footnotes)
+    return "\n".join(lines)
+
+
+def format_cache_stats(rows: Sequence[BenchmarkRow],
+                       checks: Sequence[str] = CHECKS) -> str:
+    """Computed-table traffic per circuit and check (``--stats`` view).
+
+    The random-pattern check runs no symbolic operations, so only the
+    symbolic columns are shown.  Totals are summed over the row's valid
+    cases; the hit rate is hits / (hits + misses) over those totals.
+    """
+    sym_checks = [c for c in checks if c != "r.p."]
+    title = ("computed-table traffic (hits/misses/evictions, "
+             "hit rate over valid cases)")
+    lines = [title, "-" * len(title)]
+    lines.append("circuit   " + " ".join("%26s" % c for c in sym_checks))
+    for row in rows:
+        cells = []
+        for check in sym_checks:
+            cells.append("%26s" % (
+                "%d/%d/%d %5.1f%%" % (
+                    row.cache_hits.get(check, 0),
+                    row.cache_misses.get(check, 0),
+                    row.cache_evictions.get(check, 0),
+                    100.0 * row.cache_hit_rate(check))))
+        lines.append("%-9s " % row.circuit + " ".join(cells))
     return "\n".join(lines)
 
 

@@ -58,6 +58,9 @@ def row_from_records(name: str, records: Sequence[CaseRecord],
         row.impl_nodes[check] = 0.0
         row.peak_nodes[check] = 0.0
         row.runtime[check] = 0.0
+        row.cache_hits[check] = 0
+        row.cache_misses[check] = 0
+        row.cache_evictions[check] = 0
         row.valid[check] = 0
         row.timeouts[check] = 0
         row.check_errors[check] = 0
@@ -98,6 +101,9 @@ def row_from_records(name: str, records: Sequence[CaseRecord],
                 row.impl_nodes[check] += outcome.impl_nodes
                 row.peak_nodes[check] += outcome.peak_nodes
                 row.runtime[check] += outcome.seconds
+                row.cache_hits[check] += outcome.cache_hits
+                row.cache_misses[check] += outcome.cache_misses
+                row.cache_evictions[check] += outcome.cache_evictions
     for check in checks:
         if row.valid[check]:
             row.impl_nodes[check] /= row.valid[check]

@@ -42,13 +42,22 @@ JOURNAL_VERSION = 1
 
 @dataclass
 class CheckOutcome:
-    """Per-check slice of one case result."""
+    """Per-check slice of one case result.
+
+    The ``cache_*`` counters (computed-table traffic of the check's
+    fresh manager) were added after version-1 journals shipped; they
+    default to 0 on records written before them, so old journals still
+    resume cleanly and the version number stays 1.
+    """
 
     outcome: str = OUTCOME_OK
     error_found: bool = False
     seconds: float = 0.0
     impl_nodes: int = 0
     peak_nodes: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
     detail: str = ""
 
     def to_dict(self) -> Dict:
@@ -57,6 +66,9 @@ class CheckOutcome:
                 "seconds": self.seconds,
                 "impl_nodes": self.impl_nodes,
                 "peak_nodes": self.peak_nodes,
+                "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
+                "cache_evictions": self.cache_evictions,
                 "detail": self.detail}
 
     @classmethod
@@ -66,6 +78,9 @@ class CheckOutcome:
                    seconds=float(data["seconds"]),
                    impl_nodes=int(data["impl_nodes"]),
                    peak_nodes=int(data["peak_nodes"]),
+                   cache_hits=int(data.get("cache_hits", 0)),
+                   cache_misses=int(data.get("cache_misses", 0)),
+                   cache_evictions=int(data.get("cache_evictions", 0)),
                    detail=data.get("detail", ""))
 
 

@@ -166,6 +166,10 @@ def execute_case(case: CaseSpec,
                 seconds=result.seconds,
                 impl_nodes=int(result.stats.get("impl_nodes", 0)),
                 peak_nodes=int(result.stats.get("peak_nodes", 0)),
+                cache_hits=int(result.stats.get("cache_hits", 0)),
+                cache_misses=int(result.stats.get("cache_misses", 0)),
+                cache_evictions=int(
+                    result.stats.get("cache_evictions", 0)),
                 detail=result.detail)
             if result.outcome == OUTCOME_OK:
                 strongest_check = check

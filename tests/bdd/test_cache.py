@@ -1,0 +1,172 @@
+"""Segmented computed-table behaviour: bounding, eviction, retention.
+
+The computed table is a pure performance artifact — losing an entry may
+cost recomputation but must never change a result.  The core property
+test drives a 64-entry-per-segment manager and an unbounded one through
+the same random operation programs and requires *identical node ids*
+at every step: node identity comes from the unique table alone, so any
+divergence means an eviction leaked into semantics.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd import Bdd, CacheConfig
+from repro.bdd._legacy import LegacyBdd
+from repro.bdd.cache import OP_NAMES
+
+NAMES = ["a", "b", "c", "d", "e"]
+
+#: One interpreted instruction: (opcode, operand picks).  Operand
+#: indices are taken modulo the live pool size at execution time.
+_STEP = st.tuples(
+    st.sampled_from(["and", "or", "xor", "not", "ite", "exists",
+                     "restrict"]),
+    st.integers(min_value=0, max_value=255),
+    st.integers(min_value=0, max_value=255),
+    st.integers(min_value=0, max_value=255),
+)
+
+
+def _run_program(bdd, program):
+    """Execute a program against one manager; return the node-id trace."""
+    pool = [bdd.var(n) for n in NAMES]
+    trace = []
+    for op, i, j, k in program:
+        f = pool[i % len(pool)]
+        g = pool[j % len(pool)]
+        h = pool[k % len(pool)]
+        if op == "and":
+            result = f & g
+        elif op == "or":
+            result = f | g
+        elif op == "xor":
+            result = f ^ g
+        elif op == "not":
+            result = ~f
+        elif op == "ite":
+            result = f.ite(g, h)
+        elif op == "exists":
+            result = f.exists([NAMES[j % len(NAMES)]])
+        else:  # restrict
+            result = f.restrict({NAMES[j % len(NAMES)]: bool(k % 2)})
+        pool.append(result)
+        trace.append(result.node)
+    return trace
+
+
+def _fresh(cache_config=None, cls=Bdd):
+    bdd = cls(cache_config=cache_config)
+    bdd.add_vars(NAMES)
+    return bdd
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(_STEP, max_size=40))
+def test_tiny_cache_matches_unbounded(program):
+    """A 64-entry bounded table and an unbounded one agree node-for-node."""
+    bounded = _fresh(CacheConfig(segment_entries=64))
+    unbounded = _fresh(CacheConfig(segment_entries=0))
+    assert _run_program(bounded, program) == _run_program(unbounded,
+                                                          program)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(_STEP, max_size=30))
+def test_bounded_iterative_matches_legacy(program):
+    """Iterative kernels + bounded table == recursive reference manager."""
+    current = _fresh(CacheConfig(segment_entries=64))
+    legacy = _fresh(cls=LegacyBdd)
+    assert _run_program(current, program) == _run_program(legacy,
+                                                          program)
+
+
+class TestEviction:
+    def test_segment_respects_bound_and_counts_evictions(self):
+        bdd = _fresh(CacheConfig(segment_entries=4))
+        vs = [bdd.var(n) for n in NAMES]
+        # 10 distinct AND results: far more than 4 cacheable entries.
+        keep = [f & g for f in vs for g in vs if f.node < g.node]
+        stats = bdd.cache_stats()
+        assert stats["ops"]["and"]["entries"] <= 4
+        assert stats["ops"]["and"]["evictions"] > 0
+        assert stats["total"]["evictions"] > 0
+
+    def test_unbounded_never_evicts(self):
+        bdd = _fresh(CacheConfig(segment_entries=0))
+        vs = [bdd.var(n) for n in NAMES]
+        keep = [f & g for f in vs for g in vs if f.node < g.node]
+        assert bdd.cache_stats()["total"]["evictions"] == 0
+
+    def test_hits_are_counted(self):
+        bdd = _fresh()
+        a, b = bdd.var("a"), bdd.var("b")
+        first = a & b
+        before = bdd.cache_stats()["total"]["hits"]
+        second = a & b
+        assert second == first
+        assert bdd.cache_stats()["total"]["hits"] == before + 1
+
+
+class TestGcRetention:
+    def test_live_entries_survive_gc_when_enabled(self):
+        bdd = _fresh(CacheConfig(keep_across_gc=True))
+        a, b = bdd.var("a"), bdd.var("b")
+        product = a & b  # operands and result all externally referenced
+        bdd.manager.collect_garbage()
+        before = bdd.cache_stats()["total"]["hits"]
+        again = a & b
+        assert again == product
+        assert bdd.cache_stats()["total"]["hits"] == before + 1
+
+    def test_gc_clears_table_when_disabled(self):
+        bdd = _fresh(CacheConfig(keep_across_gc=False))
+        a, b = bdd.var("a"), bdd.var("b")
+        product = a & b
+        bdd.manager.collect_garbage()
+        assert bdd.cache_stats()["total"]["entries"] == 0
+
+    def test_dead_entries_are_dropped_either_way(self):
+        bdd = _fresh(CacheConfig(keep_across_gc=True))
+        a, b = bdd.var("a"), bdd.var("b")
+        product = a & b
+        del product  # drop the only reference -> dead node
+        entries_before = bdd.cache_stats()["total"]["entries"]
+        assert entries_before > 0
+        bdd.manager.collect_garbage()
+        # The AND entry pointed at a node the sweep reclaimed.
+        assert bdd.cache_stats()["total"]["entries"] < entries_before
+
+
+class TestConfigValidation:
+    def test_negative_entries_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig(segment_entries=-1)
+
+    def test_non_int_entries_rejected(self):
+        with pytest.raises(TypeError):
+            CacheConfig(segment_entries="64")
+        with pytest.raises(TypeError):
+            CacheConfig(segment_entries=True)
+
+    def test_entry_limit_of_unbounded_is_huge(self):
+        assert CacheConfig(segment_entries=0).entry_limit > 1 << 40
+        assert CacheConfig(segment_entries=8).entry_limit == 8
+
+    def test_manager_rejects_non_config(self):
+        with pytest.raises(TypeError):
+            Bdd(cache_config=object())
+
+
+def test_cache_stats_shape():
+    bdd = _fresh()
+    stats = bdd.cache_stats()
+    assert set(stats) == {"ops", "total"}
+    assert set(stats["ops"]) == set(OP_NAMES)
+    for per_op in stats["ops"].values():
+        assert {"hits", "misses", "evictions",
+                "entries"} <= set(per_op)
+    total = stats["total"]
+    assert {"hits", "misses", "evictions", "entries",
+            "hit_rate"} <= set(total)
+    assert 0.0 <= total["hit_rate"] <= 1.0
