@@ -1,0 +1,86 @@
+"""Observability overhead: tracing must be (nearly) free.
+
+The contract in ``docs/observability.md`` is that the instrumentation
+costs <= 2% even when a tracer is *installed*: every hook the hot path
+sees is one ``is None`` test, and actual event emission happens only on
+cold events (GC, reordering passes, rung boundaries, quantification
+picks).  Measuring enabled-vs-disabled is deliberately the *stricter*
+experiment — the enabled run does a strict superset of the disabled
+run's work, so passing it bounds the disabled-mode overhead too (the
+uninstrumented baseline no longer exists to measure against).
+
+CPU time, not wall clock — co-tenant interference on a shared box
+otherwise dominates the few-percent signal; minimum over rounds with
+alternating measurement order cancels what remains (same methodology
+as ``test_bench_budget_overhead``).
+
+Runs standalone (``python benchmarks/test_obs_micro.py``) so the CI
+perf-smoke job needs no pytest; pytest also collects it as a test.
+"""
+
+import sys
+import time
+
+from repro.core.ladder import run_ladder
+from repro.generators import magnitude_comparator
+from repro.obs import Tracer, set_tracer
+from repro.partial.extraction import make_partial
+
+_LIMIT = 0.02
+
+
+def _workload():
+    spec = magnitude_comparator(6)
+    partial = make_partial(spec, fraction=0.25, num_boxes=1, seed=11)
+    return spec, partial
+
+
+def _run(spec, partial, traced):
+    tracer = Tracer() if traced else None
+    previous = set_tracer(tracer)
+    try:
+        run_ladder(spec, partial, patterns=64, seed=5)
+    finally:
+        set_tracer(previous)
+        if tracer is not None:
+            tracer.close_all()
+
+
+def test_bench_obs_overhead():
+    """Installed tracer costs <= 2% on a full ladder run."""
+    spec, partial = _workload()
+
+    def sample(traced, inner=3):
+        t0 = time.process_time()
+        for _ in range(inner):
+            _run(spec, partial, traced)
+        return time.process_time() - t0
+
+    def measure():
+        for _ in range(2):  # warm-up (imports, allocator, caches)
+            _run(spec, partial, False)
+            _run(spec, partial, True)
+        plain = traced = float("inf")
+        for i in range(10):
+            if i % 2 == 0:
+                plain = min(plain, sample(False))
+                traced = min(traced, sample(True))
+            else:
+                traced = min(traced, sample(True))
+                plain = min(plain, sample(False))
+        return traced / plain - 1.0
+
+    overhead = measure()
+    if overhead > _LIMIT:  # one retry: a noisy neighbour is not a fail
+        overhead = min(overhead, measure())
+    assert overhead <= _LIMIT, \
+        "tracing overhead %.1f%% exceeds %d%%" % (100 * overhead,
+                                                  100 * _LIMIT)
+    return overhead
+
+
+if __name__ == "__main__":
+    measured = test_bench_obs_overhead()
+    print("tracing overhead: %+.2f%% (limit %d%%)"
+          % (100 * measured, 100 * _LIMIT))
+    sys.exit(0)

@@ -320,6 +320,19 @@ class Bdd:
         """The attached resource budget, if any."""
         return self.manager.budget
 
+    def set_tracer(self, tracer) -> None:
+        """Attach a :class:`repro.obs.Tracer` (or ``None`` to detach).
+
+        The manager then emits GC/budget-poll instants and one span per
+        reordering pass into the tracer; see ``docs/observability.md``.
+        """
+        self.manager.set_tracer(tracer)
+
+    @property
+    def tracer(self):
+        """The attached observability tracer, if any."""
+        return self.manager._tracer
+
     def collect_garbage(self) -> int:
         """Free nodes not reachable from any live Function."""
         return self.manager.collect_garbage()

@@ -213,6 +213,12 @@ class BddManager:
         self._budget_countdown: Optional[int] = None
         self._budget_recharge = 0
 
+        # Optional observability sink (duck-typed repro.obs.Tracer,
+        # injected via set_tracer — the bdd layer never imports obs).
+        # Hooks fire only on cold paths (GC, reordering, budget polls)
+        # and cost one ``is None`` test when tracing is disabled.
+        self._tracer = None
+
     def set_budget(self, budget: Optional["Budget"]) -> None:
         """Attach (or detach, with ``None``) a resource budget."""
         self.budget = budget
@@ -220,6 +226,17 @@ class BddManager:
         # 0 (not the interval) so the first hot event polls and the
         # recharge gets clamped against the node limit right away.
         self._budget_countdown = None if budget is None else 0
+
+    def set_tracer(self, tracer) -> None:
+        """Attach (or detach, with ``None``) an observability tracer.
+
+        The manager emits instant events for garbage collections and
+        budget polls and a span per reordering pass; callers (the
+        ladder, the experiment runner) account node/cache traffic by
+        snapshot deltas around their own spans.  Tracing never changes
+        behaviour — only ``tracer.events`` grows.
+        """
+        self._tracer = tracer
 
     def _budget_poll(self, where: str) -> None:
         """Cold half of the governance hot path.
@@ -245,6 +262,11 @@ class BddManager:
                 recharge = remaining if remaining > 0 else 0
         self._budget_recharge = recharge
         self._budget_countdown = recharge
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.instant("budget_poll", where=where,
+                           live_nodes=self._live_nodes,
+                           steps=budget.steps)
 
     # ------------------------------------------------------------------
     # Variables
@@ -447,6 +469,10 @@ class BddManager:
         self._pref = pref
         self._sweep_cache(marked)
         self.n_gc_runs += 1
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.instant("gc", freed=freed,
+                           live_nodes=self._live_nodes)
         if self.debug_checks:
             self._selfcheck("gc")
         return freed

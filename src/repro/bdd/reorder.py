@@ -299,11 +299,22 @@ def sift(mgr: BddManager, max_growth: float = 1.2,
     if stall is None:
         stall = getattr(mgr, "sift_stall", 0)
     sift_one = getattr(type(mgr), "_sift_one_impl", _sift_one)
-    for var in order:
-        if len(mgr._var_nodes[var]) == 0:
-            continue
-        sift_one(mgr, var, max_growth, stall)
-    mgr.clear_cache()
+    # Duck-typed observability hook (repro.obs.Tracer injected via
+    # BddManager.set_tracer); one span per sifting pass covers both the
+    # automatic trigger and explicit Bdd.reorder() calls.
+    tracer = getattr(mgr, "_tracer", None)
+    span = None if tracer is None \
+        else tracer.span("reorder", live_before=mgr._live_nodes,
+                         variables=len(order))
+    try:
+        for var in order:
+            if len(mgr._var_nodes[var]) == 0:
+                continue
+            sift_one(mgr, var, max_growth, stall)
+        mgr.clear_cache()
+    finally:
+        if span is not None:
+            span.done(live_after=mgr._live_nodes)
     if mgr.debug_checks:
         mgr._selfcheck("reorder")
     return mgr._live_nodes

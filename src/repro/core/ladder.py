@@ -13,6 +13,7 @@ from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from ..bdd import default_bdd
 from ..circuit.netlist import Circuit
+from ..obs import ManagerSnapshot, get_tracer
 from ..partial.blackbox import PartialImplementation
 from ..resilience.budget import BudgetExceededError
 from .common import prepare_context
@@ -64,6 +65,13 @@ def run_ladder(spec: Circuit, partial: PartialImplementation,
     raising — the final result has ``outcome == "inconclusive"`` and
     carries the strongest *completed* rung's verdict plus per-rung
     timings and the kill reason (see :mod:`repro.resilience`).
+
+    With a tracer installed (:func:`repro.obs.set_tracer`), the run
+    records one ``ladder`` span with a child span per rung, annotated
+    at exit with the verdict and the rung's node/cache numbers; the
+    shared manager contributes GC/reorder/budget events.  Tracing
+    never changes verdicts, node ids or stats — see
+    ``docs/observability.md``.
     """
     unknown = set(checks) - set(CHECK_ORDER)
     if unknown:
@@ -82,62 +90,89 @@ def run_ladder(spec: Circuit, partial: PartialImplementation,
         budget.start()
         bdd.set_budget(budget)
 
-    def cache_totals():
-        total = bdd.cache_stats()["total"]
-        return (total["hits"], total["misses"], total["evictions"])
-
-    for name in ordered:
-        before = cache_totals()
-        try:
-            if name == "random_pattern":
-                result = check_random_patterns(spec, partial,
-                                               patterns=patterns, seed=seed,
-                                               budget=budget)
-            elif name == "symbolic_01x":
-                result = check_symbolic_01x(spec, partial, bdd)
-            else:
-                if ctx is None:
-                    ctx = prepare_context(spec, partial, bdd)
-                if name == "local":
-                    result = local_check_from_context(ctx)
-                elif name == "output_exact":
-                    result = output_exact_from_context(ctx)
+    # Observability: with a tracer installed, the shared manager feeds
+    # its GC/reorder/budget events into it, the whole ladder becomes
+    # one span, and every rung a child span whose exit annotations
+    # carry the verdict and this rung's node/cache numbers.  Per-rung
+    # counter accounting is a snapshot delta taken inside the span
+    # enter/exit — deltas stay exact however many rungs (or ladders)
+    # share the manager.
+    tracer = get_tracer()
+    previous_tracer = None
+    ladder_span = None
+    if tracer is not None:
+        previous_tracer = bdd.tracer
+        bdd.set_tracer(tracer)
+        ladder_span = tracer.span("ladder", checks=list(ordered),
+                                  circuit=spec.name)
+    try:
+        for name in ordered:
+            span = None if tracer is None \
+                else tracer.span("rung:%s" % name)
+            before = ManagerSnapshot.capture(bdd)
+            try:
+                if name == "random_pattern":
+                    result = check_random_patterns(
+                        spec, partial, patterns=patterns, seed=seed,
+                        budget=budget)
+                elif name == "symbolic_01x":
+                    result = check_symbolic_01x(spec, partial, bdd)
                 else:
-                    result = input_exact_from_context(ctx)
-        except BudgetExceededError as exc:
-            from ..resilience.degrade import inconclusive_result
+                    if ctx is None:
+                        ctx = prepare_context(spec, partial, bdd)
+                    if name == "local":
+                        result = local_check_from_context(ctx)
+                    elif name == "output_exact":
+                        result = output_exact_from_context(ctx)
+                    else:
+                        result = input_exact_from_context(ctx)
+            except BudgetExceededError as exc:
+                from ..resilience.degrade import inconclusive_result
 
-            result = inconclusive_result(name, results, exc,
-                                         peak_nodes=bdd.peak_live_nodes)
-            _attach_rung_cache_delta(result, before, cache_totals())
+                result = inconclusive_result(
+                    name, results, exc, peak_nodes=bdd.peak_live_nodes)
+                _close_rung(result, before, bdd, span)
+                result.diagnostics = list(diagnostics)
+                results.append(result)
+                break
+            _close_rung(result, before, bdd, span)
             result.diagnostics = list(diagnostics)
             results.append(result)
-            break
-        _attach_rung_cache_delta(result, before, cache_totals())
-        result.diagnostics = list(diagnostics)
-        results.append(result)
-        if result.error_found and stop_at_first_error:
-            break
+            if result.error_found and stop_at_first_error:
+                break
+    finally:
+        if tracer is not None:
+            if ladder_span is not None:
+                ladder_span.done(rungs=len(results))
+            bdd.set_tracer(previous_tracer)
     return results
 
 
-def _attach_rung_cache_delta(result: CheckResult, before, after) -> None:
-    """Record one rung's computed-table traffic in ``result.stats``.
+def _close_rung(result: CheckResult, before: ManagerSnapshot, bdd,
+                span) -> None:
+    """Record one rung's manager-counter delta; close its span.
 
     The rungs share one manager, so per-rung numbers are deltas of the
-    monotone counters (``clear_cache`` drops entries, never counters).
-    The random-pattern rung never touches the manager; its delta is
-    zero and is skipped to keep its stats free of BDD noise.
+    monotone counters (``clear_cache`` drops entries, never counts).
+    The random-pattern rung never touches the manager; its all-zero
+    delta is skipped to keep its stats free of BDD noise.
     """
-    hits = after[0] - before[0]
-    misses = after[1] - before[1]
-    if result.check == "random_pattern" and not (hits or misses):
-        return
-    result.stats["cache_hits"] = hits
-    result.stats["cache_misses"] = misses
-    result.stats["cache_evictions"] = after[2] - before[2]
-    result.stats["cache_hit_rate"] = (
-        hits / (hits + misses) if hits + misses else 0.0)
+    after = ManagerSnapshot.capture(bdd)
+    delta = before.delta(after)
+    touched = (delta["cache_hits"] or delta["cache_misses"]
+               or delta["gc_runs"] or delta["reorders"])
+    if result.check != "random_pattern" or touched:
+        result.stats.update(delta)
+    if span is not None:
+        span.done(verdict=result.outcome,
+                  error_found=result.error_found,
+                  seconds=result.seconds,
+                  live_nodes=after.live_nodes,
+                  peak_nodes=after.peak_nodes,
+                  cache_hits=delta["cache_hits"],
+                  cache_misses=delta["cache_misses"],
+                  gc_runs=delta["gc_runs"],
+                  reorders=delta["reorders"])
 
 
 def check_partial_equivalence(spec: Circuit,

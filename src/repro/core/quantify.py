@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Iterable, List, Sequence, Set, Tuple
 
 from ..bdd import Bdd, Function
+from ..obs import get_tracer
 
 __all__ = ["exists_conj", "forall_disj"]
 
@@ -48,6 +49,7 @@ def exists_conj(bdd: Bdd, functions: Iterable[Function],
     live = target & set().union(*supports) if supports else set()
 
     sizes = [f.size() for f in funcs]
+    tracer = get_tracer()
     while live:
         # Cheapest variable first: fewest functions, then smallest
         # total, then name — the name tie-break keeps the elimination
@@ -61,6 +63,13 @@ def exists_conj(bdd: Bdd, functions: Iterable[Function],
 
         var = min(live, key=cost)
         members = [i for i, sup in enumerate(supports) if var in sup]
+        if tracer is not None:
+            # The elimination schedule is the memory-peak decision the
+            # paper's exact checks hinge on; record each pick.
+            tracer.instant("quant_pick", var=var,
+                           bucket=len(members),
+                           bucket_nodes=sum(sizes[i] for i in members),
+                           remaining=len(live))
         rest_support: Set[str] = set()
         for i, sup in enumerate(supports):
             if i not in members:

@@ -9,6 +9,8 @@ Examples::
     python -m repro.experiments figures
     python -m repro.experiments table1 --paper-scale   # hours, faithful
     python -m repro.experiments lint examples/circuits/*.blif
+    python -m repro.experiments trace record --benchmark C880
+    python -m repro.experiments trace diff before.json after.json
 
 Campaigns shard across cores, checkpoint, and resume (docs/parallel.md)::
 
@@ -93,6 +95,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         from ..analysis.cli import main as lint_main
 
         return lint_main(argv[1:])
+    if argv and argv[0] == "trace":
+        # Likewise the observability tool (record/summary/diff).
+        from ..obs.cli import main as trace_main
+
+        return trace_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the evaluation of 'Checking Equivalence "
@@ -101,7 +108,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                         choices=sorted(_TABLES) + ["figures", "sweep"],
                         help="which table/figure set to regenerate "
                              "(also: 'lint FILE...' runs the netlist "
-                             "linter, see 'lint --help')")
+                             "linter and 'trace record|summary|diff' "
+                             "the observability tool, see their "
+                             "'--help')")
     parser.add_argument("--selections", type=int, default=None,
                         help="random Black Box selections per circuit "
                              "(paper: 5)")
@@ -144,6 +153,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--resume", metavar="FILE", default=None,
                         help="skip cases already completed in this "
                              "journal, then continue appending to it")
+    parser.add_argument("--trace-dir", metavar="DIR", default=None,
+                        help="write one JSONL trace per case into DIR "
+                             "(sets REPRO_TRACE_DIR, inherited by "
+                             "worker processes; inspect with 'trace "
+                             "summary', see docs/observability.md)")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress progress output")
     parser.add_argument("--format", choices=("table", "json", "csv"),
@@ -168,6 +182,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--soft-timeout must be positive")
     if args.node_limit is not None and args.node_limit <= 0:
         parser.error("--node-limit must be positive")
+    if args.trace_dir:
+        import os
+
+        os.makedirs(args.trace_dir, exist_ok=True)
+        # Environment, not a parameter: spawn-based pool workers inherit
+        # it, so per-case tracing works identically for --jobs N.
+        os.environ["REPRO_TRACE_DIR"] = args.trace_dir
     if args.soft_timeout is None and args.timeout is not None:
         # Give the cooperative path a head start on the SIGKILL hard
         # deadline, so a governed case degrades to INCONCLUSIVE (with

@@ -39,6 +39,10 @@ def rows_to_dict(rows: Sequence[BenchmarkRow],
                 "mean_impl_nodes": row.impl_nodes.get(check, 0.0),
                 "mean_peak_nodes": row.peak_nodes.get(check, 0.0),
                 "mean_seconds": row.runtime.get(check, 0.0),
+                "p50_seconds": row.runtime_p50.get(check, 0.0),
+                "p95_seconds": row.runtime_p95.get(check, 0.0),
+                "reorders": row.reorders.get(check, 0),
+                "gc_runs": row.gc_runs.get(check, 0),
                 "cache_hits": row.cache_hits.get(check, 0),
                 "cache_misses": row.cache_misses.get(check, 0),
                 "cache_evictions": row.cache_evictions.get(check, 0),
@@ -73,7 +77,8 @@ def rows_to_csv(rows: Sequence[BenchmarkRow]) -> str:
                      "mean_impl_nodes", "mean_peak_nodes",
                      "mean_seconds", "cache_hits", "cache_misses",
                      "cache_evictions", "cache_hit_rate",
-                     "inconclusive", "valid_cases",
+                     "p50_seconds", "p95_seconds", "reorders",
+                     "gc_runs", "inconclusive", "valid_cases",
                      "timeouts", "errors"])
     for row in rows:
         for check in row.detected:
@@ -88,6 +93,10 @@ def rows_to_csv(rows: Sequence[BenchmarkRow]) -> str:
                 row.cache_misses.get(check, 0),
                 row.cache_evictions.get(check, 0),
                 "%.4f" % row.cache_hit_rate(check),
+                "%.4f" % row.runtime_p50.get(check, 0.0),
+                "%.4f" % row.runtime_p95.get(check, 0.0),
+                row.reorders.get(check, 0),
+                row.gc_runs.get(check, 0),
                 row.inconclusive.get(check, 0),
                 row.valid.get(check, row.cases),
                 row.timeouts.get(check, 0),

@@ -15,6 +15,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..bdd import default_bdd
 from ..circuit.netlist import Circuit
+from ..obs import ManagerSnapshot, get_tracer
 from ..core.input_exact import input_exact_from_context
 from ..core.local_check import local_check_from_context
 from ..core.output_exact import output_exact_from_context
@@ -99,6 +100,14 @@ class BenchmarkRow:
     peak_nodes: Dict[str, float] = field(default_factory=dict)
     #: mean seconds per case, per check
     runtime: Dict[str, float] = field(default_factory=dict)
+    #: seconds-per-case distribution tails over valid cases, per check
+    #: (nearest-rank percentiles — deterministic, no interpolation)
+    runtime_p50: Dict[str, float] = field(default_factory=dict)
+    runtime_p95: Dict[str, float] = field(default_factory=dict)
+    #: total dynamic-reordering passes / garbage collections, per check
+    #: (summed over valid cases, from the per-check manager counters)
+    reorders: Dict[str, int] = field(default_factory=dict)
+    gc_runs: Dict[str, int] = field(default_factory=dict)
     #: total computed-table hits / misses / evictions, per check
     #: (summed over valid cases; see :meth:`cache_hit_rate`)
     cache_hits: Dict[str, int] = field(default_factory=dict)
@@ -173,6 +182,7 @@ def run_one_case(spec: Circuit, partial: PartialImplementation,
     """
     if bdd_factory is None:
         bdd_factory = default_bdd
+    tracer = get_tracer()
     results: Dict[str, CheckResult] = {}
     for short in checks:
         try:
@@ -180,40 +190,70 @@ def run_one_case(spec: Circuit, partial: PartialImplementation,
         except KeyError:
             raise ValueError("unknown check %r (choose from %s)"
                              % (short, ", ".join(CHECKS))) from None
-        if key == "random_pattern":
-            results[short] = check_random_patterns(
-                spec, partial, patterns=patterns, seed=seed,
-                budget=budget, engine=rp_engine)
-        else:
-            bdd = bdd_factory()
-            if budget is not None:
-                budget.start()
-                bdd.set_budget(budget)
-            if key == "symbolic_01x":
-                results[short] = check_symbolic_01x(spec, partial, bdd)
+        span = None if tracer is None \
+            else tracer.span("check:%s" % key)
+        try:
+            if key == "random_pattern":
+                results[short] = check_random_patterns(
+                    spec, partial, patterns=patterns, seed=seed,
+                    budget=budget, engine=rp_engine)
+                if span is not None:
+                    result = results[short]
+                    span.note(verdict=result.outcome,
+                              error_found=result.error_found,
+                              seconds=result.seconds)
             else:
-                ctx = prepare_context(spec, partial, bdd)
-                if key == "local":
-                    results[short] = local_check_from_context(ctx)
-                elif key == "output_exact":
-                    results[short] = output_exact_from_context(ctx)
+                bdd = bdd_factory()
+                if budget is not None:
+                    budget.start()
+                    bdd.set_budget(budget)
+                if tracer is not None:
+                    bdd.set_tracer(tracer)
+                before = ManagerSnapshot.capture(bdd)
+                if key == "symbolic_01x":
+                    results[short] = check_symbolic_01x(spec, partial,
+                                                        bdd)
                 else:
-                    results[short] = input_exact_from_context(ctx)
-            _attach_cache_stats(results[short], bdd)
+                    ctx = prepare_context(spec, partial, bdd)
+                    if key == "local":
+                        results[short] = local_check_from_context(ctx)
+                    elif key == "output_exact":
+                        results[short] = output_exact_from_context(ctx)
+                    else:
+                        results[short] = input_exact_from_context(ctx)
+                _attach_cache_stats(results[short], bdd, before)
+                if span is not None:
+                    result = results[short]
+                    span.note(verdict=result.outcome,
+                              error_found=result.error_found,
+                              seconds=result.seconds,
+                              peak_nodes=bdd.peak_live_nodes,
+                              cache_hits=result.stats["cache_hits"],
+                              cache_misses=result.stats["cache_misses"])
+        finally:
+            if span is not None:
+                span.done()
     return results
 
 
-def _attach_cache_stats(result: CheckResult, bdd) -> None:
+def _attach_cache_stats(result: CheckResult, bdd,
+                        before: Optional[ManagerSnapshot] = None)\
+        -> None:
     """Fold the manager's computed-table traffic into ``result.stats``.
 
-    The check ran on a fresh manager, so the totals are attributable to
-    this check alone — same reasoning as the node/peak statistics.
+    The traffic is the *delta* against the ``before`` snapshot taken
+    when this check started on the manager.  For the usual fresh
+    manager the delta equals the totals; when a caller reuses one
+    manager across consecutive checks (a custom ``bdd_factory``), the
+    snapshot keeps each check's numbers its own — attributing the
+    cumulative totals to every check double-counted the earlier
+    checks' traffic (regression-tested in
+    ``tests/obs/test_ladder_tracing.py``).  The maintenance deltas
+    (``gc_runs``, ``reorders``) ride along for campaign aggregation.
     """
-    total = bdd.cache_stats()["total"]
-    result.stats["cache_hits"] = total["hits"]
-    result.stats["cache_misses"] = total["misses"]
-    result.stats["cache_evictions"] = total["evictions"]
-    result.stats["cache_hit_rate"] = total["hit_rate"]
+    if before is None:
+        before = ManagerSnapshot()
+    result.stats.update(before.delta(ManagerSnapshot.capture(bdd)))
 
 
 def _tune_spec(spec: Circuit) -> Tuple[Circuit, int]:

@@ -25,7 +25,8 @@ from ..core.result import (OUTCOME_INCONCLUSIVE, OUTCOME_OK,
 from ..experiments.runner import BenchmarkRow
 from .journal import CaseRecord
 
-__all__ = ["row_from_records", "fold_records", "sort_records"]
+__all__ = ["row_from_records", "fold_records", "sort_records",
+           "nearest_rank"]
 
 
 def sort_records(records: Sequence[CaseRecord]) -> List[CaseRecord]:
@@ -33,6 +34,20 @@ def sort_records(records: Sequence[CaseRecord]) -> List[CaseRecord]:
     return sorted(records, key=lambda r: (r.case.benchmark,
                                           r.case.selection,
                                           r.case.error_index))
+
+
+def nearest_rank(values: Sequence[float], quantile: float) -> float:
+    """Nearest-rank percentile: always an observed value, never an
+    interpolation, so campaign summaries are deterministic and robust
+    to float noise.  Empty input yields 0.0."""
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    # ceil(q * n) in integer arithmetic: 0.95 * 20 must be rank 19,
+    # not 20, however 0.95 rounds in binary floating point.
+    percent = int(round(quantile * 100))
+    rank = max(1, -(-percent * len(ordered) // 100))
+    return ordered[rank - 1]
 
 
 def _strongest_ok(record: CaseRecord, checks: Sequence[str]):
@@ -53,11 +68,16 @@ def row_from_records(name: str, records: Sequence[CaseRecord],
     order for float determinism.
     """
     row = BenchmarkRow(circuit=name, inputs=0, outputs=0, spec_nodes=0)
+    seconds_seen: Dict[str, List[float]] = {}
     for check in checks:
         row.detected[check] = 0
         row.impl_nodes[check] = 0.0
         row.peak_nodes[check] = 0.0
         row.runtime[check] = 0.0
+        row.runtime_p50[check] = 0.0
+        row.runtime_p95[check] = 0.0
+        row.reorders[check] = 0
+        row.gc_runs[check] = 0
         row.cache_hits[check] = 0
         row.cache_misses[check] = 0
         row.cache_evictions[check] = 0
@@ -65,6 +85,7 @@ def row_from_records(name: str, records: Sequence[CaseRecord],
         row.timeouts[check] = 0
         row.check_errors[check] = 0
         row.inconclusive[check] = 0
+        seconds_seen[check] = []
     for record in sort_records(records):
         row.cases += 1
         row.wall_seconds += record.seconds
@@ -101,6 +122,9 @@ def row_from_records(name: str, records: Sequence[CaseRecord],
                 row.impl_nodes[check] += outcome.impl_nodes
                 row.peak_nodes[check] += outcome.peak_nodes
                 row.runtime[check] += outcome.seconds
+                seconds_seen[check].append(outcome.seconds)
+                row.reorders[check] += outcome.reorders
+                row.gc_runs[check] += outcome.gc_runs
                 row.cache_hits[check] += outcome.cache_hits
                 row.cache_misses[check] += outcome.cache_misses
                 row.cache_evictions[check] += outcome.cache_evictions
@@ -109,6 +133,10 @@ def row_from_records(name: str, records: Sequence[CaseRecord],
             row.impl_nodes[check] /= row.valid[check]
             row.peak_nodes[check] /= row.valid[check]
             row.runtime[check] /= row.valid[check]
+            row.runtime_p50[check] = nearest_rank(seconds_seen[check],
+                                                  0.50)
+            row.runtime_p95[check] = nearest_rank(seconds_seen[check],
+                                                  0.95)
     return row
 
 

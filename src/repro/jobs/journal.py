@@ -25,6 +25,7 @@ Record format (version 1)::
 from __future__ import annotations
 
 import errno
+import hashlib
 import json
 import os
 from dataclasses import dataclass, field
@@ -35,9 +36,25 @@ from .spec import CaseSpec
 
 __all__ = ["JOURNAL_VERSION", "CheckOutcome", "CaseRecord",
            "JournalWriter", "JournalWriteError", "read_journal",
-           "failed_record", "timeout_record"]
+           "failed_record", "timeout_record", "trace_filename"]
 
 JOURNAL_VERSION = 1
+
+
+def trace_filename(case: CaseSpec) -> str:
+    """Deterministic trace-file name for one case.
+
+    A pure function of the case key: the journal never stores trace
+    paths (its bytes must not depend on whether tracing was on), yet
+    any reader holding a record can reconstruct where the worker put
+    that case's trace — ``$REPRO_TRACE_DIR/<trace_filename(case)>``.
+    The hash suffix disambiguates same-coordinate cases from campaigns
+    with different parameters (patterns, checks, limits...).
+    """
+    digest = hashlib.sha256(
+        repr(case.key).encode("utf-8")).hexdigest()[:8]
+    return "%s-s%d-e%d-%s.trace.jsonl" % (
+        case.benchmark, case.selection, case.error_index, digest)
 
 
 @dataclass
@@ -45,9 +62,13 @@ class CheckOutcome:
     """Per-check slice of one case result.
 
     The ``cache_*`` counters (computed-table traffic of the check's
-    fresh manager) were added after version-1 journals shipped; they
-    default to 0 on records written before them, so old journals still
-    resume cleanly and the version number stays 1.
+    fresh manager) and the maintenance counters (``reorders`` sifting
+    passes, ``gc_runs`` collections) were added after version-1
+    journals shipped; they default to 0 on records written before
+    them, so old journals still resume cleanly and the version number
+    stays 1.  All of them are deterministic manager counters, recorded
+    whether or not tracing is enabled — journal bytes never depend on
+    the observability layer.
     """
 
     outcome: str = OUTCOME_OK
@@ -58,6 +79,8 @@ class CheckOutcome:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_evictions: int = 0
+    reorders: int = 0
+    gc_runs: int = 0
     detail: str = ""
 
     def to_dict(self) -> Dict:
@@ -69,6 +92,8 @@ class CheckOutcome:
                 "cache_hits": self.cache_hits,
                 "cache_misses": self.cache_misses,
                 "cache_evictions": self.cache_evictions,
+                "reorders": self.reorders,
+                "gc_runs": self.gc_runs,
                 "detail": self.detail}
 
     @classmethod
@@ -81,6 +106,8 @@ class CheckOutcome:
                    cache_hits=int(data.get("cache_hits", 0)),
                    cache_misses=int(data.get("cache_misses", 0)),
                    cache_evictions=int(data.get("cache_evictions", 0)),
+                   reorders=int(data.get("reorders", 0)),
+                   gc_runs=int(data.get("gc_runs", 0)),
                    detail=data.get("detail", ""))
 
 

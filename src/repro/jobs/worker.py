@@ -12,6 +12,7 @@ runner gets for free from its loop nesting.
 
 from __future__ import annotations
 
+import os
 import random
 import time
 from typing import Dict, Optional, Tuple
@@ -20,11 +21,13 @@ from ..circuit.netlist import Circuit
 from ..core.result import (OUTCOME_ERROR, OUTCOME_INCONCLUSIVE,
                            OUTCOME_OK)
 from ..generators.benchmarks import BENCHMARK_FACTORIES
+from ..obs import Tracer, set_tracer, write_jsonl
 from ..partial.blackbox import PartialImplementation
 from ..partial.extraction import make_partial
 from ..partial.mutations import insert_random_error
 from ..resilience.budget import Budget, BudgetExceededError
-from .journal import CaseRecord, CheckOutcome, failed_record
+from .journal import (CaseRecord, CheckOutcome, failed_record,
+                      trace_filename)
 from .spec import CaseSpec
 
 __all__ = ["execute_case", "clear_caches"]
@@ -118,7 +121,38 @@ def execute_case(case: CaseSpec,
     Never raises for per-case problems: setup failures yield a terminal
     ERROR record, and each check is isolated so one raising check
     degrades only its own column, not the case.
+
+    When ``REPRO_TRACE_DIR`` is set (the environment is inherited by
+    pool workers), the case runs under a fresh :class:`repro.obs.Tracer`
+    and its events are written to ``$REPRO_TRACE_DIR/`` under the name
+    :func:`repro.jobs.journal.trace_filename` derives from the case key.
+    The journal record itself is byte-identical either way — tracing is
+    a side channel, never part of the campaign's results.
     """
+    trace_dir = os.environ.get("REPRO_TRACE_DIR")
+    if not trace_dir:
+        return _execute_case(case, spec)
+    tracer = Tracer()
+    previous = set_tracer(tracer)
+    span = tracer.span("case", benchmark=case.benchmark,
+                       selection=case.selection,
+                       error_index=case.error_index)
+    try:
+        record = _execute_case(case, spec)
+        span.done(outcome=record.outcome, seconds=record.seconds)
+    finally:
+        set_tracer(previous)
+        tracer.close_all()
+    try:
+        write_jsonl(tracer.events,
+                    os.path.join(trace_dir, trace_filename(case)))
+    except OSError:
+        pass  # a full/readonly trace dir must not fail the case
+    return record
+
+
+def _execute_case(case: CaseSpec,
+                  spec: Optional[Circuit] = None) -> CaseRecord:
     from ..experiments.runner import run_one_case
 
     start = time.perf_counter()
@@ -170,6 +204,8 @@ def execute_case(case: CaseSpec,
                 cache_misses=int(result.stats.get("cache_misses", 0)),
                 cache_evictions=int(
                     result.stats.get("cache_evictions", 0)),
+                reorders=int(result.stats.get("reorders", 0)),
+                gc_runs=int(result.stats.get("gc_runs", 0)),
                 detail=result.detail)
             if result.outcome == OUTCOME_OK:
                 strongest_check = check

@@ -1,0 +1,155 @@
+"""The ``trace`` CLI: record, summarize and diff ladder traces.
+
+Dispatched from ``python -m repro.experiments trace ...`` (the
+experiments CLI hands the remaining arguments over, mirroring how the
+``lint`` subcommand works)::
+
+    python -m repro.experiments trace record --benchmark C880 \\
+        -o C880.trace.json                      # Chrome JSON, Perfetto
+    python -m repro.experiments trace record --format jsonl -o t.jsonl
+    python -m repro.experiments trace summary C880.trace.json --top 10
+    python -m repro.experiments trace diff before.json after.json
+
+``record`` runs the full check ladder on a benchmark circuit with one
+carved Black-Box selection and an inserted error — the same case shape
+the campaign driver enumerates — with tracing enabled, and writes the
+trace.  ``summary``/``diff`` accept either export format.
+
+This module may import the rest of the library (lazily); the rest of
+:mod:`repro.obs` must not.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .export import load_trace, write_chrome, write_jsonl
+from .summary import format_diff, format_summary
+from .tracer import Tracer, set_tracer
+
+__all__ = ["main"]
+
+
+def _record(args: argparse.Namespace) -> int:
+    # Heavy machinery only when actually recording.
+    from ..core.ladder import run_ladder
+    from ..generators.benchmarks import BENCHMARK_FACTORIES
+    from ..partial.extraction import make_partial
+    from ..partial.mutations import insert_random_error
+    from ..partial.blackbox import PartialImplementation
+    from ..jobs.spec import derive_seed
+    import random
+
+    try:
+        factory = BENCHMARK_FACTORIES[args.benchmark]
+    except KeyError:
+        print("unknown benchmark %r (choose from %s)"
+              % (args.benchmark, ", ".join(sorted(BENCHMARK_FACTORIES))),
+              file=sys.stderr)
+        return 2
+    spec = factory()
+    partial = make_partial(
+        spec, fraction=args.fraction, num_boxes=args.num_boxes,
+        seed=derive_seed(args.seed, args.benchmark, 0, "partial"))
+    if args.error:
+        mutated, mutation = insert_random_error(
+            partial.circuit,
+            random.Random(derive_seed(args.seed, args.benchmark, 0, 0,
+                                      "mutation")))
+        partial = PartialImplementation(mutated, partial.boxes)
+        print("inserted error: %s" % mutation.describe(),
+              file=sys.stderr)
+
+    tracer = Tracer()
+    previous = set_tracer(tracer)
+    try:
+        results = run_ladder(spec, partial, patterns=args.patterns,
+                             seed=args.seed,
+                             stop_at_first_error=not args.all_rungs)
+    finally:
+        set_tracer(previous)
+        tracer.close_all()
+    for result in results:
+        print(result, file=sys.stderr)
+    if args.format == "jsonl":
+        write_jsonl(tracer.events, args.output)
+    else:
+        write_chrome(tracer.events, args.output)
+    print("wrote %d events to %s (%s)" % (len(tracer.events),
+                                          args.output, args.format),
+          file=sys.stderr)
+    print(format_summary(tracer.events, top=args.top))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """``trace`` subcommand dispatcher; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments trace",
+        description="Record, summarize and diff check-ladder traces "
+                    "(see docs/observability.md)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    rec = sub.add_parser("record",
+                         help="run one traced ladder case and write "
+                              "the trace")
+    rec.add_argument("--benchmark", default="C880",
+                     help="benchmark circuit (default: C880)")
+    rec.add_argument("--fraction", type=float, default=0.1,
+                     help="fraction of gates carved into Black Boxes")
+    rec.add_argument("--num-boxes", type=int, default=1)
+    rec.add_argument("--patterns", type=int, default=500)
+    rec.add_argument("--seed", type=int, default=2001)
+    rec.add_argument("--no-error", dest="error", action="store_false",
+                     help="trace the unmutated partial (default "
+                          "inserts one random error, like a campaign "
+                          "case)")
+    rec.add_argument("--all-rungs", action="store_true",
+                     help="run every rung even after an error is found")
+    rec.add_argument("-o", "--output", default="ladder.trace.json",
+                     metavar="FILE")
+    rec.add_argument("--format", choices=("chrome", "jsonl"),
+                     default="chrome",
+                     help="chrome = Perfetto-loadable JSON (default); "
+                          "jsonl = one event per line")
+    rec.add_argument("--top", type=int, default=10,
+                     help="rows in the printed summary")
+
+    summ = sub.add_parser("summary",
+                          help="top-k spans of a recorded trace")
+    summ.add_argument("trace", metavar="FILE")
+    summ.add_argument("--top", type=int, default=10)
+    summ.add_argument("--by", choices=("self", "total", "peak"),
+                      default="self",
+                      help="ranking: span self-time (default), total "
+                           "time, or peak node annotation")
+
+    diff = sub.add_parser("diff",
+                          help="per-span time delta between two traces")
+    diff.add_argument("trace_a", metavar="BEFORE")
+    diff.add_argument("trace_b", metavar="AFTER")
+    diff.add_argument("--top", type=int, default=0,
+                      help="limit to the N largest deltas (0 = all)")
+
+    args = parser.parse_args(argv)
+    if args.command == "record":
+        return _record(args)
+    try:
+        if args.command == "summary":
+            print(format_summary(load_trace(args.trace), top=args.top,
+                                 by=args.by))
+        else:
+            print(format_diff(load_trace(args.trace_a),
+                              load_trace(args.trace_b),
+                              label_a="before", label_b="after",
+                              top=args.top))
+    except OSError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,105 @@
+"""Trace exporters: JSONL event stream and Chrome ``trace_event`` JSON.
+
+Two formats, one event shape:
+
+* **JSONL** — one compact JSON object per line, in recording order.
+  The native interchange format: cheap to append, diff-friendly, and
+  torn-tail tolerant on read (a killed worker loses at most its last
+  line, mirroring the campaign journal's contract).
+* **Chrome trace JSON** — ``{"traceEvents": [...]}`` with the
+  ``pid``/``tid`` keys the viewers require; load it in Perfetto
+  (https://ui.perfetto.dev) or ``about:tracing``.  ``B``/``E`` span
+  pairs, ``i`` instants (scoped ``"s": "t"``) and ``C`` counters pass
+  through unchanged, which is the whole point of recording in the
+  ``trace_event`` vocabulary to begin with.
+
+:func:`load_trace` sniffs either format, so the summary/diff CLI works
+on whichever file you kept.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Sequence
+
+__all__ = ["write_jsonl", "read_jsonl", "to_chrome", "write_chrome",
+           "load_trace"]
+
+
+def write_jsonl(events: Sequence[Dict[str, Any]], path: str) -> None:
+    """One compact JSON object per line, recording order preserved."""
+    parent = os.path.dirname(os.path.abspath(path))
+    if parent and not os.path.isdir(parent):
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        for event in events:
+            handle.write(json.dumps(event, sort_keys=True,
+                                    separators=(",", ":")))
+            handle.write("\n")
+
+
+def read_jsonl(path: str) -> List[Dict[str, Any]]:
+    """Load a JSONL trace, skipping blank and torn lines."""
+    events: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except ValueError:
+                continue  # torn tail of a killed recording
+            if isinstance(event, dict) and "ph" in event:
+                events.append(event)
+    return events
+
+
+def to_chrome(events: Sequence[Dict[str, Any]], pid: int = 1,
+              tid: int = 1) -> Dict[str, Any]:
+    """Chrome ``trace_event`` document for a single-threaded trace."""
+    out: List[Dict[str, Any]] = []
+    for event in events:
+        entry: Dict[str, Any] = {
+            "name": event.get("name", ""),
+            "ph": event.get("ph", "i"),
+            "ts": event.get("ts", 0),
+            "pid": pid,
+            "tid": tid,
+        }
+        if event.get("args"):
+            entry["args"] = event["args"]
+        if entry["ph"] == "i":
+            entry["s"] = "t"  # thread-scoped instant marker
+        out.append(entry)
+    return {"traceEvents": out, "displayTimeUnit": "ms"}
+
+
+def write_chrome(events: Sequence[Dict[str, Any]], path: str,
+                 pid: int = 1, tid: int = 1) -> None:
+    """Write a Perfetto/about:tracing-loadable JSON file."""
+    parent = os.path.dirname(os.path.abspath(path))
+    if parent and not os.path.isdir(parent):
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(to_chrome(events, pid=pid, tid=tid), handle, indent=1)
+        handle.write("\n")
+
+
+def load_trace(path: str) -> List[Dict[str, Any]]:
+    """Load either trace format (sniffed from the first character).
+
+    Chrome documents start with ``{`` (the ``traceEvents`` wrapper);
+    JSONL streams start with an event object per line.  A Chrome
+    document written by someone else may carry ``M`` (metadata) events
+    — those are dropped, everything else is returned in file order.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        head = handle.read(2048)
+    if head.lstrip().startswith("{") and "traceEvents" in head:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+        return [e for e in document.get("traceEvents", [])
+                if e.get("ph") in ("B", "E", "X", "i", "C")]
+    return read_jsonl(path)

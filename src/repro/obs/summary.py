@@ -1,0 +1,183 @@
+"""Trace analysis: span trees, top-k summaries, and trace diffs.
+
+The recorded stream is flat ``B``/``E`` pairs; :func:`build_tree`
+rebuilds the span hierarchy, :func:`aggregate_spans` folds it into
+per-*path* totals (a path is the ``/``-joined chain of span names,
+e.g. ``ladder/rung:output_exact/reorder``), and the two formatters
+render the ``trace summary`` / ``trace diff`` CLI output.
+
+Self time — a span's duration minus its children's — is the ranking
+that answers "where does the time actually go": a ladder rung whose
+time is all in nested ``reorder`` spans is a reordering problem, not a
+quantification problem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["SpanNode", "build_tree", "aggregate_spans",
+           "format_summary", "format_diff"]
+
+
+@dataclass
+class SpanNode:
+    """One reconstructed span: interval, annotations, children."""
+
+    name: str
+    start: int
+    end: int
+    args: Dict[str, Any] = field(default_factory=dict)
+    children: List["SpanNode"] = field(default_factory=list)
+
+    @property
+    def duration(self) -> int:
+        """Wall microseconds from open to close."""
+        return self.end - self.start
+
+    @property
+    def self_time(self) -> int:
+        """Duration not covered by child spans."""
+        return self.duration - sum(c.duration for c in self.children)
+
+
+def build_tree(events: Sequence[Dict[str, Any]]) -> List[SpanNode]:
+    """Root spans of a trace (instant/counter events are skipped).
+
+    Tolerates unclosed spans (a trace cut short by a crash): anything
+    still open at the end of the stream is closed at the last seen
+    timestamp, so partial traces still summarize.
+    """
+    roots: List[SpanNode] = []
+    stack: List[SpanNode] = []
+    last_ts = 0
+    for event in events:
+        ts = int(event.get("ts", 0))
+        last_ts = max(last_ts, ts)
+        ph = event.get("ph")
+        if ph == "B":
+            node = SpanNode(name=str(event.get("name", "")), start=ts,
+                            end=ts, args=dict(event.get("args") or {}))
+            (stack[-1].children if stack else roots).append(node)
+            stack.append(node)
+        elif ph == "E":
+            if stack:
+                node = stack.pop()
+                node.end = ts
+                # Exit-time annotations override entry ones.
+                node.args.update(event.get("args") or {})
+        elif ph == "X":
+            # Complete events from foreign Chrome traces: a leaf span.
+            node = SpanNode(name=str(event.get("name", "")), start=ts,
+                            end=ts + int(event.get("dur", 0)),
+                            args=dict(event.get("args") or {}))
+            (stack[-1].children if stack else roots).append(node)
+    while stack:  # truncated trace: close dangling spans
+        stack.pop().end = last_ts
+    return roots
+
+
+def _walk(nodes: Sequence[SpanNode], prefix: str,
+          out: Dict[str, Dict[str, Any]]) -> None:
+    for node in nodes:
+        path = prefix + node.name if not prefix \
+            else "%s/%s" % (prefix, node.name)
+        entry = out.setdefault(path, {"count": 0, "total_us": 0,
+                                      "self_us": 0, "peak_nodes": 0})
+        entry["count"] += 1
+        entry["total_us"] += node.duration
+        entry["self_us"] += node.self_time
+        peak = node.args.get("peak_nodes")
+        if isinstance(peak, (int, float)):
+            entry["peak_nodes"] = max(entry["peak_nodes"], int(peak))
+        _walk(node.children, path, out)
+
+
+def aggregate_spans(events: Sequence[Dict[str, Any]])\
+        -> Dict[str, Dict[str, Any]]:
+    """Fold a trace into ``{span path: {count, total_us, self_us,
+    peak_nodes}}`` (peak is the max ``peak_nodes`` annotation seen)."""
+    out: Dict[str, Dict[str, Any]] = {}
+    _walk(build_tree(events), "", out)
+    return out
+
+
+def _fmt_us(us: int) -> str:
+    if us >= 1_000_000:
+        return "%.2fs" % (us / 1_000_000)
+    if us >= 1_000:
+        return "%.1fms" % (us / 1_000)
+    return "%dus" % us
+
+
+def format_summary(events: Sequence[Dict[str, Any]], top: int = 10,
+                   by: str = "self") -> str:
+    """Top-k span table, ranked by self time or peak node annotation.
+
+    ``by`` is ``"self"`` (default), ``"total"`` or ``"peak"``.
+    """
+    keys = {"self": "self_us", "total": "total_us",
+            "peak": "peak_nodes"}
+    try:
+        rank = keys[by]
+    except KeyError:
+        raise ValueError("by must be one of %s" % ", ".join(sorted(keys)))
+    table = aggregate_spans(events)
+    n_events = len(events)
+    if not table:
+        return "(no spans in trace: %d events)" % n_events
+    rows = sorted(table.items(), key=lambda kv: (-kv[1][rank], kv[0]))
+    rows = rows[:top]
+    width = max(len(path) for path, _ in rows)
+    lines = ["%-*s  %5s  %9s  %9s  %10s"
+             % (width, "span", "count", "total", "self", "peak nodes")]
+    for path, entry in rows:
+        lines.append("%-*s  %5d  %9s  %9s  %10s" % (
+            width, path, entry["count"], _fmt_us(entry["total_us"]),
+            _fmt_us(entry["self_us"]),
+            entry["peak_nodes"] or "-"))
+    return "\n".join(lines)
+
+
+def format_diff(events_a: Sequence[Dict[str, Any]],
+                events_b: Sequence[Dict[str, Any]],
+                label_a: str = "A", label_b: str = "B",
+                top: int = 0) -> str:
+    """Per-span-path time delta table between two traces.
+
+    Ordered by absolute total-time delta (largest first); ``top``
+    limits the row count (0 = all paths).  Paths present in only one
+    trace show on every line with the other side at zero — a vanished
+    or appeared span is usually the interesting row.
+    """
+    agg_a = aggregate_spans(events_a)
+    agg_b = aggregate_spans(events_b)
+    paths = sorted(set(agg_a) | set(agg_b))
+    zero = {"count": 0, "total_us": 0, "self_us": 0, "peak_nodes": 0}
+    deltas: List[Tuple[str, Dict, Dict, int]] = []
+    for path in paths:
+        ea = agg_a.get(path, zero)
+        eb = agg_b.get(path, zero)
+        deltas.append((path, ea, eb,
+                       eb["total_us"] - ea["total_us"]))
+    deltas.sort(key=lambda row: (-abs(row[3]), row[0]))
+    if top:
+        deltas = deltas[:top]
+    if not deltas:
+        return "(no spans in either trace)"
+    width = max(len(path) for path, _, _, _ in deltas)
+    width = max(width, len("span"))
+    lines = ["%-*s  %10s  %10s  %10s  %7s"
+             % (width, "span", label_a[:10], label_b[:10], "delta",
+                "ratio")]
+    for path, ea, eb, delta in deltas:
+        if ea["total_us"]:
+            ratio = "%.2fx" % (eb["total_us"] / ea["total_us"])
+        else:
+            ratio = "new" if eb["total_us"] else "-"
+        sign = "+" if delta >= 0 else "-"
+        lines.append("%-*s  %10s  %10s  %s%9s  %7s" % (
+            width, path, _fmt_us(ea["total_us"]),
+            _fmt_us(eb["total_us"]), sign, _fmt_us(abs(delta)), ratio))
+    return "\n".join(lines)

@@ -1,0 +1,164 @@
+"""The tracer: hierarchical spans and instant events, in memory.
+
+Design constraints, in order:
+
+1. **Disabled mode must be near-free.**  Instrumented code never calls
+   into this module when no tracer is installed — every hook site reads
+   an attribute (``manager._tracer``) or the module global
+   (:func:`get_tracer`) and tests it against ``None``.  All hook sites
+   sit on cold paths (span boundaries, GC, reordering, budget polls),
+   never inside the per-node kernels.
+2. **Recording must be cheap.**  An event is one small dict appended to
+   a list; nothing is formatted or written until export.
+3. **Determinism must be testable.**  The clock is injectable, so tests
+   drive spans with a counter and assert exact timestamps; the
+   tracing-invariance property tests swap real tracers in and out and
+   assert that verdicts, node ids and journal bytes never move.
+
+Event shape (shared by the JSONL export and, re-keyed with pid/tid, by
+the Chrome ``trace_event`` export)::
+
+    {"ph": "B", "name": "rung:output_exact", "ts": 1234, "args": {...}}
+    {"ph": "E", "name": "rung:output_exact", "ts": 5678, "args": {...}}
+    {"ph": "i", "name": "gc",                "ts": 2222, "args": {...}}
+    {"ph": "C", "name": "live_nodes",        "ts": 3333, "args": {...}}
+
+``ts`` is microseconds since the tracer's epoch.  ``B``/``E`` pairs
+nest strictly (spans are context-managed), which is what lets the
+summary layer rebuild the span tree from the flat stream.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = ["Span", "Tracer", "get_tracer", "set_tracer"]
+
+#: The process-wide current tracer (``None`` = tracing disabled).
+_current: Optional["Tracer"] = None
+
+
+def get_tracer() -> Optional["Tracer"]:
+    """The installed tracer, or ``None`` when tracing is disabled."""
+    return _current
+
+
+def set_tracer(tracer: Optional["Tracer"]) -> Optional["Tracer"]:
+    """Install ``tracer`` as the current one; returns the previous one.
+
+    Callers that install a tracer temporarily restore the return value
+    in a ``finally`` block, so nested instrumentation (a traced ladder
+    inside a traced campaign worker) composes.
+    """
+    global _current
+    previous = _current
+    _current = tracer
+    return previous
+
+
+class Span:
+    """One open ``B``/``E`` interval; close it with :meth:`done`.
+
+    Usable as a context manager, or imperatively via ``done()`` from
+    code whose begin/end sites do not share a lexical scope (the
+    reordering instrumentation).  Annotations added with :meth:`note`
+    are merged into the closing event's ``args`` — the natural place
+    for results only known at exit time (verdicts, node/cache deltas).
+    """
+
+    __slots__ = ("_tracer", "name", "_exit_args", "_closed")
+
+    def __init__(self, tracer: "Tracer", name: str) -> None:
+        self._tracer = tracer
+        self.name = name
+        self._exit_args: Dict[str, Any] = {}
+        self._closed = False
+
+    def note(self, **args: Any) -> "Span":
+        """Attach exit-time annotations; returns self for chaining."""
+        self._exit_args.update(args)
+        return self
+
+    def done(self, **args: Any) -> None:
+        """Emit the closing event (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if args:
+            self._exit_args.update(args)
+        self._tracer._end(self)
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.done()
+
+
+class Tracer:
+    """Collects events in memory; export lives in :mod:`.export`.
+
+    ``clock`` is any zero-argument callable returning seconds as a
+    float (default :func:`time.perf_counter`); timestamps are recorded
+    as integer microseconds relative to the first reading.
+    """
+
+    def __init__(self,
+                 clock: Optional[Callable[[], float]] = None) -> None:
+        self._clock = clock if clock is not None else time.perf_counter
+        self._epoch = self._clock()
+        self.events: List[Dict[str, Any]] = []
+        # Open spans, outermost first; only used to guard against
+        # out-of-order closes and to expose the current nesting depth.
+        self._stack: List[Span] = []
+
+    def _ts(self) -> int:
+        return int((self._clock() - self._epoch) * 1_000_000)
+
+    @property
+    def depth(self) -> int:
+        """Number of currently open spans."""
+        return len(self._stack)
+
+    def span(self, name: str, **args: Any) -> Span:
+        """Open a span: emits the ``B`` event now, returns the handle."""
+        event: Dict[str, Any] = {"ph": "B", "name": name,
+                                 "ts": self._ts()}
+        if args:
+            event["args"] = args
+        self.events.append(event)
+        span = Span(self, name)
+        self._stack.append(span)
+        return span
+
+    def _end(self, span: Span) -> None:
+        # Close any dangling inner spans first so the B/E stream stays
+        # well-nested even if an exception skipped an inner done().
+        while self._stack and self._stack[-1] is not span:
+            self._stack.pop().done()
+        if self._stack:
+            self._stack.pop()
+        event: Dict[str, Any] = {"ph": "E", "name": span.name,
+                                 "ts": self._ts()}
+        if span._exit_args:
+            event["args"] = span._exit_args
+        self.events.append(event)
+
+    def instant(self, name: str, **args: Any) -> None:
+        """A point event (GC ran, budget polled, variable eliminated)."""
+        event: Dict[str, Any] = {"ph": "i", "name": name,
+                                 "ts": self._ts()}
+        if args:
+            event["args"] = args
+        self.events.append(event)
+
+    def counter(self, name: str, **values: Any) -> None:
+        """A sampled metric series (renders as a graph in Perfetto)."""
+        self.events.append({"ph": "C", "name": name, "ts": self._ts(),
+                            "args": values})
+
+    def close_all(self) -> None:
+        """Close every open span (trace finalisation on error paths)."""
+        while self._stack:
+            self._stack[-1].done()

@@ -1,0 +1,86 @@
+"""The ``trace`` CLI: record, summary, diff (and the dispatcher)."""
+
+import json
+
+import pytest
+
+from repro.experiments.cli import main as experiments_main
+from repro.obs.cli import main as trace_main
+
+
+@pytest.fixture()
+def recorded(tmp_path, capsys):
+    path = tmp_path / "t.trace.json"
+    code = trace_main(["record", "--benchmark", "comp",
+                       "--patterns", "50", "--fraction", "0.2",
+                       "-o", str(path)])
+    capsys.readouterr()
+    assert code == 0
+    return path
+
+
+class TestRecord:
+    def test_unknown_benchmark_exits_2(self, capsys):
+        assert trace_main(["record", "--benchmark", "nope"]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err
+
+    def test_chrome_output_is_perfetto_loadable(self, recorded):
+        doc = json.loads(recorded.read_text())
+        assert "traceEvents" in doc
+        rungs = [e["name"] for e in doc["traceEvents"]
+                 if e["ph"] == "B" and e["name"].startswith("rung:")]
+        assert rungs  # one span per executed rung
+        assert all("pid" in e and "tid" in e
+                   for e in doc["traceEvents"])
+
+    def test_record_prints_summary(self, tmp_path, capsys):
+        path = tmp_path / "t.json"
+        code = trace_main(["record", "--benchmark", "comp",
+                           "--patterns", "50", "--fraction", "0.2",
+                           "--no-error", "-o", str(path)])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "span" in captured.out and "ladder" in captured.out
+
+    def test_jsonl_format(self, tmp_path, capsys):
+        path = tmp_path / "t.jsonl"
+        code = trace_main(["record", "--benchmark", "comp",
+                           "--patterns", "50", "--fraction", "0.2",
+                           "--format", "jsonl", "-o", str(path)])
+        capsys.readouterr()
+        assert code == 0
+        first = json.loads(path.read_text().splitlines()[0])
+        assert first["ph"] == "B" and first["name"] == "ladder"
+
+
+class TestSummaryAndDiff:
+    def test_summary(self, recorded, capsys):
+        assert trace_main(["summary", str(recorded), "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "span" in out and "ladder" in out
+
+    def test_summary_by_peak(self, recorded, capsys):
+        assert trace_main(["summary", str(recorded),
+                           "--by", "peak"]) == 0
+        assert "peak nodes" in capsys.readouterr().out
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        assert trace_main(["summary", str(tmp_path / "gone.json")]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_diff_of_trace_with_itself(self, recorded, capsys):
+        code = trace_main(["diff", str(recorded), str(recorded)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "before" in out and "after" in out and "1.00x" in out
+
+
+class TestDispatcher:
+    def test_experiments_cli_dispatches_trace(self, tmp_path, capsys):
+        path = tmp_path / "t.json"
+        code = experiments_main(["trace", "record", "--benchmark",
+                                 "comp", "--patterns", "50",
+                                 "--fraction", "0.2", "-o", str(path)])
+        capsys.readouterr()
+        assert code == 0
+        assert path.exists()

@@ -1,0 +1,84 @@
+"""Exporter tests: JSONL round-trip, Chrome format, format sniffing."""
+
+import json
+
+from repro.obs import (Tracer, load_trace, read_jsonl, to_chrome,
+                       write_chrome, write_jsonl)
+
+
+def sample_events():
+    tracer = Tracer(clock=iter(range(100)).__next__)
+    span = tracer.span("ladder", circuit="c880")
+    tracer.instant("gc", freed=5)
+    tracer.counter("live_nodes", live=42)
+    span.done(rungs=3)
+    return tracer.events
+
+
+class TestJsonl:
+    def test_round_trip_is_identity(self, tmp_path):
+        events = sample_events()
+        path = str(tmp_path / "trace.jsonl")
+        write_jsonl(events, path)
+        assert read_jsonl(path) == events
+
+    def test_reader_skips_blank_and_torn_lines(self, tmp_path):
+        events = sample_events()
+        path = str(tmp_path / "torn.jsonl")
+        write_jsonl(events, path)
+        with open(path, "a") as handle:
+            handle.write("\n")
+            handle.write('{"ph":"i","name":"tr')  # killed mid-write
+        assert read_jsonl(path) == events
+
+    def test_reader_keeps_only_event_objects(self, tmp_path):
+        path = str(tmp_path / "mixed.jsonl")
+        with open(path, "w") as handle:
+            handle.write('{"ph":"i","name":"ok","ts":1}\n')
+            handle.write('{"not_an_event":true}\n')
+            handle.write('[1,2,3]\n')
+        assert [e["name"] for e in read_jsonl(path)] == ["ok"]
+
+    def test_writer_creates_parent_directories(self, tmp_path):
+        path = str(tmp_path / "deep" / "nested" / "trace.jsonl")
+        write_jsonl(sample_events(), path)
+        assert len(read_jsonl(path)) == 4
+
+
+class TestChrome:
+    def test_document_shape(self):
+        doc = to_chrome(sample_events(), pid=7, tid=3)
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        for entry in doc["traceEvents"]:
+            assert entry["pid"] == 7 and entry["tid"] == 3
+            assert set(entry) >= {"name", "ph", "ts"}
+
+    def test_instants_are_thread_scoped(self):
+        doc = to_chrome(sample_events())
+        instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert instants and all(e["s"] == "t" for e in instants)
+
+    def test_written_file_is_valid_json(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        write_chrome(sample_events(), path)
+        with open(path) as handle:
+            doc = json.load(handle)
+        assert len(doc["traceEvents"]) == 4
+
+
+class TestLoadTrace:
+    def test_sniffs_jsonl(self, tmp_path):
+        events = sample_events()
+        path = str(tmp_path / "t.jsonl")
+        write_jsonl(events, path)
+        assert load_trace(path) == events
+
+    def test_sniffs_chrome_and_drops_metadata_events(self, tmp_path):
+        path = str(tmp_path / "t.json")
+        doc = to_chrome(sample_events())
+        doc["traceEvents"].append({"ph": "M", "name": "process_name",
+                                   "ts": 0, "pid": 1, "tid": 1})
+        with open(path, "w") as handle:
+            json.dump(doc, handle)
+        loaded = load_trace(path)
+        assert [e["ph"] for e in loaded] == ["B", "i", "C", "E"]

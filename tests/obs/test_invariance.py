@@ -1,0 +1,125 @@
+"""Tracing is read-only: enabling it never changes any result.
+
+Three layers of the contract:
+
+* ladder level — verdicts, counterexamples, node/cache stats (which
+  are a function of the node ids the checks allocated) are identical
+  with and without a tracer installed (hypothesis-driven over mutation
+  seeds);
+* campaign level — the journal a campaign writes is identical (modulo
+  wall-clock timing fields) whether ``REPRO_TRACE_DIR`` is set or not,
+  serially and with ``--jobs 2``;
+* the per-case trace files round-trip through the JSONL reader.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ladder import run_ladder
+from repro.experiments.runner import ExperimentConfig
+from repro.generators import magnitude_comparator
+from repro.jobs import run_campaign
+from repro.jobs.journal import trace_filename
+from repro.jobs.worker import clear_caches
+from repro.obs import Tracer, read_jsonl, set_tracer
+from repro.partial.blackbox import PartialImplementation
+from repro.partial.extraction import make_partial
+from repro.partial.mutations import insert_random_error
+
+SPEC = magnitude_comparator(4)
+CONFIG = ExperimentConfig(selections=1, errors=2, patterns=30,
+                          benchmarks=["alu4"])
+
+
+def mutated_case(mutation_seed):
+    partial = make_partial(SPEC, fraction=0.3, num_boxes=1, seed=3)
+    mutated, _ = insert_random_error(partial.circuit,
+                                     random.Random(mutation_seed))
+    return PartialImplementation(mutated, partial.boxes)
+
+
+def run(partial, traced):
+    tracer = Tracer() if traced else None
+    previous = set_tracer(tracer)
+    try:
+        return run_ladder(SPEC, partial, patterns=50, seed=9,
+                          stop_at_first_error=False)
+    finally:
+        set_tracer(previous)
+        if tracer is not None:
+            tracer.close_all()
+
+
+def fingerprint(results):
+    """Everything observable about a ladder run except wall-clock."""
+    return [(r.check, r.outcome, r.error_found, r.exact,
+             r.counterexample, r.failing_output, r.detail,
+             {k: v for k, v in r.stats.items()})
+            for r in results]
+
+
+@given(mutation_seed=st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=8, deadline=None)
+def test_tracing_never_changes_ladder_results(mutation_seed):
+    partial = mutated_case(mutation_seed)
+    assert fingerprint(run(partial, traced=False)) \
+        == fingerprint(run(partial, traced=True))
+
+
+def journal_fingerprint(records):
+    """A campaign's results modulo wall-clock and scheduling fields."""
+    out = []
+    for record in sorted(records, key=lambda r: r.case.key):
+        data = record.to_dict()
+        data["seconds"] = data["worker"] = data["attempt"] = None
+        for check in data["checks"].values():
+            check["seconds"] = None
+        out.append(data)
+    return out
+
+
+@pytest.fixture()
+def traced_env(tmp_path, monkeypatch):
+    trace_dir = tmp_path / "traces"
+    trace_dir.mkdir()
+    monkeypatch.setenv("REPRO_TRACE_DIR", str(trace_dir))
+    clear_caches()
+    yield trace_dir
+    clear_caches()
+
+
+class TestCampaignInvariance:
+    def test_journal_identical_with_tracing_serial_and_parallel(
+            self, traced_env):
+        traced_serial = run_campaign(CONFIG)
+        traced_parallel = run_campaign(CONFIG, jobs=2)
+        clear_caches()
+        with pytest.MonkeyPatch.context() as patch:
+            patch.delenv("REPRO_TRACE_DIR")
+            plain = run_campaign(CONFIG)
+        baseline = journal_fingerprint(plain.records)
+        assert journal_fingerprint(traced_serial.records) == baseline
+        assert journal_fingerprint(traced_parallel.records) == baseline
+
+    def test_trace_files_round_trip_through_jsonl_reader(
+            self, traced_env):
+        result = run_campaign(CONFIG)
+        for record in result.records:
+            path = traced_env / trace_filename(record.case)
+            assert path.exists()
+            events = read_jsonl(str(path))
+            case_spans = [e for e in events
+                          if e["ph"] == "B" and e["name"] == "case"]
+            assert len(case_spans) == 1
+            assert case_spans[0]["args"]["benchmark"] == "alu4"
+            # Well-nested: every B has its E, in stack order.
+            stack = []
+            for event in events:
+                if event["ph"] == "B":
+                    stack.append(event["name"])
+                elif event["ph"] == "E":
+                    assert stack.pop() == event["name"]
+            assert stack == []

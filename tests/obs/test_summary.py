@@ -1,0 +1,140 @@
+"""Summary/diff tests: tree building, aggregation, formatting."""
+
+import pytest
+
+from repro.obs import (Tracer, aggregate_spans, build_tree, format_diff,
+                       format_summary)
+
+
+def B(name, ts, **args):
+    event = {"ph": "B", "name": name, "ts": ts}
+    if args:
+        event["args"] = args
+    return event
+
+
+def E(name, ts, **args):
+    event = {"ph": "E", "name": name, "ts": ts}
+    if args:
+        event["args"] = args
+    return event
+
+
+LADDER = [
+    B("ladder", 0),
+    B("rung:symbolic_01x", 10),
+    E("rung:symbolic_01x", 110, peak_nodes=500),
+    B("rung:input_exact", 120),
+    B("reorder", 150),
+    E("reorder", 350),
+    E("rung:input_exact", 520, peak_nodes=2000),
+    E("ladder", 600),
+]
+
+
+class TestBuildTree:
+    def test_hierarchy_and_intervals(self):
+        roots = build_tree(LADDER)
+        assert [r.name for r in roots] == ["ladder"]
+        ladder = roots[0]
+        assert [c.name for c in ladder.children] \
+            == ["rung:symbolic_01x", "rung:input_exact"]
+        reorder = ladder.children[1].children[0]
+        assert (reorder.start, reorder.end) == (150, 350)
+
+    def test_self_time_excludes_children(self):
+        ladder = build_tree(LADDER)[0]
+        assert ladder.duration == 600
+        assert ladder.self_time == 600 - 100 - 400
+        rung = ladder.children[1]
+        assert rung.self_time == 400 - 200
+
+    def test_exit_args_override_entry_args(self):
+        roots = build_tree([B("s", 0, verdict="pending", fixed=1),
+                            E("s", 5, verdict="ok")])
+        assert roots[0].args == {"verdict": "ok", "fixed": 1}
+
+    def test_truncated_trace_closes_dangling_spans_at_last_ts(self):
+        roots = build_tree([B("outer", 0), B("inner", 10),
+                            {"ph": "i", "name": "gc", "ts": 70}])
+        assert roots[0].end == 70
+        assert roots[0].children[0].end == 70
+
+    def test_complete_x_events_become_leaves(self):
+        roots = build_tree([B("outer", 0),
+                            {"ph": "X", "name": "leaf", "ts": 5,
+                             "dur": 20},
+                            E("outer", 100)])
+        leaf = roots[0].children[0]
+        assert (leaf.start, leaf.end) == (5, 25)
+
+    def test_instants_and_counters_are_skipped(self):
+        roots = build_tree([B("s", 0),
+                            {"ph": "i", "name": "gc", "ts": 1},
+                            {"ph": "C", "name": "live", "ts": 2,
+                             "args": {"live": 3}},
+                            E("s", 9)])
+        assert roots[0].children == []
+
+
+class TestAggregate:
+    def test_paths_and_totals(self):
+        table = aggregate_spans(LADDER)
+        assert table["ladder"]["count"] == 1
+        assert table["ladder"]["total_us"] == 600
+        assert table["ladder/rung:input_exact"]["total_us"] == 400
+        assert table["ladder/rung:input_exact/reorder"]["self_us"] == 200
+
+    def test_peak_nodes_is_max_annotation(self):
+        table = aggregate_spans(LADDER + LADDER)
+        rung = table["ladder/rung:input_exact"]
+        assert rung["count"] == 2
+        assert rung["peak_nodes"] == 2000
+
+    def test_repeated_spans_accumulate(self):
+        events = [B("s", 0), E("s", 10), B("s", 20), E("s", 50)]
+        assert aggregate_spans(events)["s"] \
+            == {"count": 2, "total_us": 40, "self_us": 40,
+                "peak_nodes": 0}
+
+
+class TestFormatSummary:
+    def test_top_k_and_ranking_by_self_time(self):
+        text = format_summary(LADDER, top=2, by="self")
+        lines = text.splitlines()
+        assert len(lines) == 3  # header + 2 rows
+        # input_exact has the largest self time (200us + reorder's 200).
+        assert "rung:input_exact" in lines[1] or "reorder" in lines[1]
+
+    def test_ranking_by_peak(self):
+        text = format_summary(LADDER, top=1, by="peak")
+        assert "rung:input_exact" in text.splitlines()[1]
+
+    def test_unknown_ranking_raises(self):
+        with pytest.raises(ValueError):
+            format_summary(LADDER, by="bogus")
+
+    def test_empty_trace(self):
+        assert "no spans" in format_summary([])
+
+
+class TestFormatDiff:
+    def test_delta_and_ratio_columns(self):
+        slow = [B("s", 0), E("s", 200)]
+        fast = [B("s", 0), E("s", 100)]
+        text = format_diff(slow, fast, label_a="before",
+                           label_b="after")
+        assert "before" in text and "after" in text
+        assert "0.50x" in text and "- " in text
+
+    def test_span_only_in_one_trace(self):
+        only_b = [B("new", 0), E("new", 50)]
+        text = format_diff([], only_b)
+        assert "new" in text  # both the path and the ratio marker
+
+    def test_round_trip_from_real_tracer(self):
+        tracer = Tracer(clock=iter(range(100)).__next__)
+        with tracer.span("a"):
+            tracer.span("b").done()
+        text = format_diff(tracer.events, tracer.events)
+        assert "1.00x" in text

@@ -1,0 +1,122 @@
+"""Tracer unit tests: spans, nesting, clocks, installation."""
+
+import pytest
+
+from repro.obs import Tracer, get_tracer, set_tracer
+
+
+class FakeClock:
+    """Deterministic clock: each reading advances by ``step`` seconds."""
+
+    def __init__(self, step=0.001):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self):
+        value = self.now
+        self.now += self.step
+        return value
+
+
+def phases(tracer):
+    return [(e["ph"], e["name"]) for e in tracer.events]
+
+
+class TestSpans:
+    def test_span_emits_begin_and_end(self):
+        tracer = Tracer(clock=FakeClock())
+        span = tracer.span("work", detail=7)
+        span.done(verdict="ok")
+        assert phases(tracer) == [("B", "work"), ("E", "work")]
+        begin, end = tracer.events
+        assert begin["args"] == {"detail": 7}
+        assert end["args"] == {"verdict": "ok"}
+
+    def test_timestamps_are_integer_microseconds_since_epoch(self):
+        tracer = Tracer(clock=FakeClock(step=0.001))
+        tracer.span("a").done()
+        # Epoch read consumes tick 0; events are at 1ms, 2ms.
+        assert [e["ts"] for e in tracer.events] == [1000, 2000]
+
+    def test_args_key_omitted_when_empty(self):
+        tracer = Tracer(clock=FakeClock())
+        tracer.span("bare").done()
+        tracer.instant("ping")
+        assert all("args" not in e for e in tracer.events)
+
+    def test_nesting_depth_and_order(self):
+        tracer = Tracer(clock=FakeClock())
+        outer = tracer.span("outer")
+        assert tracer.depth == 1
+        inner = tracer.span("inner")
+        assert tracer.depth == 2
+        inner.done()
+        outer.done()
+        assert tracer.depth == 0
+        assert phases(tracer) == [("B", "outer"), ("B", "inner"),
+                                  ("E", "inner"), ("E", "outer")]
+
+    def test_closing_outer_span_closes_dangling_inner_spans(self):
+        tracer = Tracer(clock=FakeClock())
+        outer = tracer.span("outer")
+        tracer.span("inner")  # never closed (exception path)
+        outer.done()
+        assert phases(tracer) == [("B", "outer"), ("B", "inner"),
+                                  ("E", "inner"), ("E", "outer")]
+
+    def test_done_is_idempotent(self):
+        tracer = Tracer(clock=FakeClock())
+        span = tracer.span("once")
+        span.done()
+        span.done()
+        assert len(tracer.events) == 2
+
+    def test_context_manager_closes_on_exception(self):
+        tracer = Tracer(clock=FakeClock())
+        with pytest.raises(RuntimeError):
+            with tracer.span("guarded"):
+                raise RuntimeError("boom")
+        assert phases(tracer) == [("B", "guarded"), ("E", "guarded")]
+
+    def test_note_merges_into_exit_args(self):
+        tracer = Tracer(clock=FakeClock())
+        span = tracer.span("annotated")
+        span.note(first=1).note(second=2)
+        span.done(second=22, third=3)
+        assert tracer.events[-1]["args"] == {"first": 1, "second": 22,
+                                             "third": 3}
+
+    def test_close_all_drains_the_stack(self):
+        tracer = Tracer(clock=FakeClock())
+        tracer.span("a")
+        tracer.span("b")
+        tracer.close_all()
+        assert tracer.depth == 0
+        assert phases(tracer) == [("B", "a"), ("B", "b"),
+                                  ("E", "b"), ("E", "a")]
+
+
+class TestInstantsAndCounters:
+    def test_instant_and_counter_shapes(self):
+        tracer = Tracer(clock=FakeClock())
+        tracer.instant("gc", freed=12)
+        tracer.counter("live_nodes", live=340)
+        gc, counter = tracer.events
+        assert gc["ph"] == "i" and gc["args"] == {"freed": 12}
+        assert counter["ph"] == "C" and counter["args"] == {"live": 340}
+
+
+class TestInstallation:
+    def test_default_is_disabled(self):
+        assert get_tracer() is None
+
+    def test_set_tracer_returns_previous_for_finally_restore(self):
+        first, second = Tracer(), Tracer()
+        try:
+            assert set_tracer(first) is None
+            assert get_tracer() is first
+            assert set_tracer(second) is first
+            assert get_tracer() is second
+        finally:
+            set_tracer(None)
+        assert get_tracer() is None

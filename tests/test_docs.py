@@ -52,8 +52,65 @@ def test_cli_commands_in_docs_are_valid():
     flattened = set()
     for c in commands:
         flattened.update(c.split("|"))
-    known = {"table1", "table2", "table40", "figures", "sweep", "lint"}
+    known = {"table1", "table2", "table40", "figures", "sweep", "lint",
+             "trace"}
     assert flattened <= known, flattened - known
+
+
+def _python_blocks(path):
+    """``(start_line, source)`` for every ```python block in ``path``."""
+    blocks = []
+    lines = path.read_text().splitlines()
+    inside, start, chunk = False, 0, []
+    for number, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        if not inside and stripped == "```python":
+            inside, start, chunk = True, number + 1, []
+        elif inside and stripped == "```":
+            inside = False
+            blocks.append((start, "\n".join(chunk)))
+        elif inside:
+            chunk.append(line)
+    assert not inside, "unterminated ```python block in %s" % path.name
+    return blocks
+
+
+DOC_FILES = sorted((ROOT / "docs").glob("*.md")) + [ROOT / "README.md"]
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=lambda p: p.name)
+def test_every_python_block_in_docs_executes(doc, tmp_path, monkeypatch):
+    """Every ```python fence in the docs is a runnable program.
+
+    Blocks within one document share a namespace (later blocks may
+    build on earlier ones, as prose naturally does) and run inside a
+    scratch directory so snippets may write files.
+    """
+    blocks = _python_blocks(doc)
+    if not blocks:
+        pytest.skip("no python blocks in %s" % doc.name)
+    monkeypatch.chdir(tmp_path)
+    namespace = {"__name__": "__doc_snippet__"}
+    for start, source in blocks:
+        code = compile(source, "%s:%d" % (doc.name, start), "exec")
+        exec(code, namespace)
+
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=lambda p: p.name)
+def test_relative_links_in_docs_resolve(doc):
+    dead = []
+    for target in LINK.findall(doc.read_text()):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        relative = target.split("#", 1)[0]
+        if not relative:
+            continue  # pure in-page anchor
+        if not (doc.parent / relative).exists():
+            dead.append(target)
+    assert not dead, "dead links in %s: %s" % (doc.name, dead)
 
 
 def test_module_docstrings_everywhere():
