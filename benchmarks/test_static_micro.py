@@ -1,0 +1,155 @@
+"""Static-analysis cost contract: a cheap rung 0, a fast warm cache.
+
+Two bounds from ``docs/static-analysis.md``:
+
+* **Cold overhead <= 5%.**  Hashing + ternary preflight + cold cache
+  traffic on a full ladder run (C880-class circuit, where check time
+  dominates) must cost at most 5% CPU.  The static pass is one linear
+  sweep per netlist while the rungs it fronts are worst-case
+  exponential, so the ratio only improves as circuits grow; tiny
+  circuits pay proportionally more but trivially little in absolute
+  terms.
+* **Warm speedup >= 5x.**  Re-running a campaign against a populated
+  check cache must be at least 5x faster than the cold run that filled
+  it, while aggregating to a byte-identical CSV — the cache replays
+  verdicts, it never re-derives them.
+
+CPU time, not wall clock — co-tenant interference on a shared box
+otherwise dominates the signal; minimum over rounds with alternating
+measurement order cancels what remains (same methodology as
+``test_obs_micro.py``).
+
+Runs standalone (``python benchmarks/test_static_micro.py``) so the CI
+static-analysis job needs no pytest; run with ``--record`` to refresh
+the tracked ``BENCH_PR6.json``.  Pytest also collects both tests.
+"""
+
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+
+from repro.core.ladder import run_ladder
+from repro.experiments.export import rows_to_csv
+from repro.experiments.runner import ExperimentConfig, run_table
+from repro.generators import benchmark_circuit
+from repro.jobs.worker import clear_caches
+from repro.partial.extraction import make_partial
+
+_LIMIT_OVERHEAD = 0.05
+_LIMIT_SPEEDUP = 5.0
+
+
+def _ladder_workload():
+    spec = benchmark_circuit("C880")
+    partial = make_partial(spec, fraction=0.25, num_boxes=1, seed=11)
+    return spec, partial
+
+
+def test_bench_static_cold_overhead():
+    """Hash + preflight + cold cache cost <= 5% on a C880 ladder."""
+    spec, partial = _ladder_workload()
+
+    def run(static):
+        if static:
+            root = tempfile.mkdtemp(prefix="static-bench-")
+            try:
+                run_ladder(spec, partial, patterns=256, seed=5,
+                           preflight=True, cache=root)
+            finally:
+                shutil.rmtree(root, ignore_errors=True)
+        else:
+            run_ladder(spec, partial, patterns=256, seed=5)
+
+    def sample(static):
+        t0 = time.process_time()
+        run(static)
+        return time.process_time() - t0
+
+    def measure():
+        run(False)  # warm-up (imports, allocator, caches)
+        run(True)
+        plain = static = float("inf")
+        for i in range(6):
+            if i % 2 == 0:
+                plain = min(plain, sample(False))
+                static = min(static, sample(True))
+            else:
+                static = min(static, sample(True))
+                plain = min(plain, sample(False))
+        return static / plain - 1.0
+
+    overhead = measure()
+    if overhead > _LIMIT_OVERHEAD:  # one retry: noisy neighbours
+        overhead = min(overhead, measure())
+    assert overhead <= _LIMIT_OVERHEAD, \
+        "static cold-path overhead %.1f%% exceeds %d%%" \
+        % (100 * overhead, 100 * _LIMIT_OVERHEAD)
+    return overhead
+
+
+def _campaign_config(cache_root):
+    # Enough error cases that per-case check time dominates the
+    # once-per-benchmark spec setup the warm run still pays.
+    return ExperimentConfig(selections=1, errors=12, patterns=300,
+                            benchmarks=["alu4", "comp"],
+                            preflight=True, check_cache=cache_root)
+
+
+def test_bench_warm_cache_speedup():
+    """A warm cache replays the campaign >= 5x faster, byte-identical."""
+    root = tempfile.mkdtemp(prefix="static-bench-")
+    try:
+        config = _campaign_config(os.path.join(root, "cache"))
+
+        def sample():
+            clear_caches()  # both runs rebuild in-process spec caches
+            t0 = time.process_time()
+            rows = run_table(config)
+            return time.process_time() - t0, rows
+
+        cold_s, cold = sample()
+        warm_s, warm = sample()
+        assert rows_to_csv(cold) == rows_to_csv(warm), \
+            "warm re-run aggregated differently from the cold run"
+        hits = sum(sum(row.check_cache_hits.values()) for row in warm)
+        assert hits > 0, "warm run never hit the cache"
+        speedup = cold_s / warm_s
+        assert speedup >= _LIMIT_SPEEDUP, \
+            "warm cache speedup %.1fx below %.0fx (cold %.2fs, warm " \
+            "%.2fs)" % (speedup, _LIMIT_SPEEDUP, cold_s, warm_s)
+        return {"cold_cpu_s": round(cold_s, 4),
+                "warm_cpu_s": round(warm_s, 4),
+                "speedup": round(speedup, 2),
+                "check_cache_hits": hits}
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    measured_overhead = test_bench_static_cold_overhead()
+    print("static cold-path overhead: %+.2f%% (limit %d%%)"
+          % (100 * measured_overhead, 100 * _LIMIT_OVERHEAD))
+    warm = test_bench_warm_cache_speedup()
+    print("warm cache speedup: %.1fx (limit %.0fx, %d hits)"
+          % (warm["speedup"], _LIMIT_SPEEDUP, warm["check_cache_hits"]))
+    if "--record" in sys.argv:
+        payload = {
+            "cold_overhead": round(measured_overhead, 4),
+            "cold_overhead_limit": _LIMIT_OVERHEAD,
+            "warm_cache": warm,
+            "warm_speedup_limit": _LIMIT_SPEEDUP,
+            "workloads": {
+                "cold_overhead": "C880 fraction=0.25 boxes=1 seed=11 "
+                                 "patterns=256",
+                "warm_cache": "table1 alu4,comp selections=1 errors=12 "
+                              "patterns=300 preflight",
+            },
+        }
+        with open("BENCH_PR6.json", "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("wrote BENCH_PR6.json")
+    sys.exit(0)

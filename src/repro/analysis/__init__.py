@@ -12,10 +12,14 @@ from .diagnostics import Diagnostic, LintReport, Rule, RULES, Severity, \
     rule
 from .lint import lint_boxes, lint_circuit, lint_partial
 from .loader import lint_path, load_for_lint
+from .static import (CheckCache, ConeHashes, PreflightReport,
+                     cone_hashes, circuit_digest, lint_static, preflight)
 
 __all__ = [
     "Severity", "Rule", "RULES", "rule", "Diagnostic", "LintReport",
     "lint_circuit", "lint_boxes", "lint_partial",
     "lint_path", "load_for_lint",
     "BddInvariantError", "sanitize_manager", "enable_debug_checks",
+    "ConeHashes", "cone_hashes", "circuit_digest",
+    "PreflightReport", "preflight", "CheckCache", "lint_static",
 ]

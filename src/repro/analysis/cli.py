@@ -30,6 +30,11 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--allow-free", action="store_true",
                         help="treat free nets as Black Box outputs "
                              "instead of undriven-net errors")
+    parser.add_argument("--static", action="store_true",
+                        help="additionally run the static cone "
+                             "analysis (S-rules: constant outputs, "
+                             "duplicate cones; needs a structurally "
+                             "clean netlist)")
     parser.add_argument("-q", "--quiet", action="store_true",
                         help="suppress informational findings")
     return parser
@@ -42,7 +47,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     unreadable = False
     for path in options.files:
         try:
-            report = lint_path(path, allow_free=options.allow_free)
+            if options.static:
+                from .loader import load_for_lint
+                from .lint import lint_circuit
+                from .static import lint_static
+
+                circuit, source_map, report = load_for_lint(path)
+                if circuit is not None:
+                    report.extend(lint_circuit(
+                        circuit, allow_free=options.allow_free,
+                        source=source_map))
+                    # The cone walk needs a structurally sound
+                    # netlist (no cycles, no multiply-driven nets).
+                    if report.ok:
+                        report.extend(lint_static(circuit, file=path))
+            else:
+                report = lint_path(path, allow_free=options.allow_free)
         except (OSError, KeyError, UnicodeDecodeError) as err:
             unreadable = True
             message = err.args[0] if isinstance(err, KeyError) else err

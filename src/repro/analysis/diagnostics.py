@@ -41,7 +41,8 @@ class Rule:
 #: The rule catalog (documented in ``docs/linting.md``).  Ids are stable
 #: across releases; ``L``-rules are netlist-structural, ``B``-rules
 #: concern the Black Box interface of partial implementations, ``D``-rules
-#: come from the BDD sanitizer, and ``P``-rules from the file loaders.
+#: come from the BDD sanitizer, ``P``-rules from the file loaders, and
+#: ``S``-rules from the static cone analysis (:mod:`repro.analysis.static`).
 RULES: Tuple[Rule, ...] = (
     Rule("L001", "combinational-cycle", Severity.ERROR,
          "gates form a combinational feedback loop"),
@@ -75,6 +76,12 @@ RULES: Tuple[Rule, ...] = (
          "a BddManager internal invariant is violated"),
     Rule("P001", "parse-error", Severity.ERROR,
          "the file could not be parsed as a netlist"),
+    Rule("S001", "constant-output", Severity.WARNING,
+         "a primary output cone folds to a constant"),
+    Rule("S002", "duplicate-output-cone", Severity.INFO,
+         "two primary outputs have structurally identical cones"),
+    Rule("S003", "unobservable-box", Severity.WARNING,
+         "no output of a Black Box reaches any primary output cone"),
 )
 
 RULES_BY_ID: Dict[str, Rule] = {r.id: r for r in RULES}

@@ -1,0 +1,40 @@
+"""Static netlist analysis: cone hashing, preflight, check cache.
+
+Everything in this package works *before* any BDD exists:
+
+``hashing``
+    Canonical SHA-256 content hashes for output cones, invariant under
+    net renaming, gate declaration order, buffer chains and the
+    NAND/NOR/XNOR spellings of the base operators.
+``preflight``
+    A ternary (0,1,X) abstract interpretation plus support and
+    observability analysis over a (spec, partial) pair that statically
+    discharges output cones, produces counterexamples for constant
+    mismatches, and reports unobservable Black Boxes.
+``cache``
+    A content-addressed on-disk store for check verdicts keyed by
+    (spec cone hash, impl cone hash, check level, budget class) —
+    "rung 0" of the check ladder.
+``rules``
+    The S-rule lint family (constant outputs, duplicate cones,
+    unobservable boxes) on top of the hashes, reported through
+    :mod:`repro.analysis.diagnostics`.
+
+See ``docs/static-analysis.md`` for a guided tour.
+"""
+
+from .cache import CACHE_VERSION, CheckCache, budget_class
+from .hashing import ConeHashes, cone_hashes, circuit_digest
+from .preflight import (STATUS_EQUIVALENT, STATUS_MISMATCH, STATUS_MITER,
+                        STATUS_OPEN, OutputVerdict, PreflightReport,
+                        preflight, restrict_to_outputs)
+from .rules import lint_static
+
+__all__ = [
+    "ConeHashes", "cone_hashes", "circuit_digest",
+    "OutputVerdict", "PreflightReport", "preflight",
+    "restrict_to_outputs",
+    "STATUS_EQUIVALENT", "STATUS_MISMATCH", "STATUS_MITER", "STATUS_OPEN",
+    "CheckCache", "budget_class", "CACHE_VERSION",
+    "lint_static",
+]

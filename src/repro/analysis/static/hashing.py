@@ -1,0 +1,234 @@
+"""Canonical cone hashing: content addresses for output cones.
+
+Every output cone of a :class:`~repro.circuit.netlist.Circuit` (or of a
+partial implementation's circuit plus its Black Boxes) is reduced
+bottom-up to a canonical term and hashed with SHA-256.  The reduction
+normalizes away exactly the differences that cannot change the cone's
+function:
+
+* **net renaming** — primary inputs are addressed by their position in
+  the declared input order, internal nets never appear in the hash;
+* **gate declaration order** — hashing walks data dependencies, not the
+  gate list;
+* **buffer chains** — ``BUF`` is the identity and ``NOT`` folds into a
+  polarity bit, so inserting buffers or double inverters is invisible;
+* **operator spelling** — terms are polarity-normalized over the base
+  operators ``AND`` and ``XOR``: ``NAND``/``NOR``/``XNOR`` become a
+  negation bit, and ``OR`` is rewritten by De Morgan
+  (``OR(a, b) = NOT(AND(NOT a, NOT b))``);
+* **commutative input order** — children of ``AND``/``XOR`` terms are
+  sorted by hash;
+* **constants** — ``CONST0``/``CONST1`` and controlling or cancelling
+  inputs fold (``AND(x, 0) = 0``, ``AND(x, NOT x) = 0``,
+  ``XOR(x, x) = 0``, duplicate ``AND`` inputs collapse, ...), so a
+  cone that is a constant function of its inputs *hashes as* that
+  constant.
+
+Black Box instances are opaque: the output ``k`` of box ``B`` hashes as
+``H("box", B.name, k, input cone hashes in pin order)``.  A complete
+(specification) cone therefore can only ever collide with a box-free
+implementation cone — which is exactly the situation in which hash
+equality is a sound equivalence certificate.
+
+Associativity is *not* normalized: ``AND(a, AND(b, c))`` and
+``AND(a, b, c)`` hash differently.  Hash equality implies functional
+equivalence (modulo SHA-256 collisions); inequality implies nothing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ...circuit.gates import GateType
+from ...circuit.netlist import Circuit
+from ...partial.blackbox import BlackBox
+
+__all__ = ["ConeHashes", "cone_hashes", "circuit_digest"]
+
+#: A canonical reference: (term digest, polarity bit).
+Ref = Tuple[str, bool]
+
+
+def _h(*parts: str) -> str:
+    return hashlib.sha256(
+        "\x1f".join(parts).encode("utf-8")).hexdigest()
+
+
+#: Digest of the constant-FALSE term; TRUE is its negation.
+_CONST = _h("const")
+
+
+def _serialize(ref: Ref) -> str:
+    digest, neg = ref
+    return digest + ("-" if neg else "+")
+
+
+def _and_ref(kids: Sequence[Ref], neg: bool) -> Ref:
+    """Canonical ``AND`` over ``kids``; ``neg`` makes it a ``NAND``."""
+    seen: Dict[str, bool] = {}
+    out: List[Ref] = []
+    for digest, n in kids:
+        if digest == _CONST:
+            if n:
+                continue            # AND(..., 1, ...) — neutral
+            return (_CONST, neg)    # AND(..., 0, ...) = 0
+        prev = seen.get(digest)
+        if prev is None:
+            seen[digest] = n
+            out.append((digest, n))
+        elif prev != n:
+            return (_CONST, neg)    # AND(..., x, NOT x, ...) = 0
+        # an exact duplicate child is simply dropped
+    if not out:
+        return (_CONST, not neg)    # empty AND = 1
+    if len(out) == 1:
+        digest, n = out[0]
+        return (digest, n != neg)
+    out.sort(key=lambda ref: (ref[0], ref[1]))
+    return (_h("and", *[_serialize(ref) for ref in out]), neg)
+
+
+def _xor_ref(kids: Sequence[Ref], neg: bool) -> Ref:
+    """Canonical ``XOR``; negated children and ``neg`` fold into the
+    output polarity, identical children cancel pairwise."""
+    counts: Dict[str, int] = {}
+    for digest, n in kids:
+        if n:
+            neg = not neg
+        if digest == _CONST:
+            continue                # XOR with 0 — neutral
+        counts[digest] = counts.get(digest, 0) + 1
+    live = sorted(d for d, c in counts.items() if c % 2)
+    if not live:
+        return (_CONST, neg)
+    if len(live) == 1:
+        return (live[0], neg)
+    return (_h("xor", *live), neg)
+
+
+def _gate_ref(gtype: GateType, kids: Sequence[Ref]) -> Ref:
+    if gtype is GateType.CONST0:
+        return (_CONST, False)
+    if gtype is GateType.CONST1:
+        return (_CONST, True)
+    if gtype is GateType.BUF:
+        return kids[0]
+    if gtype is GateType.NOT:
+        digest, neg = kids[0]
+        return (digest, not neg)
+    if gtype is GateType.AND:
+        return _and_ref(kids, neg=False)
+    if gtype is GateType.NAND:
+        return _and_ref(kids, neg=True)
+    if gtype in (GateType.OR, GateType.NOR):
+        # De Morgan: OR(a, b) = NOT(AND(NOT a, NOT b)).
+        inverted = [(digest, not neg) for digest, neg in kids]
+        digest, neg = _and_ref(inverted, neg=False)
+        return (digest, neg if gtype is GateType.NOR else not neg)
+    if gtype is GateType.XOR:
+        return _xor_ref(kids, neg=False)
+    if gtype is GateType.XNOR:
+        return _xor_ref(kids, neg=True)
+    raise ValueError("unknown gate type %r" % gtype)
+
+
+@dataclass(frozen=True)
+class ConeHashes:
+    """Cone hashes of one circuit interface, in output order.
+
+    ``constants[j]`` is the constant value of output ``j`` when its
+    cone *folded* to a constant during hashing (``None`` otherwise) —
+    a sound "is constant" certificate, never a guess.
+    """
+
+    outputs: Tuple[str, ...]
+    hashes: Tuple[str, ...]
+    constants: Tuple[Optional[bool], ...]
+    #: SHA-256 over the ordered cone hashes: one content address for
+    #: the whole interface.
+    digest: str
+
+    def hash_of(self, output: str) -> str:
+        """Cone hash of a named output (first occurrence)."""
+        return self.hashes[self.outputs.index(output)]
+
+    def by_output(self) -> Dict[str, str]:
+        """``{output net: cone hash}`` (last wins on duplicates)."""
+        return dict(zip(self.outputs, self.hashes))
+
+
+def cone_hashes(circuit: Circuit,
+                boxes: Sequence[BlackBox] = ()) -> ConeHashes:
+    """Canonical cone hash for every output of ``circuit``.
+
+    ``boxes`` supplies Black Box interfaces for free nets (pass
+    ``partial.boxes`` for a partial implementation).  Free nets *not*
+    claimed by a box hash by their name — the only construct whose
+    hash is rename-sensitive, since nothing else identifies it.
+    """
+    owner: Dict[str, Tuple[BlackBox, int]] = {}
+    for box in boxes:
+        for index, net in enumerate(box.outputs):
+            owner[net] = (box, index)
+
+    refs: Dict[str, Ref] = {}
+    for index, net in enumerate(circuit.inputs):
+        refs[net] = (_h("var", "%d" % index), False)
+
+    def children_of(net: str) -> Tuple[str, ...]:
+        entry = owner.get(net)
+        if entry is not None:
+            return entry[0].inputs
+        if circuit.drives(net):
+            return circuit.gate(net).inputs
+        return ()
+
+    def make_ref(net: str) -> Ref:
+        entry = owner.get(net)
+        if entry is not None:
+            box, index = entry
+            return (_h("box", box.name, "%d" % index,
+                       *[_serialize(refs[src]) for src in box.inputs]),
+                    False)
+        if circuit.drives(net):
+            gate = circuit.gate(net)
+            return _gate_ref(gate.gtype,
+                             [refs[src] for src in gate.inputs])
+        return (_h("free", net), False)
+
+    def ensure(net: str) -> None:
+        # Iterative post-order DFS: deep cones must not hit the
+        # recursion limit.  Cycle safety comes from the netlist/box
+        # validation the callers have already run.
+        stack = [(net, False)]
+        while stack:
+            current, expanded = stack.pop()
+            if current in refs:
+                continue
+            if expanded:
+                refs[current] = make_ref(current)
+            else:
+                stack.append((current, True))
+                for src in children_of(current):
+                    if src not in refs:
+                        stack.append((src, False))
+
+    hashes: List[str] = []
+    constants: List[Optional[bool]] = []
+    for net in circuit.outputs:
+        ensure(net)
+        digest, neg = refs[net]
+        hashes.append(_h("cone", _serialize((digest, neg))))
+        constants.append(neg if digest == _CONST else None)
+    return ConeHashes(outputs=tuple(circuit.outputs),
+                      hashes=tuple(hashes),
+                      constants=tuple(constants),
+                      digest=_h("interface", *hashes))
+
+
+def circuit_digest(circuit: Circuit,
+                   boxes: Sequence[BlackBox] = ()) -> str:
+    """One content address for a whole circuit interface."""
+    return cone_hashes(circuit, boxes).digest

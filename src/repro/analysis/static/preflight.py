@@ -1,0 +1,333 @@
+"""Static preflight: decide or shrink checks before any BDD exists.
+
+The preflight combines three cheap structural analyses over a
+(specification, partial implementation) pair:
+
+1. **Canonical cone hashing** (:mod:`.hashing`) — a box-free
+   implementation cone with the same hash as its specification cone is
+   functionally identical, so the output is *discharged*: every check
+   of the ladder would accept it, under every Black Box substitution.
+2. **Ternary abstract interpretation** — 0,1,X constant propagation
+   with every primary input and every Black Box output set to ``X``
+   (:func:`repro.sim.ternary.simulate_ternary`).  An output that is
+   definite under all-``X`` inputs is a constant function; two definite
+   constants that differ are a counterexample valid for *every* box
+   substitution and *every* input vector.
+3. **Support/observability analysis** — which primary inputs and which
+   Black Boxes each implementation cone depends on.  An output whose
+   cone reaches no box is independent of the unknowns (``X``-free):
+   when its hash still differs from the spec's, a plain miter — the
+   cheap symbolic 0,1,X rung — decides it exactly.  A box reached by
+   no output cone is *unobservable*: it cannot influence any verdict.
+
+Per output the verdict is one of:
+
+``equivalent``
+    statically discharged (hash-equal box-free cone, or equal
+    constants); sound to drop from every check.
+``mismatch``
+    both cones are definite constants and they differ; the report
+    carries a concrete counterexample (any input vector works).
+``miter``
+    the cone is box-free but hashes differently; route it to the
+    cheap miter instead of the expensive exact rungs.
+``open``
+    the cone depends on at least one Black Box; the ladder must
+    decide it.
+
+All of this is linear-ish in circuit size and never builds a BDD.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ...circuit.netlist import Circuit
+from ...partial.blackbox import BlackBox, PartialImplementation
+from ...sim.logic3 import ONE, X, ZERO
+from ...sim.ternary import simulate_ternary
+from .hashing import ConeHashes, cone_hashes
+
+__all__ = ["STATUS_EQUIVALENT", "STATUS_MISMATCH", "STATUS_MITER",
+           "STATUS_OPEN", "OutputVerdict", "PreflightReport",
+           "preflight", "restrict_to_outputs"]
+
+STATUS_EQUIVALENT = "equivalent"
+STATUS_MISMATCH = "mismatch"
+STATUS_MITER = "miter"
+STATUS_OPEN = "open"
+
+
+@dataclass(frozen=True)
+class OutputVerdict:
+    """Static classification of one output position."""
+
+    index: int
+    spec_output: str
+    impl_output: str
+    status: str
+    reason: str
+    spec_hash: str
+    impl_hash: str
+    #: Constant value of the cone when statically certain, else None.
+    spec_constant: Optional[bool]
+    impl_constant: Optional[bool]
+    #: Primary inputs the implementation cone depends on.
+    support: Tuple[str, ...]
+    #: Black Boxes the implementation cone depends on.
+    boxes: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class PreflightReport:
+    """Everything the preflight learned about one (spec, partial) pair."""
+
+    spec_hashes: ConeHashes
+    impl_hashes: ConeHashes
+    verdicts: Tuple[OutputVerdict, ...]
+    #: Boxes no output cone depends on: they cannot influence any
+    #: verdict (reported as lint rule S003 by :mod:`.rules`).
+    unobservable_boxes: Tuple[str, ...]
+    #: Concrete witness for the first ``mismatch`` verdict (any input
+    #: vector works for a constant mismatch; this one is all-False).
+    counterexample: Optional[Dict[str, bool]]
+    failing_output: Optional[str]
+    seconds: float
+
+    @property
+    def mismatch(self) -> Optional[OutputVerdict]:
+        """The first statically-proven error, if any."""
+        for verdict in self.verdicts:
+            if verdict.status == STATUS_MISMATCH:
+                return verdict
+        return None
+
+    @property
+    def discharged(self) -> Tuple[int, ...]:
+        """Indices of statically discharged (equivalent) outputs."""
+        return tuple(v.index for v in self.verdicts
+                     if v.status == STATUS_EQUIVALENT)
+
+    @property
+    def open_indices(self) -> Tuple[int, ...]:
+        """Indices the ladder still has to decide (incl. miter routes)."""
+        return tuple(v.index for v in self.verdicts
+                     if v.status in (STATUS_MITER, STATUS_OPEN))
+
+    @property
+    def miter_indices(self) -> Tuple[int, ...]:
+        """Box-free outputs a plain miter decides exactly."""
+        return tuple(v.index for v in self.verdicts
+                     if v.status == STATUS_MITER)
+
+    @property
+    def all_discharged(self) -> bool:
+        """True when every output is statically equivalent."""
+        return all(v.status == STATUS_EQUIVALENT for v in self.verdicts)
+
+    @property
+    def box_free(self) -> bool:
+        """True when no output cone depends on any Black Box: the
+        symbolic 0,1,X rung is then an exact miter for the pair."""
+        return all(not v.boxes for v in self.verdicts)
+
+    def summary(self) -> Dict[str, int]:
+        """Counters for stats/obs annotations."""
+        return {
+            "outputs": len(self.verdicts),
+            "discharged": len(self.discharged),
+            "mismatches": sum(1 for v in self.verdicts
+                              if v.status == STATUS_MISMATCH),
+            "miter_routed": len(self.miter_indices),
+            "open": sum(1 for v in self.verdicts
+                        if v.status == STATUS_OPEN),
+            "unobservable_boxes": len(self.unobservable_boxes),
+        }
+
+
+def _reach(circuit: Circuit, owner: Dict[str, BlackBox],
+           root: str) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
+    """(primary inputs, box names) the cone of ``root`` depends on.
+
+    Walks *through* Black Boxes: a box output's dependencies are the
+    box's inputs, so box-to-box wiring is followed transitively.
+    """
+    support: Set[str] = set()
+    boxes: Set[str] = set()
+    seen: Set[str] = set()
+    stack = [root]
+    while stack:
+        net = stack.pop()
+        if net in seen:
+            continue
+        seen.add(net)
+        if circuit.is_input(net):
+            support.add(net)
+            continue
+        box = owner.get(net)
+        if box is not None:
+            boxes.add(box.name)
+            stack.extend(box.inputs)
+        elif circuit.drives(net):
+            stack.extend(circuit.gate(net).inputs)
+        # an unowned free net has no dependencies
+    return tuple(sorted(support)), tuple(sorted(boxes))
+
+
+def _ternary_constant(value: int) -> Optional[bool]:
+    if value == ZERO:
+        return False
+    if value == ONE:
+        return True
+    return None
+
+
+def preflight(spec: Circuit, partial: PartialImplementation,
+              spec_hashes: Optional[ConeHashes] = None,
+              impl_hashes: Optional[ConeHashes] = None)\
+        -> PreflightReport:
+    """Statically classify every output of a (spec, partial) pair.
+
+    ``spec_hashes``/``impl_hashes`` accept precomputed
+    :func:`~repro.analysis.static.hashing.cone_hashes` results so
+    callers that already hashed the pair (the check cache) don't pay
+    twice.
+    """
+    started = time.perf_counter()
+    partial.validate_against(spec)
+    impl = partial.circuit
+    if spec_hashes is None:
+        spec_hashes = cone_hashes(spec)
+    if impl_hashes is None:
+        impl_hashes = cone_hashes(impl, partial.boxes)
+
+    # Ternary abstract interpretation: all inputs X, all boxes X.  The
+    # hash-level constant folding subsumes these constants (it also
+    # catches e.g. AND(x, NOT x)); the ternary pass is the independent
+    # semantic engine the fold is cross-checked against in the tests.
+    all_x = {net: X for net in spec.inputs}
+    spec3 = simulate_ternary(spec, all_x)
+    impl3 = simulate_ternary(impl, dict(all_x))
+
+    owner: Dict[str, BlackBox] = {}
+    for box in partial.boxes:
+        for net in box.outputs:
+            owner[net] = box
+
+    verdicts: List[OutputVerdict] = []
+    observed: Set[str] = set()
+    counterexample: Optional[Dict[str, bool]] = None
+    failing_output: Optional[str] = None
+    for index, impl_out in enumerate(impl.outputs):
+        spec_out = spec.outputs[index]
+        spec_hash = spec_hashes.hashes[index]
+        impl_hash = impl_hashes.hashes[index]
+        spec_const = spec_hashes.constants[index]
+        if spec_const is None:
+            spec_const = _ternary_constant(spec3[spec_out])
+        impl_const = impl_hashes.constants[index]
+        if impl_const is None:
+            impl_const = _ternary_constant(impl3[impl_out])
+        support, boxes = _reach(impl, owner, impl_out)
+        observed.update(boxes)
+
+        if impl_hash == spec_hash:
+            status, reason = STATUS_EQUIVALENT, (
+                "constant %d cone" % impl_const
+                if impl_const is not None else "hash-equal cone")
+        elif spec_const is not None and impl_const is not None:
+            if spec_const == impl_const:
+                status, reason = STATUS_EQUIVALENT, (
+                    "both cones constant %d" % spec_const)
+            else:
+                status, reason = STATUS_MISMATCH, (
+                    "implementation is constant %d, specification "
+                    "constant %d — every input vector and every box "
+                    "substitution exposes the error"
+                    % (impl_const, spec_const))
+                if counterexample is None:
+                    counterexample = {net: False for net in spec.inputs}
+                    failing_output = spec_out
+        elif not boxes:
+            status, reason = STATUS_MITER, (
+                "cone is independent of every Black Box but differs "
+                "structurally; a plain miter decides it exactly")
+        else:
+            status, reason = STATUS_OPEN, (
+                "cone depends on %s" % ", ".join(boxes))
+        verdicts.append(OutputVerdict(
+            index=index, spec_output=spec_out, impl_output=impl_out,
+            status=status, reason=reason,
+            spec_hash=spec_hash, impl_hash=impl_hash,
+            spec_constant=spec_const, impl_constant=impl_const,
+            support=support, boxes=boxes))
+
+    unobservable = tuple(box.name for box in partial.boxes
+                         if box.name not in observed)
+    return PreflightReport(
+        spec_hashes=spec_hashes, impl_hashes=impl_hashes,
+        verdicts=tuple(verdicts), unobservable_boxes=unobservable,
+        counterexample=counterexample, failing_output=failing_output,
+        seconds=time.perf_counter() - started)
+
+
+def restrict_to_outputs(spec: Circuit, partial: PartialImplementation,
+                        keep: Sequence[int])\
+        -> Tuple[Circuit, PartialImplementation]:
+    """The (spec, partial) pair restricted to the output positions in
+    ``keep`` — the undecided outputs after a partial discharge.
+
+    Both circuits keep the **full primary-input interface**, so
+    counterexamples found on the restricted pair remain total
+    assignments of the original inputs, and
+    ``validate_against`` keeps holding.  Boxes whose outputs feed no
+    kept cone are dropped (they are unobservable in the restricted
+    pair); gates are kept exactly when a kept cone or a kept box input
+    needs them.
+    """
+    keep = sorted(set(keep))
+    impl = partial.circuit
+
+    spec_roots = [spec.outputs[j] for j in keep]
+    spec_live = spec.cone(spec_roots)
+    spec_r = Circuit(spec.name + "_open")
+    spec_r.add_inputs(spec.inputs)
+    for gate in spec.gates:
+        if gate.output in spec_live:
+            spec_r.add_gate(gate.output, gate.gtype, gate.inputs)
+    spec_r.add_outputs(spec_roots)
+    spec_r.validate()
+
+    owner: Dict[str, BlackBox] = {}
+    for box in partial.boxes:
+        for net in box.outputs:
+            owner[net] = box
+    impl_roots = [impl.outputs[j] for j in keep]
+    live: Set[str] = set()
+    kept_boxes: List[BlackBox] = []
+    kept_names: Set[str] = set()
+    stack = list(impl_roots)
+    while stack:
+        net = stack.pop()
+        if net in live:
+            continue
+        live.add(net)
+        box = owner.get(net)
+        if box is not None:
+            if box.name not in kept_names:
+                kept_names.add(box.name)
+                kept_boxes.append(box)
+            stack.extend(box.inputs)
+        elif impl.drives(net):
+            stack.extend(impl.gate(net).inputs)
+
+    impl_r = Circuit(impl.name + "_open")
+    impl_r.add_inputs(impl.inputs)
+    for gate in impl.gates:
+        if gate.output in live:
+            impl_r.add_gate(gate.output, gate.gtype, gate.inputs)
+    impl_r.add_outputs(impl_roots)
+    ordered = [box for box in partial.boxes if box.name in kept_names]
+    return spec_r, PartialImplementation(impl_r, ordered)

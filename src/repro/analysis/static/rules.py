@@ -1,0 +1,94 @@
+"""The S-rule lint family: findings from the static cone analysis.
+
+These rules need the canonical cone hashes (and, for partial
+implementations, the box observability analysis), so they live here
+rather than in :mod:`repro.analysis.lint`; they report through the
+same :mod:`repro.analysis.diagnostics` machinery and are documented in
+the rule catalog (``docs/linting.md``).  They are opt-in — plain
+``lint_circuit``/``lint_partial`` and the diagnostics the check ladder
+attaches are unchanged — via :func:`lint_static`, the ``--static``
+flag of the lint CLI, or the static-analysis CI job.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Union
+
+from ...circuit.netlist import Circuit
+from ...partial.blackbox import BlackBox, PartialImplementation
+from ..diagnostics import LintReport
+from .hashing import cone_hashes
+from .preflight import _reach
+
+__all__ = ["lint_static"]
+
+
+def lint_static(target: Union[Circuit, PartialImplementation],
+                boxes: Sequence[BlackBox] = (),
+                file: Optional[str] = None) -> LintReport:
+    """Static-analysis lint pass over a circuit or partial.
+
+    Emits the S-rule family:
+
+    * ``S001`` *constant-output* — a primary output whose cone folds
+      to a constant (suspicious in a specification, and it makes every
+      check against it trivial).
+    * ``S002`` *duplicate-output-cone* — two primary outputs with the
+      same canonical cone hash compute the same function.
+    * ``S003`` *unobservable-box* — a Black Box none of whose outputs
+      reaches any primary output cone: it cannot influence any
+      verdict, so checking proves nothing about it.
+    """
+    if isinstance(target, PartialImplementation):
+        circuit = target.circuit
+        boxes = target.boxes
+    else:
+        circuit = target
+    report = LintReport()
+    hashes = cone_hashes(circuit, boxes)
+
+    seen_const: Set[str] = set()
+    for net, constant in zip(hashes.outputs, hashes.constants):
+        if constant is None or net in seen_const:
+            continue
+        seen_const.add(net)
+        report.add("constant-output",
+                   "primary output %r is constant %d" % (net, constant),
+                   nets=[net],
+                   hint="a constant output makes every equivalence "
+                        "check against it trivial; check the cone's "
+                        "logic", file=file)
+
+    groups: Dict[str, List[str]] = {}
+    for net, digest in zip(hashes.outputs, hashes.hashes):
+        group = groups.setdefault(digest, [])
+        if net not in group:
+            group.append(net)
+    for nets in groups.values():
+        if len(nets) > 1:
+            report.add("duplicate-output-cone",
+                       "outputs %s have structurally identical cones"
+                       % ", ".join(repr(n) for n in nets),
+                       nets=nets,
+                       hint="they compute the same function; one cone "
+                            "(or the duplication) may be unintended",
+                       file=file)
+
+    if boxes:
+        owner: Dict[str, BlackBox] = {}
+        for box in boxes:
+            for net in box.outputs:
+                owner[net] = box
+        observed: Set[str] = set()
+        for net in circuit.outputs:
+            observed.update(_reach(circuit, owner, net)[1])
+        for box in boxes:
+            if box.name not in observed:
+                report.add("unobservable-box",
+                           "no output of Black Box %r reaches a "
+                           "primary output" % box.name,
+                           nets=list(box.outputs),
+                           hint="the box cannot influence any check "
+                                "verdict; its cone is dead logic",
+                           file=file)
+    return report

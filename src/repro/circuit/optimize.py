@@ -171,8 +171,11 @@ def merge_duplicates(circuit: Circuit,
                      name: Optional[str] = None) -> Circuit:
     """Structural hashing: merge gates with identical type and inputs.
 
-    Commutative gate inputs are sorted for matching.  Output nets are
-    preserved via buffers when their driver merges away.
+    Commutative gate inputs are sorted for matching, and buffers are
+    resolved to their sources first, so gates that differ only through
+    a BUF chain (``AND(a, b)`` vs ``AND(buf_of_a, b)``) merge too.
+    Output nets are preserved via buffers when their driver merges (or
+    elides) away.
     """
     result = Circuit(name or circuit.name)
     result.add_inputs(circuit.inputs)
@@ -189,6 +192,11 @@ def merge_duplicates(circuit: Circuit,
     for net in circuit.topological_order():
         gate = circuit.gate(net)
         ins = tuple(resolve(src) for src in gate.inputs)
+        if gate.gtype is GateType.BUF:
+            # A buffer is the identity: point every reader straight at
+            # the source, so duplicates behind buffer chains merge.
+            replacement[net] = ins[0]
+            continue
         if gate.gtype in (GateType.AND, GateType.OR, GateType.NAND,
                           GateType.NOR, GateType.XOR, GateType.XNOR):
             key = (gate.gtype, tuple(sorted(ins)))

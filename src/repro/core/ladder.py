@@ -21,7 +21,7 @@ from .input_exact import input_exact_from_context
 from .local_check import local_check_from_context
 from .output_exact import output_exact_from_context
 from .random_pattern import check_random_patterns
-from .result import CheckResult
+from .result import OUTCOME_OK, CheckResult
 from .symbolic01x import check_symbolic_01x
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -41,7 +41,9 @@ def run_ladder(spec: Circuit, partial: PartialImplementation,
                stop_at_first_error: bool = True,
                lint: bool = True,
                budget: "Optional[Budget]" = None,
-               bdd=None) -> List[CheckResult]:
+               bdd=None,
+               preflight: bool = False,
+               cache=None) -> List[CheckResult]:
     """Run the selected checks in ladder order; returns all results.
 
     The Z_i-based rungs share one symbolic context (spec and impl BDDs
@@ -72,6 +74,24 @@ def run_ladder(spec: Circuit, partial: PartialImplementation,
     shared manager contributes GC/reorder/budget events.  Tracing
     never changes verdicts, node ids or stats — see
     ``docs/observability.md``.
+
+    ``preflight=True`` runs the static analysis of
+    :mod:`repro.analysis.static` first (no BDD involved): a statically
+    proven constant mismatch returns a single ``"preflight"`` result
+    with a counterexample; a pair whose output cones are all
+    discharged returns a single exact ``"preflight"`` OK without
+    constructing any BDD; a partial discharge restricts the pair to
+    the undecided outputs before the rungs run (verdicts are
+    unchanged — discharged cones cannot disagree on any rung), and a
+    statically box-free pair stops after the symbolic 0,1,X rung,
+    whose miter verdict is then exact.
+
+    ``cache`` (a :class:`repro.analysis.static.CheckCache` or a
+    directory path) consults the content-addressed check cache as
+    "rung 0": a rung whose (spec hash, impl hash, check, budget
+    class) verdict is stored replays it exactly instead of running;
+    completed authoritative rungs are stored back.  See
+    ``docs/static-analysis.md``.
     """
     unknown = set(checks) - set(CHECK_ORDER)
     if unknown:
@@ -84,6 +104,58 @@ def run_ladder(spec: Circuit, partial: PartialImplementation,
     ordered = [c for c in CHECK_ORDER if c in checks]
     results: List[CheckResult] = []
     ctx = None
+    tracer = get_tracer()
+
+    # --- rung 0: static analysis (hashes, preflight, check cache) ---
+    report = None
+    static_stats: dict = {}
+    spec_digest = impl_digest = None
+    run_spec, run_partial = spec, partial
+    if cache is not None and not hasattr(cache, "key"):
+        from ..analysis.static.cache import CheckCache
+
+        cache = CheckCache(str(cache))
+    if preflight or cache is not None:
+        from ..analysis.static.hashing import cone_hashes
+
+        spec_hashes = cone_hashes(spec)
+        impl_hashes = cone_hashes(partial.circuit, partial.boxes)
+        spec_digest = spec_hashes.digest
+        impl_digest = impl_hashes.digest
+    if preflight:
+        from ..analysis.static.preflight import (preflight as
+                                                 static_preflight,
+                                                 restrict_to_outputs)
+
+        span = None if tracer is None else tracer.span("preflight")
+        report = static_preflight(spec, partial, spec_hashes,
+                                  impl_hashes)
+        if span is not None:
+            span.done(**report.summary())
+        static_stats = {"static_" + k: v
+                        for k, v in report.summary().items()}
+        mismatch = report.mismatch
+        if mismatch is not None or report.all_discharged:
+            if mismatch is not None:
+                result = CheckResult(
+                    check="preflight", error_found=True,
+                    counterexample=report.counterexample,
+                    failing_output=report.failing_output,
+                    detail="static preflight: %s" % mismatch.reason,
+                    seconds=report.seconds)
+            else:
+                result = CheckResult(
+                    check="preflight", error_found=False, exact=True,
+                    detail="static preflight: all %d output cones "
+                           "discharged" % len(report.verdicts),
+                    seconds=report.seconds)
+            result.stats.update(static_stats)
+            result.diagnostics = list(diagnostics)
+            return [result]
+        if report.discharged:
+            run_spec, run_partial = restrict_to_outputs(
+                spec, partial, report.open_indices)
+
     if bdd is None:
         bdd = default_bdd()
     if budget is not None:
@@ -97,7 +169,6 @@ def run_ladder(spec: Circuit, partial: PartialImplementation,
     # counter accounting is a snapshot delta taken inside the span
     # enter/exit — deltas stay exact however many rungs (or ladders)
     # share the manager.
-    tracer = get_tracer()
     previous_tracer = None
     ladder_span = None
     if tracer is not None:
@@ -107,19 +178,45 @@ def run_ladder(spec: Circuit, partial: PartialImplementation,
                                   circuit=spec.name)
     try:
         for name in ordered:
+            cache_key = None
+            if cache is not None:
+                cache_key = cache.key(
+                    spec_digest, impl_digest, name,
+                    budget=_budget_class(budget),
+                    patterns=patterns if name == "random_pattern"
+                    else None,
+                    seed=seed if name == "random_pattern" else None,
+                    variant="preflight" if report is not None else "")
+                payload = cache.get(cache_key)
+                if tracer is not None:
+                    tracer.instant("check_cache", check=name,
+                                   hit=payload is not None)
+                if payload is not None:
+                    result = _result_from_payload(name, payload)
+                    result.stats["check_cache"] = "hit"
+                    result.diagnostics = list(diagnostics)
+                    results.append(result)
+                    if result.error_found and stop_at_first_error:
+                        break
+                    if report is not None and result.exact \
+                            and not result.error_found:
+                        break
+                    continue
             span = None if tracer is None \
                 else tracer.span("rung:%s" % name)
             before = ManagerSnapshot.capture(bdd)
             try:
                 if name == "random_pattern":
                     result = check_random_patterns(
-                        spec, partial, patterns=patterns, seed=seed,
-                        budget=budget)
+                        run_spec, run_partial, patterns=patterns,
+                        seed=seed, budget=budget)
                 elif name == "symbolic_01x":
-                    result = check_symbolic_01x(spec, partial, bdd)
+                    result = check_symbolic_01x(run_spec, run_partial,
+                                                bdd)
                 else:
                     if ctx is None:
-                        ctx = prepare_context(spec, partial, bdd)
+                        ctx = prepare_context(run_spec, run_partial,
+                                              bdd)
                     if name == "local":
                         result = local_check_from_context(ctx)
                     elif name == "output_exact":
@@ -135,10 +232,27 @@ def run_ladder(spec: Circuit, partial: PartialImplementation,
                 result.diagnostics = list(diagnostics)
                 results.append(result)
                 break
+            if (report is not None and name == "symbolic_01x"
+                    and report.box_free and not result.error_found
+                    and result.outcome == OUTCOME_OK):
+                # The pair is statically box-free: the 0,1,X rung was a
+                # plain miter and its verdict is exact — the pricier
+                # rungs cannot add anything.
+                result.exact = True
+                result.detail = ((result.detail + "; ")
+                                 if result.detail else "") + \
+                    "statically box-free pair: miter verdict is exact"
+            if static_stats:
+                result.stats.update(static_stats)
             _close_rung(result, before, bdd, span)
             result.diagnostics = list(diagnostics)
             results.append(result)
+            if cache is not None and result.outcome == OUTCOME_OK:
+                cache.put(cache_key, _result_payload(result))
             if result.error_found and stop_at_first_error:
+                break
+            if report is not None and result.exact \
+                    and not result.error_found:
                 break
     finally:
         if tracer is not None:
@@ -146,6 +260,53 @@ def run_ladder(spec: Circuit, partial: PartialImplementation,
                 ladder_span.done(rungs=len(results))
             bdd.set_tracer(previous_tracer)
     return results
+
+
+def _budget_class(budget) -> str:
+    """Canonical budget-class string for cache keys (see
+    :func:`repro.analysis.static.cache.budget_class`)."""
+    from ..analysis.static.cache import budget_class
+
+    if budget is None:
+        return budget_class()
+    return budget_class(getattr(budget, "max_live_nodes", None),
+                        getattr(budget, "wall_seconds", None))
+
+
+def _result_payload(result: CheckResult) -> dict:
+    """JSON-safe dict of everything a replayed verdict must restore.
+
+    ``seconds`` and the manager counters in ``stats`` are stored too:
+    a cache hit replays the original measurement exactly, which is
+    what makes warm-run aggregation byte-identical to the cold run.
+    ``diagnostics`` are not stored — the ladder re-lints the model it
+    was actually handed.
+    """
+    return {"error_found": result.error_found,
+            "exact": result.exact,
+            "counterexample": result.counterexample,
+            "failing_output": result.failing_output,
+            "detail": result.detail,
+            "seconds": result.seconds,
+            "outcome": result.outcome,
+            "stats": dict(result.stats)}
+
+
+def _result_from_payload(check: str, payload: dict) -> CheckResult:
+    counterexample = payload.get("counterexample")
+    if counterexample is not None:
+        counterexample = {str(net): bool(bit)
+                          for net, bit in counterexample.items()}
+    return CheckResult(
+        check=check,
+        error_found=bool(payload["error_found"]),
+        exact=bool(payload.get("exact", False)),
+        counterexample=counterexample,
+        failing_output=payload.get("failing_output"),
+        detail=payload.get("detail", ""),
+        seconds=float(payload.get("seconds", 0.0)),
+        outcome=payload.get("outcome", OUTCOME_OK),
+        stats=dict(payload.get("stats", {})))
 
 
 def _close_rung(result: CheckResult, before: ManagerSnapshot, bdd,

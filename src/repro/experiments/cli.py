@@ -147,6 +147,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="max live BDD nodes per check; an "
                              "overrunning check degrades to "
                              "INCONCLUSIVE with per-level stats")
+    parser.add_argument("--preflight", action="store_true",
+                        help="run the static cone-hash/ternary "
+                             "preflight before each case's checks; "
+                             "statically decided cases never build a "
+                             "BDD (see docs/static-analysis.md)")
+    parser.add_argument("--check-cache", metavar="DIR", default=None,
+                        help="content-addressed check-verdict cache "
+                             "directory; verdicts already proven for "
+                             "an identical (spec, impl, check, budget) "
+                             "are replayed byte-identically instead of "
+                             "re-running")
     parser.add_argument("--journal", metavar="FILE", default=None,
                         help="append per-case results to a JSONL "
                              "checkpoint as they complete")
@@ -253,10 +264,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             parser.error("unknown benchmarks: %s" % ", ".join(unknown))
         overrides["benchmarks"] = names
     for attr in ("selections", "errors", "patterns", "node_limit",
-                 "soft_timeout"):
+                 "soft_timeout", "check_cache"):
         value = getattr(args, attr)
         if value is not None:
             overrides[attr] = value
+    if args.preflight:
+        overrides["preflight"] = True
     if args.paper_scale:
         config = ExperimentConfig.paper_scale(**overrides)
     else:

@@ -32,6 +32,14 @@ def rows_to_dict(rows: Sequence[BenchmarkRow],
                 "strongest_detected": row.strongest_detected,
                 "strongest_valid": row.strongest_valid,
             }
+        cache_hits = sum(row.check_cache_hits.values())
+        if cache_hits or row.discharged_outputs:
+            entry["static"] = {
+                "check_cache_hits": {
+                    check: hits for check, hits
+                    in row.check_cache_hits.items() if hits},
+                "discharged_outputs": row.discharged_outputs,
+            }
         for check in row.detected:
             valid = row.valid.get(check, row.cases)
             record = {

@@ -71,6 +71,12 @@ class ExperimentConfig:
     #: instead of running away or being SIGKILLed.
     node_limit: Optional[int] = None
     soft_timeout: Optional[float] = None
+    #: Static analysis (see :mod:`repro.analysis.static` and
+    #: ``docs/static-analysis.md``): run the cone-hash/ternary
+    #: preflight before each case's checks, and/or replay verdicts
+    #: from a content-addressed check cache rooted at ``check_cache``.
+    preflight: bool = False
+    check_cache: Optional[str] = None
 
     @classmethod
     def paper_scale(cls, **overrides) -> "ExperimentConfig":
@@ -127,6 +133,12 @@ class BenchmarkRow:
     #: (denominator) — the best-effort detection the tables footnote
     strongest_detected: int = 0
     strongest_valid: int = 0
+    #: verdicts replayed from the content-addressed check cache, per
+    #: check (the replayed numbers are byte-identical to an execution,
+    #: so these cases also count in ``valid`` and the averages)
+    check_cache_hits: Dict[str, int] = field(default_factory=dict)
+    #: output cones the static preflight discharged, summed over cases
+    discharged_outputs: int = 0
     #: total wall-clock spent on this row's cases
     wall_seconds: float = 0.0
 

@@ -33,10 +33,13 @@ def average_row(rows: Sequence[BenchmarkRow]) -> BenchmarkRow:
             row.check_errors.get(check, 0) for row in rows)
         avg.inconclusive[check] = sum(
             row.inconclusive.get(check, 0) for row in rows)
+        avg.check_cache_hits[check] = sum(
+            row.check_cache_hits.get(check, 0) for row in rows)
         # Encode the average ratio via detected/cases = ratio/100.
         avg.detected[check] = sum(ratios) / len(ratios)
     avg.strongest_detected = sum(row.strongest_detected for row in rows)
     avg.strongest_valid = sum(row.strongest_valid for row in rows)
+    avg.discharged_outputs = sum(row.discharged_outputs for row in rows)
     avg.wall_seconds = sum(row.wall_seconds for row in rows)
     avg.cases = 100  # so detection_ratio() returns the mean percentage
     # avg.valid stays empty so detection_ratio falls back to cases.
@@ -116,6 +119,13 @@ def format_table(rows: Sequence[BenchmarkRow], title: str,
         lines.append("degraded checks (excluded from detection "
                      "denominators and node/time averages):")
         lines.extend(footnotes)
+    cache_hits = sum(sum(row.check_cache_hits.values())
+                     for row in rows)
+    discharged = sum(row.discharged_outputs for row in rows)
+    if cache_hits or discharged:
+        lines.append("static analysis: %d check-cache hit(s), %d "
+                     "output cone(s) statically discharged"
+                     % (cache_hits, discharged))
     return "\n".join(lines)
 
 

@@ -85,6 +85,7 @@ def row_from_records(name: str, records: Sequence[CaseRecord],
         row.timeouts[check] = 0
         row.check_errors[check] = 0
         row.inconclusive[check] = 0
+        row.check_cache_hits[check] = 0
         seconds_seen[check] = []
     for record in sort_records(records):
         row.cases += 1
@@ -93,6 +94,8 @@ def row_from_records(name: str, records: Sequence[CaseRecord],
             row.inputs = record.inputs
             row.outputs = record.outputs
             row.spec_nodes = record.spec_nodes
+        if record.discharged is not None:
+            row.discharged_outputs += record.discharged
         if record.outcome == OUTCOME_INCONCLUSIVE:
             # Best-effort fold: the strongest completed check's verdict
             # for a budget-degraded case (mirrored into every
@@ -118,6 +121,7 @@ def row_from_records(name: str, records: Sequence[CaseRecord],
                 row.check_errors[check] += 1
             else:
                 row.valid[check] += 1
+                row.check_cache_hits[check] += int(outcome.cached)
                 row.detected[check] += int(outcome.error_found)
                 row.impl_nodes[check] += outcome.impl_nodes
                 row.peak_nodes[check] += outcome.peak_nodes

@@ -82,9 +82,14 @@ class CheckOutcome:
     reorders: int = 0
     gc_runs: int = 0
     detail: str = ""
+    #: True when the verdict was replayed from the content-addressed
+    #: check cache (:mod:`repro.analysis.static.cache`) instead of
+    #: executed.  Serialised only when set, so journals written without
+    #: a cache stay byte-identical to pre-cache ones.
+    cached: bool = False
 
     def to_dict(self) -> Dict:
-        return {"outcome": self.outcome,
+        data = {"outcome": self.outcome,
                 "error_found": self.error_found,
                 "seconds": self.seconds,
                 "impl_nodes": self.impl_nodes,
@@ -95,6 +100,9 @@ class CheckOutcome:
                 "reorders": self.reorders,
                 "gc_runs": self.gc_runs,
                 "detail": self.detail}
+        if self.cached:
+            data["cached"] = True
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict) -> "CheckOutcome":
@@ -108,7 +116,8 @@ class CheckOutcome:
                    cache_evictions=int(data.get("cache_evictions", 0)),
                    reorders=int(data.get("reorders", 0)),
                    gc_runs=int(data.get("gc_runs", 0)),
-                   detail=data.get("detail", ""))
+                   detail=data.get("detail", ""),
+                   cached=bool(data.get("cached", False)))
 
 
 @dataclass
@@ -125,9 +134,14 @@ class CaseRecord:
     outputs: int = 0
     spec_nodes: int = 0
     mutation: str = ""
+    #: Number of output cones the static preflight discharged for this
+    #: case (``None`` when the preflight did not run — distinguishes
+    #: "preflight found nothing" from "no preflight", and keeps
+    #: journals without ``--preflight`` byte-identical to old ones).
+    discharged: Optional[int] = None
 
     def to_dict(self) -> Dict:
-        return {
+        data = {
             "v": JOURNAL_VERSION,
             "case": self.case.to_dict(),
             "outcome": self.outcome,
@@ -140,6 +154,9 @@ class CaseRecord:
             "checks": {name: out.to_dict()
                        for name, out in self.checks.items()},
         }
+        if self.discharged is not None:
+            data["discharged"] = self.discharged
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict) -> "CaseRecord":
@@ -157,6 +174,8 @@ class CaseRecord:
             outputs=int(spec_meta.get("outputs", 0)),
             spec_nodes=int(spec_meta.get("nodes", 0)),
             mutation=data.get("mutation", ""),
+            discharged=int(data["discharged"])
+            if data.get("discharged") is not None else None,
             checks={name: CheckOutcome.from_dict(out)
                     for name, out in data.get("checks", {}).items()})
 

@@ -67,6 +67,14 @@ class CaseSpec:
     #: ``None`` disables the respective limit.
     node_limit: Optional[int] = None
     soft_timeout: Optional[float] = None
+    #: Static analysis (see :mod:`repro.analysis.static`): run the
+    #: ternary/cone-hash preflight before the checks, and/or consult a
+    #: content-addressed verdict cache rooted at ``check_cache``.  The
+    #: preflight changes which checks execute (it is part of the case
+    #: key); the cache only changes where verdicts come from, never
+    #: what they are, so it is excluded from the key.
+    preflight: bool = False
+    check_cache: Optional[str] = None
 
     @property
     def partial_seed(self) -> int:
@@ -93,7 +101,7 @@ class CaseSpec:
                 repr(self.fraction), self.num_boxes, self.patterns,
                 self.seed, self.checks, self.node_limit,
                 repr(self.soft_timeout) if self.soft_timeout is not None
-                else None)
+                else None, self.preflight)
 
     def describe(self) -> str:
         """Short human-readable coordinate for progress lines."""
@@ -117,6 +125,10 @@ class CaseSpec:
             data["node_limit"] = self.node_limit
         if self.soft_timeout is not None:
             data["soft_timeout"] = self.soft_timeout
+        if self.preflight:
+            data["preflight"] = True
+        if self.check_cache is not None:
+            data["check_cache"] = self.check_cache
         return data
 
     @classmethod
@@ -134,7 +146,9 @@ class CaseSpec:
                    node_limit=int(node_limit)
                    if node_limit is not None else None,
                    soft_timeout=float(soft_timeout)
-                   if soft_timeout is not None else None)
+                   if soft_timeout is not None else None,
+                   preflight=bool(data.get("preflight", False)),
+                   check_cache=data.get("check_cache"))
 
 
 def enumerate_cases(config: "ExperimentConfig",
@@ -161,5 +175,7 @@ def enumerate_cases(config: "ExperimentConfig",
                     patterns=config.patterns, seed=config.seed,
                     checks=tuple(config.checks),
                     node_limit=getattr(config, "node_limit", None),
-                    soft_timeout=getattr(config, "soft_timeout", None)))
+                    soft_timeout=getattr(config, "soft_timeout", None),
+                    preflight=getattr(config, "preflight", False),
+                    check_cache=getattr(config, "check_cache", None)))
     return cases

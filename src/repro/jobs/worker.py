@@ -21,7 +21,7 @@ from ..circuit.netlist import Circuit
 from ..core.result import (OUTCOME_ERROR, OUTCOME_INCONCLUSIVE,
                            OUTCOME_OK)
 from ..generators.benchmarks import BENCHMARK_FACTORIES
-from ..obs import Tracer, set_tracer, write_jsonl
+from ..obs import Tracer, get_tracer, set_tracer, write_jsonl
 from ..partial.blackbox import PartialImplementation
 from ..partial.extraction import make_partial
 from ..partial.mutations import insert_random_error
@@ -37,12 +37,17 @@ _SPEC_CACHE: Dict[str, Tuple[str, Circuit, Tuple[int, int, int]]] = {}
 #: (benchmark, fraction, num_boxes, partial seed) -> carved partial
 _PARTIAL_CACHE: Dict[Tuple, PartialImplementation] = {}
 _PARTIAL_CACHE_MAX = 16
+#: benchmark name -> (spec fingerprint, spec ConeHashes) — the spec
+#: side of the static analysis is per-benchmark, so a worker hashing
+#: many cases of one benchmark pays the cone walk once.
+_SPEC_HASH_CACHE: Dict[str, Tuple[str, object]] = {}
 
 
 def clear_caches() -> None:
     """Drop the process-local spec/partial memos (mainly for tests)."""
     _SPEC_CACHE.clear()
     _PARTIAL_CACHE.clear()
+    _SPEC_HASH_CACHE.clear()
 
 
 def _fingerprint(circuit: Circuit) -> str:
@@ -106,6 +111,23 @@ def _carved_partial(case: CaseSpec, tuned: Circuit)\
     return partial
 
 
+def _spec_cone_hashes(name: str, tuned: Circuit):
+    """Canonical cone hashes of a benchmark's tuned spec, memoised.
+
+    Keyed like :data:`_SPEC_CACHE` — fingerprint-validated so an
+    explicit same-named-but-different spec never reuses the memo.
+    """
+    from ..analysis.static.hashing import cone_hashes
+
+    fingerprint = _fingerprint(tuned)
+    cached = _SPEC_HASH_CACHE.get(name)
+    if cached is not None and cached[0] == fingerprint:
+        return cached[1]
+    hashes = cone_hashes(tuned)
+    _SPEC_HASH_CACHE[name] = (fingerprint, hashes)
+    return hashes
+
+
 def _strongest_clause(check: Optional[str], error_found: bool) -> str:
     """Human-readable "strongest completed level" suffix for details."""
     if check is None:
@@ -156,6 +178,14 @@ def _execute_case(case: CaseSpec,
     from ..experiments.runner import run_one_case
 
     start = time.perf_counter()
+    tracer = get_tracer()
+    # Static analysis state (all inert unless the case asks for it):
+    # the preflight report, the possibly output-restricted pair the
+    # checks actually run on, and the content-addressed verdict cache.
+    report = None
+    cache = None
+    budget_cls = ""
+    spec_digest = impl_digest = ""
     try:
         tuned, (n_inputs, n_outputs, spec_nodes) = _tuned_spec(
             case.benchmark, spec)
@@ -163,9 +193,62 @@ def _execute_case(case: CaseSpec,
         mutated, mutation = insert_random_error(
             partial.circuit, random.Random(case.mutation_seed))
         impl = PartialImplementation(mutated, partial.boxes)
+        run_spec, run_impl = tuned, impl
+        if case.preflight or case.check_cache:
+            from ..analysis.static.hashing import cone_hashes
+
+            spec_hashes = _spec_cone_hashes(case.benchmark, tuned)
+            impl_hashes = cone_hashes(impl.circuit, impl.boxes)
+            spec_digest = spec_hashes.digest
+            impl_digest = impl_hashes.digest
+        if case.check_cache:
+            from ..analysis.static.cache import (CheckCache,
+                                                 budget_class)
+
+            cache = CheckCache(case.check_cache)
+            budget_cls = budget_class(case.node_limit,
+                                      case.soft_timeout)
+        if case.preflight:
+            from ..analysis.static.preflight import (
+                preflight as static_preflight, restrict_to_outputs)
+
+            span = None if tracer is None else tracer.span("preflight")
+            report = static_preflight(tuned, impl, spec_hashes,
+                                      impl_hashes)
+            if span is not None:
+                span.done(**report.summary())
+            if report.discharged and report.mismatch is None \
+                    and not report.all_discharged:
+                run_spec, run_impl = restrict_to_outputs(
+                    tuned, impl, report.open_indices)
     except Exception as exc:
         return failed_record(case, exc,
                              seconds=time.perf_counter() - start)
+
+    discharged = None if report is None else len(report.discharged)
+    if report is not None and (report.mismatch is not None
+                               or report.all_discharged):
+        # The preflight decided the whole case: every check level
+        # agrees statically, no BDD (and no cache entry) is needed.
+        # ``seconds=0.0`` deliberately — measured preflight time would
+        # make otherwise-identical campaign aggregations differ.
+        mismatch = report.mismatch
+        if mismatch is not None:
+            found, detail = True, ("static preflight: %s"
+                                   % mismatch.reason)
+        else:
+            found, detail = False, (
+                "static preflight: all %d output cones discharged"
+                % len(report.verdicts))
+        return CaseRecord(
+            case=case, outcome=OUTCOME_OK,
+            checks={check: CheckOutcome(outcome=OUTCOME_OK,
+                                        error_found=found,
+                                        detail=detail)
+                    for check in case.checks},
+            seconds=time.perf_counter() - start,
+            inputs=n_inputs, outputs=n_outputs, spec_nodes=spec_nodes,
+            mutation=mutation.describe(), discharged=discharged)
 
     # One Budget per case: the cooperative soft deadline spans all the
     # case's checks, while the node ceiling governs each check's fresh
@@ -189,9 +272,32 @@ def _execute_case(case: CaseSpec,
                        % _strongest_clause(strongest_check,
                                            strongest_found))
             continue
+        cache_key = None
+        if cache is not None:
+            cache_key = cache.key(
+                spec_digest, impl_digest, check, budget=budget_cls,
+                patterns=case.patterns if check == "r.p." else None,
+                seed=case.case_seed if check == "r.p." else None,
+                variant="preflight" if report is not None else "")
+            payload = cache.get(cache_key)
+            if tracer is not None:
+                tracer.instant("check_cache", check=check,
+                               hit=payload is not None)
+            if payload is not None:
+                try:
+                    outcome = CheckOutcome.from_dict(payload)
+                except (KeyError, TypeError, ValueError):
+                    outcome = None  # foreign/corrupt entry: run it
+                if outcome is not None and outcome.outcome == OUTCOME_OK:
+                    outcome.cached = True
+                    outcomes[check] = outcome
+                    strongest_check = check
+                    strongest_found = outcome.error_found
+                    continue
         check_start = time.perf_counter()
         try:
-            result = run_one_case(tuned, impl, (check,), case.patterns,
+            result = run_one_case(run_spec, run_impl, (check,),
+                                  case.patterns,
                                   seed=case.case_seed,
                                   budget=budget)[check]
             outcomes[check] = CheckOutcome(
@@ -210,6 +316,8 @@ def _execute_case(case: CaseSpec,
             if result.outcome == OUTCOME_OK:
                 strongest_check = check
                 strongest_found = result.error_found
+                if cache is not None:
+                    cache.put(cache_key, outcomes[check].to_dict())
             elif result.outcome == OUTCOME_INCONCLUSIVE:
                 if worst == OUTCOME_OK:
                     worst = OUTCOME_INCONCLUSIVE
@@ -241,4 +349,4 @@ def _execute_case(case: CaseSpec,
         case=case, outcome=worst, checks=outcomes,
         seconds=time.perf_counter() - start,
         inputs=n_inputs, outputs=n_outputs, spec_nodes=spec_nodes,
-        mutation=mutation.describe())
+        mutation=mutation.describe(), discharged=discharged)

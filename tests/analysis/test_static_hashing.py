@@ -1,0 +1,222 @@
+"""Canonical cone hashing: invariance and sensitivity properties.
+
+The contract (docs/static-analysis.md): a cone hash is invariant under
+net renaming, gate declaration order and inserted buffers, and two
+box-free cones with equal hashes compute the same function.  The
+sensitivity direction is checked semantically — a mutation that
+actually changes the function must change the hash (hash equality
+implies equivalence, so this is just the contrapositive, but we assert
+it against the BDD checker to keep the two engines honest).
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.static import cone_hashes, circuit_digest
+from repro.circuit import CircuitBuilder, GateType
+from repro.circuit.netlist import Circuit
+from repro.core import check_equivalence
+from repro.generators.paper_examples import ALL_FIGURES
+from repro.partial.blackbox import BlackBox
+from repro.partial.mutations import (applicable_mutations,
+                                     apply_mutation)
+
+
+def random_circuit(seed):
+    rng = random.Random(seed)
+    builder = CircuitBuilder("rc%d" % seed)
+    pool = [builder.input("x%d" % i) for i in range(rng.randint(2, 5))]
+    kinds = [GateType.AND, GateType.OR, GateType.NAND, GateType.NOR,
+             GateType.XOR, GateType.XNOR, GateType.NOT, GateType.BUF]
+    for _ in range(rng.randint(2, 14)):
+        gtype = rng.choice(kinds)
+        fanin = 1 if gtype in (GateType.NOT, GateType.BUF) \
+            else rng.randint(2, min(4, len(pool)))
+        pool.append(builder.gate(gtype, rng.sample(pool, fanin)))
+    for k in range(rng.randint(1, 3)):
+        builder.output(builder.buf(pool[-(k + 1)]), "f%d" % k)
+    return builder.build()
+
+
+def _shuffled_declarations(circuit, rng):
+    """Same circuit, gates declared in a different order."""
+    other = Circuit(circuit.name)
+    other.add_inputs(circuit.inputs)
+    gates = list(circuit.gates)
+    rng.shuffle(gates)
+    # add_gate tolerates forward references (nets are resolved lazily),
+    # so a shuffled declaration order is still the same netlist.
+    for gate in gates:
+        other.add_gate(gate.output, gate.gtype, gate.inputs)
+    other.add_outputs(circuit.outputs)
+    return other
+
+
+def _with_buffer_chains(circuit, rng):
+    """Insert BUF chains in front of random gate input pins."""
+    other = Circuit(circuit.name)
+    other.add_inputs(circuit.inputs)
+    counter = [0]
+
+    def buffered(net):
+        if rng.random() < 0.5:
+            return net
+        prev = net
+        for _ in range(rng.randint(1, 3)):
+            counter[0] += 1
+            name = "_buf%d" % counter[0]
+            other.add_gate(name, GateType.BUF, [prev])
+            prev = name
+        return prev
+
+    for gate in circuit.gates:
+        other.add_gate(gate.output, gate.gtype,
+                       [buffered(src) for src in gate.inputs])
+    other.add_outputs(circuit.outputs)
+    return other
+
+
+class TestBasics:
+    def test_nand_equals_not_of_and(self):
+        a = Circuit("a")
+        a.add_inputs(["x", "y"])
+        a.add_gate("f", GateType.NAND, ["x", "y"])
+        a.add_output("f")
+        b = Circuit("b")
+        b.add_inputs(["x", "y"])
+        b.add_gate("t", GateType.AND, ["x", "y"])
+        b.add_gate("f", GateType.NOT, ["t"])
+        b.add_output("f")
+        assert cone_hashes(a).hashes == cone_hashes(b).hashes
+
+    def test_or_equals_de_morgan(self):
+        a = Circuit("a")
+        a.add_inputs(["x", "y"])
+        a.add_gate("f", GateType.OR, ["x", "y"])
+        a.add_output("f")
+        b = Circuit("b")
+        b.add_inputs(["x", "y"])
+        b.add_gate("nx", GateType.NOT, ["x"])
+        b.add_gate("ny", GateType.NOT, ["y"])
+        b.add_gate("f", GateType.NAND, ["nx", "ny"])
+        b.add_output("f")
+        assert cone_hashes(a).hashes == cone_hashes(b).hashes
+
+    def test_commutative_inputs_sorted(self):
+        a = Circuit("a")
+        a.add_inputs(["x", "y"])
+        a.add_gate("f", GateType.AND, ["x", "y"])
+        a.add_output("f")
+        b = Circuit("b")
+        b.add_inputs(["x", "y"])
+        b.add_gate("f", GateType.AND, ["y", "x"])
+        b.add_output("f")
+        assert cone_hashes(a).hashes == cone_hashes(b).hashes
+
+    def test_constant_folding(self):
+        circuit = Circuit("c")
+        circuit.add_input("x")
+        circuit.add_gate("nx", GateType.NOT, ["x"])
+        circuit.add_gate("f", GateType.AND, ["x", "nx"])
+        circuit.add_gate("g", GateType.XOR, ["x", "x"])
+        circuit.add_outputs(["f", "g"])
+        hashes = cone_hashes(circuit)
+        assert hashes.constants == (False, False)
+        # Both cones fold to the same constant-0 hash.
+        assert hashes.hashes[0] == hashes.hashes[1]
+
+    def test_box_identity_is_positional(self):
+        def one(box_inputs):
+            circuit = Circuit("p")
+            circuit.add_inputs(["x", "y"])
+            circuit.add_gate("f", GateType.AND, ["z", "x"])
+            circuit.add_output("f")
+            return cone_hashes(
+                circuit, [BlackBox("BB", box_inputs, ("z",))])
+
+        assert one(("x", "y")).hashes == one(("x", "y")).hashes
+        # Swapping the box's input pins changes the opaque call.
+        assert one(("x", "y")).hashes != one(("y", "x")).hashes
+
+    def test_interface_digest_covers_all_outputs(self):
+        spec, partial = ALL_FIGURES["figure1"][0]()
+        digest = circuit_digest(spec)
+        assert digest == cone_hashes(spec).digest
+        assert digest != circuit_digest(partial.circuit, partial.boxes)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_renaming_is_invariant(seed):
+    circuit = random_circuit(seed)
+    mapping = {}
+    for i, net in enumerate(circuit.nets()):
+        if not circuit.is_input(net) and net not in circuit.outputs:
+            mapping[net] = "renamed_%d" % i
+    renamed = circuit.renamed(mapping)
+    assert cone_hashes(circuit).hashes == cone_hashes(renamed).hashes
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_input_renaming_is_invariant(seed):
+    # Inputs are hashed by position, not by name: renaming every input
+    # (order preserved) leaves all cone hashes unchanged.
+    circuit = random_circuit(seed)
+    mapping = {net: "in_%d" % i for i, net in enumerate(circuit.inputs)}
+    renamed = circuit.renamed(mapping)
+    assert cone_hashes(circuit).hashes == cone_hashes(renamed).hashes
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_declaration_order_is_invariant(seed):
+    circuit = random_circuit(seed)
+    shuffled = _shuffled_declarations(circuit, random.Random(seed + 1))
+    assert cone_hashes(circuit).hashes == cone_hashes(shuffled).hashes
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_buffer_insertion_is_invariant(seed):
+    circuit = random_circuit(seed)
+    buffered = _with_buffer_chains(circuit, random.Random(seed + 2))
+    assert cone_hashes(circuit).hashes == cone_hashes(buffered).hashes
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_semantic_mutations_change_some_hash(seed):
+    # Hash equality implies equivalence; contrapositive: a mutation
+    # that the BDD checker proves non-equivalent must change at least
+    # one output cone's hash.
+    circuit = random_circuit(seed)
+    mutations = applicable_mutations(circuit)
+    if not mutations:
+        return
+    mutation = random.Random(seed + 3).choice(mutations)
+    mutated = apply_mutation(circuit, mutation)
+    if check_equivalence(circuit, mutated).equivalent:
+        return  # the mutation was functionally invisible here
+    assert cone_hashes(circuit).hashes != cone_hashes(mutated).hashes
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_hash_equality_implies_equivalence(seed):
+    # The soundness direction, cross-checked output by output: two
+    # random circuits over the same inputs whose cones hash equal must
+    # be functionally identical on those outputs.
+    a = random_circuit(seed)
+    b = random_circuit(seed + 7777)
+    if a.inputs != b.inputs or len(a.outputs) != len(b.outputs):
+        return
+    ha, hb = cone_hashes(a), cone_hashes(b)
+    for index in range(len(a.outputs)):
+        if ha.hashes[index] == hb.hashes[index]:
+            for bits in range(1 << len(a.inputs)):
+                asg = {n: bool(bits >> i & 1)
+                       for i, n in enumerate(a.inputs)}
+                assert a.evaluate(asg)[a.outputs[index]] \
+                    == b.evaluate(asg)[b.outputs[index]]

@@ -1,0 +1,97 @@
+"""The S-rule lint family (static cone analysis findings)."""
+
+from repro.analysis import lint_static
+from repro.analysis.diagnostics import RULES_BY_ID
+from repro.circuit import GateType
+from repro.circuit.netlist import Circuit
+from repro.partial.blackbox import BlackBox, PartialImplementation
+
+
+def _ids(report):
+    return report.rule_ids()
+
+
+class TestCatalog:
+    def test_s_rules_registered(self):
+        for rule_id in ("S001", "S002", "S003"):
+            assert rule_id in RULES_BY_ID
+
+
+class TestS001ConstantOutput:
+    def test_constant_cone_flagged(self):
+        circuit = Circuit("c")
+        circuit.add_input("x")
+        circuit.add_gate("nx", GateType.NOT, ["x"])
+        circuit.add_gate("f", GateType.AND, ["x", "nx"])
+        circuit.add_output("f")
+        report = lint_static(circuit)
+        assert "S001" in _ids(report)
+
+    def test_nonconstant_clean(self):
+        circuit = Circuit("c")
+        circuit.add_inputs(["x", "y"])
+        circuit.add_gate("f", GateType.AND, ["x", "y"])
+        circuit.add_output("f")
+        assert "S001" not in _ids(lint_static(circuit))
+
+
+class TestS002DuplicateCone:
+    def test_structural_duplicates_flagged(self):
+        circuit = Circuit("c")
+        circuit.add_inputs(["x", "y"])
+        circuit.add_gate("f", GateType.AND, ["x", "y"])
+        circuit.add_gate("g", GateType.AND, ["y", "x"])
+        circuit.add_outputs(["f", "g"])
+        report = lint_static(circuit)
+        assert "S002" in _ids(report)
+        finding = report.by_rule("S002")[0]
+        assert set(finding.nets) == {"f", "g"}
+
+    def test_distinct_cones_not_flagged(self):
+        circuit = Circuit("c")
+        circuit.add_inputs(["x", "y"])
+        circuit.add_gate("f", GateType.AND, ["x", "y"])
+        circuit.add_gate("g", GateType.OR, ["x", "y"])
+        circuit.add_outputs(["f", "g"])
+        assert "S002" not in _ids(lint_static(circuit))
+
+    def test_buffer_alias_counts_as_duplicate(self):
+        circuit = Circuit("c")
+        circuit.add_inputs(["x", "y"])
+        circuit.add_gate("f", GateType.AND, ["x", "y"])
+        circuit.add_gate("g", GateType.BUF, ["f"])
+        circuit.add_outputs(["f", "g"])
+        assert "S002" in _ids(lint_static(circuit))
+
+
+class TestS003UnobservableBox:
+    def test_dead_box_flagged(self):
+        circuit = Circuit("c")
+        circuit.add_inputs(["x", "y"])
+        circuit.add_gate("f", GateType.AND, ["x", "y"])
+        circuit.add_output("f")
+        partial = PartialImplementation(
+            circuit, [BlackBox("DEAD", ("x",), ("unused",))])
+        report = lint_static(partial)
+        assert "S003" in _ids(report)
+
+    def test_observed_box_clean(self):
+        circuit = Circuit("c")
+        circuit.add_inputs(["x", "y"])
+        circuit.add_gate("f", GateType.AND, ["z", "y"])
+        circuit.add_output("f")
+        partial = PartialImplementation(
+            circuit, [BlackBox("BB", ("x",), ("z",))])
+        assert "S003" not in _ids(lint_static(partial))
+
+    def test_box_observed_through_box_chain(self):
+        # BB1 feeds BB2 feeds the output: both are observable.
+        circuit = Circuit("c")
+        circuit.add_inputs(["x"])
+        circuit.add_gate("f", GateType.BUF, ["z2"])
+        circuit.add_output("f")
+        partial = PartialImplementation(circuit, [
+            BlackBox("BB1", ("x",), ("z1",)),
+            BlackBox("BB2", ("z1",), ("z2",)),
+        ])
+        assert "S003" not in _ids(lint_static(partial))

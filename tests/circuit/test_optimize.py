@@ -86,6 +86,41 @@ class TestMergeDuplicates:
         assert set(merged.outputs) == {"g1", "g2"}
         assert check_equivalence(circuit, merged).equivalent
 
+    def test_sees_through_buffer_chains(self):
+        # Regression: duplicates hidden behind BUFs did not merge —
+        # AND(x, y) vs AND(buf(buf(x)), y) hashed differently because
+        # buffers were kept as ordinary gates instead of resolved.
+        from repro.circuit.netlist import Circuit
+
+        circuit = Circuit("bufdup")
+        circuit.add_inputs(["x", "y"])
+        circuit.add_gate("b1", GateType.BUF, ["x"])
+        circuit.add_gate("b2", GateType.BUF, ["b1"])
+        circuit.add_gate("a1", GateType.AND, ["x", "y"])
+        circuit.add_gate("a2", GateType.AND, ["b2", "y"])
+        circuit.add_gate("f", GateType.XOR, ["a1", "a2"])
+        circuit.add_output("f")
+        merged = merge_duplicates(circuit)
+        assert check_equivalence(circuit, merged).equivalent
+        and_count = sum(1 for g in merged.gates
+                        if g.gtype is GateType.AND)
+        assert and_count == 1
+        assert not any(g.gtype is GateType.BUF for g in merged.gates)
+
+    def test_buffered_output_net_survives(self):
+        # An output driven directly by a BUF must keep its net name
+        # (re-materialized as a buffer) after the chain elides.
+        from repro.circuit.netlist import Circuit
+
+        circuit = Circuit("bufout")
+        circuit.add_inputs(["x", "y"])
+        circuit.add_gate("a", GateType.AND, ["x", "y"])
+        circuit.add_gate("f", GateType.BUF, ["a"])
+        circuit.add_output("f")
+        merged = merge_duplicates(circuit)
+        assert list(merged.outputs) == ["f"]
+        assert check_equivalence(circuit, merged).equivalent
+
 
 class TestSweepDead:
     def test_unobservable_gates_removed(self):

@@ -1,0 +1,144 @@
+"""Campaign-level static analysis: cache determinism and journaling."""
+
+import json
+
+from repro.experiments.export import rows_to_csv, rows_to_json
+from repro.experiments.runner import ExperimentConfig, run_table
+from repro.jobs.journal import CaseRecord, CheckOutcome
+from repro.jobs.spec import CaseSpec, enumerate_cases
+from repro.jobs.worker import clear_caches, execute_case
+
+
+def _config(tmp_path, **overrides):
+    params = dict(selections=1, errors=3, patterns=100,
+                  benchmarks=["alu4"],
+                  check_cache=str(tmp_path / "cache"))
+    params.update(overrides)
+    return ExperimentConfig(**params)
+
+
+class TestWarmCacheDeterminism:
+    def test_warm_rerun_is_byte_identical_with_hits(self, tmp_path):
+        config = _config(tmp_path, preflight=True)
+        clear_caches()
+        cold = run_table(config)
+        clear_caches()
+        warm = run_table(config)
+        assert rows_to_csv(cold) == rows_to_csv(warm)
+        hits = sum(warm[0].check_cache_hits.values())
+        assert hits > 0
+        assert sum(cold[0].check_cache_hits.values()) == 0
+        static = json.loads(rows_to_json(warm))[0]["static"]
+        assert sum(static["check_cache_hits"].values()) == hits
+
+    def test_cache_does_not_change_verdicts(self, tmp_path):
+        base = run_table(_config(tmp_path, check_cache=None))
+        clear_caches()
+        cached = run_table(_config(tmp_path))
+        assert [base[0].detected, base[0].valid] \
+            == [cached[0].detected, cached[0].valid]
+
+    def test_preflight_and_plain_verdicts_agree(self, tmp_path):
+        plain = run_table(_config(tmp_path, check_cache=None))
+        clear_caches()
+        preflight = run_table(_config(tmp_path, check_cache=None,
+                                      preflight=True))
+        assert plain[0].detected == preflight[0].detected
+        assert plain[0].valid == preflight[0].valid
+
+    def test_preflight_cache_isolated_from_plain(self, tmp_path):
+        # The same pair checked with and without preflight must not
+        # share entries (the preflight run may restrict the pair).
+        run_table(_config(tmp_path))
+        clear_caches()
+        warm_preflight = run_table(_config(tmp_path, preflight=True))
+        assert sum(warm_preflight[0].check_cache_hits.values()) == 0
+
+
+class TestCaseSpecRoundTrip:
+    def test_static_fields_serialize(self):
+        case = CaseSpec(benchmark="alu4", selection=0, error_index=1,
+                        fraction=0.1, num_boxes=1, patterns=100,
+                        seed=2001, checks=("r.p.", "ie"),
+                        preflight=True, check_cache="/tmp/cc")
+        data = case.to_dict()
+        assert data["preflight"] is True
+        assert data["check_cache"] == "/tmp/cc"
+        assert CaseSpec.from_dict(data) == case
+
+    def test_defaults_stay_off_the_wire(self):
+        case = CaseSpec(benchmark="alu4", selection=0, error_index=1,
+                        fraction=0.1, num_boxes=1, patterns=100,
+                        seed=2001, checks=("r.p.",))
+        data = case.to_dict()
+        assert "preflight" not in data and "check_cache" not in data
+
+    def test_preflight_is_part_of_the_key(self):
+        kwargs = dict(benchmark="alu4", selection=0, error_index=1,
+                      fraction=0.1, num_boxes=1, patterns=100,
+                      seed=2001, checks=("r.p.",))
+        plain = CaseSpec(**kwargs)
+        preflight = CaseSpec(preflight=True, **kwargs)
+        cached = CaseSpec(check_cache="/tmp/cc", **kwargs)
+        assert plain.key != preflight.key
+        # the cache only changes where verdicts come from, never what
+        # they are, so it must NOT invalidate journal resume matching
+        assert plain.key == cached.key
+
+    def test_enumerate_cases_passes_static_config(self, tmp_path):
+        config = _config(tmp_path, preflight=True)
+        cases = enumerate_cases(config)
+        assert all(c.preflight for c in cases)
+        assert all(c.check_cache == config.check_cache for c in cases)
+
+
+class TestJournalFields:
+    def test_cached_flag_round_trips(self):
+        outcome = CheckOutcome(error_found=True, cached=True)
+        data = outcome.to_dict()
+        assert data["cached"] is True
+        assert CheckOutcome.from_dict(data).cached is True
+
+    def test_cached_default_off_the_wire(self):
+        assert "cached" not in CheckOutcome().to_dict()
+        assert CheckOutcome.from_dict(
+            CheckOutcome().to_dict()).cached is False
+
+    def test_discharged_round_trips(self):
+        case = CaseSpec(benchmark="alu4", selection=0, error_index=0,
+                        fraction=0.1, num_boxes=1, patterns=100,
+                        seed=2001, checks=("r.p.",))
+        record = CaseRecord(case=case, discharged=3)
+        line = record.to_json_line()
+        assert CaseRecord.from_json_line(line).discharged == 3
+        plain = CaseRecord(case=case)
+        assert "discharged" not in plain.to_dict()
+        assert CaseRecord.from_json_line(
+            plain.to_json_line()).discharged is None
+
+
+class TestWorkerShortCircuit:
+    def test_cached_outcomes_marked_in_record(self, tmp_path):
+        config = _config(tmp_path)
+        case = enumerate_cases(config)[0]
+        clear_caches()
+        cold = execute_case(case)
+        clear_caches()
+        warm = execute_case(case)
+        assert cold.outcome == warm.outcome
+        assert not any(o.cached for o in cold.checks.values())
+        cached = [name for name, o in warm.checks.items() if o.cached]
+        assert cached  # at least the authoritative checks replay
+        for name in cached:
+            assert warm.checks[name].to_dict() == dict(
+                cold.checks[name].to_dict(), cached=True)
+
+    def test_preflight_discharge_count_recorded(self, tmp_path):
+        config = _config(tmp_path, preflight=True, check_cache=None)
+        case = enumerate_cases(config)[0]
+        clear_caches()
+        record = execute_case(case)
+        assert record.discharged is not None
+        plain_case = enumerate_cases(
+            _config(tmp_path, check_cache=None))[0]
+        assert execute_case(plain_case).discharged is None
