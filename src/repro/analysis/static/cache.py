@@ -135,6 +135,75 @@ class CheckCache:
         return {"hits": self.hits, "misses": self.misses,
                 "stores": self.stores}
 
+    # -- housekeeping --------------------------------------------------
+
+    def _entries(self):
+        """Yield ``(path, size, atime)`` for every entry on disk.
+
+        Unstat-able files (concurrently pruned by another process) are
+        skipped — housekeeping has the same never-fail contract as
+        traffic.
+        """
+        try:
+            fanouts = sorted(os.listdir(self.root))
+        except OSError:
+            return
+        for fanout in fanouts:
+            subdir = os.path.join(self.root, fanout)
+            try:
+                names = sorted(os.listdir(subdir))
+            except (OSError, NotADirectoryError):
+                continue
+            for name in names:
+                if not name.endswith(".json") \
+                        or name.startswith(".tmp-"):
+                    continue
+                path = os.path.join(subdir, name)
+                try:
+                    info = os.stat(path)
+                except OSError:
+                    continue
+                yield path, info.st_size, info.st_atime
+
+    def info(self) -> Dict[str, int]:
+        """On-disk footprint: entry count and total payload bytes."""
+        entries = 0
+        total = 0
+        for _path, size, _atime in self._entries():
+            entries += 1
+            total += size
+        return {"entries": entries, "bytes": total}
+
+    def prune(self, max_bytes: int) -> Dict[str, int]:
+        """Evict least-recently-used entries until the cache fits.
+
+        Eviction order is oldest access time first (``atime``; falls
+        back to mtime semantics on ``noatime`` mounts, which still
+        orders by write age).  Deleting an entry another process is
+        reading is safe — the reader counts it as a miss and re-checks.
+        Returns ``{"removed", "removed_bytes", "entries", "bytes"}``
+        describing what was evicted and what remains.
+        """
+        if max_bytes < 0:
+            raise ValueError("max_bytes must be >= 0")
+        entries = list(self._entries())
+        total = sum(size for _p, size, _a in entries)
+        removed = 0
+        removed_bytes = 0
+        entries.sort(key=lambda entry: (entry[2], entry[0]))
+        for path, size, _atime in entries:
+            if total <= max_bytes:
+                break
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            total -= size
+            removed += 1
+            removed_bytes += size
+        return {"removed": removed, "removed_bytes": removed_bytes,
+                "entries": len(entries) - removed, "bytes": total}
+
     def __repr__(self) -> str:
         return "<CheckCache %s: %d hits, %d misses, %d stores>" % (
             self.root, self.hits, self.misses, self.stores)

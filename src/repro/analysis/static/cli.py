@@ -1,0 +1,88 @@
+"""The ``cache`` CLI: inspect and prune a check-verdict cache.
+
+Dispatched from ``python -m repro.experiments cache ...`` (the same
+early-dispatch arrangement as ``lint`` and ``trace``)::
+
+    python -m repro.experiments cache info  /var/cache/repro
+    python -m repro.experiments cache prune /var/cache/repro \\
+        --max-bytes 50000000
+
+``info`` prints the entry count, total bytes and this run's traffic
+counters; ``prune`` evicts least-recently-used entries until the cache
+fits under ``--max-bytes``.  Both are safe against concurrent campaign
+workers and a running service sharing the directory: a pruned entry a
+reader races with simply counts as a miss and is re-proved.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .cache import CheckCache
+
+__all__ = ["main"]
+
+
+def _fmt_bytes(count: int) -> str:
+    size = float(count)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if size < 1024 or unit == "GiB":
+            return "%.1f %s" % (size, unit) if unit != "B" \
+                else "%d B" % count
+        size /= 1024
+    return "%d B" % count  # pragma: no cover - unreachable
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """``cache`` subcommand dispatcher; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments cache",
+        description="Inspect and prune a content-addressed "
+                    "check-verdict cache directory "
+                    "(see docs/static-analysis.md)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    info = sub.add_parser("info", help="entry count and on-disk size")
+    info.add_argument("cache_dir", metavar="DIR")
+    info.add_argument("--format", choices=("text", "json"),
+                      default="text")
+
+    prune = sub.add_parser("prune",
+                           help="evict least-recently-used entries "
+                                "down to a byte budget")
+    prune.add_argument("cache_dir", metavar="DIR")
+    prune.add_argument("--max-bytes", type=int, required=True,
+                       metavar="N",
+                       help="target total size; 0 empties the cache")
+    prune.add_argument("--format", choices=("text", "json"),
+                       default="text")
+
+    args = parser.parse_args(argv)
+    if args.max_bytes < 0 if args.command == "prune" else False:
+        parser.error("--max-bytes must be >= 0")
+    cache = CheckCache(args.cache_dir)
+    if args.command == "info":
+        report = cache.info()
+        if args.format == "json":
+            print(json.dumps(report, sort_keys=True))
+        else:
+            print("%s: %d entries, %s"
+                  % (args.cache_dir, report["entries"],
+                     _fmt_bytes(report["bytes"])))
+        return 0
+    report = cache.prune(args.max_bytes)
+    if args.format == "json":
+        print(json.dumps(report, sort_keys=True))
+    else:
+        print("%s: removed %d entries (%s); %d entries (%s) remain"
+              % (args.cache_dir, report["removed"],
+                 _fmt_bytes(report["removed_bytes"]),
+                 report["entries"], _fmt_bytes(report["bytes"])))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

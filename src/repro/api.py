@@ -81,11 +81,25 @@ class BlackBoxChecker:
     def check(self, partial: PartialImplementation,
               checks: Sequence[str] = CHECK_ORDER,
               patterns: int = 1000, seed: Optional[int] = None,
-              stop_at_first_error: bool = True) -> List[CheckResult]:
-        """Run the paper's ladder against this specification."""
+              stop_at_first_error: bool = True,
+              budget=None, preflight: bool = False,
+              cache=None) -> List[CheckResult]:
+        """Run the paper's ladder against this specification.
+
+        The resource and reuse machinery threads straight through to
+        :func:`~repro.core.ladder.run_ladder`: ``budget`` is a
+        :class:`~repro.resilience.budget.Budget` bounding nodes/time
+        per check, ``preflight=True`` runs the static cone analysis
+        first (statically decided outputs never build a BDD), and
+        ``cache`` is a
+        :class:`~repro.analysis.static.CheckCache` whose stored
+        verdicts are replayed byte-identically instead of re-proved.
+        """
         return run_ladder(self.spec, partial, checks=checks,
                           patterns=patterns, seed=seed,
-                          stop_at_first_error=stop_at_first_error)
+                          stop_at_first_error=stop_at_first_error,
+                          budget=budget, preflight=preflight,
+                          cache=cache)
 
     def check_one(self, partial: PartialImplementation,
                   check: str = "input_exact", **kwargs) -> CheckResult:

@@ -11,6 +11,8 @@ Examples::
     python -m repro.experiments lint examples/circuits/*.blif
     python -m repro.experiments trace record --benchmark C880
     python -m repro.experiments trace diff before.json after.json
+    python -m repro.experiments cache info .check-cache
+    python -m repro.experiments cache prune .check-cache --max-bytes 5000000
 
 Campaigns shard across cores, checkpoint, and resume (docs/parallel.md)::
 
@@ -100,6 +102,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         from ..obs.cli import main as trace_main
 
         return trace_main(argv[1:])
+    if argv and argv[0] == "cache":
+        # And the check-cache housekeeping tool (info/prune).
+        from ..analysis.static.cli import main as cache_main
+
+        return cache_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the evaluation of 'Checking Equivalence "
@@ -108,9 +115,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                         choices=sorted(_TABLES) + ["figures", "sweep"],
                         help="which table/figure set to regenerate "
                              "(also: 'lint FILE...' runs the netlist "
-                             "linter and 'trace record|summary|diff' "
-                             "the observability tool, see their "
-                             "'--help')")
+                             "linter, 'trace record|summary|diff' "
+                             "the observability tool, and 'cache "
+                             "info|prune' the check-cache tool, see "
+                             "their '--help')")
     parser.add_argument("--selections", type=int, default=None,
                         help="random Black Box selections per circuit "
                              "(paper: 5)")

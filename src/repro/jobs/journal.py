@@ -35,8 +35,9 @@ from ..core.result import OUTCOME_ERROR, OUTCOME_OK, OUTCOME_TIMEOUT
 from .spec import CaseSpec
 
 __all__ = ["JOURNAL_VERSION", "CheckOutcome", "CaseRecord",
-           "JournalWriter", "JournalWriteError", "read_journal",
-           "failed_record", "timeout_record", "trace_filename"]
+           "LineJournalWriter", "JournalWriter", "JournalWriteError",
+           "read_journal", "iter_journal_dicts", "failed_record",
+           "timeout_record", "trace_filename"]
 
 JOURNAL_VERSION = 1
 
@@ -231,10 +232,13 @@ class JournalWriteError(OSError):
                 path, type(cause).__name__, cause))
 
 
-class JournalWriter:
-    """Append-only writer with one atomic line per record.
+class LineJournalWriter:
+    """Append-only JSONL writer with one atomic line per payload.
 
-    Each record is serialised to a single line and written unbuffered
+    The machinery under :class:`JournalWriter`, factored out so other
+    append-only journals (the service's job store in
+    :mod:`repro.serve.store`) inherit the same contract: each payload
+    is serialised to a single compact line and written unbuffered
     (``O_APPEND`` raw I/O), so concurrent readers (and post-crash
     resumes) see only whole lines plus at most one truncated tail.
     Pass ``fsync=True`` to force every line to disk (slower; protects
@@ -244,7 +248,7 @@ class JournalWriter:
     is truncated away, the write retried once (after an fsync that may
     release cached space), and a persistent failure surfaces as
     :class:`JournalWriteError` naming the journal path — with the file
-    left whole-line clean for a later ``--resume``.
+    left whole-line clean for a later resume.
     """
 
     def __init__(self, path: str, fsync: bool = False):
@@ -274,8 +278,10 @@ class JournalWriter:
                               % len(view))
             view = view[written:]
 
-    def write(self, record: CaseRecord) -> None:
-        data = (record.to_json_line() + "\n").encode("utf-8")
+    def write_line(self, payload: Dict) -> None:
+        """Append one dict as one atomic JSONL line."""
+        data = (json.dumps(payload, sort_keys=True,
+                           separators=(",", ":")) + "\n").encode("utf-8")
         start = self._handle.tell()
         try:
             self._write_all(data)
@@ -299,11 +305,36 @@ class JournalWriter:
         if not self._handle.closed:
             self._handle.close()
 
-    def __enter__(self) -> "JournalWriter":
+    def __enter__(self) -> "LineJournalWriter":
         return self
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+
+class JournalWriter(LineJournalWriter):
+    """Campaign-flavored :class:`LineJournalWriter`: appends
+    :class:`CaseRecord` lines (see the base class for the atomic-append
+    and disk-full contract)."""
+
+    def write(self, record: CaseRecord) -> None:
+        self.write_line(record.to_dict())
+
+
+def iter_journal_dicts(path: str):
+    """Yield one parsed dict per journal line, skipping torn/corrupt
+    lines (the truncated tail of a killed run, or foreign garbage)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(payload, dict):
+                yield payload
 
 
 def read_journal(path: str) -> List[CaseRecord]:
@@ -313,15 +344,10 @@ def read_journal(path: str) -> List[CaseRecord]:
     *last* record, at the position of its first appearance.
     """
     records: Dict[tuple, CaseRecord] = {}
-    with open(path, "r", encoding="utf-8") as handle:
-        for line in handle:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                record = CaseRecord.from_json_line(line)
-            except (ValueError, KeyError, TypeError):
-                # Truncated tail of a killed run, or foreign garbage.
-                continue
-            records[record.case.key] = record
+    for payload in iter_journal_dicts(path):
+        try:
+            record = CaseRecord.from_dict(payload)
+        except (ValueError, KeyError, TypeError):
+            continue
+        records[record.case.key] = record
     return list(records.values())

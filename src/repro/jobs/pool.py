@@ -33,7 +33,8 @@ from typing import Callable, Deque, List, Optional, Tuple
 from .journal import CaseRecord, failed_record, timeout_record
 from .spec import CaseSpec
 
-__all__ = ["WorkerPool", "run_parallel", "DEFAULT_MAX_ATTEMPTS"]
+__all__ = ["CaseCodec", "WorkerPool", "run_parallel",
+           "DEFAULT_MAX_ATTEMPTS"]
 
 #: Attempts per case before a crashing case is recorded as ERROR.
 DEFAULT_MAX_ATTEMPTS = 2
@@ -50,7 +51,31 @@ class _WorkerDied(Exception):
     """Internal marker: the child's pipe hit EOF mid-case."""
 
 
-def _child_main(conn: Connection, task: Callable) -> None:
+class CaseCodec:
+    """Wire protocol between the pool and its workers (campaign flavor).
+
+    The pool itself is agnostic about *what* it executes: everything it
+    needs from a work item is ``to_dict()`` (duck-typed on the object)
+    plus the four hooks below.  The default codec speaks the campaign
+    vocabulary (:class:`CaseSpec` in, :class:`CaseRecord` out); other
+    subsystems (the equivalence-checking service in :mod:`repro.serve`)
+    plug in their own job/record types without touching the pool's
+    dispatch, kill, retry or timeout machinery.  A codec must be a
+    top-level class: it travels to spawned children by reference.
+    """
+
+    #: Rebuild a work item from its wire dict (child side).
+    decode_case = staticmethod(CaseSpec.from_dict)
+    #: Rebuild a result from its wire dict (parent side).
+    decode_record = staticmethod(CaseRecord.from_dict)
+    #: Terminal record for a crashed/raising case.
+    failed = staticmethod(failed_record)
+    #: Terminal record for a case killed at the hard deadline.
+    timeout = staticmethod(timeout_record)
+
+
+def _child_main(conn: Connection, task: Callable, codec=CaseCodec)\
+        -> None:
     """Worker loop: receive a case dict, execute, send a record dict."""
     try:
         while True:
@@ -60,11 +85,11 @@ def _child_main(conn: Connection, task: Callable) -> None:
                 break
             if message is None:
                 break
-            case = CaseSpec.from_dict(message)
+            case = codec.decode_case(message)
             try:
                 record = task(case)
             except BaseException as exc:  # last-resort guard
-                record = failed_record(case, exc)
+                record = codec.failed(case, exc)
             try:
                 conn.send(record.to_dict())
             except (BrokenPipeError, OSError):
@@ -76,10 +101,12 @@ def _child_main(conn: Connection, task: Callable) -> None:
 class _Slot:
     """One worker process and its in-flight case, parent side."""
 
-    def __init__(self, slot_id: int, context, task: Callable):
+    def __init__(self, slot_id: int, context, task: Callable,
+                 codec=CaseCodec):
         self.slot_id = slot_id
         self._context = context
         self._task = task
+        self._codec = codec
         self.case: Optional[CaseSpec] = None
         self.attempt = 0
         self.started = 0.0
@@ -89,7 +116,8 @@ class _Slot:
     def _start_process(self) -> None:
         parent_conn, child_conn = self._context.Pipe()
         self.process = self._context.Process(
-            target=_child_main, args=(child_conn, self._task),
+            target=_child_main,
+            args=(child_conn, self._task, self._codec),
             name="repro-jobs-%d" % self.slot_id, daemon=True)
         self.process.start()
         child_conn.close()
@@ -120,7 +148,7 @@ class _Slot:
             payload = self.conn.recv()
         except (EOFError, OSError) as exc:
             raise _WorkerDied() from exc
-        return CaseRecord.from_dict(payload)
+        return self._codec.decode_record(payload)
 
     def kill_and_respawn(self) -> None:
         self.kill()
@@ -158,7 +186,8 @@ class WorkerPool:
 
     def __init__(self, jobs: int, timeout: Optional[float] = None,
                  task: Optional[Callable] = None,
-                 max_attempts: int = DEFAULT_MAX_ATTEMPTS):
+                 max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+                 codec=CaseCodec):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         if task is None:
@@ -167,6 +196,8 @@ class WorkerPool:
         self.timeout = timeout
         self.task = task
         self.max_attempts = max_attempts
+        self.codec = codec
+        self._aborted = False
         self._slots: List[_Slot] = []
 
     @property
@@ -186,7 +217,7 @@ class WorkerPool:
         slots: List[_Slot] = []
         try:
             for i in range(self.jobs):
-                slots.append(_Slot(i, context, self.task))
+                slots.append(_Slot(i, context, self.task, self.codec))
         except BaseException:
             for slot in slots:
                 slot.kill()
@@ -202,6 +233,21 @@ class WorkerPool:
                 slot.kill()
             else:
                 slot.shutdown()
+
+    def abort(self) -> None:
+        """Kill every worker NOW and make a concurrent :meth:`run` stop.
+
+        Unlike :meth:`close` this is safe to call from another thread
+        while ``run()`` is blocked in its poll loop (the service's
+        abrupt-shutdown path): the killed pipes wake the loop, in-flight
+        cases are dropped without retry or respawn, and ``run()``
+        returns the records completed so far.  The pool is dead
+        afterwards; call :meth:`close` to reap the processes.
+        """
+        self._aborted = True
+        for slot in self._slots:
+            if slot.process.is_alive():
+                slot.process.kill()
 
     def __enter__(self) -> "WorkerPool":
         return self.start()
@@ -221,6 +267,7 @@ class WorkerPool:
             return []
         self.start()
         timeout, max_attempts = self.timeout, self.max_attempts
+        codec = self.codec
         slots = self._slots
         pending: Deque[Tuple[CaseSpec, int]] = deque(
             (case, 1) for case in cases)
@@ -231,7 +278,8 @@ class WorkerPool:
             if on_record is not None:
                 on_record(record)
 
-        while pending or any(slot.busy for slot in slots):
+        while not self._aborted \
+                and (pending or any(slot.busy for slot in slots)):
             for slot in slots:
                 if not slot.busy and pending:
                     case, attempt = pending.popleft()
@@ -252,11 +300,13 @@ class WorkerPool:
                     record = slot.receive()
                 except _WorkerDied:
                     case, attempt, elapsed = slot.take_case()
+                    if self._aborted:
+                        continue
                     slot.kill_and_respawn()
                     if attempt < max_attempts:
                         pending.append((case, attempt + 1))
                     else:
-                        emit(failed_record(
+                        emit(codec.failed(
                             case,
                             RuntimeError("worker died (attempt %d/%d)"
                                          % (attempt, max_attempts)),
@@ -267,16 +317,16 @@ class WorkerPool:
                 record.worker = slot.slot_id
                 record.attempt = attempt
                 emit(record)
-            if timeout:
+            if timeout and not self._aborted:
                 now = time.monotonic()
                 for slot in slots:
                     if slot.busy and slot.deadline is not None \
                             and now >= slot.deadline:
                         case, attempt, elapsed = slot.take_case()
                         slot.kill_and_respawn()
-                        emit(timeout_record(case, elapsed,
-                                            worker=slot.slot_id,
-                                            attempt=attempt))
+                        emit(codec.timeout(case, elapsed,
+                                           worker=slot.slot_id,
+                                           attempt=attempt))
         return records
 
 

@@ -125,6 +125,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                       default="self",
                       help="ranking: span self-time (default), total "
                            "time, or peak node annotation")
+    summ.add_argument("--group-by", dest="group_by", default=None,
+                      metavar="ARG",
+                      help="partition root spans by this args "
+                           "annotation (e.g. 'tenant' for a service "
+                           "trace)")
 
     diff = sub.add_parser("diff",
                           help="per-span time delta between two traces")
@@ -139,7 +144,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         if args.command == "summary":
             print(format_summary(load_trace(args.trace), top=args.top,
-                                 by=args.by))
+                                 by=args.by, group_by=args.group_by))
         else:
             print(format_diff(load_trace(args.trace_a),
                               load_trace(args.trace_b),

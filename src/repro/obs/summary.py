@@ -79,10 +79,25 @@ def build_tree(events: Sequence[Dict[str, Any]]) -> List[SpanNode]:
 
 
 def _walk(nodes: Sequence[SpanNode], prefix: str,
-          out: Dict[str, Dict[str, Any]]) -> None:
+          out: Dict[str, Dict[str, Any]],
+          group_key: Optional[str] = None,
+          group: Optional[str] = None) -> None:
     for node in nodes:
-        path = prefix + node.name if not prefix \
-            else "%s/%s" % (prefix, node.name)
+        current = group
+        if group_key is not None:
+            value = node.args.get(group_key)
+            if value is not None:
+                current = str(value)
+        if prefix:
+            path = "%s/%s" % (prefix, node.name)
+        elif group_key is not None:
+            # Root level: prepend the grouping segment, so one table
+            # splits per tenant/worker/whatever the annotation names.
+            path = "%s=%s/%s" % (group_key,
+                                 current if current is not None
+                                 else "-", node.name)
+        else:
+            path = node.name
         entry = out.setdefault(path, {"count": 0, "total_us": 0,
                                       "self_us": 0, "peak_nodes": 0})
         entry["count"] += 1
@@ -91,15 +106,23 @@ def _walk(nodes: Sequence[SpanNode], prefix: str,
         peak = node.args.get("peak_nodes")
         if isinstance(peak, (int, float)):
             entry["peak_nodes"] = max(entry["peak_nodes"], int(peak))
-        _walk(node.children, path, out)
+        _walk(node.children, path, out, group_key, current)
 
 
-def aggregate_spans(events: Sequence[Dict[str, Any]])\
+def aggregate_spans(events: Sequence[Dict[str, Any]],
+                    group_by: Optional[str] = None)\
         -> Dict[str, Dict[str, Any]]:
     """Fold a trace into ``{span path: {count, total_us, self_us,
-    peak_nodes}}`` (peak is the max ``peak_nodes`` annotation seen)."""
+    peak_nodes}}`` (peak is the max ``peak_nodes`` annotation seen).
+
+    With ``group_by`` set, root spans are partitioned by that ``args``
+    annotation (inherited by children that lack it): the path gains a
+    leading ``key=value`` segment, so ``group_by="tenant"`` turns a
+    service trace into per-tenant subtotals.  Roots without the
+    annotation group under ``key=-``.
+    """
     out: Dict[str, Dict[str, Any]] = {}
-    _walk(build_tree(events), "", out)
+    _walk(build_tree(events), "", out, group_by)
     return out
 
 
@@ -112,10 +135,13 @@ def _fmt_us(us: int) -> str:
 
 
 def format_summary(events: Sequence[Dict[str, Any]], top: int = 10,
-                   by: str = "self") -> str:
+                   by: str = "self",
+                   group_by: Optional[str] = None) -> str:
     """Top-k span table, ranked by self time or peak node annotation.
 
-    ``by`` is ``"self"`` (default), ``"total"`` or ``"peak"``.
+    ``by`` is ``"self"`` (default), ``"total"`` or ``"peak"``;
+    ``group_by`` names an ``args`` annotation to partition root spans
+    by (see :func:`aggregate_spans`).
     """
     keys = {"self": "self_us", "total": "total_us",
             "peak": "peak_nodes"}
@@ -123,7 +149,7 @@ def format_summary(events: Sequence[Dict[str, Any]], top: int = 10,
         rank = keys[by]
     except KeyError:
         raise ValueError("by must be one of %s" % ", ".join(sorted(keys)))
-    table = aggregate_spans(events)
+    table = aggregate_spans(events, group_by=group_by)
     n_events = len(events)
     if not table:
         return "(no spans in trace: %d events)" % n_events

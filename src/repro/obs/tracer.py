@@ -145,6 +145,26 @@ class Tracer:
             event["args"] = span._exit_args
         self.events.append(event)
 
+    def complete(self, name: str, seconds: float,
+                 **args: Any) -> None:
+        """A finished interval recorded after the fact (``X`` event).
+
+        The async service layer needs this: with many requests in
+        flight on one event loop, ``B``/``E`` pairs from different
+        jobs would interleave and break the strict nesting the span
+        tree relies on.  A complete event carries its own ``dur`` (in
+        microseconds, like ``ts``) and does not touch the span stack,
+        so concurrent lifecycles coexist in one stream.  ``ts`` is
+        back-dated so the interval *ends* now.
+        """
+        duration = max(0, int(seconds * 1_000_000))
+        event: Dict[str, Any] = {"ph": "X", "name": name,
+                                 "ts": max(0, self._ts() - duration),
+                                 "dur": duration}
+        if args:
+            event["args"] = args
+        self.events.append(event)
+
     def instant(self, name: str, **args: Any) -> None:
         """A point event (GC ran, budget polled, variable eliminated)."""
         event: Dict[str, Any] = {"ph": "i", "name": name,

@@ -1,0 +1,102 @@
+"""``python -m repro.serve`` — run the equivalence service.
+
+Example::
+
+    python -m repro.serve --port 8421 --jobs 4 \\
+        --cache-dir /var/cache/repro --journal /var/lib/repro/jobs.jsonl
+
+The process serves until SIGINT/SIGTERM, then drains gracefully
+(running jobs finish; queued jobs stay journaled and resume on the
+next start).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+import signal
+import sys
+
+from .server import EquivalenceServer, ServeConfig
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Serve black-box equivalence checks over HTTP.")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8421,
+                        help="bind port; 0 picks an ephemeral port "
+                             "(default 8421)")
+    parser.add_argument("--jobs", type=int, default=2,
+                        help="worker processes / concurrent checks "
+                             "(default 2)")
+    parser.add_argument("--queue", type=int, default=64,
+                        help="admission queue bound; beyond it "
+                             "submissions get 429 (default 64)")
+    parser.add_argument("--tenant-queue", type=int, default=None,
+                        help="per-tenant queue bound "
+                             "(default: half of --queue)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="shared CheckCache directory (warm "
+                             "resubmissions replay cached verdicts)")
+    parser.add_argument("--journal", default=None,
+                        help="job journal path; enables restart "
+                             "recovery")
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="hard per-job deadline in seconds "
+                             "(worker is SIGKILLed)")
+    parser.add_argument("--soft-timeout", type=float, default=None,
+                        help="cooperative per-job budget in seconds "
+                             "(job ends inconclusive)")
+    parser.add_argument("--node-limit", type=int, default=None,
+                        help="per-check live BDD node budget")
+    parser.add_argument("--patterns", type=int, default=1000,
+                        help="default random patterns per job "
+                             "(default 1000)")
+    parser.add_argument("--preflight", action="store_true",
+                        help="run the static ternary preflight before "
+                             "every ladder")
+    parser.add_argument("--trace", dest="trace_path", default=None,
+                        help="write repro.obs trace events here on "
+                             "shutdown")
+    return parser
+
+
+async def _serve(config: ServeConfig) -> None:
+    server = EquivalenceServer(config)
+    host, port = await server.start()
+    print("serving on http://%s:%d (jobs=%d queue=%d)"
+          % (host, port, config.jobs, config.queue), file=sys.stderr)
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        with contextlib.suppress(NotImplementedError):
+            loop.add_signal_handler(signum, stop.set)
+    try:
+        await stop.wait()
+    finally:
+        print("shutting down...", file=sys.stderr)
+        await server.stop()
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    config = ServeConfig(
+        host=args.host, port=args.port, jobs=args.jobs,
+        queue=args.queue, tenant_queue=args.tenant_queue,
+        cache_dir=args.cache_dir, journal=args.journal,
+        timeout=args.timeout, soft_timeout=args.soft_timeout,
+        node_limit=args.node_limit, patterns=args.patterns,
+        preflight=args.preflight, trace_path=args.trace_path)
+    try:
+        asyncio.run(_serve(config))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,182 @@
+"""Blocking client for the equivalence service.
+
+A thin, dependency-free HTTP/1.1 client over a plain socket — the
+mirror image of the server's hand-rolled parser, so the whole
+request/response path is auditable end to end in this package.  One
+connection per request (the server closes after answering), JSON in
+and out::
+
+    from repro.generators.paper_examples import figure1
+    from repro.serve.client import ServeClient
+    from repro.serve.protocol import pair_to_request
+
+    client = ServeClient("127.0.0.1", 8421)
+    spec, partial = figure1()
+    job = client.submit(pair_to_request(spec, partial,
+                                        tenant="alice"))
+    final = client.wait(job["id"])
+    assert final["verdict"]["refuted"]
+
+:meth:`ServeClient.stream` consumes the ndjson progress feed and
+yields each event as a dict; :meth:`ServeClient.wait` polls with a
+gentle backoff and honors ``Retry-After`` is left to the caller (a 429
+surfaces as :class:`ServeError` with ``status=429`` and
+``retry_after`` set).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .protocol import MAX_BODY_BYTES
+
+__all__ = ["ServeError", "ServeClient"]
+
+
+class ServeError(Exception):
+    """A non-2xx service response (or a transport failure).
+
+    ``status`` is the HTTP status (0 for transport errors), ``body``
+    the decoded JSON error document when there was one — including the
+    linter's ``diagnostics`` on a 400 and ``retry_after`` on a 429.
+    """
+
+    def __init__(self, status: int, message: str,
+                 body: Optional[Dict] = None):
+        super().__init__(message)
+        self.status = status
+        self.body = body or {}
+
+    @property
+    def retry_after(self) -> Optional[float]:
+        value = self.body.get("retry_after")
+        return float(value) if value is not None else None
+
+    @property
+    def diagnostics(self) -> List[Dict]:
+        return list(self.body.get("diagnostics", []))
+
+
+class ServeClient:
+    """Synchronous client: one socket per call, JSON in/out."""
+
+    def __init__(self, host: str, port: int, timeout: float = 300.0):
+        self.host = host
+        self.port = int(port)
+        self.timeout = timeout
+
+    # -- transport -----------------------------------------------------
+
+    def _connect(self) -> socket.socket:
+        return socket.create_connection((self.host, self.port),
+                                        timeout=self.timeout)
+
+    def _send_request(self, sock: socket.socket, method: str,
+                      path: str, body: Optional[bytes]) -> None:
+        head = ["%s %s HTTP/1.1" % (method, path),
+                "Host: %s:%d" % (self.host, self.port),
+                "Connection: close"]
+        if body is not None:
+            head.append("Content-Type: application/json")
+            head.append("Content-Length: %d" % len(body))
+        sock.sendall(("\r\n".join(head) + "\r\n\r\n").encode("latin-1")
+                     + (body or b""))
+
+    @staticmethod
+    def _read_head(reader) -> Tuple[int, Dict[str, str]]:
+        line = reader.readline()
+        if not line:
+            raise ServeError(0, "server closed the connection before "
+                                "responding")
+        parts = line.decode("latin-1").split(" ", 2)
+        if len(parts) < 2 or not parts[1].isdigit():
+            raise ServeError(0, "malformed status line %r" % line)
+        status = int(parts[1])
+        headers: Dict[str, str] = {}
+        while True:
+            line = reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        return status, headers
+
+    @staticmethod
+    def _decode(status: int, payload: bytes) -> Dict:
+        try:
+            body = json.loads(payload.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            body = {"error": payload.decode("utf-8", "replace")}
+        if not 200 <= status < 300:
+            raise ServeError(status,
+                             str(body.get("error", "HTTP %d" % status))
+                             if isinstance(body, dict)
+                             else "HTTP %d" % status,
+                             body if isinstance(body, dict) else None)
+        return body
+
+    def _request(self, method: str, path: str,
+                 payload: Optional[Dict] = None) -> Dict:
+        body = json.dumps(payload).encode("utf-8") \
+            if payload is not None else None
+        with self._connect() as sock:
+            self._send_request(sock, method, path, body)
+            with sock.makefile("rb") as reader:
+                status, headers = self._read_head(reader)
+                length = int(headers.get("content-length", 0))
+                if length > MAX_BODY_BYTES:
+                    raise ServeError(0, "response body too large")
+                return self._decode(status, reader.read(length))
+
+    # -- API -----------------------------------------------------------
+
+    def submit(self, request: Dict) -> Dict:
+        """POST one submission (see
+        :func:`repro.serve.protocol.pair_to_request`); returns the
+        queued job view (``id``, ``status``...).  Raises
+        :class:`ServeError` with ``status=429`` and ``retry_after``
+        under backpressure, ``status=400`` with ``diagnostics`` for a
+        malformed netlist."""
+        return self._request("POST", "/v1/jobs", request)
+
+    def job(self, job_id: str) -> Dict:
+        """GET one job's current view."""
+        return self._request("GET", "/v1/jobs/%s" % job_id)
+
+    def wait(self, job_id: str, timeout: float = 300.0,
+             poll_interval: float = 0.05) -> Dict:
+        """Poll until the job is terminal; returns the final view."""
+        deadline = time.monotonic() + timeout
+        interval = poll_interval
+        while True:
+            view = self.job(job_id)
+            if view["status"] in ("done", "lost"):
+                return view
+            if time.monotonic() >= deadline:
+                raise ServeError(0, "job %s still %r after %.0fs"
+                                 % (job_id, view["status"], timeout))
+            time.sleep(interval)
+            interval = min(interval * 1.5, 1.0)
+
+    def stream(self, job_id: str) -> Iterator[Dict]:
+        """Yield the job's ndjson progress events until it finishes."""
+        with self._connect() as sock:
+            self._send_request(sock, "GET",
+                               "/v1/jobs/%s/events" % job_id, None)
+            with sock.makefile("rb") as reader:
+                status, _headers = self._read_head(reader)
+                if status != 200:
+                    self._decode(status, reader.read())
+                for line in reader:
+                    line = line.strip()
+                    if line:
+                        yield json.loads(line.decode("utf-8"))
+
+    def healthz(self) -> Dict:
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> Dict:
+        return self._request("GET", "/stats")

@@ -1,0 +1,243 @@
+"""The service's JSON request/response vocabulary.
+
+One submission is a JSON object (``POST /v1/jobs``)::
+
+    {"tenant": "alice",            # fair-share scheduling key
+     "format": "blif",             # or "bench"
+     "spec": "<netlist text>",     # the complete specification
+     "impl": "<netlist text>",     # the partial implementation
+     "boxes": [{"name": "BB1",     # Black Box interfaces: their
+                "inputs": ["x4", "x5"],     # outputs appear as extra
+                "outputs": ["z1"]}, ...],   # inputs in the netlist
+     "checks": ["random_pattern", ...],     # optional, ladder order
+     "patterns": 1000, "seed": 7,           # optional r.p. parameters
+     "preflight": false}                    # optional static preflight
+
+and everything else is computed server-side: per-job budgets come from
+the server configuration (one tenant must not pick its own ceiling),
+the check cache is the server's mount, and the job id is assigned at
+admission.  :func:`parse_submit` turns the raw body into a validated
+:class:`repro.serve.executor.JobSpec`; :func:`load_pair` additionally
+parses and lints the two netlists, so a malformed submission is
+rejected at the front door (HTTP 400 with the linter's structured
+diagnostics in the body) instead of wasting a worker.
+
+Responses are plain JSON documents built by the server from
+:class:`~repro.serve.executor.JobRecord` — see ``docs/service.md`` for
+the full schemas.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis.lint import lint_partial
+from ..circuit.blif import loads_blif
+from ..circuit.iscas import loads_bench
+from ..circuit.netlist import Circuit, CircuitError
+from ..core.ladder import CHECK_ORDER
+from ..partial.blackbox import BlackBox, PartialImplementation
+
+__all__ = ["PROTOCOL_VERSION", "MAX_BODY_BYTES", "ProtocolError",
+           "parse_submit", "load_pair", "pair_to_request"]
+
+#: Version stamp carried in ``/healthz`` and job views; bump on any
+#: incompatible request/response schema change.
+PROTOCOL_VERSION = 1
+
+#: Hard cap on a request body; larger submissions are rejected with
+#: HTTP 413 before buffering (netlists this size belong in a campaign,
+#: not a service call).
+MAX_BODY_BYTES = 32 * 1024 * 1024
+
+_FORMATS = ("blif", "bench")
+
+
+class ProtocolError(Exception):
+    """A rejected request: HTTP status, message, and (for netlist
+    problems) the linter's structured diagnostics."""
+
+    def __init__(self, status: int, message: str,
+                 diagnostics: Optional[List[Dict]] = None):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.diagnostics = list(diagnostics or [])
+
+    def body(self) -> Dict:
+        """The JSON error document sent to the client."""
+        payload: Dict = {"error": self.message}
+        if self.diagnostics:
+            payload["diagnostics"] = self.diagnostics
+        return payload
+
+
+def _field(data: Dict, name: str, kind, required: bool = False,
+           default=None):
+    value = data.get(name, default)
+    if value is None:
+        if required:
+            raise ProtocolError(400, "missing required field %r" % name)
+        return default
+    if not isinstance(value, kind):
+        raise ProtocolError(400, "field %r must be %s" % (
+            name, getattr(kind, "__name__", kind)))
+    return value
+
+
+def parse_submit(body: bytes, defaults: Optional[Dict] = None) -> Dict:
+    """Validate a submission body into plain job fields.
+
+    Returns the keyword arguments for
+    :class:`repro.serve.executor.JobSpec` except the server-assigned
+    ones (``id``, ``cache_dir``, budgets).  ``defaults`` supplies the
+    server's fallback values (patterns, checks).  Raises
+    :class:`ProtocolError` (400) on any malformed field — before any
+    netlist parsing happens.
+    """
+    defaults = defaults or {}
+    if len(body) > MAX_BODY_BYTES:
+        raise ProtocolError(413, "request body exceeds %d bytes"
+                            % MAX_BODY_BYTES)
+    try:
+        data = json.loads(body.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(400, "request body is not valid JSON: %s"
+                            % exc) from None
+    if not isinstance(data, dict):
+        raise ProtocolError(400, "request body must be a JSON object")
+    fmt = _field(data, "format", str, default="blif")
+    if fmt not in _FORMATS:
+        raise ProtocolError(400, "unknown format %r (choose from %s)"
+                            % (fmt, ", ".join(_FORMATS)))
+    tenant = _field(data, "tenant", str, default="anon") or "anon"
+    spec_text = _field(data, "spec", str, required=True)
+    impl_text = _field(data, "impl", str, required=True)
+    boxes = _field(data, "boxes", list, default=[])
+    clean_boxes: List[Dict] = []
+    for i, box in enumerate(boxes):
+        if not isinstance(box, dict):
+            raise ProtocolError(400, "boxes[%d] must be an object" % i)
+        try:
+            clean_boxes.append({
+                "name": str(box["name"]),
+                "inputs": [str(net) for net in box["inputs"]],
+                "outputs": [str(net) for net in box["outputs"]]})
+        except (KeyError, TypeError):
+            raise ProtocolError(
+                400, "boxes[%d] needs name/inputs/outputs" % i) from None
+    checks = _field(data, "checks", list,
+                    default=list(defaults.get("checks", CHECK_ORDER)))
+    unknown = [c for c in checks if c not in CHECK_ORDER]
+    if unknown or not checks:
+        raise ProtocolError(
+            400, "unknown checks %r (choose from %s)"
+            % (unknown, ", ".join(CHECK_ORDER)))
+    patterns = _field(data, "patterns", int,
+                      default=int(defaults.get("patterns", 1000)))
+    if isinstance(patterns, bool) or patterns < 1:
+        raise ProtocolError(400, "field 'patterns' must be a positive "
+                                 "integer")
+    seed = _field(data, "seed", int, default=None)
+    preflight = _field(data, "preflight", bool, default=False)
+    return {"tenant": tenant, "fmt": fmt, "spec_text": spec_text,
+            "impl_text": impl_text, "boxes": clean_boxes,
+            "checks": tuple(c for c in CHECK_ORDER if c in checks),
+            "patterns": patterns, "seed": seed,
+            "preflight": bool(preflight)}
+
+
+def _loads(fmt: str, text: str, name: str) -> Circuit:
+    reader = loads_blif if fmt == "blif" else loads_bench
+    return reader(text, name=name)
+
+
+def _demote_box_outputs(raw: Circuit, boxes: List[Dict],
+                        name: str) -> Circuit:
+    """Turn box-output pseudo-inputs back into free nets.
+
+    Netlist formats have no Black Box construct, so box outputs travel
+    as extra primary inputs (the convention of
+    :mod:`repro.partial.io`); the interface sidecar says which ones to
+    demote before the model is rebuilt.
+    """
+    box_outputs = {net for box in boxes for net in box["outputs"]}
+    circuit = Circuit(name)
+    for net in raw.inputs:
+        if net not in box_outputs:
+            circuit.add_input(net)
+    for gate in raw.gates:
+        circuit.add_gate(gate.output, gate.gtype, gate.inputs)
+    circuit.add_outputs(raw.outputs)
+    return circuit
+
+
+def load_pair(fields: Dict) -> Tuple[Circuit, PartialImplementation]:
+    """Parse + lint a submission's (spec, partial) pair.
+
+    The same function runs in the server (to reject bad submissions at
+    the front door) and in the worker (to rebuild the pair from the
+    journaled job).  Raises :class:`ProtocolError` (400) with the
+    parser's message or the linter's error diagnostics.
+    """
+    try:
+        spec = _loads(fields["fmt"], fields["spec_text"], "spec")
+        spec.validate()
+        if spec.free_nets():
+            raise CircuitError(
+                "the specification must be complete (free nets: %s)"
+                % ", ".join(sorted(spec.free_nets())[:5]))
+    except CircuitError as exc:
+        raise ProtocolError(400, "invalid spec netlist: %s"
+                            % exc) from None
+    try:
+        raw = _loads(fields["fmt"], fields["impl_text"], "impl")
+        impl = _demote_box_outputs(raw, fields["boxes"], "impl")
+        impl.validate(allow_free=True)
+        blackboxes = [BlackBox(box["name"], tuple(box["inputs"]),
+                               tuple(box["outputs"]))
+                      for box in fields["boxes"]]
+    except (CircuitError, ValueError) as exc:
+        raise ProtocolError(400, "invalid impl netlist: %s"
+                            % exc) from None
+    # Lint against the raw circuit + interface list, *before*
+    # constructing the model: the constructor rejects inconsistent
+    # Black Boxes with a bare message, the linter says why with
+    # structured diagnostics the client can render.
+    report = lint_partial(impl, boxes=blackboxes)
+    errors = report.errors
+    if errors:
+        raise ProtocolError(
+            400, "impl netlist failed lint (%d errors)" % len(errors),
+            diagnostics=[diag.to_dict()
+                         for diag in report.diagnostics])
+    try:
+        partial = PartialImplementation(impl, blackboxes)
+    except (CircuitError, ValueError) as exc:
+        raise ProtocolError(400, "invalid impl netlist: %s"
+                            % exc) from None
+    if sorted(spec.outputs) != sorted(partial.circuit.outputs) \
+            and len(spec.outputs) != len(partial.circuit.outputs):
+        raise ProtocolError(
+            400, "spec has %d outputs but impl has %d"
+            % (len(spec.outputs), len(partial.circuit.outputs)))
+    return spec, partial
+
+
+def pair_to_request(spec: Circuit, partial: PartialImplementation,
+                    tenant: str = "anon", **options) -> Dict:
+    """Convenience inverse of :func:`load_pair`: the JSON-ready
+    submission document for an in-memory pair (used by the client,
+    the docs and the tests)."""
+    from ..circuit.blif import dumps_blif
+
+    request = {"tenant": tenant, "format": "blif",
+               "spec": dumps_blif(spec),
+               "impl": dumps_blif(partial.circuit),
+               "boxes": [{"name": box.name,
+                          "inputs": list(box.inputs),
+                          "outputs": list(box.outputs)}
+                         for box in partial.boxes]}
+    request.update(options)
+    return request

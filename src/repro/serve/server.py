@@ -1,0 +1,693 @@
+"""The equivalence-checking service: hand-rolled HTTP/1.1 on asyncio.
+
+No ``http.server``, no threads-per-connection: one event loop accepts
+connections over :mod:`asyncio` streams, parses a deliberately small
+HTTP/1.1 subset (one request per connection, ``Content-Length``
+bodies), and serves five routes::
+
+    POST /v1/jobs             submit a spec/partial pair  -> 202 + id
+    GET  /v1/jobs/<id>        poll a job                  -> 200 JSON
+    GET  /v1/jobs/<id>/events stream ndjson progress      -> 200 chunks
+    GET  /healthz             liveness + slot counts      -> 200 JSON
+    GET  /stats               traffic/cache/tenant stats  -> 200 JSON
+
+The request path is: **parse + lint** (HTTP 400 with the linter's
+diagnostics on anything malformed) -> **admission**
+(:class:`~repro.serve.scheduler.FairScheduler`; HTTP 429 +
+``Retry-After`` under backpressure) -> **journal**
+(:class:`~repro.serve.store.JobStore`, so a restart resumes queued
+jobs and faithfully reports ones that died mid-flight) -> **dispatch**
+(round-robin across tenants onto
+:class:`~repro.serve.executor.JobExecutor` spawn slots, where a wedged
+check is SIGKILLed at the hard deadline) -> **respond** (every
+completed verdict also lands in the shared
+:class:`~repro.analysis.static.CheckCache`, so a resubmitted or
+delta'd netlist only re-checks affected output cones).
+
+Every stage emits :mod:`repro.obs` events when a tracer is configured
+(``--trace``): ``http`` instants per request, and ``job``/
+``job:queued``/``job:execute`` complete-spans per job, each annotated
+with the tenant — ``trace summary --group-by tenant`` explains a
+loaded server from the one trace file.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import math
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.ladder import CHECK_ORDER
+from ..obs import Tracer, write_jsonl
+from . import protocol
+from .executor import JobExecutor, JobRecord, JobSpec
+from .protocol import PROTOCOL_VERSION, ProtocolError
+from .scheduler import FairScheduler, QueueFull, QueuedJob
+from .store import JobStore
+
+__all__ = ["ServeConfig", "JobState", "EquivalenceServer"]
+
+_REASONS = {200: "OK", 202: "Accepted", 400: "Bad Request",
+            404: "Not Found", 405: "Method Not Allowed",
+            413: "Payload Too Large", 429: "Too Many Requests",
+            500: "Internal Server Error",
+            503: "Service Unavailable"}
+
+#: Parser limits: request line / single header / header count.
+_MAX_LINE = 8192
+_MAX_HEADERS = 100
+
+#: Terminal job states (no further events will arrive).
+_TERMINAL = ("done", "lost")
+
+
+@dataclass
+class ServeConfig:
+    """Everything ``python -m repro.serve`` exposes as flags."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral, read the bound port from start()
+    jobs: int = 2  # executor slots (worker processes)
+    queue: int = 64  # global admission bound
+    tenant_queue: Optional[int] = None  # per-tenant bound (None = half)
+    cache_dir: Optional[str] = None  # shared CheckCache mount
+    journal: Optional[str] = None  # job store path
+    timeout: Optional[float] = None  # hard per-job deadline (SIGKILL)
+    soft_timeout: Optional[float] = None  # cooperative per-job budget
+    node_limit: Optional[int] = None  # per-check live-BDD-node budget
+    patterns: int = 1000  # default r.p. patterns
+    preflight: bool = False  # default static preflight
+    retain: int = 1000  # finished jobs kept addressable in memory
+    trace_path: Optional[str] = None  # write obs events here on stop
+
+
+class JobState:
+    """One job's in-memory lifecycle: status, events, watchers."""
+
+    def __init__(self, spec: JobSpec, seq: int):
+        self.spec = spec
+        self.seq = seq
+        self.status = "queued"
+        self.record: Optional[JobRecord] = None
+        self.detail = ""
+        self.dispatch_seq: Optional[int] = None
+        self.queue_seconds: Optional[float] = None
+        self.events: List[Dict] = []
+        self.changed = asyncio.Event()
+
+    @property
+    def terminal(self) -> bool:
+        return self.status in _TERMINAL
+
+    def emit(self, kind: str, **data) -> None:
+        """Append one progress event and wake every stream watcher."""
+        event = {"ev": kind, "job": self.spec.id,
+                 "ts": round(time.time(), 6)}
+        event.update(data)
+        self.events.append(event)
+        self.changed.set()
+        self.changed = asyncio.Event()
+
+    def view(self) -> Dict:
+        """The job document served by ``GET /v1/jobs/<id>``."""
+        doc: Dict = {"protocol": PROTOCOL_VERSION, "id": self.spec.id,
+                     "tenant": self.spec.tenant, "status": self.status,
+                     "checks": list(self.spec.checks)}
+        if self.dispatch_seq is not None:
+            doc["dispatch_seq"] = self.dispatch_seq
+        if self.queue_seconds is not None:
+            doc["queue_seconds"] = self.queue_seconds
+        if self.detail:
+            doc["detail"] = self.detail
+        if self.record is not None:
+            doc["result"] = self.record.to_dict()
+            doc["verdict"] = self.record.verdict()
+            doc["cached"] = self.record.cached
+        return doc
+
+
+@dataclass
+class _Stats:
+    """Monotone service counters surfaced by ``/stats``."""
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    timeouts: int = 0
+    rejected_queue_full: int = 0
+    rejected_invalid: int = 0
+    requests: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_stores: int = 0
+    tenants: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    def tenant(self, name: str) -> Dict[str, int]:
+        entry = self.tenants.get(name)
+        if entry is None:
+            entry = {"submitted": 0, "completed": 0, "rejected": 0}
+            self.tenants[name] = entry
+        return entry
+
+
+class EquivalenceServer:
+    """The traffic-serving front of the whole library.
+
+    Lifecycle: construct with a :class:`ServeConfig`, ``await
+    start()`` (binds the socket, spawns the worker slots, replays the
+    journal), then either let the surrounding loop run or call
+    :meth:`serve_forever`.  ``await stop()`` drains gracefully;
+    ``await stop(abort=True)`` simulates a crash — workers are killed
+    mid-job and the journal keeps the ``start``-without-``done``
+    evidence a restarted server reports as ``lost``.
+
+    For synchronous callers (tests, docs, notebooks) the
+    :meth:`start_background`/:meth:`stop_background` pair runs the
+    whole server on a private event loop in a daemon thread.
+    """
+
+    def __init__(self, config: Optional[ServeConfig] = None,
+                 **overrides):
+        if config is None:
+            config = ServeConfig()
+        for name, value in overrides.items():
+            if not hasattr(config, name):
+                raise TypeError("unknown config field %r" % name)
+            setattr(config, name, value)
+        self.config = config
+        self.tracer: Optional[Tracer] = Tracer() \
+            if config.trace_path else None
+        self.jobs: Dict[str, JobState] = {}
+        self.stats = _Stats()
+        self._scheduler = FairScheduler(
+            max_queued=config.queue,
+            max_queued_per_tenant=config.tenant_queue)
+        self._executor = JobExecutor(slots=config.jobs,
+                                     timeout=config.timeout)
+        self._store: Optional[JobStore] = None
+        self._http: Optional[asyncio.base_events.Server] = None
+        self._dispatcher: Optional[asyncio.Task] = None
+        self._job_tasks: set = set()
+        self._work = asyncio.Event()
+        self._seq = 0
+        self._dispatch_counter = 0
+        self._done_order: List[str] = []
+        self._started_monotonic = 0.0
+        self._stopping = False
+        self._aborting = False
+        self._thread: Optional[threading.Thread] = None
+        self._thread_loop: Optional[asyncio.AbstractEventLoop] = None
+        self.address: Optional[Tuple[str, int]] = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind, spawn workers, replay the journal; returns the bound
+        ``(host, port)`` (useful with the ephemeral ``port=0``)."""
+        cfg = self.config
+        self._started_monotonic = time.monotonic()
+        replayed = JobStore.replay(cfg.journal)
+        self._store = JobStore(cfg.journal)
+        self._seq = JobStore.max_seq(replayed)
+        await self._executor.start()
+        for old in replayed:
+            state = JobState(old.spec, old.seq)
+            self.jobs[old.spec.id] = state
+            if old.status == "done":
+                state.status = "done"
+                state.record = old.record
+                state.emit("done", outcome=old.record.outcome,
+                           replayed=True)
+            elif old.status == "lost":
+                state.status = "lost"
+                state.detail = ("server restarted while this job was "
+                                "executing; resubmit to re-run")
+                state.emit("lost", replayed=True)
+            else:  # queued at shutdown: resume it
+                self._scheduler.submit(old.spec)
+                state.emit("queued", resumed=True)
+                self._work.set()
+        self._http = await asyncio.start_server(
+            self._handle_conn, cfg.host, cfg.port)
+        sockname = self._http.sockets[0].getsockname()
+        self.address = (sockname[0], sockname[1])
+        self._dispatcher = asyncio.create_task(self._dispatch_loop())
+        return self.address
+
+    async def serve_forever(self) -> None:
+        """Run until cancelled (the ``__main__`` entry point)."""
+        if self._http is None:
+            await self.start()
+        await self._http.serve_forever()
+
+    async def stop(self, abort: bool = False) -> None:
+        """Drain and shut down; ``abort=True`` kills workers mid-job
+        (crash semantics, for testing restart recovery)."""
+        self._stopping = True
+        if abort:
+            self._aborting = True
+        if self._http is not None:
+            self._http.close()
+            await self._http.wait_closed()
+            self._http = None
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            try:
+                await self._dispatcher
+            except asyncio.CancelledError:
+                pass
+            self._dispatcher = None
+        if abort:
+            self._executor.abort()
+        if self._job_tasks:
+            await asyncio.gather(*tuple(self._job_tasks),
+                                 return_exceptions=True)
+        await asyncio.to_thread(self._executor.close)
+        if self._store is not None:
+            self._store.close()
+            self._store = None
+        if self.tracer is not None and self.config.trace_path:
+            try:
+                write_jsonl(self.tracer.events, self.config.trace_path)
+            except OSError:
+                pass
+
+    # -- background-thread convenience ---------------------------------
+
+    def start_background(self, timeout: float = 60.0)\
+            -> Tuple[str, int]:
+        """Run the server on a private event loop in a daemon thread;
+        returns the bound address.  The synchronous twin of
+        :meth:`start` for tests, docs and notebooks."""
+        if self._thread is not None:
+            raise RuntimeError("server already running in background")
+        ready = threading.Event()
+        outcome: Dict[str, object] = {}
+
+        def _run() -> None:
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            self._thread_loop = loop
+            try:
+                outcome["address"] = loop.run_until_complete(
+                    self.start())
+            except BaseException as exc:  # surface in the caller
+                outcome["error"] = exc
+                ready.set()
+                return
+            ready.set()
+            try:
+                loop.run_forever()
+            finally:
+                loop.close()
+
+        self._thread = threading.Thread(target=_run, daemon=True,
+                                        name="repro-serve")
+        self._thread.start()
+        if not ready.wait(timeout):
+            raise RuntimeError("server did not start within %.0fs"
+                               % timeout)
+        if "error" in outcome:
+            self._thread.join(5.0)
+            self._thread = None
+            raise outcome["error"]  # type: ignore[misc]
+        return outcome["address"]  # type: ignore[return-value]
+
+    def stop_background(self, abort: bool = False,
+                        timeout: float = 60.0) -> None:
+        """Stop a :meth:`start_background` server and join its thread."""
+        loop, thread = self._thread_loop, self._thread
+        if loop is None or thread is None:
+            return
+        future = asyncio.run_coroutine_threadsafe(self.stop(abort),
+                                                  loop)
+        try:
+            future.result(timeout)
+        finally:
+            loop.call_soon_threadsafe(loop.stop)
+            thread.join(timeout)
+            self._thread = None
+            self._thread_loop = None
+
+    # -- scheduling ----------------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        while True:
+            await self._work.wait()
+            if self._scheduler.depth == 0:
+                self._work.clear()
+                continue
+            # Wait for a slot *before* popping: a queued job must stay
+            # in the scheduler until the moment it can actually run, so
+            # admission bounds and the fair-share rotation see the true
+            # backlog.
+            pool = await self._executor.acquire()
+            queued = self._scheduler.next_job()
+            if queued is None:  # drained while we waited for the slot
+                self._executor.release(pool)
+                self._work.clear()
+                continue
+            task = asyncio.create_task(self._run_job(pool, queued))
+            self._job_tasks.add(task)
+            task.add_done_callback(self._job_tasks.discard)
+
+    async def _run_job(self, pool, queued: QueuedJob) -> None:
+        spec = queued.spec
+        state = self.jobs[spec.id]
+        self._dispatch_counter += 1
+        state.dispatch_seq = self._dispatch_counter
+        state.status = "running"
+        state.queue_seconds = round(
+            time.monotonic() - queued.enqueued_at, 6)
+        if self._store is not None:
+            self._store.record_start(spec.id)
+        state.emit("started", dispatch_seq=state.dispatch_seq,
+                   queue_seconds=state.queue_seconds)
+        started = time.monotonic()
+        try:
+            record = await self._executor.run(pool, spec)
+        finally:
+            self._executor.release(pool)
+            self._work.set()  # a freed slot may unblock queued work
+        if self._aborting:
+            return  # crash semantics: leave the journal without "done"
+        self._finish_job(state, record,
+                         execute_seconds=time.monotonic() - started)
+
+    def _finish_job(self, state: JobState, record: JobRecord,
+                    execute_seconds: float) -> None:
+        spec = state.spec
+        state.record = record
+        state.status = "done"
+        if self._store is not None:
+            self._store.record_done(spec.id, record)
+        self._scheduler.observe_seconds(record.seconds)
+        self.stats.completed += 1
+        if record.outcome == "timeout":
+            self.stats.timeouts += 1
+        elif record.outcome == "error":
+            self.stats.failed += 1
+        self.stats.cache_hits += record.cache_hits
+        self.stats.cache_misses += record.cache_misses
+        self.stats.cache_stores += record.cache_stores
+        self.stats.tenant(spec.tenant)["completed"] += 1
+        if self.tracer is not None:
+            queue_seconds = state.queue_seconds or 0.0
+            self.tracer.complete("job:queued", queue_seconds,
+                                 tenant=spec.tenant, job=spec.id)
+            self.tracer.complete("job:execute", execute_seconds,
+                                 tenant=spec.tenant, job=spec.id,
+                                 outcome=record.outcome,
+                                 cached=record.cached)
+            self.tracer.complete("job", queue_seconds + execute_seconds,
+                                 tenant=spec.tenant, job=spec.id,
+                                 outcome=record.outcome)
+        state.emit("done", outcome=record.outcome,
+                   refuted=record.refuted, cached=record.cached,
+                   seconds=record.seconds)
+        self._done_order.append(spec.id)
+        while len(self._done_order) > self.config.retain:
+            evicted = self._done_order.pop(0)
+            self.jobs.pop(evicted, None)
+
+    # -- submission ----------------------------------------------------
+
+    def _new_job_id(self, fields: Dict) -> Tuple[int, str]:
+        self._seq += 1
+        digest = hashlib.sha256()
+        for key in ("spec_text", "impl_text", "tenant"):
+            digest.update(str(fields[key]).encode("utf-8"))
+            digest.update(b"\x1f")
+        return self._seq, "j%06d-%s" % (self._seq,
+                                        digest.hexdigest()[:8])
+
+    async def _submit(self, body: bytes) -> Tuple[int, Dict, Dict]:
+        cfg = self.config
+        fields = protocol.parse_submit(
+            body, defaults={"patterns": cfg.patterns,
+                            "checks": CHECK_ORDER})
+        tenant = fields.pop("tenant")
+        if self._scheduler.depth >= self._scheduler.max_queued:
+            # Cheap pre-check: reject before paying the parse+lint.
+            raise QueueFull("admission queue is full",
+                            retry_after=self._scheduler.retry_after())
+        # Parse + lint off the event loop; malformed input never
+        # reaches a worker.
+        await asyncio.to_thread(protocol.load_pair, fields)
+        seq, job_id = self._new_job_id(dict(fields, tenant=tenant))
+        spec = JobSpec(id=job_id, tenant=tenant,
+                       fmt=fields["fmt"],
+                       spec_text=fields["spec_text"],
+                       impl_text=fields["impl_text"],
+                       boxes=tuple(fields["boxes"]),
+                       checks=fields["checks"],
+                       patterns=fields["patterns"],
+                       seed=fields["seed"],
+                       preflight=fields["preflight"] or cfg.preflight,
+                       cache_dir=cfg.cache_dir,
+                       node_limit=cfg.node_limit,
+                       soft_timeout=cfg.soft_timeout)
+        self._scheduler.submit(spec)  # may raise QueueFull
+        state = JobState(spec, seq)
+        self.jobs[job_id] = state
+        if self._store is not None:
+            self._store.record_submit(spec, seq)
+        self.stats.submitted += 1
+        self.stats.tenant(tenant)["submitted"] += 1
+        state.emit("queued", tenant=tenant)
+        self._work.set()
+        return 202, state.view(), {}
+
+    # -- HTTP plumbing -------------------------------------------------
+
+    async def _read_request(self, reader: asyncio.StreamReader)\
+            -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+        line = await reader.readline()
+        if not line:
+            return None
+        if len(line) > _MAX_LINE:
+            raise ProtocolError(400, "request line too long")
+        try:
+            method, target, _version = \
+                line.decode("latin-1").strip().split(" ", 2)
+        except ValueError:
+            raise ProtocolError(400, "malformed request line") from None
+        headers: Dict[str, str] = {}
+        for _ in range(_MAX_HEADERS + 1):
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            if len(line) > _MAX_LINE:
+                raise ProtocolError(400, "header line too long")
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        else:
+            raise ProtocolError(400, "too many headers")
+        body = b""
+        length = headers.get("content-length")
+        if length is not None:
+            try:
+                size = int(length)
+            except ValueError:
+                raise ProtocolError(
+                    400, "bad Content-Length") from None
+            if size > protocol.MAX_BODY_BYTES:
+                raise ProtocolError(413, "request body exceeds %d "
+                                    "bytes" % protocol.MAX_BODY_BYTES)
+            body = await reader.readexactly(size)
+        return method.upper(), target, headers, body
+
+    @staticmethod
+    def _response_bytes(status: int, payload: Dict,
+                        extra_headers: Optional[Dict] = None) -> bytes:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        lines = ["HTTP/1.1 %d %s" % (status,
+                                     _REASONS.get(status, "Unknown")),
+                 "Content-Type: application/json",
+                 "Content-Length: %d" % len(body),
+                 "Connection: close"]
+        for name, value in (extra_headers or {}).items():
+            lines.append("%s: %s" % (name, value))
+        return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") \
+            + body
+
+    async def _handle_conn(self, reader: asyncio.StreamReader,
+                           writer: asyncio.StreamWriter) -> None:
+        status = 500
+        method = target = "-"
+        tenant = None
+        try:
+            try:
+                request = await self._read_request(reader)
+                if request is None:
+                    return
+                method, target, _headers, body = request
+                status = await self._route(method, target, body,
+                                           writer)
+                if isinstance(body, bytes) and method == "POST":
+                    try:
+                        tenant = json.loads(
+                            body.decode("utf-8")).get("tenant")
+                    except (ValueError, AttributeError,
+                            UnicodeDecodeError):
+                        tenant = None
+            except ProtocolError as exc:
+                status = exc.status
+                self.stats.rejected_invalid += 1
+                writer.write(self._response_bytes(exc.status,
+                                                  exc.body()))
+                await writer.drain()
+            except QueueFull as exc:
+                status = 429
+                self.stats.rejected_queue_full += 1
+                retry = int(math.ceil(exc.retry_after))
+                writer.write(self._response_bytes(
+                    429, {"error": str(exc),
+                          "retry_after": exc.retry_after},
+                    {"Retry-After": str(retry)}))
+                await writer.drain()
+            except (asyncio.IncompleteReadError, ConnectionError):
+                return
+            except Exception as exc:  # pragma: no cover - last resort
+                writer.write(self._response_bytes(
+                    500, {"error": "%s: %s"
+                          % (type(exc).__name__, exc)}))
+                await writer.drain()
+        finally:
+            self.stats.requests += 1
+            if self.tracer is not None:
+                self.tracer.instant("http", method=method, path=target,
+                                    status=status,
+                                    **({"tenant": tenant}
+                                       if tenant else {}))
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _route(self, method: str, target: str, body: bytes,
+                     writer: asyncio.StreamWriter) -> int:
+        path = target.split("?", 1)[0]
+        if path == "/healthz" and method == "GET":
+            return await self._send(writer, 200, self._healthz())
+        if path == "/stats" and method == "GET":
+            return await self._send(writer, 200, self._stats_view())
+        if path == "/v1/jobs":
+            if method != "POST":
+                return await self._send(
+                    writer, 405, {"error": "use POST to submit"})
+            if self._stopping:
+                return await self._send(
+                    writer, 503, {"error": "server is shutting down"})
+            status, payload, headers = await self._submit(body)
+            return await self._send(writer, status, payload, headers)
+        if path.startswith("/v1/jobs/"):
+            rest = path[len("/v1/jobs/"):]
+            if rest.endswith("/events"):
+                job_id, streaming = rest[:-len("/events")], True
+            else:
+                job_id, streaming = rest, False
+            state = self.jobs.get(job_id)
+            if state is None:
+                return await self._send(
+                    writer, 404,
+                    {"error": "unknown job %r (completed jobs are "
+                              "retained for the last %d)"
+                              % (job_id, self.config.retain)})
+            if method != "GET":
+                return await self._send(writer, 405,
+                                        {"error": "use GET"})
+            if streaming:
+                await self._stream_events(state, writer)
+                return 200
+            return await self._send(writer, 200, state.view())
+        return await self._send(writer, 404,
+                                {"error": "no route for %s %s"
+                                 % (method, target)})
+
+    async def _send(self, writer: asyncio.StreamWriter, status: int,
+                    payload: Dict,
+                    headers: Optional[Dict] = None) -> int:
+        writer.write(self._response_bytes(status, payload, headers))
+        await writer.drain()
+        return status
+
+    async def _stream_events(self, state: JobState,
+                             writer: asyncio.StreamWriter) -> None:
+        """Newline-delimited JSON progress until the job is terminal."""
+        head = ("HTTP/1.1 200 OK\r\n"
+                "Content-Type: application/x-ndjson\r\n"
+                "Connection: close\r\n\r\n")
+        writer.write(head.encode("latin-1"))
+        sent = 0
+        while True:
+            while sent < len(state.events):
+                writer.write((json.dumps(state.events[sent],
+                                         sort_keys=True)
+                              + "\n").encode("utf-8"))
+                sent += 1
+            await writer.drain()
+            if state.terminal and sent >= len(state.events):
+                return
+            waiter = state.changed
+            await waiter.wait()
+
+    # -- views ---------------------------------------------------------
+
+    def _healthz(self) -> Dict:
+        return {"status": "ok", "protocol": PROTOCOL_VERSION,
+                "uptime_seconds": round(
+                    time.monotonic() - self._started_monotonic, 3),
+                "slots": {"total": self.config.jobs,
+                          "idle": self._executor.idle_slots},
+                "queue_depth": self._scheduler.depth}
+
+    def _cache_view(self) -> Dict:
+        view = {"hits": self.stats.cache_hits,
+                "misses": self.stats.cache_misses,
+                "stores": self.stats.cache_stores}
+        if self.config.cache_dir:
+            from ..analysis.static.cache import CheckCache
+
+            info = CheckCache(self.config.cache_dir).info()
+            view["entries"] = info["entries"]
+            view["bytes"] = info["bytes"]
+        return view
+
+    def _stats_view(self) -> Dict:
+        running = sum(1 for state in self.jobs.values()
+                      if state.status == "running")
+        tenants: Dict[str, Dict] = {}
+        depths = self._scheduler.tenant_depths()
+        for name, entry in self.stats.tenants.items():
+            tenants[name] = dict(entry, queued=depths.get(name, 0))
+        return {"uptime_seconds": round(
+                    time.monotonic() - self._started_monotonic, 3),
+                "requests": self.stats.requests,
+                "jobs": {"submitted": self.stats.submitted,
+                         "completed": self.stats.completed,
+                         "failed": self.stats.failed,
+                         "timeouts": self.stats.timeouts,
+                         "running": running,
+                         "queued": self._scheduler.depth,
+                         "rejected_queue_full":
+                             self.stats.rejected_queue_full,
+                         "rejected_invalid":
+                             self.stats.rejected_invalid},
+                "scheduler": {"max_queued": self._scheduler.max_queued,
+                              "max_queued_per_tenant":
+                                  self._scheduler.max_queued_per_tenant,
+                              "retry_after":
+                                  self._scheduler.retry_after()},
+                "cache": self._cache_view(),
+                "tenants": tenants,
+                "journal": {"path": self.config.journal,
+                            "write_errors":
+                                self._store.write_errors
+                                if self._store else 0}}

@@ -1,0 +1,136 @@
+"""Durable job journal: the service survives restarts honestly.
+
+One append-only JSONL file (the atomic-line machinery of
+:class:`repro.jobs.journal.LineJournalWriter`, so a server killed at
+any instant leaves at most one truncated tail line) records the
+lifecycle of every job as events::
+
+    {"v": 1, "ev": "submit", "job": "j000001-d41d8cd9",
+     "seq": 1, "tenant": "alice", "spec": {...full JobSpec...}}
+    {"v": 1, "ev": "start",  "job": "j000001-d41d8cd9"}
+    {"v": 1, "ev": "done",   "job": "j000001-d41d8cd9",
+     "record": {...full JobRecord...}}
+
+:func:`JobStore.replay` folds the journal back into three classes a
+restarted server acts on:
+
+* ``done`` — the verdict is on disk; served straight from the journal.
+* ``queued`` — submitted but never started; **re-enqueued** (the
+  submission carries everything needed to run it).
+* ``lost`` — started but never finished: the server died mid-job.
+  Reported faithfully as such (the client must resubmit; silently
+  re-running a job that may have had side effects once is worse).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Tuple
+
+from ..jobs.journal import LineJournalWriter, iter_journal_dicts
+from .executor import JobRecord, JobSpec
+
+__all__ = ["STORE_VERSION", "ReplayedJob", "JobStore"]
+
+STORE_VERSION = 1
+
+
+class ReplayedJob:
+    """One job's state as reconstructed from the journal."""
+
+    __slots__ = ("spec", "seq", "status", "record")
+
+    def __init__(self, spec: JobSpec, seq: int, status: str,
+                 record: Optional[JobRecord] = None):
+        self.spec = spec
+        self.seq = seq
+        self.status = status  # "queued" | "lost" | "done"
+        self.record = record
+
+
+class JobStore:
+    """Append-only journal of job lifecycle events (optional).
+
+    With ``path=None`` the store is inert: every record call is a
+    no-op and replay yields nothing — the server simply runs
+    in-memory.  Journal write failures after open degrade the same
+    way a full trace directory does: the job still runs, durability is
+    lost, and the problem surfaces in the server log once.
+    """
+
+    def __init__(self, path: Optional[str]):
+        self.path = path
+        self._writer: Optional[LineJournalWriter] = None
+        self.write_errors = 0
+        if path:
+            self._writer = LineJournalWriter(path)
+
+    # -- replay (before the writer position matters) -------------------
+
+    @staticmethod
+    def replay(path: Optional[str]) -> List[ReplayedJob]:
+        """Fold an existing journal into per-job states, journal order.
+
+        Unknown event kinds and malformed entries are skipped — the
+        store must tolerate journals written by newer versions the
+        same way the campaign journal reader tolerates torn tails.
+        """
+        if not path or not os.path.exists(path):
+            return []
+        jobs: Dict[str, ReplayedJob] = {}
+        for event in iter_journal_dicts(path):
+            if event.get("v") != STORE_VERSION:
+                continue
+            job_id = event.get("job")
+            kind = event.get("ev")
+            if not isinstance(job_id, str):
+                continue
+            try:
+                if kind == "submit":
+                    spec = JobSpec.from_dict(event["spec"])
+                    jobs[job_id] = ReplayedJob(
+                        spec, int(event.get("seq", 0)), "queued")
+                elif kind == "start" and job_id in jobs:
+                    jobs[job_id].status = "lost"
+                elif kind == "done" and job_id in jobs:
+                    jobs[job_id].status = "done"
+                    jobs[job_id].record = JobRecord.from_dict(
+                        event["record"])
+            except (KeyError, TypeError, ValueError):
+                continue
+        return list(jobs.values())
+
+    @staticmethod
+    def max_seq(jobs: List[ReplayedJob]) -> int:
+        """Highest journaled sequence number (id allocation resumes
+        above it)."""
+        return max((job.seq for job in jobs), default=0)
+
+    # -- recording -----------------------------------------------------
+
+    def _append(self, payload: Dict) -> None:
+        if self._writer is None:
+            return
+        try:
+            self._writer.write_line(payload)
+        except OSError:
+            # Durability is best-effort; the server keeps serving.
+            self.write_errors += 1
+
+    def record_submit(self, spec: JobSpec, seq: int) -> None:
+        self._append({"v": STORE_VERSION, "ev": "submit",
+                      "job": spec.id, "seq": seq,
+                      "tenant": spec.tenant, "spec": spec.to_dict()})
+
+    def record_start(self, job_id: str) -> None:
+        self._append({"v": STORE_VERSION, "ev": "start",
+                      "job": job_id})
+
+    def record_done(self, job_id: str, record: JobRecord) -> None:
+        self._append({"v": STORE_VERSION, "ev": "done", "job": job_id,
+                      "record": record.to_dict()})
+
+    def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None

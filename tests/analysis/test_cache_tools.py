@@ -1,0 +1,111 @@
+"""CheckCache housekeeping: info(), prune(), and the cache CLI."""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis.static.cache import CheckCache
+from repro.analysis.static.cli import main as cache_main
+
+
+def fill(cache, count, payload_bytes=100):
+    """Store ``count`` entries with increasing access times."""
+    keys = []
+    for i in range(count):
+        key = cache.key("spec%d" % i, "impl%d" % i, "input_exact")
+        cache.put(key, {"verdict": "ok", "pad": "x" * payload_bytes})
+        path = cache.path_for(key)
+        # Deterministic LRU order regardless of filesystem timing.
+        os.utime(path, (1_000_000 + i, 1_000_000 + i))
+        keys.append(key)
+    return keys
+
+
+class TestInfo:
+    def test_empty_cache(self, tmp_path):
+        cache = CheckCache(str(tmp_path / "cache"))
+        assert cache.info() == {"entries": 0, "bytes": 0}
+
+    def test_counts_entries_and_bytes(self, tmp_path):
+        cache = CheckCache(str(tmp_path / "cache"))
+        fill(cache, 5)
+        report = cache.info()
+        assert report["entries"] == 5
+        assert report["bytes"] > 5 * 100
+
+    def test_ignores_temp_files(self, tmp_path):
+        cache = CheckCache(str(tmp_path / "cache"))
+        (key,) = fill(cache, 1)
+        fanout = os.path.dirname(cache.path_for(key))
+        with open(os.path.join(fanout, ".tmp-junk.json"), "w") as f:
+            f.write("{}")
+        with open(os.path.join(fanout, "notes.txt"), "w") as f:
+            f.write("hello")
+        assert cache.info()["entries"] == 1
+
+
+class TestPrune:
+    def test_evicts_oldest_first(self, tmp_path):
+        cache = CheckCache(str(tmp_path / "cache"))
+        keys = fill(cache, 10)
+        survivor_bytes = sum(
+            os.path.getsize(cache.path_for(k)) for k in keys[5:])
+        report = cache.prune(survivor_bytes)
+        assert report["removed"] == 5
+        assert report["entries"] == 5
+        # The five oldest are gone, the five newest remain readable.
+        for key in keys[:5]:
+            assert not os.path.exists(cache.path_for(key))
+        for key in keys[5:]:
+            assert cache.get(key) is not None
+
+    def test_zero_budget_empties_the_cache(self, tmp_path):
+        cache = CheckCache(str(tmp_path / "cache"))
+        fill(cache, 3)
+        report = cache.prune(0)
+        assert report["entries"] == 0
+        assert report["bytes"] == 0
+        assert cache.info() == {"entries": 0, "bytes": 0}
+
+    def test_noop_when_under_budget(self, tmp_path):
+        cache = CheckCache(str(tmp_path / "cache"))
+        fill(cache, 3)
+        report = cache.prune(10**9)
+        assert report["removed"] == 0
+        assert report["entries"] == 3
+
+    def test_rejects_negative_budget(self, tmp_path):
+        cache = CheckCache(str(tmp_path / "cache"))
+        with pytest.raises(ValueError):
+            cache.prune(-1)
+
+
+class TestCli:
+    def test_info_text_and_json(self, tmp_path, capsys):
+        cache = CheckCache(str(tmp_path / "cache"))
+        fill(cache, 2)
+        assert cache_main(["info", cache.root]) == 0
+        out = capsys.readouterr().out
+        assert "2 entries" in out
+        assert cache_main(["info", cache.root, "--format",
+                           "json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["entries"] == 2
+
+    def test_prune_reports_evictions(self, tmp_path, capsys):
+        cache = CheckCache(str(tmp_path / "cache"))
+        fill(cache, 4)
+        assert cache_main(["prune", cache.root, "--max-bytes",
+                           "0"]) == 0
+        out = capsys.readouterr().out
+        assert "removed 4 entries" in out
+        assert cache.info()["entries"] == 0
+
+    def test_dispatched_from_experiments_cli(self, tmp_path, capsys):
+        from repro.experiments.cli import main as experiments_main
+
+        cache = CheckCache(str(tmp_path / "cache"))
+        fill(cache, 1)
+        assert experiments_main(["cache", "info", cache.root]) == 0
+        assert "1 entries" in capsys.readouterr().out

@@ -138,3 +138,46 @@ class TestFormatDiff:
             tracer.span("b").done()
         text = format_diff(tracer.events, tracer.events)
         assert "1.00x" in text
+
+
+def X(name, ts, dur, **args):
+    event = {"ph": "X", "name": name, "ts": ts, "dur": dur}
+    if args:
+        event["args"] = args
+    return event
+
+
+class TestGroupBy:
+    SERVICE = [
+        X("job", 0, 100, tenant="alice"),
+        X("job", 200, 300, tenant="bob"),
+        X("job", 600, 100, tenant="alice"),
+        X("gc", 800, 10),  # no tenant annotation
+    ]
+
+    def test_roots_partition_by_annotation(self):
+        table = aggregate_spans(self.SERVICE, group_by="tenant")
+        assert table["tenant=alice/job"]["count"] == 2
+        assert table["tenant=alice/job"]["total_us"] == 200
+        assert table["tenant=bob/job"]["total_us"] == 300
+        assert table["tenant=-/gc"]["count"] == 1
+
+    def test_children_inherit_the_group(self):
+        events = [
+            B("job", 0, tenant="alice"),
+            B("rung", 10),
+            E("rung", 30),
+            E("job", 100),
+        ]
+        table = aggregate_spans(events, group_by="tenant")
+        assert table["tenant=alice/job/rung"]["total_us"] == 20
+
+    def test_no_group_means_plain_paths(self):
+        table = aggregate_spans(self.SERVICE)
+        assert set(table) == {"job", "gc"}
+        assert table["job"]["count"] == 3
+
+    def test_format_summary_group_by(self):
+        text = format_summary(self.SERVICE, group_by="tenant")
+        assert "tenant=alice/job" in text
+        assert "tenant=bob/job" in text

@@ -106,6 +106,32 @@ class TestInstantsAndCounters:
         assert counter["ph"] == "C" and counter["args"] == {"live": 340}
 
 
+class TestCompleteEvents:
+    def test_complete_is_backdated_with_duration(self):
+        tracer = Tracer(clock=FakeClock())  # each reading +1000us
+        tracer.complete("job", 0.0005, tenant="alice")
+        (event,) = tracer.events
+        assert event["ph"] == "X"
+        assert event["dur"] == 500
+        assert event["ts"] == 1000 - 500  # ends "now"
+        assert event["args"] == {"tenant": "alice"}
+
+    def test_complete_never_goes_negative(self):
+        tracer = Tracer(clock=FakeClock())
+        tracer.complete("job", 99.0)  # longer than the trace so far
+        (event,) = tracer.events
+        assert event["ts"] == 0
+        assert event["dur"] == 99_000_000
+
+    def test_complete_does_not_touch_span_stack(self):
+        tracer = Tracer(clock=FakeClock())
+        span = tracer.span("outer")
+        tracer.complete("job", 0.0001)
+        assert tracer.depth == 1
+        span.done()
+        assert [e["ph"] for e in tracer.events] == ["B", "X", "E"]
+
+
 class TestInstallation:
     def test_default_is_disabled(self):
         assert get_tracer() is None

@@ -1,0 +1,73 @@
+"""Shared fixtures: running service instances and canned requests.
+
+Servers run on a private event loop in a daemon thread
+(``start_background``), bound to an ephemeral port, with spawn worker
+processes — the real deployment shape, not a mock.  The module-scoped
+``server`` amortizes worker spawn across the read-mostly tests;
+scenario tests (fairness, backpressure, restart) build their own.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.generators.paper_examples import figure1
+from repro.serve.client import ServeClient
+from repro.serve.protocol import pair_to_request
+from repro.serve.server import EquivalenceServer, ServeConfig
+
+
+def figure1_request(tenant="anon", **options):
+    spec, partial = figure1()
+    return pair_to_request(spec, partial, tenant=tenant, **options)
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    root = tmp_path_factory.mktemp("serve")
+    instance = EquivalenceServer(ServeConfig(
+        jobs=1, cache_dir=str(root / "cache"),
+        journal=str(root / "jobs.jsonl")))
+    host, port = instance.start_background()
+    yield instance
+    instance.stop_background()
+
+
+@pytest.fixture(scope="module")
+def client(server):
+    host, port = server.address
+    return ServeClient(host, port, timeout=120.0)
+
+
+class SlotBlocker:
+    """Occupy executor slots so submissions pile up in the scheduler.
+
+    Acquiring every slot from the outside makes queue-shape tests
+    deterministic: nothing dispatches until :meth:`release`, however
+    fast the checks are.
+    """
+
+    def __init__(self, server):
+        self._server = server
+        self._pools = []
+
+    def block(self, count=None):
+        loop = self._server._thread_loop
+        count = self._server.config.jobs if count is None else count
+        for _ in range(count):
+            future = asyncio.run_coroutine_threadsafe(
+                self._server._executor.acquire(), loop)
+            self._pools.append(future.result(30))
+
+    def release(self):
+        loop = self._server._thread_loop
+        pools, self._pools = self._pools, []
+
+        def _release():
+            for pool in pools:
+                self._server._executor.release(pool)
+            self._server._work.set()
+
+        asyncio.run_coroutine_threadsafe(
+            asyncio.sleep(0), loop).result(30)
+        loop.call_soon_threadsafe(_release)

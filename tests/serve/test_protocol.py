@@ -1,0 +1,121 @@
+"""Protocol-layer tests: validation, netlist round trip, lint gate."""
+
+import json
+
+import pytest
+
+from repro.core.ladder import CHECK_ORDER
+from repro.generators.paper_examples import figure1
+from repro.serve.protocol import (ProtocolError, load_pair,
+                                  pair_to_request, parse_submit)
+
+
+def submit_body(**overrides):
+    spec, partial = figure1()
+    request = pair_to_request(spec, partial, tenant="alice")
+    request.update(overrides)
+    return json.dumps(request).encode("utf-8")
+
+
+class TestParseSubmit:
+    def test_happy_path(self):
+        fields = parse_submit(submit_body(patterns=32, seed=7))
+        assert fields["tenant"] == "alice"
+        assert fields["fmt"] == "blif"
+        assert fields["patterns"] == 32
+        assert fields["seed"] == 7
+        assert fields["checks"] == CHECK_ORDER
+        assert fields["boxes"][0]["name"]
+
+    def test_defaults_apply(self):
+        fields = parse_submit(submit_body(),
+                              defaults={"patterns": 123})
+        assert fields["patterns"] == 123
+        assert fields["preflight"] is False
+
+    def test_rejects_non_json(self):
+        with pytest.raises(ProtocolError) as err:
+            parse_submit(b"\xff\xfenot json")
+        assert err.value.status == 400
+
+    def test_rejects_non_object(self):
+        with pytest.raises(ProtocolError):
+            parse_submit(b"[1, 2]")
+
+    def test_rejects_missing_netlists(self):
+        with pytest.raises(ProtocolError) as err:
+            parse_submit(b'{"tenant": "a", "spec": "x"}')
+        assert "impl" in str(err.value)
+
+    def test_rejects_unknown_format(self):
+        with pytest.raises(ProtocolError) as err:
+            parse_submit(submit_body(format="verilog"))
+        assert "verilog" in str(err.value)
+
+    def test_rejects_unknown_check(self):
+        with pytest.raises(ProtocolError) as err:
+            parse_submit(submit_body(checks=["quantum"]))
+        assert err.value.status == 400
+
+    def test_checks_canonicalized_to_ladder_order(self):
+        fields = parse_submit(submit_body(
+            checks=["input_exact", "random_pattern"]))
+        assert fields["checks"] == ("random_pattern", "input_exact")
+
+    def test_rejects_bad_patterns(self):
+        with pytest.raises(ProtocolError):
+            parse_submit(submit_body(patterns=0))
+        with pytest.raises(ProtocolError):
+            parse_submit(submit_body(patterns="many"))
+
+    def test_rejects_malformed_boxes(self):
+        with pytest.raises(ProtocolError):
+            parse_submit(submit_body(boxes=[{"name": "BB1"}]))
+        with pytest.raises(ProtocolError):
+            parse_submit(submit_body(boxes=["BB1"]))
+
+
+class TestLoadPair:
+    def test_round_trips_figure1(self):
+        spec0, partial0 = figure1()
+        fields = parse_submit(submit_body())
+        spec, partial = load_pair(fields)
+        assert sorted(spec.outputs) == sorted(spec0.outputs)
+        assert [b.name for b in partial.boxes] \
+            == [b.name for b in partial0.boxes]
+        assert sorted(partial.circuit.free_nets()) \
+            == sorted(partial0.circuit.free_nets())
+
+    def test_incomplete_spec_rejected(self):
+        fields = parse_submit(submit_body())
+        # 'h' is referenced but never driven: an incomplete spec.
+        fields["spec_text"] = (".model s\n.inputs a\n.outputs f\n"
+                               ".names a h f\n11 1\n.end\n")
+        with pytest.raises(ProtocolError) as err:
+            load_pair(fields)
+        assert err.value.status == 400
+        assert "spec" in str(err.value)
+
+    def test_unparsable_impl_rejected(self):
+        fields = parse_submit(submit_body())
+        fields["impl_text"] = ".model broken\n.wat\n.end\n"
+        with pytest.raises(ProtocolError) as err:
+            load_pair(fields)
+        assert err.value.status == 400
+
+    def test_lint_failure_carries_diagnostics(self):
+        # The impl reads a net nothing drives and no Black Box
+        # produces: lint rule B002, reported as structured diagnostics.
+        fields = parse_submit(submit_body(boxes=[]))
+        fields["spec_text"] = (".model s\n.inputs a\n.outputs f\n"
+                               ".names a f\n1 1\n.end\n")
+        fields["impl_text"] = (".model i\n.inputs a\n.outputs f\n"
+                               ".names a h f\n11 1\n.end\n")
+        with pytest.raises(ProtocolError) as err:
+            load_pair(fields)
+        assert err.value.status == 400
+        assert err.value.diagnostics
+        body = err.value.body()
+        assert body["diagnostics"] == err.value.diagnostics
+        rule_ids = {d["rule"] for d in err.value.diagnostics}
+        assert "B002" in rule_ids, rule_ids

@@ -1,0 +1,107 @@
+"""FairScheduler unit tests: bounds, rotation, backoff sizing."""
+
+import pytest
+
+from repro.serve.executor import JobSpec
+from repro.serve.scheduler import FairScheduler, QueueFull
+
+
+def spec(job_id, tenant):
+    return JobSpec(id=job_id, tenant=tenant, fmt="blif",
+                   spec_text="", impl_text="", boxes=(),
+                   checks=("random_pattern",))
+
+
+class TestAdmission:
+    def test_global_bound(self):
+        sched = FairScheduler(max_queued=3, max_queued_per_tenant=3)
+        for i in range(3):
+            sched.submit(spec("j%d" % i, "a"))
+        with pytest.raises(QueueFull) as err:
+            sched.submit(spec("j3", "b"))
+        assert err.value.retry_after >= 1.0
+        assert sched.depth == 3
+
+    def test_per_tenant_bound_leaves_room_for_others(self):
+        sched = FairScheduler(max_queued=10, max_queued_per_tenant=2)
+        sched.submit(spec("a1", "a"))
+        sched.submit(spec("a2", "a"))
+        with pytest.raises(QueueFull):
+            sched.submit(spec("a3", "a"))
+        # Another tenant still gets in.
+        sched.submit(spec("b1", "b"))
+        assert sched.tenant_depths() == {"a": 2, "b": 1}
+
+    def test_default_per_tenant_is_half(self):
+        assert FairScheduler(max_queued=64).max_queued_per_tenant == 32
+        assert FairScheduler(max_queued=1).max_queued_per_tenant == 1
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            FairScheduler(max_queued=0)
+
+
+class TestDispatch:
+    def test_round_robin_across_tenants(self):
+        sched = FairScheduler(max_queued=16, max_queued_per_tenant=8)
+        for i in range(3):
+            sched.submit(spec("a%d" % i, "a"))
+        for i in range(3):
+            sched.submit(spec("b%d" % i, "b"))
+        order = [sched.next_job().spec.id for _ in range(6)]
+        assert order == ["a0", "b0", "a1", "b1", "a2", "b2"]
+        assert sched.next_job() is None
+        assert sched.depth == 0
+
+    def test_fifo_within_tenant(self):
+        sched = FairScheduler(max_queued=8)
+        sched.submit(spec("a0", "a"))
+        sched.submit(spec("a1", "a"))
+        assert sched.next_job().spec.id == "a0"
+        assert sched.next_job().spec.id == "a1"
+
+    def test_bounded_starvation_with_skewed_load(self):
+        # Tenant a floods; tenant b's single job must be served within
+        # one round of the rotation, not after a's whole backlog.
+        sched = FairScheduler(max_queued=32, max_queued_per_tenant=20)
+        for i in range(10):
+            sched.submit(spec("a%d" % i, "a"))
+        sched.submit(spec("b0", "b"))
+        order = [sched.next_job().spec.id for _ in range(11)]
+        assert order.index("b0") <= 1
+
+    def test_late_tenant_joins_rotation(self):
+        sched = FairScheduler(max_queued=8)
+        sched.submit(spec("a0", "a"))
+        sched.submit(spec("a1", "a"))
+        assert sched.next_job().spec.id == "a0"
+        sched.submit(spec("b0", "b"))
+        assert [sched.next_job().spec.id for _ in range(2)] \
+            == ["a1", "b0"]
+
+    def test_drain_reports_dropped(self):
+        sched = FairScheduler(max_queued=8)
+        sched.submit(spec("a0", "a"))
+        sched.submit(spec("b0", "b"))
+        assert sched.drain() == {"a": 1, "b": 1}
+        assert sched.depth == 0
+        assert sched.next_job() is None
+
+
+class TestRetryAfter:
+    def test_scales_with_backlog_and_job_time(self):
+        sched = FairScheduler(max_queued=64, max_queued_per_tenant=64)
+        for _ in range(4):
+            sched.observe_seconds(10.0)
+        for i in range(5):
+            sched.submit(spec("j%d" % i, "a"))
+        assert sched.retry_after() > 5.0
+
+    def test_clamped_to_sane_range(self):
+        sched = FairScheduler(max_queued=64)
+        assert 1.0 <= sched.retry_after() <= 60.0
+        for _ in range(10):
+            sched.observe_seconds(1000.0)
+        for i in range(30):
+            sched.submit(spec("j%d" % i, "t%d" % i))
+        assert sched.retry_after() == 60.0

@@ -1,0 +1,329 @@
+"""End-to-end service tests over real HTTP against real workers.
+
+Every test here talks to an :class:`EquivalenceServer` bound to an
+ephemeral port, through :class:`ServeClient` — the full production
+path: socket, hand-rolled HTTP, scheduler, spawn worker, journal,
+check cache.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.core.ladder import CHECK_ORDER
+from repro.generators.benchmarks import BENCHMARK_FACTORIES
+from repro.generators import alu4_like
+from repro.partial.extraction import make_partial
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.protocol import pair_to_request
+from repro.serve.server import EquivalenceServer, ServeConfig
+
+from .conftest import SlotBlocker, figure1_request
+
+
+def wait_status(client, job_id, status, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        view = client.job(job_id)
+        if view["status"] == status:
+            return view
+        time.sleep(0.02)
+    raise AssertionError("job %s never reached %r (last: %r)"
+                         % (job_id, status, view["status"]))
+
+
+class TestHappyPath:
+    def test_submit_poll_verdict(self, client):
+        job = client.submit(figure1_request(tenant="alice"))
+        assert job["status"] == "queued"
+        assert job["id"].startswith("j")
+        final = client.wait(job["id"], timeout=120)
+        assert final["status"] == "done"
+        result = final["result"]
+        assert result["outcome"] == "ok"
+        verdict = final["verdict"]
+        assert verdict["refuted"] is False
+        # Two Black Boxes: the input-exact rung is an approximation,
+        # so the verdict is "no error found", not "exact".
+        assert verdict["exact"] is False
+        assert [c["check"] for c in verdict["checks"]] \
+            == list(CHECK_ORDER)
+
+    def test_event_stream_reaches_done(self, client):
+        job = client.submit(figure1_request(tenant="alice"))
+        events = list(client.stream(job["id"]))
+        kinds = [e["ev"] for e in events]
+        assert kinds[0] == "queued"
+        assert kinds[-1] == "done"
+        assert "started" in kinds
+        assert all(e["job"] == job["id"] for e in events)
+
+    def test_healthz(self, client):
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["slots"]["total"] == 1
+        assert health["protocol"] == 1
+
+    def test_stats_counts_traffic(self, client):
+        before = client.stats()
+        client.wait(client.submit(figure1_request(tenant="carol"))
+                    ["id"], timeout=120)
+        after = client.stats()
+        assert after["jobs"]["submitted"] \
+            > before["jobs"]["submitted"]
+        assert after["tenants"]["carol"]["completed"] >= 1
+        assert "entries" in after["cache"]
+        assert "bytes" in after["cache"]
+
+    def test_unknown_job_is_404(self, client):
+        with pytest.raises(ServeError) as err:
+            client.job("j999999-deadbeef")
+        assert err.value.status == 404
+
+    def test_unknown_route_is_404(self, client):
+        with pytest.raises(ServeError) as err:
+            client._request("GET", "/v2/nope")
+        assert err.value.status == 404
+
+    def test_wrong_method_is_405(self, client):
+        with pytest.raises(ServeError) as err:
+            client._request("GET", "/v1/jobs", None)
+        assert err.value.status == 405
+
+    def test_malformed_netlist_is_400_with_diagnostics(self, client):
+        request = figure1_request(tenant="alice")
+        request["boxes"] = []
+        # The impl reads a net nothing drives and no Black Box
+        # produces: lint rule B002.
+        request["spec"] = (".model s\n.inputs a\n.outputs f\n"
+                           ".names a f\n1 1\n.end\n")
+        request["impl"] = (".model i\n.inputs a\n.outputs f\n"
+                           ".names a h f\n11 1\n.end\n")
+        with pytest.raises(ServeError) as err:
+            client.submit(request)
+        assert err.value.status == 400
+        assert err.value.diagnostics, err.value.body
+        assert any(d["severity"] == "error"
+                   for d in err.value.diagnostics)
+
+    def test_invalid_json_is_400(self, client):
+        with pytest.raises(ServeError) as err:
+            client._request("POST", "/v1/jobs", {"tenant": 7})
+        assert err.value.status == 400
+
+
+class TestWarmCache:
+    def test_resubmission_replays_byte_identical(self, client,
+                                                 server):
+        # A pair unique to this test, so the first run is cold even
+        # though the module server's cache is shared.
+        spec = alu4_like()
+        partial = make_partial(spec, fraction=0.1, seed=11)
+        request = pair_to_request(spec, partial, tenant="alice",
+                                  patterns=256, seed=11)
+
+        cold = client.wait(client.submit(request)["id"], timeout=240)
+        warm = client.wait(client.submit(request)["id"], timeout=240)
+
+        assert cold["result"]["cached"] is False
+        assert warm["result"]["cached"] is True
+        assert all(c["cached"] for c in warm["result"]["checks"])
+        # The verdict replays byte-for-byte, including each check's
+        # originally measured seconds.
+        assert json.dumps(cold["verdict"], sort_keys=True) \
+            == json.dumps(warm["verdict"], sort_keys=True)
+        # ... and the replay is measurably faster than the cold proof.
+        assert warm["result"]["seconds"] < cold["result"]["seconds"]
+        stats = client.stats()
+        assert stats["cache"]["hits"] >= len(CHECK_ORDER)
+        assert stats["cache"]["entries"] >= len(CHECK_ORDER)
+
+
+class TestFairness:
+    def test_two_tenants_interleave_with_no_starvation(self, tmp_path):
+        server = EquivalenceServer(ServeConfig(jobs=1, queue=64,
+                                               tenant_queue=32))
+        host, port = server.start_background()
+        client = ServeClient(host, port, timeout=120.0)
+        blocker = SlotBlocker(server)
+        try:
+            blocker.block()
+            # Worst-case arrival order: tenant a's whole burst first.
+            request = figure1_request(
+                checks=["random_pattern"], patterns=32, seed=1)
+            ids = {}
+            for tenant in ("alice", "bob"):
+                for i in range(8):
+                    submission = dict(request, tenant=tenant)
+                    ids[client.submit(submission)["id"]] = tenant
+            assert len(ids) == 16
+            blocker.release()
+            views = {job_id: client.wait(job_id, timeout=120)
+                     for job_id in ids}
+            assert all(v["status"] == "done"
+                       and v["result"]["outcome"] == "ok"
+                       for v in views.values())
+            # Reconstruct dispatch order; fair-share must alternate
+            # tenants even though all of alice's jobs arrived first.
+            order = [ids[job_id] for job_id, _ in
+                     sorted(views.items(),
+                            key=lambda kv: kv[1]["dispatch_seq"])]
+            for k in range(1, len(order) + 1):
+                a = order[:k].count("alice")
+                b = order[:k].count("bob")
+                assert abs(a - b) <= 1, order
+        finally:
+            server.stop_background()
+
+
+class TestBackpressure:
+    def test_queue_full_is_429_with_retry_after(self, tmp_path):
+        server = EquivalenceServer(ServeConfig(jobs=1, queue=4,
+                                               tenant_queue=2))
+        host, port = server.start_background()
+        client = ServeClient(host, port, timeout=120.0)
+        blocker = SlotBlocker(server)
+        try:
+            blocker.block()
+            request = figure1_request(
+                checks=["random_pattern"], patterns=32, seed=1)
+            accepted = []
+            for tenant in ("alice", "alice", "bob", "bob"):
+                submission = dict(request, tenant=tenant)
+                accepted.append(client.submit(submission)["id"])
+            # Tenant bound: alice already holds 2 of the 4 slots.
+            with pytest.raises(ServeError) as err:
+                client.submit(dict(request, tenant="alice"))
+            assert err.value.status == 429
+            assert err.value.retry_after >= 1.0
+            # Global bound: the queue itself is full now.
+            with pytest.raises(ServeError) as err:
+                client.submit(dict(request, tenant="dave"))
+            assert err.value.status == 429
+            stats = client.stats()
+            assert stats["jobs"]["rejected_queue_full"] == 2
+            blocker.release()
+            for job_id in accepted:
+                final = client.wait(job_id, timeout=120)
+                assert final["status"] == "done"
+        finally:
+            server.stop_background()
+
+
+class TestRestart:
+    def test_done_and_queued_jobs_survive_graceful_restart(
+            self, tmp_path):
+        journal = str(tmp_path / "jobs.jsonl")
+        request = figure1_request(tenant="alice",
+                                  checks=["random_pattern"],
+                                  patterns=32, seed=1)
+
+        first = EquivalenceServer(ServeConfig(jobs=1, journal=journal))
+        host, port = first.start_background()
+        client = ServeClient(host, port, timeout=120.0)
+        done = client.wait(client.submit(request)["id"], timeout=120)
+        blocker = SlotBlocker(first)
+        blocker.block()
+        queued_ids = [client.submit(dict(request, seed=seed))["id"]
+                      for seed in (2, 3)]
+        first.stop_background()  # graceful: queued jobs never started
+
+        second = EquivalenceServer(ServeConfig(jobs=1,
+                                               journal=journal))
+        host, port = second.start_background()
+        client = ServeClient(host, port, timeout=120.0)
+        try:
+            # The completed job is served from the journal...
+            replayed = client.job(done["id"])
+            assert replayed["status"] == "done"
+            assert replayed["verdict"] == done["verdict"]
+            # ... the queued ones resume and finish...
+            for job_id in queued_ids:
+                final = client.wait(job_id, timeout=120)
+                assert final["status"] == "done"
+                assert final["result"]["outcome"] == "ok"
+            # ... and id allocation continues past the journal.
+            fresh = client.submit(dict(request, seed=9))
+            seqs = [int(job_id.split("-")[0][1:])
+                    for job_id in (done["id"], fresh["id"])]
+            assert seqs[1] > seqs[0]
+        finally:
+            second.stop_background()
+
+    def test_killed_mid_job_reported_lost_after_restart(
+            self, tmp_path):
+        journal = str(tmp_path / "jobs.jsonl")
+        spec = BENCHMARK_FACTORIES["C880"]()
+        partial = make_partial(spec, fraction=0.2, seed=1)
+        # input_exact on C880 takes long enough that the abort lands
+        # mid-proof (the worker is SIGKILLed).
+        request = pair_to_request(spec, partial, tenant="alice",
+                                  checks=["input_exact"])
+
+        first = EquivalenceServer(ServeConfig(jobs=1, journal=journal))
+        host, port = first.start_background()
+        client = ServeClient(host, port, timeout=120.0)
+        job = client.submit(request)
+        wait_status(client, job["id"], "running")
+        first.stop_background(abort=True)
+
+        second = EquivalenceServer(ServeConfig(jobs=1,
+                                               journal=journal))
+        host, port = second.start_background()
+        client = ServeClient(host, port, timeout=120.0)
+        try:
+            view = client.job(job["id"])
+            assert view["status"] == "lost"
+            assert "resubmit" in view["detail"]
+            events = list(client.stream(job["id"]))
+            assert events[-1]["ev"] == "lost"
+        finally:
+            second.stop_background()
+
+
+class TestServiceTracing:
+    def test_trace_groups_by_tenant(self, tmp_path):
+        from repro.obs import read_jsonl
+        from repro.obs.summary import aggregate_spans, format_summary
+
+        trace = str(tmp_path / "serve.trace.jsonl")
+        server = EquivalenceServer(ServeConfig(jobs=1,
+                                               trace_path=trace))
+        host, port = server.start_background()
+        client = ServeClient(host, port, timeout=120.0)
+        request = figure1_request(checks=["random_pattern"],
+                                  patterns=32, seed=1)
+        for tenant in ("alice", "bob"):
+            client.wait(client.submit(dict(request, tenant=tenant))
+                        ["id"], timeout=120)
+        server.stop_background()
+
+        events = read_jsonl(trace)
+        assert any(e["ph"] == "i" and e["name"] == "http"
+                   for e in events)
+        table = aggregate_spans(events, group_by="tenant")
+        assert "tenant=alice/job" in table
+        assert "tenant=bob/job" in table
+        assert table["tenant=alice/job"]["count"] == 1
+        rendered = format_summary(events, top=20, group_by="tenant")
+        assert "tenant=bob/job:execute" in rendered
+
+
+class TestCli:
+    def test_parser_flags(self):
+        from repro.serve.__main__ import build_parser
+
+        args = build_parser().parse_args(
+            ["--port", "0", "--jobs", "3", "--queue", "9",
+             "--cache-dir", "/tmp/c", "--journal", "/tmp/j.jsonl",
+             "--timeout", "12", "--preflight", "--trace",
+             "/tmp/t.jsonl"])
+        assert args.port == 0
+        assert args.jobs == 3
+        assert args.queue == 9
+        assert args.cache_dir == "/tmp/c"
+        assert args.journal == "/tmp/j.jsonl"
+        assert args.timeout == 12.0
+        assert args.preflight is True
+        assert args.trace_path == "/tmp/t.jsonl"

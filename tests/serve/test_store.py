@@ -1,0 +1,99 @@
+"""JobStore tests: replay semantics and journal robustness.
+
+The kill-mid-job contract is proved here at the layer that owns it: a
+``start`` event without a matching ``done`` is exactly what a server
+killed mid-job leaves behind, and replay must classify it as ``lost``
+— never silently re-run, never reported as complete.
+"""
+
+import json
+
+from repro.serve.executor import JobRecord, JobSpec
+from repro.serve.store import STORE_VERSION, JobStore
+
+
+def spec(job_id, tenant="a"):
+    return JobSpec(id=job_id, tenant=tenant, fmt="blif",
+                   spec_text=".model s\n.end\n",
+                   impl_text=".model i\n.end\n", boxes=(),
+                   checks=("random_pattern",), patterns=8, seed=3)
+
+
+def record(job_id):
+    return JobRecord(id=job_id, outcome="ok", exact=True,
+                     checks=[{"check": "random_pattern",
+                              "outcome": "ok", "cached": False}],
+                     seconds=0.25)
+
+
+class TestReplay:
+    def test_empty_or_missing_journal(self, tmp_path):
+        assert JobStore.replay(None) == []
+        assert JobStore.replay(str(tmp_path / "absent.jsonl")) == []
+
+    def test_lifecycle_classification(self, tmp_path):
+        path = str(tmp_path / "jobs.jsonl")
+        store = JobStore(path)
+        store.record_submit(spec("queued-1"), 1)
+        store.record_submit(spec("lost-2"), 2)
+        store.record_start("lost-2")
+        store.record_submit(spec("done-3"), 3)
+        store.record_start("done-3")
+        store.record_done("done-3", record("done-3"))
+        store.close()
+
+        replayed = {j.spec.id: j for j in JobStore.replay(path)}
+        assert replayed["queued-1"].status == "queued"
+        assert replayed["lost-2"].status == "lost"
+        assert replayed["done-3"].status == "done"
+        assert replayed["done-3"].record.exact is True
+        assert replayed["queued-1"].spec.patterns == 8
+        assert JobStore.max_seq(list(replayed.values())) == 3
+
+    def test_kill_mid_job_is_lost_not_rerun(self, tmp_path):
+        # The journal a crashed server leaves behind: started, no done.
+        path = str(tmp_path / "jobs.jsonl")
+        store = JobStore(path)
+        store.record_submit(spec("j1"), 1)
+        store.record_start("j1")
+        store.close()
+        (replayed,) = JobStore.replay(path)
+        assert replayed.status == "lost"
+
+    def test_torn_tail_and_junk_tolerated(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        store = JobStore(str(path))
+        store.record_submit(spec("j1"), 1)
+        store.record_done("j1", record("j1"))
+        store.close()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("not json\n")
+            handle.write(json.dumps({"v": STORE_VERSION,
+                                     "ev": "wormhole",
+                                     "job": "j1"}) + "\n")
+            handle.write(json.dumps({"v": 99, "ev": "submit",
+                                     "job": "future"}) + "\n")
+            handle.write('{"v": 1, "ev": "submit", "job": "torn')
+        (replayed,) = JobStore.replay(str(path))
+        assert replayed.spec.id == "j1"
+        assert replayed.status == "done"
+
+    def test_events_for_unknown_jobs_skipped(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps({"v": STORE_VERSION, "ev": "start",
+                                     "job": "ghost"}) + "\n")
+            handle.write(json.dumps({"v": STORE_VERSION, "ev": "done",
+                                     "job": "ghost",
+                                     "record": {}}) + "\n")
+        assert JobStore.replay(str(path)) == []
+
+
+class TestInertStore:
+    def test_none_path_is_noop(self):
+        store = JobStore(None)
+        store.record_submit(spec("j1"), 1)
+        store.record_start("j1")
+        store.record_done("j1", record("j1"))
+        store.close()
+        assert store.write_errors == 0

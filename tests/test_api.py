@@ -61,3 +61,45 @@ class TestWorkflow:
         diagnosis = checker.diagnose(
             impl, [checker.spec.gates[5].output])
         assert diagnosis.confined
+
+
+class TestResourceAndReuseThreading:
+    """check() threads budget/preflight/cache through to the ladder."""
+
+    def test_cache_round_trip_is_byte_identical(self, checker,
+                                                tmp_path):
+        from repro.analysis.static import CheckCache
+
+        partial = checker.carve(fraction=0.1, seed=4)
+        cache = CheckCache(str(tmp_path / "cache"))
+        cold = checker.check(partial, patterns=100, seed=0,
+                             stop_at_first_error=False, cache=cache)
+        assert cache.stats()["stores"] == len(cold)
+        warm_cache = CheckCache(cache.root)
+        warm = checker.check(partial, patterns=100, seed=0,
+                             stop_at_first_error=False,
+                             cache=warm_cache)
+        assert warm_cache.stats()["hits"] == len(warm)
+        assert all(r.stats.get("check_cache") == "hit" for r in warm)
+        assert [(r.check, r.outcome, r.error_found, r.seconds)
+                for r in warm] \
+            == [(r.check, r.outcome, r.error_found, r.seconds)
+                for r in cold]
+
+    def test_preflight_passes_through(self, checker):
+        partial = checker.carve(fraction=0.1, seed=4)
+        results = checker.check(partial, patterns=100, seed=0,
+                                preflight=True,
+                                stop_at_first_error=False)
+        assert any("static" in (r.stats or {})
+                   or r.check == "preflight" for r in results) \
+            or all(r.outcome == "ok" for r in results)
+
+    def test_budget_passes_through(self, checker):
+        from repro.resilience.budget import Budget
+
+        partial = checker.carve(fraction=0.1, seed=4)
+        results = checker.check(partial, patterns=50, seed=0,
+                                stop_at_first_error=False,
+                                budget=Budget(max_live_nodes=64))
+        assert any(r.outcome == "inconclusive" for r in results)

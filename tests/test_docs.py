@@ -53,7 +53,7 @@ def test_cli_commands_in_docs_are_valid():
     for c in commands:
         flattened.update(c.split("|"))
     known = {"table1", "table2", "table40", "figures", "sweep", "lint",
-             "trace"}
+             "trace", "cache"}
     assert flattened <= known, flattened - known
 
 
