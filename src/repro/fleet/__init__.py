@@ -1,0 +1,60 @@
+"""Sharded, crash-resumable campaign execution (ROADMAP item 4).
+
+The fleet generalises :mod:`repro.jobs` from a single spawn pool to N
+independent *shards*, each a failure domain of its own:
+
+* :mod:`~repro.fleet.shard` — deterministic partition of the case
+  space by coordinate-derived keys (every participant derives the
+  same split, enabling coordination-free stealing);
+* :mod:`~repro.fleet.leases` — ``O_CREAT|O_EXCL`` lease files, the
+  single mutual-exclusion primitive arbitrating steals and retries;
+* :mod:`~repro.fleet.journal` — per-shard append-only event journals
+  (hello/heartbeat/claim/case) plus the supervisor's decision log,
+  built on the campaign journal's atomic line writer;
+* :mod:`~repro.fleet.shardproc` — the shard child: inline execution
+  (records byte-identical to a serial run), heartbeat thread,
+  tail-first work stealing;
+* :mod:`~repro.fleet.supervisor` — :func:`run_fleet`: spawn, tail,
+  detect death (exit / heartbeat miss / wedged case), reschedule with
+  bounded retry + :class:`repro.resilience.BackoffPolicy`, respawn
+  when no survivors remain, then merge deterministically;
+* :mod:`~repro.fleet.merge` — duplicate-tolerant, interleaving-
+  independent record merge feeding the canonical-order aggregation;
+* :mod:`~repro.fleet.slots` — :class:`SlotFleet`, the async slot
+  substrate the service's executor runs on.
+
+``--shards N`` on the experiments CLI routes a campaign here; journal
+bytes, tables, JSON and CSV are byte-identical to ``--shards 1`` and
+to a serial run for deterministic tasks, whatever crashes or steals
+happened along the way (see ``docs/parallel.md``).
+"""
+
+from .journal import (FLEET_VERSION, FleetPaths, ShardJournal,
+                      SupervisorJournal, collect_case_events,
+                      iter_fleet_events)
+from .leases import LeaseDir
+from .merge import merge_case_events, pick_record
+from .shard import case_key_hash, partition, shard_of
+from .slots import SlotFleet
+from .supervisor import (HEARTBEAT_ENV, FleetConfig, Supervisor,
+                         run_fleet)
+
+__all__ = [
+    "FLEET_VERSION",
+    "FleetPaths",
+    "ShardJournal",
+    "SupervisorJournal",
+    "collect_case_events",
+    "iter_fleet_events",
+    "LeaseDir",
+    "merge_case_events",
+    "pick_record",
+    "case_key_hash",
+    "partition",
+    "shard_of",
+    "SlotFleet",
+    "HEARTBEAT_ENV",
+    "FleetConfig",
+    "Supervisor",
+    "run_fleet",
+]

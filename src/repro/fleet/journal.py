@@ -1,0 +1,174 @@
+"""Shard and supervisor event journals.
+
+Each shard owns one append-only JSONL file (built on the campaign
+journal's :class:`~repro.jobs.journal.LineJournalWriter`, so the
+atomic-line / torn-tail / ENOSPC contract carries over verbatim).  The
+journal is the shard's *only* output channel: heartbeats prove
+liveness, ``claim`` events mark cases in flight, and ``case`` events
+wrap a full campaign :class:`~repro.jobs.journal.CaseRecord` dict —
+unmodified, so the record bytes that reach the merged campaign journal
+are exactly what a serial run would have written.  Shard metadata
+(which shard ran it, who it was stolen from) lives in the *envelope*,
+never inside the record.
+
+The supervisor writes its own journal of recovery decisions
+(``shard_dead``, ``case_lost``, ``reschedule``, ``respawn``,
+``case_timeout``) plus terminal ``case`` events for retry-exhausted
+cases, making every recovery replayable after the fact.
+
+Event vocabulary (``v`` = 1)::
+
+    {"v":1,"ev":"hello","shard":0,"pid":123,"incarnation":0,"assigned":7}
+    {"v":1,"ev":"heartbeat","shard":0,"n":42}
+    {"v":1,"ev":"claim","shard":0,"key":"9f..","stolen_from":null}
+    {"v":1,"ev":"case","shard":0,"key":"9f..","stolen_from":2,
+     "record":{...full CaseRecord dict...}}
+    {"v":1,"ev":"skip","shard":0,"key":"9f.."}   # lost the lease race
+    {"v":1,"ev":"bye","shard":0,"executed":9}
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Dict, Iterator, List, Optional
+
+from ..jobs.journal import CaseRecord, LineJournalWriter, \
+    iter_journal_dicts
+
+__all__ = ["FLEET_VERSION", "FleetPaths", "ShardJournal",
+           "SupervisorJournal", "iter_fleet_events",
+           "collect_case_events"]
+
+FLEET_VERSION = 1
+
+
+class FleetPaths:
+    """Canonical layout of one fleet directory."""
+
+    def __init__(self, base: str):
+        self.base = base
+
+    def shard_journal(self, shard: int) -> str:
+        return os.path.join(self.base, "shard-%d.jsonl" % shard)
+
+    @property
+    def supervisor_journal(self) -> str:
+        return os.path.join(self.base, "supervisor.jsonl")
+
+    @property
+    def leases(self) -> str:
+        return os.path.join(self.base, "leases")
+
+    def shard_journals(self) -> List[str]:
+        """Every shard journal present on disk, in shard order."""
+        try:
+            names = os.listdir(self.base)
+        except FileNotFoundError:
+            return []
+        found = []
+        for name in names:
+            if name.startswith("shard-") and name.endswith(".jsonl"):
+                try:
+                    found.append((int(name[len("shard-"):-len(".jsonl")]),
+                                  os.path.join(self.base, name)))
+                except ValueError:
+                    continue
+        return [path for _, path in sorted(found)]
+
+
+class _EventJournal:
+    """Thread-safe event writer over :class:`LineJournalWriter`.
+
+    Thread safety matters for shards: the heartbeat thread appends
+    concurrently with the main execution loop.
+    """
+
+    def __init__(self, path: str):
+        self._writer = LineJournalWriter(path)
+        self._lock = threading.Lock()
+        self.path = path
+
+    def emit(self, ev: str, **fields) -> None:
+        payload = {"v": FLEET_VERSION, "ev": ev}
+        payload.update(fields)
+        with self._lock:
+            self._writer.write_line(payload)
+
+    def close(self) -> None:
+        with self._lock:
+            self._writer.close()
+
+
+class ShardJournal(_EventJournal):
+    """One shard's append-only event stream."""
+
+    def __init__(self, path: str, shard: int):
+        super().__init__(path)
+        self.shard = shard
+        self._beats = 0
+
+    def hello(self, pid: int, incarnation: int, assigned: int) -> None:
+        self.emit("hello", shard=self.shard, pid=pid,
+                  incarnation=incarnation, assigned=assigned)
+
+    def heartbeat(self) -> None:
+        self._beats += 1
+        self.emit("heartbeat", shard=self.shard, n=self._beats)
+
+    def claim(self, key: str, stolen_from: Optional[int]) -> None:
+        self.emit("claim", shard=self.shard, key=key,
+                  stolen_from=stolen_from)
+
+    def case(self, key: str, record: CaseRecord,
+             stolen_from: Optional[int]) -> None:
+        self.emit("case", shard=self.shard, key=key,
+                  stolen_from=stolen_from, record=record.to_dict())
+
+    def skip(self, key: str) -> None:
+        self.emit("skip", shard=self.shard, key=key)
+
+    def bye(self, executed: int) -> None:
+        self.emit("bye", shard=self.shard, executed=executed)
+
+
+class SupervisorJournal(_EventJournal):
+    """The supervisor's replayable decision log."""
+
+    def decision(self, kind: str, **fields) -> None:
+        self.emit(kind, **fields)
+
+    def terminal_case(self, key: str, record: CaseRecord,
+                      reason: str) -> None:
+        """A retry-exhausted case's terminal record (shard -1)."""
+        self.emit("case", shard=-1, key=key, reason=reason,
+                  record=record.to_dict())
+
+
+def iter_fleet_events(path: str) -> Iterator[Dict]:
+    """Parsed fleet events from one journal, torn lines skipped."""
+    if not os.path.exists(path):
+        return
+    for payload in iter_journal_dicts(path):
+        if payload.get("v") == FLEET_VERSION and "ev" in payload:
+            yield payload
+
+
+def collect_case_events(paths) -> Dict[str, List[CaseRecord]]:
+    """All case records across journals, keyed by case-key hash.
+
+    Duplicates (a case re-executed after a false-positive death, or
+    raced before a lease landed) are *kept* — the merge layer picks a
+    deterministic winner.
+    """
+    out: Dict[str, List[CaseRecord]] = {}
+    for path in paths:
+        for event in iter_fleet_events(path):
+            if event.get("ev") != "case":
+                continue
+            try:
+                record = CaseRecord.from_dict(event["record"])
+            except (KeyError, ValueError, TypeError):
+                continue
+            out.setdefault(event.get("key", ""), []).append(record)
+    return out

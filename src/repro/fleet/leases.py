@@ -1,0 +1,88 @@
+"""Atomic case leases: the fleet's one mutual-exclusion primitive.
+
+A lease is a file created with ``O_CREAT | O_EXCL`` — the only
+filesystem operation that is atomic *and* exclusive on every platform
+the spawn pool supports.  Exactly one creator wins; everyone else gets
+``FileExistsError`` and moves on.  Shards acquire a lease before
+executing any case (their own or a stolen one), so two shards racing
+for the same key — the lease-contention drill — resolve without
+coordination: the loser writes a ``skip`` event and the winner's
+record is the only one produced.
+
+Leases are *not* released on completion: a completed case's lease
+doubles as a cheap done-marker against re-execution.  Only the
+supervisor releases leases, and only for cases a dead shard claimed
+but never finished — that hand-back is what lets a survivor (or a
+rescheduled retry) acquire the key again.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional
+
+__all__ = ["LeaseDir"]
+
+
+class LeaseDir:
+    """Directory of one lease file per case-key hash."""
+
+    def __init__(self, path: str):
+        self.path = path
+        os.makedirs(path, exist_ok=True)
+
+    def _lease_path(self, key: str) -> str:
+        return os.path.join(self.path, key + ".lease")
+
+    def acquire(self, key: str, owner: str) -> bool:
+        """Try to take the lease for ``key``; True iff we won."""
+        try:
+            fd = os.open(self._lease_path(key),
+                         os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        try:
+            os.write(fd, owner.encode("utf-8"))
+        finally:
+            os.close(fd)
+        return True
+
+    def owner(self, key: str) -> Optional[str]:
+        """Current lease holder, or None if the key is unleased."""
+        try:
+            with open(self._lease_path(key), "r",
+                      encoding="utf-8") as handle:
+                return handle.read()
+        except OSError:
+            return None
+
+    def held(self, key: str) -> bool:
+        return os.path.exists(self._lease_path(key))
+
+    def release(self, key: str) -> bool:
+        """Drop the lease (supervisor-only); True iff one existed."""
+        try:
+            os.unlink(self._lease_path(key))
+        except FileNotFoundError:
+            return False
+        return True
+
+    def release_many(self, keys) -> int:
+        return sum(1 for key in keys if self.release(key))
+
+    def clear(self) -> int:
+        """Release every lease (fresh fleet over a stale directory)."""
+        count = 0
+        for name in os.listdir(self.path):
+            if name.endswith(".lease"):
+                try:
+                    os.unlink(os.path.join(self.path, name))
+                    count += 1
+                except FileNotFoundError:
+                    pass
+        return count
+
+    def held_keys(self) -> List[str]:
+        return sorted(name[:-len(".lease")]
+                      for name in os.listdir(self.path)
+                      if name.endswith(".lease"))

@@ -1,0 +1,68 @@
+"""Deterministic merge of shard journals into one campaign record set.
+
+The determinism contract: *any* interleaving of steals, crashes,
+false-positive deaths and retries must aggregate to the same campaign
+output as a serial run.  Shard journals may therefore contain
+duplicate records for one case (a blackholed-but-alive shard finished
+a case the supervisor had already rescheduled).  The merge picks a
+winner per key by a pure function of the candidate records themselves
+— never of arrival order:
+
+1. strongest outcome first (``ok`` < ``inconclusive`` < ``timeout`` <
+   ``error`` — a completed verdict beats a kill artifact);
+2. ties broken by the record's canonical JSON line.
+
+With a deterministic task the duplicates are byte-identical anyway and
+the tie-break never fires; with wall-clock-measured records it makes
+the merge stable for a *given* set of journals, which is what resume
+and replay need.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..core.result import (OUTCOME_ERROR, OUTCOME_INCONCLUSIVE,
+                           OUTCOME_OK, OUTCOME_TIMEOUT)
+from ..jobs.journal import CaseRecord
+from ..jobs.spec import CaseSpec
+from .shard import case_key_hash
+
+__all__ = ["pick_record", "merge_case_events"]
+
+_OUTCOME_RANK = {OUTCOME_OK: 0, OUTCOME_INCONCLUSIVE: 1,
+                 OUTCOME_TIMEOUT: 2, OUTCOME_ERROR: 3}
+
+
+def pick_record(candidates: Sequence[CaseRecord]) -> CaseRecord:
+    """The deterministic winner among duplicate records for one key."""
+    if not candidates:
+        raise ValueError("no candidate records")
+    return min(candidates,
+               key=lambda r: (_OUTCOME_RANK.get(r.outcome, 99),
+                              r.to_json_line()))
+
+
+def merge_case_events(cases: Sequence[CaseSpec],
+                      events: Dict[str, List[CaseRecord]])\
+        -> Dict[tuple, CaseRecord]:
+    """Resolve journal case events to one record per pending case.
+
+    Raises ``RuntimeError`` naming the missing coordinates if any case
+    has no record at all — the supervisor's zero-lost-cases guarantee
+    means this only fires on a genuine fleet bug, and loudly beats a
+    silently short table.
+    """
+    merged: Dict[tuple, CaseRecord] = {}
+    missing = []
+    for case in cases:
+        candidates = events.get(case_key_hash(case))
+        if not candidates:
+            missing.append(case.describe())
+            continue
+        merged[case.key] = pick_record(candidates)
+    if missing:
+        raise RuntimeError(
+            "fleet merge is missing records for %d case(s): %s"
+            % (len(missing), ", ".join(missing[:5])))
+    return merged

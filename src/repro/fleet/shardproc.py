@@ -1,0 +1,182 @@
+"""The shard child process: execute, heartbeat, steal.
+
+A shard is one spawned process owning one slice of the case space and
+one append-only journal.  It executes cases *inline* (the same
+:func:`repro.jobs.worker.execute_case` path a serial campaign uses, so
+records carry ``worker=0 / attempt=1`` and their journal bytes match a
+serial run exactly); process-level isolation — the property the spawn
+pool provides within one host — is the shard boundary itself here: a
+wedged or killed shard takes down only its slice, and the supervisor
+kills wedged shards at the case deadline the way the pool kills wedged
+workers.
+
+Protocol with the supervisor:
+
+* **journal out** — hello / heartbeat / claim / case / skip / bye
+  events (:mod:`repro.fleet.journal`); the journal, not the pipe, is
+  the authoritative channel, which is what makes recovery replayable
+  from disk alone;
+* **pipe in** — ``{"op": "run", "case": {...}}`` reschedules a case
+  onto this shard; ``{"op": "stop"}`` (or EOF) shuts it down.
+
+Work-stealing: with its own queue drained, a shard recomputes every
+other shard's pending set from the shared case list plus the on-disk
+journals (assignment is a pure function of case keys, so no handshake
+is needed), then claims a victim's *tail* case via an atomic lease
+(:mod:`repro.fleet.leases`).  Exactly one contender wins the lease;
+losers emit ``skip`` and look elsewhere.
+
+Fault drills (:class:`repro.resilience.faults.FleetFaultPlan`) arrive
+through the ``REPRO_FLEET_FAULTS`` environment variable — spawn
+children inherit the environment — and apply only to incarnation 0,
+so a respawned shard always runs clean and every drill terminates.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+from collections import deque
+from typing import Dict, List, Optional
+
+from ..jobs.journal import failed_record
+from ..jobs.spec import CaseSpec
+from ..resilience.faults import FleetFaultPlan, tear_journal_tail
+from .journal import FleetPaths, ShardJournal, iter_fleet_events
+from .leases import LeaseDir
+from .shard import case_key_hash
+
+__all__ = ["shard_main"]
+
+
+def shard_main(conn, shard: int, incarnation: int, base: str,
+               case_dicts: List[Dict], assignment: List[List[int]],
+               task, options: Dict) -> None:
+    """Entry point of one shard process (spawn target)."""
+    if task is None:
+        from ..jobs.worker import execute_case
+        task = execute_case
+    plan = (FleetFaultPlan.from_env() if incarnation == 0
+            else FleetFaultPlan())
+    paths = FleetPaths(base)
+    if shard in plan.torn_journal:
+        tear_journal_tail(paths.shard_journal(shard))
+
+    cases = [CaseSpec.from_dict(d) for d in case_dicts]
+    keys = [case_key_hash(c) for c in cases]
+    journal = ShardJournal(paths.shard_journal(shard), shard)
+    leases = LeaseDir(paths.leases)
+    owner = "shard-%d#%d" % (shard, incarnation)
+    journal.hello(os.getpid(), incarnation, len(assignment[shard]))
+
+    stop_beats = threading.Event()
+    if shard not in plan.blackhole:
+        interval = float(options.get("heartbeat_interval", 0.5))
+
+        def beat() -> None:
+            while not stop_beats.wait(interval):
+                try:
+                    journal.heartbeat()
+                except Exception:
+                    return
+
+        threading.Thread(target=beat, name="fleet-heartbeat",
+                         daemon=True).start()
+
+    kill_ordinal = plan.kill_ordinal(shard)
+    steal_enabled = bool(options.get("steal", True))
+    steal_poll = float(options.get("steal_poll", 0.05))
+    queue = deque(assignment[shard])
+    extra: deque = deque()  # rescheduled cases from the supervisor
+    state = {"stop": False, "executed": 0}
+
+    def drain_conn(timeout: float = 0.0) -> None:
+        remaining = timeout
+        while conn.poll(remaining):
+            remaining = 0
+            try:
+                message = conn.recv()
+            except EOFError:  # supervisor is gone; so are we
+                state["stop"] = True
+                return
+            if not isinstance(message, dict) \
+                    or message.get("op") == "stop":
+                state["stop"] = True
+            elif message.get("op") == "run":
+                extra.append(CaseSpec.from_dict(message["case"]))
+
+    def run_one(case: CaseSpec, key: str,
+                stolen_from: Optional[int]) -> None:
+        if not leases.acquire(key, owner):
+            journal.skip(key)
+            return
+        journal.claim(key, stolen_from)
+        state["executed"] += 1
+        if kill_ordinal is not None \
+                and state["executed"] == kill_ordinal:
+            # Drill: die with the claim on disk and no record — the
+            # supervisor must see an in-flight case and recover it.
+            os.kill(os.getpid(), signal.SIGKILL)
+        try:
+            record = task(case)
+        except BaseException as exc:
+            record = failed_record(case, exc)
+        journal.case(key, record, stolen_from)
+
+    def find_steal() -> Optional[tuple]:
+        """(victim, case index) of the best steal target, if any."""
+        finished, claimed = set(), set()
+        for path in paths.shard_journals():
+            for event in iter_fleet_events(path):
+                if event.get("ev") == "case":
+                    finished.add(event.get("key"))
+                elif event.get("ev") == "claim":
+                    claimed.add(event.get("key"))
+        victims = []
+        for victim in range(len(assignment)):
+            if victim == shard:
+                continue
+            pending = [i for i in assignment[victim]
+                       if keys[i] not in finished
+                       and keys[i] not in claimed
+                       and not leases.held(keys[i])]
+            if pending:
+                victims.append((len(pending), victim, pending))
+        if not victims:
+            return None
+        # Deepest backlog first; steal from the *tail*, away from the
+        # position the victim is working toward.
+        victims.sort(key=lambda v: (-v[0], v[1]))
+        _, victim, pending = victims[0]
+        return victim, pending[-1]
+
+    try:
+        while not state["stop"]:
+            drain_conn()
+            if state["stop"]:
+                break
+            if extra:
+                case = extra.popleft()
+                run_one(case, case_key_hash(case), None)
+            elif queue:
+                index = queue.popleft()
+                run_one(cases[index], keys[index], None)
+            else:
+                steal = find_steal() if steal_enabled else None
+                if steal is not None:
+                    victim, index = steal
+                    run_one(cases[index], keys[index], victim)
+                else:
+                    drain_conn(steal_poll)
+    finally:
+        stop_beats.set()
+        try:
+            journal.bye(state["executed"])
+            journal.close()
+        except Exception:
+            pass
+        try:
+            conn.close()
+        except Exception:
+            pass

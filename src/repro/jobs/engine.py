@@ -72,7 +72,9 @@ def run_campaign(config: "ExperimentConfig",
                  progress: Optional[Callable[[str], None]] = None,
                  spec_overrides: Optional[Dict[str, "Circuit"]] = None,
                  task: Optional[Callable] = None,
-                 max_attempts: int = DEFAULT_MAX_ATTEMPTS)\
+                 max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+                 shards: int = 0,
+                 fleet_config=None)\
         -> CampaignResult:
     """Run (or finish) a campaign; see the module docstring.
 
@@ -82,6 +84,19 @@ def run_campaign(config: "ExperimentConfig",
         ``jobs > 1`` or any ``timeout`` routes execution through the
         spawn pool; a timeout with ``jobs=1`` still uses one pooled
         worker so runaway checks can be killed from outside.
+    shards:
+        ``shards >= 1`` routes execution through the supervised fleet
+        (:func:`repro.fleet.run_fleet`) instead: the case space is
+        partitioned by case key into that many shard processes with
+        work-stealing and whole-shard crash recovery.  Shard journals
+        and leases live in ``<journal>.fleet/`` (a temporary directory
+        without ``journal``); merged records are appended to the
+        campaign journal in canonical order, so the journal bytes
+        match a serial run.  ``timeout`` becomes the fleet's per-case
+        deadline and ``max_attempts`` its per-case retry bound;
+        mutually exclusive with ``jobs > 1``.  ``fleet_config``
+        (a :class:`repro.fleet.FleetConfig`) overrides supervision
+        pacing (heartbeats, backoff) for tests and drills.
     journal / resume:
         ``journal`` appends every finished case to a JSONL checkpoint.
         ``resume`` replays an existing journal first; new records are
@@ -95,6 +110,10 @@ def run_campaign(config: "ExperimentConfig",
     task:
         Test hook: replaces :func:`repro.jobs.worker.execute_case`.
     """
+    if shards and jobs > 1:
+        raise ValueError("--shards and --jobs are mutually exclusive: "
+                         "a shard executes inline and parallelism "
+                         "comes from the shard count")
     start = time.monotonic()
     cases = enumerate_cases(config, benchmarks)
     done: Dict[tuple, CaseRecord] = {}
@@ -116,19 +135,34 @@ def run_campaign(config: "ExperimentConfig",
     total = len(cases)
     finished = [resumed]
 
-    def emit(record: CaseRecord) -> None:
+    def emit(record: CaseRecord, announce: bool = True) -> None:
         done[record.case.key] = record
         finished[0] += 1
         if writer is not None:
             writer.write(record)
-        if progress is not None:
+        if announce and progress is not None:
             progress("[%d/%d] %s %s (worker %d)"
                      % (finished[0], total, record.case.describe(),
                         record.outcome, record.worker))
 
     try:
         if pending:
-            if jobs > 1 or timeout is not None:
+            if shards:
+                from ..fleet import run_fleet
+                fleet_dir = (journal_path + ".fleet") if journal_path \
+                    else None
+                merged = run_fleet(pending, shards=shards,
+                                   base_dir=fleet_dir,
+                                   config=fleet_config,
+                                   task=task, progress=progress,
+                                   case_timeout=timeout,
+                                   max_retries=max_attempts)
+                # The supervisor already narrated progress live; here
+                # the merged records land in the campaign journal in
+                # canonical order, byte-identical to a serial run.
+                for case in pending:
+                    emit(merged[case.key], announce=False)
+            elif jobs > 1 or timeout is not None:
                 run_parallel(pending, jobs=jobs, timeout=timeout,
                              task=task, on_record=emit,
                              max_attempts=max_attempts)

@@ -199,6 +199,12 @@ class WorkerPool:
         self.codec = codec
         self._aborted = False
         self._slots: List[_Slot] = []
+        #: Monotone counters: workers that died mid-case (crash) and
+        #: workers SIGKILLed at the hard deadline.  The fleet's slot
+        #: governor (:class:`repro.fleet.slots.SlotFleet`) reads these
+        #: to throttle crash-looping slots with backoff.
+        self.crashes = 0
+        self.timeout_kills = 0
 
     @property
     def started(self) -> bool:
@@ -302,6 +308,7 @@ class WorkerPool:
                     case, attempt, elapsed = slot.take_case()
                     if self._aborted:
                         continue
+                    self.crashes += 1
                     slot.kill_and_respawn()
                     if attempt < max_attempts:
                         pending.append((case, attempt + 1))
@@ -323,6 +330,7 @@ class WorkerPool:
                     if slot.busy and slot.deadline is not None \
                             and now >= slot.deadline:
                         case, attempt, elapsed = slot.take_case()
+                        self.timeout_kills += 1
                         slot.kill_and_respawn()
                         emit(codec.timeout(case, elapsed,
                                            worker=slot.slot_id,

@@ -18,10 +18,17 @@ and out::
     assert final["verdict"]["refuted"]
 
 :meth:`ServeClient.stream` consumes the ndjson progress feed and
-yields each event as a dict; :meth:`ServeClient.wait` polls with a
-gentle backoff and honors ``Retry-After`` is left to the caller (a 429
-surfaces as :class:`ServeError` with ``status=429`` and
-``retry_after`` set).
+yields each event as a dict.
+
+Transient failures retry themselves: a 429/503 (and a refused or
+dropped connection) is retried up to ``max_retries`` times with
+capped exponential backoff whose jitter is *seeded* — the retry
+schedule of a given client is reproducible, so a test can assert the
+exact sleeps.  The server's ``retry_after`` hint is honored as a
+floor on the next delay.  ``stream`` does not retry by default (the
+feed is a long-lived connection; replaying half-consumed events is
+the caller's call), but accepts ``max_retries`` for the connection
+phase.
 """
 
 from __future__ import annotations
@@ -29,11 +36,15 @@ from __future__ import annotations
 import json
 import socket
 import time
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
+from ..resilience.backoff import BackoffPolicy
 from .protocol import MAX_BODY_BYTES
 
 __all__ = ["ServeError", "ServeClient"]
+
+#: Statuses that signal "try again later", not "your request is bad".
+RETRYABLE_STATUSES = (429, 503)
 
 
 class ServeError(Exception):
@@ -61,12 +72,54 @@ class ServeError(Exception):
 
 
 class ServeClient:
-    """Synchronous client: one socket per call, JSON in/out."""
+    """Synchronous client: one socket per call, JSON in/out.
 
-    def __init__(self, host: str, port: int, timeout: float = 300.0):
+    ``max_retries`` bounds automatic retries of transient failures
+    (:data:`RETRYABLE_STATUSES` plus connection-level ``OSError``);
+    ``backoff`` overrides the retry pacing and ``sleep`` is an
+    injection point so tests can record the schedule instead of
+    actually sleeping.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 300.0,
+                 max_retries: int = 3,
+                 backoff: Optional[BackoffPolicy] = None,
+                 sleep: Callable[[float], None] = time.sleep):
         self.host = host
         self.port = int(port)
         self.timeout = timeout
+        self.max_retries = int(max_retries)
+        self.backoff = backoff if backoff is not None else \
+            BackoffPolicy(base=0.05, multiplier=2.0, cap=2.0,
+                          jitter=0.25, seed=8421)
+        self._sleep = sleep
+
+    # -- retry loop ----------------------------------------------------
+
+    def _retrying(self, call: Callable[[], Dict],
+                  max_retries: Optional[int] = None) -> Dict:
+        """Run ``call`` with bounded, deterministic backoff on
+        transient failures.  The server's ``retry_after`` hint floors
+        the next delay; protocol-level errors (malformed responses,
+        oversized bodies — ``status == 0`` but not transport) are
+        never retried."""
+        retries = self.max_retries if max_retries is None \
+            else max_retries
+        attempt = 0
+        while True:
+            floor = 0.0
+            try:
+                return call()
+            except ServeError as exc:
+                if exc.status not in RETRYABLE_STATUSES \
+                        or attempt >= retries:
+                    raise
+                floor = exc.retry_after or 0.0
+            except OSError:
+                if attempt >= retries:
+                    raise
+            attempt += 1
+            self._sleep(self.backoff.delay(attempt, floor=floor))
 
     # -- transport -----------------------------------------------------
 
@@ -136,15 +189,18 @@ class ServeClient:
     def submit(self, request: Dict) -> Dict:
         """POST one submission (see
         :func:`repro.serve.protocol.pair_to_request`); returns the
-        queued job view (``id``, ``status``...).  Raises
-        :class:`ServeError` with ``status=429`` and ``retry_after``
-        under backpressure, ``status=400`` with ``diagnostics`` for a
-        malformed netlist."""
-        return self._request("POST", "/v1/jobs", request)
+        queued job view (``id``, ``status``...).  Backpressure (429
+        with ``retry_after``) is retried up to ``max_retries`` times
+        before the :class:`ServeError` escapes; ``status=400`` with
+        ``diagnostics`` for a malformed netlist is raised
+        immediately."""
+        return self._retrying(
+            lambda: self._request("POST", "/v1/jobs", request))
 
     def job(self, job_id: str) -> Dict:
-        """GET one job's current view."""
-        return self._request("GET", "/v1/jobs/%s" % job_id)
+        """GET one job's current view (retries transient failures)."""
+        return self._retrying(
+            lambda: self._request("GET", "/v1/jobs/%s" % job_id))
 
     def wait(self, job_id: str, timeout: float = 300.0,
              poll_interval: float = 0.05) -> Dict:
@@ -161,9 +217,25 @@ class ServeClient:
             time.sleep(interval)
             interval = min(interval * 1.5, 1.0)
 
-    def stream(self, job_id: str) -> Iterator[Dict]:
-        """Yield the job's ndjson progress events until it finishes."""
-        with self._connect() as sock:
+    def stream(self, job_id: str,
+               max_retries: int = 0) -> Iterator[Dict]:
+        """Yield the job's ndjson progress events until it finishes.
+
+        Only the *connection* phase retries (and only when asked via
+        ``max_retries``): once events start flowing, a dropped feed
+        surfaces to the caller, who knows which events it already
+        consumed."""
+        attempt = 0
+        while True:
+            try:
+                sock = self._connect()
+                break
+            except OSError:
+                if attempt >= max_retries:
+                    raise
+                attempt += 1
+                self._sleep(self.backoff.delay(attempt))
+        with sock:
             self._send_request(sock, "GET",
                                "/v1/jobs/%s/events" % job_id, None)
             with sock.makefile("rb") as reader:

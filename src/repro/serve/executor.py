@@ -9,23 +9,27 @@ tenant submits.  The pool's wire protocol is pluggable
 service flavor: :class:`JobSpec` in, :class:`JobRecord` out, with
 :func:`execute_job` as the importable task spawned children resolve.
 
-:class:`JobExecutor` is the parent-side front: it owns one single-slot
-:class:`~repro.jobs.pool.WorkerPool` per configured job slot.  Each
-slot keeps its worker process alive across jobs (spawn cost is paid
-once at server start), and because every pool has exactly one slot,
-jobs are dispatched the moment a slot frees instead of in batches.
+:class:`JobExecutor` is the parent-side front: a service-flavored
+:class:`repro.fleet.slots.SlotFleet` — one single-slot
+:class:`~repro.jobs.pool.WorkerPool` per configured job slot, behind
+an async idle queue.  Each slot keeps its worker process alive across
+jobs (spawn cost is paid once at server start), jobs dispatch the
+moment a slot frees, and the fleet substrate throttles a
+crash-looping slot with deterministic backoff so a poisoned tenant
+burns its own latency, not the host's respawn budget.
 """
 
 from __future__ import annotations
 
-import asyncio
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..core.result import (OUTCOME_ERROR, OUTCOME_INCONCLUSIVE,
                            OUTCOME_OK, OUTCOME_TIMEOUT)
+from ..fleet.slots import SlotFleet
 from ..jobs.pool import WorkerPool
+from ..resilience.backoff import BackoffPolicy
 
 __all__ = ["JobSpec", "JobRecord", "ServeCodec", "execute_job",
            "JobExecutor"]
@@ -251,62 +255,31 @@ def execute_job(job: JobSpec) -> JobRecord:
     return record
 
 
-class JobExecutor:
-    """K single-slot worker pools behind an async acquire/release gate.
+class JobExecutor(SlotFleet):
+    """The service's :class:`~repro.fleet.slots.SlotFleet` flavor.
 
     The scheduler acquires a slot, runs exactly one job on it (in a
     thread, because :meth:`WorkerPool.run` blocks), and releases it.
     The per-slot worker process survives across jobs; a hard-deadline
-    kill or a crash costs that slot one respawn, handled inside the
-    pool.
+    kill or a crash costs that slot one respawn (handled inside the
+    pool) plus a fleet-governed backoff sleep while the slot is still
+    held, so a crash loop cannot hot-spin worker spawns.
     """
 
-    def __init__(self, slots: int, timeout: Optional[float] = None):
-        if slots < 1:
-            raise ValueError("slots must be >= 1")
-        self.slots = int(slots)
-        self.timeout = timeout
-        self._pools: List[WorkerPool] = []
-        self._idle: Optional[asyncio.Queue] = None
-
-    async def start(self) -> None:
-        """Spawn every slot's worker (in a thread: spawn blocks)."""
-        self._pools = [WorkerPool(jobs=1, timeout=self.timeout,
-                                  task=execute_job, codec=ServeCodec)
-                       for _ in range(self.slots)]
-        await asyncio.gather(*(asyncio.to_thread(pool.start)
-                               for pool in self._pools))
-        self._idle = asyncio.Queue()
-        for pool in self._pools:
-            self._idle.put_nowait(pool)
-
-    @property
-    def idle_slots(self) -> int:
-        """Slots currently free (0 before :meth:`start`)."""
-        return self._idle.qsize() if self._idle is not None else 0
-
-    async def acquire(self) -> WorkerPool:
-        """Wait for a free slot."""
-        return await self._idle.get()
-
-    def release(self, pool: WorkerPool) -> None:
-        self._idle.put_nowait(pool)
+    def __init__(self, slots: int, timeout: Optional[float] = None,
+                 tracer=None):
+        super().__init__(slots=slots, timeout=timeout,
+                         task=execute_job, codec=ServeCodec,
+                         backoff=BackoffPolicy(base=0.05,
+                                               multiplier=2.0,
+                                               cap=5.0, jitter=0.25,
+                                               seed=11),
+                         tracer=tracer)
 
     async def run(self, pool: WorkerPool, job: JobSpec) -> JobRecord:
         """Execute ``job`` on an acquired slot."""
-        records = await asyncio.to_thread(pool.run, [job])
-        if not records:  # aborted mid-job (server shutdown)
+        record = await super().run(pool, job)
+        if record is None:  # aborted mid-job (server shutdown)
             return _failed_job(job, RuntimeError("server shut down "
                                                  "mid-job"))
-        return records[0]
-
-    def abort(self) -> None:
-        """Kill every in-flight worker immediately (abrupt shutdown)."""
-        for pool in self._pools:
-            pool.abort()
-
-    def close(self) -> None:
-        """Reap every worker process."""
-        pools, self._pools = self._pools, []
-        for pool in pools:
-            pool.close()
+        return record

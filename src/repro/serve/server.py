@@ -229,9 +229,26 @@ class EquivalenceServer:
                                 "executing; resubmit to re-run")
                 state.emit("lost", replayed=True)
             else:  # queued at shutdown: resume it
-                self._scheduler.submit(old.spec)
-                state.emit("queued", resumed=True)
-                self._work.set()
+                try:
+                    self._scheduler.submit(old.spec)
+                except QueueFull:
+                    # Replay must honor the same admission caps as live
+                    # traffic: a journal holding more queued jobs than
+                    # --queue allows (caps lowered across the restart,
+                    # or a torn shutdown) must not overshoot them.
+                    state.status = "lost"
+                    state.detail = ("restart could not re-admit this "
+                                    "job (admission queue full); "
+                                    "resubmit to re-run")
+                    # Journal a start-without-done so the job stays
+                    # lost across further restarts — the client was
+                    # told to resubmit, so resurrecting the original
+                    # later would run it twice.
+                    self._store.record_start(old.spec.id)
+                    state.emit("lost", replayed=True)
+                else:
+                    state.emit("queued", resumed=True)
+                    self._work.set()
         self._http = await asyncio.start_server(
             self._handle_conn, cfg.host, cfg.port)
         sockname = self._http.sockets[0].getsockname()

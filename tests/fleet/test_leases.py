@@ -1,0 +1,68 @@
+"""Lease arbitration: the fleet's only mutual-exclusion primitive."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.fleet import LeaseDir
+from repro.resilience import inject_lease_contention
+
+
+class TestLeaseDir:
+    def test_exactly_one_winner_under_contention(self, tmp_path):
+        leases = LeaseDir(str(tmp_path / "leases"))
+        contenders = ["shard-%d#0" % i for i in range(16)]
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            wins = list(pool.map(
+                lambda owner: leases.acquire("deadbeef", owner),
+                contenders))
+        assert sum(wins) == 1
+        assert leases.owner("deadbeef") \
+            == contenders[wins.index(True)]
+
+    def test_second_acquire_loses_and_release_reopens(self, tmp_path):
+        leases = LeaseDir(str(tmp_path / "leases"))
+        assert leases.acquire("k1", "shard-0#0")
+        assert not leases.acquire("k1", "shard-1#0")
+        assert leases.held("k1")
+        assert leases.release("k1")
+        assert not leases.release("k1")  # already gone
+        assert leases.acquire("k1", "shard-1#0")
+        assert leases.owner("k1") == "shard-1#0"
+
+    def test_owner_of_unleased_key_is_none(self, tmp_path):
+        leases = LeaseDir(str(tmp_path / "leases"))
+        assert leases.owner("nope") is None
+        assert not leases.held("nope")
+
+    def test_held_keys_and_clear(self, tmp_path):
+        leases = LeaseDir(str(tmp_path / "leases"))
+        for key in ("b", "a", "c"):
+            leases.acquire(key, "shard-0#0")
+        assert leases.held_keys() == ["a", "b", "c"]
+        assert leases.clear() == 3
+        assert leases.held_keys() == []
+
+    def test_release_many_counts_only_existing(self, tmp_path):
+        leases = LeaseDir(str(tmp_path / "leases"))
+        leases.acquire("a", "x")
+        leases.acquire("b", "x")
+        assert leases.release_many(["a", "b", "ghost"]) == 2
+
+
+class TestLeaseContentionInjector:
+    def test_rival_wins_the_injected_race(self, tmp_path):
+        leases = LeaseDir(str(tmp_path / "leases"))
+        with inject_lease_contention(leases, rival="rival#0",
+                                     lose_first=1) as lost:
+            assert not leases.acquire("k1", "shard-0#0")
+            # Later keys race cleanly again.
+            assert leases.acquire("k2", "shard-0#0")
+        assert lost == ["k1"]
+        assert leases.owner("k1") == "rival#0"
+        assert leases.owner("k2") == "shard-0#0"
+
+    def test_injector_restores_the_seam(self, tmp_path):
+        leases = LeaseDir(str(tmp_path / "leases"))
+        with inject_lease_contention(leases):
+            pass
+        assert "acquire" not in vars(leases)
+        assert leases.acquire("k", "shard-0#0")

@@ -1,0 +1,112 @@
+"""Shard assignment and the deterministic merge: pure functions."""
+
+import pytest
+
+from repro.core.result import (OUTCOME_ERROR, OUTCOME_OK,
+                               OUTCOME_TIMEOUT)
+from repro.fleet import (case_key_hash, merge_case_events, partition,
+                         pick_record, shard_of)
+from repro.jobs import CaseRecord, CaseSpec, CheckOutcome
+
+from ..jobs.test_pool import make_cases, stub_task
+
+
+class TestShardOf:
+    def test_pure_function_of_case_key(self):
+        cases = make_cases(12)
+        first = [shard_of(c, 4) for c in cases]
+        assert [shard_of(c, 4) for c in reversed(cases)] \
+            == list(reversed(first))
+
+    def test_in_range(self):
+        for case in make_cases(20):
+            for shards in (1, 2, 3, 7):
+                assert 0 <= shard_of(case, shards) < shards
+
+    def test_single_shard_owns_everything(self):
+        assert all(shard_of(c, 1) == 0 for c in make_cases(10))
+
+    def test_rejects_nonpositive_shard_count(self):
+        with pytest.raises(ValueError):
+            shard_of(make_cases(1)[0], 0)
+
+    def test_key_hash_is_stable_and_distinct(self):
+        cases = make_cases(16)
+        hashes = [case_key_hash(c) for c in cases]
+        assert hashes == [case_key_hash(c) for c in cases]
+        assert len(set(hashes)) == len(cases)
+        assert all(len(h) == 16 for h in hashes)
+
+
+class TestPartition:
+    def test_covers_every_index_exactly_once(self):
+        cases = make_cases(17)
+        assignment = partition(cases, 4)
+        flat = sorted(i for part in assignment for i in part)
+        assert flat == list(range(17))
+
+    def test_preserves_canonical_order_within_shards(self):
+        assignment = partition(make_cases(23), 3)
+        for part in assignment:
+            assert part == sorted(part)
+
+    def test_independent_of_pending_set(self):
+        # A case's home shard must not move when *other* cases are
+        # already done — that is what makes stealing recomputable.
+        cases = make_cases(10)
+        full = partition(cases, 3)
+        owner = {}
+        for shard, indices in enumerate(full):
+            for i in indices:
+                owner[cases[i].key] = shard
+        subset = cases[3:9]
+        for shard, indices in enumerate(partition(subset, 3)):
+            for i in indices:
+                assert owner[subset[i].key] == shard
+
+
+def _record(case, outcome=OUTCOME_OK, detail=""):
+    return CaseRecord(
+        case=case, outcome=outcome, seconds=0.001,
+        inputs=2, outputs=1, spec_nodes=3, mutation="stub",
+        checks={c: CheckOutcome(outcome=outcome, detail=detail)
+                for c in case.checks})
+
+
+class TestMerge:
+    def test_identical_duplicates_pick_that_record(self):
+        case = make_cases(1)[0]
+        a, b = stub_task(case), stub_task(case)
+        assert pick_record([a, b]).to_json_line() == a.to_json_line()
+
+    def test_completed_verdict_beats_kill_artifact(self):
+        # A blackholed-but-alive shard finished the case; the
+        # supervisor also manufactured a timeout/error for it.  The
+        # real verdict must win regardless of list order.
+        case = make_cases(1)[0]
+        good = _record(case, OUTCOME_OK)
+        kill = _record(case, OUTCOME_TIMEOUT)
+        err = _record(case, OUTCOME_ERROR)
+        for order in ([good, kill, err], [err, kill, good],
+                      [kill, good, err]):
+            assert pick_record(order).outcome == OUTCOME_OK
+
+    def test_tie_break_is_canonical_json(self):
+        case = make_cases(1)[0]
+        a = _record(case, OUTCOME_ERROR, detail="aaa")
+        b = _record(case, OUTCOME_ERROR, detail="bbb")
+        assert pick_record([b, a]) is a
+        assert pick_record([a, b]) is a
+
+    def test_missing_case_raises_loudly(self):
+        cases = make_cases(2)
+        events = {case_key_hash(cases[0]): [stub_task(cases[0])]}
+        with pytest.raises(RuntimeError, match="missing records"):
+            merge_case_events(cases, events)
+
+    def test_merges_one_record_per_case(self):
+        cases = make_cases(3)
+        events = {case_key_hash(c): [stub_task(c), stub_task(c)]
+                  for c in cases}
+        merged = merge_case_events(cases, events)
+        assert set(merged) == {c.key for c in cases}

@@ -1,0 +1,154 @@
+"""Client-side retry: deterministic backoff honoring retry_after.
+
+Pure unit tests — the transport is stubbed at ``_request`` (or
+``_connect`` for the stream path) and the sleep is injected, so each
+test asserts the *exact* retry schedule the seeded jitter produces.
+"""
+
+import pytest
+
+from repro.resilience import BackoffPolicy
+from repro.serve.client import ServeClient, ServeError
+
+
+def _client(**kwargs):
+    sleeps = []
+    client = ServeClient("127.0.0.1", 1, sleep=sleeps.append,
+                         **kwargs)
+    return client, sleeps
+
+
+def _script(client, outcomes):
+    """Replace the transport with a canned outcome sequence."""
+    calls = []
+
+    def fake_request(method, path, payload=None):
+        calls.append((method, path))
+        outcome = outcomes[min(len(calls), len(outcomes)) - 1]
+        if isinstance(outcome, BaseException):
+            raise outcome
+        return outcome
+
+    client._request = fake_request
+    return calls
+
+
+def _throttle(retry_after=None):
+    body = {"error": "busy"}
+    if retry_after is not None:
+        body["retry_after"] = retry_after
+    return ServeError(429, "busy", body)
+
+
+class TestSubmitRetry:
+    def test_retries_429_until_success(self):
+        client, sleeps = _client()
+        calls = _script(client, [_throttle(), _throttle(),
+                                 {"id": "j1"}])
+        assert client.submit({"tenant": "t"}) == {"id": "j1"}
+        assert len(calls) == 3
+        assert sleeps == [client.backoff.delay(1),
+                          client.backoff.delay(2)]
+
+    def test_retry_after_floors_the_delay(self):
+        client, sleeps = _client()
+        _script(client, [_throttle(retry_after=1.5), {"id": "j1"}])
+        client.submit({"tenant": "t"})
+        assert sleeps == [client.backoff.delay(1, floor=1.5)]
+        assert sleeps[0] >= 1.5
+
+    def test_gives_up_after_max_retries(self):
+        client, sleeps = _client(max_retries=2)
+        calls = _script(client, [_throttle()])
+        with pytest.raises(ServeError) as err:
+            client.submit({"tenant": "t"})
+        assert err.value.status == 429
+        assert len(calls) == 3  # initial + 2 retries
+        assert len(sleeps) == 2
+
+    def test_max_retries_zero_fails_fast(self):
+        client, sleeps = _client(max_retries=0)
+        calls = _script(client, [_throttle()])
+        with pytest.raises(ServeError):
+            client.submit({"tenant": "t"})
+        assert len(calls) == 1
+        assert sleeps == []
+
+    def test_client_errors_are_never_retried(self):
+        client, sleeps = _client()
+        calls = _script(client, [ServeError(400, "bad netlist",
+                                            {"diagnostics": []})])
+        with pytest.raises(ServeError) as err:
+            client.submit({"tenant": "t"})
+        assert err.value.status == 400
+        assert len(calls) == 1 and sleeps == []
+
+    def test_protocol_errors_are_never_retried(self):
+        # status 0 covers transport-level ServeErrors (malformed
+        # response, oversized body) — retrying cannot help those.
+        client, sleeps = _client()
+        calls = _script(client, [ServeError(0, "malformed")])
+        with pytest.raises(ServeError):
+            client.submit({"tenant": "t"})
+        assert len(calls) == 1 and sleeps == []
+
+    def test_connection_errors_are_retried(self):
+        client, sleeps = _client()
+        calls = _script(client, [ConnectionRefusedError(),
+                                 {"id": "j1"}])
+        assert client.submit({"tenant": "t"}) == {"id": "j1"}
+        assert len(calls) == 2
+        assert sleeps == [client.backoff.delay(1)]
+
+    def test_schedule_is_deterministic_per_seed(self):
+        a, sleeps_a = _client()
+        b, sleeps_b = _client()
+        for client in (a, b):
+            _script(client, [_throttle(retry_after=0.2), _throttle(),
+                             {"id": "j1"}])
+            client.submit({"tenant": "t"})
+        assert sleeps_a == sleeps_b
+        other, _ = _client(backoff=BackoffPolicy(seed=99))
+        assert other.backoff.delay(1) != a.backoff.delay(1)
+
+
+class TestWaitRetry:
+    def test_wait_polls_through_transient_503(self):
+        client, sleeps = _client()
+        _script(client, [ServeError(503, "restarting",
+                                    {"retry_after": 0.1}),
+                         {"status": "running", "id": "j1"},
+                         {"status": "done", "id": "j1"}])
+        final = client.wait("j1", timeout=30, poll_interval=0)
+        assert final["status"] == "done"
+        assert sleeps[0] == client.backoff.delay(1, floor=0.1)
+
+
+class TestStreamRetry:
+    def test_stream_does_not_retry_by_default(self):
+        client, sleeps = _client()
+        attempts = []
+
+        def refuse():
+            attempts.append(1)
+            raise ConnectionRefusedError()
+
+        client._connect = refuse
+        with pytest.raises(OSError):
+            list(client.stream("j1"))
+        assert len(attempts) == 1 and sleeps == []
+
+    def test_stream_retries_connection_when_asked(self):
+        client, sleeps = _client()
+        attempts = []
+
+        def refuse():
+            attempts.append(1)
+            raise ConnectionRefusedError()
+
+        client._connect = refuse
+        with pytest.raises(OSError):
+            list(client.stream("j1", max_retries=2))
+        assert len(attempts) == 3
+        assert sleeps == [client.backoff.delay(1),
+                          client.backoff.delay(2)]

@@ -182,7 +182,9 @@ class TestBackpressure:
         server = EquivalenceServer(ServeConfig(jobs=1, queue=4,
                                                tenant_queue=2))
         host, port = server.start_background()
-        client = ServeClient(host, port, timeout=120.0)
+        # This test probes the 429s themselves, so the client's
+        # automatic backpressure retries must stay out of the way.
+        client = ServeClient(host, port, timeout=120.0, max_retries=0)
         blocker = SlotBlocker(server)
         try:
             blocker.block()
@@ -280,6 +282,57 @@ class TestRestart:
             assert events[-1]["ev"] == "lost"
         finally:
             second.stop_background()
+
+    def test_replay_honors_admission_caps(self, tmp_path):
+        # A journal holding more queued jobs than the restarted
+        # server's --queue allows (caps lowered across the restart)
+        # must not overshoot them: the overflow is durably lost, not
+        # silently admitted.
+        journal = str(tmp_path / "jobs.jsonl")
+        tenants = ["alice", "bob", "carol", "dave"]
+        first = EquivalenceServer(ServeConfig(jobs=1, queue=8,
+                                              journal=journal))
+        host, port = first.start_background()
+        client = ServeClient(host, port, timeout=120.0)
+        blocker = SlotBlocker(first)
+        blocker.block()
+        queued_ids = [client.submit(
+            figure1_request(tenant=tenant, checks=["random_pattern"],
+                            patterns=32, seed=1))["id"]
+            for tenant in tenants]
+        first.stop_background()
+
+        # Replay runs synchronously inside start(), in journal order:
+        # the first two re-admit, the rest hit QueueFull.
+        second = EquivalenceServer(ServeConfig(jobs=1, queue=2,
+                                               tenant_queue=2,
+                                               journal=journal))
+        host, port = second.start_background()
+        client = ServeClient(host, port, timeout=120.0)
+        try:
+            for job_id in queued_ids[:2]:
+                assert client.wait(job_id,
+                                   timeout=120)["status"] == "done"
+            for job_id in queued_ids[2:]:
+                view = client.job(job_id)
+                assert view["status"] == "lost"
+                assert "queue full" in view["detail"]
+                assert "resubmit" in view["detail"]
+        finally:
+            second.stop_background()
+
+        # The loss is journaled: a third restart with roomy caps must
+        # not resurrect the dropped jobs — their clients were already
+        # told to resubmit, so re-running them would execute twice.
+        third = EquivalenceServer(ServeConfig(jobs=1, queue=8,
+                                              journal=journal))
+        host, port = third.start_background()
+        client = ServeClient(host, port, timeout=120.0)
+        try:
+            for job_id in queued_ids[2:]:
+                assert client.job(job_id)["status"] == "lost"
+        finally:
+            third.stop_background()
 
 
 class TestServiceTracing:
