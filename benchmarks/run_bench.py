@@ -1,44 +1,66 @@
 #!/usr/bin/env python
-"""Tracked before/after benchmark of the BDD kernels (BENCH_*.json).
+"""Tracked before/after benchmark of the check stack (BENCH_*.json).
 
-Runs the full check ladder on Table-2-style cases (10% of the gates in
-five Black Boxes) and, unless ``--quick``, a Table-3-style case (40% in
-one box), once on the current stack (iterative manager + bit-parallel
-random-pattern engine) and once on the frozen pre-rewrite reference
-(:mod:`repro.bdd._legacy` — recursive kernels, unbounded single
-computed table, historic sifting swap — plus the scalar
-one-pattern-at-a-time random-pattern engine).  Both run on the same
-interpreter and host, which makes the per-bench speedup ratio
-meaningful across machines — unlike absolute seconds.
+Three workload families, mirroring the paper's experiment structure:
 
-Each check runs on a fresh manager (``run_one_case``), exactly as the
-campaign that produces the paper's tables does, so the wall clock
-covers what dominates a real campaign: symbolic simulation, dynamic
-sifting and the Boolean/quantifier kernels, once per rung.
+* ``ladder_t2_*`` / ``ladder_t3_*`` — full check ladders on Table-2 /
+  Table-3 shaped cases with one inserted error (the campaign's "find
+  the bug" path);
+* ``ladder_clean_*`` — the same shapes without an inserted error, so
+  every rung up to the exact proofs runs to completion (the campaign's
+  "prove it correct" path — this is where the symbolic rungs dominate);
+* ``rp_*`` — the paper's "r.p." column: the random-pattern rung alone
+  at the paper's 5000-pattern budget on an error-free partial, i.e. a
+  full pattern sweep with no early exit.
 
-Output schema (``BENCH_PR4.json``)::
+Every workload is timed on up to three stacks, same interpreter, same
+host (per-bench ratios are therefore host-independent, unlike absolute
+seconds):
 
-    {"meta":    {"python": "3.11.7", "quick": false, "patterns": 300},
+* **legacy** — the frozen pre-rewrite reference (:mod:`repro.bdd._legacy`:
+  recursive kernels, unbounded single computed table, historic sifting
+  swap) plus the scalar one-pattern-at-a-time random-pattern engine;
+* **current** — the iterative dict manager plus the bit-parallel
+  bigint pattern engine (``wall_s``/``speedup`` keep their BENCH_PR4
+  meaning);
+* **arena** — the numpy struct-of-arrays manager
+  (:mod:`repro.bdd.arena`) plus the uint64-lanes pattern engine
+  (``arena_*`` columns; omitted when numpy is unavailable).
+
+Each ladder check runs on a fresh manager (``run_one_case``), exactly
+as the campaign that produces the paper's tables does.
+
+Output schema (``BENCH_PR9.json``)::
+
+    {"meta":    {"python": "3.11.7", "quick": false, "patterns": 5000},
      "benches": {"ladder_t2_alu4": {"wall_s": 0.41,
                                     "peak_nodes": 9182,
                                     "cache_hit_rate": 0.41,
                                     "legacy_wall_s": 0.58,
                                     "legacy_peak_nodes": 9182,
-                                    "speedup": 1.41}, ...},
-     "aggregate": {"wall_s": ..., "legacy_wall_s": ..., "speedup": ...}}
+                                    "speedup": 1.41,
+                                    "arena_wall_s": 0.39,
+                                    "arena_peak_nodes": 9182,
+                                    "arena_cache_hit_rate": 0.41,
+                                    "arena_speedup": 1.49}, ...},
+     "aggregate": {"wall_s": ..., "legacy_wall_s": ..., "speedup": ...,
+                   "arena_wall_s": ..., "arena_speedup": ...}}
 
 Usage::
 
     python benchmarks/run_bench.py                      # full suite
     python benchmarks/run_bench.py --quick              # CI smoke (fast)
-    python benchmarks/run_bench.py --baseline BENCH_PR4.json
-    python benchmarks/run_bench.py -o BENCH_PR4.json
+    python benchmarks/run_bench.py --baseline BENCH_PR9.json
+    python benchmarks/run_bench.py -o BENCH_PR9.json \
+        --min-arena-speedup 5.0
 
 ``--baseline`` compares the measured per-bench *speedup ratios* against
 a committed BENCH_*.json and exits non-zero when any common bench
-regressed by more than ``--tolerance`` (default 25%).  Ratios are
-host-independent, so the comparison is stable on shared CI runners
-where absolute seconds are not.
+regressed by more than ``--tolerance`` (default 25%).
+``--min-arena-speedup`` additionally requires the pooled arena-stack
+speedup over legacy to reach the given floor (the PR-9 acceptance gate
+is 5.0), and errors out with the arena's structured diagnostic when
+numpy is missing rather than passing vacuously.
 """
 
 from __future__ import annotations
@@ -55,41 +77,74 @@ from typing import Dict, List, Optional, Tuple
 sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
     os.path.abspath(__file__))), "src"))
 
+from repro.bdd import arena_available                     # noqa: E402
 from repro.bdd._legacy import default_legacy_bdd          # noqa: E402
 from repro.bdd.function import default_bdd                # noqa: E402
+from repro.core.random_pattern import check_random_patterns  # noqa: E402
 from repro.experiments.runner import CHECKS, run_one_case  # noqa: E402
 from repro.generators.benchmarks import BENCHMARK_FACTORIES  # noqa: E402
 from repro.partial.blackbox import PartialImplementation  # noqa: E402
 from repro.partial.extraction import make_partial         # noqa: E402
 from repro.partial.mutations import insert_random_error   # noqa: E402
 
-#: (bench key, circuit, fraction, num_boxes) — Table-2 and Table-3
-#: shapes on the circuits where the ladder's symbolic rungs dominate.
-FULL_BENCHES: List[Tuple[str, str, float, int]] = [
-    ("ladder_t2_alu4", "alu4", 0.1, 5),
-    ("ladder_t2_C499", "C499", 0.1, 5),
-    ("ladder_t2_C880", "C880", 0.1, 5),
-    ("ladder_t2_comp", "comp", 0.1, 5),
-    ("ladder_t2_term1", "term1", 0.1, 5),
-    ("ladder_t3_alu4_40pct", "alu4", 0.4, 1),
+#: (bench key, circuit, fraction, num_boxes, kind).  Kind ``error`` is
+#: a full ladder on a case with one inserted error, ``clean`` a full
+#: ladder with no error (all rungs run to completion), ``rp`` the
+#: random-pattern rung alone on an error-free partial (the paper's
+#: "r.p." column — a full pattern sweep, no early exit).
+FULL_BENCHES: List[Tuple[str, str, float, int, str]] = [
+    ("ladder_t2_alu4", "alu4", 0.1, 5, "error"),
+    ("ladder_t2_C499", "C499", 0.1, 5, "error"),
+    ("ladder_t2_C880", "C880", 0.1, 5, "error"),
+    ("ladder_t2_comp", "comp", 0.1, 5, "error"),
+    ("ladder_t2_term1", "term1", 0.1, 5, "error"),
+    ("ladder_t3_alu4_40pct", "alu4", 0.4, 1, "error"),
+    ("ladder_clean_alu4", "alu4", 0.1, 5, "clean"),
+    ("ladder_clean_comp", "comp", 0.1, 5, "clean"),
+    ("ladder_clean_term1", "term1", 0.1, 5, "clean"),
+    ("ladder_clean_C880", "C880", 0.1, 5, "clean"),
+    ("ladder_clean_C1908", "C1908", 0.1, 5, "clean"),
+    ("ladder_clean_apex3", "apex3", 0.1, 5, "clean"),
+    ("rp_alu4", "alu4", 0.1, 5, "rp"),
+    ("rp_C499", "C499", 0.1, 5, "rp"),
+    ("rp_C880", "C880", 0.1, 5, "rp"),
+    ("rp_C1355", "C1355", 0.1, 5, "rp"),
+    ("rp_C1908", "C1908", 0.1, 5, "rp"),
+    ("rp_apex3", "apex3", 0.1, 5, "rp"),
+    ("rp_comp", "comp", 0.1, 5, "rp"),
+    ("rp_term1", "term1", 0.1, 5, "rp"),
+    ("rp_C499_40pct", "C499", 0.4, 1, "rp"),
+    ("rp_C1355_40pct", "C1355", 0.4, 1, "rp"),
+    ("rp_apex3_40pct", "apex3", 0.4, 1, "rp"),
 ]
 
-#: CI smoke subset: finishes in well under a minute.
-QUICK_BENCHES: List[Tuple[str, str, float, int]] = [
-    ("ladder_t2_alu4", "alu4", 0.1, 5),
-    ("ladder_t2_comp", "comp", 0.1, 5),
+#: CI smoke subset: finishes in well under a minute.  apex3 is the
+#: anchor — its multi-second walls on every stack give the pooled
+#: ratio comparisons a noise-proof denominator; the sub-second
+#: benches ride along for coverage and the hit-rate assert.
+QUICK_BENCHES: List[Tuple[str, str, float, int, str]] = [
+    ("ladder_t2_alu4", "alu4", 0.1, 5, "error"),
+    ("ladder_t2_comp", "comp", 0.1, 5, "error"),
+    ("ladder_clean_apex3", "apex3", 0.1, 5, "clean"),
+    ("rp_alu4", "alu4", 0.1, 5, "rp"),
 ]
 
 
 def _build_case(circuit: str, fraction: float, num_boxes: int,
-                seed: int):
-    """(spec, partial-with-error) for one bench, deterministically."""
+                seed: int, kind: str = "error"):
+    """(spec, partial) for one bench, deterministically.
+
+    ``error`` benches get one random gate mutation inside the partial;
+    ``clean``/``rp`` benches keep the extracted partial untouched.
+    """
     from repro.experiments.runner import _tune_spec
 
     spec = BENCHMARK_FACTORIES[circuit]()
     tuned, _ = _tune_spec(spec)
     partial = make_partial(tuned, fraction=fraction,
                            num_boxes=num_boxes, seed=seed)
+    if kind != "error":
+        return tuned, partial
     mutated, _ = insert_random_error(partial.circuit,
                                      random.Random(seed + 6))
     return tuned, PartialImplementation(mutated, partial.boxes)
@@ -116,73 +171,132 @@ def _time_ladder(spec, impl, patterns: int, seed: int,
     return wall, peak, rate
 
 
+def _time_rp(spec, impl, patterns: int, seed: int,
+             engine: str) -> Tuple[float, int, float]:
+    """Wall seconds of the random-pattern rung alone (``rp`` benches).
+
+    The partial is error-free, so every engine sweeps the full pattern
+    budget — no early exit to mask the per-pattern cost.
+    """
+    start = time.perf_counter()
+    result = check_random_patterns(spec, impl, patterns=patterns,
+                                   seed=seed, engine=engine)
+    wall = time.perf_counter() - start
+    if result.error_found:
+        raise RuntimeError("rp bench found an error in an error-free "
+                           "partial; bench is mis-specified")
+    return wall, 0, 0.0
+
+
 def run_benches(benches, patterns: int, seed: int, repeats: int,
+                with_arena: bool = False,
                 progress=print) -> Dict[str, Dict[str, float]]:
     """Measure every bench; returns the ``benches`` mapping."""
+    if with_arena:
+        from repro.bdd.arena import default_arena_bdd
     out: Dict[str, Dict[str, float]] = {}
-    for key, circuit, fraction, num_boxes in benches:
-        spec, impl = _build_case(circuit, fraction, num_boxes, seed)
-        new_wall = legacy_wall = float("inf")
-        peak = legacy_peak = 0
-        hit_rate = 0.0
-        # Best-of-N on both sides damps scheduler noise the same way.
-        for _ in range(repeats):
-            wall, p, rate = _time_ladder(spec, impl, patterns, seed,
-                                         default_bdd, "packed")
-            if wall < new_wall:
-                new_wall, peak, hit_rate = wall, p, rate
-            wall, p, _ = _time_ladder(spec, impl, patterns, seed,
-                                      default_legacy_bdd, "scalar")
-            if wall < legacy_wall:
-                legacy_wall, legacy_peak = wall, p
-        out[key] = {
-            "wall_s": round(new_wall, 4),
-            "peak_nodes": peak,
-            "cache_hit_rate": round(hit_rate, 4),
-            "legacy_wall_s": round(legacy_wall, 4),
-            "legacy_peak_nodes": legacy_peak,
-            "speedup": round(legacy_wall / new_wall, 3),
+    for key, circuit, fraction, num_boxes, kind in benches:
+        spec, impl = _build_case(circuit, fraction, num_boxes, seed,
+                                 kind)
+        if kind == "rp":
+            timer = lambda factory, engine: _time_rp(  # noqa: E731
+                spec, impl, patterns, seed, engine)
+        else:
+            timer = lambda factory, engine: _time_ladder(  # noqa: E731
+                spec, impl, patterns, seed, factory, engine)
+        sides = [("", default_bdd, "packed"),
+                 ("legacy_", default_legacy_bdd, "scalar")]
+        if with_arena:
+            sides.append(("arena_", default_arena_bdd, "lanes"))
+        best: Dict[str, float] = {}
+        for prefix, factory, engine in sides:
+            wall = float("inf")
+            peak = 0
+            hit_rate = 0.0
+            # Best-of-N on every side damps scheduler noise equally.
+            for _ in range(repeats):
+                w, p, rate = timer(factory, engine)
+                if w < wall:
+                    wall, peak, hit_rate = w, p, rate
+            best[prefix + "wall_s"] = round(wall, 4)
+            best[prefix + "peak_nodes"] = peak
+            if prefix != "legacy_":
+                best[prefix + "cache_hit_rate"] = round(hit_rate, 4)
+        entry = {
+            "wall_s": best["wall_s"],
+            "peak_nodes": best["peak_nodes"],
+            "cache_hit_rate": best["cache_hit_rate"],
+            "legacy_wall_s": best["legacy_wall_s"],
+            "legacy_peak_nodes": best["legacy_peak_nodes"],
+            "speedup": round(best["legacy_wall_s"] / best["wall_s"], 3),
         }
-        progress("%-22s %7.2fs vs legacy %7.2fs  speedup %.2fx  "
-                 "hit-rate %.1f%%" % (key, new_wall, legacy_wall,
-                                      out[key]["speedup"],
-                                      100.0 * hit_rate))
+        line = ("%-22s %7.2fs vs legacy %7.2fs  speedup %.2fx"
+                % (key, entry["wall_s"], entry["legacy_wall_s"],
+                   entry["speedup"]))
+        if with_arena:
+            entry["arena_wall_s"] = best["arena_wall_s"]
+            entry["arena_peak_nodes"] = best["arena_peak_nodes"]
+            entry["arena_cache_hit_rate"] = best["arena_cache_hit_rate"]
+            entry["arena_speedup"] = round(
+                best["legacy_wall_s"] / best["arena_wall_s"], 3)
+            line += "  arena %.2fx" % entry["arena_speedup"]
+        out[key] = entry
+        progress(line)
     return out
 
 
-#: Per-bench ratio checks need signal: below this many combined wall
-#: seconds in the baseline, a single bench's ratio is noise-dominated
-#: and only participates in the pooled comparison.
+#: Ratio checks need signal.  Below _COMPARE_WALL_FLOOR combined
+#: baseline wall seconds a bench is noise-dominated outright and is
+#: reported informationally, excluded even from the pool (tens of ms
+#: of scheduler jitter on a ~0.1 s ladder swings every number).
 _COMPARE_WALL_FLOOR = 1.0
+#: A bench's individual ratio is legacy/current: below this many
+#: baseline wall seconds on the *current* side the denominator alone
+#: (e.g. a ~20 ms lanes sweep against a multi-second scalar one) makes
+#: the per-bench ratio swing past any sane tolerance, so such benches
+#: participate in the pooled comparison only.
+_COMPARE_DENOM_FLOOR = 0.05
 
 
 def compare_to_baseline(benches: Dict[str, Dict], baseline: Dict,
                         tolerance: float, report=print) -> bool:
     """True when the speedup did not regress past ``tolerance``.
 
-    Two layers, both on *ratios* (host-independent):
+    Two layers, both on *ratios* (host-independent), over common
+    benches whose baseline spent at least ``_COMPARE_WALL_FLOOR``
+    combined wall seconds:
 
-    * each common bench whose baseline spent at least
-      ``_COMPARE_WALL_FLOOR`` combined wall seconds is compared
-      individually — sub-second ladders are ratio-noise and are only
-      pooled;
-    * the pooled ratio over all common benches (sum of legacy walls
-      over sum of current walls) is always compared.
+    * each such bench whose baseline current-stack wall also reaches
+      ``_COMPARE_DENOM_FLOOR`` is compared individually;
+    * the pooled ratio (sum of legacy walls over sum of current
+      walls) is compared, for the current and the arena stack.
     """
     ok = True
     base_benches = baseline.get("benches", {})
     walls = legacy_walls = base_walls = base_legacy_walls = 0.0
+    arena_walls = arena_legacy = base_arena_walls = base_arena_legacy \
+        = 0.0
     for key, entry in benches.items():
         base = base_benches.get(key)
         if base is None or "speedup" not in base:
+            continue
+        if base["wall_s"] + base["legacy_wall_s"] < _COMPARE_WALL_FLOOR:
+            report("-- %s: sub-second bench, not gated "
+                   "(speedup %.2fx, baseline %.2fx)"
+                   % (key, entry["speedup"], base["speedup"]))
             continue
         walls += entry["wall_s"]
         legacy_walls += entry["legacy_wall_s"]
         base_walls += base["wall_s"]
         base_legacy_walls += base["legacy_wall_s"]
+        if "arena_wall_s" in entry and "arena_wall_s" in base:
+            arena_walls += entry["arena_wall_s"]
+            arena_legacy += entry["legacy_wall_s"]
+            base_arena_walls += base["arena_wall_s"]
+            base_arena_legacy += base["legacy_wall_s"]
         floor = base["speedup"] * (1.0 - tolerance)
-        if base["wall_s"] + base["legacy_wall_s"] < _COMPARE_WALL_FLOOR:
-            report("-- %s: sub-second bench, pooled only "
+        if base["wall_s"] < _COMPARE_DENOM_FLOOR:
+            report("-- %s: denominator too small, pooled only "
                    "(speedup %.2fx, baseline %.2fx)"
                    % (key, entry["speedup"], base["speedup"]))
         elif entry["speedup"] < floor:
@@ -207,6 +321,19 @@ def compare_to_baseline(benches: Dict[str, Dict], baseline: Dict,
         else:
             report("ok pooled: speedup %.2fx (baseline %.2fx)"
                    % (pooled, base_pooled))
+    if arena_walls and base_arena_walls:
+        pooled = arena_legacy / arena_walls
+        base_pooled = base_arena_legacy / base_arena_walls
+        floor = base_pooled * (1.0 - tolerance)
+        if pooled < floor:
+            report("REGRESSION pooled arena: speedup %.2fx < %.2fx "
+                   "(baseline %.2fx - %d%%)"
+                   % (pooled, floor, base_pooled,
+                      round(100 * tolerance)))
+            ok = False
+        else:
+            report("ok pooled arena: speedup %.2fx (baseline %.2fx)"
+                   % (pooled, base_pooled))
     return ok
 
 
@@ -219,7 +346,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "(hit rate > 0 on every bench)")
     parser.add_argument("--patterns", type=int, default=None,
                         help="random patterns for the r.p. rung "
-                             "(default 300, or 100 with --quick)")
+                             "(default 5000 — the paper's budget — "
+                             "or 100 with --quick)")
     parser.add_argument("--seed", type=int, default=2004)
     parser.add_argument("--repeats", type=int, default=1,
                         help="best-of-N timing repetitions per side")
@@ -233,7 +361,26 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "vs --baseline (default 0.25)")
     parser.add_argument("-o", "--output", metavar="FILE", default=None,
                         help="write the result JSON here")
+    parser.add_argument("--min-arena-speedup", type=float, default=None,
+                        metavar="X",
+                        help="fail unless the pooled arena-stack "
+                             "speedup over legacy reaches X (errors "
+                             "out when numpy is unavailable)")
+    parser.add_argument("--no-arena", action="store_true",
+                        help="skip the arena stack even when numpy "
+                             "is available")
     args = parser.parse_args(argv)
+
+    with_arena = arena_available() and not args.no_arena
+    if args.min_arena_speedup is not None and not with_arena:
+        from repro.bdd.arena import ArenaUnavailableError
+        try:
+            diagnostic = ArenaUnavailableError().diagnostic
+        except Exception:
+            diagnostic = {"error": "arena-backend-unavailable"}
+        print("FAIL: --min-arena-speedup needs the arena stack: %s"
+              % json.dumps(diagnostic, sort_keys=True), file=sys.stderr)
+        return 2
 
     benches = QUICK_BENCHES if args.quick else FULL_BENCHES
     if args.benchmarks:
@@ -245,13 +392,24 @@ def main(argv: Optional[List[str]] = None) -> int:
                          % (", ".join(sorted(unknown)),
                             ", ".join(sorted(known))))
         benches = [b for b in FULL_BENCHES if b[0] in wanted]
-    patterns = args.patterns or (100 if args.quick else 300)
+    patterns = args.patterns or (100 if args.quick else 5000)
 
     measured = run_benches(benches, patterns, args.seed, args.repeats,
+                           with_arena=with_arena,
                            progress=lambda msg: print(msg,
                                                       file=sys.stderr))
     walls = [e["wall_s"] for e in measured.values()]
     legacy_walls = [e["legacy_wall_s"] for e in measured.values()]
+    aggregate = {
+        "wall_s": round(sum(walls), 4),
+        "legacy_wall_s": round(sum(legacy_walls), 4),
+        "speedup": round(sum(legacy_walls) / sum(walls), 3),
+    }
+    if with_arena:
+        arena_walls = [e["arena_wall_s"] for e in measured.values()]
+        aggregate["arena_wall_s"] = round(sum(arena_walls), 4)
+        aggregate["arena_speedup"] = round(
+            sum(legacy_walls) / sum(arena_walls), 3)
     result = {
         "meta": {
             "python": platform.python_version(),
@@ -261,11 +419,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             "repeats": args.repeats,
         },
         "benches": measured,
-        "aggregate": {
-            "wall_s": round(sum(walls), 4),
-            "legacy_wall_s": round(sum(legacy_walls), 4),
-            "speedup": round(sum(legacy_walls) / sum(walls), 3),
-        },
+        "aggregate": aggregate,
     }
     text = json.dumps(result, indent=2, sort_keys=True)
     if args.output:
@@ -274,17 +428,29 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("wrote %s" % args.output, file=sys.stderr)
     else:
         print(text)
-    print("aggregate speedup: %.2fx" % result["aggregate"]["speedup"],
-          file=sys.stderr)
+    summary = "aggregate speedup: %.2fx" % aggregate["speedup"]
+    if with_arena:
+        summary += "  arena: %.2fx" % aggregate["arena_speedup"]
+    print(summary, file=sys.stderr)
 
     status = 0
     if args.quick:
+        kinds = {b[0]: b[4] for b in FULL_BENCHES + QUICK_BENCHES}
         dead = [k for k, e in measured.items()
-                if e["cache_hit_rate"] <= 0.0]
+                if kinds.get(k) != "rp" and e["cache_hit_rate"] <= 0.0]
         if dead:
             print("FAIL: computed table saw no hits on: %s"
                   % ", ".join(dead), file=sys.stderr)
             status = 1
+    if args.min_arena_speedup is not None:
+        got = aggregate["arena_speedup"]
+        if got < args.min_arena_speedup:
+            print("FAIL: pooled arena speedup %.2fx < required %.2fx"
+                  % (got, args.min_arena_speedup), file=sys.stderr)
+            status = 1
+        else:
+            print("arena gate ok: %.2fx >= %.2fx"
+                  % (got, args.min_arena_speedup), file=sys.stderr)
     if args.baseline:
         with open(args.baseline) as handle:
             baseline = json.load(handle)

@@ -1,0 +1,112 @@
+"""BDD backend registry: select the manager implementation by name.
+
+Three backends exist:
+
+``dict``
+    The pure-Python :class:`repro.bdd.manager.BddManager` (default).
+    No dependencies; the differential oracle for the arena.
+``arena``
+    The numpy struct-of-arrays :class:`repro.bdd.arena.ArenaManager`.
+    Requires numpy; requesting it without numpy raises
+    :class:`repro.bdd.arena.ArenaUnavailableError`, which carries a
+    structured ``diagnostic`` dict instead of an ImportError traceback.
+``legacy``
+    The frozen PR-4 reference stack (:mod:`repro.bdd._legacy`), kept
+    for before/after benchmarking only.
+
+Selection precedence: an explicit ``backend=`` argument beats the
+``REPRO_BDD_BACKEND`` environment variable, which beats the default.
+The resolved name is threaded through :attr:`repro.jobs.spec.CaseSpec`
+so campaign journals stay deterministic — the default backend is
+*omitted* from journal records, keeping pre-arena journals
+byte-identical.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Optional
+
+from .function import Bdd, default_bdd
+
+__all__ = ["BACKENDS", "DEFAULT_BACKEND", "BACKEND_ENV",
+           "normalize_backend", "resolve_backend", "backend_class",
+           "make_bdd", "default_bdd_for_backend"]
+
+BACKENDS = ("dict", "arena", "legacy")
+DEFAULT_BACKEND = "dict"
+BACKEND_ENV = "REPRO_BDD_BACKEND"
+
+
+def normalize_backend(name: Optional[str]) -> Optional[str]:
+    """Canonical backend name, or ``None`` for "unset / the default".
+
+    ``None``, ``""`` and ``"dict"`` all normalize to ``None`` so that
+    case keys and journal bytes are identical whether the default was
+    chosen implicitly or spelled out.  Unknown names raise
+    ``ValueError``.
+    """
+    if name is None:
+        return None
+    name = name.strip().lower()
+    if name in ("", DEFAULT_BACKEND):
+        return None
+    if name not in BACKENDS:
+        raise ValueError("unknown BDD backend %r (choose from %s)"
+                         % (name, ", ".join(BACKENDS)))
+    return name
+
+
+def resolve_backend(name: Optional[str] = None) -> str:
+    """Resolve an explicit name (or the environment) to a backend.
+
+    Explicit ``name`` wins; otherwise ``$REPRO_BDD_BACKEND`` is
+    consulted; otherwise the default.  Always returns a member of
+    :data:`BACKENDS`.
+    """
+    if name is not None and name != "":
+        return normalize_backend(name) or DEFAULT_BACKEND
+    return normalize_backend(os.environ.get(BACKEND_ENV)) \
+        or DEFAULT_BACKEND
+
+
+def backend_class(name: Optional[str] = None) -> type:
+    """The :class:`~repro.bdd.function.Bdd` subclass for a backend.
+
+    Importing the class never requires numpy — only *constructing* an
+    arena does (see :class:`repro.bdd.arena.ArenaUnavailableError`).
+    """
+    resolved = resolve_backend(name)
+    if resolved == "arena":
+        from .arena import ArenaBdd
+
+        return ArenaBdd
+    if resolved == "legacy":
+        from ._legacy import LegacyBdd
+
+        return LegacyBdd
+    return Bdd
+
+
+def make_bdd(backend: Optional[str] = None, **kwargs) -> Bdd:
+    """Construct a Bdd on the chosen backend (kwargs as ``Bdd(...)``)."""
+    return backend_class(backend)(**kwargs)
+
+
+def default_bdd_for_backend(backend: Optional[str] = None)\
+        -> Callable[[], Bdd]:
+    """Zero-arg factory producing the backend's production-tuned Bdd.
+
+    Each backend's own ``default_*`` tuning is preserved (all three
+    currently agree: auto-reorder on, 30k initial threshold).
+    """
+    resolved = resolve_backend(backend)
+    if resolved == "arena":
+        from .arena import default_arena_bdd
+
+        return default_arena_bdd
+    if resolved == "legacy":
+        from ._legacy import default_legacy_bdd
+
+        return default_legacy_bdd
+    return default_bdd

@@ -11,9 +11,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, List, Optional, Sequence
 
-from ..bdd import default_bdd
 from ..circuit.netlist import Circuit
-from ..obs import ManagerSnapshot, get_tracer
+from ..obs import ManagerSnapshot, get_tracer, unique_table_summary
 from ..partial.blackbox import PartialImplementation
 from ..resilience.budget import BudgetExceededError
 from .common import prepare_context
@@ -42,6 +41,7 @@ def run_ladder(spec: Circuit, partial: PartialImplementation,
                lint: bool = True,
                budget: "Optional[Budget]" = None,
                bdd=None,
+               backend: Optional[str] = None,
                preflight: bool = False,
                cache=None) -> List[CheckResult]:
     """Run the selected checks in ladder order; returns all results.
@@ -56,6 +56,14 @@ def run_ladder(spec: Circuit, partial: PartialImplementation,
     rungs share it, each result's ``stats`` records that rung's *delta*
     of the computed-table counters (``cache_hits``, ``cache_misses``,
     ``cache_evictions``, ``cache_hit_rate``).
+
+    ``backend`` selects the manager implementation when no explicit
+    ``bdd`` is passed: ``"dict"`` (default), ``"arena"`` (the numpy
+    struct-of-arrays manager) or ``"legacy"``; ``None`` consults
+    ``$REPRO_BDD_BACKEND``.  Requesting the arena without numpy raises
+    :class:`repro.bdd.ArenaUnavailableError` (structured diagnostic).
+    Verdicts and counterexamples are backend-independent — the
+    differential suite enforces this.
 
     Unless ``lint=False``, the partial implementation is linted first
     and the findings are attached to every result's ``diagnostics`` —
@@ -157,7 +165,11 @@ def run_ladder(spec: Circuit, partial: PartialImplementation,
                 spec, partial, report.open_indices)
 
     if bdd is None:
-        bdd = default_bdd()
+        from ..bdd.backends import default_bdd_for_backend
+
+        bdd = default_bdd_for_backend(backend)()
+    elif backend is not None:
+        raise ValueError("pass either bdd= or backend=, not both")
     if budget is not None:
         budget.start()
         bdd.set_budget(budget)
@@ -322,8 +334,10 @@ def _close_rung(result: CheckResult, before: ManagerSnapshot, bdd,
     delta = before.delta(after)
     touched = (delta["cache_hits"] or delta["cache_misses"]
                or delta["gc_runs"] or delta["reorders"])
+    unique = unique_table_summary(bdd)  # {} off the arena backend
     if result.check != "random_pattern" or touched:
         result.stats.update(delta)
+        result.stats.update(unique)
     if span is not None:
         span.done(verdict=result.outcome,
                   error_found=result.error_found,
@@ -333,13 +347,17 @@ def _close_rung(result: CheckResult, before: ManagerSnapshot, bdd,
                   cache_hits=delta["cache_hits"],
                   cache_misses=delta["cache_misses"],
                   gc_runs=delta["gc_runs"],
-                  reorders=delta["reorders"])
+                  reorders=delta["reorders"],
+                  **unique)
 
 
 def check_partial_equivalence(spec: Circuit,
                               partial: PartialImplementation,
                               patterns: int = 1000,
-                              seed: Optional[int] = None) -> CheckResult:
+                              seed: Optional[int] = None,
+                              backend: Optional[str] = None)\
+        -> CheckResult:
     """One-call API: the final (most accurate) verdict of the ladder."""
-    results = run_ladder(spec, partial, patterns=patterns, seed=seed)
+    results = run_ladder(spec, partial, patterns=patterns, seed=seed,
+                         backend=backend)
     return results[-1]

@@ -88,6 +88,14 @@ class CheckOutcome:
     #: executed.  Serialised only when set, so journals written without
     #: a cache stay byte-identical to pre-cache ones.
     cached: bool = False
+    #: Arena-backend unique-table health (``repro.bdd.arena``): final
+    #: open-addressing load factor, 95th-percentile probe length, and
+    #: table resize count.  All zero on the dict/legacy backends and
+    #: serialised only when any is set, so default-backend journals
+    #: stay byte-identical to pre-arena ones.
+    unique_load_factor: float = 0.0
+    unique_probe_p95: int = 0
+    unique_resizes: int = 0
 
     def to_dict(self) -> Dict:
         data = {"outcome": self.outcome,
@@ -103,6 +111,11 @@ class CheckOutcome:
                 "detail": self.detail}
         if self.cached:
             data["cached"] = True
+        if (self.unique_load_factor or self.unique_probe_p95
+                or self.unique_resizes):
+            data["unique_load_factor"] = self.unique_load_factor
+            data["unique_probe_p95"] = self.unique_probe_p95
+            data["unique_resizes"] = self.unique_resizes
         return data
 
     @classmethod
@@ -118,7 +131,11 @@ class CheckOutcome:
                    reorders=int(data.get("reorders", 0)),
                    gc_runs=int(data.get("gc_runs", 0)),
                    detail=data.get("detail", ""),
-                   cached=bool(data.get("cached", False)))
+                   cached=bool(data.get("cached", False)),
+                   unique_load_factor=float(
+                       data.get("unique_load_factor", 0.0)),
+                   unique_probe_p95=int(data.get("unique_probe_p95", 0)),
+                   unique_resizes=int(data.get("unique_resizes", 0)))
 
 
 @dataclass

@@ -75,6 +75,12 @@ class CaseSpec:
     #: what they are, so it is excluded from the key.
     preflight: bool = False
     check_cache: Optional[str] = None
+    #: BDD backend the case's symbolic checks run on (see
+    #: :mod:`repro.bdd.backends`).  ``None`` means the default dict
+    #: manager; the value is normalized at enumeration time, so
+    #: ``"dict"`` never appears here — default-backend journals stay
+    #: byte-identical to pre-arena ones.
+    backend: Optional[str] = None
 
     @property
     def partial_seed(self) -> int:
@@ -101,7 +107,7 @@ class CaseSpec:
                 repr(self.fraction), self.num_boxes, self.patterns,
                 self.seed, self.checks, self.node_limit,
                 repr(self.soft_timeout) if self.soft_timeout is not None
-                else None, self.preflight)
+                else None, self.preflight, self.backend)
 
     def describe(self) -> str:
         """Short human-readable coordinate for progress lines."""
@@ -129,6 +135,8 @@ class CaseSpec:
             data["preflight"] = True
         if self.check_cache is not None:
             data["check_cache"] = self.check_cache
+        if self.backend is not None:
+            data["backend"] = self.backend
         return data
 
     @classmethod
@@ -148,7 +156,8 @@ class CaseSpec:
                    soft_timeout=float(soft_timeout)
                    if soft_timeout is not None else None,
                    preflight=bool(data.get("preflight", False)),
-                   check_cache=data.get("check_cache"))
+                   check_cache=data.get("check_cache"),
+                   backend=data.get("backend"))
 
 
 def enumerate_cases(config: "ExperimentConfig",
@@ -160,10 +169,19 @@ def enumerate_cases(config: "ExperimentConfig",
     canonical order the aggregator folds records in, so float sums are
     identical no matter in which order the cases actually executed.
     """
+    import os
+
+    from ..bdd.backends import BACKEND_ENV, normalize_backend
     from ..generators.benchmarks import BENCHMARK_FACTORIES
 
     names = list(benchmarks if benchmarks is not None
                  else (config.benchmarks or BENCHMARK_FACTORIES))
+    # The BDD backend is resolved (config beats $REPRO_BDD_BACKEND)
+    # *here*, once, so it becomes part of every case's key and journal
+    # record — workers then execute what the spec says, never what
+    # their own environment happens to hold.
+    backend = normalize_backend(getattr(config, "backend", None)
+                                or os.environ.get(BACKEND_ENV))
     cases: List[CaseSpec] = []
     for name in names:
         for selection in range(config.selections):
@@ -177,5 +195,6 @@ def enumerate_cases(config: "ExperimentConfig",
                     node_limit=getattr(config, "node_limit", None),
                     soft_timeout=getattr(config, "soft_timeout", None),
                     preflight=getattr(config, "preflight", False),
-                    check_cache=getattr(config, "check_cache", None)))
+                    check_cache=getattr(config, "check_cache", None),
+                    backend=backend))
     return cases

@@ -299,7 +299,9 @@ def _execute_case(case: CaseSpec,
             result = run_one_case(run_spec, run_impl, (check,),
                                   case.patterns,
                                   seed=case.case_seed,
-                                  budget=budget)[check]
+                                  budget=budget,
+                                  backend=case.backend
+                                  or "dict")[check]
             outcomes[check] = CheckOutcome(
                 outcome=result.outcome,
                 error_found=result.error_found,
@@ -312,7 +314,13 @@ def _execute_case(case: CaseSpec,
                     result.stats.get("cache_evictions", 0)),
                 reorders=int(result.stats.get("reorders", 0)),
                 gc_runs=int(result.stats.get("gc_runs", 0)),
-                detail=result.detail)
+                detail=result.detail,
+                unique_load_factor=float(
+                    result.stats.get("unique_load_factor", 0.0)),
+                unique_probe_p95=int(
+                    result.stats.get("unique_probe_p95", 0)),
+                unique_resizes=int(
+                    result.stats.get("unique_resizes", 0)))
             if result.outcome == OUTCOME_OK:
                 strongest_check = check
                 strongest_found = result.error_found

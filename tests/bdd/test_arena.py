@@ -1,0 +1,269 @@
+"""Arena backend: unit tests plus the dict-vs-arena differential suite.
+
+The arena manager (:mod:`repro.bdd.arena`) re-implements the dict
+manager's exact semantics on numpy struct-of-arrays storage.  Node ids
+are assigned in the same order by both (terminals 0/1, then creation
+order), so the differential property holds them to the strongest
+possible standard: *identical node ids* for identical operation
+programs — any divergence in hashing, caching, GC or reordering shows
+up as a wrong integer, not just a wrong truth table.
+
+Everything here is skipped without numpy; the no-numpy CI job instead
+proves the legacy/dict backends and the structured arena diagnostic.
+"""
+
+import os
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd import Bdd, arena_available
+from repro.bdd.backends import (BACKEND_ENV, backend_class, make_bdd,
+                                normalize_backend, resolve_backend)
+
+pytestmark = pytest.mark.skipif(not arena_available(),
+                                reason="arena backend needs numpy")
+
+NAMES = ["a", "b", "c", "d", "e"]
+
+#: One interpreted instruction, as in ``test_cache.py`` plus the
+#: quantifier/substitution ops the arena reimplements.
+_STEP = st.tuples(
+    st.sampled_from(["and", "or", "xor", "not", "ite", "exists",
+                     "forall", "and_exists", "restrict", "compose"]),
+    st.integers(min_value=0, max_value=255),
+    st.integers(min_value=0, max_value=255),
+    st.integers(min_value=0, max_value=255),
+)
+
+
+def _arena_cls():
+    from repro.bdd.arena import ArenaBdd
+    return ArenaBdd
+
+
+def _run_program(bdd, program):
+    """Execute a program against one manager; return the node-id trace."""
+    pool = [bdd.var(n) for n in NAMES]
+    trace = []
+    for op, i, j, k in program:
+        f = pool[i % len(pool)]
+        g = pool[j % len(pool)]
+        h = pool[k % len(pool)]
+        name = NAMES[j % len(NAMES)]
+        if op == "and":
+            result = f & g
+        elif op == "or":
+            result = f | g
+        elif op == "xor":
+            result = f ^ g
+        elif op == "not":
+            result = ~f
+        elif op == "ite":
+            result = f.ite(g, h)
+        elif op == "exists":
+            result = f.exists([name])
+        elif op == "forall":
+            result = f.forall([name])
+        elif op == "and_exists":
+            result = f.and_exists(g, [NAMES[k % len(NAMES)]])
+        elif op == "restrict":
+            result = f.restrict({name: bool(k % 2)})
+        else:  # compose
+            result = f.compose({name: h})
+        pool.append(result)
+        trace.append(result.node)
+    return trace
+
+
+def _fresh(cls=Bdd, **kwargs):
+    bdd = cls(**kwargs)
+    bdd.add_vars(NAMES)
+    return bdd
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(_STEP, max_size=40))
+def test_arena_matches_dict_node_for_node(program):
+    """The differential core: identical programs, identical node ids."""
+    arena = _fresh(_arena_cls())
+    current = _fresh(Bdd)
+    assert _run_program(arena, program) == _run_program(current, program)
+    assert len(arena) == len(current)
+    assert arena.manager.invariant_violations() == []
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(_STEP, max_size=30), st.integers(0, 3))
+def test_arena_matches_dict_through_gc_and_reorder(program, seed):
+    """Same trace when GC and sifting interleave with the program."""
+    arena = _fresh(_arena_cls())
+    current = _fresh(Bdd)
+    cut = len(program) // 2
+    traces = []
+    for bdd in (arena, current):
+        head = _run_program(bdd, program[:cut])
+        bdd.manager.collect_garbage()
+        bdd.reorder()
+        tail = _run_program(bdd, program[cut:])
+        traces.append((head, tail, list(bdd.manager.var_order),
+                       len(bdd)))
+    assert traces[0] == traces[1]
+    assert arena.manager.invariant_violations() == []
+
+
+class TestArenaUnit:
+    def test_node_ids_and_truth_tables(self):
+        bdd = _arena_cls()()
+        bdd.add_vars("abc")
+        a, b, c = (bdd.var(n) for n in "abc")
+        f = (a & b) | ~c
+        for bits in range(8):
+            asg = {"a": bool(bits & 1), "b": bool(bits & 2),
+                   "c": bool(bits & 4)}
+            assert f.evaluate(asg) == ((asg["a"] and asg["b"])
+                                       or not asg["c"])
+        assert f.sat_count(nvars=3) == 5
+
+    def test_unique_table_stats_shape(self):
+        bdd = _fresh(_arena_cls())
+        a, b = bdd.var("a"), bdd.var("b")
+        keep = a ^ b
+        stats = bdd.manager.unique_table_stats()
+        assert {"capacity", "entries", "load_factor", "tombstones",
+                "resizes", "rebuilds", "probe_p95",
+                "probe_max"} <= set(stats)
+        assert stats["entries"] == len(bdd) - 2  # terminals not hashed
+        assert 0.0 <= stats["load_factor"] <= 1.0
+        assert stats["probe_p95"] <= stats["probe_max"]
+
+    def test_unique_table_resizes_under_load(self):
+        # OR of (a_i & b_i) with all a's ordered before all b's is the
+        # classic exponential-order function: ~2^10 nodes, far past the
+        # arena's initial 1024-slot unique table.
+        bdd = _arena_cls()()
+        a_vars = bdd.add_vars("a%d" % k for k in range(10))
+        b_vars = bdd.add_vars("b%d" % k for k in range(10))
+        acc = bdd.false
+        for a, b in zip(a_vars, b_vars):
+            acc |= a & b
+        assert bdd.manager.unique_table_stats()["resizes"] > 0
+        assert bdd.manager.invariant_violations() == []
+
+    def test_gc_reclaims_and_keeps_invariants(self):
+        bdd = _fresh(_arena_cls())
+        a, b = bdd.var("a"), bdd.var("b")
+        junk = [a ^ b, a & b, a | b]
+        before = len(bdd)
+        del junk
+        bdd.manager.collect_garbage()
+        assert len(bdd) < before
+        assert bdd.manager.invariant_violations() == []
+
+    def test_cache_stats_same_shape_as_dict_backend(self):
+        arena, current = _fresh(_arena_cls()), _fresh(Bdd)
+        for bdd in (arena, current):
+            keep = bdd.var("a") & bdd.var("b")
+        a_stats, c_stats = arena.cache_stats(), current.cache_stats()
+        assert set(a_stats) == set(c_stats) == {"ops", "total"}
+        assert set(a_stats["ops"]) == set(c_stats["ops"])
+
+    def test_var_node_counts_agree(self):
+        arena, current = _fresh(_arena_cls()), _fresh(Bdd)
+        results = []
+        for bdd in (arena, current):
+            a, b, c = (bdd.var(n) for n in "abc")
+            keep = (a & b) ^ c
+            results.append(bdd.manager.var_node_counts())
+        assert results[0] == results[1]
+
+    def test_budget_governs_arena(self):
+        from repro.resilience.budget import Budget, BudgetExceededError
+        bdd = _arena_cls()()
+        xs = bdd.add_vars("abcdefgh")
+        bdd.set_budget(Budget(max_live_nodes=30))
+        with pytest.raises(BudgetExceededError) as info:
+            acc = bdd.false
+            for i, x in enumerate(xs):
+                acc = acc | (x & xs[(i + 3) % len(xs)])
+        assert info.value.resource == "live_nodes"
+        assert bdd.manager.invariant_violations() == []
+
+
+class TestBackendRegistry:
+    def test_normalize_folds_default(self):
+        assert normalize_backend(None) is None
+        assert normalize_backend("") is None
+        assert normalize_backend("dict") is None
+        assert normalize_backend("arena") == "arena"
+        with pytest.raises(ValueError):
+            normalize_backend("cudd")
+
+    def test_resolve_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "legacy")
+        assert resolve_backend("arena") == "arena"
+        assert resolve_backend(None) == "legacy"
+        monkeypatch.delenv(BACKEND_ENV)
+        assert resolve_backend(None) == "dict"
+
+    def test_make_bdd_classes(self):
+        assert type(make_bdd()) is Bdd
+        assert type(make_bdd("arena")) is _arena_cls()
+        assert backend_class("dict") is Bdd
+
+    def test_ladder_backend_mutually_exclusive_with_bdd(self):
+        from repro.core.ladder import run_ladder
+        from repro.generators import figure1
+        spec, partial = figure1()
+        with pytest.raises(ValueError):
+            run_ladder(spec, partial, patterns=8, bdd=Bdd(),
+                       backend="arena")
+
+
+@pytest.mark.parametrize("figure", ["figure1", "figure2a", "figure3b"])
+def test_ladder_verdicts_identical_across_backends(figure):
+    """run_ladder agrees rung by rung on dict and arena backends."""
+    from repro import generators
+    from repro.core.ladder import run_ladder
+
+    spec, partial = getattr(generators, figure)()
+    runs = {}
+    for backend in (None, "arena"):
+        results = run_ladder(spec, partial, patterns=64, seed=5,
+                             backend=backend)
+        runs[backend] = [(r.check, r.outcome, r.error_found,
+                          r.counterexample, r.failing_output)
+                         for r in results]
+    assert runs[None] == runs["arena"]
+
+
+def test_arena_selfchecks_under_repro_debug():
+    """REPRO_DEBUG=1 runs the sanitizer after mutating entry points."""
+    env = os.environ.get("REPRO_DEBUG")
+    os.environ["REPRO_DEBUG"] = "1"
+    try:
+        bdd = _fresh(_arena_cls())
+        a, b, c = (bdd.var(n) for n in "abc")
+        keep = (a & b) | (b ^ c)
+        bdd.manager.collect_garbage()
+        bdd.reorder()
+        assert bdd.manager.invariant_violations() == []
+    finally:
+        if env is None:
+            del os.environ["REPRO_DEBUG"]
+        else:
+            os.environ["REPRO_DEBUG"] = env
+
+
+def test_unavailable_diagnostic_is_structured(monkeypatch):
+    """Without numpy the arena refuses with a machine-readable reason."""
+    import repro.bdd.arena as arena_mod
+    monkeypatch.setattr(arena_mod, "_np", None)
+    assert not arena_mod.arena_available()
+    with pytest.raises(arena_mod.ArenaUnavailableError) as err:
+        arena_mod.ArenaManager()
+    diag = err.value.diagnostic
+    assert diag["error"] == "arena-backend-unavailable"
+    assert "numpy" in diag["reason"]
+    assert "hint" in diag
