@@ -44,7 +44,16 @@ Output schema (``BENCH_PR9.json``)::
                                     "arena_cache_hit_rate": 0.41,
                                     "arena_speedup": 1.49}, ...},
      "aggregate": {"wall_s": ..., "legacy_wall_s": ..., "speedup": ...,
-                   "arena_wall_s": ..., "arena_speedup": ...}}
+                   "arena_wall_s": ..., "arena_speedup": ...},
+     "sat_vs_bdd": {"sat_vs_bdd_comp": {"symbolic_01x": {
+                        "bdd_wall_s": ..., "sat_wall_s": ...,
+                        "ratio": ..., "portfolio_winner": "bdd"},
+                    "output_exact": {...}}, ...}}
+
+The ``sat_vs_bdd`` section times the two rungs with CNF encodings on
+both engines and records the deterministic portfolio's pick; it is
+trajectory only — never compared by ``--baseline`` (``--no-sat``
+skips it; see docs/sat.md and docs/performance.md).
 
 Usage::
 
@@ -116,6 +125,21 @@ FULL_BENCHES: List[Tuple[str, str, float, int, str]] = [
     ("rp_C499_40pct", "C499", 0.4, 1, "rp"),
     ("rp_C1355_40pct", "C1355", 0.4, 1, "rp"),
     ("rp_apex3_40pct", "apex3", 0.4, 1, "rp"),
+]
+
+#: SAT-vs-BDD trajectory benches: the two rungs with CNF encodings,
+#: timed on both engines (clean partials, so every check runs to
+#: completion).  Trajectory only — reported and recorded, never gated:
+#: which engine wins is a property of the netlist family, not a
+#: regression signal (docs/sat.md, docs/performance.md).
+SAT_BENCHES: List[Tuple[str, str, float, int]] = [
+    ("sat_vs_bdd_comp", "comp", 0.1, 5),
+    ("sat_vs_bdd_alu4", "alu4", 0.1, 5),
+    ("sat_vs_bdd_term1", "term1", 0.1, 5),
+]
+
+QUICK_SAT_BENCHES: List[Tuple[str, str, float, int]] = [
+    ("sat_vs_bdd_comp", "comp", 0.1, 5),
 ]
 
 #: CI smoke subset: finishes in well under a minute.  apex3 is the
@@ -245,6 +269,67 @@ def run_benches(benches, patterns: int, seed: int, repeats: int,
     return out
 
 
+def run_sat_benches(benches, seed: int, repeats: int,
+                    progress=print) -> Dict[str, Dict]:
+    """Time the symbolic-0,1,X and output-exact rungs on both engines.
+
+    Each check runs on a fresh manager / fresh solver per repeat
+    (best-of-N both sides), and the deterministic portfolio race
+    (:mod:`repro.core.portfolio`) is run once to record which engine
+    it picks.  ``ratio`` is bdd_wall / sat_wall (> 1 means SAT is
+    faster).  Nothing here gates: the numbers track the trajectory.
+    """
+    from repro.core.output_exact import check_output_exact
+    from repro.core.portfolio import (race_output_exact,
+                                      race_symbolic_01x)
+    from repro.core.symbolic01x import check_symbolic_01x
+    from repro.sat import (check_output_exact_sat,
+                           check_symbolic_01x_sat)
+
+    checks = {
+        "symbolic_01x": (
+            lambda spec, impl: check_symbolic_01x(spec, impl,
+                                                  default_bdd()),
+            check_symbolic_01x_sat,
+            lambda spec, impl: race_symbolic_01x(spec, impl,
+                                                 default_bdd()),
+        ),
+        "output_exact": (
+            lambda spec, impl: check_output_exact(spec, impl),
+            check_output_exact_sat,
+            lambda spec, impl: race_output_exact(spec, impl,
+                                                 default_bdd()),
+        ),
+    }
+    out: Dict[str, Dict] = {}
+    for key, circuit, fraction, num_boxes in benches:
+        spec, impl = _build_case(circuit, fraction, num_boxes, seed,
+                                 kind="clean")
+        entry: Dict[str, Dict[str, float]] = {}
+        for name, (bdd_check, sat_check, racer) in checks.items():
+            bdd_wall = sat_wall = float("inf")
+            for _ in range(repeats):
+                start = time.perf_counter()
+                bdd_check(spec, impl)
+                bdd_wall = min(bdd_wall, time.perf_counter() - start)
+                start = time.perf_counter()
+                sat_check(spec, impl)
+                sat_wall = min(sat_wall, time.perf_counter() - start)
+            winner = racer(spec, impl).stats["engine"]
+            entry[name] = {
+                "bdd_wall_s": round(bdd_wall, 4),
+                "sat_wall_s": round(sat_wall, 4),
+                "ratio": round(bdd_wall / sat_wall, 3),
+                "portfolio_winner": winner,
+            }
+            progress("%-22s %-13s bdd %7.3fs  sat %7.3fs  "
+                     "ratio %.2fx  portfolio -> %s"
+                     % (key, name, bdd_wall, sat_wall,
+                        entry[name]["ratio"], winner))
+        out[key] = entry
+    return out
+
+
 #: Ratio checks need signal.  Below _COMPARE_WALL_FLOOR combined
 #: baseline wall seconds a bench is noise-dominated outright and is
 #: reported informationally, excluded even from the pool (tens of ms
@@ -369,6 +454,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--no-arena", action="store_true",
                         help="skip the arena stack even when numpy "
                              "is available")
+    parser.add_argument("--no-sat", action="store_true",
+                        help="skip the SAT-vs-BDD trajectory column")
     args = parser.parse_args(argv)
 
     with_arena = arena_available() and not args.no_arena
@@ -421,6 +508,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "benches": measured,
         "aggregate": aggregate,
     }
+    if not args.no_sat and not args.benchmarks:
+        sat_benches = QUICK_SAT_BENCHES if args.quick else SAT_BENCHES
+        result["sat_vs_bdd"] = run_sat_benches(
+            sat_benches, args.seed, args.repeats,
+            progress=lambda msg: print(msg, file=sys.stderr))
     text = json.dumps(result, indent=2, sort_keys=True)
     if args.output:
         with open(args.output, "w") as handle:

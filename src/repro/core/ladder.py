@@ -19,6 +19,8 @@ from .common import prepare_context
 from .input_exact import input_exact_from_context
 from .local_check import local_check_from_context
 from .output_exact import output_exact_from_context
+from .portfolio import (normalize_strategy, race_output_exact,
+                        race_symbolic_01x)
 from .random_pattern import check_random_patterns
 from .result import OUTCOME_OK, CheckResult
 from .symbolic01x import check_symbolic_01x
@@ -43,7 +45,8 @@ def run_ladder(spec: Circuit, partial: PartialImplementation,
                bdd=None,
                backend: Optional[str] = None,
                preflight: bool = False,
-               cache=None) -> List[CheckResult]:
+               cache=None,
+               strategy: Optional[str] = None) -> List[CheckResult]:
     """Run the selected checks in ladder order; returns all results.
 
     The Z_i-based rungs share one symbolic context (spec and impl BDDs
@@ -100,7 +103,18 @@ def run_ladder(spec: Circuit, partial: PartialImplementation,
     class) verdict is stored replays it exactly instead of running;
     completed authoritative rungs are stored back.  See
     ``docs/static-analysis.md``.
+
+    ``strategy`` selects the engine for the symbolic 0,1,X and output
+    exact rungs: ``None``/``"bdd"`` (default) runs the BDD algorithms,
+    ``"sat"`` the SAT encodings of :mod:`repro.sat`, and
+    ``"portfolio"`` races both under deterministic step quanta and
+    keeps the first answer (:mod:`repro.core.portfolio`).  The winning
+    engine is recorded in the rung's ``stats["engine"]``; verdicts are
+    engine-independent, and the winner is a pure function of the case,
+    so campaign journals stay byte-identical across job counts.  See
+    ``docs/sat.md``.
     """
+    strategy = normalize_strategy(strategy)
     unknown = set(checks) - set(CHECK_ORDER)
     if unknown:
         raise ValueError("unknown checks: %s" % ", ".join(sorted(unknown)))
@@ -198,7 +212,10 @@ def run_ladder(spec: Circuit, partial: PartialImplementation,
                     patterns=patterns if name == "random_pattern"
                     else None,
                     seed=seed if name == "random_pattern" else None,
-                    variant="preflight" if report is not None else "")
+                    variant=",".join(
+                        part for part in
+                        ("preflight" if report is not None else "",
+                         strategy or "") if part))
                 payload = cache.get(cache_key)
                 if tracer is not None:
                     tracer.instant("check_cache", check=name,
@@ -223,8 +240,19 @@ def run_ladder(spec: Circuit, partial: PartialImplementation,
                         run_spec, run_partial, patterns=patterns,
                         seed=seed, budget=budget)
                 elif name == "symbolic_01x":
-                    result = check_symbolic_01x(run_spec, run_partial,
-                                                bdd)
+                    if strategy is not None:
+                        result = race_symbolic_01x(
+                            run_spec, run_partial, bdd, budget=budget,
+                            strategy=strategy)
+                    else:
+                        result = check_symbolic_01x(run_spec,
+                                                    run_partial, bdd)
+                elif name == "output_exact" and strategy is not None:
+                    holder = [ctx]
+                    result = race_output_exact(
+                        run_spec, run_partial, bdd, holder,
+                        budget=budget, strategy=strategy)
+                    ctx = holder[0]
                 else:
                     if ctx is None:
                         ctx = prepare_context(run_spec, run_partial,

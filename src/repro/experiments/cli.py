@@ -178,6 +178,16 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "$REPRO_BDD_BACKEND, else 'dict'.  The "
                              "resolved backend is recorded in every "
                              "case spec, so journals are deterministic")
+    parser.add_argument("--strategy", choices=("bdd", "portfolio",
+                                               "sat"),
+                        default=None,
+                        help="engine for the symbolic 0,1,X and "
+                             "output exact checks: 'bdd' (default), "
+                             "'sat' (CDCL miter / CEGAR encodings) or "
+                             "'portfolio' (race both under "
+                             "deterministic step quanta; first answer "
+                             "wins and the winning engine is "
+                             "journaled per check — see docs/sat.md)")
     parser.add_argument("--preflight", action="store_true",
                         help="run the static cone-hash/ternary "
                              "preflight before each case's checks; "
@@ -323,7 +333,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             parser.error("unknown benchmarks: %s" % ", ".join(unknown))
         overrides["benchmarks"] = names
     for attr in ("selections", "errors", "patterns", "node_limit",
-                 "soft_timeout", "check_cache", "backend"):
+                 "soft_timeout", "check_cache", "backend", "strategy"):
         value = getattr(args, attr)
         if value is not None:
             overrides[attr] = value

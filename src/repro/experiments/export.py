@@ -64,6 +64,13 @@ def rows_to_dict(rows: Sequence[BenchmarkRow],
                 low, high = detection_interval(
                     row.detected[check], valid)
                 record["detection_ci95"] = [low, high]
+            sat_wins = row.sat_wins.get(check, 0)
+            bdd_wins = row.bdd_wins.get(check, 0)
+            if sat_wins or bdd_wins:
+                # Only present on portfolio/SAT-strategy campaigns, so
+                # default-campaign exports are unchanged.
+                record["engine_wins"] = {"sat": sat_wins,
+                                         "bdd": bdd_wins}
             entry["checks"][check] = record
         out.append(entry)
     return out

@@ -83,6 +83,12 @@ class ExperimentConfig:
     #: name is recorded in every case spec so journals stay
     #: deterministic.
     backend: Optional[str] = None
+    #: Engine strategy for the symbolic 0,1,X and output exact checks
+    #: (see :mod:`repro.core.portfolio` and ``docs/sat.md``):
+    #: ``None``/``"bdd"`` runs the BDD algorithms, ``"sat"`` the SAT
+    #: encodings, ``"portfolio"`` races both deterministically and
+    #: keeps the first answer (winner journaled per check).
+    strategy: Optional[str] = None
 
     @classmethod
     def paper_scale(cls, **overrides) -> "ExperimentConfig":
@@ -149,6 +155,11 @@ class BenchmarkRow:
     #: check (the replayed numbers are byte-identical to an execution,
     #: so these cases also count in ``valid`` and the averages)
     check_cache_hits: Dict[str, int] = field(default_factory=dict)
+    #: portfolio race outcomes, per check: how many valid cases each
+    #: engine answered first (all zero without ``strategy=``; see
+    #: :mod:`repro.core.portfolio`)
+    sat_wins: Dict[str, int] = field(default_factory=dict)
+    bdd_wins: Dict[str, int] = field(default_factory=dict)
     #: output cones the static preflight discharged, summed over cases
     discharged_outputs: int = 0
     #: total wall-clock spent on this row's cases
@@ -187,7 +198,8 @@ def run_one_case(spec: Circuit, partial: PartialImplementation,
                  seed: int, budget=None,
                  bdd_factory=None,
                  rp_engine: str = "packed",
-                 backend: Optional[str] = None)\
+                 backend: Optional[str] = None,
+                 strategy: Optional[str] = None)\
         -> Dict[str, CheckResult]:
     """All requested checks on one (spec, partial) pair.
 
@@ -209,7 +221,16 @@ def run_one_case(spec: Circuit, partial: PartialImplementation,
     degrade into an ``inconclusive`` outcome.  Because each check gets
     its own manager, the node ceiling governs each check separately
     while the wall clock spans the whole case.
+
+    ``strategy`` selects the engine for the symbolic 0,1,X and output
+    exact checks (``None``/``"bdd"``, ``"sat"``, ``"portfolio"`` —
+    see :mod:`repro.core.portfolio`); the winning engine lands in the
+    result's ``stats["engine"]``.
     """
+    from ..core.portfolio import (normalize_strategy,
+                                  race_output_exact, race_symbolic_01x)
+
+    strategy = normalize_strategy(strategy)
     if bdd_factory is None:
         from ..bdd.backends import default_bdd_for_backend
 
@@ -246,8 +267,17 @@ def run_one_case(spec: Circuit, partial: PartialImplementation,
                     bdd.set_tracer(tracer)
                 before = ManagerSnapshot.capture(bdd)
                 if key == "symbolic_01x":
-                    results[short] = check_symbolic_01x(spec, partial,
-                                                        bdd)
+                    if strategy is not None:
+                        results[short] = race_symbolic_01x(
+                            spec, partial, bdd, budget=budget,
+                            strategy=strategy)
+                    else:
+                        results[short] = check_symbolic_01x(
+                            spec, partial, bdd)
+                elif key == "output_exact" and strategy is not None:
+                    results[short] = race_output_exact(
+                        spec, partial, bdd, budget=budget,
+                        strategy=strategy)
                 else:
                     ctx = prepare_context(spec, partial, bdd)
                     if key == "local":

@@ -126,6 +126,15 @@ def format_table(rows: Sequence[BenchmarkRow], title: str,
         lines.append("static analysis: %d check-cache hit(s), %d "
                      "output cone(s) statically discharged"
                      % (cache_hits, discharged))
+    winners = []
+    for check in checks:
+        sat = sum(row.sat_wins.get(check, 0) for row in rows)
+        bdd = sum(row.bdd_wins.get(check, 0) for row in rows)
+        if sat or bdd:
+            winners.append("%s: sat %d / bdd %d" % (check, sat, bdd))
+    if winners:
+        lines.append("portfolio winners (first engine to answer, "
+                     "per check): " + "; ".join(winners))
     return "\n".join(lines)
 
 

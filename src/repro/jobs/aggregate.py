@@ -89,6 +89,8 @@ def row_from_records(name: str, records: Sequence[CaseRecord],
         row.unique_load_factor[check] = 0.0
         row.unique_probe_p95[check] = 0
         row.unique_resizes[check] = 0
+        row.sat_wins[check] = 0
+        row.bdd_wins[check] = 0
         seconds_seen[check] = []
     for record in sort_records(records):
         row.cases += 1
@@ -144,6 +146,12 @@ def row_from_records(name: str, records: Sequence[CaseRecord],
                     row.unique_probe_p95[check],
                     outcome.unique_probe_p95)
                 row.unique_resizes[check] += outcome.unique_resizes
+                # Portfolio outcomes record which engine answered
+                # (empty on the default BDD-only ladder).
+                if outcome.engine == "sat":
+                    row.sat_wins[check] += 1
+                elif outcome.engine == "bdd":
+                    row.bdd_wins[check] += 1
     for check in checks:
         if row.valid[check]:
             row.impl_nodes[check] /= row.valid[check]

@@ -96,6 +96,12 @@ class CheckOutcome:
     unique_load_factor: float = 0.0
     unique_probe_p95: int = 0
     unique_resizes: int = 0
+    #: Engine that decided this check under a portfolio/SAT strategy
+    #: (``"bdd"`` or ``"sat"``, see :mod:`repro.core.portfolio`).
+    #: Empty on the default BDD-only ladder and serialised only when
+    #: set, so strategy-free journals stay byte-identical to
+    #: pre-portfolio ones.
+    engine: str = ""
 
     def to_dict(self) -> Dict:
         data = {"outcome": self.outcome,
@@ -116,6 +122,8 @@ class CheckOutcome:
             data["unique_load_factor"] = self.unique_load_factor
             data["unique_probe_p95"] = self.unique_probe_p95
             data["unique_resizes"] = self.unique_resizes
+        if self.engine:
+            data["engine"] = self.engine
         return data
 
     @classmethod
@@ -135,7 +143,8 @@ class CheckOutcome:
                    unique_load_factor=float(
                        data.get("unique_load_factor", 0.0)),
                    unique_probe_p95=int(data.get("unique_probe_p95", 0)),
-                   unique_resizes=int(data.get("unique_resizes", 0)))
+                   unique_resizes=int(data.get("unique_resizes", 0)),
+                   engine=data.get("engine", ""))
 
 
 @dataclass

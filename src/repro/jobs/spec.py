@@ -81,6 +81,13 @@ class CaseSpec:
     #: ``"dict"`` never appears here — default-backend journals stay
     #: byte-identical to pre-arena ones.
     backend: Optional[str] = None
+    #: Engine strategy for the symbolic rungs (see
+    #: :mod:`repro.core.portfolio`): ``"portfolio"`` races BDD vs SAT
+    #: under deterministic step quanta, ``"sat"`` runs the SAT
+    #: encodings alone.  ``None`` (the BDD-only default; ``"bdd"`` is
+    #: normalized away at enumeration time) keeps journals
+    #: byte-identical to pre-portfolio ones.
+    strategy: Optional[str] = None
 
     @property
     def partial_seed(self) -> int:
@@ -107,7 +114,7 @@ class CaseSpec:
                 repr(self.fraction), self.num_boxes, self.patterns,
                 self.seed, self.checks, self.node_limit,
                 repr(self.soft_timeout) if self.soft_timeout is not None
-                else None, self.preflight, self.backend)
+                else None, self.preflight, self.backend, self.strategy)
 
     def describe(self) -> str:
         """Short human-readable coordinate for progress lines."""
@@ -137,6 +144,8 @@ class CaseSpec:
             data["check_cache"] = self.check_cache
         if self.backend is not None:
             data["backend"] = self.backend
+        if self.strategy is not None:
+            data["strategy"] = self.strategy
         return data
 
     @classmethod
@@ -157,7 +166,8 @@ class CaseSpec:
                    if soft_timeout is not None else None,
                    preflight=bool(data.get("preflight", False)),
                    check_cache=data.get("check_cache"),
-                   backend=data.get("backend"))
+                   backend=data.get("backend"),
+                   strategy=data.get("strategy"))
 
 
 def enumerate_cases(config: "ExperimentConfig",
@@ -182,6 +192,9 @@ def enumerate_cases(config: "ExperimentConfig",
     # their own environment happens to hold.
     backend = normalize_backend(getattr(config, "backend", None)
                                 or os.environ.get(BACKEND_ENV))
+    from ..core.portfolio import normalize_strategy
+
+    strategy = normalize_strategy(getattr(config, "strategy", None))
     cases: List[CaseSpec] = []
     for name in names:
         for selection in range(config.selections):
@@ -196,5 +209,6 @@ def enumerate_cases(config: "ExperimentConfig",
                     soft_timeout=getattr(config, "soft_timeout", None),
                     preflight=getattr(config, "preflight", False),
                     check_cache=getattr(config, "check_cache", None),
-                    backend=backend))
+                    backend=backend,
+                    strategy=strategy))
     return cases

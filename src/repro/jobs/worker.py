@@ -278,7 +278,10 @@ def _execute_case(case: CaseSpec,
                 spec_digest, impl_digest, check, budget=budget_cls,
                 patterns=case.patterns if check == "r.p." else None,
                 seed=case.case_seed if check == "r.p." else None,
-                variant="preflight" if report is not None else "")
+                variant=",".join(
+                    part for part in
+                    ("preflight" if report is not None else "",
+                     case.strategy or "") if part))
             payload = cache.get(cache_key)
             if tracer is not None:
                 tracer.instant("check_cache", check=check,
@@ -301,7 +304,8 @@ def _execute_case(case: CaseSpec,
                                   seed=case.case_seed,
                                   budget=budget,
                                   backend=case.backend
-                                  or "dict")[check]
+                                  or "dict",
+                                  strategy=case.strategy)[check]
             outcomes[check] = CheckOutcome(
                 outcome=result.outcome,
                 error_found=result.error_found,
@@ -320,7 +324,15 @@ def _execute_case(case: CaseSpec,
                 unique_probe_p95=int(
                     result.stats.get("unique_probe_p95", 0)),
                 unique_resizes=int(
-                    result.stats.get("unique_resizes", 0)))
+                    result.stats.get("unique_resizes", 0)),
+                # Which engine answered a raced rung (portfolio/sat
+                # strategies only).  The random-pattern check has its
+                # own unrelated stats["engine"] ("packed"/"scalar"),
+                # so the journal field is filled only for the rungs a
+                # strategy actually governs — default journals keep
+                # their exact pre-portfolio bytes.
+                engine=str(result.stats.get("engine", ""))
+                if case.strategy and check in ("0,1,X", "oe") else "")
             if result.outcome == OUTCOME_OK:
                 strongest_check = check
                 strongest_found = result.error_found

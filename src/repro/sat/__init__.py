@@ -1,11 +1,21 @@
-"""SAT backend: CNF encoding, CDCL solver, miter and CEGAR checks."""
+"""SAT backend: CNF encoding, CDCL solver, miter and CEGAR checks.
+
+The solver (:mod:`repro.sat.solver`) is a modern CDCL core —
+two-watched-literal propagation, EVSIDS, phase saving, Luby restarts,
+LBD-based clause-DB reduction, opt-in DRAT proof logging — and the
+checks here are the SAT side of the BDD/SAT portfolio
+(:mod:`repro.core.portfolio`).  Proofs are audited by the in-repo RUP
+checker (:mod:`repro.sat.drat`).
+"""
 
 from .cnf import Cnf, TseitinEncoder
 from .solver import Solver, SolverResult
+from .drat import check_drat, parse_proof
 from .equivalence import build_miter, check_equivalence_sat
 from .qbf import (check_output_exact_sat, check_symbolic_01x_sat,
                   dual_rail_expand)
-from .dimacs import loads_dimacs, read_dimacs, write_dimacs
+from .dimacs import (loads_dimacs, read_dimacs, write_dimacs,
+                     write_proof)
 
 __all__ = [
     "Cnf",
@@ -13,11 +23,14 @@ __all__ = [
     "Solver",
     "SolverResult",
     "build_miter",
+    "check_drat",
     "check_equivalence_sat",
     "check_output_exact_sat",
     "check_symbolic_01x_sat",
     "dual_rail_expand",
+    "parse_proof",
     "read_dimacs",
     "loads_dimacs",
     "write_dimacs",
+    "write_proof",
 ]

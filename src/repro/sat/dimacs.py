@@ -1,13 +1,20 @@
-"""DIMACS CNF parsing/serialization (interop with external solvers)."""
+"""DIMACS CNF parsing/serialization (interop with external solvers).
+
+Also writes DRAT proof files (:func:`write_proof`) so a refutation
+logged by :class:`repro.sat.Solver` can be handed to an external
+checker (``drat-trim``) as well as the in-repo one
+(:mod:`repro.sat.drat`).
+"""
 
 from __future__ import annotations
 
 import io
-from typing import TextIO, Union
+from typing import Iterable, TextIO, Union
 
 from .cnf import Cnf
 
-__all__ = ["read_dimacs", "loads_dimacs", "write_dimacs"]
+__all__ = ["read_dimacs", "loads_dimacs", "write_dimacs",
+           "write_proof"]
 
 
 def loads_dimacs(text: str) -> Cnf:
@@ -59,3 +66,15 @@ def write_dimacs(cnf: Cnf, path: str) -> None:
     """Write a CNF in DIMACS format."""
     with open(path, "w") as handle:
         handle.write(cnf.to_dimacs())
+
+
+def write_proof(proof: Iterable[str], path: str) -> None:
+    """Write DRAT proof lines (as logged by ``Solver.proof``) to a file.
+
+    The format is the standard textual DRAT accepted by external
+    checkers: one clause per line, ``d``-prefixed deletions, ``0``
+    terminators already included in the logged lines.
+    """
+    with open(path, "w") as handle:
+        for line in proof:
+            handle.write(line + "\n")

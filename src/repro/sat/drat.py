@@ -1,0 +1,139 @@
+"""A tiny forward DRAT proof checker (RUP-only).
+
+Verifies refutation proofs emitted by :class:`repro.sat.Solver` with
+``proof_log=True``.  Every added clause must be a *reverse unit
+propagation* (RUP) consequence of the current clause database: assume
+all its literals false, run unit propagation to fixpoint, and demand a
+conflict.  ``d``-prefixed lines delete one matching clause (lazily —
+the solver logs deletions from DB reduction).  The proof is accepted
+when the empty clause (a bare ``0`` line) is derived.
+
+RUP is the "unit-propagation-checkable" fragment of DRAT; CDCL
+learned clauses are always RUP with respect to the clauses they were
+resolved from, so the solver's proofs never need the RAT extension.
+This checker is deliberately naive — repeated full passes instead of
+watched literals — because its job is auditing the moderate-size
+proofs of this package's miters, not competition traces.
+
+The checker must be fed the *same clauses* the solver was: proofs are
+relative to a formula, not self-contained.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from .cnf import Cnf
+
+__all__ = ["check_drat", "parse_proof"]
+
+_ClauseLike = Sequence[int]
+_Formula = Union[Cnf, Iterable[_ClauseLike]]
+
+
+def parse_proof(lines: Iterable[str])\
+        -> List[Tuple[bool, Tuple[int, ...]]]:
+    """Parse DRAT text lines into ``(is_delete, literals)`` steps.
+
+    Blank lines and ``c`` comment lines are skipped, as in DRAT files.
+    """
+    steps: List[Tuple[bool, Tuple[int, ...]]] = []
+    for raw in lines:
+        line = raw.strip()
+        if not line or line.startswith("c"):
+            continue
+        delete = False
+        if line.startswith("d ") or line == "d":
+            delete = True
+            line = line[1:].strip()
+        tokens = [int(tok) for tok in line.split()] if line else []
+        if tokens and tokens[-1] == 0:
+            tokens = tokens[:-1]
+        elif tokens:
+            raise ValueError("DRAT line missing terminating 0: %r" % raw)
+        steps.append((delete, tuple(tokens)))
+    return steps
+
+
+def _unit_propagate(clauses: List[Tuple[int, ...]],
+                    assignment: dict) -> bool:
+    """UP to fixpoint over ``assignment`` (lit -> True); True on conflict.
+
+    Naive repeated passes; mutates ``assignment``.
+    """
+    changed = True
+    while changed:
+        changed = False
+        for clause in clauses:
+            unassigned: Optional[int] = None
+            satisfied = False
+            count = 0
+            for lit in clause:
+                if assignment.get(lit):
+                    satisfied = True
+                    break
+                if not assignment.get(-lit):
+                    count += 1
+                    unassigned = lit
+            if satisfied:
+                continue
+            if count == 0:
+                return True  # all literals false: conflict
+            if count == 1:
+                assignment[unassigned] = True
+                assignment.setdefault(-unassigned, False)
+                changed = True
+    return False
+
+
+def _is_rup(clauses: List[Tuple[int, ...]],
+            clause: Tuple[int, ...]) -> bool:
+    """Whether ``clause`` follows from ``clauses`` by unit propagation."""
+    assignment = {}
+    for lit in clause:
+        if assignment.get(lit):
+            return False  # negation is already contradictory -> trivial
+        assignment[-lit] = True
+        assignment[lit] = False
+    return _unit_propagate(clauses, assignment)
+
+
+def check_drat(formula: _Formula, proof: Union[str, Iterable[str]],
+               strict_deletes: bool = True) -> bool:
+    """Verify a DRAT refutation of ``formula``.
+
+    ``formula`` is a :class:`Cnf` or any iterable of integer clauses;
+    ``proof`` is the text (or line iterable) the solver logged.
+    Returns True iff every added clause is RUP at its position and the
+    empty clause is derived.  With ``strict_deletes`` (default) a
+    deletion that matches no clause in the database fails the proof;
+    some external tools emit such lines, so it can be relaxed.
+    """
+    if isinstance(formula, Cnf):
+        source: Iterable[_ClauseLike] = formula.clauses
+    else:
+        source = formula
+    database: List[Tuple[int, ...]] = [tuple(c) for c in source]
+    if isinstance(proof, str):
+        proof = proof.splitlines()
+    try:
+        steps = parse_proof(proof)
+    except ValueError:
+        return False
+    for delete, lits in steps:
+        if delete:
+            target = frozenset(lits)
+            for index, clause in enumerate(database):
+                if frozenset(clause) == target:
+                    del database[index]
+                    break
+            else:
+                if strict_deletes:
+                    return False
+            continue
+        if not _is_rup(database, lits):
+            return False
+        if not lits:
+            return True  # empty clause derived: refutation complete
+        database.append(lits)
+    return False  # proof ended without the empty clause

@@ -13,6 +13,7 @@ from typing import Dict, Optional, Tuple
 from ..circuit.netlist import Circuit, CircuitError
 from ..core.equivalence import EquivalenceResult
 from ..core.result import Stopwatch
+from ..obs import get_tracer
 from .cnf import Cnf, TseitinEncoder
 from .solver import Solver
 
@@ -49,15 +50,33 @@ def build_miter(spec: Circuit, impl: Circuit)\
     return cnf, input_vars, miter
 
 
-def check_equivalence_sat(spec: Circuit,
-                          impl: Circuit) -> EquivalenceResult:
-    """Miter-SAT equivalence check for complete circuits."""
+def check_equivalence_sat(spec: Circuit, impl: Circuit,
+                          proof: bool = False,
+                          budget=None) -> EquivalenceResult:
+    """Miter-SAT equivalence check for complete circuits.
+
+    With ``proof=True`` the solver logs a DRAT trace; on an equivalent
+    pair (UNSAT miter) the returned result carries it as ``.proof`` —
+    a refutation of the miter CNF (also attached as ``.miter_cnf``)
+    checkable with :func:`repro.sat.drat.check_drat`.  ``budget``
+    (a :class:`repro.resilience.Budget`) is charged one step per
+    propagated literal and cancels the solve deterministically.
+    """
     if spec.free_nets() or impl.free_nets():
         raise CircuitError("equivalence check needs complete circuits")
+    tracer = get_tracer()
     with Stopwatch() as clock:
         cnf, input_vars, _ = build_miter(spec, impl)
-        solver = Solver(cnf)
-        result = solver.solve()
+        solver = Solver(cnf, proof_log=proof)
+        span = None if tracer is None else tracer.span(
+            "sat:miter", vars=cnf.num_vars, clauses=len(cnf.clauses))
+        try:
+            result = solver.solve(budget=budget)
+        finally:
+            if span is not None:
+                span.done(conflicts=solver.conflicts,
+                          decisions=solver.decisions,
+                          propagations=solver.propagations)
         cex: Optional[Dict[str, bool]] = None
         failing = None
         if result.satisfiable:
@@ -73,4 +92,10 @@ def check_equivalence_sat(spec: Circuit,
     out = EquivalenceResult(equivalent=not result.satisfiable,
                             counterexample=cex, failing_output=failing)
     out.seconds = clock.seconds
+    out.stats = dict(result.stats)
+    out.stats.update(cnf_vars=cnf.num_vars,
+                     cnf_clauses=len(cnf.clauses))
+    if proof:
+        out.proof = list(solver.proof or ())
+        out.miter_cnf = cnf
     return out

@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..circuit.gates import GateType
 from ..circuit.netlist import Circuit, CircuitError
+from ..obs import get_tracer
 from ..partial.blackbox import PartialImplementation
 from ..core.result import CheckResult, Stopwatch
 from .cnf import Cnf, TseitinEncoder
@@ -48,7 +49,8 @@ def _encode_mismatch(encoder: TseitinEncoder, spec: Circuit,
 
 def check_output_exact_sat(spec: Circuit,
                            partial: PartialImplementation,
-                           max_iterations: int = 10_000) -> CheckResult:
+                           max_iterations: int = 10_000,
+                           budget=None) -> CheckResult:
     """Output exact check decided by CEGAR between two SAT solvers.
 
     *Verifier* query: given a candidate input ``x*``, is there a Black
@@ -56,12 +58,29 @@ def check_output_exact_sat(spec: Circuit,
     query: find an ``x`` that defeats every ``Z`` counterexample seen so
     far.  Terminates with either a real error witness (verifier UNSAT) or
     an abstraction UNSAT (no error detectable by this check).
+
+    ``budget`` (a :class:`repro.resilience.Budget`) spans the whole
+    CEGAR loop: both solvers charge it one step per propagated literal,
+    so a ``max_steps`` limit cancels the check at a deterministic,
+    machine-independent point — the hook the portfolio race uses.
+    The aggregated solver counters are reported in ``stats`` under
+    ``sat_*`` keys.
     """
     if spec.free_nets():
         raise CircuitError("specification must be a complete circuit")
     partial.validate_against(spec)
     z_nets = partial.box_outputs
     inputs = spec.inputs
+    tracer = get_tracer()
+    totals = {"decisions": 0, "propagations": 0, "conflicts": 0,
+              "restarts": 0, "learned": 0, "deleted": 0}
+
+    def _fold(run) -> None:
+        for key in totals:
+            totals[key] += run.stats.get(key, 0)
+
+    def _sat_stats() -> Dict[str, int]:
+        return {"sat_" + key: value for key, value in totals.items()}
 
     with Stopwatch() as clock:
         # Verifier: x fixed by assumptions, Z free, mismatch forced 0.
@@ -73,62 +92,88 @@ def check_output_exact_sat(spec: Circuit,
         verifier = Solver(verifier_cnf)
         v_in = {net: verifier_enc.var_of(net) for net in inputs}
         v_z = {net: verifier_enc.var_of(net) for net in z_nets}
+        # A box output outside every encoded output cone gets its var
+        # allocated only now, past the solver's snapshot; grow the
+        # solver so such unconstrained Z vars still appear in models.
+        verifier.ensure_vars(verifier_enc.cnf.num_vars)
 
         # Abstraction: x free; one mismatch copy per refuted Z.
         abstraction = Solver()
         a_in = {net: abstraction.new_var() for net in inputs}
 
-        iterations = 0
         candidate = {net: False for net in inputs}
-        while iterations < max_iterations:
-            iterations += 1
-            assumptions = [v_in[net] if candidate[net] else -v_in[net]
-                           for net in inputs]
-            verdict = verifier.solve(assumptions)
-            if not verdict.satisfiable:
-                return CheckResult(
-                    check="output_exact_sat", error_found=True,
-                    counterexample=dict(candidate),
-                    detail="CEGAR converged in %d iterations"
-                           % iterations,
-                    seconds=clock.seconds,
-                    stats={"iterations": iterations})
-            assert verdict.model is not None
-            z_star = {net: verdict.model[v_z[net]] for net in z_nets}
+        span = None if tracer is None else tracer.span(
+            "sat:cegar", inputs=len(inputs), z_nets=len(z_nets))
+        try:
+            result = _cegar_loop(
+                spec, partial, inputs, z_nets, verifier, v_in, v_z,
+                abstraction, a_in, candidate, max_iterations, budget,
+                clock, _fold, _sat_stats)
+        finally:
+            if span is not None:
+                span.done(**_sat_stats())
+    return result
 
-            # Refine: next candidate must mismatch under Z = z_star.
-            refinement = TseitinEncoder(Cnf())
-            # Encode into the abstraction solver's variable space.
-            offset_cnf = refinement.cnf
-            offset_cnf.num_vars = abstraction.num_vars
-            for net in inputs:
-                refinement._net_var[net] = a_in[net]
-            for net, value in z_star.items():
-                var = refinement.var_of(net)
-                offset_cnf.add_clause((var,) if value else (-var,))
-            _, _, mismatch = _encode_mismatch(
-                refinement, spec, partial,
-                prefix="a%d/" % iterations)
-            offset_cnf.add_clause((mismatch,))
-            abstraction.ensure_vars(offset_cnf.num_vars)
-            ok = True
-            for clause in offset_cnf.clauses:
-                ok = abstraction.add_clause(clause) and ok
-            if not ok:
-                break
-            proposal = abstraction.solve()
-            if not proposal.satisfiable:
-                break
-            assert proposal.model is not None
-            candidate = {net: proposal.model[a_in[net]]
-                         for net in inputs}
-        else:
-            raise RuntimeError("CEGAR iteration limit exceeded")
+
+def _cegar_loop(spec, partial, inputs, z_nets, verifier, v_in, v_z,
+                abstraction, a_in, candidate, max_iterations, budget,
+                clock, _fold, _sat_stats) -> CheckResult:
+    iterations = 0
+    while iterations < max_iterations:
+        iterations += 1
+        assumptions = [v_in[net] if candidate[net] else -v_in[net]
+                       for net in inputs]
+        verdict = verifier.solve(assumptions, budget=budget)
+        _fold(verdict)
+        if not verdict.satisfiable:
+            stats = {"iterations": iterations}
+            stats.update(_sat_stats())
+            return CheckResult(
+                check="output_exact_sat", error_found=True,
+                counterexample=dict(candidate),
+                detail="CEGAR converged in %d iterations"
+                       % iterations,
+                seconds=clock.seconds,
+                stats=stats)
+        assert verdict.model is not None
+        z_star = {net: verdict.model[v_z[net]] for net in z_nets}
+
+        # Refine: next candidate must mismatch under Z = z_star.
+        refinement = TseitinEncoder(Cnf())
+        # Encode into the abstraction solver's variable space.
+        offset_cnf = refinement.cnf
+        offset_cnf.num_vars = abstraction.num_vars
+        for net in inputs:
+            refinement._net_var[net] = a_in[net]
+        for net, value in z_star.items():
+            var = refinement.var_of(net)
+            offset_cnf.add_clause((var,) if value else (-var,))
+        _, _, mismatch = _encode_mismatch(
+            refinement, spec, partial,
+            prefix="a%d/" % iterations)
+        offset_cnf.add_clause((mismatch,))
+        abstraction.ensure_vars(offset_cnf.num_vars)
+        ok = True
+        for clause in offset_cnf.clauses:
+            ok = abstraction.add_clause(clause) and ok
+        if not ok:
+            break
+        proposal = abstraction.solve(budget=budget)
+        _fold(proposal)
+        if not proposal.satisfiable:
+            break
+        assert proposal.model is not None
+        candidate = {net: proposal.model[a_in[net]]
+                     for net in inputs}
+    else:
+        raise RuntimeError("CEGAR iteration limit exceeded")
+    stats = {"iterations": iterations}
+    stats.update(_sat_stats())
     return CheckResult(
         check="output_exact_sat", error_found=False,
         detail="CEGAR converged in %d iterations" % iterations,
         seconds=clock.seconds,
-        stats={"iterations": iterations})
+        stats=stats)
 
 
 def dual_rail_expand(circuit: Circuit,
@@ -219,15 +264,19 @@ def dual_rail_expand(circuit: Circuit,
 
 
 def check_symbolic_01x_sat(spec: Circuit,
-                           partial: PartialImplementation) -> CheckResult:
+                           partial: PartialImplementation,
+                           budget=None) -> CheckResult:
     """The symbolic 0,1,X check as one SAT query over the dual-rail net.
 
     Error iff SAT: some input makes an implementation rail definite and
-    opposite to the specification output.
+    opposite to the specification output.  ``budget`` cancels the solve
+    deterministically (one step per propagated literal); the solver's
+    per-run counters land in ``stats`` under ``sat_*`` keys.
     """
     if spec.free_nets():
         raise CircuitError("specification must be a complete circuit")
     partial.validate_against(spec)
+    tracer = get_tracer()
     with Stopwatch() as clock:
         dual = dual_rail_expand(partial.circuit)
         encoder = TseitinEncoder()
@@ -251,16 +300,28 @@ def check_symbolic_01x_sat(spec: Circuit,
             bads.extend((bad_hi, bad_lo))
         cnf.add_clause(tuple(bads))
         solver = Solver(cnf)
-        verdict = solver.solve()
+        span = None if tracer is None else tracer.span(
+            "sat:dual_rail", vars=cnf.num_vars,
+            clauses=len(cnf.clauses))
+        try:
+            verdict = solver.solve(budget=budget)
+        finally:
+            if span is not None:
+                span.done(conflicts=solver.conflicts,
+                          decisions=solver.decisions,
+                          propagations=solver.propagations)
         cex = None
         if verdict.satisfiable:
             assert verdict.model is not None
             cex = {net: verdict.model[encoder.var_of(net)]
                    for net in spec.inputs}
+    stats = {"cnf_vars": cnf.num_vars, "cnf_clauses": len(cnf.clauses),
+             "conflicts": verdict.conflicts}
+    stats.update(("sat_" + key, value)
+                 for key, value in verdict.stats.items())
     return CheckResult(
         check="symbolic_01x_sat",
         error_found=verdict.satisfiable,
         counterexample=cex,
         seconds=clock.seconds,
-        stats={"cnf_vars": cnf.num_vars, "cnf_clauses": len(cnf.clauses),
-               "conflicts": verdict.conflicts})
+        stats=stats)

@@ -1,13 +1,27 @@
-"""A compact CDCL SAT solver (GRASP/Chaff lineage).
+"""A modern CDCL SAT solver (GRASP/Chaff/MiniSat lineage).
 
-Implements the standard modern recipe: two-watched-literal propagation,
-first-UIP conflict analysis with clause learning, VSIDS-style activity
-decision heuristic, phase saving, Luby restarts and learned-clause
-deletion.  Pure Python, built for the moderate-size miters and CEGAR
+Implements the standard modern recipe: two-watched-literal propagation
+kept hot, first-UIP conflict analysis with clause learning, EVSIDS
+variable activities (bump-and-decay via a growing increment), phase
+saving, Luby restarts, LBD ("glue") clause quality tracking with
+activity-free clause-database reduction, and opt-in DRAT proof
+logging.  Pure Python, built for the moderate-size miters and CEGAR
 subproblems of this package — not a competition solver.
 
 The paper cites GRASP [Marques-Silva & Sakallah] as the engine its
-future-work SAT backend would use; this is our stand-in.
+future-work SAT backend would use; this is our stand-in.  Per-run
+statistics (decisions, propagations, conflicts, restarts,
+learned/deleted clauses) are exposed through
+:attr:`SolverResult.stats`, mirroring how ``CheckResult.stats`` flows
+through the check ladder.
+
+Determinism: the solver is a pure function of the clause/assumption
+sequence — no wall clock, no randomness.  A
+:class:`repro.resilience.Budget` passed to :meth:`Solver.solve` is
+charged one step per propagated literal, so ``max_steps`` budgets cut
+the search at a machine-independent point; this is what the BDD/SAT
+portfolio race (:mod:`repro.core.portfolio`) builds its deterministic
+work quanta on.
 """
 
 from __future__ import annotations
@@ -21,16 +35,29 @@ __all__ = ["Solver", "SolverResult"]
 
 
 class SolverResult:
-    """Outcome of a :meth:`Solver.solve` call."""
+    """Outcome of a :meth:`Solver.solve` call.
 
-    __slots__ = ("satisfiable", "model", "conflicts", "decisions")
+    ``stats`` carries the per-run counters (everything is reset at the
+    start of each ``solve``): ``decisions``, ``propagations``,
+    ``conflicts``, ``restarts``, ``learned`` (clauses added this run)
+    and ``deleted`` (learned clauses dropped by DB reduction this run).
+    ``conflicts`` / ``decisions`` stay as attributes for existing
+    callers.
+    """
+
+    __slots__ = ("satisfiable", "model", "conflicts", "decisions",
+                 "stats")
 
     def __init__(self, satisfiable: bool, model: Optional[Dict[int, bool]],
-                 conflicts: int, decisions: int) -> None:
+                 conflicts: int, decisions: int,
+                 stats: Optional[Dict[str, int]] = None) -> None:
         self.satisfiable = satisfiable
         self.model = model
         self.conflicts = conflicts
         self.decisions = decisions
+        self.stats: Dict[str, int] = dict(stats or {})
+        self.stats.setdefault("conflicts", conflicts)
+        self.stats.setdefault("decisions", decisions)
 
     def __bool__(self) -> bool:
         return self.satisfiable
@@ -58,20 +85,70 @@ def _luby(index: int) -> int:
     return 1 << seq
 
 
+class _Clause:
+    """One clause in the solver's database.
+
+    ``lits`` is mutated in place by the watch machinery (positions 0/1
+    are the watched literals).  Learned clauses carry their LBD — the
+    number of distinct decision levels among their literals at learn
+    time — which is the quality metric DB reduction sorts by.
+    ``deleted`` clauses stay in watch lists until the next visit drops
+    them lazily; propagation never follows a deleted clause.
+    """
+
+    __slots__ = ("lits", "learned", "lbd", "deleted")
+
+    def __init__(self, lits: List[int], learned: bool = False,
+                 lbd: int = 0) -> None:
+        self.lits = lits
+        self.learned = learned
+        self.lbd = lbd
+        self.deleted = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        tag = " learned lbd=%d" % self.lbd if self.learned else ""
+        return "<Clause %s%s%s>" % (self.lits, tag,
+                                    " deleted" if self.deleted else "")
+
+
+def _proof_line(lits: Sequence[int], delete: bool = False) -> str:
+    """One DRAT line: ``[d ]lit ... 0``."""
+    body = " ".join(str(lit) for lit in lits)
+    if delete:
+        return ("d " + body + " 0") if body else "d 0"
+    return (body + " 0") if body else "0"
+
+
 class Solver:
-    """Incremental CDCL solver over DIMACS-style integer literals."""
+    """Incremental CDCL solver over DIMACS-style integer literals.
+
+    ``proof_log=True`` records a DRAT proof of the run in
+    :attr:`proof`: one line per learned clause (including level-0
+    units), ``d``-prefixed lines for clauses dropped by DB reduction,
+    and a final ``0`` (the empty clause) when the instance is refuted
+    without assumptions.  Check it with :func:`repro.sat.drat.check_drat`.
+
+    ``reduce_base`` / ``reduce_inc`` tune when the learned-clause
+    database is reduced: a reduction runs when the number of live
+    learned clauses reaches ``reduce_base + reduce_inc * reductions``.
+    Glue clauses (LBD <= 2) and locked clauses (currently the reason of
+    an assignment) are never deleted.
+    """
 
     UNASSIGNED = -1
 
-    def __init__(self, cnf: Optional[Cnf] = None) -> None:
+    def __init__(self, cnf: Optional[Cnf] = None,
+                 proof_log: bool = False,
+                 reduce_base: int = 2000,
+                 reduce_inc: int = 300) -> None:
         self.num_vars = 0
-        self._clauses: List[List[int]] = []
-        self._learned: List[List[int]] = []
-        # lit -> list of clause refs watching it; lit index = encoded lit
-        self._watches: Dict[int, List[List[int]]] = {}
+        self._clauses: List[_Clause] = []
+        self._learned: List[_Clause] = []
+        # lit -> list of clauses watching it
+        self._watches: Dict[int, List[_Clause]] = {}
         self._assign: List[int] = [Solver.UNASSIGNED]  # 1-indexed
         self._level: List[int] = [0]
-        self._reason: List[Optional[List[int]]] = [None]
+        self._reason: List[Optional[_Clause]] = [None]
         self._activity: List[float] = [0.0]
         self._phase: List[bool] = [False]
         self._trail: List[int] = []
@@ -82,8 +159,17 @@ class Solver:
         # Lazy max-heap of (-activity, var); stale entries are skipped.
         self._order: List[Tuple[float, int]] = []
         self._ok = True
+        self._budget = None
+        self._reduce_base = reduce_base
+        self._reduce_inc = reduce_inc
+        self._reductions = 0
         self.conflicts = 0
         self.decisions = 0
+        self.propagations = 0
+        self.restarts = 0
+        self.learned_added = 0
+        self.learned_deleted = 0
+        self.proof: Optional[List[str]] = [] if proof_log else None
         if cnf is not None:
             self.ensure_vars(cnf.num_vars)
             for clause in cnf.clauses:
@@ -106,6 +192,14 @@ class Solver:
         """Allocate one fresh variable; returns its index."""
         self.ensure_vars(self.num_vars + 1)
         return self.num_vars
+
+    def _log_add(self, lits: Sequence[int]) -> None:
+        if self.proof is not None:
+            self.proof.append(_proof_line(lits))
+
+    def _log_delete(self, lits: Sequence[int]) -> None:
+        if self.proof is not None:
+            self.proof.append(_proof_line(lits, delete=True))
 
     def add_clause(self, literals: Iterable[int]) -> bool:
         """Add a clause at decision level 0; returns False on conflict."""
@@ -131,27 +225,38 @@ class Solver:
             if value == 0 and self._level[abs(lit)] == 0:
                 continue
             filtered.append(lit)
+        # DRAT: a clause weakened by level-0 simplification is still a
+        # RUP consequence of the database (the dropped literals are
+        # top-level-false), so logging the filtered form keeps the
+        # proof checkable.  Unfiltered input clauses are axioms and are
+        # not logged.
+        if len(filtered) < len(clause):
+            self._log_add(filtered)
         if not filtered:
             self._ok = False
             return False
         if len(filtered) == 1:
             if not self._enqueue(filtered[0], None):
+                self._log_add(())
                 self._ok = False
                 return False
             conflict = self._propagate()
             if conflict is not None:
+                self._log_add(())
                 self._ok = False
                 return False
             return True
-        self._clauses.append(filtered)
-        self._watch_clause(filtered)
+        ref = _Clause(filtered)
+        self._clauses.append(ref)
+        self._watch_clause(ref)
         return True
 
     # ------------------------------------------------------------------
 
-    def _watch_clause(self, clause: List[int]) -> None:
-        self._watches.setdefault(-clause[0], []).append(clause)
-        self._watches.setdefault(-clause[1], []).append(clause)
+    def _watch_clause(self, clause: _Clause) -> None:
+        lits = clause.lits
+        self._watches.setdefault(-lits[0], []).append(clause)
+        self._watches.setdefault(-lits[1], []).append(clause)
 
     def _value(self, lit: int) -> int:
         """1 true, 0 false, -1 unassigned — for a literal."""
@@ -160,7 +265,7 @@ class Solver:
             return -1
         return assignment if lit > 0 else 1 - assignment
 
-    def _enqueue(self, lit: int, reason: Optional[List[int]]) -> bool:
+    def _enqueue(self, lit: int, reason: Optional[_Clause]) -> bool:
         value = self._value(lit)
         if value == 0:
             return False
@@ -173,42 +278,55 @@ class Solver:
         self._trail.append(lit)
         return True
 
-    def _propagate(self) -> Optional[List[int]]:
-        """Unit propagation; returns a conflicting clause or None."""
+    def _propagate(self) -> Optional[_Clause]:
+        """Unit propagation; returns a conflicting clause or None.
+
+        The budget (when attached by :meth:`solve`) is charged one step
+        per propagated literal, at the top of the loop where the watch
+        lists are consistent — a ``BudgetExceededError`` raised here
+        leaves the solver reusable.
+        """
+        budget = self._budget
         while self._queue_head < len(self._trail):
+            if budget is not None:
+                budget.tick("sat_propagate")
             lit = self._trail[self._queue_head]
             self._queue_head += 1
+            self.propagations += 1
             watchers = self._watches.get(lit)
             if not watchers:
                 continue
-            keep: List[List[int]] = []
+            keep: List[_Clause] = []
             i = 0
             while i < len(watchers):
-                clause = watchers[i]
+                ref = watchers[i]
                 i += 1
+                if ref.deleted:
+                    continue  # lazily dropped from this watch list
+                clause = ref.lits
                 # Normalize: false watch at position 1.
                 if clause[0] == -lit:
                     clause[0], clause[1] = clause[1], clause[0]
                 first = clause[0]
                 if self._value(first) == 1:
-                    keep.append(clause)
+                    keep.append(ref)
                     continue
                 moved = False
                 for k in range(2, len(clause)):
                     if self._value(clause[k]) != 0:
                         clause[1], clause[k] = clause[k], clause[1]
                         self._watches.setdefault(
-                            -clause[1], []).append(clause)
+                            -clause[1], []).append(ref)
                         moved = True
                         break
                 if moved:
                     continue
-                keep.append(clause)
-                if not self._enqueue(first, clause):
+                keep.append(ref)
+                if not self._enqueue(first, ref):
                     # Conflict: restore remaining watchers and report.
                     keep.extend(watchers[i:])
                     self._watches[lit] = keep
-                    return clause
+                    return ref
             self._watches[lit] = keep
         return None
 
@@ -227,13 +345,14 @@ class Solver:
         elif self._assign[var] == Solver.UNASSIGNED:
             heapq.heappush(self._order, (-self._activity[var], var))
 
-    def _analyze(self, conflict: List[int]) -> Tuple[List[int], int]:
-        """First-UIP learning; returns (learned clause, backtrack level)."""
+    def _analyze(self, conflict: _Clause) -> Tuple[List[int], int, int]:
+        """First-UIP learning; returns (learned clause, backjump level,
+        LBD)."""
         learned: List[int] = []
         seen = [False] * (self.num_vars + 1)
         counter = 0
         lit = 0
-        reason: Sequence[int] = conflict
+        reason: Sequence[int] = conflict.lits
         index = len(self._trail)
         current_level = len(self._trail_lim)
         while True:
@@ -256,18 +375,19 @@ class Solver:
                 break
             clause_reason = self._reason[abs(lit)]
             assert clause_reason is not None
-            reason = [q for q in clause_reason if q != lit]
+            reason = [q for q in clause_reason.lits if q != lit]
             seen[abs(lit)] = False
         learned.insert(0, -lit)
+        lbd = len({self._level[abs(q)] for q in learned})
         if len(learned) == 1:
-            return learned, 0
+            return learned, 0, lbd
         back_level = max(self._level[abs(q)] for q in learned[1:])
         # Put a literal of the backtrack level in watch position 1.
         for k in range(1, len(learned)):
             if self._level[abs(learned[k])] == back_level:
                 learned[1], learned[k] = learned[k], learned[1]
                 break
-        return learned, back_level
+        return learned, back_level, lbd
 
     def _backtrack(self, level: int) -> None:
         if len(self._trail_lim) <= level:
@@ -290,23 +410,100 @@ class Solver:
                 return var if self._phase[var] else -var
         return 0
 
+    # -- learned-clause database ---------------------------------------
+
+    def _locked(self, clause: _Clause) -> bool:
+        """Whether ``clause`` is the reason of a current assignment.
+
+        While locked, the asserted literal sits at watch position 0 (the
+        watch swap never moves a true literal out of position 0), so one
+        lookup suffices.
+        """
+        if not clause.lits:
+            return False
+        var = abs(clause.lits[0])
+        return (self._assign[var] != Solver.UNASSIGNED
+                and self._reason[var] is clause)
+
+    def _reduce_db(self) -> None:
+        """Drop the worse half of the deletable learned clauses.
+
+        Quality order is (LBD, size): glue clauses (LBD <= 2) and
+        locked clauses are never deleted.  Deleted clauses are only
+        marked here; the watch lists shed them lazily on the next
+        visit, so no watch-list surgery happens on the hot path.
+        """
+        live = [c for c in self._learned if not c.deleted]
+        keep: List[_Clause] = []
+        candidates: List[_Clause] = []
+        for clause in live:
+            if clause.lbd <= 2 or self._locked(clause):
+                keep.append(clause)
+            else:
+                candidates.append(clause)
+        candidates.sort(key=lambda c: (c.lbd, len(c.lits)))
+        cut = len(candidates) // 2
+        for clause in candidates[cut:]:
+            clause.deleted = True
+            self.learned_deleted += 1
+            self._log_delete(clause.lits)
+        self._learned = keep + candidates[:cut]
+        self._reductions += 1
+
     # ------------------------------------------------------------------
 
     def solve(self, assumptions: Sequence[int] = (),
-              conflict_budget: Optional[int] = None) -> SolverResult:
+              conflict_budget: Optional[int] = None,
+              budget=None) -> SolverResult:
         """Decide satisfiability under optional assumptions.
 
         Raises ``RuntimeError`` when a finite ``conflict_budget`` is
         exhausted — callers treating this solver as an oracle should
-        leave the budget infinite.
+        leave the budget infinite.  ``budget`` (a
+        :class:`repro.resilience.Budget`) is charged one step per
+        propagated literal; its limits raise
+        ``BudgetExceededError`` at a consistent point, leaving the
+        solver reusable — this is the deterministic cancellation hook
+        the portfolio race uses.
         """
         self.conflicts = 0
         self.decisions = 0
+        self.propagations = 0
+        self.restarts = 0
+        learned_before = self.learned_added
+        deleted_before = self.learned_deleted
         if not self._ok:
-            return SolverResult(False, None, 0, 0)
+            return SolverResult(False, None, 0, 0, self._stats(0, 0))
         self._backtrack(0)
         for lit in assumptions:
             self.ensure_vars(abs(lit))
+        self._budget = budget
+
+        try:
+            return self._search(assumptions, conflict_budget,
+                                learned_before, deleted_before)
+        finally:
+            self._budget = None
+
+    def _stats(self, learned_before: int,
+               deleted_before: int) -> Dict[str, int]:
+        return {"decisions": self.decisions,
+                "propagations": self.propagations,
+                "conflicts": self.conflicts,
+                "restarts": self.restarts,
+                "learned": self.learned_added - learned_before,
+                "deleted": self.learned_deleted - deleted_before}
+
+    def _search(self, assumptions: Sequence[int],
+                conflict_budget: Optional[int],
+                learned_before: int,
+                deleted_before: int) -> SolverResult:
+        def done(satisfiable: bool,
+                 model: Optional[Dict[int, bool]]) -> SolverResult:
+            return SolverResult(satisfiable, model, self.conflicts,
+                                self.decisions,
+                                self._stats(learned_before,
+                                            deleted_before))
 
         restart_count = 0
         limit = 32 * _luby(restart_count)
@@ -320,20 +517,34 @@ class Solver:
                         and self.conflicts > conflict_budget:
                     raise RuntimeError("conflict budget exhausted")
                 if len(self._trail_lim) == 0:
-                    return SolverResult(False, None, self.conflicts,
-                                        self.decisions)
-                learned, back_level = self._analyze(conflict)
+                    if not assumptions:
+                        self._log_add(())
+                    return done(False, None)
+                learned, back_level, lbd = self._analyze(conflict)
+                self._log_add(learned)
                 self._backtrack(back_level)
                 if len(learned) > 1:
-                    self._learned.append(learned)
-                    self._watch_clause(learned)
-                if not self._enqueue(learned[0],
-                                     learned if len(learned) > 1
-                                     else None):
-                    return SolverResult(False, None, self.conflicts,
-                                        self.decisions)
+                    ref = _Clause(learned, learned=True, lbd=lbd)
+                    self._learned.append(ref)
+                    self._watch_clause(ref)
+                    self.learned_added += 1
+                    if not self._enqueue(learned[0], ref):
+                        if not assumptions:
+                            self._log_add(())
+                        return done(False, None)
+                else:
+                    self.learned_added += 1
+                    if not self._enqueue(learned[0], None):
+                        if not assumptions:
+                            self._log_add(())
+                        return done(False, None)
                 self._var_inc /= self._var_decay
+                if len(self._learned) >= (self._reduce_base
+                                          + self._reduce_inc
+                                          * self._reductions):
+                    self._reduce_db()
                 if conflicts_here >= limit:
+                    self.restarts += 1
                     restart_count += 1
                     limit = 32 * _luby(restart_count)
                     conflicts_here = 0
@@ -345,8 +556,7 @@ class Solver:
             for lit in assumptions:
                 value = self._value(lit)
                 if value == 0:
-                    return SolverResult(False, None, self.conflicts,
-                                        self.decisions)
+                    return done(False, None)
                 if value == -1:
                     pending = lit
                     break
@@ -356,8 +566,7 @@ class Solver:
                     model = {v: self._assign[v] == 1
                              for v in range(1, self.num_vars + 1)}
                     self._backtrack(0)
-                    return SolverResult(True, model, self.conflicts,
-                                        self.decisions)
+                    return done(True, model)
                 self.decisions += 1
             self._trail_lim.append(len(self._trail))
             self._enqueue(pending, None)

@@ -1,0 +1,74 @@
+"""Hypothesis differential suite: SAT engines vs. BDD engines.
+
+The portfolio (docs/sat.md) is only sound if both engines decide the
+same question.  These properties drive random netlists — and random
+mutations of them — through the miter-SAT / dual-rail-SAT / CEGAR
+encodings and the corresponding BDD algorithms, and demand identical
+verdicts every time.
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import check_equivalence, check_symbolic_01x
+from repro.core.output_exact import check_output_exact
+from repro.generators import random_logic
+from repro.partial import (PartialImplementation, insert_random_error,
+                           make_partial)
+from repro.sat import (check_equivalence_sat, check_output_exact_sat,
+                       check_symbolic_01x_sat)
+
+SLOW = settings(max_examples=15, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+
+def _mutated(circuit, seed):
+    mutated, _ = insert_random_error(circuit, random.Random(seed))
+    return mutated
+
+
+@SLOW
+@given(seed=st.integers(min_value=0, max_value=10 ** 6),
+       mutate=st.booleans())
+def test_miter_sat_matches_bdd_equivalence(seed, mutate):
+    spec = random_logic(num_inputs=6, num_outputs=3, num_gates=18,
+                        seed=seed)
+    impl = _mutated(spec, seed) if mutate else spec
+    sat = check_equivalence_sat(spec, impl)
+    bdd = check_equivalence(spec, impl)
+    assert sat.equivalent == bdd.equivalent
+    if not sat.equivalent:
+        # The SAT witness must really distinguish the pair.
+        assert spec.evaluate(sat.counterexample) \
+            != impl.evaluate(sat.counterexample)
+
+
+@SLOW
+@given(seed=st.integers(min_value=0, max_value=10 ** 6),
+       mutate=st.booleans())
+def test_dual_rail_sat_matches_bdd_symbolic_01x(seed, mutate):
+    spec = random_logic(num_inputs=6, num_outputs=3, num_gates=20,
+                        seed=seed)
+    partial = make_partial(spec, fraction=0.2, num_boxes=1, seed=seed)
+    circuit = (_mutated(partial.circuit, seed) if mutate
+               else partial.circuit)
+    case = PartialImplementation(circuit, partial.boxes)
+    assert (check_symbolic_01x_sat(spec, case).error_found
+            == check_symbolic_01x(spec, case).error_found)
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=10 ** 6),
+       mutate=st.booleans())
+def test_cegar_sat_matches_bdd_output_exact(seed, mutate):
+    spec = random_logic(num_inputs=5, num_outputs=2, num_gates=14,
+                        seed=seed)
+    partial = make_partial(spec, fraction=0.2, num_boxes=1, seed=seed)
+    circuit = (_mutated(partial.circuit, seed) if mutate
+               else partial.circuit)
+    case = PartialImplementation(circuit, partial.boxes)
+    assert (check_output_exact_sat(spec, case).error_found
+            == check_output_exact(spec, case).error_found)

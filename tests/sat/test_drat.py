@@ -1,0 +1,146 @@
+"""DRAT proof logging and the in-repo RUP checker."""
+
+import pytest
+
+from repro.circuit import CircuitBuilder
+from repro.sat import (Cnf, Solver, check_drat, check_equivalence_sat,
+                       parse_proof)
+
+
+def _cnf(clauses):
+    cnf = Cnf()
+    top = max(abs(lit) for clause in clauses for lit in clause)
+    while cnf.num_vars < top:
+        cnf.new_var()
+    for clause in clauses:
+        cnf.add_clause(clause)
+    return cnf
+
+
+class TestParseProof:
+    def test_adds_and_deletes(self):
+        steps = parse_proof(["1 2 0", "d -1 3 0", "0"])
+        assert steps == [(False, (1, 2)), (True, (-1, 3)),
+                         (False, ())]
+
+    def test_comments_and_blanks_skipped(self):
+        steps = parse_proof(["c a comment", "", "1 0"])
+        assert steps == [(False, (1,))]
+
+    def test_missing_terminator_rejected(self):
+        with pytest.raises(ValueError):
+            parse_proof(["1 2"])
+
+
+class TestCheckDrat:
+    #: Pinned refutation of the four-clause contradiction over x1, x2.
+    CONTRADICTION = [(1, 2), (1, -2), (-1, 2), (-1, -2)]
+    PINNED_PROOF = "1 0\n0\n"
+
+    def test_pinned_proof_accepted(self):
+        assert check_drat(self.CONTRADICTION, self.PINNED_PROOF)
+
+    def test_truncated_proof_rejected(self):
+        assert not check_drat(self.CONTRADICTION, "1 0\n")
+
+    def test_non_rup_step_rejected(self):
+        # x3 is a fresh variable: the unit (3) is not RUP here.
+        assert not check_drat(self.CONTRADICTION, "3 0\n0\n")
+
+    def test_empty_clause_must_be_rup(self):
+        assert not check_drat([(1, 2)], "0\n")
+
+    def test_strict_deletes(self):
+        proof = "d 5 6 0\n1 0\n0\n"
+        assert not check_drat(self.CONTRADICTION, proof)
+        assert check_drat(self.CONTRADICTION, proof,
+                          strict_deletes=False)
+
+    def test_deleting_a_needed_clause_breaks_the_proof(self):
+        proof = "d 1 2 0\nd 1 -2 0\n1 0\n0\n"
+        assert not check_drat(self.CONTRADICTION, proof)
+
+
+def _pigeonhole(holes):
+    """PHP(holes+1, holes): unsatisfiable, resolution-hard."""
+    cnf = Cnf()
+    pigeons = holes + 1
+    var = {(p, h): cnf.new_var()
+           for p in range(pigeons) for h in range(holes)}
+    for p in range(pigeons):
+        cnf.add_clause([var[p, h] for h in range(holes)])
+    for h in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, holes + 1):
+                cnf.add_clause((-var[p1, h], -var[p2, h]))
+    return cnf
+
+
+class TestSolverProofs:
+    def test_unsat_solve_yields_checkable_proof(self):
+        cnf = _pigeonhole(3)
+        solver = Solver(cnf, proof_log=True)
+        result = solver.solve()
+        assert not result.satisfiable
+        assert solver.proof[-1] == "0"
+        assert check_drat(cnf, solver.proof)
+
+    def test_proof_with_db_reduction_still_checks(self):
+        # A tiny reduce_base forces clause deletion mid-search; the
+        # logged "d" lines must keep the proof checkable.
+        cnf = _pigeonhole(4)
+        solver = Solver(cnf, proof_log=True, reduce_base=20,
+                        reduce_inc=10)
+        result = solver.solve()
+        assert not result.satisfiable
+        assert solver.learned_deleted > 0
+        assert any(line.startswith("d ") for line in solver.proof)
+        assert check_drat(cnf, solver.proof)
+
+    def test_corrupted_proof_rejected(self):
+        cnf = _pigeonhole(3)
+        solver = Solver(cnf, proof_log=True)
+        solver.solve()
+        truncated = solver.proof[:-1]
+        assert not check_drat(cnf, truncated)
+        mangled = ["99 0"] + solver.proof
+        assert not check_drat(cnf, mangled)
+
+    def test_sat_solve_logs_no_empty_clause(self):
+        cnf = _cnf([(1, 2), (-1, 2)])
+        solver = Solver(cnf, proof_log=True)
+        assert solver.solve().satisfiable
+        assert "0" not in solver.proof
+
+
+class TestMiterProof:
+    def _miter_pair(self):
+        from repro.circuit.gates import GateType
+
+        build = CircuitBuilder(name="spec")
+        build.input("a")
+        build.input("b")
+        build.gate(GateType.AND, ["a", "b"], out="y")
+        build.output("y")
+        spec = build.circuit
+        build = CircuitBuilder(name="impl")
+        build.input("a")
+        build.input("b")
+        build.gate(GateType.AND, ["b", "a"], out="y")
+        build.output("y")
+        return spec, build.circuit
+
+    def test_equivalent_pair_proof_verifies(self):
+        spec, impl = self._miter_pair()
+        res = check_equivalence_sat(spec, impl, proof=True)
+        assert res.equivalent
+        assert res.proof
+        assert check_drat(res.miter_cnf, res.proof)
+
+    def test_benchmark_self_miter_proof_verifies(self):
+        from repro.generators import comp_like
+
+        spec = comp_like()
+        res = check_equivalence_sat(spec, spec, proof=True)
+        assert res.equivalent
+        assert check_drat(res.miter_cnf, res.proof)

@@ -1,0 +1,165 @@
+"""The deterministic BDD/SAT portfolio race (repro.core.portfolio)."""
+
+import pytest
+
+from repro.bdd import default_bdd
+from repro.core import run_ladder
+from repro.core.portfolio import (BASE_QUANTUM, normalize_strategy,
+                                  race, race_output_exact,
+                                  race_symbolic_01x)
+from repro.core.result import OUTCOME_INCONCLUSIVE
+from repro.generators import ALL_FIGURES, comp_like, figure2a
+from repro.partial import make_partial
+from repro.resilience.budget import Budget, BudgetExceededError
+
+
+class TestNormalizeStrategy:
+    def test_default_forms(self):
+        assert normalize_strategy(None) is None
+        assert normalize_strategy("") is None
+        assert normalize_strategy("bdd") is None
+
+    def test_explicit_forms(self):
+        assert normalize_strategy("portfolio") == "portfolio"
+        assert normalize_strategy("sat") == "sat"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            normalize_strategy("magic")
+
+
+class TestRace:
+    def test_winner_is_deterministic(self):
+        spec = comp_like()
+        partial = make_partial(spec, fraction=0.1, num_boxes=1, seed=3)
+        runs = []
+        for _ in range(2):
+            result = race_symbolic_01x(spec, partial, default_bdd())
+            runs.append((result.error_found, result.stats["engine"],
+                         result.stats["race_rounds"],
+                         result.stats["race_steps"]))
+        assert runs[0] == runs[1]
+
+    def test_result_uses_rung_name(self):
+        spec = comp_like()
+        partial = make_partial(spec, fraction=0.1, num_boxes=1, seed=3)
+        result = race_symbolic_01x(spec, partial, default_bdd())
+        assert result.check == "symbolic_01x"
+        result = race_output_exact(spec, partial, default_bdd())
+        assert result.check == "output_exact"
+        assert result.stats["engine"] in ("sat", "bdd")
+
+    def test_sat_strategy_runs_sat_alone(self):
+        spec, partial = figure2a()
+        result = race_symbolic_01x(spec, partial, default_bdd(),
+                                   strategy="sat")
+        assert result.stats["engine"] == "sat"
+        assert "race_rounds" not in result.stats
+
+    def test_tie_goes_to_first_engine(self):
+        win = object()
+
+        def fast(piece):
+            from repro.core.result import CheckResult
+
+            return CheckResult(check="x", error_found=False)
+
+        result = race("x", [("sat", fast), ("bdd", fast)])
+        assert result.stats["engine"] == "sat"
+        assert result.stats["race_rounds"] == 1
+
+    def test_parked_engine_retried_with_bigger_quantum(self):
+        from repro.core.result import CheckResult
+
+        quanta = []
+
+        def always_parks(piece):
+            quanta.append(piece.max_steps)
+            raise BudgetExceededError("steps", "test",
+                                      piece.max_steps,
+                                      piece.max_steps)
+
+        def wins_late(piece):
+            if piece.max_steps <= BASE_QUANTUM:
+                raise BudgetExceededError("steps", "test",
+                                          piece.max_steps,
+                                          piece.max_steps)
+            return CheckResult(check="x", error_found=True)
+
+        result = race("x", [("sat", always_parks), ("bdd", wins_late)])
+        assert result.stats["engine"] == "bdd"
+        assert result.stats["race_rounds"] == 4
+        assert quanta[1] > quanta[0]
+
+    def test_non_step_trip_reraises(self):
+        def blows_nodes(piece):
+            raise BudgetExceededError("live_nodes", "mk", 100, 10)
+
+        with pytest.raises(BudgetExceededError) as err:
+            race("x", [("bdd", blows_nodes)])
+        assert err.value.resource == "live_nodes"
+
+    def test_outer_step_budget_is_charged_and_honoured(self):
+        spec = comp_like()
+        partial = make_partial(spec, fraction=0.1, num_boxes=1, seed=3)
+        outer = Budget(max_steps=10 ** 9).start()
+        race_output_exact(spec, partial, default_bdd(), budget=outer)
+        assert outer.steps > 0
+
+        tight = Budget(max_steps=50, check_interval=1).start()
+        with pytest.raises(BudgetExceededError) as err:
+            race_output_exact(spec, partial, default_bdd(),
+                              budget=tight)
+        assert err.value.resource == "steps"
+
+    def test_ctx_built_by_race_is_shared_back(self):
+        spec = comp_like()
+        partial = make_partial(spec, fraction=0.1, num_boxes=1, seed=3)
+        holder = [None]
+        result = race_output_exact(spec, partial, default_bdd(),
+                                   holder)
+        if result.stats["engine"] == "bdd":
+            assert holder[0] is not None
+
+
+class TestLadderStrategies:
+    @pytest.mark.parametrize("name", list(ALL_FIGURES))
+    @pytest.mark.parametrize("strategy", ["portfolio", "sat"])
+    def test_verdicts_match_default_ladder(self, name, strategy):
+        factory, _ = ALL_FIGURES[name]
+        spec, partial = factory()
+        base = run_ladder(spec, partial, patterns=50, seed=0,
+                          stop_at_first_error=False)
+        under = run_ladder(spec, partial, patterns=50, seed=0,
+                           stop_at_first_error=False,
+                           strategy=strategy)
+        assert [r.check for r in base] == [r.check for r in under]
+        for b, u in zip(base, under):
+            assert b.error_found == u.error_found
+            if u.check in ("symbolic_01x", "output_exact"):
+                assert u.stats["engine"] in ("sat", "bdd")
+
+    def test_winner_stable_across_runs(self):
+        spec = comp_like()
+        partial = make_partial(spec, fraction=0.1, num_boxes=1, seed=5)
+        winners = []
+        for _ in range(2):
+            results = run_ladder(spec, partial, patterns=20, seed=0,
+                                 stop_at_first_error=False,
+                                 strategy="portfolio")
+            winners.append([r.stats.get("engine") for r in results])
+        assert winners[0] == winners[1]
+
+    def test_budget_degradation_still_works(self):
+        spec = comp_like()
+        partial = make_partial(spec, fraction=0.1, num_boxes=1, seed=5)
+        budget = Budget(max_steps=60, check_interval=1)
+        results = run_ladder(spec, partial,
+                             checks=("symbolic_01x", "output_exact"),
+                             budget=budget, strategy="portfolio")
+        assert results[-1].outcome == OUTCOME_INCONCLUSIVE
+
+    def test_bad_strategy_rejected(self):
+        spec, partial = figure2a()
+        with pytest.raises(ValueError):
+            run_ladder(spec, partial, strategy="magic")

@@ -132,3 +132,19 @@ class TestCegarOutputExact:
             spec_out = spec.evaluate(cex)
             assert [impl_out[n] for n in partial.circuit.outputs] \
                 != [spec_out[n] for n in spec.outputs], bits
+
+
+class TestUnconstrainedBoxOutput:
+    def test_box_output_outside_every_cone(self):
+        """A box output whose fanout never reaches a primary output is
+        absent from the mismatch encoding; its CNF variable is only
+        allocated when the CEGAR loop asks for the Z model.  The
+        verifier must still cover it (regression: KeyError on comp
+        with five boxes)."""
+        from repro.generators import comp_like
+
+        spec = comp_like()
+        partial = make_partial(spec, fraction=0.1, num_boxes=5, seed=2004)
+        result = check_output_exact_sat(spec, partial)
+        assert result.error_found \
+            == check_output_exact(spec, partial).error_found

@@ -164,3 +164,102 @@ class TestCnfContainer:
     def test_repr(self):
         cnf = Cnf()
         assert "0 vars" in repr(cnf)
+
+
+def _random_3sat(num_vars, num_clauses, seed):
+    rng = random.Random(seed)
+    cnf = Cnf()
+    for _ in range(num_vars):
+        cnf.new_var()
+    for _ in range(num_clauses):
+        lits = rng.sample(range(1, num_vars + 1), 3)
+        cnf.add_clause([lit if rng.random() < 0.5 else -lit
+                        for lit in lits])
+    return cnf
+
+
+class TestRunStatistics:
+    def test_stats_reported_per_run(self):
+        cnf = _random_3sat(30, 126, seed=7)
+        solver = Solver(cnf)
+        result = solver.solve()
+        for key in ("decisions", "propagations", "conflicts",
+                    "restarts", "learned", "deleted"):
+            assert key in result.stats
+        assert result.stats["decisions"] == solver.decisions
+        assert result.stats["propagations"] == solver.propagations
+        assert result.stats["propagations"] > 0
+
+    def test_stats_reset_between_runs(self):
+        cnf = _random_3sat(30, 126, seed=7)
+        solver = Solver(cnf)
+        first = solver.solve()
+        second = solver.solve()
+        # Phase saving replays the first run's final assignment, so the
+        # second run is much cheaper — but the per-run stats must not
+        # accumulate across solve() calls.
+        assert second.stats["decisions"] <= first.stats["decisions"] \
+            or second.stats["conflicts"] <= first.stats["conflicts"]
+        assert second.stats["conflicts"] == solver.conflicts
+
+    def test_luby_restarts_fire_on_hard_instances(self):
+        # An over-constrained random instance forces well over 32
+        # conflicts (the first Luby restart threshold).
+        for seed in range(20):
+            cnf = _random_3sat(40, 210, seed=seed)
+            solver = Solver(cnf)
+            solver.solve()
+            if solver.restarts > 0:
+                assert solver.conflicts >= 32
+                break
+        else:
+            pytest.fail("no instance triggered a restart")
+
+    def test_clause_db_reduction_deletes_learned_clauses(self):
+        from tests.sat.test_drat import _pigeonhole
+
+        cnf = _pigeonhole(4)
+        solver = Solver(cnf, reduce_base=20, reduce_inc=10)
+        result = solver.solve()
+        assert not result.satisfiable
+        assert solver.learned_deleted > 0
+        assert result.stats["deleted"] == solver.learned_deleted
+        assert result.stats["learned"] > result.stats["deleted"]
+
+    def test_reduction_preserves_verdicts(self):
+        for seed in range(8):
+            cnf = _random_3sat(25, 105, seed=seed)
+            plain = Solver(cnf).solve()
+            reduced = Solver(cnf, reduce_base=10,
+                             reduce_inc=5).solve()
+            assert plain.satisfiable == reduced.satisfiable
+
+    def test_budget_cancels_deterministically(self):
+        from repro.resilience.budget import (Budget,
+                                             BudgetExceededError)
+        from tests.sat.test_drat import _pigeonhole
+
+        cnf = _pigeonhole(5)
+        steps = []
+        for _ in range(2):
+            budget = Budget(max_steps=500, check_interval=1).start()
+            solver = Solver(cnf)
+            with pytest.raises(BudgetExceededError) as err:
+                solver.solve(budget=budget)
+            assert err.value.resource == "steps"
+            steps.append((budget.steps, solver.conflicts,
+                          solver.decisions))
+        assert steps[0] == steps[1]
+
+    def test_solver_usable_after_budget_trip(self):
+        from repro.resilience.budget import (Budget,
+                                             BudgetExceededError)
+        from tests.sat.test_drat import _pigeonhole
+
+        cnf = _pigeonhole(4)
+        solver = Solver(cnf)
+        with pytest.raises(BudgetExceededError):
+            solver.solve(budget=Budget(max_steps=100,
+                                       check_interval=1).start())
+        result = solver.solve()
+        assert not result.satisfiable
